@@ -1,0 +1,86 @@
+// Command datagen generates a synthetic social tagging corpus — or
+// imports a real one from TSV files — and writes it to disk in the
+// binary index format.
+//
+// Usage:
+//
+//	datagen -preset delicious -scale 1.0 -seed 42 -out delicious.frnd
+//	datagen -friends friends.tsv -tags tags.tsv -out real.frnd -vocab names/
+//
+// Presets: delicious, flickr, twitter (see internal/gen for their
+// shapes). Scale multiplies the user/item/tag universes. In import
+// mode, -vocab additionally persists the name dictionaries so query
+// tools can translate ids back to names.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/index"
+	"repro/internal/load"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("datagen: ")
+
+	preset := flag.String("preset", "delicious", "corpus preset: delicious, flickr, twitter")
+	scale := flag.Float64("scale", 1.0, "universe scale multiplier")
+	seed := flag.Int64("seed", 42, "generation seed")
+	out := flag.String("out", "", "output path (required)")
+	friends := flag.String("friends", "", "import mode: friendships TSV (userA<TAB>userB<TAB>weight)")
+	tags := flag.String("tags", "", "import mode: taggings TSV (user<TAB>item<TAB>tag[<TAB>count])")
+	vocabDir := flag.String("vocab", "", "import mode: directory to persist name dictionaries")
+	flag.Parse()
+
+	if *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *friends != "" || *tags != "" {
+		c, err := load.ReadFiles(*friends, *tags)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := index.WriteFile(*out, c.Graph, c.Store); err != nil {
+			log.Fatal(err)
+		}
+		if *vocabDir != "" {
+			if err := c.Names.WriteDir(*vocabDir); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("imported %s: %d users, %d edges, %d items, %d tags, %d triples\n",
+			*out, c.Graph.NumUsers(), c.Graph.NumEdges(),
+			c.Store.NumItems(), c.Store.NumTags(), c.Store.NumTriples())
+		return
+	}
+	var params gen.CorpusParams
+	switch *preset {
+	case "delicious":
+		params = gen.DeliciousParams()
+	case "flickr":
+		params = gen.FlickrParams()
+	case "twitter":
+		params = gen.TwitterParams()
+	default:
+		log.Fatalf("unknown preset %q (want delicious, flickr or twitter)", *preset)
+	}
+	params = params.Scale(*scale)
+
+	ds, err := gen.Generate(params, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := index.WriteFile(*out, ds.Graph, ds.Store); err != nil {
+		log.Fatal(err)
+	}
+	gs := ds.Graph.ComputeStats(64)
+	ss := ds.Store.ComputeStats()
+	fmt.Printf("wrote %s: %d users, %d edges, %d items, %d tags, %d triples\n",
+		*out, gs.NumUsers, gs.NumEdges, ss.Items, ss.Tags, ss.Triples)
+}

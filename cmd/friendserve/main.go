@@ -1,0 +1,107 @@
+// Command friendserve runs the social tagging search service over
+// HTTP/JSON.
+//
+// Usage:
+//
+//	friendserve [-addr :8080] [-dir /var/lib/friendsearch] [-demo]
+//
+// With -dir the service is crash-safe: every mutation is written ahead
+// to a log under the directory and the state survives restarts. Without
+// it the service is in-memory. -demo preloads a small example corpus so
+// the API can be explored immediately:
+//
+//	curl -s 'localhost:8080/v1/search?seeker=alice&tags=pizza&k=3'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/server"
+	"repro/internal/social"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dir := flag.String("dir", "", "durable state directory (empty: in-memory)")
+	demo := flag.Bool("demo", false, "preload a small demo corpus")
+	flag.Parse()
+
+	backend, cleanup, err := buildBackend(*dir)
+	if err != nil {
+		log.Fatalf("friendserve: %v", err)
+	}
+	defer cleanup()
+
+	if *demo {
+		if err := loadDemo(backend); err != nil {
+			log.Fatalf("friendserve: loading demo corpus: %v", err)
+		}
+		log.Printf("demo corpus loaded (try seeker=alice tags=pizza)")
+	}
+
+	srv, err := server.New(backend)
+	if err != nil {
+		log.Fatalf("friendserve: %v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("listening on %s (durable=%v)", *addr, *dir != "")
+	if err := srv.ListenAndServe(ctx, *addr, 10*time.Second); err != nil {
+		log.Fatalf("friendserve: %v", err)
+	}
+	log.Printf("shut down cleanly")
+}
+
+func buildBackend(dir string) (server.Backend, func(), error) {
+	if dir == "" {
+		cfg := social.DefaultServiceConfig()
+		cfg.AutoCompactEvery = 0
+		svc, err := social.NewService(cfg)
+		return svc, func() {}, err
+	}
+	svc, err := durable.Open(dir, durable.DefaultConfig())
+	if err != nil {
+		return nil, nil, err
+	}
+	return svc, func() {
+		if err := svc.Close(); err != nil {
+			log.Printf("friendserve: closing durable service: %v", err)
+		}
+	}, nil
+}
+
+func loadDemo(b server.Backend) error {
+	friends := []struct {
+		a, b string
+		w    float64
+	}{
+		{"alice", "bob", 0.9}, {"bob", "carol", 0.8}, {"alice", "dave", 0.5},
+		{"carol", "erin", 0.7}, {"dave", "erin", 0.6},
+	}
+	tags := []struct{ u, i, t string }{
+		{"bob", "luigis", "pizza"}, {"bob", "luigis", "italian"},
+		{"carol", "marios", "pizza"}, {"dave", "marios", "pizza"},
+		{"erin", "sushiko", "sushi"}, {"alice", "sushiko", "sushi"},
+		{"erin", "luigis", "pizza"},
+	}
+	for _, f := range friends {
+		if err := b.Befriend(f.a, f.b, f.w); err != nil {
+			return fmt.Errorf("befriend %s-%s: %w", f.a, f.b, err)
+		}
+	}
+	for _, tg := range tags {
+		if err := b.Tag(tg.u, tg.i, tg.t); err != nil {
+			return fmt.Errorf("tag %s/%s/%s: %w", tg.u, tg.i, tg.t, err)
+		}
+	}
+	return nil
+}

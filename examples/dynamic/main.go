@@ -1,0 +1,124 @@
+// Dynamic: an evolving network session. Starts from a base corpus,
+// watches a seeker's answer change live as (a) a friend tags something
+// new and (b) the seeker makes a new friend, with the overlay's
+// mutation/compaction cycle and a serving-layer cache that must be
+// invalidated when the network changes.
+//
+// Run with:
+//
+//	go run ./examples/dynamic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/gen"
+	"repro/internal/overlay"
+	"repro/internal/proximity"
+	"repro/internal/tagstore"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	ds, err := gen.Generate(gen.DeliciousParams().Scale(0.1), 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.Config{
+		Proximity: proximity.Params{Alpha: 0.6, SelfWeight: 1, MinSigma: 0.05},
+		Beta:      1,
+	}
+	o, err := overlay.New(ds.Graph, ds.Store)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oe, err := overlay.NewEngine(o, cfg, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	seeker := ds.Graph.DegreePercentileUser(70)
+	wl, err := gen.Workload(ds, gen.WorkloadParams{
+		NumQueries: 1, TagsPerQuery: 2, NeighborhoodBias: 1, SeekerPercentile: 70,
+	}, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tags := wl[0].Tags
+	q := core.Query{Seeker: seeker, Tags: tags, K: 5}
+
+	show := func(label string) core.Answer {
+		// RefineScores: report exact scores so answers are comparable
+		// across snapshots (plain runs report certified lower bounds).
+		ans, err := oe.SocialMerge(q, core.Options{RefineScores: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", label)
+		for i, r := range ans.Results {
+			fmt.Printf("  %d. item %-6d score %.3f\n", i+1, r.Item, r.Score)
+		}
+		fmt.Println()
+		return ans
+	}
+
+	fmt.Printf("seeker %d, tags %v on an evolving network\n\n", seeker, tags)
+	before := show("initial answer")
+
+	// A close friend discovers a brand-new item and tags it heavily.
+	nbrs, wts := ds.Graph.Neighbors(seeker)
+	friend := nbrs[0]
+	fw := wts[0]
+	newItem := o.AddItem()
+	for i := 0; i < 12; i++ {
+		if err := oe.Tag(friend, newItem, tags[i%2]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("friend %d (weight %.2f) tags new item %d twelve times with tags %v\n",
+		friend, fw, newItem, tags)
+	show("before compaction (unchanged — mutations are pending)")
+	if err := oe.Compact(); err != nil {
+		log.Fatal(err)
+	}
+	after := show("after compaction")
+
+	entered := false
+	for i, r := range after.Results {
+		if r.Item == newItem {
+			fmt.Printf("→ the friend's discovery entered the answer at rank %d\n\n", i+1)
+			entered = true
+		}
+	}
+	if !entered {
+		fmt.Println("→ (discovery below the top-k on this seed)")
+	}
+	_ = before
+
+	// Serving layer: cached horizons must be invalidated on change.
+	g, s := o.Snapshot()
+	eng, err := core.NewEngine(g, s, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	x, err := exec.New(eng, exec.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := x.Query(q, core.Options{}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := x.Query(q, core.Options{}); err != nil {
+		log.Fatal(err)
+	}
+	st := x.Stats()
+	fmt.Printf("serving cache: %d hit(s), %d miss(es) for the repeated query\n", st.Hits, st.Misses)
+	x.Invalidate(seeker)
+	fmt.Println("network changed again → seeker's horizon invalidated; next query re-expands")
+
+	_ = tagstore.TagID(0)
+}

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// quickConfig is a tiny configuration so every experiment runs in a few
+// hundred milliseconds under `go test`.
+func quickConfig() Config {
+	return Config{Scale: 0.05, Seed: 7, Queries: 4}
+}
+
+func TestRegistryIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment: %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	for _, want := range []string{"table1", "table2", "table3", "fig4", "fig5", "fig6",
+		"fig7", "fig8", "fig9", "fig10", "fig11"} {
+		if !seen[want] {
+			t.Fatalf("missing experiment %q", want)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig4"); !ok {
+		t.Fatal("fig4 not found")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("unknown id found")
+	}
+}
+
+// TestAllExperimentsRun executes every registered experiment at smoke
+// scale and sanity-checks the emitted tables.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(quickConfig(), &buf); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "==") {
+				t.Fatalf("%s: no table header in output:\n%s", e.ID, out)
+			}
+			if len(strings.Split(strings.TrimSpace(out), "\n")) < 3 {
+				t.Fatalf("%s: table has no data rows:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestConfigNormalized(t *testing.T) {
+	c := Config{}.normalized()
+	if c.Scale != 1 || c.Queries != 40 {
+		t.Fatalf("normalized zero config = %+v", c)
+	}
+	c = Config{Scale: 2, Queries: 3}.normalized()
+	if c.Scale != 2 || c.Queries != 3 {
+		t.Fatalf("normalization clobbered values: %+v", c)
+	}
+}
+
+func TestMeasurementHelpersEmpty(t *testing.T) {
+	if meanLatencyMS(nil) != 0 || meanSettled(nil) != 0 {
+		t.Fatal("empty means should be zero")
+	}
+	s, r, u := meanAccess(nil)
+	if s != 0 || r != 0 || u != 0 {
+		t.Fatal("empty access means should be zero")
+	}
+	if p, n := quality(nil, nil); p != 0 || n != 0 {
+		t.Fatalf("empty quality = %g,%g", p, n)
+	}
+	if certifiedRatio(nil) != 0 {
+		t.Fatal("empty certified ratio should be zero")
+	}
+}
+
+func TestSortedCopy(t *testing.T) {
+	in := sortedCopy(nil)
+	if len(in) != 0 {
+		t.Fatal("sortedCopy(nil) not empty")
+	}
+}

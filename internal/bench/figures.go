@@ -1,0 +1,375 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/proximity"
+)
+
+// primaryDataset returns the delicious-like corpus, the headline
+// workload of the evaluation.
+func primaryDataset(cfg Config) (*gen.Dataset, error) {
+	return gen.Generate(gen.DeliciousParams().Scale(cfg.Scale), cfg.Seed)
+}
+
+// runFig4 sweeps k and reports mean latency of SocialMerge against both
+// baselines. Expected shape: SocialMerge ≪ ExactSocial at small k, gap
+// narrowing as k grows; GlobalTopK cheapest but unpersonalized.
+func runFig4(cfg Config, w io.Writer) error {
+	cfg = cfg.normalized()
+	ds, err := primaryDataset(cfg)
+	if err != nil {
+		return err
+	}
+	e, err := engineFor(ds, evalEngineConfig())
+	if err != nil {
+		return err
+	}
+	qs, err := gen.Workload(ds, workloadFor(cfg), cfg.Seed)
+	if err != nil {
+		return err
+	}
+	t := newTable(w, "Fig 4: mean query latency (ms) vs k — "+ds.Name)
+	t.row("k", "SocialMerge", "ExactSocial", "GlobalTopK")
+	for _, k := range []int{1, 5, 10, 20, 50, 100} {
+		merge, err := runQueries(qs, k, func(q core.Query) (core.Answer, error) {
+			return e.SocialMerge(q, core.Options{})
+		})
+		if err != nil {
+			return err
+		}
+		exact, err := runQueries(qs, k, e.ExactSocial)
+		if err != nil {
+			return err
+		}
+		global, err := runQueries(qs, k, e.GlobalTopK)
+		if err != nil {
+			return err
+		}
+		t.row(k, meanLatencyMS(merge), meanLatencyMS(exact), meanLatencyMS(global))
+	}
+	t.flush()
+	return nil
+}
+
+// runFig5 reports the hardware-independent cost counters for the same
+// sweep: posting-list accesses and users expanded.
+func runFig5(cfg Config, w io.Writer) error {
+	cfg = cfg.normalized()
+	ds, err := primaryDataset(cfg)
+	if err != nil {
+		return err
+	}
+	e, err := engineFor(ds, evalEngineConfig())
+	if err != nil {
+		return err
+	}
+	qs, err := gen.Workload(ds, workloadFor(cfg), cfg.Seed)
+	if err != nil {
+		return err
+	}
+	t := newTable(w, "Fig 5: mean accesses vs k — "+ds.Name)
+	t.row("k", "merge-seq", "merge-rand", "merge-users", "exact-seq", "exact-users")
+	for _, k := range []int{1, 5, 10, 20, 50, 100} {
+		merge, err := runQueries(qs, k, func(q core.Query) (core.Answer, error) {
+			return e.SocialMerge(q, core.Options{})
+		})
+		if err != nil {
+			return err
+		}
+		exact, err := runQueries(qs, k, e.ExactSocial)
+		if err != nil {
+			return err
+		}
+		ms, mr, mu := meanAccess(merge)
+		es, _, eu := meanAccess(exact)
+		t.row(k, ms, mr, mu, es, eu)
+	}
+	t.flush()
+	return nil
+}
+
+// runFig6 sweeps the hop-damping factor α. Lower α shrinks effective
+// neighbourhoods, so SocialMerge terminates earlier.
+func runFig6(cfg Config, w io.Writer) error {
+	cfg = cfg.normalized()
+	ds, err := primaryDataset(cfg)
+	if err != nil {
+		return err
+	}
+	qs, err := gen.Workload(ds, workloadFor(cfg), cfg.Seed)
+	if err != nil {
+		return err
+	}
+	t := newTable(w, "Fig 6: SocialMerge vs alpha — "+ds.Name)
+	t.row("alpha", "latency-ms", "users-settled", "exact-latency-ms")
+	for _, alpha := range []float64{0.5, 0.6, 0.7, 0.8, 0.9, 1.0} {
+		ecfg := evalEngineConfig()
+		ecfg.Proximity.Alpha = alpha // keep the σ-floor of the eval model
+		e, err := engineFor(ds, ecfg)
+		if err != nil {
+			return err
+		}
+		merge, err := runQueries(qs, 10, func(q core.Query) (core.Answer, error) {
+			return e.SocialMerge(q, core.Options{})
+		})
+		if err != nil {
+			return err
+		}
+		exact, err := runQueries(qs, 10, e.ExactSocial)
+		if err != nil {
+			return err
+		}
+		t.row(alpha, meanLatencyMS(merge), meanSettled(merge), meanLatencyMS(exact))
+	}
+	t.flush()
+	return nil
+}
+
+// runFig7 varies the seeker's connectivity (degree percentile).
+func runFig7(cfg Config, w io.Writer) error {
+	cfg = cfg.normalized()
+	ds, err := primaryDataset(cfg)
+	if err != nil {
+		return err
+	}
+	e, err := engineFor(ds, evalEngineConfig())
+	if err != nil {
+		return err
+	}
+	t := newTable(w, "Fig 7: SocialMerge vs seeker degree percentile — "+ds.Name)
+	t.row("degree-pct", "seeker-degree", "latency-ms", "users-settled")
+	for _, pct := range []int{10, 50, 90, 99} {
+		wp := workloadFor(cfg)
+		wp.SeekerPercentile = pct
+		qs, err := gen.Workload(ds, wp, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		merge, err := runQueries(qs, 10, func(q core.Query) (core.Answer, error) {
+			return e.SocialMerge(q, core.Options{})
+		})
+		if err != nil {
+			return err
+		}
+		deg := ds.Graph.Degree(ds.Graph.DegreePercentileUser(pct))
+		t.row(pct, deg, meanLatencyMS(merge), meanSettled(merge))
+	}
+	t.flush()
+	return nil
+}
+
+// runFig8 sweeps the approximation knobs and reports quality vs the
+// exact answer alongside the latency savings.
+func runFig8(cfg Config, w io.Writer) error {
+	cfg = cfg.normalized()
+	ds, err := primaryDataset(cfg)
+	if err != nil {
+		return err
+	}
+	e, err := engineFor(ds, evalEngineConfig())
+	if err != nil {
+		return err
+	}
+	qs, err := gen.Workload(ds, workloadFor(cfg), cfg.Seed)
+	if err != nil {
+		return err
+	}
+	exact, err := runQueries(qs, 10, func(q core.Query) (core.Answer, error) {
+		return e.SocialMerge(q, core.Options{})
+	})
+	if err != nil {
+		return err
+	}
+	t := newTable(w, "Fig 8: approximation quality — "+ds.Name)
+	t.row("variant", "latency-ms", "users-settled", "precision@10", "ndcg@10")
+	t.row("exact", meanLatencyMS(exact), meanSettled(exact), 1.0, 1.0)
+	// θ below the model's σ-floor (0.1) is a no-op; sweep above it.
+	for _, theta := range []float64{0.12, 0.15, 0.2, 0.35} {
+		approx, err := runQueries(qs, 10, func(q core.Query) (core.Answer, error) {
+			return e.SocialMerge(q, core.Options{Theta: theta})
+		})
+		if err != nil {
+			return err
+		}
+		prec, ndcg := quality(approx, exact)
+		t.row(sprintf("theta=%g", theta), meanLatencyMS(approx), meanSettled(approx), prec, ndcg)
+	}
+	for _, hops := range []int{1, 2, 3, 4} {
+		approx, err := runQueries(qs, 10, func(q core.Query) (core.Answer, error) {
+			return e.SocialMerge(q, core.Options{MaxHops: hops})
+		})
+		if err != nil {
+			return err
+		}
+		prec, ndcg := quality(approx, exact)
+		t.row(sprintf("hops=%d", hops), meanLatencyMS(approx), meanSettled(approx), prec, ndcg)
+	}
+	t.flush()
+	return nil
+}
+
+// runFig9 scales the network size and compares latency growth.
+func runFig9(cfg Config, w io.Writer) error {
+	cfg = cfg.normalized()
+	t := newTable(w, "Fig 9: scalability — latency (ms) vs network size (delicious-like)")
+	t.row("users", "SocialMerge", "ExactSocial", "merge-users-settled")
+	for _, scale := range []float64{0.5, 1, 2, 4} {
+		p := gen.DeliciousParams().Scale(cfg.Scale * scale)
+		ds, err := gen.Generate(p, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		e, err := engineFor(ds, evalEngineConfig())
+		if err != nil {
+			return err
+		}
+		wp := workloadFor(cfg)
+		wp.NumQueries = cfg.Queries / 2 // keep large scales affordable
+		if wp.NumQueries < 5 {
+			wp.NumQueries = 5
+		}
+		qs, err := gen.Workload(ds, wp, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		merge, err := runQueries(qs, 10, func(q core.Query) (core.Answer, error) {
+			return e.SocialMerge(q, core.Options{})
+		})
+		if err != nil {
+			return err
+		}
+		exact, err := runQueries(qs, 10, e.ExactSocial)
+		if err != nil {
+			return err
+		}
+		t.row(ds.Graph.NumUsers(), meanLatencyMS(merge), meanLatencyMS(exact), meanSettled(merge))
+	}
+	t.flush()
+	return nil
+}
+
+// runFig10 is the ablation: the plain algorithm against landmark
+// pruning and materialized neighbourhoods of two sizes.
+func runFig10(cfg Config, w io.Writer) error {
+	cfg = cfg.normalized()
+	ds, err := primaryDataset(cfg)
+	if err != nil {
+		return err
+	}
+	e, err := engineFor(ds, evalEngineConfig())
+	if err != nil {
+		return err
+	}
+	lm, err := proximity.BuildLandmarks(ds.Graph, 16, e.ProximityParams())
+	if err != nil {
+		return err
+	}
+	e.AttachLandmarks(lm)
+	qs, err := gen.Workload(ds, workloadFor(cfg), cfg.Seed)
+	if err != nil {
+		return err
+	}
+	exact, err := runQueries(qs, 10, func(q core.Query) (core.Answer, error) {
+		return e.SocialMerge(q, core.Options{})
+	})
+	if err != nil {
+		return err
+	}
+	t := newTable(w, "Fig 10: ablation — "+ds.Name)
+	t.row("variant", "latency-ms", "users-settled", "precision@10", "certified")
+	t.row("plain", meanLatencyMS(exact), meanSettled(exact), 1.0, certifiedRatio(exact))
+	lmRuns, err := runQueries(qs, 10, func(q core.Query) (core.Answer, error) {
+		return e.SocialMerge(q, core.Options{LandmarkPrune: true})
+	})
+	if err != nil {
+		return err
+	}
+	prec, _ := quality(lmRuns, exact)
+	t.row("landmark-prune(16)", meanLatencyMS(lmRuns), meanSettled(lmRuns), prec, certifiedRatio(lmRuns))
+	for _, l := range []int{64, 256} {
+		nbr, err := core.BuildNeighborhoods(ds.Graph, l, e.ProximityParams())
+		if err != nil {
+			return err
+		}
+		e.AttachNeighborhoods(nbr)
+		runs, err := runQueries(qs, 10, func(q core.Query) (core.Answer, error) {
+			return e.SocialMerge(q, core.Options{UseNeighborhoods: true})
+		})
+		if err != nil {
+			return err
+		}
+		prec, _ := quality(runs, exact)
+		t.row(sprintf("neighborhoods(L=%d)", l), meanLatencyMS(runs), meanSettled(runs), prec, certifiedRatio(runs))
+	}
+	t.flush()
+	return nil
+}
+
+// runFig11 sweeps β and shows how the answer drifts between the global
+// ranking (β=0) and the fully personalized one (β=1).
+func runFig11(cfg Config, w io.Writer) error {
+	cfg = cfg.normalized()
+	ds, err := primaryDataset(cfg)
+	if err != nil {
+		return err
+	}
+	qs, err := gen.Workload(ds, workloadFor(cfg), cfg.Seed)
+	if err != nil {
+		return err
+	}
+	// reference answers at the extremes
+	eSocial, err := engineFor(ds, evalEngineConfig())
+	if err != nil {
+		return err
+	}
+	social, err := runQueries(qs, 10, eSocial.ExactSocial)
+	if err != nil {
+		return err
+	}
+	global, err := runQueries(qs, 10, eSocial.GlobalTopK)
+	if err != nil {
+		return err
+	}
+	t := newTable(w, "Fig 11: blend beta vs result composition — "+ds.Name)
+	t.row("beta", "latency-ms", "overlap-vs-social", "overlap-vs-global")
+	for _, beta := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		ecfg := evalEngineConfig()
+		ecfg.Beta = beta
+		e, err := engineFor(ds, ecfg)
+		if err != nil {
+			return err
+		}
+		runs, err := runQueries(qs, 10, func(q core.Query) (core.Answer, error) {
+			return e.SocialMerge(q, core.Options{})
+		})
+		if err != nil {
+			return err
+		}
+		ps, _ := quality(runs, social)
+		pg, _ := quality(runs, global)
+		t.row(beta, meanLatencyMS(runs), ps, pg)
+	}
+	t.flush()
+	return nil
+}
+
+func certifiedRatio(ms []measured) float64 {
+	if len(ms) == 0 {
+		return 0
+	}
+	n := 0
+	for _, m := range ms {
+		if m.exact {
+			n++
+		}
+	}
+	return float64(n) / float64(len(ms))
+}
+
+func sprintf(format string, args ...interface{}) string {
+	return fmt.Sprintf(format, args...)
+}

@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/monitor"
+	"repro/internal/overlay"
+	"repro/internal/tagstore"
+)
+
+// runExt8 measures continuous-query maintenance: N standing queries,
+// batches of mutations, comparing the monitor's damage-filtered
+// re-evaluation against the naive re-evaluate-everything strategy.
+// Expected shape: with tag-scoped mutations the monitor re-runs only
+// the subscriptions whose tags were touched (a small fraction);
+// friendship mutations conservatively invalidate everything, so
+// batches containing them approach the naive cost.
+func runExt8(cfg Config, w io.Writer) error {
+	cfg = cfg.normalized()
+	ds, err := primaryDataset(cfg)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	build := func() (*monitor.Monitor, error) {
+		o, err := overlay.New(ds.Graph, ds.Store)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := overlay.NewEngine(o, evalEngineConfig(), 0)
+		if err != nil {
+			return nil, err
+		}
+		return monitor.New(eng)
+	}
+
+	subs := 50
+	if s := int(float64(50) * cfg.Scale); s < subs {
+		subs = s
+	}
+	if subs < 5 {
+		subs = 5
+	}
+	numTags := ds.Store.NumTags()
+	subscribe := func(m *monitor.Monitor) error {
+		srng := rand.New(rand.NewSource(cfg.Seed + 1))
+		for i := 0; i < subs; i++ {
+			q := core.Query{
+				Seeker: graph.UserID(srng.Intn(ds.Graph.NumUsers())),
+				Tags:   []tagstore.TagID{tagstore.TagID(srng.Intn(numTags))},
+				K:      10,
+			}
+			if _, err := m.Subscribe(q, core.Options{}, func(monitor.Update) {}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	type batchKind struct {
+		name       string
+		befriends  int
+		tagActions int
+	}
+	t := newTable(w, "Ext 8: continuous queries — damage-filtered vs naive re-evaluation")
+	t.row("batch-kind", "batches", "monitor-reevals", "naive-reevals", "monitor-ms", "naive-ms")
+	for _, kind := range []batchKind{
+		{"tags-only", 0, 40},
+		{"mixed(1-friend)", 1, 40},
+	} {
+		m, err := build()
+		if err != nil {
+			return err
+		}
+		if err := subscribe(m); err != nil {
+			return err
+		}
+		base := m.Evaluations()
+		const batches = 5
+		start := time.Now()
+		for b := 0; b < batches; b++ {
+			for i := 0; i < kind.befriends; i++ {
+				u := graph.UserID(rng.Intn(ds.Graph.NumUsers()))
+				v := graph.UserID(rng.Intn(ds.Graph.NumUsers()))
+				if u == v {
+					v = (v + 1) % graph.UserID(ds.Graph.NumUsers())
+				}
+				if err := m.Befriend(u, v, 0.5+0.5*rng.Float64()); err != nil {
+					return err
+				}
+			}
+			for i := 0; i < kind.tagActions; i++ {
+				if err := m.Tag(
+					graph.UserID(rng.Intn(ds.Graph.NumUsers())),
+					tagstore.ItemID(rng.Intn(ds.Store.NumItems())),
+					tagstore.TagID(rng.Intn(numTags)),
+				); err != nil {
+					return err
+				}
+			}
+			if _, err := m.Refresh(); err != nil {
+				return err
+			}
+		}
+		monitorMS := float64(time.Since(start).Microseconds()) / 1000
+		monitorEvals := m.Evaluations() - base
+
+		// Naive: same mutations, re-run every subscription per batch.
+		// The evaluation count is subs × batches by construction; time it
+		// with a fresh monitor whose damage filter is bypassed by running
+		// all queries manually.
+		m2, err := build()
+		if err != nil {
+			return err
+		}
+		if err := subscribe(m2); err != nil {
+			return err
+		}
+		nrng := rand.New(rand.NewSource(cfg.Seed + 2))
+		srng := rand.New(rand.NewSource(cfg.Seed + 1))
+		queries := make([]core.Query, subs)
+		for i := range queries {
+			queries[i] = core.Query{
+				Seeker: graph.UserID(srng.Intn(ds.Graph.NumUsers())),
+				Tags:   []tagstore.TagID{tagstore.TagID(srng.Intn(numTags))},
+				K:      10,
+			}
+		}
+		start = time.Now()
+		naiveEvals := int64(0)
+		for b := 0; b < batches; b++ {
+			for i := 0; i < kind.befriends; i++ {
+				u := graph.UserID(nrng.Intn(ds.Graph.NumUsers()))
+				v := graph.UserID(nrng.Intn(ds.Graph.NumUsers()))
+				if u == v {
+					v = (v + 1) % graph.UserID(ds.Graph.NumUsers())
+				}
+				if err := m2.Befriend(u, v, 0.5+0.5*nrng.Float64()); err != nil {
+					return err
+				}
+			}
+			for i := 0; i < kind.tagActions; i++ {
+				if err := m2.Tag(
+					graph.UserID(nrng.Intn(ds.Graph.NumUsers())),
+					tagstore.ItemID(nrng.Intn(ds.Store.NumItems())),
+					tagstore.TagID(nrng.Intn(numTags)),
+				); err != nil {
+					return err
+				}
+			}
+			if _, err := m2.Refresh(); err != nil { // folds mutations in
+				return err
+			}
+			for _, q := range queries { // naive: re-run everything
+				if _, err := m2.Query(q); err != nil {
+					return err
+				}
+				naiveEvals++
+			}
+		}
+		naiveMS := float64(time.Since(start).Microseconds()) / 1000
+		t.row(kind.name, batches, fmt.Sprint(monitorEvals), fmt.Sprint(naiveEvals), monitorMS, naiveMS)
+	}
+	t.flush()
+	return nil
+}

@@ -1,0 +1,395 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/durable"
+	"repro/internal/gen"
+	"repro/internal/index"
+	"repro/internal/pagestore"
+	"repro/internal/planner"
+	"repro/internal/social"
+	"repro/internal/wal"
+)
+
+// runFig12 compares the exact-algorithm portfolio — SocialMerge,
+// ContextMerge, SocialTA — across k, reporting latency and the two
+// access classes. Expected shape: SocialMerge settles the fewest users
+// throughout; SocialTA wins at k = 1 on sorted-round counts but pays
+// ball-sized expansion plus random accesses; ContextMerge's up-front
+// full-ball expansion makes it the most expensive except on very small
+// balls.
+func runFig12(cfg Config, w io.Writer) error {
+	cfg = cfg.normalized()
+	ds, err := primaryDataset(cfg)
+	if err != nil {
+		return err
+	}
+	e, err := engineFor(ds, evalEngineConfig())
+	if err != nil {
+		return err
+	}
+	e.AttachItemIndex(core.BuildItemIndex(ds.Store))
+	qs, err := gen.Workload(ds, workloadFor(cfg), cfg.Seed)
+	if err != nil {
+		return err
+	}
+	t := newTable(w, "Fig 12: exact-algorithm portfolio vs k — "+ds.Name)
+	t.row("k", "algo", "lat-ms", "seq", "rand", "users")
+	for _, k := range []int{1, 5, 10, 20, 50} {
+		for _, alg := range []struct {
+			name string
+			run  func(core.Query) (core.Answer, error)
+		}{
+			{"SocialMerge", func(q core.Query) (core.Answer, error) { return e.SocialMerge(q, core.Options{}) }},
+			{"ContextMerge", func(q core.Query) (core.Answer, error) { return e.ContextMerge(q, core.Options{}) }},
+			{"SocialTA", func(q core.Query) (core.Answer, error) { return e.SocialTA(q, core.Options{}) }},
+		} {
+			ms, err := runQueries(qs, k, alg.run)
+			if err != nil {
+				return fmt.Errorf("fig12 %s k=%d: %w", alg.name, k, err)
+			}
+			seq, rnd, _ := meanAccess(ms)
+			t.row(k, alg.name, meanLatencyMS(ms), seq, rnd, meanSettled(ms))
+		}
+	}
+	t.flush()
+	return nil
+}
+
+// runExt4 measures the durability layer: write-ahead append throughput
+// under both sync policies, checkpoint cost, and recovery time as a
+// function of the log length replayed. Expected shape: SyncManual
+// appends are orders of magnitude faster than SyncAlways (one fsync
+// per record); recovery time grows linearly in the replayed suffix and
+// collapses after a checkpoint.
+func runExt4(cfg Config, w io.Writer) error {
+	cfg = cfg.normalized()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nUsers := int(200 * cfg.Scale)
+	if nUsers < 20 {
+		nUsers = 20
+	}
+	mutations := nUsers * 10
+
+	user := func(i int) string { return fmt.Sprintf("u%03d", i) }
+	randomMutation := func(s *durable.Service) error {
+		if rng.Intn(4) == 0 {
+			a, b := rng.Intn(nUsers), rng.Intn(nUsers)
+			if a == b {
+				b = (b + 1) % nUsers
+			}
+			return s.Befriend(user(a), user(b), 0.1+0.9*rng.Float64())
+		}
+		return s.Tag(user(rng.Intn(nUsers)),
+			fmt.Sprintf("i%04d", rng.Intn(nUsers*4)),
+			fmt.Sprintf("t%02d", rng.Intn(40)))
+	}
+
+	t := newTable(w, "Ext 4: durability — WAL throughput, checkpoint, recovery")
+	t.row("phase", "records", "ms", "us/record")
+
+	for _, pol := range []struct {
+		name string
+		sync wal.SyncPolicy
+	}{{"append-syncalways", wal.SyncAlways}, {"append-syncmanual", wal.SyncManual}} {
+		dcfg := durable.DefaultConfig()
+		dcfg.Sync = pol.sync
+		dcfg.CheckpointEvery = 0
+		appendDir, err := os.MkdirTemp("", "ext4-"+pol.name)
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(appendDir)
+		svc, err := durable.Open(appendDir, dcfg)
+		if err != nil {
+			return err
+		}
+		n := mutations / 4
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if err := randomMutation(svc); err != nil {
+				return err
+			}
+		}
+		if err := svc.Sync(); err != nil {
+			return err
+		}
+		el := time.Since(start)
+		t.row(pol.name, n, float64(el.Microseconds())/1000, float64(el.Microseconds())/float64(n))
+		svc.Close()
+	}
+
+	// Recovery cost vs replayed length, before and after checkpointing.
+	dir, err := os.MkdirTemp("", "ext4-recovery")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	dcfg := durable.DefaultConfig()
+	dcfg.Sync = wal.SyncManual
+	dcfg.CheckpointEvery = 0
+	svc, err := durable.Open(dir, dcfg)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < mutations; i++ {
+		if err := randomMutation(svc); err != nil {
+			return err
+		}
+	}
+	svc.Close()
+
+	start := time.Now()
+	svc, err = durable.Open(dir, dcfg)
+	if err != nil {
+		return err
+	}
+	el := time.Since(start)
+	rec := svc.Stats().RecoveredRecords
+	t.row("recover-full-log", rec, float64(el.Microseconds())/1000, float64(el.Microseconds())/float64(max64(1, int64(rec))))
+
+	ckStart := time.Now()
+	if err := svc.Checkpoint(); err != nil {
+		return err
+	}
+	t.row("checkpoint", mutations, float64(time.Since(ckStart).Microseconds())/1000, 0.0)
+	svc.Close()
+
+	start = time.Now()
+	svc, err = durable.Open(dir, dcfg)
+	if err != nil {
+		return err
+	}
+	el = time.Since(start)
+	rec = svc.Stats().RecoveredRecords
+	t.row("recover-after-ckpt", rec, float64(el.Microseconds())/1000, 0.0)
+	svc.Close()
+	t.flush()
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// runExt5 measures the buffer pool: index load IO behaviour and hit
+// ratio under a Zipf-skewed random-page workload as pool capacity
+// varies. Expected shape: sequential load misses exactly once per page
+// at any capacity; the skewed workload's hit ratio climbs steeply with
+// capacity and saturates once the hot set is resident.
+func runExt5(cfg Config, w io.Writer) error {
+	cfg = cfg.normalized()
+	ds, err := primaryDataset(cfg)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "ext5")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "data.frnd")
+	if err := index.WriteFile(path, ds.Graph, ds.Store); err != nil {
+		return err
+	}
+
+	t := newTable(w, "Ext 5: buffer pool — paged index load and Zipf page access")
+	t.row("capacity", "load-ms", "load-miss", "zipf-hit-ratio", "zipf-evictions")
+	for _, capacity := range []int{2, 8, 32, 128, 512} {
+		opts := pagestore.Options{PageSize: 4096, Capacity: capacity}
+		start := time.Now()
+		_, _, loadStats, err := index.ReadPagedFile(path, opts)
+		if err != nil {
+			return err
+		}
+		loadMS := float64(time.Since(start).Microseconds()) / 1000
+
+		pool, closer, err := pagestore.FilePool(path, opts)
+		if err != nil {
+			return err
+		}
+		numPages := pool.NumPages()
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		zipf := rand.NewZipf(rng, 1.2, 1, uint64(max64(1, numPages-1)))
+		buf := make([]byte, 64)
+		for i := 0; i < 20000; i++ {
+			page := int64(zipf.Uint64())
+			if _, err := pool.ReadAt(buf, page*4096); err != nil && page < numPages-1 {
+				closer.Close()
+				return err
+			}
+		}
+		st := pool.Stats()
+		closer.Close()
+		t.row(capacity, loadMS, loadStats.Misses, st.HitRatio(), st.Evictions)
+	}
+	t.flush()
+	return nil
+}
+
+// runExt6 measures the cost-based planner: total access cost of
+// always-one-algorithm strategies vs the calibrated planner vs the
+// per-query oracle. Expected shape: no single algorithm matches the
+// oracle everywhere; the calibrated planner lands within a few percent
+// of it.
+func runExt6(cfg Config, w io.Writer) error {
+	cfg = cfg.normalized()
+	ds, err := primaryDataset(cfg)
+	if err != nil {
+		return err
+	}
+	e, err := engineFor(ds, evalEngineConfig())
+	if err != nil {
+		return err
+	}
+	e.AttachItemIndex(core.BuildItemIndex(ds.Store))
+	p, err := planner.New(e)
+	if err != nil {
+		return err
+	}
+
+	calibWP := workloadFor(cfg)
+	if calibWP.NumQueries < 12 { // the fit needs more rows than features
+		calibWP.NumQueries = 12
+	}
+	calibQs, err := gen.Workload(ds, calibWP, cfg.Seed+1000)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	toCore := func(qs []gen.QuerySpec) []core.Query {
+		out := make([]core.Query, len(qs))
+		for i, s := range qs {
+			out[i] = core.Query{Seeker: s.Seeker, Tags: s.Tags, K: 1 + rng.Intn(30)}
+		}
+		return out
+	}
+	if err := p.Calibrate(toCore(calibQs)); err != nil {
+		return err
+	}
+
+	heldQs, err := gen.Workload(ds, workloadFor(cfg), cfg.Seed+2000)
+	if err != nil {
+		return err
+	}
+	held := toCore(heldQs)
+
+	algs := []planner.Algorithm{planner.SocialMerge, planner.ContextMerge, planner.SocialTA}
+	totals := map[string]float64{}
+	picks := map[planner.Algorithm]int{}
+	var oracle, planned float64
+	for _, q := range held {
+		best := -1.0
+		costs := map[planner.Algorithm]float64{}
+		for _, alg := range algs {
+			var ans core.Answer
+			var err error
+			switch alg {
+			case planner.SocialMerge:
+				ans, err = e.SocialMerge(q, core.Options{})
+			case planner.ContextMerge:
+				ans, err = e.ContextMerge(q, core.Options{})
+			case planner.SocialTA:
+				ans, err = e.SocialTA(q, core.Options{})
+			}
+			if err != nil {
+				return err
+			}
+			c := float64(ans.Access.Total() + ans.Access.UsersExpanded)
+			costs[alg] = c
+			totals["always-"+alg.String()] += c
+			if best < 0 || c < best {
+				best = c
+			}
+		}
+		oracle += best
+		pick := p.Plan(q).Alg
+		picks[pick]++
+		planned += costs[pick]
+	}
+	t := newTable(w, "Ext 6: planner vs oracle — total accesses over held-out workload")
+	t.row("strategy", "total-accesses", "vs-oracle")
+	t.row("oracle", oracle, 1.0)
+	t.row("planner(calibrated)", planned, planned/oracle)
+	for _, alg := range algs {
+		key := "always-" + alg.String()
+		t.row(key, totals[key], totals[key]/oracle)
+	}
+	t.flush()
+	fmt.Fprintf(w, "planner picks: SocialMerge=%d ContextMerge=%d SocialTA=%d (of %d)\n",
+		picks[planner.SocialMerge], picks[planner.ContextMerge], picks[planner.SocialTA], len(held))
+	return nil
+}
+
+// runExt7 measures end-to-end HTTP serving: requests per second and
+// mean latency for a mixed workload against the in-process handler
+// (no network stack), as a function of read share. It quantifies the
+// facade + overlay + engine cost a deployment pays per request.
+func runExt7(cfg Config, w io.Writer) error {
+	cfg = cfg.normalized()
+	t := newTable(w, "Ext 7: serving layer — in-process request cost")
+	t.row("mix", "requests", "ms-total", "us/request")
+	for _, mix := range []struct {
+		name      string
+		readShare int // out of 100
+	}{{"write-heavy(10%reads)", 10}, {"balanced(50%reads)", 50}, {"read-heavy(90%reads)", 90}} {
+		scfg := social.DefaultServiceConfig()
+		scfg.AutoCompactEvery = 64
+		svc, err := social.NewService(scfg)
+		if err != nil {
+			return err
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		// Seed a small community so searches have work to do; the first
+		// loop guarantees every queried user and tag exists.
+		for i := 0; i < 40; i++ {
+			if err := svc.Tag(fmt.Sprintf("u%d", i), fmt.Sprintf("i%d", i), fmt.Sprintf("t%d", i%10)); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < 50; i++ {
+			a, b := rng.Intn(40), rng.Intn(40)
+			if a == b {
+				continue
+			}
+			if err := svc.Befriend(fmt.Sprintf("u%d", a), fmt.Sprintf("u%d", b), 0.5+0.5*rng.Float64()); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < 300; i++ {
+			if err := svc.Tag(fmt.Sprintf("u%d", rng.Intn(40)), fmt.Sprintf("i%d", rng.Intn(100)), fmt.Sprintf("t%d", rng.Intn(10))); err != nil {
+				return err
+			}
+		}
+		if err := svc.Flush(); err != nil {
+			return err
+		}
+		const n = 2000
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if rng.Intn(100) < mix.readShare {
+				if _, err := svc.Search(fmt.Sprintf("u%d", rng.Intn(40)), []string{fmt.Sprintf("t%d", rng.Intn(10))}, 10); err != nil {
+					return err
+				}
+			} else {
+				if err := svc.Tag(fmt.Sprintf("u%d", rng.Intn(40)), fmt.Sprintf("i%d", rng.Intn(100)), fmt.Sprintf("t%d", rng.Intn(10))); err != nil {
+					return err
+				}
+			}
+		}
+		el := time.Since(start)
+		t.row(mix.name, n, float64(el.Microseconds())/1000, float64(el.Microseconds())/n)
+	}
+	t.flush()
+	return nil
+}

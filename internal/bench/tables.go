@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/index"
+	"repro/internal/proximity"
+)
+
+// runTable1 prints per-corpus structural statistics: the shape evidence
+// that the synthetic corpora stand in for the paper-era crawls.
+func runTable1(cfg Config, w io.Writer) error {
+	cfg = cfg.normalized()
+	dss, err := datasets(cfg)
+	if err != nil {
+		return err
+	}
+	t := newTable(w, "Table 1: dataset statistics")
+	t.row("dataset", "users", "edges", "avg-deg", "max-deg", "clustering", "items", "tags", "triples", "annotations")
+	for _, ds := range dss {
+		gs := ds.Graph.ComputeStats(128)
+		ss := ds.Store.ComputeStats()
+		t.row(ds.Name, gs.NumUsers, gs.NumEdges, gs.AvgDegree, gs.MaxDegree,
+			gs.ClusteringSample, ss.Items, ss.Tags, ss.Triples, ss.Annotations)
+	}
+	t.flush()
+	return nil
+}
+
+// runTable2 measures index construction cost and footprint: the on-disk
+// dataset file, the landmark sketch and the materialized neighbourhood
+// index.
+func runTable2(cfg Config, w io.Writer) error {
+	cfg = cfg.normalized()
+	dss, err := datasets(cfg)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.MkdirTemp("", "bench-table2-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	t := newTable(w, "Table 2: index build time and size")
+	t.row("dataset", "disk-write-ms", "disk-bytes", "landmark-build-ms", "landmark-bytes",
+		"nbr-build-ms", "nbr-bytes")
+	for i, ds := range dss {
+		path := filepath.Join(tmp, fmt.Sprintf("ds%d.frnd", i))
+		start := time.Now()
+		if err := index.WriteFile(path, ds.Graph, ds.Store); err != nil {
+			return err
+		}
+		writeMS := float64(time.Since(start).Microseconds()) / 1000
+		info, err := os.Stat(path)
+		if err != nil {
+			return err
+		}
+
+		start = time.Now()
+		lm, err := proximity.BuildLandmarks(ds.Graph, 16, proximity.DefaultParams())
+		if err != nil {
+			return err
+		}
+		lmMS := float64(time.Since(start).Microseconds()) / 1000
+
+		start = time.Now()
+		nbr, err := core.BuildNeighborhoods(ds.Graph, 64, proximity.DefaultParams())
+		if err != nil {
+			return err
+		}
+		nbrMS := float64(time.Since(start).Microseconds()) / 1000
+
+		t.row(ds.Name, writeMS, info.Size(), lmMS, lm.MemoryBytes(), nbrMS, nbr.MemoryBytes())
+	}
+	t.flush()
+	return nil
+}
+
+// runTable3 verifies, corpus by corpus, that SocialMerge's certified
+// answers coincide with ExactSocial's on a measured workload — the
+// soundness check the test suite also enforces.
+func runTable3(cfg Config, w io.Writer) error {
+	cfg = cfg.normalized()
+	dss, err := datasets(cfg)
+	if err != nil {
+		return err
+	}
+	t := newTable(w, "Table 3: SocialMerge exactness vs ExactSocial")
+	t.row("dataset", "queries", "certified", "set-precision", "ndcg")
+	for _, ds := range dss {
+		e, err := engineFor(ds, evalEngineConfig())
+		if err != nil {
+			return err
+		}
+		qs, err := gen.Workload(ds, workloadFor(cfg), cfg.Seed)
+		if err != nil {
+			return err
+		}
+		merge, err := runQueries(qs, 10, func(q core.Query) (core.Answer, error) {
+			return e.SocialMerge(q, core.Options{})
+		})
+		if err != nil {
+			return err
+		}
+		exact, err := runQueries(qs, 10, e.ExactSocial)
+		if err != nil {
+			return err
+		}
+		certified := 0
+		for _, m := range merge {
+			if m.exact {
+				certified++
+			}
+		}
+		prec, ndcg := quality(merge, exact)
+		t.row(ds.Name, len(qs), fmt.Sprintf("%d/%d", certified, len(qs)), prec, ndcg)
+	}
+	t.flush()
+	return nil
+}
+
+func workloadFor(cfg Config) gen.WorkloadParams {
+	wp := gen.DefaultWorkloadParams()
+	wp.NumQueries = cfg.Queries
+	return wp
+}

@@ -1,0 +1,44 @@
+// Package cliutil holds the small parsing and formatting helpers shared
+// by the command-line tools, kept out of the mains so they are testable.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/tagstore"
+	"repro/internal/topk"
+)
+
+// ParseTags parses a comma-separated list of tag ids ("3,9, 12").
+func ParseTags(s string) ([]tagstore.TagID, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("cliutil: empty tag list")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]tagstore.TagID, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("cliutil: bad tag %q: %v", p, err)
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("cliutil: negative tag %d", n)
+		}
+		out = append(out, tagstore.TagID(n))
+	}
+	return out, nil
+}
+
+// FormatResults renders a result list as numbered lines.
+func FormatResults(rs []topk.Result) string {
+	if len(rs) == 0 {
+		return "(no matching items)\n"
+	}
+	var b strings.Builder
+	for i, r := range rs {
+		fmt.Fprintf(&b, "%2d. item %-8d score %.4f\n", i+1, r.Item, r.Score)
+	}
+	return b.String()
+}

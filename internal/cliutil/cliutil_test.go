@@ -1,0 +1,46 @@
+package cliutil
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/tagstore"
+	"repro/internal/topk"
+)
+
+func TestParseTags(t *testing.T) {
+	got, err := ParseTags("3,9, 12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []tagstore.TagID{3, 9, 12}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ParseTags = %v, want %v", got, want)
+	}
+	single, err := ParseTags("0")
+	if err != nil || len(single) != 1 || single[0] != 0 {
+		t.Fatalf("ParseTags single = %v, %v", single, err)
+	}
+}
+
+func TestParseTagsErrors(t *testing.T) {
+	for _, s := range []string{"", "  ", "a,b", "3,", "3,-1", "3.5"} {
+		if _, err := ParseTags(s); err == nil {
+			t.Errorf("ParseTags(%q) accepted", s)
+		}
+	}
+}
+
+func TestFormatResults(t *testing.T) {
+	out := FormatResults([]topk.Result{{Item: 7, Score: 1.5}, {Item: 2, Score: 0.25}})
+	if !strings.Contains(out, "1. item 7") || !strings.Contains(out, "1.5000") {
+		t.Fatalf("unexpected formatting:\n%s", out)
+	}
+	if !strings.Contains(out, "2. item 2") {
+		t.Fatalf("second row missing:\n%s", out)
+	}
+	if got := FormatResults(nil); !strings.Contains(got, "no matching items") {
+		t.Fatalf("empty formatting = %q", got)
+	}
+}

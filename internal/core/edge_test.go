@@ -1,0 +1,256 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/proximity"
+	"repro/internal/tagstore"
+	"repro/internal/topk"
+)
+
+// TestGlobalDiscoveryWithBlend: an item tagged only by a socially
+// unreachable user must still surface when β < 1 — it can only be
+// discovered through the global posting lists, exercising the cursor
+// path end to end.
+func TestGlobalDiscoveryWithBlend(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Beta = 0.5
+	e := tinyEngine(t, cfg)
+	// Item 3 is tagged (count 5, tag 0) only by isolated user 3.
+	// For seeker 0: social part 0, global part 0.5·5 = 2.5 — the top item.
+	ans, err := e.SocialMerge(Query{Seeker: 0, Tags: []tagstore.TagID{0}, K: 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Exact {
+		t.Fatal("not certified")
+	}
+	if len(ans.Results) != 1 || ans.Results[0].Item != 3 {
+		t.Fatalf("blend top-1 = %v, want globally hot item 3", ans.Results)
+	}
+	if math.Abs(ans.Results[0].Score-2.5) > 1e-12 {
+		t.Fatalf("score = %g, want 2.5", ans.Results[0].Score)
+	}
+}
+
+// TestGlobalTopKDuplicateTags: duplicate tags must not double-count.
+func TestGlobalTopKDuplicateTags(t *testing.T) {
+	e := tinyEngine(t, DefaultConfig())
+	a, err := e.GlobalTopK(Query{Seeker: 0, Tags: []tagstore.TagID{0}, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.GlobalTopK(Query{Seeker: 0, Tags: []tagstore.TagID{0, 0, 0}, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Results) != len(b.Results) {
+		t.Fatalf("duplicate tags changed result count")
+	}
+	for i := range a.Results {
+		if a.Results[i] != b.Results[i] {
+			t.Fatalf("duplicate tags changed results: %v vs %v", a.Results, b.Results)
+		}
+	}
+}
+
+// TestKExceedsMatchingItems: all algorithms return only items with
+// positive scores, even for huge k.
+func TestKExceedsMatchingItems(t *testing.T) {
+	e := tinyEngine(t, DefaultConfig())
+	q := Query{Seeker: 0, Tags: []tagstore.TagID{1}, K: 1000}
+	// tag 1 was used only by u2 on item 2.
+	merge, err := e.SocialMerge(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merge.Results) != 1 || merge.Results[0].Item != 2 {
+		t.Fatalf("merge results = %v", merge.Results)
+	}
+	exact, err := e.ExactSocial(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exact.Results) != 1 {
+		t.Fatalf("exact results = %v", exact.Results)
+	}
+	global, err := e.GlobalTopK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(global.Results) != 1 {
+		t.Fatalf("global results = %v", global.Results)
+	}
+}
+
+// TestMinSigmaFloorConsistency: ExactSocial and SocialMerge agree under
+// a σ-floor — the floor is part of the model, not an approximation.
+func TestMinSigmaFloorConsistency(t *testing.T) {
+	cfg := Config{
+		Proximity: proximity.Params{Alpha: 1, SelfWeight: 1, MinSigma: 0.3},
+		Beta:      1,
+	}
+	e := tinyEngine(t, cfg)
+	// σ(0,1) = 0.5 ≥ 0.3; σ(0,2) = 0.25 < 0.3 → u2 outside the model.
+	q := Query{Seeker: 0, Tags: []tagstore.TagID{0}, K: 10}
+	merge, err := e.SocialMerge(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !merge.Exact {
+		t.Fatal("floored run not certified")
+	}
+	exact, err := e.ExactSocial(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merge.Results) != len(exact.Results) {
+		t.Fatalf("floored results differ: %v vs %v", merge.Results, exact.Results)
+	}
+	for _, r := range merge.Results {
+		if r.Item == 2 {
+			t.Fatal("item beyond the σ-floor leaked into the answer")
+		}
+	}
+	// u2's item is absent from both
+	for _, r := range exact.Results {
+		if r.Item == 2 {
+			t.Fatal("exact baseline ignored the floor")
+		}
+	}
+}
+
+// TestSelfWeightSeedsExpansion: SelfWeight is σ(s,s), the seed of the
+// expansion, so it scales the seeker's own contribution AND everything
+// downstream proportionally — relative order within the network is
+// preserved, absolute scores shrink.
+func TestSelfWeightSeedsExpansion(t *testing.T) {
+	full := tinyEngine(t, DefaultConfig())
+	cfg := Config{
+		Proximity: proximity.Params{Alpha: 1, SelfWeight: 0.1},
+		Beta:      1,
+	}
+	scaled := tinyEngine(t, cfg)
+	q := Query{Seeker: 0, Tags: []tagstore.TagID{0}, K: 10}
+	a, err := full.ExactSocial(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := scaled.ExactSocial(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Results) != len(b.Results) {
+		t.Fatalf("self weight changed the result set: %v vs %v", a.Results, b.Results)
+	}
+	// every score scales by exactly 0.1
+	bScore := map[int32]float64{}
+	for _, r := range b.Results {
+		bScore[r.Item] = r.Score
+	}
+	for _, r := range a.Results {
+		if math.Abs(bScore[r.Item]-0.1*r.Score) > 1e-12 {
+			t.Fatalf("item %d: scaled %g, want %g", r.Item, bScore[r.Item], 0.1*r.Score)
+		}
+	}
+	// and SocialMerge agrees under the scaled seed
+	m, err := scaled.SocialMerge(q, Options{})
+	if err != nil || !m.Exact {
+		t.Fatalf("scaled merge: %v exact=%v", err, m.Exact)
+	}
+	assertTopKEquivalent(t, scaled, q, m)
+}
+
+// TestAnswerDeterminism: repeated executions produce identical answers.
+func TestAnswerDeterminism(t *testing.T) {
+	e, ds := randomCorpusEngine(t, 99, DefaultConfig())
+	q := Query{Seeker: ds.Graph.DegreePercentileUser(80), Tags: []tagstore.TagID{0, 1}, K: 10}
+	first, err := e.SocialMerge(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		again, err := e.SocialMerge(q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again.Results) != len(first.Results) {
+			t.Fatal("non-deterministic result count")
+		}
+		for j := range again.Results {
+			if again.Results[j] != first.Results[j] {
+				t.Fatalf("non-deterministic results at rank %d", j)
+			}
+		}
+		if again.Access != first.Access {
+			t.Fatalf("non-deterministic access counts: %+v vs %+v", again.Access, first.Access)
+		}
+	}
+}
+
+// TestEngineOnEmptyCorpus: a universe with users but no edges and no
+// triples answers emptily everywhere.
+func TestEngineOnEmptyCorpus(t *testing.T) {
+	g, err := graph.NewBuilder(3).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := tagstore.NewBuilder(3, 2, 1).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(g, s, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Seeker: 1, Tags: []tagstore.TagID{0}, K: 5}
+	for name, algo := range map[string]func(Query) (Answer, error){
+		"merge":  func(q Query) (Answer, error) { return e.SocialMerge(q, Options{}) },
+		"exact":  e.ExactSocial,
+		"global": e.GlobalTopK,
+	} {
+		ans, err := algo(q)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(ans.Results) != 0 {
+			t.Fatalf("%s returned results on empty corpus: %v", name, ans.Results)
+		}
+	}
+}
+
+// TestResultsSortedInvariant: every algorithm returns (score desc,
+// item asc) ordering.
+func TestResultsSortedInvariant(t *testing.T) {
+	e, ds := randomCorpusEngine(t, 7, DefaultConfig())
+	for trial := 0; trial < 5; trial++ {
+		q := Query{
+			Seeker: graph.UserID(trial * 7 % ds.Graph.NumUsers()),
+			Tags:   []tagstore.TagID{0, 1, 2},
+			K:      15,
+		}
+		for name, algo := range map[string]func(Query) (Answer, error){
+			"merge":  func(q Query) (Answer, error) { return e.SocialMerge(q, Options{}) },
+			"exact":  e.ExactSocial,
+			"global": e.GlobalTopK,
+		} {
+			ans, err := algo(q)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			assertSorted(t, name, ans.Results)
+		}
+	}
+}
+
+func assertSorted(t *testing.T, name string, rs []topk.Result) {
+	t.Helper()
+	for i := 1; i < len(rs); i++ {
+		a, b := rs[i-1], rs[i]
+		if a.Score < b.Score || (a.Score == b.Score && a.Item > b.Item) {
+			t.Fatalf("%s: results out of order at %d: %v", name, i, rs)
+		}
+	}
+}

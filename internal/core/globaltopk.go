@@ -1,0 +1,92 @@
+package core
+
+import (
+	"repro/internal/tagstore"
+	"repro/internal/topk"
+)
+
+// GlobalTopK answers the query without any personalization:
+//
+//	gscore(Q, i) = Σ_{t∈Q} gtf(i, t)
+//
+// using Fagin's Threshold Algorithm over the per-tag global posting
+// lists (sorted access in round-robin, random access to complete each
+// newly seen item, termination when the k-th best score reaches the sum
+// of current list frontiers). It is the fast-but-unpersonalized baseline
+// of Figs 4–5 and the quality reference point of Fig 11.
+func (e *Engine) GlobalTopK(q Query) (Answer, error) {
+	if err := e.validateQuery(q); err != nil {
+		return Answer{}, err
+	}
+	tags := dedupTags(q.Tags)
+
+	var acc topk.Access
+	lists := make([][]tagstore.Posting, len(tags))
+	pos := make([]int, len(tags))
+	for i, t := range tags {
+		lists[i] = e.store.GlobalList(t)
+	}
+	h := topk.NewHeap(q.K)
+	seen := make(map[tagstore.ItemID]bool)
+
+	frontierSum := func() (float64, bool) {
+		var sum float64
+		active := false
+		for i := range lists {
+			if pos[i] < len(lists[i]) {
+				sum += float64(lists[i][pos[i]].TF)
+				active = true
+			}
+		}
+		return sum, active
+	}
+
+	for {
+		threshold, active := frontierSum()
+		if !active {
+			break
+		}
+		if h.Full() && h.Threshold() >= threshold {
+			break
+		}
+		// One round of sorted access across all lists.
+		for i := range lists {
+			if pos[i] >= len(lists[i]) {
+				continue
+			}
+			p := lists[i][pos[i]]
+			pos[i]++
+			acc.Sequential++
+			if seen[p.Item] {
+				continue
+			}
+			seen[p.Item] = true
+			// Random-access the remaining dimensions to complete the
+			// item's score (TA completes each item on first sight).
+			score := 0.0
+			for j, t := range tags {
+				if j == i {
+					score += float64(p.TF)
+					continue
+				}
+				score += float64(e.store.GlobalTF(p.Item, t))
+				acc.Random++
+			}
+			h.Offer(p.Item, score)
+		}
+	}
+	return Answer{Results: h.Results(), Exact: true, Access: acc}, nil
+}
+
+// GlobalScoreAll computes the full non-personalized score vector; it is
+// the oracle GlobalTopK is tested against.
+func (e *Engine) GlobalScoreAll(tags []tagstore.TagID) map[tagstore.ItemID]float64 {
+	tags = dedupTags(tags)
+	scores := make(map[tagstore.ItemID]float64)
+	for _, t := range tags {
+		for _, p := range e.store.GlobalList(t) {
+			scores[p.Item] += float64(p.TF)
+		}
+	}
+	return scores
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/proximity"
+)
+
+// SeekerHorizon is the materialized social neighbourhood of one seeker:
+// the proximity-ordered users inside the horizon plus the residual
+// bound beyond the materialized prefix. It is the single-seeker
+// counterpart of NeighborhoodIndex, intended for query-time caching
+// (see internal/exec): one expansion, many queries.
+type SeekerHorizon struct {
+	seeker   graph.UserID
+	list     []proximity.Entry
+	residual float64
+}
+
+// MaterializeHorizon expands the seeker's neighbourhood once and
+// returns it in reusable form. maxUsers bounds the materialized prefix
+// (0 means no bound: materialize the full horizon, which the proximity
+// params' MinSigma floor keeps finite on connected graphs).
+func (e *Engine) MaterializeHorizon(seeker graph.UserID, maxUsers int) (*SeekerHorizon, error) {
+	it, err := proximity.NewIterator(e.g, seeker, e.prox)
+	if err != nil {
+		return nil, err
+	}
+	h := &SeekerHorizon{seeker: seeker}
+	for maxUsers <= 0 || len(h.list) < maxUsers {
+		entry, ok := it.Next()
+		if !ok {
+			break
+		}
+		h.list = append(h.list, entry)
+	}
+	h.residual = it.PeekBound()
+	return h, nil
+}
+
+// Seeker returns the user this horizon was materialized for.
+func (h *SeekerHorizon) Seeker() graph.UserID { return h.seeker }
+
+// Size returns the number of materialized users.
+func (h *SeekerHorizon) Size() int { return len(h.list) }
+
+// Residual returns the proximity bound on users beyond the prefix
+// (0 when the full horizon was materialized).
+func (h *SeekerHorizon) Residual() float64 { return h.residual }
+
+// MemoryBytes estimates the resident size of the horizon.
+func (h *SeekerHorizon) MemoryBytes() int { return 16 + len(h.list)*24 }
+
+// source adapts the horizon to the merge loop's user stream.
+func (h *SeekerHorizon) source() userSource {
+	return &materializedSource{list: h.list, residual: h.residual}
+}
+
+// SocialMergeWithHorizon answers the query using a previously
+// materialized horizon instead of expanding the graph. The horizon must
+// belong to the query's seeker and must have been materialized with the
+// engine's proximity parameters; certification semantics match
+// Options.UseNeighborhoods (a truncated horizon can make the answer
+// approximate).
+func (e *Engine) SocialMergeWithHorizon(q Query, h *SeekerHorizon, opts Options) (Answer, error) {
+	if h == nil {
+		return Answer{}, fmt.Errorf("core: nil horizon")
+	}
+	if h.seeker != q.Seeker {
+		return Answer{}, fmt.Errorf("core: horizon belongs to seeker %d, query is for %d", h.seeker, q.Seeker)
+	}
+	if opts.UseNeighborhoods || opts.LandmarkPrune {
+		return Answer{}, fmt.Errorf("core: horizon execution excludes UseNeighborhoods/LandmarkPrune")
+	}
+	return e.socialMergeFrom(q, h.source(), opts)
+}

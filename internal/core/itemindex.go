@@ -1,0 +1,60 @@
+package core
+
+import (
+	"repro/internal/tagstore"
+)
+
+// TaggerPosting is one entry of an item-pivoted posting list: a user
+// and the frequency with which they applied the list's tag to the
+// list's item.
+type TaggerPosting struct {
+	User int32
+	TF   int32
+}
+
+// ItemIndex pivots the tagging store by item: for every (item, tag)
+// pair it lists the users who applied that tag to that item. This is
+// the random-access structure the SocialTA algorithm probes to
+// complete an item's exact social score the moment the item is first
+// seen on a global list, instead of waiting for its taggers to be
+// reached by the frontier.
+//
+// The index costs O(numTriples) space — the same order as the store
+// itself — and is immutable after construction.
+type ItemIndex struct {
+	byTagItem map[uint64][]TaggerPosting
+	entries   int
+}
+
+// BuildItemIndex constructs the item-pivoted index from a store.
+func BuildItemIndex(store *tagstore.Store) *ItemIndex {
+	trs := store.Triples()
+	idx := &ItemIndex{
+		byTagItem: make(map[uint64][]TaggerPosting),
+		entries:   len(trs),
+	}
+	for _, tr := range trs {
+		key := packTagItem(tr.Tag, tr.Item)
+		idx.byTagItem[key] = append(idx.byTagItem[key], TaggerPosting{User: tr.User, TF: tr.Count})
+	}
+	return idx
+}
+
+// Taggers returns the users who applied tag to item, with frequencies.
+// The returned slice is shared and must not be modified.
+func (x *ItemIndex) Taggers(item tagstore.ItemID, tag tagstore.TagID) []TaggerPosting {
+	return x.byTagItem[packTagItem(tag, item)]
+}
+
+// Entries reports the total number of index entries (== triples).
+func (x *ItemIndex) Entries() int { return x.entries }
+
+func packTagItem(tag tagstore.TagID, item tagstore.ItemID) uint64 {
+	return uint64(uint32(tag))<<32 | uint64(uint32(item))
+}
+
+// AttachItemIndex installs the item-pivoted index used by SocialTA.
+func (e *Engine) AttachItemIndex(idx *ItemIndex) { e.items = idx }
+
+// HasItemIndex reports whether SocialTA can run on this engine.
+func (e *Engine) HasItemIndex() bool { return e.items != nil }

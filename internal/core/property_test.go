@@ -1,0 +1,272 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/proximity"
+	"repro/internal/tagstore"
+)
+
+// randomCorpusEngine builds an engine over a random small corpus.
+func randomCorpusEngine(t testing.TB, seed int64, cfg Config) (*Engine, *gen.Dataset) {
+	t.Helper()
+	p := gen.CorpusParams{
+		Name: "prop",
+		Graph: gen.GraphParams{
+			Kind: gen.BarabasiAlbert, NumUsers: 60, M: 2,
+			MinWeight: 0.2, MaxWeight: 1,
+		},
+		NumItems:       120,
+		NumTags:        20,
+		TriplesPerUser: 15,
+		TagZipfS:       1.2,
+		ItemZipfS:      1.2,
+		Homophily:      0.4,
+	}
+	ds, err := gen.Generate(p, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(ds.Graph, ds.Store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, ds
+}
+
+// TestPropertySocialMergeEqualsExact is the repository's central
+// correctness property: across random corpora, seekers, ks, betas and
+// damping factors, SocialMerge's certified answer is a valid exact top-k
+// set.
+func TestPropertySocialMergeEqualsExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		betas := []float64{1, 0.7, 0.3, 0}
+		alphas := []float64{1, 0.8, 0.5}
+		cfg := Config{
+			Proximity: proximity.Params{Alpha: alphas[rng.Intn(len(alphas))], SelfWeight: 1},
+			Beta:      betas[rng.Intn(len(betas))],
+		}
+		e, ds := randomCorpusEngine(t, seed, cfg)
+		for trial := 0; trial < 4; trial++ {
+			q := Query{
+				Seeker: graph.UserID(rng.Intn(ds.Graph.NumUsers())),
+				Tags:   []tagstore.TagID{tagstore.TagID(rng.Intn(20)), tagstore.TagID(rng.Intn(20))},
+				K:      1 + rng.Intn(12),
+			}
+			ans, err := e.SocialMerge(q, Options{})
+			if err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+			if !ans.Exact {
+				t.Logf("seed %d: exact run not certified", seed)
+				return false
+			}
+			if !topKEquivalent(t, e, q, ans) {
+				t.Logf("seed %d trial %d: mismatch (seeker %d tags %v k %d beta %g alpha %g)",
+					seed, trial, q.Seeker, q.Tags, q.K, cfg.Beta, cfg.Proximity.Alpha)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// topKEquivalent is the non-fatal counterpart of assertTopKEquivalent.
+func topKEquivalent(t testing.TB, e *Engine, q Query, got Answer) bool {
+	t.Helper()
+	full, err := e.ExactSocial(Query{Seeker: q.Seeker, Tags: q.Tags, K: e.Store().NumItems()})
+	if err != nil {
+		return false
+	}
+	exactScore := make(map[int32]float64, len(full.Results))
+	for _, r := range full.Results {
+		exactScore[r.Item] = r.Score
+	}
+	wantLen := q.K
+	if len(full.Results) < wantLen {
+		wantLen = len(full.Results)
+	}
+	if len(got.Results) != wantLen {
+		t.Logf("got %d results, want %d", len(got.Results), wantLen)
+		return false
+	}
+	// The certification is set-level: the multiset of exact scores of the
+	// returned items must equal the exact top-k score multiset. Internal
+	// order follows certified lower bounds and may differ under near-ties,
+	// so compare sorted exact scores, not positions.
+	gotExact := make([]float64, 0, wantLen)
+	for i, r := range got.Results {
+		es, ok := exactScore[r.Item]
+		if !ok {
+			t.Logf("rank %d: item %d not in exact answer", i, r.Item)
+			return false
+		}
+		if r.Score > es+1e-9 {
+			t.Logf("rank %d: reported %g > exact %g", i, r.Score, es)
+			return false
+		}
+		gotExact = append(gotExact, es)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(gotExact)))
+	for i, es := range gotExact {
+		if diff := es - full.Results[i].Score; diff > 1e-9 || diff < -1e-9 {
+			t.Logf("sorted rank %d: exact %g vs expected %g", i, es, full.Results[i].Score)
+			return false
+		}
+	}
+	return true
+}
+
+// TestPropertyNeighborhoodFullHorizonEqualsExact: a materialized index
+// covering the whole network must behave exactly like live expansion.
+func TestPropertyNeighborhoodFullHorizonEqualsExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e, ds := randomCorpusEngine(t, seed, DefaultConfig())
+		idx, err := BuildNeighborhoods(e.Graph(), ds.Graph.NumUsers(), e.ProximityParams())
+		if err != nil {
+			return false
+		}
+		e.AttachNeighborhoods(idx)
+		for trial := 0; trial < 3; trial++ {
+			q := Query{
+				Seeker: graph.UserID(rng.Intn(ds.Graph.NumUsers())),
+				Tags:   []tagstore.TagID{tagstore.TagID(rng.Intn(20))},
+				K:      1 + rng.Intn(8),
+			}
+			ans, err := e.SocialMerge(q, Options{UseNeighborhoods: true})
+			if err != nil || !ans.Exact {
+				return false
+			}
+			if !topKEquivalent(t, e, q, ans) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyApproxScoresAreLowerBounds: every approximate variant
+// reports only items with genuinely positive scores, never overstating
+// them.
+func TestPropertyApproxScoresAreLowerBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e, ds := randomCorpusEngine(t, seed, DefaultConfig())
+		full, err := e.ExactSocial(Query{
+			Seeker: 0, Tags: []tagstore.TagID{0, 1}, K: e.Store().NumItems(),
+		})
+		if err != nil {
+			return false
+		}
+		exactScore := make(map[int32]float64)
+		for _, r := range full.Results {
+			exactScore[r.Item] = r.Score
+		}
+		optsList := []Options{
+			{Theta: 0.05},
+			{MaxHops: 2},
+			{MaxUsers: 5},
+			{Theta: 0.01, MaxUsers: 10},
+		}
+		opts := optsList[rng.Intn(len(optsList))]
+		ans, err := e.SocialMerge(Query{Seeker: 0, Tags: []tagstore.TagID{0, 1}, K: 10}, opts)
+		if err != nil {
+			return false
+		}
+		for _, r := range ans.Results {
+			if r.Score > exactScore[r.Item]+1e-9 {
+				return false
+			}
+			if r.Score <= 0 {
+				return false
+			}
+		}
+		_ = ds
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyGlobalTopKMatchesOracle: TA over global lists equals the
+// brute-force global score ranking.
+func TestPropertyGlobalTopKMatchesOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e, ds := randomCorpusEngine(t, seed, DefaultConfig())
+		for trial := 0; trial < 3; trial++ {
+			tags := []tagstore.TagID{
+				tagstore.TagID(rng.Intn(20)),
+				tagstore.TagID(rng.Intn(20)),
+			}
+			k := 1 + rng.Intn(10)
+			ans, err := e.GlobalTopK(Query{Seeker: 0, Tags: tags, K: k})
+			if err != nil {
+				return false
+			}
+			oracle := e.GlobalScoreAll(tags)
+			// верify: multiset of top-k oracle scores equals answer's.
+			scores := make([]float64, 0, len(oracle))
+			for _, s := range oracle {
+				scores = append(scores, s)
+			}
+			// selection: k best
+			for i := 0; i < len(ans.Results); i++ {
+				best := -1.0
+				bi := -1
+				for j, s := range scores {
+					if s > best {
+						best, bi = s, j
+					}
+				}
+				if bi == -1 {
+					return false
+				}
+				scores[bi] = -1
+				if diff := ans.Results[i].Score - best; diff > 1e-9 || diff < -1e-9 {
+					return false
+				}
+				if oracle[ans.Results[i].Item] != ans.Results[i].Score {
+					return false
+				}
+			}
+			wantLen := k
+			if positives := countPositives(oracle); positives < wantLen {
+				wantLen = positives
+			}
+			if len(ans.Results) != wantLen {
+				return false
+			}
+		}
+		_ = ds
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func countPositives(m map[tagstore.ItemID]float64) int {
+	n := 0
+	for _, s := range m {
+		if s > 0 {
+			n++
+		}
+	}
+	return n
+}

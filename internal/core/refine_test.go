@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/proximity"
+	"repro/internal/tagstore"
+)
+
+// TestRefineScoresMatchExact: with RefineScores the reported scores are
+// the exact (floored-model) scores, not just lower bounds.
+func TestRefineScoresMatchExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := Config{
+			Proximity: proximity.Params{Alpha: 0.7, SelfWeight: 1, MinSigma: 0.05},
+			Beta:      1,
+		}
+		e, ds := randomCorpusEngine(t, seed, cfg)
+		for trial := 0; trial < 3; trial++ {
+			q := Query{
+				Seeker: graph.UserID(rng.Intn(ds.Graph.NumUsers())),
+				Tags:   []tagstore.TagID{tagstore.TagID(rng.Intn(20))},
+				K:      1 + rng.Intn(8),
+			}
+			refined, err := e.SocialMerge(q, Options{RefineScores: true})
+			if err != nil || !refined.Exact {
+				return false
+			}
+			full, err := e.ExactSocial(Query{Seeker: q.Seeker, Tags: q.Tags, K: e.Store().NumItems()})
+			if err != nil {
+				return false
+			}
+			exactScore := map[int32]float64{}
+			for _, r := range full.Results {
+				exactScore[r.Item] = r.Score
+			}
+			for _, r := range refined.Results {
+				if math.Abs(r.Score-exactScore[r.Item]) > 1e-9 {
+					t.Logf("seed %d: item %d refined %g exact %g", seed, r.Item, r.Score, exactScore[r.Item])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRefineScoresStillRespectsCutoffs: refinement is orthogonal to the
+// approximation knobs.
+func TestRefineScoresStillRespectsCutoffs(t *testing.T) {
+	e := tinyEngine(t, DefaultConfig())
+	ans, err := e.SocialMerge(Query{Seeker: 0, Tags: []tagstore.TagID{0}, K: 3},
+		Options{RefineScores: true, MaxUsers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Exact {
+		t.Fatal("cutoff with refinement still certified")
+	}
+	if ans.UsersSettled != 1 {
+		t.Fatalf("settled %d users, want 1", ans.UsersSettled)
+	}
+}
+
+// TestRefineScoresSettlesWholeHorizon: without a floor, refinement
+// consumes the connected component.
+func TestRefineScoresSettlesWholeHorizon(t *testing.T) {
+	e := tinyEngine(t, DefaultConfig())
+	ans, err := e.SocialMerge(Query{Seeker: 0, Tags: []tagstore.TagID{0}, K: 1},
+		Options{RefineScores: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// seeker 0's component is {0,1,2}
+	if ans.UsersSettled != 3 {
+		t.Fatalf("settled %d users, want full component of 3", ans.UsersSettled)
+	}
+	if !ans.Exact {
+		t.Fatal("refined full run not certified")
+	}
+	// exact score of item 0 is 1.0
+	if len(ans.Results) == 0 || math.Abs(ans.Results[0].Score-1.0) > 1e-12 {
+		t.Fatalf("refined top = %v, want exact score 1.0", ans.Results)
+	}
+}

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/tagstore"
+	"repro/internal/topk"
+)
+
+// SocialMerge answers the query with the paper's incremental
+// network-aware algorithm. It maintains:
+//
+//   - a best-first frontier over the social graph yielding users in
+//     non-increasing proximity order with a certified bound σnext on all
+//     unvisited users;
+//   - per-candidate NRA intervals: lower(i) = mass already confirmed;
+//     upper(i) = lower(i) + β·σnext·rem(i), where rem(i) is the tag
+//     frequency mass of i not yet seen from settled users
+//     (rem(i) = Σ_t gtf(i,t) − Σ_t seen_tf(i,t), never negative);
+//   - per-query-tag cursors into the global posting lists whose frontier
+//     frequencies bar(t) bound every completely unseen item by
+//     (β·σnext + (1−β))·Σ_t bar(t).
+//
+// The loop settles one user at a time (consuming their per-tag posting
+// lists and completing each newly seen item's global score by random
+// access) and stops as soon as the k-th best confirmed lower bound
+// dominates both the best non-top-k candidate upper bound and the
+// unseen-item bound. At that point the returned item set is provably the
+// exact top-k set; reported scores are the certified lower bounds (equal
+// to exact scores whenever the remaining uncertainty is zero, e.g. when
+// the frontier was exhausted).
+//
+// Options activate the approximate variants; any triggered cutoff or
+// prune clears Answer.Exact.
+func (e *Engine) SocialMerge(q Query, opts Options) (Answer, error) {
+	if opts.LandmarkPrune && e.landmarks == nil {
+		return Answer{}, errNoLandmarks
+	}
+	if opts.UseNeighborhoods && e.neighbors == nil {
+		return Answer{}, errNoNeighborhoods
+	}
+	if err := e.validateQuery(q); err != nil {
+		return Answer{}, err
+	}
+	src, err := e.newUserSource(q.Seeker, opts)
+	if err != nil {
+		return Answer{}, err
+	}
+	return e.socialMergeFrom(q, src, opts)
+}
+
+// socialMergeFrom runs the merge loop over an explicit user source (a
+// live graph expansion, a global neighbourhood index entry, or a cached
+// per-seeker horizon). The query must already be validated by callers
+// or is validated here for external entry points.
+func (e *Engine) socialMergeFrom(q Query, src userSource, opts Options) (Answer, error) {
+	if err := e.validateQuery(q); err != nil {
+		return Answer{}, err
+	}
+	tags := dedupTags(q.Tags)
+
+	run := &mergeRun{
+		e:     e,
+		k:     q.K,
+		beta:  e.beta,
+		tags:  tags,
+		cands: make(map[tagstore.ItemID]*candidate),
+		lists: make([][]tagstore.Posting, len(tags)),
+		pos:   make([]int, len(tags)),
+	}
+	for i, t := range tags {
+		run.lists[i] = e.store.GlobalList(t)
+	}
+
+	certified := run.mainLoop(src, q.Seeker, opts)
+
+	h := topk.NewHeap(q.K)
+	for item, c := range run.cands {
+		if c.lower > 0 {
+			h.Offer(item, c.lower)
+		}
+	}
+	// Certified termination with approximation knobs enabled is still
+	// exact as long as no cutoff or prune actually fired.
+	exact := certified && !run.cutoffFired && !run.prunedAny
+	return Answer{
+		Results:      h.Results(),
+		Exact:        exact,
+		Access:       run.acc,
+		UsersSettled: run.settled,
+	}, nil
+}
+
+type candidate struct {
+	lower float64 // confirmed score mass (social seen + exact global part)
+	rem   int64   // Σ_t gtf(i,t) − Σ_t seen social tf(i,t)
+}
+
+type mergeRun struct {
+	e     *Engine
+	k     int
+	beta  float64
+	tags  []tagstore.TagID
+	cands map[tagstore.ItemID]*candidate
+
+	lists [][]tagstore.Posting // global lists per query tag
+	pos   []int                // cursor per query tag
+
+	acc         topk.Access
+	settled     int
+	cutoffFired bool
+	prunedAny   bool
+
+	// Amortized certification: the O(|candidates|) canStop test runs
+	// only when the frontier bound has decayed materially since the
+	// last test (or periodically), since the bounds it evaluates are
+	// monotone in that bound.
+	lastCheckBound float64
+	sinceLastCheck int
+	// cachedTau is the threshold from the most recent currentTopK call.
+	// Lower bounds only grow, so it is a valid (conservative) stand-in
+	// wherever a stale-but-sound threshold suffices, e.g. the landmark
+	// prune test.
+	cachedTau float64
+}
+
+// barSum returns Σ_t bar(t): the sum over query tags of the frequency at
+// the current global-list cursor (0 for exhausted lists). Any item never
+// seen in list t has gtf(i,t) ≤ bar(t).
+func (r *mergeRun) barSum() float64 {
+	var sum float64
+	for i := range r.lists {
+		if r.pos[i] < len(r.lists[i]) {
+			sum += float64(r.lists[i][r.pos[i]].TF)
+		}
+	}
+	return sum
+}
+
+// advanceCursors performs one round of sorted access on every non-
+// exhausted global list, discovering candidates. It reports whether any
+// cursor moved.
+func (r *mergeRun) advanceCursors() bool {
+	moved := false
+	for i := range r.lists {
+		if r.pos[i] >= len(r.lists[i]) {
+			continue
+		}
+		p := r.lists[i][r.pos[i]]
+		r.pos[i]++
+		r.acc.Sequential++
+		moved = true
+		r.ensureCandidate(p.Item)
+	}
+	return moved
+}
+
+// ensureCandidate returns the candidate entry for an item, creating it
+// on first sight: the creation random-accesses the item's global
+// frequency under every query tag, initializing rem and the exact
+// (1−β)-weighted global score part.
+func (r *mergeRun) ensureCandidate(item tagstore.ItemID) *candidate {
+	if c, ok := r.cands[item]; ok {
+		return c
+	}
+	c := &candidate{}
+	var gsum int64
+	for _, t := range r.tags {
+		g := r.e.store.GlobalTF(item, t)
+		r.acc.Random++
+		gsum += int64(g)
+	}
+	c.rem = gsum
+	c.lower = (1 - r.beta) * float64(gsum)
+	r.cands[item] = c
+	return c
+}
+
+// settleUser consumes the per-tag posting lists of user v at proximity σ.
+func (r *mergeRun) settleUser(v int32, sigma float64) {
+	r.settled++
+	r.acc.UsersExpanded++
+	if r.beta == 0 {
+		return // pure-global scoring: user lists contribute nothing
+	}
+	for _, t := range r.tags {
+		for _, up := range r.e.store.UserList(v, t) {
+			r.acc.Sequential++
+			c := r.ensureCandidate(up.Item)
+			c.lower += r.beta * sigma * float64(up.TF)
+			c.rem -= int64(up.TF)
+		}
+	}
+}
+
+// currentTopK selects the k best candidates by confirmed lower bound and
+// returns the threshold (k-th best lower, 0 when fewer than k positive
+// candidates exist) and the member set.
+func (r *mergeRun) currentTopK() (float64, map[tagstore.ItemID]bool) {
+	h := topk.NewHeap(r.k)
+	for item, c := range r.cands {
+		if c.lower > 0 {
+			h.Offer(item, c.lower)
+		}
+	}
+	members := make(map[tagstore.ItemID]bool, r.k)
+	for _, res := range h.Results() {
+		members[res.Item] = true
+	}
+	r.cachedTau = h.Threshold()
+	return r.cachedTau, members
+}
+
+const certEps = 1e-12
+
+// canStop reports whether, given the frontier bound σnext, the current
+// top-k set is certified exact: its threshold dominates every other
+// candidate's upper bound and the bound on completely unseen items.
+func (r *mergeRun) canStop(sigmaNext float64) bool {
+	tau, members := r.currentTopK()
+	unseen := (r.beta*sigmaNext + (1 - r.beta)) * r.barSum()
+	if tau < unseen-certEps {
+		return false
+	}
+	for item, c := range r.cands {
+		if members[item] {
+			continue
+		}
+		upper := c.lower + r.beta*sigmaNext*float64(c.rem)
+		if tau < upper-certEps {
+			return false
+		}
+	}
+	return true
+}
+
+// shouldCheck gates the full certification test: it fires when the
+// frontier bound fell by ≥10% since the last test, periodically as a
+// backstop, and always at a zero bound. Skipping a test can only delay
+// termination, never produce an unsound stop.
+func (r *mergeRun) shouldCheck(sigmaNext float64) bool {
+	r.sinceLastCheck++
+	if sigmaNext == 0 || sigmaNext <= 0.9*r.lastCheckBound || r.sinceLastCheck >= 32 {
+		r.lastCheckBound = sigmaNext
+		r.sinceLastCheck = 0
+		return true
+	}
+	return false
+}
+
+// mainLoop drives the merge until certified termination, an
+// approximation cutoff, or source exhaustion. It reports whether the
+// final state is certified (canStop held at exit).
+func (r *mergeRun) mainLoop(src userSource, seeker graph.UserID, opts Options) bool {
+	r.lastCheckBound = 1
+	for {
+		sigmaNext := src.Bound()
+		if !opts.RefineScores && r.shouldCheck(sigmaNext) && r.canStop(sigmaNext) {
+			return true
+		}
+		entry, ok := src.Next()
+		if !ok {
+			break
+		}
+		if opts.Theta > 0 && entry.Prox < opts.Theta {
+			r.cutoffFired = true
+			break
+		}
+		if opts.MaxHops > 0 && entry.Hops > opts.MaxHops {
+			r.cutoffFired = true
+			break
+		}
+		if opts.LandmarkPrune && entry.User != seeker {
+			// Use the cached (stale, hence smaller, hence conservative)
+			// threshold: recomputing it per user would cost O(|candidates|)
+			// on every settle and defeat the prune's purpose.
+			est := r.e.landmarks.UpperBoundHeuristic(seeker, entry.User)
+			if r.cachedTau > 0 && r.beta*est*r.barSum() < r.cachedTau {
+				r.prunedAny = true
+				continue
+			}
+		}
+		r.settleUser(entry.User, entry.Prox)
+		// One round of sorted access per settle: discovers globally hot
+		// candidates early and walks the unseen-item bar down the Zipf
+		// tail, which is what lets the unseen bound release.
+		r.advanceCursors()
+		if opts.MaxUsers > 0 && r.settled >= opts.MaxUsers {
+			r.cutoffFired = true
+			break
+		}
+	}
+	// Source exhausted or cutoff: the residual bound still applies to
+	// all unvisited users (0 for a fully drained graph frontier).
+	residual := src.Bound()
+	if residual > 0 && !r.cutoffFired {
+		// A truncated materialized source ran out with users possibly
+		// remaining beyond its horizon. Attempt one certification with
+		// the residual bound; if it fails, the answer is inherently
+		// approximate — draining the global lists cannot shrink the
+		// residual term, so treat it as a cutoff rather than scanning
+		// everything for nothing.
+		if r.canStop(residual) {
+			return true
+		}
+		r.cutoffFired = true
+	}
+	if r.cutoffFired {
+		// The approximation pretends unvisited users do not exist.
+		residual = 0
+	}
+	// Keep scanning the global lists: every round grows confirmed lower
+	// bounds (for β < 1) and shrinks the unseen bar. Check termination
+	// periodically; the final check decides certification.
+	for i := 0; ; i++ {
+		if i%8 == 0 && r.canStop(residual) {
+			return true
+		}
+		if !r.advanceCursors() {
+			return r.canStop(residual)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/graph"
+	"repro/internal/proximity"
+)
+
+var (
+	errNoLandmarks       = errors.New("core: Options.LandmarkPrune requires AttachLandmarks")
+	errNoNeighborhoods   = errors.New("core: Options.UseNeighborhoods requires AttachNeighborhoods")
+	errNoItemIndex       = errors.New("core: SocialTA requires AttachItemIndex")
+	errUnsupportedOption = errors.New("core: option not supported by this algorithm")
+)
+
+// userSource abstracts where SocialMerge gets its proximity-ordered user
+// stream from: a live graph expansion (exact) or a materialized
+// neighbourhood list (accelerated, possibly truncated).
+type userSource interface {
+	// Next yields the next user in non-increasing proximity order.
+	Next() (proximity.Entry, bool)
+	// Bound returns a certified upper bound on the proximity of every
+	// user not yet yielded. After exhaustion it returns the residual
+	// bound (0 for a complete expansion, the truncation level for a
+	// materialized list).
+	Bound() float64
+}
+
+func (e *Engine) newUserSource(seeker graph.UserID, opts Options) (userSource, error) {
+	if opts.UseNeighborhoods {
+		return e.neighbors.source(seeker), nil
+	}
+	it, err := proximity.NewIterator(e.g, seeker, e.prox)
+	if err != nil {
+		return nil, err
+	}
+	return (*iteratorSource)(it), nil
+}
+
+// iteratorSource adapts proximity.Iterator to userSource.
+type iteratorSource proximity.Iterator
+
+func (s *iteratorSource) Next() (proximity.Entry, bool) {
+	return (*proximity.Iterator)(s).Next()
+}
+
+func (s *iteratorSource) Bound() float64 {
+	return (*proximity.Iterator)(s).PeekBound()
+}

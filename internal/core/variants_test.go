@@ -1,0 +1,378 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/proximity"
+	"repro/internal/tagstore"
+)
+
+// withItemIndex attaches a freshly built item index.
+func withItemIndex(e *Engine) *Engine {
+	e.AttachItemIndex(BuildItemIndex(e.Store()))
+	return e
+}
+
+func TestItemIndexTaggers(t *testing.T) {
+	e := tinyEngine(t, DefaultConfig())
+	idx := BuildItemIndex(e.Store())
+	if idx.Entries() != e.Store().NumTriples() {
+		t.Fatalf("entries = %d, want %d", idx.Entries(), e.Store().NumTriples())
+	}
+	// u1 tagged i1 with t0, count 2.
+	tps := idx.Taggers(1, 0)
+	if len(tps) != 1 || tps[0].User != 1 || tps[0].TF != 2 {
+		t.Fatalf("Taggers(i1,t0) = %+v", tps)
+	}
+	// i2 carries both tags, each from u2.
+	if tps := idx.Taggers(2, 1); len(tps) != 1 || tps[0].User != 2 {
+		t.Fatalf("Taggers(i2,t1) = %+v", tps)
+	}
+	if tps := idx.Taggers(0, 1); len(tps) != 0 {
+		t.Fatalf("Taggers(i0,t1) = %+v, want empty", tps)
+	}
+}
+
+func TestContextMergeTiny(t *testing.T) {
+	e := tinyEngine(t, DefaultConfig())
+	q := Query{Seeker: 0, Tags: []tagstore.TagID{0}, K: 2}
+	ans, err := e.ContextMerge(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Exact {
+		t.Fatal("unbounded ContextMerge not certified")
+	}
+	// Same world as TestSocialMergeTiny: σ(0,0)=1 → i0 = 1;
+	// σ(0,1)=0.5 → i1 = 0.5·2 = 1; σ(0,2)=0.25 → i2 = 0.25; u3 unreachable.
+	if len(ans.Results) != 2 {
+		t.Fatalf("results = %+v", ans.Results)
+	}
+	for _, r := range ans.Results {
+		if r.Item != 0 && r.Item != 1 {
+			t.Fatalf("unexpected item %d in top-2 %+v", r.Item, ans.Results)
+		}
+		if math.Abs(r.Score-1.0) > 1e-12 {
+			t.Fatalf("item %d score %g, want 1.0", r.Item, r.Score)
+		}
+	}
+}
+
+func TestSocialTATiny(t *testing.T) {
+	e := withItemIndex(tinyEngine(t, DefaultConfig()))
+	q := Query{Seeker: 0, Tags: []tagstore.TagID{0}, K: 2}
+	ans, err := e.SocialTA(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Exact {
+		t.Fatal("unbounded SocialTA not certified")
+	}
+	if len(ans.Results) != 2 {
+		t.Fatalf("results = %+v", ans.Results)
+	}
+	for _, r := range ans.Results {
+		if math.Abs(r.Score-1.0) > 1e-12 {
+			t.Fatalf("item %d score %g, want exact 1.0", r.Item, r.Score)
+		}
+	}
+}
+
+func TestSocialTARequiresItemIndex(t *testing.T) {
+	e := tinyEngine(t, DefaultConfig())
+	_, err := e.SocialTA(Query{Seeker: 0, Tags: []tagstore.TagID{0}, K: 1}, Options{})
+	if err != errNoItemIndex {
+		t.Fatalf("err = %v, want errNoItemIndex", err)
+	}
+}
+
+func TestVariantsRejectUnsupportedOptions(t *testing.T) {
+	e := withItemIndex(tinyEngine(t, DefaultConfig()))
+	q := Query{Seeker: 0, Tags: []tagstore.TagID{0}, K: 1}
+	for _, opts := range []Options{{LandmarkPrune: true}, {UseNeighborhoods: true}} {
+		if _, err := e.ContextMerge(q, opts); err != errUnsupportedOption {
+			t.Errorf("ContextMerge(%+v): err = %v", opts, err)
+		}
+		if _, err := e.SocialTA(q, opts); err != errUnsupportedOption {
+			t.Errorf("SocialTA(%+v): err = %v", opts, err)
+		}
+	}
+	// Invalid queries still rejected.
+	if _, err := e.ContextMerge(Query{Seeker: 0, Tags: nil, K: 1}, Options{}); err == nil {
+		t.Error("ContextMerge accepted empty tags")
+	}
+	if _, err := e.SocialTA(Query{Seeker: 99, Tags: []tagstore.TagID{0}, K: 1}, Options{}); err == nil {
+		t.Error("SocialTA accepted bad seeker")
+	}
+}
+
+// TestPropertyVariantsEqualExact: ContextMerge and SocialTA certified
+// answers must be exact top-k sets across random corpora and
+// parameters — the same property SocialMerge is held to.
+func TestPropertyVariantsEqualExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		betas := []float64{1, 0.7, 0.3, 0}
+		alphas := []float64{1, 0.8, 0.5}
+		cfg := Config{
+			Proximity: proximity.Params{Alpha: alphas[rng.Intn(len(alphas))], SelfWeight: 1},
+			Beta:      betas[rng.Intn(len(betas))],
+		}
+		e, ds := randomCorpusEngine(t, seed, cfg)
+		withItemIndex(e)
+		for trial := 0; trial < 3; trial++ {
+			q := Query{
+				Seeker: graph.UserID(rng.Intn(ds.Graph.NumUsers())),
+				Tags:   []tagstore.TagID{tagstore.TagID(rng.Intn(20)), tagstore.TagID(rng.Intn(20))},
+				K:      1 + rng.Intn(12),
+			}
+			cm, err := e.ContextMerge(q, Options{})
+			if err != nil {
+				t.Logf("seed %d: ContextMerge: %v", seed, err)
+				return false
+			}
+			if !cm.Exact {
+				t.Logf("seed %d: ContextMerge not certified", seed)
+				return false
+			}
+			if !topKEquivalent(t, e, q, cm) {
+				t.Logf("seed %d trial %d: ContextMerge mismatch (seeker %d tags %v k %d beta %g)",
+					seed, trial, q.Seeker, q.Tags, q.K, cfg.Beta)
+				return false
+			}
+			ta, err := e.SocialTA(q, Options{})
+			if err != nil {
+				t.Logf("seed %d: SocialTA: %v", seed, err)
+				return false
+			}
+			if !ta.Exact {
+				t.Logf("seed %d: SocialTA not certified", seed)
+				return false
+			}
+			if !topKEquivalent(t, e, q, ta) {
+				t.Logf("seed %d trial %d: SocialTA mismatch (seeker %d tags %v k %d beta %g)",
+					seed, trial, q.Seeker, q.Tags, q.K, cfg.Beta)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSocialTAScoresAreExact: unlike the merge algorithms (which report
+// certified lower bounds), SocialTA reports exact scores. Verify
+// against ExactSocial scores item by item.
+func TestSocialTAScoresAreExact(t *testing.T) {
+	cfg := Config{Proximity: proximity.Params{Alpha: 0.7, SelfWeight: 1}, Beta: 0.8}
+	e, ds := randomCorpusEngine(t, 99, cfg)
+	withItemIndex(e)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		q := Query{
+			Seeker: graph.UserID(rng.Intn(ds.Graph.NumUsers())),
+			Tags:   []tagstore.TagID{tagstore.TagID(rng.Intn(20))},
+			K:      5,
+		}
+		ta, err := e.SocialTA(q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := e.ExactSocial(Query{Seeker: q.Seeker, Tags: q.Tags, K: e.Store().NumItems()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := make(map[int32]float64, len(full.Results))
+		for _, r := range full.Results {
+			exact[r.Item] = r.Score
+		}
+		for _, r := range ta.Results {
+			if math.Abs(r.Score-exact[r.Item]) > 1e-9 {
+				t.Fatalf("trial %d: item %d score %g, exact %g", trial, r.Item, r.Score, exact[r.Item])
+			}
+		}
+	}
+}
+
+func TestVariantCutoffsClearExact(t *testing.T) {
+	cfg := DefaultConfig()
+	e, _ := randomCorpusEngine(t, 3, cfg)
+	withItemIndex(e)
+	q := Query{Seeker: 0, Tags: []tagstore.TagID{0, 1}, K: 5}
+	for name, opts := range map[string]Options{
+		"theta":    {Theta: 0.9},
+		"hops":     {MaxHops: 1},
+		"maxusers": {MaxUsers: 2},
+	} {
+		cm, err := e.ContextMerge(q, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if cm.Exact {
+			t.Errorf("%s: ContextMerge with cutoff claims exactness", name)
+		}
+		ta, err := e.SocialTA(q, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ta.Exact {
+			t.Errorf("%s: SocialTA with cutoff claims exactness", name)
+		}
+	}
+}
+
+// TestContextMergeRefineScores: RefineScores drains the social mass, so
+// reported scores equal exact scores (not just certified lower bounds).
+func TestContextMergeRefineScores(t *testing.T) {
+	cfg := Config{Proximity: proximity.Params{Alpha: 0.8, SelfWeight: 1}, Beta: 1}
+	e, ds := randomCorpusEngine(t, 17, cfg)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 5; trial++ {
+		q := Query{
+			Seeker: graph.UserID(rng.Intn(ds.Graph.NumUsers())),
+			Tags:   []tagstore.TagID{tagstore.TagID(rng.Intn(20))},
+			K:      4,
+		}
+		got, err := e.ContextMerge(q, Options{RefineScores: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := e.ExactSocial(Query{Seeker: q.Seeker, Tags: q.Tags, K: e.Store().NumItems()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := make(map[int32]float64, len(full.Results))
+		for _, r := range full.Results {
+			exact[r.Item] = r.Score
+		}
+		for _, r := range got.Results {
+			if math.Abs(r.Score-exact[r.Item]) > 1e-9 {
+				t.Fatalf("trial %d: refined score %g != exact %g for item %d",
+					trial, r.Score, exact[r.Item], r.Item)
+			}
+		}
+	}
+}
+
+// TestVariantAccessProfiles documents the qualitative cost contrast the
+// Fig-12 experiment quantifies: SocialMerge settles fewer users than
+// ContextMerge (which expands the whole ball), and SocialTA performs
+// more random accesses than either merge algorithm.
+func TestVariantAccessProfiles(t *testing.T) {
+	e, ds := randomCorpusEngine(t, 11, DefaultConfig())
+	withItemIndex(e)
+	rng := rand.New(rand.NewSource(4))
+	var smUsers, cmUsers, smRand, taRand int64
+	for trial := 0; trial < 8; trial++ {
+		q := Query{
+			Seeker: graph.UserID(rng.Intn(ds.Graph.NumUsers())),
+			Tags:   []tagstore.TagID{tagstore.TagID(rng.Intn(20))},
+			K:      5,
+		}
+		sm, err := e.SocialMerge(q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cm, err := e.ContextMerge(q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ta, err := e.SocialTA(q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		smUsers += int64(sm.UsersSettled)
+		cmUsers += int64(cm.UsersSettled)
+		smRand += sm.Access.Random
+		taRand += ta.Access.Random
+	}
+	if smUsers > cmUsers {
+		t.Errorf("SocialMerge settled %d users vs ContextMerge %d; frontier laziness lost", smUsers, cmUsers)
+	}
+	if taRand <= smRand {
+		t.Errorf("SocialTA random accesses %d <= SocialMerge %d; random-access trade missing", taRand, smRand)
+	}
+}
+
+// TestVariantsEmptyAndOversizedQueries: a tag nobody used yields an
+// empty exact answer; k beyond the item universe returns everything
+// with positive score — for every portfolio member.
+func TestVariantsEmptyAndOversizedQueries(t *testing.T) {
+	gb := graphBuilderWithEdge(t)
+	tb := tagstore.NewBuilder(2, 3, 2)
+	tb.Add(0, 0, 0)
+	tb.Add(1, 1, 0)
+	store, err := tb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(g, store, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	withItemIndex(e)
+
+	algos := map[string]func(Query) (Answer, error){
+		"SocialMerge":  func(q Query) (Answer, error) { return e.SocialMerge(q, Options{}) },
+		"ContextMerge": func(q Query) (Answer, error) { return e.ContextMerge(q, Options{}) },
+		"SocialTA":     func(q Query) (Answer, error) { return e.SocialTA(q, Options{}) },
+	}
+	for name, run := range algos {
+		// Tag 1 has no postings anywhere.
+		ans, err := run(Query{Seeker: 0, Tags: []tagstore.TagID{1}, K: 5})
+		if err != nil {
+			t.Fatalf("%s empty tag: %v", name, err)
+		}
+		if len(ans.Results) != 0 || !ans.Exact {
+			t.Fatalf("%s empty tag: %+v", name, ans)
+		}
+		// k = 100 ≫ universe; duplicate tags in the query are deduped.
+		ans, err = run(Query{Seeker: 0, Tags: []tagstore.TagID{0, 0, 0}, K: 100})
+		if err != nil {
+			t.Fatalf("%s oversized k: %v", name, err)
+		}
+		if len(ans.Results) != 2 || !ans.Exact {
+			t.Fatalf("%s oversized k: %+v", name, ans)
+		}
+		// Duplicate tags must not double-count: i0 scored once.
+		if ans.Results[0].Score > 1.0+1e-9 {
+			t.Fatalf("%s duplicate tags double-counted: %+v", name, ans.Results)
+		}
+	}
+}
+
+func graphBuilderWithEdge(t *testing.T) *graph.Builder {
+	t.Helper()
+	gb := graph.NewBuilder(2)
+	gb.AddEdge(0, 1, 1.0)
+	return gb
+}
+
+// TestQuickItemIndexCompleteness: summing tagger frequencies for any
+// (item, tag) must reproduce the store's global frequency.
+func TestQuickItemIndexCompleteness(t *testing.T) {
+	e, _ := randomCorpusEngine(t, 23, DefaultConfig())
+	idx := BuildItemIndex(e.Store())
+	prop := func(itemSeed, tagSeed uint16) bool {
+		item := tagstore.ItemID(int(itemSeed) % e.Store().NumItems())
+		tag := tagstore.TagID(int(tagSeed) % e.Store().NumTags())
+		var sum int64
+		for _, tp := range idx.Taggers(item, tag) {
+			sum += int64(tp.TF)
+		}
+		return sum == int64(e.Store().GlobalTF(item, tag))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,465 @@
+// Package durable makes the mutable social tagging service survive
+// process crashes: every mutation is appended to a write-ahead log
+// (internal/wal) before it is applied, and checkpoints periodically
+// fold the state into an atomic on-disk snapshot (the internal/index
+// binary format plus the vocabulary files) so the log stays short.
+//
+// Directory layout under the service root:
+//
+//	wal/                     segmented write-ahead log
+//	snapshot-<lsn>/          data.frnd + users.txt/items.txt/tags.txt
+//	MANIFEST                 points at the live snapshot (atomic rename)
+//
+// Recovery contract. Open loads the snapshot named by MANIFEST (or
+// starts empty), then replays every log record with LSN ≥ the
+// snapshot's barrier. Under wal.SyncAlways every acknowledged mutation
+// survives any crash; a torn tail (the unacknowledged final record) is
+// discarded by the log layer. Checkpointing is crash-safe at every
+// step: the snapshot directory appears atomically via rename, MANIFEST
+// flips atomically afterwards, and log truncation runs last — a crash
+// between any two steps leaves a state Open still recovers exactly.
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/index"
+	"repro/internal/social"
+	"repro/internal/vocab"
+	"repro/internal/wal"
+)
+
+// Record types used in the write-ahead log.
+const (
+	recBefriend wal.Type = 1
+	recTag      wal.Type = 2
+)
+
+const (
+	manifestName   = "MANIFEST"
+	snapshotPrefix = "snapshot-"
+	walDirName     = "wal"
+)
+
+// Config tunes a durable Service.
+type Config struct {
+	// Service configures the wrapped in-memory service.
+	Service social.ServiceConfig
+	// CheckpointEvery takes a checkpoint after this many mutations
+	// (0 disables automatic checkpoints; call Checkpoint explicitly).
+	CheckpointEvery int
+	// Sync selects the log's fsync policy. The default (wal.SyncAlways)
+	// makes every acknowledged mutation durable; wal.SyncManual trades
+	// the tail for group-commit throughput.
+	Sync wal.SyncPolicy
+	// SegmentBytes overrides the log's segment rotation threshold
+	// (0 = the log's default).
+	SegmentBytes int64
+}
+
+// DefaultConfig checkpoints every 4096 mutations with full sync.
+func DefaultConfig() Config {
+	return Config{
+		Service:         social.DefaultServiceConfig(),
+		CheckpointEvery: 4096,
+		Sync:            wal.SyncAlways,
+	}
+}
+
+// ErrBroken is returned once a write failed mid-sequence, leaving the
+// in-memory state possibly ahead of or behind the log; reopen the
+// directory to recover to a consistent state.
+var ErrBroken = errors.New("durable: service broken by earlier write failure; reopen to recover")
+
+// Service is a crash-safe social.Service. It is safe for concurrent
+// use.
+type Service struct {
+	mu     sync.Mutex
+	dir    string
+	cfg    Config
+	svc    *social.Service
+	log    *wal.Log
+	writes int
+	broken bool
+
+	// recovered statistics from the last Open, for observability
+	recoveredRecords int
+	snapshotBarrier  uint64
+}
+
+// Open recovers (or initializes) a durable service rooted at dir.
+func Open(dir string, cfg Config) (*Service, error) {
+	if cfg.Service == (social.ServiceConfig{}) {
+		cfg.Service = social.DefaultServiceConfig()
+	}
+	if cfg.CheckpointEvery < 0 {
+		return nil, fmt.Errorf("durable: negative CheckpointEvery")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+
+	barrier, snapDir, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	var svc *social.Service
+	if snapDir == "" {
+		svc, err = social.NewService(cfg.Service)
+	} else {
+		svc, err = loadSnapshot(filepath.Join(dir, snapDir), cfg.Service)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Open the log first (repairs a torn tail), then replay the suffix
+	// the snapshot does not cover.
+	log, err := wal.Open(filepath.Join(dir, walDirName), wal.Options{
+		Sync:         cfg.Sync,
+		SegmentBytes: cfg.SegmentBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{dir: dir, cfg: cfg, svc: svc, log: log, snapshotBarrier: barrier}
+	if err := s.replay(barrier); err != nil {
+		log.Close()
+		return nil, err
+	}
+	// Clean any leftovers from interrupted checkpoints.
+	if err := s.cleanStale(snapDir); err != nil {
+		log.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Service) replay(barrier uint64) error {
+	n := 0
+	_, err := wal.Replay(filepath.Join(s.dir, walDirName), func(r wal.Record) error {
+		if r.LSN < barrier {
+			return nil // already folded into the snapshot
+		}
+		n++
+		switch r.Type {
+		case recBefriend:
+			a, b, w, err := decodeBefriend(r.Data)
+			if err != nil {
+				return fmt.Errorf("durable: lsn %d: %w", r.LSN, err)
+			}
+			return s.svc.Befriend(a, b, w)
+		case recTag:
+			u, i, tg, err := decodeTag(r.Data)
+			if err != nil {
+				return fmt.Errorf("durable: lsn %d: %w", r.LSN, err)
+			}
+			return s.svc.Tag(u, i, tg)
+		default:
+			return fmt.Errorf("durable: lsn %d: unknown record type %d", r.LSN, r.Type)
+		}
+	})
+	s.recoveredRecords = n
+	return err
+}
+
+// cleanStale removes snapshot directories other than the live one and
+// any interrupted temporary directories.
+func (s *Service) cleanStale(live string) error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() || name == live || name == walDirName {
+			continue
+		}
+		if strings.HasPrefix(name, snapshotPrefix) || strings.HasPrefix(name, ".tmp-") {
+			if err := os.RemoveAll(filepath.Join(s.dir, name)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Befriend durably records a friendship declaration. See
+// social.Service.Befriend for semantics.
+func (s *Service) Befriend(a, b string, weight float64) error {
+	if err := validateName(a); err != nil {
+		return err
+	}
+	if err := validateName(b); err != nil {
+		return err
+	}
+	if weight <= 0 || weight > 1 {
+		return fmt.Errorf("durable: weight %g outside (0,1]", weight)
+	}
+	if a == b {
+		return fmt.Errorf("durable: self-friendship for %q", a)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.logged(recBefriend, encodeBefriend(a, b, weight), func() error {
+		return s.svc.Befriend(a, b, weight)
+	})
+}
+
+// Tag durably records a tagging action. See social.Service.Tag.
+func (s *Service) Tag(user, item, tag string) error {
+	for _, n := range []string{user, item, tag} {
+		if err := validateName(n); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.logged(recTag, encodeTag(user, item, tag), func() error {
+		return s.svc.Tag(user, item, tag)
+	})
+}
+
+// logged appends the record, applies the mutation, and runs the
+// checkpoint policy. Callers hold s.mu and have fully validated the
+// mutation, so apply cannot fail for user-input reasons; if it fails
+// anyway the service is marked broken (log and memory may disagree).
+func (s *Service) logged(t wal.Type, payload []byte, apply func() error) error {
+	if s.broken {
+		return ErrBroken
+	}
+	if _, err := s.log.Append(t, payload); err != nil {
+		// Nothing was applied; memory still matches acknowledged log.
+		return err
+	}
+	if err := s.apply(apply); err != nil {
+		return err
+	}
+	s.writes++
+	if s.cfg.CheckpointEvery > 0 && s.writes >= s.cfg.CheckpointEvery {
+		if err := s.checkpointLocked(); err != nil {
+			return fmt.Errorf("durable: auto-checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+func (s *Service) apply(fn func() error) error {
+	if err := fn(); err != nil {
+		s.broken = true
+		return fmt.Errorf("%w (cause: %v)", ErrBroken, err)
+	}
+	return nil
+}
+
+// Sync forces buffered log records to stable storage (meaningful under
+// wal.SyncManual; a no-op cost under wal.SyncAlways).
+func (s *Service) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.log.Sync()
+}
+
+// Checkpoint folds the current state into an atomic on-disk snapshot
+// and truncates the now-redundant log prefix.
+func (s *Service) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.broken {
+		return ErrBroken
+	}
+	return s.checkpointLocked()
+}
+
+func (s *Service) checkpointLocked() error {
+	g, st, names, err := s.svc.Snapshot()
+	if err != nil {
+		return err
+	}
+	barrier := s.log.NextLSN() // first LSN NOT covered by this snapshot
+
+	tmp := filepath.Join(s.dir, fmt.Sprintf(".tmp-%d", barrier))
+	if err := os.RemoveAll(tmp); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return err
+	}
+	if err := index.WriteFile(filepath.Join(tmp, "data.frnd"), g, st); err != nil {
+		return err
+	}
+	if err := names.WriteDir(tmp); err != nil {
+		return err
+	}
+	final := snapshotDirName(barrier)
+	if err := os.Rename(tmp, filepath.Join(s.dir, final)); err != nil {
+		return err
+	}
+	if err := writeManifest(s.dir, barrier); err != nil {
+		return err
+	}
+	// The log prefix below the barrier is now redundant. Rotation puts
+	// the barrier at a segment boundary so truncation can drop it all.
+	if err := s.log.Rotate(); err != nil {
+		return err
+	}
+	if err := s.log.TruncateThrough(barrier - 1); err != nil {
+		return err
+	}
+	if err := s.cleanStale(final); err != nil {
+		return err
+	}
+	s.writes = 0
+	s.snapshotBarrier = barrier
+	return nil
+}
+
+// Search answers seeker's top-k query. Unlike the in-memory service
+// (where readers see the last compacted snapshot), a durable store's
+// reads see every acknowledged write: pending mutations are folded in
+// first. Compaction is a no-op when nothing is pending.
+func (s *Service) Search(seeker string, tags []string, k int) ([]social.Result, error) {
+	s.mu.Lock()
+	svc := s.svc
+	s.mu.Unlock()
+	if err := svc.Flush(); err != nil {
+		return nil, err
+	}
+	return svc.Search(seeker, tags, k)
+}
+
+// Flush folds pending writes into the queryable snapshot without
+// taking a checkpoint.
+func (s *Service) Flush() error {
+	s.mu.Lock()
+	svc := s.svc
+	s.mu.Unlock()
+	return svc.Flush()
+}
+
+// Users lists all known user names.
+func (s *Service) Users() []string {
+	s.mu.Lock()
+	svc := s.svc
+	s.mu.Unlock()
+	return svc.Users()
+}
+
+// Stats reports service and durability counters.
+type Stats struct {
+	social.Stats
+	// RecoveredRecords is the number of log records replayed by Open.
+	RecoveredRecords int
+	// SnapshotBarrier is the first LSN not covered by the live snapshot.
+	SnapshotBarrier uint64
+	// LogSegments is the number of live log segment files.
+	LogSegments int
+	// WritesSinceCheckpoint counts mutations since the last checkpoint.
+	WritesSinceCheckpoint int
+}
+
+// Stats returns current counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Stats:                 s.svc.Stats(),
+		RecoveredRecords:      s.recoveredRecords,
+		SnapshotBarrier:       s.snapshotBarrier,
+		LogSegments:           s.log.Segments(),
+		WritesSinceCheckpoint: s.writes,
+	}
+}
+
+// Close syncs and closes the log. The service must not be used after.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.log.Close()
+}
+
+func validateName(n string) error {
+	if n == "" {
+		return errors.New("durable: empty name")
+	}
+	if strings.ContainsAny(n, "\n\r") {
+		return fmt.Errorf("durable: name %q contains line breaks", n)
+	}
+	return nil
+}
+
+func snapshotDirName(barrier uint64) string {
+	return fmt.Sprintf("%s%016x", snapshotPrefix, barrier)
+}
+
+// readManifest returns the live snapshot barrier and directory name, or
+// (1, "", nil) for a fresh directory.
+func readManifest(dir string) (uint64, string, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return 1, "", nil
+	}
+	if err != nil {
+		return 0, "", err
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 2 || lines[0] != "v1" {
+		return 0, "", fmt.Errorf("durable: malformed MANIFEST %q", raw)
+	}
+	barrier, err := strconv.ParseUint(lines[1], 10, 64)
+	if err != nil {
+		return 0, "", fmt.Errorf("durable: malformed MANIFEST barrier: %w", err)
+	}
+	snapDir := snapshotDirName(barrier)
+	if _, err := os.Stat(filepath.Join(dir, snapDir)); err != nil {
+		return 0, "", fmt.Errorf("durable: MANIFEST names missing snapshot %s: %w", snapDir, err)
+	}
+	return barrier, snapDir, nil
+}
+
+// writeManifest atomically points MANIFEST at the snapshot with the
+// given barrier.
+func writeManifest(dir string, barrier uint64) error {
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(f, "v1\n%d\n", barrier); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+func loadSnapshot(snapDir string, cfg social.ServiceConfig) (*social.Service, error) {
+	g, st, err := index.ReadFile(filepath.Join(snapDir, "data.frnd"))
+	if err != nil {
+		return nil, fmt.Errorf("durable: loading snapshot index: %w", err)
+	}
+	names, err := vocab.ReadDir(snapDir)
+	if err != nil {
+		return nil, fmt.Errorf("durable: loading snapshot vocabularies: %w", err)
+	}
+	return social.Restore(cfg, g, st, names)
+}

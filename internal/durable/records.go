@@ -1,0 +1,83 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Log record payload encodings. Strings are uvarint-length-prefixed;
+// floats are IEEE-754 bits little-endian. Record framing, checksums and
+// ordering are the log layer's job; these payloads only need to be
+// self-describing enough to replay.
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readString(buf []byte) (string, []byte, error) {
+	n, used := binary.Uvarint(buf)
+	if used <= 0 {
+		return "", nil, fmt.Errorf("durable: bad string length prefix")
+	}
+	buf = buf[used:]
+	if uint64(len(buf)) < n {
+		return "", nil, fmt.Errorf("durable: string length %d exceeds remaining %d bytes", n, len(buf))
+	}
+	return string(buf[:n]), buf[n:], nil
+}
+
+func encodeBefriend(a, b string, weight float64) []byte {
+	buf := make([]byte, 0, len(a)+len(b)+2+8)
+	buf = appendString(buf, a)
+	buf = appendString(buf, b)
+	var wb [8]byte
+	binary.LittleEndian.PutUint64(wb[:], math.Float64bits(weight))
+	return append(buf, wb[:]...)
+}
+
+func decodeBefriend(buf []byte) (a, b string, weight float64, err error) {
+	a, buf, err = readString(buf)
+	if err != nil {
+		return "", "", 0, err
+	}
+	b, buf, err = readString(buf)
+	if err != nil {
+		return "", "", 0, err
+	}
+	if len(buf) != 8 {
+		return "", "", 0, fmt.Errorf("durable: befriend record has %d trailing bytes, want 8", len(buf))
+	}
+	weight = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	if weight <= 0 || weight > 1 || math.IsNaN(weight) {
+		return "", "", 0, fmt.Errorf("durable: befriend record weight %g outside (0,1]", weight)
+	}
+	return a, b, weight, nil
+}
+
+func encodeTag(user, item, tag string) []byte {
+	buf := make([]byte, 0, len(user)+len(item)+len(tag)+3)
+	buf = appendString(buf, user)
+	buf = appendString(buf, item)
+	return appendString(buf, tag)
+}
+
+func decodeTag(buf []byte) (user, item, tag string, err error) {
+	user, buf, err = readString(buf)
+	if err != nil {
+		return "", "", "", err
+	}
+	item, buf, err = readString(buf)
+	if err != nil {
+		return "", "", "", err
+	}
+	tag, buf, err = readString(buf)
+	if err != nil {
+		return "", "", "", err
+	}
+	if len(buf) != 0 {
+		return "", "", "", fmt.Errorf("durable: tag record has %d trailing bytes", len(buf))
+	}
+	return user, item, tag, nil
+}

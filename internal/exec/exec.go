@@ -1,0 +1,197 @@
+// Package exec provides concurrent batch query execution with
+// per-seeker horizon caching: the expensive part of a social top-k
+// query — expanding the seeker's neighbourhood — is computed once per
+// seeker and reused across that seeker's queries. This is the serving
+// layer a deployment would put in front of the core engine, and the
+// second half of the Fig 10 story (materialization pays off when
+// seekers repeat).
+package exec
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Config tunes the executor.
+type Config struct {
+	// Workers is the number of concurrent query workers (≥ 1).
+	Workers int
+	// CacheSize is the maximum number of cached seeker horizons
+	// (0 disables caching).
+	CacheSize int
+	// MaxHorizonUsers truncates materialized horizons (0 = full
+	// horizon). Truncation makes answers for heavy seekers approximate
+	// but bounds cache entry size.
+	MaxHorizonUsers int
+}
+
+// DefaultConfig returns a sensible serving configuration.
+func DefaultConfig() Config {
+	return Config{Workers: 4, CacheSize: 256, MaxHorizonUsers: 0}
+}
+
+// Stats exposes cache effectiveness counters.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// Executor runs queries against a core engine with horizon caching.
+// It is safe for concurrent use.
+type Executor struct {
+	engine *core.Engine
+	cfg    Config
+
+	mu    sync.Mutex
+	lru   *list.List // of *cacheEntry, front = most recent
+	index map[graph.UserID]*list.Element
+	stats Stats
+}
+
+type cacheEntry struct {
+	seeker  graph.UserID
+	horizon *core.SeekerHorizon
+}
+
+// New builds an executor over the engine.
+func New(engine *core.Engine, cfg Config) (*Executor, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("exec: nil engine")
+	}
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("exec: workers %d must be >= 1", cfg.Workers)
+	}
+	if cfg.CacheSize < 0 || cfg.MaxHorizonUsers < 0 {
+		return nil, fmt.Errorf("exec: negative cache size or horizon bound")
+	}
+	return &Executor{
+		engine: engine,
+		cfg:    cfg,
+		lru:    list.New(),
+		index:  make(map[graph.UserID]*list.Element),
+	}, nil
+}
+
+// Stats returns a snapshot of the cache counters.
+func (x *Executor) Stats() Stats {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.stats
+}
+
+// horizonFor returns a cached horizon or materializes (and caches) one.
+func (x *Executor) horizonFor(seeker graph.UserID) (*core.SeekerHorizon, error) {
+	if x.cfg.CacheSize == 0 {
+		return x.engine.MaterializeHorizon(seeker, x.cfg.MaxHorizonUsers)
+	}
+	x.mu.Lock()
+	if el, ok := x.index[seeker]; ok {
+		x.lru.MoveToFront(el)
+		h := el.Value.(*cacheEntry).horizon
+		x.stats.Hits++
+		x.mu.Unlock()
+		return h, nil
+	}
+	x.stats.Misses++
+	x.mu.Unlock()
+
+	// Materialize outside the lock: expansions are the expensive part
+	// and must not serialize each other. A concurrent duplicate for the
+	// same seeker is possible and harmless (last one wins the slot).
+	h, err := x.engine.MaterializeHorizon(seeker, x.cfg.MaxHorizonUsers)
+	if err != nil {
+		return nil, err
+	}
+	x.mu.Lock()
+	if el, ok := x.index[seeker]; ok {
+		x.lru.MoveToFront(el)
+	} else {
+		el := x.lru.PushFront(&cacheEntry{seeker: seeker, horizon: h})
+		x.index[seeker] = el
+		for x.lru.Len() > x.cfg.CacheSize {
+			oldest := x.lru.Back()
+			x.lru.Remove(oldest)
+			delete(x.index, oldest.Value.(*cacheEntry).seeker)
+			x.stats.Evictions++
+		}
+	}
+	x.mu.Unlock()
+	return h, nil
+}
+
+// Query answers one query, reusing the seeker's cached horizon when
+// available.
+func (x *Executor) Query(q core.Query, opts core.Options) (core.Answer, error) {
+	if opts.UseNeighborhoods || opts.LandmarkPrune {
+		return core.Answer{}, fmt.Errorf("exec: horizon execution excludes UseNeighborhoods/LandmarkPrune")
+	}
+	h, err := x.horizonFor(q.Seeker)
+	if err != nil {
+		return core.Answer{}, err
+	}
+	return x.engine.SocialMergeWithHorizon(q, h, opts)
+}
+
+// Result pairs a batch answer with its originating query index.
+type Result struct {
+	Index  int
+	Answer core.Answer
+	Err    error
+}
+
+// QueryBatch executes queries concurrently on the configured worker
+// pool. Results are returned in input order; individual failures are
+// reported per query, not as a batch failure.
+func (x *Executor) QueryBatch(queries []core.Query, opts core.Options) []Result {
+	results := make([]Result, len(queries))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	workers := x.cfg.Workers
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				ans, err := x.Query(queries[i], opts)
+				results[i] = Result{Index: i, Answer: ans, Err: err}
+			}
+		}()
+	}
+	for i := range queries {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+// Invalidate drops a seeker's cached horizon (e.g. after their part of
+// the network changed). Returns whether an entry was removed.
+func (x *Executor) Invalidate(seeker graph.UserID) bool {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	el, ok := x.index[seeker]
+	if !ok {
+		return false
+	}
+	x.lru.Remove(el)
+	delete(x.index, seeker)
+	return true
+}
+
+// InvalidateAll empties the cache (e.g. after compaction of an
+// overlay).
+func (x *Executor) InvalidateAll() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.lru.Init()
+	x.index = make(map[graph.UserID]*list.Element)
+}

@@ -1,0 +1,288 @@
+package exec
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/proximity"
+	"repro/internal/tagstore"
+)
+
+func testEngine(t testing.TB) (*core.Engine, *gen.Dataset) {
+	t.Helper()
+	ds, err := gen.Generate(gen.DeliciousParams().Scale(0.06), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{
+		Proximity: proximity.Params{Alpha: 0.6, SelfWeight: 1, MinSigma: 0.05},
+		Beta:      1,
+	}
+	e, err := core.NewEngine(ds.Graph, ds.Store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, ds
+}
+
+func testQueries(t testing.TB, ds *gen.Dataset, n int) []core.Query {
+	t.Helper()
+	wp := gen.DefaultWorkloadParams()
+	wp.NumQueries = n
+	specs, err := gen.Workload(ds, wp, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]core.Query, len(specs))
+	for i, s := range specs {
+		qs[i] = core.Query{Seeker: s.Seeker, Tags: s.Tags, K: 5}
+	}
+	return qs
+}
+
+func TestNewValidation(t *testing.T) {
+	e, _ := testEngine(t)
+	if _, err := New(nil, DefaultConfig()); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+	if _, err := New(e, Config{Workers: 0}); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	if _, err := New(e, Config{Workers: 1, CacheSize: -1}); err == nil {
+		t.Fatal("negative cache accepted")
+	}
+}
+
+func TestQueryMatchesDirectExecution(t *testing.T) {
+	e, ds := testEngine(t)
+	x, err := New(e, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range testQueries(t, ds, 12) {
+		got, err := x.Query(q, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := e.SocialMerge(q, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Results, want.Results) {
+			t.Fatalf("cached execution differs for seeker %d: %v vs %v",
+				q.Seeker, got.Results, want.Results)
+		}
+		if got.Exact != want.Exact {
+			t.Fatalf("certification differs for seeker %d", q.Seeker)
+		}
+	}
+}
+
+func TestCacheHitsAccumulate(t *testing.T) {
+	e, ds := testEngine(t)
+	x, err := New(e, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := testQueries(t, ds, 4)
+	for i := 0; i < 3; i++ {
+		for _, q := range qs {
+			if _, err := x.Query(q, core.Options{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := x.Stats()
+	if st.Misses == 0 || st.Hits == 0 {
+		t.Fatalf("stats = %+v, want both hits and misses", st)
+	}
+	// distinct seekers ≤ 4, so misses ≤ 4 and the rest are hits
+	if st.Misses > 4 {
+		t.Fatalf("misses = %d, want <= 4 distinct seekers", st.Misses)
+	}
+	if st.Hits+st.Misses != int64(3*len(qs)) {
+		t.Fatalf("hits+misses = %d, want %d", st.Hits+st.Misses, 3*len(qs))
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	e, ds := testEngine(t)
+	x, err := New(e, Config{Workers: 1, CacheSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// query three distinct seekers → one eviction
+	seekers := map[graph.UserID]bool{}
+	for _, q := range testQueries(t, ds, 30) {
+		if len(seekers) == 3 {
+			break
+		}
+		if seekers[q.Seeker] {
+			continue
+		}
+		seekers[q.Seeker] = true
+		if _, err := x.Query(q, core.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(seekers) < 3 {
+		t.Skip("workload produced too few distinct seekers")
+	}
+	if st := x.Stats(); st.Evictions == 0 {
+		t.Fatalf("stats = %+v, want evictions", st)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	e, ds := testEngine(t)
+	x, err := New(e, Config{Workers: 1, CacheSize: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := testQueries(t, ds, 1)[0]
+	for i := 0; i < 3; i++ {
+		if _, err := x.Query(q, core.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := x.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("disabled cache recorded stats: %+v", st)
+	}
+}
+
+func TestQueryBatchOrderAndEquivalence(t *testing.T) {
+	e, ds := testEngine(t)
+	x, err := New(e, Config{Workers: 4, CacheSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := testQueries(t, ds, 16)
+	results := x.QueryBatch(qs, core.Options{})
+	if len(results) != len(qs) {
+		t.Fatalf("got %d results for %d queries", len(results), len(qs))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("query %d failed: %v", i, r.Err)
+		}
+		if r.Index != i {
+			t.Fatalf("result %d carries index %d", i, r.Index)
+		}
+		want, err := e.SocialMerge(qs[i], core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(r.Answer.Results, want.Results) {
+			t.Fatalf("batch result %d differs", i)
+		}
+	}
+}
+
+func TestQueryBatchReportsPerQueryErrors(t *testing.T) {
+	e, ds := testEngine(t)
+	x, err := New(e, Config{Workers: 2, CacheSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := testQueries(t, ds, 2)
+	qs[1].K = 0 // invalid
+	results := x.QueryBatch(qs, core.Options{})
+	if results[0].Err != nil {
+		t.Fatalf("valid query failed: %v", results[0].Err)
+	}
+	if results[1].Err == nil {
+		t.Fatal("invalid query did not report an error")
+	}
+}
+
+func TestQueryRejectsIndexOptions(t *testing.T) {
+	e, ds := testEngine(t)
+	x, err := New(e, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := testQueries(t, ds, 1)[0]
+	if _, err := x.Query(q, core.Options{UseNeighborhoods: true}); err == nil {
+		t.Fatal("UseNeighborhoods accepted")
+	}
+	if _, err := x.Query(q, core.Options{LandmarkPrune: true}); err == nil {
+		t.Fatal("LandmarkPrune accepted")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	e, ds := testEngine(t)
+	x, err := New(e, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := testQueries(t, ds, 1)[0]
+	if _, err := x.Query(q, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !x.Invalidate(q.Seeker) {
+		t.Fatal("cached seeker not invalidated")
+	}
+	if x.Invalidate(q.Seeker) {
+		t.Fatal("double invalidation reported success")
+	}
+	if _, err := x.Query(q, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := x.Stats(); st.Misses != 2 {
+		t.Fatalf("misses = %d, want 2 after invalidation", st.Misses)
+	}
+	x.InvalidateAll()
+	if _, err := x.Query(q, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := x.Stats(); st.Misses != 3 {
+		t.Fatalf("misses = %d, want 3 after InvalidateAll", st.Misses)
+	}
+}
+
+func TestTruncatedHorizonApproximate(t *testing.T) {
+	e, ds := testEngine(t)
+	x, err := New(e, Config{Workers: 1, CacheSize: 8, MaxHorizonUsers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A hub seeker with a 2-user horizon cannot generally certify k=5.
+	hub := ds.Graph.DegreePercentileUser(99)
+	q := core.Query{Seeker: hub, Tags: []tagstore.TagID{0, 1}, K: 5}
+	ans, err := x.Query(q, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.UsersSettled > 2 {
+		t.Fatalf("settled %d users with a horizon of 2", ans.UsersSettled)
+	}
+	_ = ans.Exact // may or may not certify; the bound above is the contract
+}
+
+func TestHorizonAccessors(t *testing.T) {
+	e, _ := testEngine(t)
+	h, err := e.MaterializeHorizon(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Seeker() != 0 {
+		t.Fatalf("Seeker = %d", h.Seeker())
+	}
+	if h.Size() == 0 || h.Size() > 3 {
+		t.Fatalf("Size = %d, want in (0,3]", h.Size())
+	}
+	if h.MemoryBytes() <= 0 {
+		t.Fatal("MemoryBytes not positive")
+	}
+	// mismatched seeker is rejected
+	if _, err := e.SocialMergeWithHorizon(core.Query{Seeker: 1, Tags: []tagstore.TagID{0}, K: 1}, h, core.Options{}); err == nil {
+		t.Fatal("horizon/seeker mismatch accepted")
+	}
+	if _, err := e.SocialMergeWithHorizon(core.Query{Seeker: 0, Tags: []tagstore.TagID{0}, K: 1}, nil, core.Options{}); err == nil {
+		t.Fatal("nil horizon accepted")
+	}
+}

@@ -1,0 +1,391 @@
+package gen
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestGraphKindString(t *testing.T) {
+	if BarabasiAlbert.String() != "barabasi-albert" ||
+		WattsStrogatz.String() != "watts-strogatz" ||
+		ErdosRenyi.String() != "erdos-renyi" {
+		t.Fatal("GraphKind names wrong")
+	}
+	if GraphKind(99).String() == "" {
+		t.Fatal("unknown kind should still stringify")
+	}
+}
+
+func TestNewGraphValidation(t *testing.T) {
+	bad := []GraphParams{
+		{Kind: BarabasiAlbert, NumUsers: 0, M: 2, MinWeight: 0.5, MaxWeight: 1},
+		{Kind: BarabasiAlbert, NumUsers: 10, M: 0, MinWeight: 0.5, MaxWeight: 1},
+		{Kind: WattsStrogatz, NumUsers: 10, K: 0, MinWeight: 0.5, MaxWeight: 1},
+		{Kind: WattsStrogatz, NumUsers: 10, K: 2, P: 1.5, MinWeight: 0.5, MaxWeight: 1},
+		{Kind: ErdosRenyi, NumUsers: 10, P: -0.1, MinWeight: 0.5, MaxWeight: 1},
+		{Kind: BarabasiAlbert, NumUsers: 10, M: 2, MinWeight: 0, MaxWeight: 1},
+		{Kind: BarabasiAlbert, NumUsers: 10, M: 2, MinWeight: 0.9, MaxWeight: 0.5},
+		{Kind: GraphKind(42), NumUsers: 10, MinWeight: 0.5, MaxWeight: 1},
+	}
+	for i, p := range bad {
+		if _, err := NewGraph(p, 1); err == nil {
+			t.Errorf("case %d: invalid params accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestBarabasiAlbertShape(t *testing.T) {
+	p := GraphParams{Kind: BarabasiAlbert, NumUsers: 500, M: 3, MinWeight: 0.3, MaxWeight: 1}
+	g, err := NewGraph(p, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumUsers() != 500 {
+		t.Fatalf("NumUsers = %d", g.NumUsers())
+	}
+	// BA graphs are connected and have ~M*N edges.
+	if _, count := g.ConnectedComponents(); count != 1 {
+		t.Fatalf("BA graph has %d components, want 1", count)
+	}
+	if e := g.NumEdges(); e < 3*450 || e > 3*500+10 {
+		t.Fatalf("NumEdges = %d, out of expected BA range", e)
+	}
+	// Power-law shape: max degree far above median.
+	s := g.ComputeStats(64)
+	if s.MaxDegree < 4*s.MedianDegree {
+		t.Fatalf("BA max degree %d not hub-like vs median %d", s.MaxDegree, s.MedianDegree)
+	}
+}
+
+func TestWattsStrogatzShape(t *testing.T) {
+	p := GraphParams{Kind: WattsStrogatz, NumUsers: 400, K: 4, P: 0.05, MinWeight: 0.3, MaxWeight: 1}
+	g, err := NewGraph(p, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// near-lattice: clustering stays high
+	s := g.ComputeStats(64)
+	if s.ClusteringSample < 0.2 {
+		t.Fatalf("WS clustering %g too low for P=0.05", s.ClusteringSample)
+	}
+	if s.AvgDegree < 6 || s.AvgDegree > 9 {
+		t.Fatalf("WS avg degree %g, want ~8", s.AvgDegree)
+	}
+}
+
+func TestErdosRenyiShape(t *testing.T) {
+	p := GraphParams{Kind: ErdosRenyi, NumUsers: 300, P: 0.05, MinWeight: 0.3, MaxWeight: 1}
+	g, err := NewGraph(p, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E[edges] = C(300,2)*0.05 ≈ 2242; allow wide tolerance.
+	if e := g.NumEdges(); e < 1800 || e > 2700 {
+		t.Fatalf("ER edges = %d, far from expectation 2242", e)
+	}
+}
+
+func TestNewGraphDeterministic(t *testing.T) {
+	p := GraphParams{Kind: BarabasiAlbert, NumUsers: 200, M: 3, MinWeight: 0.3, MaxWeight: 1}
+	g1, err := NewGraph(p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGraph(p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g1.Edges(), g2.Edges()) {
+		t.Fatal("same seed produced different graphs")
+	}
+	g3, err := NewGraph(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(g1.Edges(), g3.Edges()) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestWSGraphDeterministic(t *testing.T) {
+	p := GraphParams{Kind: WattsStrogatz, NumUsers: 150, K: 3, P: 0.2, MinWeight: 0.3, MaxWeight: 1}
+	g1, err := NewGraph(p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGraph(p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g1.Edges(), g2.Edges()) {
+		t.Fatal("same seed produced different WS graphs")
+	}
+}
+
+func tinyParams() CorpusParams {
+	return CorpusParams{
+		Name: "tiny",
+		Graph: GraphParams{
+			Kind: BarabasiAlbert, NumUsers: 120, M: 3,
+			MinWeight: 0.3, MaxWeight: 1,
+		},
+		NumItems:       300,
+		NumTags:        60,
+		TriplesPerUser: 25,
+		TagZipfS:       1.1,
+		ItemZipfS:      1.1,
+		Homophily:      0.5,
+	}
+}
+
+func TestGenerateCorpus(t *testing.T) {
+	ds, err := Generate(tinyParams(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Graph.NumUsers() != 120 || ds.Store.NumUsers() != 120 {
+		t.Fatalf("user universes disagree: %d vs %d", ds.Graph.NumUsers(), ds.Store.NumUsers())
+	}
+	st := ds.Store.ComputeStats()
+	if st.Triples == 0 {
+		t.Fatal("no triples generated")
+	}
+	// mean 25 per user, jittered: total should be within a loose band
+	if st.Triples < 120*8 || st.Triples > 120*40 {
+		t.Fatalf("triples = %d, outside band for mean 25/user", st.Triples)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	d1, err := Generate(tinyParams(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Generate(tinyParams(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d1.Store.Triples(), d2.Store.Triples()) {
+		t.Fatal("same seed produced different corpora")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	p := tinyParams()
+	p.TagZipfS = 1.0
+	if _, err := Generate(p, 1); err == nil {
+		t.Fatal("zipf s=1 accepted")
+	}
+	p = tinyParams()
+	p.Homophily = 1.5
+	if _, err := Generate(p, 1); err == nil {
+		t.Fatal("homophily 1.5 accepted")
+	}
+	p = tinyParams()
+	p.NumItems = 0
+	if _, err := Generate(p, 1); err == nil {
+		t.Fatal("zero items accepted")
+	}
+	p = tinyParams()
+	p.TriplesPerUser = -1
+	if _, err := Generate(p, 1); err == nil {
+		t.Fatal("negative triples accepted")
+	}
+}
+
+func TestHomophilyIncreasesFriendOverlap(t *testing.T) {
+	// Metric: mean count of shared items over friend pairs divided by
+	// the same over random pairs. Homophily should raise the ratio.
+	ratio := func(h float64) float64 {
+		p := tinyParams()
+		p.Homophily = h
+		p.NumItems = 50_000 // large universe so chance overlap is rare
+		p.ItemZipfS = 1.01  // near-flat: draws spread across the universe
+		ds, err := Generate(p, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := ds.Graph.NumUsers()
+		items := make([]map[int32]bool, n)
+		for u := 0; u < n; u++ {
+			items[u] = make(map[int32]bool)
+		}
+		for _, tr := range ds.Store.Triples() {
+			items[tr.User][tr.Item] = true
+		}
+		shared := func(u, v int) float64 {
+			c := 0
+			for it := range items[u] {
+				if items[v][it] {
+					c++
+				}
+			}
+			return float64(c)
+		}
+		var friendSum float64
+		var friendPairs int
+		for _, e := range ds.Graph.Edges() {
+			friendSum += shared(int(e.U), int(e.V))
+			friendPairs++
+		}
+		var randSum float64
+		randPairs := 0
+		for u := 0; u < n; u++ {
+			for d := 7; d <= 35; d += 7 { // fixed non-adjacent strides
+				v := (u + d*13) % n
+				if u != v && !ds.Graph.HasEdge(int32(u), int32(v)) {
+					randSum += shared(u, v)
+					randPairs++
+				}
+			}
+		}
+		if friendPairs == 0 || randPairs == 0 || randSum == 0 {
+			t.Fatal("degenerate overlap sample")
+		}
+		return (friendSum / float64(friendPairs)) / (randSum / float64(randPairs))
+	}
+	lo, hi := ratio(0), ratio(0.8)
+	if hi <= lo*1.2 {
+		t.Fatalf("homophily had no effect: friend/random overlap ratio %g (h=0) vs %g (h=0.8)", lo, hi)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	ps := Presets()
+	if len(ps) != 3 {
+		t.Fatalf("Presets len = %d", len(ps))
+	}
+	names := map[string]bool{}
+	for _, p := range ps {
+		names[p.Name] = true
+		small := p.Scale(0.05)
+		if small.Graph.NumUsers >= p.Graph.NumUsers {
+			t.Fatalf("%s: Scale(0.05) did not shrink", p.Name)
+		}
+		if _, err := Generate(small, 1); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+	}
+	for _, want := range []string{"delicious-like", "flickr-like", "twitter-like"} {
+		if !names[want] {
+			t.Fatalf("missing preset %q", want)
+		}
+	}
+}
+
+func TestScaleClampsAndIdentity(t *testing.T) {
+	p := tinyParams()
+	q := p.Scale(0)
+	if q.Graph.NumUsers != p.Graph.NumUsers {
+		t.Fatal("Scale(0) should be identity")
+	}
+	q = p.Scale(0.0001)
+	if q.Graph.NumUsers < 1 || q.NumItems < 1 || q.NumTags < 1 {
+		t.Fatal("Scale floor violated")
+	}
+}
+
+func TestWorkload(t *testing.T) {
+	ds, err := Generate(tinyParams(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp := DefaultWorkloadParams()
+	wp.NumQueries = 20
+	qs, err := Workload(ds, wp, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 20 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for _, q := range qs {
+		if ds.Graph.Degree(q.Seeker) == 0 {
+			t.Fatalf("seeker %d has no friends", q.Seeker)
+		}
+		if len(q.Tags) != wp.TagsPerQuery {
+			t.Fatalf("query has %d tags, want %d", len(q.Tags), wp.TagsPerQuery)
+		}
+		seen := map[int32]bool{}
+		for _, tag := range q.Tags {
+			if tag < 0 || int(tag) >= ds.Store.NumTags() {
+				t.Fatalf("tag %d out of range", tag)
+			}
+			if seen[tag] {
+				t.Fatalf("duplicate tag in query: %v", q.Tags)
+			}
+			seen[tag] = true
+		}
+	}
+}
+
+func TestWorkloadDeterministic(t *testing.T) {
+	ds, err := Generate(tinyParams(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, err := Workload(ds, DefaultWorkloadParams(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := Workload(ds, DefaultWorkloadParams(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(q1, q2) {
+		t.Fatal("same seed produced different workloads")
+	}
+}
+
+func TestWorkloadSeekerPercentile(t *testing.T) {
+	ds, err := Generate(tinyParams(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp := DefaultWorkloadParams()
+	wp.SeekerPercentile = 99
+	qs, err := Workload(ds, wp, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := ds.Graph.DegreePercentileUser(99)
+	for _, q := range qs {
+		if q.Seeker != hub {
+			t.Fatalf("seeker %d != percentile-99 user %d", q.Seeker, hub)
+		}
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	ds, err := Generate(tinyParams(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Workload(ds, WorkloadParams{NumQueries: 0, TagsPerQuery: 1}, 1); err == nil {
+		t.Fatal("zero queries accepted")
+	}
+	if _, err := Workload(ds, WorkloadParams{NumQueries: 1, TagsPerQuery: 0}, 1); err == nil {
+		t.Fatal("zero tags accepted")
+	}
+	if _, err := Workload(ds, WorkloadParams{NumQueries: 1, TagsPerQuery: 1, NeighborhoodBias: 2}, 1); err == nil {
+		t.Fatal("bias 2 accepted")
+	}
+	if _, err := Workload(ds, WorkloadParams{NumQueries: 1, TagsPerQuery: 10_000}, 1); err == nil {
+		t.Fatal("tags-per-query beyond universe accepted")
+	}
+}
+
+func TestGraphWithOneUser(t *testing.T) {
+	p := GraphParams{Kind: BarabasiAlbert, NumUsers: 1, M: 1, MinWeight: 0.5, MaxWeight: 1}
+	g, err := NewGraph(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumUsers() != 1 || g.NumEdges() != 0 {
+		t.Fatalf("one-user graph wrong: %d users %d edges", g.NumUsers(), g.NumEdges())
+	}
+}
+
+var _ = graph.UserID(0) // keep import used if assertions change

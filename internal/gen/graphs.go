@@ -1,0 +1,217 @@
+// Package gen synthesizes social tagging corpora and query workloads
+// with the structural properties the evaluation needs: power-law or
+// small-world social graphs, Zipf-distributed tag and item popularity,
+// and controllable homophily (friends tag the same items), which is what
+// makes socially personalized search meaningful. It replaces the
+// proprietary del.icio.us/Flickr/Twitter crawls used by the original
+// evaluation (see DESIGN.md §4 for the substitution rationale).
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// GraphKind selects the random-graph family.
+type GraphKind int
+
+const (
+	// BarabasiAlbert grows a scale-free graph by preferential
+	// attachment: each new vertex attaches to M existing vertices with
+	// probability proportional to their degree. Degree distribution is
+	// power-law — the shape of bookmarking and microblogging networks.
+	BarabasiAlbert GraphKind = iota
+	// WattsStrogatz builds a ring lattice with K neighbours per side and
+	// rewires each edge with probability P — high clustering with short
+	// paths, the shape of photo-sharing friend networks.
+	WattsStrogatz
+	// ErdosRenyi connects every pair independently with probability P —
+	// the unstructured control case.
+	ErdosRenyi
+)
+
+// String names the graph family.
+func (k GraphKind) String() string {
+	switch k {
+	case BarabasiAlbert:
+		return "barabasi-albert"
+	case WattsStrogatz:
+		return "watts-strogatz"
+	case ErdosRenyi:
+		return "erdos-renyi"
+	default:
+		return fmt.Sprintf("GraphKind(%d)", int(k))
+	}
+}
+
+// GraphParams configures social-graph generation. Edge weights are drawn
+// uniformly from [MinWeight, MaxWeight].
+type GraphParams struct {
+	Kind      GraphKind
+	NumUsers  int
+	M         int     // BarabasiAlbert: attachments per new vertex
+	K         int     // WattsStrogatz: lattice neighbours per side
+	P         float64 // WattsStrogatz rewire / ErdosRenyi edge probability
+	MinWeight float64
+	MaxWeight float64
+}
+
+func (p GraphParams) validate() error {
+	if p.NumUsers < 1 {
+		return fmt.Errorf("gen: NumUsers %d must be >= 1", p.NumUsers)
+	}
+	if p.MinWeight <= 0 || p.MaxWeight > 1 || p.MinWeight > p.MaxWeight {
+		return fmt.Errorf("gen: weight range [%g,%g] invalid", p.MinWeight, p.MaxWeight)
+	}
+	switch p.Kind {
+	case BarabasiAlbert:
+		if p.M < 1 {
+			return fmt.Errorf("gen: BA attachment M %d must be >= 1", p.M)
+		}
+	case WattsStrogatz:
+		if p.K < 1 {
+			return fmt.Errorf("gen: WS K %d must be >= 1", p.K)
+		}
+		if p.P < 0 || p.P > 1 {
+			return fmt.Errorf("gen: WS rewire probability %g outside [0,1]", p.P)
+		}
+	case ErdosRenyi:
+		if p.P < 0 || p.P > 1 {
+			return fmt.Errorf("gen: ER probability %g outside [0,1]", p.P)
+		}
+	default:
+		return fmt.Errorf("gen: unknown graph kind %d", int(p.Kind))
+	}
+	return nil
+}
+
+// NewGraph generates a social graph deterministically from the seed.
+func NewGraph(p GraphParams, seed int64) (*graph.Graph, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	w := func() float64 {
+		return p.MinWeight + (p.MaxWeight-p.MinWeight)*rng.Float64()
+	}
+	b := graph.NewBuilder(p.NumUsers)
+	switch p.Kind {
+	case BarabasiAlbert:
+		buildBA(b, p.NumUsers, p.M, rng, w)
+	case WattsStrogatz:
+		buildWS(b, p.NumUsers, p.K, p.P, rng, w)
+	case ErdosRenyi:
+		buildER(b, p.NumUsers, p.P, rng, w)
+	}
+	return b.Build()
+}
+
+func buildBA(b *graph.Builder, n, m int, rng *rand.Rand, w func() float64) {
+	if n == 1 {
+		return
+	}
+	// repeated-vertex list implements preferential attachment in O(1)
+	// per draw: every endpoint occurrence is one "vote".
+	var votes []graph.UserID
+	core := m + 1
+	if core > n {
+		core = n
+	}
+	// seed clique over the first core vertices
+	for i := 0; i < core; i++ {
+		for j := i + 1; j < core; j++ {
+			b.AddEdge(graph.UserID(i), graph.UserID(j), w())
+			votes = append(votes, graph.UserID(i), graph.UserID(j))
+		}
+	}
+	for v := core; v < n; v++ {
+		seen := make(map[graph.UserID]bool, m)
+		chosen := make([]graph.UserID, 0, m)
+		for len(chosen) < m && len(chosen) < v {
+			var t graph.UserID
+			if len(votes) == 0 {
+				t = graph.UserID(rng.Intn(v))
+			} else {
+				t = votes[rng.Intn(len(votes))]
+			}
+			if int(t) == v || seen[t] {
+				// resample uniformly to escape repeated hub draws
+				t = graph.UserID(rng.Intn(v))
+				if seen[t] {
+					continue
+				}
+			}
+			seen[t] = true
+			chosen = append(chosen, t)
+		}
+		for _, t := range chosen {
+			b.AddEdge(graph.UserID(v), t, w())
+			votes = append(votes, graph.UserID(v), t)
+		}
+	}
+}
+
+func buildWS(b *graph.Builder, n, k int, p float64, rng *rand.Rand, w func() float64) {
+	if n < 2 {
+		return
+	}
+	if k > (n-1)/2 {
+		k = (n - 1) / 2
+		if k < 1 {
+			k = 1
+		}
+	}
+	type pair struct{ u, v graph.UserID }
+	seen := make(map[pair]bool)
+	var order []pair // insertion order keeps weight assignment deterministic
+	addNorm := func(u, v graph.UserID) bool {
+		if u == v {
+			return false
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := pair{u, v}
+		if seen[key] {
+			return false
+		}
+		seen[key] = true
+		order = append(order, key)
+		return true
+	}
+	for i := 0; i < n; i++ {
+		for j := 1; j <= k; j++ {
+			u := graph.UserID(i)
+			v := graph.UserID((i + j) % n)
+			if p > 0 && rng.Float64() < p {
+				// rewire to a uniform random non-duplicate target
+				for attempt := 0; attempt < 8; attempt++ {
+					cand := graph.UserID(rng.Intn(n))
+					if addNorm(u, cand) {
+						v = -1
+						break
+					}
+				}
+				if v == -1 {
+					continue
+				}
+			}
+			addNorm(u, v)
+		}
+	}
+	for _, e := range order {
+		b.AddEdge(e.u, e.v, w())
+	}
+}
+
+func buildER(b *graph.Builder, n int, p float64, rng *rand.Rand, w func() float64) {
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				b.AddEdge(graph.UserID(i), graph.UserID(j), w())
+			}
+		}
+	}
+}

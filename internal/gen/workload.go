@@ -1,0 +1,117 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/tagstore"
+)
+
+// QuerySpec is one generated query: a seeker plus a tag set.
+type QuerySpec struct {
+	Seeker graph.UserID
+	Tags   []tagstore.TagID
+}
+
+// WorkloadParams configures query generation.
+type WorkloadParams struct {
+	// NumQueries is the number of queries to draw.
+	NumQueries int
+	// TagsPerQuery is the size of each query's tag set.
+	TagsPerQuery int
+	// NeighborhoodBias ∈ [0,1]: probability each query tag is drawn
+	// from the vocabulary of the seeker's friends (guaranteeing socially
+	// answerable queries) rather than from the global distribution.
+	NeighborhoodBias float64
+	// SeekerPercentile, when in [0,100], fixes every seeker to the user
+	// at that degree percentile; -1 draws seekers uniformly among users
+	// with at least one friend.
+	SeekerPercentile int
+}
+
+// DefaultWorkloadParams returns the standard workload: 2-tag queries,
+// mostly neighbourhood-biased, uniform seekers.
+func DefaultWorkloadParams() WorkloadParams {
+	return WorkloadParams{
+		NumQueries:       50,
+		TagsPerQuery:     2,
+		NeighborhoodBias: 0.8,
+		SeekerPercentile: -1,
+	}
+}
+
+// Workload draws a deterministic query workload from the dataset.
+func Workload(ds *Dataset, p WorkloadParams, seed int64) ([]QuerySpec, error) {
+	if p.NumQueries < 1 || p.TagsPerQuery < 1 {
+		return nil, fmt.Errorf("gen: workload sizes (%d queries, %d tags) must be >= 1",
+			p.NumQueries, p.TagsPerQuery)
+	}
+	if p.NeighborhoodBias < 0 || p.NeighborhoodBias > 1 {
+		return nil, fmt.Errorf("gen: neighbourhood bias %g outside [0,1]", p.NeighborhoodBias)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := ds.Graph.NumUsers()
+	if n == 0 {
+		return nil, fmt.Errorf("gen: empty graph")
+	}
+
+	// Candidate seekers: users with at least one friend.
+	var connected []graph.UserID
+	for u := 0; u < n; u++ {
+		if ds.Graph.Degree(graph.UserID(u)) > 0 {
+			connected = append(connected, graph.UserID(u))
+		}
+	}
+	if len(connected) == 0 {
+		return nil, fmt.Errorf("gen: no connected users to act as seekers")
+	}
+
+	nt := ds.Store.NumTags()
+	if p.TagsPerQuery > nt {
+		return nil, fmt.Errorf("gen: %d tags per query exceeds tag universe %d", p.TagsPerQuery, nt)
+	}
+	tagZ := rand.NewZipf(rng, 1.1, 1, uint64(nt-1))
+
+	queries := make([]QuerySpec, 0, p.NumQueries)
+	for qi := 0; qi < p.NumQueries; qi++ {
+		var seeker graph.UserID
+		if p.SeekerPercentile >= 0 && p.SeekerPercentile <= 100 {
+			seeker = ds.Graph.DegreePercentileUser(p.SeekerPercentile)
+		} else {
+			seeker = connected[rng.Intn(len(connected))]
+		}
+		// Vocabulary of the seeker's friends (and the seeker).
+		var vocab []tagstore.TagID
+		nbrs, _ := ds.Graph.Neighbors(seeker)
+		pool := append([]graph.UserID{seeker}, nbrs...)
+		for _, v := range pool {
+			vocab = append(vocab, ds.Store.UserTags(int32(v))...)
+		}
+		used := make(map[tagstore.TagID]bool, p.TagsPerQuery)
+		tags := make([]tagstore.TagID, 0, p.TagsPerQuery)
+		for len(tags) < p.TagsPerQuery {
+			var t tagstore.TagID
+			if len(vocab) > 0 && rng.Float64() < p.NeighborhoodBias {
+				t = vocab[rng.Intn(len(vocab))]
+			} else {
+				t = tagstore.TagID(tagZ.Uint64())
+			}
+			if used[t] {
+				// Degenerate vocabularies may not have enough distinct
+				// tags; fall back to a global draw.
+				t = tagstore.TagID(tagZ.Uint64())
+				if used[t] {
+					t = tagstore.TagID(rng.Intn(nt))
+				}
+				if used[t] {
+					continue
+				}
+			}
+			used[t] = true
+			tags = append(tags, t)
+		}
+		queries = append(queries, QuerySpec{Seeker: seeker, Tags: tags})
+	}
+	return queries, nil
+}

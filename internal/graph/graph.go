@@ -1,0 +1,296 @@
+// Package graph implements the weighted undirected social graph that
+// underlies the social search engine. The graph is stored in compressed
+// sparse row (CSR) form for cache-friendly traversal: all adjacency lists
+// live in two flat arrays indexed by a per-vertex offset table.
+//
+// Vertices are dense user identifiers in [0, NumUsers). Edge weights are
+// friendship strengths in (0, 1]; a weight of 1 is a maximally strong tie.
+// The package provides the traversals the proximity engine and the
+// generators need: BFS, connected components, weighted (max-product)
+// Dijkstra, degree statistics and clustering coefficients.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// UserID is a dense vertex identifier in [0, NumUsers).
+type UserID = int32
+
+// Edge is a single undirected edge with its friendship weight.
+type Edge struct {
+	U, V   UserID
+	Weight float64
+}
+
+// Builder accumulates edges before freezing them into an immutable Graph.
+// Duplicate edges are merged keeping the maximum weight; self-loops are
+// rejected at Build time.
+type Builder struct {
+	numUsers int
+	edges    []Edge
+}
+
+// NewBuilder returns a Builder for a graph over numUsers vertices.
+func NewBuilder(numUsers int) *Builder {
+	return &Builder{numUsers: numUsers}
+}
+
+// AddEdge records an undirected edge (u, v) with the given weight.
+// It may be called multiple times for the same pair; the maximum weight
+// wins. Ordering of u and v does not matter.
+func (b *Builder) AddEdge(u, v UserID, weight float64) {
+	b.edges = append(b.edges, Edge{U: u, V: v, Weight: weight})
+}
+
+// NumEdgesAdded reports how many AddEdge calls were recorded (before
+// dedup).
+func (b *Builder) NumEdgesAdded() int { return len(b.edges) }
+
+// Build validates and freezes the accumulated edges into a Graph.
+func (b *Builder) Build() (*Graph, error) {
+	n := b.numUsers
+	if n < 0 {
+		return nil, errors.New("graph: negative user count")
+	}
+	for _, e := range b.edges {
+		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
+		}
+		if e.U == e.V {
+			return nil, fmt.Errorf("graph: self-loop on user %d", e.U)
+		}
+		if e.Weight <= 0 || e.Weight > 1 {
+			return nil, fmt.Errorf("graph: edge (%d,%d) weight %g outside (0,1]", e.U, e.V, e.Weight)
+		}
+	}
+	// Normalize to (min,max) key and dedup keeping max weight.
+	type key struct{ a, b UserID }
+	best := make(map[key]float64, len(b.edges))
+	for _, e := range b.edges {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		k := key{u, v}
+		if w, ok := best[k]; !ok || e.Weight > w {
+			best[k] = e.Weight
+		}
+	}
+	uniq := make([]Edge, 0, len(best))
+	for k, w := range best {
+		uniq = append(uniq, Edge{U: k.a, V: k.b, Weight: w})
+	}
+	sort.Slice(uniq, func(i, j int) bool {
+		if uniq[i].U != uniq[j].U {
+			return uniq[i].U < uniq[j].U
+		}
+		return uniq[i].V < uniq[j].V
+	})
+
+	deg := make([]int32, n+1)
+	for _, e := range uniq {
+		deg[e.U+1]++
+		deg[e.V+1]++
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	m2 := int(deg[n]) // 2 * |E|
+	adj := make([]UserID, m2)
+	wts := make([]float64, m2)
+	cursor := make([]int32, n)
+	copy(cursor, deg[:n])
+	insert := func(from, to UserID, w float64) {
+		p := cursor[from]
+		adj[p] = to
+		wts[p] = w
+		cursor[from]++
+	}
+	for _, e := range uniq {
+		insert(e.U, e.V, e.Weight)
+		insert(e.V, e.U, e.Weight)
+	}
+	g := &Graph{
+		numUsers: n,
+		offsets:  deg,
+		adj:      adj,
+		weights:  wts,
+	}
+	// Sort each adjacency slice by neighbour id for deterministic
+	// iteration and binary-searchable HasEdge.
+	for u := 0; u < n; u++ {
+		lo, hi := g.offsets[u], g.offsets[u+1]
+		sort.Sort(nbrSorter{adj: adj, wts: wts, lo: int(lo), n: int(hi - lo)})
+	}
+	return g, nil
+}
+
+type nbrSorter struct {
+	adj []UserID
+	wts []float64
+	lo  int
+	n   int
+}
+
+func (s nbrSorter) Len() int { return s.n }
+func (s nbrSorter) Less(i, j int) bool {
+	return s.adj[s.lo+i] < s.adj[s.lo+j]
+}
+func (s nbrSorter) Swap(i, j int) {
+	a, b := s.lo+i, s.lo+j
+	s.adj[a], s.adj[b] = s.adj[b], s.adj[a]
+	s.wts[a], s.wts[b] = s.wts[b], s.wts[a]
+}
+
+// Graph is an immutable weighted undirected graph in CSR form.
+// The zero value is an empty graph.
+type Graph struct {
+	numUsers int
+	offsets  []int32 // len numUsers+1
+	adj      []UserID
+	weights  []float64
+}
+
+// NumUsers reports the number of vertices.
+func (g *Graph) NumUsers() int { return g.numUsers }
+
+// NumEdges reports the number of undirected edges.
+func (g *Graph) NumEdges() int { return len(g.adj) / 2 }
+
+// Degree reports the number of neighbours of u.
+func (g *Graph) Degree(u UserID) int {
+	return int(g.offsets[u+1] - g.offsets[u])
+}
+
+// Neighbors returns the sorted neighbour ids of u and their weights.
+// The returned slices alias internal storage and must not be modified.
+func (g *Graph) Neighbors(u UserID) ([]UserID, []float64) {
+	lo, hi := g.offsets[u], g.offsets[u+1]
+	return g.adj[lo:hi], g.weights[lo:hi]
+}
+
+// EdgeWeight reports the weight of edge (u, v), or 0 and false when the
+// edge does not exist.
+func (g *Graph) EdgeWeight(u, v UserID) (float64, bool) {
+	nbrs, wts := g.Neighbors(u)
+	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= v })
+	if i < len(nbrs) && nbrs[i] == v {
+		return wts[i], true
+	}
+	return 0, false
+}
+
+// HasEdge reports whether edge (u, v) exists.
+func (g *Graph) HasEdge(u, v UserID) bool {
+	_, ok := g.EdgeWeight(u, v)
+	return ok
+}
+
+// Edges returns all undirected edges, each reported once with U < V,
+// sorted by (U, V). The slice is freshly allocated.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.NumEdges())
+	for u := 0; u < g.numUsers; u++ {
+		nbrs, wts := g.Neighbors(UserID(u))
+		for i, v := range nbrs {
+			if UserID(u) < v {
+				out = append(out, Edge{U: UserID(u), V: v, Weight: wts[i]})
+			}
+		}
+	}
+	return out
+}
+
+// BFS performs a breadth-first traversal from src, invoking visit for
+// every reachable vertex with its hop distance (src has distance 0).
+// Traversal stops early if visit returns false.
+func (g *Graph) BFS(src UserID, visit func(u UserID, depth int) bool) {
+	if g.numUsers == 0 {
+		return
+	}
+	seen := make([]bool, g.numUsers)
+	queue := []UserID{src}
+	seen[src] = true
+	depth := 0
+	for len(queue) > 0 {
+		var next []UserID
+		for _, u := range queue {
+			if !visit(u, depth) {
+				return
+			}
+			nbrs, _ := g.Neighbors(u)
+			for _, v := range nbrs {
+				if !seen[v] {
+					seen[v] = true
+					next = append(next, v)
+				}
+			}
+		}
+		queue = next
+		depth++
+	}
+}
+
+// HopDistances returns the hop distance from src to every vertex, with -1
+// for unreachable vertices.
+func (g *Graph) HopDistances(src UserID) []int {
+	dist := make([]int, g.numUsers)
+	for i := range dist {
+		dist[i] = -1
+	}
+	g.BFS(src, func(u UserID, depth int) bool {
+		dist[u] = depth
+		return true
+	})
+	return dist
+}
+
+// ConnectedComponents labels every vertex with a component id in
+// [0, numComponents) and returns the labels plus the component count.
+// Component ids are assigned in order of the smallest vertex they contain.
+func (g *Graph) ConnectedComponents() (labels []int, count int) {
+	labels = make([]int, g.numUsers)
+	for i := range labels {
+		labels[i] = -1
+	}
+	for u := 0; u < g.numUsers; u++ {
+		if labels[u] != -1 {
+			continue
+		}
+		g.BFS(UserID(u), func(v UserID, _ int) bool {
+			labels[v] = count
+			return true
+		})
+		count++
+	}
+	return labels, count
+}
+
+// LargestComponent returns the vertices of the largest connected
+// component, sorted ascending.
+func (g *Graph) LargestComponent() []UserID {
+	labels, count := g.ConnectedComponents()
+	if count == 0 {
+		return nil
+	}
+	sizes := make([]int, count)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	best := 0
+	for c := 1; c < count; c++ {
+		if sizes[c] > sizes[best] {
+			best = c
+		}
+	}
+	out := make([]UserID, 0, sizes[best])
+	for u, l := range labels {
+		if l == best {
+			out = append(out, UserID(u))
+		}
+	}
+	return out
+}

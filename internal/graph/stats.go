@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"math"
+	"sort"
+)
+
+// Stats summarizes the structure of a graph; it backs Table 1 of the
+// experiment suite.
+type Stats struct {
+	NumUsers          int
+	NumEdges          int
+	MinDegree         int
+	MaxDegree         int
+	AvgDegree         float64
+	MedianDegree      int
+	Components        int
+	LargestComponent  int
+	ClusteringSample  float64 // sampled average local clustering coefficient
+	EffectiveDiameter float64 // sampled 90th-percentile hop distance
+}
+
+// ComputeStats derives structural statistics. sample bounds the number of
+// vertices used for the clustering-coefficient and diameter estimates
+// (they are cubic/quadratic in the worst case); sample <= 0 means a
+// default of 256.
+func (g *Graph) ComputeStats(sample int) Stats {
+	if sample <= 0 {
+		sample = 256
+	}
+	n := g.NumUsers()
+	s := Stats{NumUsers: n, NumEdges: g.NumEdges()}
+	if n == 0 {
+		return s
+	}
+	degrees := make([]int, n)
+	minD, maxD, sum := math.MaxInt, 0, 0
+	for u := 0; u < n; u++ {
+		d := g.Degree(UserID(u))
+		degrees[u] = d
+		if d < minD {
+			minD = d
+		}
+		if d > maxD {
+			maxD = d
+		}
+		sum += d
+	}
+	sort.Ints(degrees)
+	s.MinDegree = minD
+	s.MaxDegree = maxD
+	s.AvgDegree = float64(sum) / float64(n)
+	s.MedianDegree = degrees[n/2]
+
+	labels, count := g.ConnectedComponents()
+	s.Components = count
+	sizes := make([]int, count)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	for _, sz := range sizes {
+		if sz > s.LargestComponent {
+			s.LargestComponent = sz
+		}
+	}
+
+	// Deterministic sampling: stride over the vertex range.
+	stride := n / sample
+	if stride == 0 {
+		stride = 1
+	}
+	var ccSum float64
+	var ccCount int
+	var hops []int
+	for u := 0; u < n; u += stride {
+		ccSum += g.LocalClustering(UserID(u))
+		ccCount++
+		if ccCount <= 16 { // diameter sampling is the expensive part
+			for _, d := range g.HopDistances(UserID(u)) {
+				if d > 0 {
+					hops = append(hops, d)
+				}
+			}
+		}
+	}
+	if ccCount > 0 {
+		s.ClusteringSample = ccSum / float64(ccCount)
+	}
+	if len(hops) > 0 {
+		sort.Ints(hops)
+		s.EffectiveDiameter = float64(hops[(len(hops)*9)/10])
+	}
+	return s
+}
+
+// LocalClustering returns the local clustering coefficient of u: the
+// fraction of pairs of u's neighbours that are themselves connected.
+// Vertices with degree < 2 have coefficient 0.
+func (g *Graph) LocalClustering(u UserID) float64 {
+	nbrs, _ := g.Neighbors(u)
+	d := len(nbrs)
+	if d < 2 {
+		return 0
+	}
+	links := 0
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			if g.HasEdge(nbrs[i], nbrs[j]) {
+				links++
+			}
+		}
+	}
+	return 2 * float64(links) / float64(d*(d-1))
+}
+
+// DegreePercentileUser returns a vertex whose degree sits at the given
+// percentile (0..100) of the degree distribution. Useful for selecting
+// seekers of controlled connectivity in experiments.
+func (g *Graph) DegreePercentileUser(pct int) UserID {
+	n := g.NumUsers()
+	if n == 0 {
+		return 0
+	}
+	if pct < 0 {
+		pct = 0
+	}
+	if pct > 100 {
+		pct = 100
+	}
+	type du struct {
+		d int
+		u UserID
+	}
+	all := make([]du, n)
+	for u := 0; u < n; u++ {
+		all[u] = du{g.Degree(UserID(u)), UserID(u)}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].d != all[j].d {
+			return all[i].d < all[j].d
+		}
+		return all[i].u < all[j].u
+	})
+	idx := (pct * (n - 1)) / 100
+	return all[idx].u
+}

@@ -1,0 +1,6 @@
+package index
+
+import "hash/crc32"
+
+// crcIEEE is a test helper alias so format_test stays readable.
+func crcIEEE(b []byte) uint32 { return crc32.ChecksumIEEE(b) }

@@ -1,0 +1,64 @@
+package index
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/graph"
+	"repro/internal/pagestore"
+	"repro/internal/tagstore"
+)
+
+// ReadPaged deserializes a dataset through a pagestore pool, touching
+// the file one page at a time instead of buffering it whole. The
+// checksum is computed while streaming and verified against the
+// trailer before the decoded structures are returned; on mismatch the
+// partially built structures are discarded and ErrCorrupt is returned.
+//
+// The pool's Stats after the call describe the IO behaviour of the
+// load (the Ext-5 experiment drives this with varying pool capacities).
+func ReadPaged(pool *pagestore.Pool) (*graph.Graph, *tagstore.Store, error) {
+	size := pool.Size()
+	if size < int64(len(magic))+1+4 {
+		return nil, nil, fmt.Errorf("index: truncated file (%d bytes)", size)
+	}
+	payloadLen := size - 4
+
+	r := pagestore.NewReader(pool)
+	defer r.Close()
+	crc := crc32.NewIEEE()
+	br := bufio.NewReaderSize(io.TeeReader(io.LimitReader(r, payloadLen), crc), 1<<16)
+
+	g, store, err := decodePayload(br)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var trailer [4]byte
+	if _, err := pool.ReadAt(trailer[:], payloadLen); err != nil {
+		return nil, nil, fmt.Errorf("index: reading trailer: %w", err)
+	}
+	if crc.Sum32() != binary.LittleEndian.Uint32(trailer[:]) {
+		return nil, nil, ErrCorrupt
+	}
+	return g, store, nil
+}
+
+// ReadPagedFile loads a dataset from path with a bounded-memory pool of
+// the given page size and capacity (zero values for defaults). It
+// returns the pool statistics of the load alongside the dataset.
+func ReadPagedFile(path string, opts pagestore.Options) (*graph.Graph, *tagstore.Store, pagestore.Stats, error) {
+	pool, closer, err := pagestore.FilePool(path, opts)
+	if err != nil {
+		return nil, nil, pagestore.Stats{}, err
+	}
+	defer closer.Close()
+	g, store, err := ReadPaged(pool)
+	if err != nil {
+		return nil, nil, pool.Stats(), err
+	}
+	return g, store, pool.Stats(), nil
+}

@@ -1,0 +1,102 @@
+package index
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/pagestore"
+)
+
+func writeTestIndex(t *testing.T) (string, *gen.Dataset) {
+	t.Helper()
+	ds, err := gen.Generate(gen.DeliciousParams().Scale(0.05), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "data.frnd")
+	if err := WriteFile(path, ds.Graph, ds.Store); err != nil {
+		t.Fatal(err)
+	}
+	return path, ds
+}
+
+func TestReadPagedMatchesRead(t *testing.T) {
+	path, _ := writeTestIndex(t)
+	gWant, sWant, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []pagestore.Options{
+		{},                               // defaults
+		{PageSize: 64, Capacity: 2},      // pathologically small
+		{PageSize: 1 << 20, Capacity: 1}, // whole file in one page
+	} {
+		g, s, stats, err := ReadPagedFile(path, opts)
+		if err != nil {
+			t.Fatalf("ReadPagedFile(%+v): %v", opts, err)
+		}
+		if g.NumUsers() != gWant.NumUsers() || !reflect.DeepEqual(g.Edges(), gWant.Edges()) {
+			t.Fatalf("opts %+v: graph mismatch", opts)
+		}
+		if !reflect.DeepEqual(s.Triples(), sWant.Triples()) {
+			t.Fatalf("opts %+v: store mismatch", opts)
+		}
+		if stats.Misses == 0 {
+			t.Fatalf("opts %+v: no page loads recorded", opts)
+		}
+		// Sequential decode + one trailer access: each page loads once,
+		// except the trailer page which the scan already touched (the
+		// tiny-capacity config may have evicted it).
+		if stats.Hits+stats.Misses > stats.Misses*2 {
+			t.Fatalf("opts %+v: unexpected access pattern %+v", opts, stats)
+		}
+	}
+}
+
+func TestReadPagedDetectsCorruption(t *testing.T) {
+	path, _ := writeTestIndex(t)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pos := range []int{10, len(raw) / 2, len(raw) - 5, len(raw) - 1} {
+		mut := append([]byte(nil), raw...)
+		mut[pos] ^= 0x01
+		p := filepath.Join(t.TempDir(), "corrupt.frnd")
+		if err := os.WriteFile(p, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, _, _, err := ReadPagedFile(p, pagestore.Options{PageSize: 128, Capacity: 4})
+		if err == nil {
+			t.Fatalf("flip at %d: paged read accepted corrupt file", pos)
+		}
+	}
+}
+
+func TestReadPagedTruncated(t *testing.T) {
+	path, _ := writeTestIndex(t)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, keep := range []int{0, 3, 8, len(raw) / 2, len(raw) - 4} {
+		p := filepath.Join(t.TempDir(), "trunc.frnd")
+		if err := os.WriteFile(p, raw[:keep], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, err := ReadPagedFile(p, pagestore.Options{}); err == nil {
+			t.Fatalf("keep %d bytes: paged read accepted truncated file", keep)
+		}
+	}
+}
+
+func TestReadPagedMissingFile(t *testing.T) {
+	_, _, _, err := ReadPagedFile(filepath.Join(t.TempDir(), "absent.frnd"), pagestore.Options{})
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("err = %v, want fs not-exist", err)
+	}
+}

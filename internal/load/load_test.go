@@ -1,0 +1,258 @@
+package load
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/tagstore"
+	"repro/internal/vocab"
+)
+
+const friendsTSV = `# comment line
+alice	bob	0.9
+
+bob	carol	0.8
+alice	dave	0.5
+`
+
+const tagsTSV = `bob	luigis	pizza	2
+carol	marios	pizza
+dave	marios	pizza
+dave	sushiko	sushi
+# trailing comment
+`
+
+func TestReadParsesNamesAndStructure(t *testing.T) {
+	c, err := Read(strings.NewReader(friendsTSV), strings.NewReader(tagsTSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Graph.NumUsers() != 4 || c.Graph.NumEdges() != 3 {
+		t.Fatalf("graph: %d users %d edges", c.Graph.NumUsers(), c.Graph.NumEdges())
+	}
+	if c.Store.NumItems() != 3 || c.Store.NumTags() != 2 || c.Store.NumTriples() != 4 {
+		t.Fatalf("store: %d items %d tags %d triples",
+			c.Store.NumItems(), c.Store.NumTags(), c.Store.NumTriples())
+	}
+	// First-appearance id assignment: alice=0, bob=1, carol=2, dave=3.
+	for i, want := range []string{"alice", "bob", "carol", "dave"} {
+		if got, _ := c.Names.Users.Name(int32(i)); got != want {
+			t.Fatalf("user %d = %q, want %q", i, got, want)
+		}
+	}
+	// Count column honoured: bob→luigis→pizza has tf 2.
+	bob, _ := c.Names.Users.ID("bob")
+	luigis, _ := c.Names.Items.ID("luigis")
+	pizza, _ := c.Names.Tags.ID("pizza")
+	if tf := c.Store.TF(bob, luigis, pizza); tf != 2 {
+		t.Fatalf("tf(bob,luigis,pizza) = %d, want 2", tf)
+	}
+}
+
+func TestLoadedCorpusIsQueryable(t *testing.T) {
+	c, err := Read(strings.NewReader(friendsTSV), strings.NewReader(tagsTSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewEngine(c.Graph, c.Store, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, _ := c.Names.Users.ID("alice")
+	pizza, _ := c.Names.Tags.ID("pizza")
+	ans, err := e.SocialMerge(core.Query{Seeker: alice, Tags: []tagstore.TagID{pizza}, K: 2}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Results) != 2 || !ans.Exact {
+		t.Fatalf("answer = %+v", ans)
+	}
+	name, _ := c.Names.Items.Name(ans.Results[0].Item)
+	// luigis: σ(alice,bob)=0.9 · tf 2 = 1.8; marios: 0.72·1 + 0.5·1 = 1.22.
+	if name != "luigis" {
+		t.Fatalf("top item = %s, want luigis", name)
+	}
+}
+
+// namedEdges canonicalizes a corpus' graph as name-keyed strings; ids
+// may be permuted by a round trip, names may not.
+func namedEdges(t *testing.T, c *Corpus) map[string]bool {
+	t.Helper()
+	out := make(map[string]bool)
+	for _, e := range c.Graph.Edges() {
+		a, _ := c.Names.Users.Name(e.U)
+		b, _ := c.Names.Users.Name(e.V)
+		if b < a {
+			a, b = b, a
+		}
+		out[a+"|"+b+"|"+strconv.FormatFloat(e.Weight, 'g', -1, 64)] = true
+	}
+	return out
+}
+
+func namedTriples(t *testing.T, c *Corpus) map[string]int32 {
+	t.Helper()
+	out := make(map[string]int32)
+	for _, tr := range c.Store.Triples() {
+		u, _ := c.Names.Users.Name(tr.User)
+		i, _ := c.Names.Items.Name(tr.Item)
+		tg, _ := c.Names.Tags.Name(tr.Tag)
+		out[u+"|"+i+"|"+tg] += tr.Count
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	orig, err := Read(strings.NewReader(friendsTSV), strings.NewReader(tagsTSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fb, tb bytes.Buffer
+	if err := Write(orig, &fb, &tb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(bytes.NewReader(fb.Bytes()), bytes.NewReader(tb.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(namedEdges(t, orig), namedEdges(t, back)) {
+		t.Fatal("named edges changed across round trip")
+	}
+	if !reflect.DeepEqual(namedTriples(t, orig), namedTriples(t, back)) {
+		t.Fatal("named triples changed across round trip")
+	}
+}
+
+func TestRoundTripSyntheticCorpus(t *testing.T) {
+	ds, err := gen.Generate(gen.DeliciousParams().Scale(0.05), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Synthesize names for the dense ids, export, reimport.
+	names := vocab.NewSet()
+	for i := 0; i < ds.Graph.NumUsers(); i++ {
+		names.Users.MustAdd(userName(i))
+	}
+	for i := 0; i < ds.Store.NumItems(); i++ {
+		names.Items.MustAdd(itemName(i))
+	}
+	for i := 0; i < ds.Store.NumTags(); i++ {
+		names.Tags.MustAdd(tagName(i))
+	}
+	c := &Corpus{Graph: ds.Graph, Store: ds.Store, Names: names}
+
+	dir := t.TempDir()
+	fp, tp := filepath.Join(dir, "friends.tsv"), filepath.Join(dir, "tags.tsv")
+	if err := WriteFiles(c, fp, tp); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFiles(fp, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(namedEdges(t, c), namedEdges(t, back)) {
+		t.Fatal("named edges changed across file round trip")
+	}
+	if !reflect.DeepEqual(namedTriples(t, c), namedTriples(t, back)) {
+		t.Fatal("named triples changed across file round trip")
+	}
+	if back.Graph.NumEdges() != ds.Graph.NumEdges() || back.Store.NumTriples() != ds.Store.NumTriples() {
+		t.Fatalf("cardinalities changed: %d/%d edges, %d/%d triples",
+			back.Graph.NumEdges(), ds.Graph.NumEdges(),
+			back.Store.NumTriples(), ds.Store.NumTriples())
+	}
+}
+
+// Name synthesis helpers; zero-padded so lexicographic == numeric.
+func userName(i int) string { return "user" + pad(i) }
+func itemName(i int) string { return "item" + pad(i) }
+func tagName(i int) string  { return "tag" + pad(i) }
+func pad(i int) string {
+	s := "00000" + itoa(i)
+	return s[len(s)-6:]
+}
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [12]byte
+	pos := len(b)
+	for i > 0 {
+		pos--
+		b[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[pos:])
+}
+
+func TestMalformedInputs(t *testing.T) {
+	cases := []struct {
+		name            string
+		friends, tagsIn string
+	}{
+		{"friend fields", "alice\tbob\n", ""},
+		{"friend weight", "alice\tbob\theavy\n", ""},
+		{"friend weight range", "alice\tbob\t1.5\n", ""},
+		{"friend weight zero", "alice\tbob\t0\n", ""},
+		{"self edge", "alice\talice\t0.5\n", ""},
+		{"tag fields", "", "bob\tluigis\n"},
+		{"tag count", "", "bob\tluigis\tpizza\tmany\n"},
+		{"tag count zero", "", "bob\tluigis\tpizza\t0\n"},
+		{"empty user name", "\tbob\t0.5\n", ""},
+	}
+	for _, tc := range cases {
+		var fr, tr *strings.Reader
+		if tc.friends != "" {
+			fr = strings.NewReader(tc.friends)
+		}
+		if tc.tagsIn != "" {
+			tr = strings.NewReader(tc.tagsIn)
+		}
+		var frr, trr = ioReader(fr), ioReader(tr)
+		if _, err := Read(frr, trr); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		} else if !strings.Contains(err.Error(), ":1:") && !strings.Contains(err.Error(), "load:") {
+			t.Errorf("%s: error lacks location: %v", tc.name, err)
+		}
+	}
+}
+
+// ioReader converts a possibly nil *strings.Reader into an io.Reader
+// interface that is genuinely nil when absent.
+func ioReader(r *strings.Reader) interface {
+	Read([]byte) (int, error)
+} {
+	if r == nil {
+		return nil
+	}
+	return r
+}
+
+func TestNilStreamsGiveEmptyCorpus(t *testing.T) {
+	c, err := Read(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Graph.NumUsers() != 0 || c.Store.NumTriples() != 0 {
+		t.Fatalf("empty corpus: %d users %d triples", c.Graph.NumUsers(), c.Store.NumTriples())
+	}
+}
+
+func TestCRLFAndWhitespaceTolerance(t *testing.T) {
+	c, err := Read(strings.NewReader("alice\tbob\t0.5\r\n"), strings.NewReader(" bob \t luigis \t pizza \r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Graph.NumEdges() != 1 || c.Store.NumTriples() != 1 {
+		t.Fatalf("CRLF corpus: %d edges %d triples", c.Graph.NumEdges(), c.Store.NumTriples())
+	}
+	if _, ok := c.Names.Items.ID("luigis"); !ok {
+		t.Fatal("whitespace not trimmed from names")
+	}
+}

@@ -1,0 +1,176 @@
+// Package metrics implements the result-quality measures the evaluation
+// reports when comparing approximate answers against the exact ones:
+// precision@k, recall@k, NDCG@k, Kendall's tau and mean reciprocal rank,
+// plus small aggregation helpers for latency distributions.
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/topk"
+)
+
+// PrecisionAtK is the fraction of returned items that belong to the
+// reference top-k set. Both lists should already be truncated to k; the
+// reference defines the relevant set.
+func PrecisionAtK(got, want []topk.Result) float64 {
+	if len(got) == 0 {
+		if len(want) == 0 {
+			return 1
+		}
+		return 0
+	}
+	rel := make(map[int32]bool, len(want))
+	for _, r := range want {
+		rel[r.Item] = true
+	}
+	hit := 0
+	for _, r := range got {
+		if rel[r.Item] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(got))
+}
+
+// RecallAtK is the fraction of the reference top-k found in the answer.
+func RecallAtK(got, want []topk.Result) float64 {
+	if len(want) == 0 {
+		return 1
+	}
+	rel := make(map[int32]bool, len(want))
+	for _, r := range want {
+		rel[r.Item] = true
+	}
+	hit := 0
+	for _, r := range got {
+		if rel[r.Item] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(want))
+}
+
+// NDCGAtK computes normalized discounted cumulative gain of the answer
+// against graded relevance equal to the reference scores. Items outside
+// the reference contribute zero gain. Returns 1 for a perfect ranking.
+func NDCGAtK(got, want []topk.Result) float64 {
+	if len(want) == 0 {
+		return 1
+	}
+	gain := make(map[int32]float64, len(want))
+	for _, r := range want {
+		gain[r.Item] = r.Score
+	}
+	dcg := 0.0
+	for i, r := range got {
+		if g, ok := gain[r.Item]; ok {
+			dcg += g / math.Log2(float64(i)+2)
+		}
+	}
+	idcg := 0.0
+	for i, r := range want {
+		idcg += r.Score / math.Log2(float64(i)+2)
+	}
+	if idcg == 0 {
+		return 1
+	}
+	return dcg / idcg
+}
+
+// KendallTau computes the rank-correlation τ between two orderings of
+// the same item set, counting a discordant pair whenever the relative
+// order differs. Items present in only one list are ignored. Returns a
+// value in [-1, 1]; 1 means identical order. Returns 1 when fewer than
+// two common items exist.
+func KendallTau(a, b []topk.Result) float64 {
+	posB := make(map[int32]int, len(b))
+	for i, r := range b {
+		posB[r.Item] = i
+	}
+	var common []int // positions in b of items shared, in a's order
+	for _, r := range a {
+		if p, ok := posB[r.Item]; ok {
+			common = append(common, p)
+		}
+	}
+	n := len(common)
+	if n < 2 {
+		return 1
+	}
+	concordant, discordant := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if common[i] < common[j] {
+				concordant++
+			} else {
+				discordant++
+			}
+		}
+	}
+	return float64(concordant-discordant) / float64(n*(n-1)/2)
+}
+
+// MRR returns the mean reciprocal rank of the reference's best item in
+// the answer (1 if first, 0.5 if second, 0 when absent).
+func MRR(got, want []topk.Result) float64 {
+	if len(want) == 0 {
+		return 1
+	}
+	best := want[0].Item
+	for i, r := range got {
+		if r.Item == best {
+			return 1 / float64(i+1)
+		}
+	}
+	return 0
+}
+
+// Summary aggregates a sample of float64 observations.
+type Summary struct {
+	Count  int
+	Mean   float64
+	P50    float64
+	P95    float64
+	Max    float64
+	StdDev float64
+}
+
+// Summarize computes mean/median/p95/max/stddev of the sample. An empty
+// sample yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	var sum float64
+	for _, x := range s {
+		sum += x
+	}
+	mean := sum / float64(len(s))
+	var varSum float64
+	for _, x := range s {
+		d := x - mean
+		varSum += d * d
+	}
+	return Summary{
+		Count:  len(s),
+		Mean:   mean,
+		P50:    percentile(s, 50),
+		P95:    percentile(s, 95),
+		Max:    s[len(s)-1],
+		StdDev: math.Sqrt(varSum / float64(len(s))),
+	}
+}
+
+// percentile expects a sorted sample.
+func percentile(sorted []float64, pct int) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (pct * (len(sorted) - 1)) / 100
+	return sorted[idx]
+}

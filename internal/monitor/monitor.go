@@ -1,0 +1,233 @@
+// Package monitor maintains standing (continuous) top-k queries over a
+// mutable dataset: subscribe a seeker's query once and get notified
+// whenever mutations change its answer. This is the
+// incremental-view-maintenance extension of the evaluation's
+// future-work discussion.
+//
+// Design. The monitor interposes on the mutation path (Tag/Befriend)
+// and records which query tags were touched and whether the graph
+// changed. Refresh folds pending mutations into the queryable snapshot
+// and re-evaluates only the *affected* subscriptions: a tagging action
+// affects subscriptions whose tag set contains the tag; a friendship
+// mutation conservatively affects every subscription (proximity is a
+// global property of the graph). Unaffected subscriptions are not
+// re-run — the Ext-8 experiment measures the saving against
+// re-evaluate-everything.
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/overlay"
+	"repro/internal/tagstore"
+	"repro/internal/topk"
+)
+
+// Update describes a change to one subscription's answer.
+type Update struct {
+	// SubID identifies the subscription.
+	SubID int
+	// Results is the new certified top-k.
+	Results []topk.Result
+	// First reports whether this is the initial evaluation.
+	First bool
+}
+
+// Callback receives updates. Callbacks run synchronously inside
+// Refresh (and Subscribe, for the initial evaluation); keep them
+// short and do not call back into the monitor from them.
+type Callback func(Update)
+
+type subscription struct {
+	id      int
+	query   core.Query
+	opts    core.Options
+	cb      Callback
+	tags    map[tagstore.TagID]bool
+	last    []topk.Result
+	hasLast bool
+}
+
+// Monitor tracks subscriptions over an overlay-backed engine. It is
+// safe for concurrent use.
+type Monitor struct {
+	mu   sync.Mutex
+	eng  *overlay.Engine
+	subs map[int]*subscription
+	next int
+
+	// pending damage since the last Refresh
+	dirtyTags  map[tagstore.TagID]bool
+	graphDirty bool
+
+	// evaluations counts query re-executions (for the experiment).
+	evaluations int64
+}
+
+// New builds a monitor over an overlay engine. Mutations must flow
+// through the monitor's Tag/Befriend for damage tracking to see them.
+func New(eng *overlay.Engine) (*Monitor, error) {
+	if eng == nil {
+		return nil, errors.New("monitor: nil engine")
+	}
+	return &Monitor{
+		eng:       eng,
+		subs:      make(map[int]*subscription),
+		dirtyTags: make(map[tagstore.TagID]bool),
+	}, nil
+}
+
+// Subscribe registers a standing query and synchronously delivers its
+// initial answer (Update.First = true). It returns the subscription id.
+func (m *Monitor) Subscribe(q core.Query, opts core.Options, cb Callback) (int, error) {
+	if cb == nil {
+		return 0, errors.New("monitor: nil callback")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := &subscription{
+		id:    m.next,
+		query: q,
+		opts:  opts,
+		cb:    cb,
+		tags:  make(map[tagstore.TagID]bool, len(q.Tags)),
+	}
+	for _, t := range q.Tags {
+		s.tags[t] = true
+	}
+	ans, err := m.evaluate(s)
+	if err != nil {
+		return 0, fmt.Errorf("monitor: initial evaluation: %w", err)
+	}
+	m.next++
+	m.subs[s.id] = s
+	s.last = ans
+	s.hasLast = true
+	cb(Update{SubID: s.id, Results: ans, First: true})
+	return s.id, nil
+}
+
+// Unsubscribe removes a subscription; unknown ids are a no-op.
+func (m *Monitor) Unsubscribe(id int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.subs, id)
+}
+
+// Subscriptions reports the number of live subscriptions.
+func (m *Monitor) Subscriptions() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.subs)
+}
+
+// Evaluations reports the cumulative number of query executions the
+// monitor has performed (initial + refresh re-evaluations).
+func (m *Monitor) Evaluations() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.evaluations
+}
+
+// Tag records a tagging action and marks the tag dirty.
+func (m *Monitor) Tag(user graph.UserID, item tagstore.ItemID, tag tagstore.TagID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.eng.Tag(user, item, tag); err != nil {
+		return err
+	}
+	m.dirtyTags[tag] = true
+	return nil
+}
+
+// Befriend records a friendship mutation; proximity may change for any
+// seeker, so every subscription becomes dirty.
+func (m *Monitor) Befriend(u, v graph.UserID, weight float64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.eng.Befriend(u, v, weight); err != nil {
+		return err
+	}
+	m.graphDirty = true
+	return nil
+}
+
+// evaluate runs one subscription's query. Caller holds m.mu.
+func (m *Monitor) evaluate(s *subscription) ([]topk.Result, error) {
+	m.evaluations++
+	ans, err := m.eng.SocialMerge(s.query, s.opts)
+	if err != nil {
+		return nil, err
+	}
+	return ans.Results, nil
+}
+
+// affected reports whether pending damage can change s's answer.
+// Caller holds m.mu.
+func (m *Monitor) affected(s *subscription) bool {
+	if m.graphDirty {
+		return true
+	}
+	for t := range m.dirtyTags {
+		if s.tags[t] {
+			return true
+		}
+	}
+	return false
+}
+
+// Query runs a one-shot query on the current snapshot, outside any
+// subscription (ad-hoc reads through the same engine).
+func (m *Monitor) Query(q core.Query) (core.Answer, error) {
+	return m.eng.SocialMerge(q, core.Options{})
+}
+
+// Refresh folds pending mutations into the snapshot, re-evaluates the
+// affected subscriptions, and invokes callbacks for those whose answer
+// changed. It returns how many subscriptions were re-evaluated.
+func (m *Monitor) Refresh() (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.dirtyTags) == 0 && !m.graphDirty {
+		return 0, nil
+	}
+	if err := m.eng.Compact(); err != nil {
+		return 0, err
+	}
+	reevaluated := 0
+	for _, s := range m.subs {
+		if !m.affected(s) {
+			continue
+		}
+		reevaluated++
+		ans, err := m.evaluate(s)
+		if err != nil {
+			return reevaluated, fmt.Errorf("monitor: refreshing sub %d: %w", s.id, err)
+		}
+		if !s.hasLast || !sameResults(s.last, ans) {
+			s.last = ans
+			s.hasLast = true
+			s.cb(Update{SubID: s.id, Results: ans})
+		}
+	}
+	m.dirtyTags = make(map[tagstore.TagID]bool)
+	m.graphDirty = false
+	return reevaluated, nil
+}
+
+// sameResults compares answers as ordered (item, score) sequences.
+func sameResults(a, b []topk.Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Item != b[i].Item || a[i].Score != b[i].Score {
+			return false
+		}
+	}
+	return true
+}

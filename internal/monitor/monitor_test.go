@@ -1,0 +1,268 @@
+package monitor
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/overlay"
+	"repro/internal/proximity"
+	"repro/internal/tagstore"
+	"repro/internal/topk"
+)
+
+// world builds a 4-user chain (0-1-2, 3 isolated) with two tags and a
+// monitor over it.
+func world(t *testing.T) *Monitor {
+	t.Helper()
+	gb := graph.NewBuilder(4)
+	gb.AddEdge(0, 1, 0.5)
+	gb.AddEdge(1, 2, 0.5)
+	g, err := gb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tagstore.NewBuilder(4, 6, 2)
+	tb.Add(0, 0, 0)
+	tb.AddCount(1, 1, 0, 2)
+	tb.Add(2, 2, 1)
+	store, err := tb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := overlay.New(g, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := overlay.NewEngine(o, core.Config{
+		Proximity: proximity.Params{Alpha: 1, SelfWeight: 1},
+		Beta:      1,
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSubscribeDeliversInitialAnswer(t *testing.T) {
+	m := world(t)
+	var got []Update
+	id, err := m.Subscribe(core.Query{Seeker: 0, Tags: []tagstore.TagID{0}, K: 2}, core.Options{},
+		func(u Update) { got = append(got, u) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !got[0].First || got[0].SubID != id {
+		t.Fatalf("initial updates = %+v", got)
+	}
+	// u0 sees i0 (σ=1, tf 1) and i1 (σ=0.5, tf 2): both score 1.
+	if len(got[0].Results) != 2 {
+		t.Fatalf("initial results = %+v", got[0].Results)
+	}
+}
+
+func TestTaggingTriggersAffectedSubscriptionOnly(t *testing.T) {
+	m := world(t)
+	var updatesA, updatesB int
+	// Sub A watches tag 0, sub B watches tag 1.
+	_, err := m.Subscribe(core.Query{Seeker: 0, Tags: []tagstore.TagID{0}, K: 2}, core.Options{},
+		func(u Update) { updatesA++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Subscribe(core.Query{Seeker: 0, Tags: []tagstore.TagID{1}, K: 2}, core.Options{},
+		func(u Update) { updatesB++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	evalsAfterInit := m.Evaluations()
+
+	// u1 re-tags item 1 with tag 0 (tf 2 → 3, i1's score rises to 1.5,
+	// reordering A's answer): affects A, not B.
+	if err := m.Tag(1, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	n, err := m.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("re-evaluated %d subscriptions, want 1 (tag-0 only)", n)
+	}
+	if m.Evaluations() != evalsAfterInit+1 {
+		t.Fatalf("evaluations = %d, want %d", m.Evaluations(), evalsAfterInit+1)
+	}
+	if updatesA != 2 { // initial + changed answer
+		t.Fatalf("sub A updates = %d, want 2", updatesA)
+	}
+	if updatesB != 1 { // initial only
+		t.Fatalf("sub B updates = %d, want 1", updatesB)
+	}
+}
+
+func TestRefreshWithoutChangeDeliversNothing(t *testing.T) {
+	m := world(t)
+	updates := 0
+	if _, err := m.Subscribe(core.Query{Seeker: 0, Tags: []tagstore.TagID{0}, K: 2}, core.Options{},
+		func(Update) { updates++ }); err != nil {
+		t.Fatal(err)
+	}
+	// No mutations: refresh is a no-op.
+	if n, err := m.Refresh(); err != nil || n != 0 {
+		t.Fatalf("Refresh = %d,%v, want 0,nil", n, err)
+	}
+	// A mutation outside the subscription's scope (isolated user 3 tags
+	// with tag 1): re-evaluates nothing.
+	if err := m.Tag(3, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := m.Refresh(); err != nil || n != 0 {
+		t.Fatalf("Refresh after unrelated tag = %d,%v, want 0,nil", n, err)
+	}
+	if updates != 1 {
+		t.Fatalf("updates = %d, want only the initial one", updates)
+	}
+}
+
+func TestUnchangedAnswerSuppressesCallback(t *testing.T) {
+	m := world(t)
+	updates := 0
+	// Seeker 0, k=1: the single best item is i0 or i1 at score 1.
+	if _, err := m.Subscribe(core.Query{Seeker: 0, Tags: []tagstore.TagID{0}, K: 1}, core.Options{},
+		func(Update) { updates++ }); err != nil {
+		t.Fatal(err)
+	}
+	// A tag-0 action far from seeker 0's reach (isolated user 3): the
+	// subscription is re-evaluated (tag matches) but the answer is
+	// unchanged, so no callback fires.
+	if err := m.Tag(3, 5, 0); err != nil {
+		t.Fatal(err)
+	}
+	n, err := m.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("re-evaluated %d, want 1", n)
+	}
+	if updates != 1 {
+		t.Fatalf("updates = %d: callback fired for an unchanged answer", updates)
+	}
+}
+
+func TestBefriendAffectsEverySubscription(t *testing.T) {
+	m := world(t)
+	var last []topk.Result
+	if _, err := m.Subscribe(core.Query{Seeker: 3, Tags: []tagstore.TagID{0}, K: 2}, core.Options{},
+		func(u Update) { last = u.Results }); err != nil {
+		t.Fatal(err)
+	}
+	if len(last) != 0 {
+		t.Fatalf("isolated seeker's initial answer = %+v, want empty", last)
+	}
+	// Connect user 3 to user 1: suddenly u1's taggings are reachable.
+	if err := m.Befriend(3, 1, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	n, err := m.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("re-evaluated %d, want 1", n)
+	}
+	if len(last) == 0 || last[0].Item != 1 {
+		t.Fatalf("post-befriend answer = %+v, want i1 first (σ=1, tf=2)", last)
+	}
+}
+
+func TestUnsubscribeStopsUpdates(t *testing.T) {
+	m := world(t)
+	updates := 0
+	id, err := m.Subscribe(core.Query{Seeker: 0, Tags: []tagstore.TagID{0}, K: 2}, core.Options{},
+		func(Update) { updates++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Unsubscribe(id)
+	if m.Subscriptions() != 0 {
+		t.Fatalf("subscriptions = %d", m.Subscriptions())
+	}
+	if err := m.Tag(1, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if updates != 1 {
+		t.Fatalf("updates after unsubscribe = %d", updates)
+	}
+	m.Unsubscribe(999) // unknown id: no-op
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+	m := world(t)
+	if _, err := m.Subscribe(core.Query{Seeker: 0, Tags: []tagstore.TagID{0}, K: 1}, core.Options{}, nil); err == nil {
+		t.Fatal("nil callback accepted")
+	}
+	// Invalid query fails at initial evaluation and is not registered.
+	if _, err := m.Subscribe(core.Query{Seeker: 99, Tags: []tagstore.TagID{0}, K: 1}, core.Options{},
+		func(Update) {}); err == nil {
+		t.Fatal("bad seeker accepted")
+	}
+	if m.Subscriptions() != 0 {
+		t.Fatal("failed subscription was registered")
+	}
+}
+
+// TestMonitorMatchesFreshQuery: after an arbitrary mutation sequence
+// and refresh, every subscription's last delivered answer must equal a
+// fresh SocialMerge of the same query.
+func TestMonitorMatchesFreshQuery(t *testing.T) {
+	m := world(t)
+	results := map[int][]topk.Result{}
+	queries := map[int]core.Query{}
+	for _, q := range []core.Query{
+		{Seeker: 0, Tags: []tagstore.TagID{0}, K: 3},
+		{Seeker: 2, Tags: []tagstore.TagID{0, 1}, K: 2},
+		{Seeker: 1, Tags: []tagstore.TagID{1}, K: 4},
+	} {
+		q := q
+		id, err := m.Subscribe(q, core.Options{}, func(u Update) { results[u.SubID] = u.Results })
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries[id] = q
+	}
+	mutations := []func() error{
+		func() error { return m.Tag(0, 3, 1) },
+		func() error { return m.Tag(2, 4, 0) },
+		func() error { return m.Befriend(0, 2, 0.9) },
+		func() error { return m.Tag(1, 5, 1) },
+	}
+	for i, mut := range mutations {
+		if err := mut(); err != nil {
+			t.Fatalf("mutation %d: %v", i, err)
+		}
+		if _, err := m.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id, q := range queries {
+		ans, err := m.eng.SocialMerge(q, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(results[id], ans.Results) {
+			t.Fatalf("sub %d: monitored answer %+v != fresh answer %+v", id, results[id], ans.Results)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package overlay adds dynamic updates on top of the immutable base
+// structures: new tagging actions and new/strengthened friendships
+// accumulate in a mutable delta that queries see immediately, and a
+// compaction step folds the delta back into fresh immutable base
+// structures. This is the "handling evolving networks" extension the
+// evaluation's future-work discussion calls for.
+//
+// Concurrency: an Overlay serializes mutations with a mutex and serves
+// reads from immutable snapshots, so readers never block writers longer
+// than a pointer swap. Query execution goes through Snapshot(), which
+// returns a consistent (graph, store) pair.
+package overlay
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/tagstore"
+)
+
+// Overlay is a mutable view over an immutable base dataset.
+type Overlay struct {
+	mu sync.Mutex
+
+	baseGraph *graph.Graph
+	baseStore *tagstore.Store
+
+	// pending deltas since the last compaction
+	pendingEdges   []graph.Edge
+	pendingTriples []tagstore.Triple
+
+	// current snapshot (base + compacted deltas)
+	snapGraph *graph.Graph
+	snapStore *tagstore.Store
+
+	// universe growth
+	numUsers, numItems, numTags int
+
+	compactions int
+}
+
+// New wraps a base dataset. The base structures are never modified.
+func New(g *graph.Graph, s *tagstore.Store) (*Overlay, error) {
+	if g == nil || s == nil {
+		return nil, fmt.Errorf("overlay: nil base graph or store")
+	}
+	if g.NumUsers() != s.NumUsers() {
+		return nil, fmt.Errorf("overlay: graph has %d users, store has %d", g.NumUsers(), s.NumUsers())
+	}
+	return &Overlay{
+		baseGraph: g,
+		baseStore: s,
+		snapGraph: g,
+		snapStore: s,
+		numUsers:  g.NumUsers(),
+		numItems:  s.NumItems(),
+		numTags:   s.NumTags(),
+	}, nil
+}
+
+// Snapshot returns the current consistent (graph, store) pair. Pending
+// (uncompacted) mutations are not yet visible; call Compact to fold
+// them in. The returned structures are immutable and safe to query
+// concurrently.
+func (o *Overlay) Snapshot() (*graph.Graph, *tagstore.Store) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.snapGraph, o.snapStore
+}
+
+// Pending reports how many edge and triple mutations await compaction.
+func (o *Overlay) Pending() (edges, triples int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.pendingEdges), len(o.pendingTriples)
+}
+
+// Compactions reports how many compactions have run.
+func (o *Overlay) Compactions() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.compactions
+}
+
+// AddUser grows the user universe by one and returns the new id.
+func (o *Overlay) AddUser() graph.UserID {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	id := graph.UserID(o.numUsers)
+	o.numUsers++
+	return id
+}
+
+// AddItem grows the item universe by one and returns the new id.
+func (o *Overlay) AddItem() tagstore.ItemID {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	id := tagstore.ItemID(o.numItems)
+	o.numItems++
+	return id
+}
+
+// AddTag grows the tag universe by one and returns the new id.
+func (o *Overlay) AddTag() tagstore.TagID {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	id := tagstore.TagID(o.numTags)
+	o.numTags++
+	return id
+}
+
+// Befriend records a (new or strengthened) friendship. Weight must lie
+// in (0, 1]; the maximum of duplicate declarations wins at compaction.
+func (o *Overlay) Befriend(u, v graph.UserID, weight float64) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if u < 0 || int(u) >= o.numUsers || v < 0 || int(v) >= o.numUsers {
+		return fmt.Errorf("overlay: user pair (%d,%d) outside [0,%d)", u, v, o.numUsers)
+	}
+	if u == v {
+		return fmt.Errorf("overlay: self-friendship for user %d", u)
+	}
+	if weight <= 0 || weight > 1 {
+		return fmt.Errorf("overlay: weight %g outside (0,1]", weight)
+	}
+	o.pendingEdges = append(o.pendingEdges, graph.Edge{U: u, V: v, Weight: weight})
+	return nil
+}
+
+// Tag records a tagging action (count 1).
+func (o *Overlay) Tag(user graph.UserID, item tagstore.ItemID, tag tagstore.TagID) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if user < 0 || int(user) >= o.numUsers {
+		return fmt.Errorf("overlay: user %d outside [0,%d)", user, o.numUsers)
+	}
+	if item < 0 || int(item) >= o.numItems {
+		return fmt.Errorf("overlay: item %d outside [0,%d)", item, o.numItems)
+	}
+	if tag < 0 || int(tag) >= o.numTags {
+		return fmt.Errorf("overlay: tag %d outside [0,%d)", tag, o.numTags)
+	}
+	o.pendingTriples = append(o.pendingTriples, tagstore.Triple{
+		User: int32(user), Item: item, Tag: tag, Count: 1,
+	})
+	return nil
+}
+
+// Compact folds all pending mutations (and any universe growth) into
+// fresh immutable snapshot structures. It is idempotent when nothing is
+// pending. Compaction cost is O(base + delta); amortize it by batching
+// mutations.
+func (o *Overlay) Compact() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if len(o.pendingEdges) == 0 && len(o.pendingTriples) == 0 &&
+		o.snapGraph.NumUsers() == o.numUsers &&
+		o.snapStore.NumItems() == o.numItems &&
+		o.snapStore.NumTags() == o.numTags {
+		return nil
+	}
+
+	gb := graph.NewBuilder(o.numUsers)
+	for _, e := range o.snapGraph.Edges() {
+		gb.AddEdge(e.U, e.V, e.Weight)
+	}
+	for _, e := range o.pendingEdges {
+		gb.AddEdge(e.U, e.V, e.Weight)
+	}
+	g, err := gb.Build()
+	if err != nil {
+		return fmt.Errorf("overlay: compacting graph: %w", err)
+	}
+
+	tb := tagstore.NewBuilder(o.numUsers, o.numItems, o.numTags)
+	for _, tr := range o.snapStore.Triples() {
+		tb.AddCount(tr.User, tr.Item, tr.Tag, tr.Count)
+	}
+	for _, tr := range o.pendingTriples {
+		tb.AddCount(tr.User, tr.Item, tr.Tag, tr.Count)
+	}
+	s, err := tb.Build()
+	if err != nil {
+		return fmt.Errorf("overlay: compacting store: %w", err)
+	}
+
+	o.snapGraph = g
+	o.snapStore = s
+	o.pendingEdges = o.pendingEdges[:0]
+	o.pendingTriples = o.pendingTriples[:0]
+	o.compactions++
+	return nil
+}

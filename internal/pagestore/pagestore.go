@@ -1,0 +1,322 @@
+// Package pagestore provides a fixed-size-page buffer pool over a
+// random-access source: the storage substrate that lets the on-disk
+// index be consumed with bounded memory instead of io.ReadAll. Pages
+// are cached with LRU replacement, pinned while in use, and loaded at
+// most once concurrently; hit/miss/eviction counters feed the Ext-5
+// experiment (hit ratio vs pool capacity under sequential and Zipf
+// access patterns).
+package pagestore
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// DefaultPageSize is the page size used when Options.PageSize is 0.
+const DefaultPageSize = 4096
+
+// ErrExhausted is returned by Get when every frame in the pool is
+// pinned and nothing can be evicted.
+var ErrExhausted = errors.New("pagestore: all frames pinned, pool exhausted")
+
+// Options configures a Pool.
+type Options struct {
+	// PageSize in bytes (default DefaultPageSize).
+	PageSize int
+	// Capacity is the maximum number of resident pages (default 64).
+	Capacity int
+}
+
+func (o *Options) normalize() error {
+	if o.PageSize == 0 {
+		o.PageSize = DefaultPageSize
+	}
+	if o.Capacity == 0 {
+		o.Capacity = 64
+	}
+	if o.PageSize < 16 {
+		return fmt.Errorf("pagestore: page size %d too small", o.PageSize)
+	}
+	if o.Capacity < 1 {
+		return fmt.Errorf("pagestore: capacity %d < 1", o.Capacity)
+	}
+	return nil
+}
+
+// Stats are cumulative pool counters.
+type Stats struct {
+	// Hits counts Gets served from a resident page.
+	Hits int64
+	// Misses counts Gets that had to load from the source.
+	Misses int64
+	// Evictions counts pages dropped to make room.
+	Evictions int64
+	// Resident is the current number of cached pages.
+	Resident int
+	// Capacity echoes the configured maximum.
+	Capacity int
+}
+
+// HitRatio returns Hits/(Hits+Misses), or 0 before any access.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Pool is a buffer pool over an io.ReaderAt of known size. It is safe
+// for concurrent use.
+type Pool struct {
+	src      io.ReaderAt
+	size     int64
+	pageSize int
+	capacity int
+
+	mu     sync.Mutex
+	frames map[int64]*frame
+	lru    *list.List // front = most recent; holds only unpinned frames
+	stats  Stats
+}
+
+type frame struct {
+	no   int64
+	data []byte
+	pins int
+	// loading is non-nil while the first Get reads the page; waiters
+	// block on it. err records a failed load for those waiters.
+	loading chan struct{}
+	err     error
+	// elem is the frame's LRU position when unpinned (nil while pinned).
+	elem *list.Element
+}
+
+// New builds a pool over src, which must serve ReadAt for [0, size).
+func New(src io.ReaderAt, size int64, opts Options) (*Pool, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, errors.New("pagestore: nil source")
+	}
+	if size < 0 {
+		return nil, fmt.Errorf("pagestore: negative size %d", size)
+	}
+	return &Pool{
+		src:      src,
+		size:     size,
+		pageSize: opts.PageSize,
+		capacity: opts.Capacity,
+		frames:   make(map[int64]*frame),
+		lru:      list.New(),
+	}, nil
+}
+
+// FilePool opens path and builds a pool over it. Close the returned
+// closer when done.
+func FilePool(path string, opts Options) (*Pool, io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	p, err := New(f, st.Size(), opts)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return p, f, nil
+}
+
+// Size returns the source size in bytes.
+func (p *Pool) Size() int64 { return p.size }
+
+// PageSize returns the configured page size.
+func (p *Pool) PageSize() int { return p.pageSize }
+
+// NumPages returns the number of pages covering the source.
+func (p *Pool) NumPages() int64 {
+	if p.size == 0 {
+		return 0
+	}
+	return (p.size + int64(p.pageSize) - 1) / int64(p.pageSize)
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.Resident = len(p.frames)
+	s.Capacity = p.capacity
+	return s
+}
+
+// Page is a pinned page handle. Data must not be modified and is valid
+// until Release.
+type Page struct {
+	pool *Pool
+	f    *frame
+	// Data holds the page contents; the final page may be short.
+	Data []byte
+}
+
+// Release unpins the page, making its frame evictable again. Release
+// is idempotent.
+func (pg *Page) Release() {
+	if pg.f == nil {
+		return
+	}
+	pg.pool.release(pg.f)
+	pg.f = nil
+	pg.Data = nil
+}
+
+// Get pins page no (0-based) and returns its handle. Concurrent Gets
+// of the same absent page perform a single source read.
+func (p *Pool) Get(no int64) (*Page, error) {
+	if no < 0 || no >= p.NumPages() {
+		return nil, fmt.Errorf("pagestore: page %d outside [0,%d)", no, p.NumPages())
+	}
+	p.mu.Lock()
+	for {
+		f, ok := p.frames[no]
+		if !ok {
+			break
+		}
+		if f.loading != nil {
+			// Another goroutine is reading this page; wait and re-check
+			// (the load may have failed and removed the frame).
+			ch := f.loading
+			p.mu.Unlock()
+			<-ch
+			p.mu.Lock()
+			if f.err != nil {
+				p.mu.Unlock()
+				return nil, f.err
+			}
+			continue
+		}
+		p.pin(f)
+		p.stats.Hits++
+		p.mu.Unlock()
+		return &Page{pool: p, f: f, Data: f.data}, nil
+	}
+
+	// Miss: make room, install a loading placeholder, read unlocked.
+	if len(p.frames) >= p.capacity {
+		if !p.evictOne() {
+			p.mu.Unlock()
+			return nil, ErrExhausted
+		}
+	}
+	f := &frame{no: no, pins: 1, loading: make(chan struct{})}
+	p.frames[no] = f
+	p.stats.Misses++
+	p.mu.Unlock()
+
+	data, err := p.readPage(no)
+
+	p.mu.Lock()
+	if err != nil {
+		f.err = err
+		delete(p.frames, no)
+		close(f.loading)
+		p.mu.Unlock()
+		return nil, err
+	}
+	f.data = data
+	close(f.loading)
+	f.loading = nil
+	p.mu.Unlock()
+	return &Page{pool: p, f: f, Data: data}, nil
+}
+
+// readPage reads page no from the source (no lock held).
+func (p *Pool) readPage(no int64) ([]byte, error) {
+	off := no * int64(p.pageSize)
+	n := int64(p.pageSize)
+	if off+n > p.size {
+		n = p.size - off
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(io.NewSectionReader(p.src, off, n), buf); err != nil {
+		return nil, fmt.Errorf("pagestore: reading page %d: %w", no, err)
+	}
+	return buf, nil
+}
+
+// pin marks a resident frame in use, removing it from the LRU list.
+// Caller holds p.mu.
+func (p *Pool) pin(f *frame) {
+	f.pins++
+	if f.elem != nil {
+		p.lru.Remove(f.elem)
+		f.elem = nil
+	}
+}
+
+// release unpins a frame, parking it at the MRU end when free.
+func (p *Pool) release(f *frame) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f.pins <= 0 {
+		panic("pagestore: release of unpinned page")
+	}
+	f.pins--
+	if f.pins == 0 {
+		f.elem = p.lru.PushFront(f)
+	}
+}
+
+// evictOne drops the least-recently-used unpinned frame. Caller holds
+// p.mu. Reports whether a frame was evicted.
+func (p *Pool) evictOne() bool {
+	back := p.lru.Back()
+	if back == nil {
+		return false
+	}
+	f := back.Value.(*frame)
+	p.lru.Remove(back)
+	delete(p.frames, f.no)
+	p.stats.Evictions++
+	return true
+}
+
+// ReadAt implements io.ReaderAt through the pool, so random-access
+// consumers share the cache with sequential ones.
+func (p *Pool) ReadAt(b []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, errors.New("pagestore: negative offset")
+	}
+	total := 0
+	for len(b) > 0 {
+		if off >= p.size {
+			return total, io.EOF
+		}
+		no := off / int64(p.pageSize)
+		pg, err := p.Get(no)
+		if err != nil {
+			return total, err
+		}
+		start := int(off - no*int64(p.pageSize))
+		n := copy(b, pg.Data[start:])
+		pg.Release()
+		if n == 0 {
+			return total, io.ErrUnexpectedEOF
+		}
+		b = b[n:]
+		off += int64(n)
+		total += n
+	}
+	return total, nil
+}

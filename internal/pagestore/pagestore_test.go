@@ -1,0 +1,350 @@
+package pagestore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// pattern fills a deterministic byte sequence so any page's content is
+// checkable from its offset alone.
+func pattern(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*131 + i/255)
+	}
+	return b
+}
+
+func newTestPool(t *testing.T, size int, opts Options) (*Pool, []byte) {
+	t.Helper()
+	data := pattern(size)
+	p, err := New(bytes.NewReader(data), int64(size), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, data
+}
+
+func TestGetReturnsCorrectPages(t *testing.T) {
+	p, data := newTestPool(t, 10_000, Options{PageSize: 256, Capacity: 4})
+	for _, no := range []int64{0, 5, 38, 39} {
+		pg, err := p.Get(no)
+		if err != nil {
+			t.Fatalf("Get(%d): %v", no, err)
+		}
+		start := int(no) * 256
+		end := start + 256
+		if end > len(data) {
+			end = len(data)
+		}
+		if !bytes.Equal(pg.Data, data[start:end]) {
+			t.Fatalf("page %d content mismatch (len %d)", no, len(pg.Data))
+		}
+		pg.Release()
+	}
+	// 10000/256 = 39.0625 → final page is 16 bytes.
+	pg, err := p.Get(39)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pg.Data) != 10_000-39*256 {
+		t.Fatalf("final page length %d", len(pg.Data))
+	}
+	pg.Release()
+
+	if _, err := p.Get(40); err == nil {
+		t.Fatal("Get past EOF succeeded")
+	}
+	if _, err := p.Get(-1); err == nil {
+		t.Fatal("Get(-1) succeeded")
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	p, _ := newTestPool(t, 4096, Options{PageSize: 256, Capacity: 3})
+	get := func(no int64) {
+		t.Helper()
+		pg, err := p.Get(no)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg.Release()
+	}
+	get(0)
+	get(1)
+	get(2) // resident: 0,1,2 (LRU order 0 oldest)
+	get(0) // touch 0 → 1 is now oldest
+	get(3) // evicts 1
+	st := p.Stats()
+	if st.Evictions != 1 || st.Misses != 4 || st.Hits != 1 {
+		t.Fatalf("stats after eviction = %+v", st)
+	}
+	get(0) // hit
+	get(2) // hit
+	get(1) // miss: was evicted
+	st = p.Stats()
+	if st.Hits != 3 || st.Misses != 5 {
+		t.Fatalf("LRU did not keep recently used pages: %+v", st)
+	}
+}
+
+func TestPinnedPagesAreNotEvicted(t *testing.T) {
+	p, data := newTestPool(t, 4096, Options{PageSize: 256, Capacity: 2})
+	pg0, err := p.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg1, err := p.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pool full of pins: a third page must fail, not evict.
+	if _, err := p.Get(2); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("Get with all frames pinned: %v, want ErrExhausted", err)
+	}
+	// Pinned data stays valid.
+	if !bytes.Equal(pg0.Data, data[:256]) {
+		t.Fatal("pinned page 0 corrupted")
+	}
+	pg0.Release()
+	if pg2, err := p.Get(2); err != nil {
+		t.Fatalf("Get after release: %v", err)
+	} else {
+		pg2.Release()
+	}
+	pg1.Release()
+	// Double release is a no-op, not a panic.
+	pg1.Release()
+}
+
+func TestPinCountingSharedPage(t *testing.T) {
+	p, _ := newTestPool(t, 1024, Options{PageSize: 256, Capacity: 1})
+	a, err := p.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Get(0) // second pin on the same frame
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Release()
+	// Still pinned by b: capacity 1 means Get(1) must fail.
+	if _, err := p.Get(1); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("frame freed while still pinned: %v", err)
+	}
+	b.Release()
+	if pg, err := p.Get(1); err != nil {
+		t.Fatalf("Get after final release: %v", err)
+	} else {
+		pg.Release()
+	}
+}
+
+func TestReadAtMatchesSource(t *testing.T) {
+	p, data := newTestPool(t, 10_000, Options{PageSize: 512, Capacity: 3})
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		off := rng.Intn(len(data))
+		n := 1 + rng.Intn(2000)
+		buf := make([]byte, n)
+		got, err := p.ReadAt(buf, int64(off))
+		want := n
+		if off+n > len(data) {
+			want = len(data) - off
+			if err != io.EOF {
+				t.Fatalf("ReadAt(%d,%d) past end: err = %v, want EOF", off, n, err)
+			}
+		} else if err != nil {
+			t.Fatalf("ReadAt(%d,%d): %v", off, n, err)
+		}
+		if got != want || !bytes.Equal(buf[:got], data[off:off+got]) {
+			t.Fatalf("ReadAt(%d,%d) returned %d bytes, want %d (or content mismatch)", off, n, got, want)
+		}
+	}
+}
+
+func TestSequentialReaderScansWholeFile(t *testing.T) {
+	for _, size := range []int{0, 1, 255, 256, 257, 10_000} {
+		data := pattern(size)
+		p, err := New(bytes.NewReader(data), int64(size), Options{PageSize: 256, Capacity: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := NewReader(p)
+		got, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("size %d: scan mismatch (%d bytes)", size, len(got))
+		}
+		r.Close()
+		// A pure sequential scan loads each page exactly once.
+		st := p.Stats()
+		wantPages := int64((size + 255) / 256)
+		if st.Misses != wantPages {
+			t.Fatalf("size %d: %d misses, want %d", size, st.Misses, wantPages)
+		}
+	}
+}
+
+func TestSequentialReaderSeek(t *testing.T) {
+	p, data := newTestPool(t, 4096, Options{PageSize: 256, Capacity: 2})
+	r := NewReader(p)
+	defer r.Close()
+	r.SeekTo(1000)
+	buf := make([]byte, 500)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data[1000:1500]) {
+		t.Fatal("read after Seek mismatch")
+	}
+	if r.Offset() != 1500 {
+		t.Fatalf("Offset = %d, want 1500", r.Offset())
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	const size = 1 << 16
+	p, data := newTestPool(t, size, Options{PageSize: 512, Capacity: 8})
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 300; i++ {
+				no := int64(rng.Intn(size / 512))
+				pg, err := p.Get(no)
+				if err != nil {
+					if errors.Is(err, ErrExhausted) {
+						continue // legal under heavy pinning
+					}
+					errs <- err
+					return
+				}
+				off := int(no) * 512
+				if !bytes.Equal(pg.Data, data[off:off+512]) {
+					errs <- fmt.Errorf("worker %d: page %d corrupt", seed, no)
+					pg.Release()
+					return
+				}
+				pg.Release()
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Resident > st.Capacity {
+		t.Fatalf("resident %d exceeds capacity %d", st.Resident, st.Capacity)
+	}
+}
+
+type failingReaderAt struct{ fail int64 }
+
+func (f *failingReaderAt) ReadAt(b []byte, off int64) (int, error) {
+	if off >= f.fail {
+		return 0, errors.New("injected read failure")
+	}
+	for i := range b {
+		b[i] = byte(off) + byte(i)
+	}
+	return len(b), nil
+}
+
+func TestLoadFailureDoesNotPoisonPool(t *testing.T) {
+	p, err := New(&failingReaderAt{fail: 512}, 1024, Options{PageSize: 512, Capacity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(1); err == nil {
+		t.Fatal("Get of failing page succeeded")
+	}
+	// The failed frame must not linger: a healthy page still works and
+	// the failed page keeps failing cleanly.
+	pg, err := p.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg.Release()
+	if _, err := p.Get(1); err == nil {
+		t.Fatal("second Get of failing page succeeded")
+	}
+	st := p.Stats()
+	if st.Resident != 1 {
+		t.Fatalf("resident = %d after failed load, want 1", st.Resident)
+	}
+}
+
+func TestHitRatio(t *testing.T) {
+	var s Stats
+	if s.HitRatio() != 0 {
+		t.Fatal("empty stats hit ratio != 0")
+	}
+	s = Stats{Hits: 3, Misses: 1}
+	if got := s.HitRatio(); got != 0.75 {
+		t.Fatalf("hit ratio = %g, want 0.75", got)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	if _, err := New(bytes.NewReader(nil), 0, Options{PageSize: 8}); err == nil {
+		t.Fatal("tiny page size accepted")
+	}
+	if _, err := New(bytes.NewReader(nil), 0, Options{Capacity: -1}); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+	if _, err := New(nil, 0, Options{}); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	if _, err := New(bytes.NewReader(nil), -1, Options{}); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+// TestQuickReadAtEquivalence: for random sizes, page sizes, capacities
+// and offsets, pool reads must byte-for-byte equal direct slicing.
+func TestQuickReadAtEquivalence(t *testing.T) {
+	prop := func(sizeSeed, pageSeed, capSeed uint16, offs []uint16) bool {
+		size := int(sizeSeed)%5000 + 1
+		data := pattern(size)
+		opts := Options{PageSize: 16 + int(pageSeed)%500, Capacity: 1 + int(capSeed)%8}
+		p, err := New(bytes.NewReader(data), int64(size), opts)
+		if err != nil {
+			return false
+		}
+		for _, o := range offs {
+			off := int(o) % size
+			n := 1 + int(o)%97
+			buf := make([]byte, n)
+			got, err := p.ReadAt(buf, int64(off))
+			if off+n <= size {
+				if err != nil || got != n {
+					return false
+				}
+			} else if err != io.EOF || got != size-off {
+				return false
+			}
+			if !bytes.Equal(buf[:got], data[off:off+got]) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

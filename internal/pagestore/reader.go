@@ -1,0 +1,69 @@
+package pagestore
+
+import "io"
+
+// Reader is a sequential io.Reader over a pool-backed source. It keeps
+// the current page pinned between Read calls so a scan touches each
+// page exactly once, and releases it when the scan crosses a page
+// boundary or Close is called.
+type Reader struct {
+	pool *Pool
+	pos  int64
+	cur  *Page // pinned page containing pos, nil between pages
+}
+
+// NewReader returns a sequential reader positioned at offset 0.
+func NewReader(p *Pool) *Reader {
+	return &Reader{pool: p}
+}
+
+// SeekTo repositions the reader at byte offset off, releasing any
+// pinned page.
+func (r *Reader) SeekTo(off int64) {
+	r.dropCurrent()
+	r.pos = off
+}
+
+// Read implements io.Reader.
+func (r *Reader) Read(b []byte) (int, error) {
+	if r.pos >= r.pool.Size() {
+		return 0, io.EOF
+	}
+	if len(b) == 0 {
+		return 0, nil
+	}
+	ps := int64(r.pool.PageSize())
+	no := r.pos / ps
+	if r.cur == nil || r.cur.f == nil || r.cur.f.no != no {
+		r.dropCurrent()
+		pg, err := r.pool.Get(no)
+		if err != nil {
+			return 0, err
+		}
+		r.cur = pg
+	}
+	start := int(r.pos - no*ps)
+	n := copy(b, r.cur.Data[start:])
+	r.pos += int64(n)
+	if start+n >= len(r.cur.Data) {
+		r.dropCurrent()
+	}
+	return n, nil
+}
+
+// Offset returns the current read position.
+func (r *Reader) Offset() int64 { return r.pos }
+
+// Close releases any pinned page. The reader may be reused after a
+// Seek.
+func (r *Reader) Close() error {
+	r.dropCurrent()
+	return nil
+}
+
+func (r *Reader) dropCurrent() {
+	if r.cur != nil {
+		r.cur.Release()
+		r.cur = nil
+	}
+}

@@ -1,0 +1,124 @@
+package planner
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Calibrate fits, for every available algorithm, a linear model of
+// measured access count over the query features by running the
+// calibration workload through each algorithm and solving the
+// ridge-regularized normal equations. Subsequent Plans use the fitted
+// models instead of the built-in heuristic.
+//
+// Calibration runs every algorithm on every query, so use a modest
+// workload (tens of queries); the Ext-6 experiment shows ~30 queries
+// already steer the planner close to the per-query oracle.
+func (p *Planner) Calibrate(queries []core.Query) error {
+	if len(queries) < numFeatures {
+		return fmt.Errorf("planner: %d calibration queries, need at least %d", len(queries), numFeatures)
+	}
+	for _, alg := range p.available() {
+		rows := make([][]float64, 0, len(queries))
+		costs := make([]float64, 0, len(queries))
+		for _, q := range queries {
+			ans, err := p.run(alg, q)
+			if err != nil {
+				return fmt.Errorf("planner: calibrating %v: %w", alg, err)
+			}
+			rows = append(rows, p.FeaturesOf(q).vector())
+			costs = append(costs, float64(ans.Access.Total()+ans.Access.UsersExpanded))
+		}
+		coef, err := ridgeFit(rows, costs, 1e-6)
+		if err != nil {
+			return fmt.Errorf("planner: fitting %v: %w", alg, err)
+		}
+		p.models[alg] = coef
+	}
+	p.calibrated = true
+	return nil
+}
+
+// Calibrated reports whether fitted models are active.
+func (p *Planner) Calibrated() bool { return p.calibrated }
+
+// Model returns the fitted coefficient vector for an algorithm
+// (intercept first), or nil before calibration.
+func (p *Planner) Model(alg Algorithm) []float64 {
+	if alg < 0 || alg >= numAlgorithms {
+		return nil
+	}
+	return p.models[alg]
+}
+
+// ridgeFit solves min_w ‖Xw − y‖² + λ‖w‖² via the normal equations
+// (XᵀX + λI)w = Xᵀy. The tiny ridge term keeps the system
+// well-conditioned when features are collinear on small workloads.
+func ridgeFit(rows [][]float64, y []float64, lambda float64) ([]float64, error) {
+	if len(rows) == 0 || len(rows) != len(y) {
+		return nil, errors.New("planner: empty or mismatched fit input")
+	}
+	d := len(rows[0])
+	ata := make([][]float64, d)
+	for i := range ata {
+		ata[i] = make([]float64, d)
+		ata[i][i] = lambda
+	}
+	aty := make([]float64, d)
+	for r, row := range rows {
+		if len(row) != d {
+			return nil, errors.New("planner: ragged design matrix")
+		}
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				ata[i][j] += row[i] * row[j]
+			}
+			aty[i] += row[i] * y[r]
+		}
+	}
+	return solve(ata, aty)
+}
+
+// solve performs Gaussian elimination with partial pivoting on the
+// (symmetric positive definite, thanks to the ridge) system a·x = b.
+// a and b are consumed.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// pivot
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return nil, errors.New("planner: singular normal equations")
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		// eliminate
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r][c] * x[c]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x, nil
+}

@@ -1,0 +1,247 @@
+// Package proximity computes social proximity σ(s, v) between a seeker s
+// and every other user v of the social network.
+//
+// The central abstraction is Iterator: an *incremental* best-first
+// expansion of the network around the seeker that yields users in
+// non-increasing proximity order, one at a time, with a certified upper
+// bound on the proximity of every not-yet-yielded user. The core search
+// algorithm (internal/core.SocialMerge) interleaves this iterator with
+// posting-list accesses and uses the bound for early termination — this
+// is what lets it answer personalized top-k queries after touching only a
+// small neighbourhood of the seeker.
+//
+// The proximity function is the hop-damped maximum path product
+//
+//	σ(s, v) = max over paths p: s⇝v of  α^{|p|} · Π_{e∈p} w(e)
+//
+// with σ(s, s) = selfWeight. All factors lie in (0, 1], so σ is
+// non-increasing along the frontier and the lazy Dijkstra expansion is
+// correct and instance-optimal in the number of users settled.
+//
+// The package also provides batch computation, random-walk-with-restart
+// proximity (an alternative σ used in ablations), and landmark sketches
+// that give cheap upper bounds used by the pruned approximate variants.
+package proximity
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Params configures the proximity function.
+type Params struct {
+	// Alpha is the per-hop damping factor in (0, 1]. 1 disables damping.
+	Alpha float64
+	// SelfWeight is σ(s, s), the seeker's own contribution weight,
+	// normally 1.
+	SelfWeight float64
+	// MinSigma is the proximity support floor: users with σ < MinSigma
+	// are defined to have σ = 0 (they are outside the seeker's social
+	// horizon and contribute nothing to scores). This is part of the
+	// scoring *model*, not an approximation: every algorithm — exact
+	// materialization included — computes the same floored function.
+	// Because path products only shrink, no user beyond a below-floor
+	// frontier can re-enter, so the floor equals truncating the
+	// expansion. 0 disables the floor (unbounded horizon).
+	MinSigma float64
+}
+
+// DefaultParams returns the standard configuration: no hop damping,
+// self weight 1, unbounded horizon.
+func DefaultParams() Params { return Params{Alpha: 1.0, SelfWeight: 1.0} }
+
+// Validate checks parameter ranges.
+func (p Params) Validate() error {
+	if !(p.Alpha > 0 && p.Alpha <= 1) {
+		return fmt.Errorf("proximity: Alpha %g outside (0,1]", p.Alpha)
+	}
+	if !(p.SelfWeight > 0 && p.SelfWeight <= 1) {
+		return fmt.Errorf("proximity: SelfWeight %g outside (0,1]", p.SelfWeight)
+	}
+	if p.MinSigma < 0 || p.MinSigma > p.SelfWeight {
+		return fmt.Errorf("proximity: MinSigma %g outside [0, SelfWeight=%g]", p.MinSigma, p.SelfWeight)
+	}
+	return nil
+}
+
+// Entry is one settled user with its proximity to the seeker and the hop
+// count of the best path.
+type Entry struct {
+	User graph.UserID
+	Prox float64
+	Hops int
+}
+
+// Iterator incrementally enumerates users by non-increasing proximity.
+// It implements lazy Dijkstra over the max-product semiring: each Next
+// call settles exactly one user and relaxes its out-edges.
+type Iterator struct {
+	g        *graph.Graph
+	params   Params
+	settled  []bool
+	best     []float64
+	hops     []int32
+	pq       frontierHeap
+	expanded int
+}
+
+// NewIterator starts an expansion around seeker. It performs O(1) work
+// besides allocating the per-user state arrays.
+func NewIterator(g *graph.Graph, seeker graph.UserID, params Params) (*Iterator, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.NumUsers()
+	if seeker < 0 || int(seeker) >= n {
+		return nil, fmt.Errorf("proximity: seeker %d outside [0,%d)", seeker, n)
+	}
+	it := &Iterator{
+		g:       g,
+		params:  params,
+		settled: make([]bool, n),
+		best:    make([]float64, n),
+		hops:    make([]int32, n),
+	}
+	it.best[seeker] = params.SelfWeight
+	it.pq.push(frontierItem{u: seeker, p: params.SelfWeight, h: 0})
+	return it, nil
+}
+
+// Next settles and returns the next-closest user. ok is false when the
+// region inside the horizon (σ ≥ MinSigma) is exhausted. The first call
+// always yields the seeker itself (with proximity SelfWeight).
+func (it *Iterator) Next() (e Entry, ok bool) {
+	for it.pq.len() > 0 {
+		item := it.pq.pop()
+		if it.settled[item.u] {
+			continue
+		}
+		if item.p < it.params.MinSigma {
+			// Everything left is below the floor: σ is defined 0 there.
+			it.pq.items = it.pq.items[:0]
+			return Entry{}, false
+		}
+		it.settled[item.u] = true
+		it.hops[item.u] = item.h
+		it.expanded++
+		nbrs, wts := it.g.Neighbors(item.u)
+		for i, v := range nbrs {
+			if it.settled[v] {
+				continue
+			}
+			cand := item.p * wts[i] * it.params.Alpha
+			if cand > it.best[v] {
+				it.best[v] = cand
+				it.pq.push(frontierItem{u: v, p: cand, h: item.h + 1})
+			}
+		}
+		return Entry{User: item.u, Prox: item.p, Hops: int(item.h)}, true
+	}
+	return Entry{}, false
+}
+
+// PeekBound returns a certified upper bound on the proximity of every
+// user not yet returned by Next. When the frontier is empty or entirely
+// below the horizon floor the bound is 0 (σ is defined 0 there).
+func (it *Iterator) PeekBound() float64 {
+	for it.pq.len() > 0 {
+		top := it.pq.peek()
+		if it.settled[top.u] {
+			it.pq.pop() // drop stale entry lazily
+			continue
+		}
+		if top.p < it.params.MinSigma {
+			return 0
+		}
+		return top.p
+	}
+	return 0
+}
+
+// Expanded reports how many users have been settled so far; experiments
+// use it as a hardware-independent cost measure.
+func (it *Iterator) Expanded() int { return it.expanded }
+
+type frontierItem struct {
+	u graph.UserID
+	p float64
+	h int32
+}
+
+// frontierHeap is an allocation-light max-heap on proximity with id
+// tie-breaking for determinism. A hand-rolled heap avoids the
+// per-operation interface boxing of container/heap, which matters on
+// the query hot path.
+type frontierHeap struct {
+	items []frontierItem
+}
+
+func (f *frontierHeap) len() int           { return len(f.items) }
+func (f *frontierHeap) peek() frontierItem { return f.items[0] }
+
+func (f *frontierHeap) less(i, j int) bool {
+	a, b := f.items[i], f.items[j]
+	if a.p != b.p {
+		return a.p > b.p
+	}
+	return a.u < b.u
+}
+
+func (f *frontierHeap) push(it frontierItem) {
+	f.items = append(f.items, it)
+	i := len(f.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !f.less(i, parent) {
+			break
+		}
+		f.items[i], f.items[parent] = f.items[parent], f.items[i]
+		i = parent
+	}
+}
+
+func (f *frontierHeap) pop() frontierItem {
+	top := f.items[0]
+	last := len(f.items) - 1
+	f.items[0] = f.items[last]
+	f.items = f.items[:last]
+	n := last
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && f.less(l, best) {
+			best = l
+		}
+		if r < n && f.less(r, best) {
+			best = r
+		}
+		if best == i {
+			return top
+		}
+		f.items[i], f.items[best] = f.items[best], f.items[i]
+		i = best
+	}
+}
+
+// All computes σ(seeker, v) for every user in one batch. It is the
+// reference implementation the iterator is validated against and the
+// workhorse of the exact baseline.
+func All(g *graph.Graph, seeker graph.UserID, params Params) ([]float64, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if seeker < 0 || int(seeker) >= g.NumUsers() {
+		return nil, fmt.Errorf("proximity: seeker %d outside [0,%d)", seeker, g.NumUsers())
+	}
+	prox := g.MaxProductDistances(seeker, params.Alpha, params.SelfWeight)
+	if params.MinSigma > 0 {
+		for i, p := range prox {
+			if p < params.MinSigma {
+				prox[i] = 0
+			}
+		}
+	}
+	return prox, nil
+}

@@ -1,0 +1,236 @@
+// Package recommend builds item recommendation on top of the social
+// search substrate: instead of answering an explicit tag query, it
+// surfaces items the seeker has not interacted with but their social
+// neighbourhood has — the "discovery" application the paper's
+// introduction motivates.
+//
+// The recommendation score of item i for seeker s is the proximity-
+// weighted mass of all tagging actions on i inside s's horizon,
+// excluding s's own:
+//
+//	rec(s, i) = Σ_{v≠s} Σ_t σ(s,v) · tf(v,i,t)
+//
+// Recommendations come with explanations: the top contributing
+// (friend, tag) pairs.
+package recommend
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/proximity"
+	"repro/internal/tagstore"
+)
+
+// Recommendation is one suggested item with its provenance.
+type Recommendation struct {
+	Item  tagstore.ItemID
+	Score float64
+	// Reasons are the strongest contributors, sorted by contribution,
+	// truncated to the builder's MaxReasons.
+	Reasons []Reason
+}
+
+// Reason names one contribution to a recommendation.
+type Reason struct {
+	User         graph.UserID
+	Tag          tagstore.TagID
+	Contribution float64
+}
+
+// Params tunes recommendation generation.
+type Params struct {
+	// K is the number of recommendations (≥ 1).
+	K int
+	// MaxReasons bounds the explanation list per item; 0 means 3.
+	MaxReasons int
+	// IncludeSeen keeps items the seeker already tagged (off by
+	// default: recommendations are for discovery).
+	IncludeSeen bool
+}
+
+// Recommender generates recommendations from an engine's graph and
+// store.
+type Recommender struct {
+	engine *core.Engine
+}
+
+// New builds a Recommender over the engine.
+func New(e *core.Engine) *Recommender { return &Recommender{engine: e} }
+
+// Recommend computes the top-K recommendations for the seeker by
+// expanding the social neighbourhood once and aggregating every tagging
+// action inside it.
+func (r *Recommender) Recommend(seeker graph.UserID, p Params) ([]Recommendation, error) {
+	if p.K < 1 {
+		return nil, fmt.Errorf("recommend: K %d must be >= 1", p.K)
+	}
+	maxReasons := p.MaxReasons
+	if maxReasons <= 0 {
+		maxReasons = 3
+	}
+	g := r.engine.Graph()
+	store := r.engine.Store()
+	if seeker < 0 || int(seeker) >= g.NumUsers() {
+		return nil, fmt.Errorf("recommend: seeker %d outside [0,%d)", seeker, g.NumUsers())
+	}
+
+	it, err := proximity.NewIterator(g, seeker, r.engine.ProximityParams())
+	if err != nil {
+		return nil, err
+	}
+
+	seen := make(map[tagstore.ItemID]bool)
+	if !p.IncludeSeen {
+		for _, t := range store.UserTags(int32(seeker)) {
+			for _, up := range store.UserList(int32(seeker), t) {
+				seen[up.Item] = true
+			}
+		}
+	}
+
+	type acc struct {
+		score   float64
+		reasons []Reason
+	}
+	scores := make(map[tagstore.ItemID]*acc)
+	for {
+		e, ok := it.Next()
+		if !ok {
+			break
+		}
+		if e.User == seeker {
+			continue
+		}
+		for _, t := range store.UserTags(int32(e.User)) {
+			for _, up := range store.UserList(int32(e.User), t) {
+				if seen[up.Item] {
+					continue
+				}
+				contribution := e.Prox * float64(up.TF)
+				a := scores[up.Item]
+				if a == nil {
+					a = &acc{}
+					scores[up.Item] = a
+				}
+				a.score += contribution
+				a.reasons = append(a.reasons, Reason{User: e.User, Tag: t, Contribution: contribution})
+			}
+		}
+	}
+
+	items := make([]tagstore.ItemID, 0, len(scores))
+	for i := range scores {
+		items = append(items, i)
+	}
+	sort.Slice(items, func(a, b int) bool {
+		sa, sb := scores[items[a]].score, scores[items[b]].score
+		if sa != sb {
+			return sa > sb
+		}
+		return items[a] < items[b]
+	})
+	if len(items) > p.K {
+		items = items[:p.K]
+	}
+
+	out := make([]Recommendation, 0, len(items))
+	for _, i := range items {
+		a := scores[i]
+		sort.Slice(a.reasons, func(x, y int) bool {
+			rx, ry := a.reasons[x], a.reasons[y]
+			if rx.Contribution != ry.Contribution {
+				return rx.Contribution > ry.Contribution
+			}
+			if rx.User != ry.User {
+				return rx.User < ry.User
+			}
+			return rx.Tag < ry.Tag
+		})
+		reasons := a.reasons
+		if len(reasons) > maxReasons {
+			reasons = reasons[:maxReasons]
+		}
+		out = append(out, Recommendation{Item: i, Score: a.score, Reasons: reasons})
+	}
+	return out, nil
+}
+
+// SimilarUsers returns the seeker's top-K most similar users by a blend
+// of social proximity and tagging overlap (Jaccard over item sets),
+// skipping the seeker. It powers "people to follow" features.
+func (r *Recommender) SimilarUsers(seeker graph.UserID, k int) ([]UserScore, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("recommend: k %d must be >= 1", k)
+	}
+	g := r.engine.Graph()
+	store := r.engine.Store()
+	if seeker < 0 || int(seeker) >= g.NumUsers() {
+		return nil, fmt.Errorf("recommend: seeker %d outside [0,%d)", seeker, g.NumUsers())
+	}
+	mine := itemSet(store, seeker)
+	it, err := proximity.NewIterator(g, seeker, r.engine.ProximityParams())
+	if err != nil {
+		return nil, err
+	}
+	var out []UserScore
+	for {
+		e, ok := it.Next()
+		if !ok {
+			break
+		}
+		if e.User == seeker {
+			continue
+		}
+		theirs := itemSet(store, e.User)
+		out = append(out, UserScore{
+			User:  e.User,
+			Score: e.Prox * (1 + jaccard(mine, theirs)),
+		})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].User < out[b].User
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// UserScore is a scored user.
+type UserScore struct {
+	User  graph.UserID
+	Score float64
+}
+
+func itemSet(store *tagstore.Store, u graph.UserID) map[tagstore.ItemID]bool {
+	set := make(map[tagstore.ItemID]bool)
+	for _, t := range store.UserTags(int32(u)) {
+		for _, up := range store.UserList(int32(u), t) {
+			set[up.Item] = true
+		}
+	}
+	return set
+}
+
+func jaccard(a, b map[tagstore.ItemID]bool) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	for i := range a {
+		if b[i] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,211 @@
+package recommend
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/proximity"
+	"repro/internal/tagstore"
+)
+
+// world: alice(0)–bob(1) w=0.5, bob–carol(2) w=0.5, dora(3) isolated.
+// alice tagged item 0; bob items 0,1; carol item 2; dora item 3.
+func world(t testing.TB) *core.Engine {
+	t.Helper()
+	gb := graph.NewBuilder(4)
+	gb.AddEdge(0, 1, 0.5)
+	gb.AddEdge(1, 2, 0.5)
+	g, err := gb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tagstore.NewBuilder(4, 4, 2)
+	tb.Add(0, 0, 0)
+	tb.Add(1, 0, 0)
+	tb.AddCount(1, 1, 0, 3)
+	tb.Add(2, 2, 1)
+	tb.Add(3, 3, 0)
+	store, err := tb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewEngine(g, store, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestRecommendBasics(t *testing.T) {
+	r := New(world(t))
+	recs, err := r.Recommend(0, Params{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// alice already has item 0 → excluded. Expect item 1 (bob, 0.5·3 =
+	// 1.5) then item 2 (carol, 0.25·1).
+	if len(recs) != 2 {
+		t.Fatalf("got %d recommendations: %+v", len(recs), recs)
+	}
+	if recs[0].Item != 1 || math.Abs(recs[0].Score-1.5) > 1e-12 {
+		t.Fatalf("top rec = %+v, want item 1 score 1.5", recs[0])
+	}
+	if recs[1].Item != 2 || math.Abs(recs[1].Score-0.25) > 1e-12 {
+		t.Fatalf("second rec = %+v, want item 2 score 0.25", recs[1])
+	}
+	// explanation: item 1 recommended because bob tagged it
+	if len(recs[0].Reasons) == 0 || recs[0].Reasons[0].User != 1 {
+		t.Fatalf("missing/wrong reason: %+v", recs[0].Reasons)
+	}
+}
+
+func TestRecommendIncludeSeen(t *testing.T) {
+	r := New(world(t))
+	recs, err := r.Recommend(0, Params{K: 5, IncludeSeen: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// item 0 now included: bob's copy contributes 0.5.
+	found := false
+	for _, rec := range recs {
+		if rec.Item == 0 {
+			found = true
+			if math.Abs(rec.Score-0.5) > 1e-12 {
+				t.Fatalf("seen item score = %g, want 0.5", rec.Score)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("IncludeSeen did not include item 0: %+v", recs)
+	}
+}
+
+func TestRecommendIsolatedSeeker(t *testing.T) {
+	r := New(world(t))
+	recs, err := r.Recommend(3, Params{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("isolated seeker got recommendations: %+v", recs)
+	}
+}
+
+func TestRecommendValidation(t *testing.T) {
+	r := New(world(t))
+	if _, err := r.Recommend(0, Params{K: 0}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, err := r.Recommend(-1, Params{K: 1}); err == nil {
+		t.Fatal("negative seeker accepted")
+	}
+	if _, err := r.Recommend(9, Params{K: 1}); err == nil {
+		t.Fatal("out-of-range seeker accepted")
+	}
+}
+
+func TestRecommendMaxReasons(t *testing.T) {
+	// many contributors to one item
+	gb := graph.NewBuilder(6)
+	for i := 1; i < 6; i++ {
+		gb.AddEdge(0, graph.UserID(i), 0.5)
+	}
+	g, err := gb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tagstore.NewBuilder(6, 1, 1)
+	for i := 1; i < 6; i++ {
+		tb.Add(int32(i), 0, 0)
+	}
+	store, err := tb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewEngine(g, store, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := New(e).Recommend(0, Params{K: 1, MaxReasons: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || len(recs[0].Reasons) != 2 {
+		t.Fatalf("reasons not truncated: %+v", recs)
+	}
+}
+
+func TestSimilarUsers(t *testing.T) {
+	r := New(world(t))
+	us, err := r.SimilarUsers(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bob shares item 0 with alice and is closest: must rank first.
+	if len(us) != 2 {
+		t.Fatalf("got %d similar users: %+v", len(us), us)
+	}
+	if us[0].User != 1 {
+		t.Fatalf("top similar user = %d, want bob(1)", us[0].User)
+	}
+	if us[0].Score <= us[1].Score {
+		t.Fatalf("scores not ordered: %+v", us)
+	}
+}
+
+func TestSimilarUsersValidation(t *testing.T) {
+	r := New(world(t))
+	if _, err := r.SimilarUsers(0, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := r.SimilarUsers(99, 1); err == nil {
+		t.Fatal("out-of-range seeker accepted")
+	}
+}
+
+func TestRecommendOnGeneratedCorpus(t *testing.T) {
+	ds, err := gen.Generate(gen.DeliciousParams().Scale(0.05), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{
+		Proximity: proximity.Params{Alpha: 0.6, SelfWeight: 1, MinSigma: 0.05},
+		Beta:      1,
+	}
+	e, err := core.NewEngine(ds.Graph, ds.Store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(e)
+	seeker := ds.Graph.DegreePercentileUser(90)
+	recs, err := r.Recommend(seeker, Params{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("hub seeker got no recommendations")
+	}
+	// scores sorted descending, no seeker-seen items
+	seen := map[tagstore.ItemID]bool{}
+	for _, tg := range ds.Store.UserTags(seeker) {
+		for _, up := range ds.Store.UserList(seeker, tg) {
+			seen[up.Item] = true
+		}
+	}
+	prev := math.Inf(1)
+	for _, rec := range recs {
+		if rec.Score > prev {
+			t.Fatal("recommendations not sorted by score")
+		}
+		prev = rec.Score
+		if seen[rec.Item] {
+			t.Fatalf("recommended already-seen item %d", rec.Item)
+		}
+		if len(rec.Reasons) == 0 {
+			t.Fatalf("recommendation without explanation: %+v", rec)
+		}
+	}
+}

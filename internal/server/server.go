@@ -1,0 +1,247 @@
+// Package server exposes a social tagging service over HTTP/JSON: the
+// thin deployment layer a downstream application runs in front of the
+// library. It serves both the in-memory service (internal/social) and
+// the crash-safe one (internal/durable) through a small backend
+// interface.
+//
+// Endpoints (all JSON):
+//
+//	POST /v1/friend  {"a":"alice","b":"bob","weight":0.9}     → 204
+//	POST /v1/tag     {"user":"bob","item":"x","tag":"pizza"}  → 204
+//	GET  /v1/search?seeker=alice&tags=pizza,italian&k=5       → {"results":[...]}
+//	GET  /v1/users                                            → {"users":[...]}
+//	GET  /v1/stats                                            → backend counters
+//	GET  /healthz                                             → 200 "ok"
+//
+// Client errors (validation, unknown names, malformed JSON) map to
+// 400; wrong methods to 405; everything else to 500.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/social"
+)
+
+// Backend is the mutation/query surface the server needs. Both
+// *social.Service and *durable.Service satisfy it.
+type Backend interface {
+	Befriend(a, b string, weight float64) error
+	Tag(user, item, tag string) error
+	Search(seeker string, tags []string, k int) ([]social.Result, error)
+	Users() []string
+}
+
+// maxBodyBytes bounds mutation request bodies.
+const maxBodyBytes = 1 << 20
+
+// Server is an http.Handler serving the API.
+type Server struct {
+	backend Backend
+	mux     *http.ServeMux
+}
+
+// New builds a server over a backend.
+func New(b Backend) (*Server, error) {
+	if b == nil {
+		return nil, errors.New("server: nil backend")
+	}
+	s := &Server{backend: b, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/friend", s.handleFriend)
+	s.mux.HandleFunc("/v1/tag", s.handleTag)
+	s.mux.HandleFunc("/v1/search", s.handleSearch)
+	s.mux.HandleFunc("/v1/users", s.handleUsers)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// writeErr sends a JSON error body with the given status.
+func writeErr(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// writeJSON sends a 200 JSON response.
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// decodeBody strictly decodes a JSON request body into v.
+func decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request body: %w", err)
+	}
+	// Reject trailing garbage after the JSON value.
+	if dec.More() {
+		return errors.New("request body holds more than one JSON value")
+	}
+	return nil
+}
+
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		w.Header().Set("Allow", method)
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return false
+	}
+	return true
+}
+
+type friendRequest struct {
+	A      string  `json:"a"`
+	B      string  `json:"b"`
+	Weight float64 `json:"weight"`
+}
+
+func (s *Server) handleFriend(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req friendRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.backend.Befriend(req.A, req.B, req.Weight); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+type tagRequest struct {
+	User string `json:"user"`
+	Item string `json:"item"`
+	Tag  string `json:"tag"`
+}
+
+func (s *Server) handleTag(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req tagRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.backend.Tag(req.User, req.Item, req.Tag); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// SearchResponse is the /v1/search response body.
+type SearchResponse struct {
+	Results []social.Result `json:"results"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	q := r.URL.Query()
+	seeker := q.Get("seeker")
+	if seeker == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing seeker parameter"))
+		return
+	}
+	var tags []string
+	for _, chunk := range q["tags"] {
+		for _, t := range strings.Split(chunk, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				tags = append(tags, t)
+			}
+		}
+	}
+	if len(tags) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("missing tags parameter"))
+		return
+	}
+	k := 10
+	if ks := q.Get("k"); ks != "" {
+		var err error
+		if k, err = strconv.Atoi(ks); err != nil || k < 1 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad k %q", ks))
+			return
+		}
+	}
+	res, err := s.backend.Search(seeker, tags, k)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if res == nil {
+		res = []social.Result{}
+	}
+	writeJSON(w, SearchResponse{Results: res})
+}
+
+func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	users := s.backend.Users()
+	if users == nil {
+		users = []string{}
+	}
+	writeJSON(w, map[string][]string{"users": users})
+}
+
+// handleStats reports whatever counters the backend exposes. The two
+// service types return different concrete stats structs, so match on
+// the method signature.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	switch b := s.backend.(type) {
+	case interface{ Stats() social.Stats }:
+		writeJSON(w, b.Stats())
+	case interface{ Stats() durable.Stats }:
+		writeJSON(w, b.Stats())
+	default:
+		writeErr(w, http.StatusNotFound, errors.New("backend exposes no stats"))
+	}
+}
+
+// ListenAndServe runs the server on addr until ctx is cancelled, then
+// shuts down gracefully with the given timeout.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, shutdownTimeout time.Duration) error {
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           s,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+		defer cancel()
+		return hs.Shutdown(sctx)
+	}
+}

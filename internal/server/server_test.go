@@ -1,0 +1,267 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/social"
+)
+
+func newTestServer(t *testing.T) (*Server, *social.Service) {
+	t.Helper()
+	cfg := social.DefaultServiceConfig()
+	cfg.AutoCompactEvery = 0 // compact on every write: reads always current
+	svc, err := social.NewService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, svc
+}
+
+func doJSON(t *testing.T, h http.Handler, method, path string, body interface{}) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func seedHTTP(t *testing.T, s *Server) {
+	t.Helper()
+	for _, m := range []friendRequest{
+		{"alice", "bob", 0.9},
+		{"bob", "carol", 0.8},
+	} {
+		if rec := doJSON(t, s, http.MethodPost, "/v1/friend", m); rec.Code != http.StatusNoContent {
+			t.Fatalf("friend %+v: status %d body %s", m, rec.Code, rec.Body)
+		}
+	}
+	for _, m := range []tagRequest{
+		{"bob", "luigis", "pizza"},
+		{"bob", "luigis", "italian"},
+		{"carol", "marios", "pizza"},
+	} {
+		if rec := doJSON(t, s, http.MethodPost, "/v1/tag", m); rec.Code != http.StatusNoContent {
+			t.Fatalf("tag %+v: status %d body %s", m, rec.Code, rec.Body)
+		}
+	}
+}
+
+func TestNewRejectsNilBackend(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("nil backend accepted")
+	}
+}
+
+func TestEndToEndFlow(t *testing.T) {
+	s, _ := newTestServer(t)
+	seedHTTP(t, s)
+
+	rec := doJSON(t, s, http.MethodGet, "/v1/search?seeker=alice&tags=pizza&k=2", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search: status %d body %s", rec.Code, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var resp SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 2 || resp.Results[0].Item != "luigis" {
+		t.Fatalf("results = %+v, want luigis first", resp.Results)
+	}
+
+	rec = doJSON(t, s, http.MethodGet, "/v1/users", nil)
+	var users map[string][]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &users); err != nil {
+		t.Fatal(err)
+	}
+	if len(users["users"]) != 3 {
+		t.Fatalf("users = %v", users)
+	}
+
+	rec = doJSON(t, s, http.MethodGet, "/v1/stats", nil)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "\"Users\":3") {
+		t.Fatalf("stats: %d %s", rec.Code, rec.Body)
+	}
+
+	rec = doJSON(t, s, http.MethodGet, "/healthz", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz: %d", rec.Code)
+	}
+}
+
+func TestSearchMultiTagAndRepeatedParams(t *testing.T) {
+	s, _ := newTestServer(t)
+	seedHTTP(t, s)
+	// Comma-separated and repeated tags params both work, whitespace is
+	// trimmed, and the default k applies.
+	rec := doJSON(t, s, http.MethodGet, "/v1/search?seeker=alice&tags=pizza,%20italian", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d body %s", rec.Code, rec.Body)
+	}
+	var a SearchResponse
+	json.Unmarshal(rec.Body.Bytes(), &a)
+	rec = doJSON(t, s, http.MethodGet, "/v1/search?seeker=alice&tags=pizza&tags=italian", nil)
+	var b SearchResponse
+	json.Unmarshal(rec.Body.Bytes(), &b)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("comma form %+v != repeated form %+v", a, b)
+	}
+	if len(a.Results) == 0 || a.Results[0].Item != "luigis" {
+		t.Fatalf("multi-tag results = %+v", a.Results)
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	s, _ := newTestServer(t)
+	seedHTTP(t, s)
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		want   int
+	}{
+		{"friend wrong method", http.MethodGet, "/v1/friend", "", http.StatusMethodNotAllowed},
+		{"tag wrong method", http.MethodGet, "/v1/tag", "", http.StatusMethodNotAllowed},
+		{"search wrong method", http.MethodPost, "/v1/search?seeker=a&tags=b", "", http.StatusMethodNotAllowed},
+		{"friend bad json", http.MethodPost, "/v1/friend", "{", http.StatusBadRequest},
+		{"friend unknown field", http.MethodPost, "/v1/friend", `{"a":"x","b":"y","weight":0.5,"extra":1}`, http.StatusBadRequest},
+		{"friend trailing garbage", http.MethodPost, "/v1/friend", `{"a":"x","b":"y","weight":0.5}{}`, http.StatusBadRequest},
+		{"friend bad weight", http.MethodPost, "/v1/friend", `{"a":"x","b":"y","weight":7}`, http.StatusBadRequest},
+		{"tag empty name", http.MethodPost, "/v1/tag", `{"user":"","item":"i","tag":"t"}`, http.StatusBadRequest},
+		{"search missing seeker", http.MethodGet, "/v1/search?tags=pizza", "", http.StatusBadRequest},
+		{"search missing tags", http.MethodGet, "/v1/search?seeker=alice", "", http.StatusBadRequest},
+		{"search blank tags", http.MethodGet, "/v1/search?seeker=alice&tags=,%20,", "", http.StatusBadRequest},
+		{"search bad k", http.MethodGet, "/v1/search?seeker=alice&tags=pizza&k=zero", "", http.StatusBadRequest},
+		{"search k zero", http.MethodGet, "/v1/search?seeker=alice&tags=pizza&k=0", "", http.StatusBadRequest},
+		{"search unknown seeker", http.MethodGet, "/v1/search?seeker=nobody&tags=pizza", "", http.StatusBadRequest},
+		{"search unknown tag", http.MethodGet, "/v1/search?seeker=alice&tags=quantum", "", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		req := httptest.NewRequest(tc.method, tc.path, strings.NewReader(tc.body))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != tc.want {
+			t.Errorf("%s: status %d, want %d (body %s)", tc.name, rec.Code, tc.want, rec.Body)
+		}
+		if tc.want == http.StatusBadRequest && !strings.Contains(rec.Body.String(), "error") {
+			t.Errorf("%s: no error body: %s", tc.name, rec.Body)
+		}
+	}
+}
+
+func TestDurableBackend(t *testing.T) {
+	svc, err := durable.Open(t.TempDir(), durable.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	s, err := New(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedHTTP(t, s)
+	rec := doJSON(t, s, http.MethodGet, "/v1/search?seeker=alice&tags=pizza&k=1", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search on durable backend: %d %s", rec.Code, rec.Body)
+	}
+	// Durable stats include the durability counters.
+	rec = doJSON(t, s, http.MethodGet, "/v1/stats", nil)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "LogSegments") {
+		t.Fatalf("durable stats: %d %s", rec.Code, rec.Body)
+	}
+}
+
+func TestEmptySearchReturnsEmptyArrayNotNull(t *testing.T) {
+	s, _ := newTestServer(t)
+	seedHTTP(t, s)
+	// dave exists after this tag but has no friends: result may be empty
+	// once none of his ball tagged anything.
+	doJSON(t, s, http.MethodPost, "/v1/tag", tagRequest{"dave", "thing", "pizza"})
+	rec := doJSON(t, s, http.MethodGet, "/v1/search?seeker=dave&tags=italian&k=3", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), `"results":[]`) {
+		t.Fatalf("empty search body = %s, want empty array", rec.Body)
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	s, _ := newTestServer(t)
+	seedHTTP(t, s)
+	var wg sync.WaitGroup
+	errs := make(chan string, 32)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if i%3 == 0 {
+					rec := doJSON(t, s, http.MethodPost, "/v1/tag",
+						tagRequest{fmt.Sprintf("w%d", id), fmt.Sprintf("item%d-%d", id, i), "pizza"})
+					if rec.Code != http.StatusNoContent {
+						errs <- fmt.Sprintf("tag: %d %s", rec.Code, rec.Body)
+						return
+					}
+				} else {
+					rec := doJSON(t, s, http.MethodGet, "/v1/search?seeker=alice&tags=pizza&k=3", nil)
+					if rec.Code != http.StatusOK {
+						errs <- fmt.Sprintf("search: %d %s", rec.Code, rec.Body)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+func TestListenAndServeGracefulShutdown(t *testing.T) {
+	s, _ := newTestServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.ListenAndServe(ctx, "127.0.0.1:0", time.Second) }()
+	// Give the listener a moment, then cancel; shutdown must complete
+	// promptly and without error.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}

@@ -1,0 +1,216 @@
+// Package similarity derives social edge weights from observed tagging
+// behaviour and predicts new links. Real deployments rarely have
+// explicit friendship strengths; they estimate them from interaction
+// overlap, which is what this package does over a tagstore:
+//
+//   - Jaccard and cosine similarity between users' item profiles,
+//     used to (re-)weight an existing friendship graph;
+//   - Adamic-Adar link prediction over the graph structure, used to
+//     propose new friendships (the "people you may know" feed).
+package similarity
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/tagstore"
+)
+
+// Measure selects the profile-similarity function.
+type Measure int
+
+const (
+	// Jaccard is |A∩B| / |A∪B| over distinct item sets.
+	Jaccard Measure = iota
+	// Cosine is the cosine of the users' item-frequency vectors.
+	Cosine
+)
+
+// String names the measure.
+func (m Measure) String() string {
+	switch m {
+	case Jaccard:
+		return "jaccard"
+	case Cosine:
+		return "cosine"
+	default:
+		return fmt.Sprintf("Measure(%d)", int(m))
+	}
+}
+
+// profile is a user's item → total-count vector.
+func profile(s *tagstore.Store, u graph.UserID) map[tagstore.ItemID]float64 {
+	p := make(map[tagstore.ItemID]float64)
+	for _, t := range s.UserTags(int32(u)) {
+		for _, up := range s.UserList(int32(u), t) {
+			p[up.Item] += float64(up.TF)
+		}
+	}
+	return p
+}
+
+// Users computes the similarity of two users' item profiles in [0, 1].
+func Users(s *tagstore.Store, a, b graph.UserID, m Measure) (float64, error) {
+	if a < 0 || int(a) >= s.NumUsers() || b < 0 || int(b) >= s.NumUsers() {
+		return 0, fmt.Errorf("similarity: user pair (%d,%d) outside [0,%d)", a, b, s.NumUsers())
+	}
+	pa, pb := profile(s, a), profile(s, b)
+	switch m {
+	case Jaccard:
+		return jaccard(pa, pb), nil
+	case Cosine:
+		return cosine(pa, pb), nil
+	default:
+		return 0, fmt.Errorf("similarity: unknown measure %d", int(m))
+	}
+}
+
+func jaccard(a, b map[tagstore.ItemID]float64) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	for i := range a {
+		if _, ok := b[i]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+func cosine(a, b map[tagstore.ItemID]float64) float64 {
+	var dot, na, nb float64
+	for i, x := range a {
+		na += x * x
+		if y, ok := b[i]; ok {
+			dot += x * y
+		}
+	}
+	for _, y := range b {
+		nb += y * y
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// ReweightParams tunes Reweight.
+type ReweightParams struct {
+	// Measure is the profile similarity used.
+	Measure Measure
+	// Floor keeps every edge queryable: final weight =
+	// max(Floor, similarity). Must lie in (0, 1]; edges with zero
+	// similarity would otherwise be invalid (weights must be positive).
+	Floor float64
+	// Blend mixes the original weight with the similarity:
+	// w' = Blend·sim + (1−Blend)·w. 1 replaces, 0 keeps.
+	Blend float64
+}
+
+// DefaultReweightParams keeps structure but grounds strengths in
+// behaviour.
+func DefaultReweightParams() ReweightParams {
+	return ReweightParams{Measure: Cosine, Floor: 0.05, Blend: 1.0}
+}
+
+// Reweight rebuilds the graph with edge weights derived from tagging
+// similarity. The edge set is unchanged; only strengths move.
+func Reweight(g *graph.Graph, s *tagstore.Store, p ReweightParams) (*graph.Graph, error) {
+	if g.NumUsers() != s.NumUsers() {
+		return nil, fmt.Errorf("similarity: graph has %d users, store has %d", g.NumUsers(), s.NumUsers())
+	}
+	if p.Floor <= 0 || p.Floor > 1 {
+		return nil, fmt.Errorf("similarity: floor %g outside (0,1]", p.Floor)
+	}
+	if p.Blend < 0 || p.Blend > 1 {
+		return nil, fmt.Errorf("similarity: blend %g outside [0,1]", p.Blend)
+	}
+	// Cache profiles: each user's profile is needed deg(u) times.
+	profiles := make([]map[tagstore.ItemID]float64, g.NumUsers())
+	prof := func(u graph.UserID) map[tagstore.ItemID]float64 {
+		if profiles[u] == nil {
+			profiles[u] = profile(s, u)
+		}
+		return profiles[u]
+	}
+	b := graph.NewBuilder(g.NumUsers())
+	for _, e := range g.Edges() {
+		var sim float64
+		switch p.Measure {
+		case Jaccard:
+			sim = jaccard(prof(e.U), prof(e.V))
+		case Cosine:
+			sim = cosine(prof(e.U), prof(e.V))
+		default:
+			return nil, fmt.Errorf("similarity: unknown measure %d", int(p.Measure))
+		}
+		w := p.Blend*sim + (1-p.Blend)*e.Weight
+		if w < p.Floor {
+			w = p.Floor
+		}
+		if w > 1 {
+			w = 1
+		}
+		b.AddEdge(e.U, e.V, w)
+	}
+	return b.Build()
+}
+
+// Prediction is one proposed friendship.
+type Prediction struct {
+	U, V  graph.UserID
+	Score float64
+}
+
+// AdamicAdar proposes the top-k non-edges ranked by the Adamic-Adar
+// index: Σ over common neighbours z of 1/log(deg(z)). Only pairs within
+// two hops are considered (others score 0 by definition).
+func AdamicAdar(g *graph.Graph, k int) ([]Prediction, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("similarity: k %d must be >= 1", k)
+	}
+	type pair struct{ u, v graph.UserID }
+	scores := make(map[pair]float64)
+	n := g.NumUsers()
+	for z := 0; z < n; z++ {
+		nbrs, _ := g.Neighbors(graph.UserID(z))
+		d := len(nbrs)
+		if d < 2 {
+			continue
+		}
+		w := 1 / math.Log(float64(d)) // d ≥ 2 here, so log is positive
+		for i := 0; i < d; i++ {
+			for j := i + 1; j < d; j++ {
+				u, v := nbrs[i], nbrs[j]
+				if g.HasEdge(u, v) {
+					continue
+				}
+				scores[pair{u, v}] += w
+			}
+		}
+	}
+	out := make([]Prediction, 0, len(scores))
+	for p, s := range scores {
+		out = append(out, Prediction{U: p.u, V: p.v, Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}

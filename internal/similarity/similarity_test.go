@@ -1,0 +1,253 @@
+package similarity
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/tagstore"
+)
+
+// fixture: u0 and u1 share item 0; u2 disjoint; u3 empty.
+func fixture(t testing.TB) (*graph.Graph, *tagstore.Store) {
+	t.Helper()
+	gb := graph.NewBuilder(4)
+	gb.AddEdge(0, 1, 0.5)
+	gb.AddEdge(1, 2, 0.5)
+	gb.AddEdge(0, 3, 0.5)
+	g, err := gb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tagstore.NewBuilder(4, 3, 1)
+	tb.Add(0, 0, 0)
+	tb.Add(0, 1, 0)
+	tb.Add(1, 0, 0)
+	tb.Add(2, 2, 0)
+	s, err := tb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, s
+}
+
+func TestMeasureString(t *testing.T) {
+	if Jaccard.String() != "jaccard" || Cosine.String() != "cosine" {
+		t.Fatal("measure names wrong")
+	}
+	if Measure(9).String() == "" {
+		t.Fatal("unknown measure should stringify")
+	}
+}
+
+func TestUsersJaccard(t *testing.T) {
+	_, s := fixture(t)
+	// u0 items {0,1}; u1 items {0} → 1/2
+	sim, err := Users(s, 0, 1, Jaccard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sim-0.5) > 1e-12 {
+		t.Fatalf("jaccard = %g, want 0.5", sim)
+	}
+	// disjoint → 0
+	sim, err = Users(s, 0, 2, Jaccard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim != 0 {
+		t.Fatalf("disjoint jaccard = %g", sim)
+	}
+	// empty vs empty → 0
+	if sim, _ := Users(s, 3, 3, Jaccard); sim != 0 {
+		t.Fatalf("empty jaccard = %g", sim)
+	}
+}
+
+func TestUsersCosine(t *testing.T) {
+	_, s := fixture(t)
+	// u0 vector (1,1,0); u1 vector (1,0,0): cos = 1/√2
+	sim, err := Users(s, 0, 1, Cosine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sim-1/math.Sqrt2) > 1e-12 {
+		t.Fatalf("cosine = %g, want %g", sim, 1/math.Sqrt2)
+	}
+	// identical profiles → 1
+	sim, err = Users(s, 0, 0, Cosine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sim-1) > 1e-12 {
+		t.Fatalf("self cosine = %g", sim)
+	}
+	// empty profile → 0
+	if sim, _ := Users(s, 0, 3, Cosine); sim != 0 {
+		t.Fatalf("empty cosine = %g", sim)
+	}
+}
+
+func TestUsersValidation(t *testing.T) {
+	_, s := fixture(t)
+	if _, err := Users(s, -1, 0, Jaccard); err == nil {
+		t.Fatal("negative user accepted")
+	}
+	if _, err := Users(s, 0, 9, Jaccard); err == nil {
+		t.Fatal("out-of-range user accepted")
+	}
+	if _, err := Users(s, 0, 1, Measure(7)); err == nil {
+		t.Fatal("unknown measure accepted")
+	}
+}
+
+func TestReweight(t *testing.T) {
+	g, s := fixture(t)
+	g2, err := Reweight(g, s, ReweightParams{Measure: Jaccard, Floor: 0.05, Blend: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatal("edge set changed")
+	}
+	// (0,1): jaccard 0.5
+	if w, _ := g2.EdgeWeight(0, 1); math.Abs(w-0.5) > 1e-12 {
+		t.Fatalf("w(0,1) = %g, want 0.5", w)
+	}
+	// (1,2): disjoint → floor
+	if w, _ := g2.EdgeWeight(1, 2); w != 0.05 {
+		t.Fatalf("w(1,2) = %g, want floor 0.05", w)
+	}
+}
+
+func TestReweightBlend(t *testing.T) {
+	g, s := fixture(t)
+	g2, err := Reweight(g, s, ReweightParams{Measure: Jaccard, Floor: 0.01, Blend: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (0,1): 0.5·0.5 + 0.5·0.5 = 0.5
+	if w, _ := g2.EdgeWeight(0, 1); math.Abs(w-0.5) > 1e-12 {
+		t.Fatalf("blended w(0,1) = %g", w)
+	}
+	// blend 0 keeps the original
+	g3, err := Reweight(g, s, ReweightParams{Measure: Jaccard, Floor: 0.01, Blend: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := g3.EdgeWeight(1, 2); w != 0.5 {
+		t.Fatalf("blend 0 w(1,2) = %g, want original 0.5", w)
+	}
+}
+
+func TestReweightValidation(t *testing.T) {
+	g, s := fixture(t)
+	if _, err := Reweight(g, s, ReweightParams{Measure: Jaccard, Floor: 0, Blend: 1}); err == nil {
+		t.Fatal("zero floor accepted")
+	}
+	if _, err := Reweight(g, s, ReweightParams{Measure: Jaccard, Floor: 0.1, Blend: 2}); err == nil {
+		t.Fatal("blend 2 accepted")
+	}
+	if _, err := Reweight(g, s, ReweightParams{Measure: Measure(7), Floor: 0.1, Blend: 1}); err == nil {
+		t.Fatal("unknown measure accepted")
+	}
+	s2, _ := tagstore.NewBuilder(9, 1, 1).Build()
+	if _, err := Reweight(g, s2, DefaultReweightParams()); err == nil {
+		t.Fatal("mismatched universes accepted")
+	}
+}
+
+func TestAdamicAdar(t *testing.T) {
+	// path 0-1-2: (0,2) is the only 2-hop non-edge, via z=1 (deg 2).
+	gb := graph.NewBuilder(3)
+	gb.AddEdge(0, 1, 0.5)
+	gb.AddEdge(1, 2, 0.5)
+	g, err := gb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := AdamicAdar(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != 1 {
+		t.Fatalf("got %d predictions: %v", len(preds), preds)
+	}
+	p := preds[0]
+	if p.U != 0 || p.V != 2 {
+		t.Fatalf("prediction = %+v, want (0,2)", p)
+	}
+	if math.Abs(p.Score-1/math.Log(2)) > 1e-12 {
+		t.Fatalf("score = %g, want 1/ln2", p.Score)
+	}
+}
+
+func TestAdamicAdarRanksSharedHubs(t *testing.T) {
+	// u0 and u1 share two common neighbours (2, 3); u0 and u4 share one.
+	gb := graph.NewBuilder(5)
+	gb.AddEdge(0, 2, 0.5)
+	gb.AddEdge(1, 2, 0.5)
+	gb.AddEdge(0, 3, 0.5)
+	gb.AddEdge(1, 3, 0.5)
+	gb.AddEdge(4, 2, 0.5)
+	g, err := gb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := AdamicAdar(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) < 3 {
+		t.Fatalf("got %d predictions", len(preds))
+	}
+	// (2,3) share {0,1} (both deg 2): 2/ln2 ≈ 2.885 — strongest.
+	// (0,1) share {2,3} (deg 3 and 2): 1/ln3 + 1/ln2 ≈ 2.352.
+	// two-common-neighbour pairs must outrank single-neighbour ones.
+	if preds[0].U != 2 || preds[0].V != 3 {
+		t.Fatalf("top prediction = %+v, want (2,3)", preds[0])
+	}
+	if preds[1].U != 0 || preds[1].V != 1 {
+		t.Fatalf("second prediction = %+v, want (0,1)", preds[1])
+	}
+	if preds[1].Score <= preds[2].Score {
+		t.Fatalf("two-neighbour pair does not outrank single: %v", preds)
+	}
+}
+
+func TestAdamicAdarValidation(t *testing.T) {
+	g, _ := fixture(t)
+	if _, err := AdamicAdar(g, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestReweightOnGeneratedCorpus(t *testing.T) {
+	ds, err := gen.Generate(gen.DeliciousParams().Scale(0.05), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Reweight(ds.Graph, ds.Store, DefaultReweightParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != ds.Graph.NumEdges() {
+		t.Fatal("edge count changed")
+	}
+	for _, e := range g2.Edges() {
+		if e.Weight <= 0 || e.Weight > 1 {
+			t.Fatalf("weight %g out of range", e.Weight)
+		}
+	}
+	// homophilous corpora should produce some edges above the floor
+	above := 0
+	for _, e := range g2.Edges() {
+		if e.Weight > 0.05 {
+			above++
+		}
+	}
+	if above == 0 {
+		t.Fatal("no edge carries behavioural similarity")
+	}
+}

@@ -1,0 +1,26 @@
+package social
+
+import (
+	"repro/internal/graph"
+	"repro/internal/tagstore"
+)
+
+// newEmptyGraph returns the zero-user immutable base the overlay grows
+// from. Construction cannot fail on empty input; a failure would be a
+// programming error, so it panics rather than returning an error.
+func newEmptyGraph() *graph.Graph {
+	g, err := graph.NewBuilder(0).Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// newEmptyStore is the tagging-store counterpart of newEmptyGraph.
+func newEmptyStore() *tagstore.Store {
+	s, err := tagstore.NewBuilder(0, 0, 0).Build()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

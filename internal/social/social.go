@@ -1,0 +1,279 @@
+// Package social is the batteries-included facade of the library: a
+// mutable social tagging service addressed by names instead of dense
+// ids. It wires together the vocabulary layer (string ↔ id), the
+// overlay (dynamic updates + compaction), the core engine (certified
+// top-k), and the serving cache — the API a downstream application
+// embeds.
+//
+//	svc, _ := social.NewService(social.DefaultServiceConfig())
+//	svc.Befriend("alice", "bob", 0.9)
+//	svc.Tag("bob", "luigis", "pizza")
+//	res, _ := svc.Search("alice", []string{"pizza"}, 5)
+//	// res[0].Item == "luigis"
+package social
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/overlay"
+	"repro/internal/proximity"
+	"repro/internal/vocab"
+)
+
+// ServiceConfig tunes a Service.
+type ServiceConfig struct {
+	// Proximity configures the social proximity model; zero value means
+	// α=0.6, self-weight 1, σ-floor 0.05 (a practical horizon).
+	Proximity proximity.Params
+	// Beta blends social and global scoring (default 1: pure social).
+	Beta float64
+	// AutoCompactEvery folds mutations into the queryable snapshot
+	// after this many writes (default 64; 0 compacts on every write —
+	// simplest semantics, highest write cost).
+	AutoCompactEvery int
+}
+
+// DefaultServiceConfig returns the practical defaults described above.
+func DefaultServiceConfig() ServiceConfig {
+	return ServiceConfig{
+		Proximity:        proximity.Params{Alpha: 0.6, SelfWeight: 1, MinSigma: 0.05},
+		Beta:             1.0,
+		AutoCompactEvery: 64,
+	}
+}
+
+// Result is one named search result.
+type Result struct {
+	Item  string
+	Score float64
+}
+
+// Service is a mutable, name-addressed social tagging search service.
+// It is safe for concurrent use; reads see the last compacted snapshot.
+type Service struct {
+	cfg ServiceConfig
+
+	mu      sync.Mutex
+	names   *vocab.Set
+	overlay *overlay.Overlay
+	engine  *overlay.Engine
+	writes  int
+}
+
+// NewService builds an empty service.
+func NewService(cfg ServiceConfig) (*Service, error) {
+	if cfg.Proximity == (proximity.Params{}) {
+		cfg.Proximity = DefaultServiceConfig().Proximity
+	}
+	if err := cfg.Proximity.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Beta < 0 || cfg.Beta > 1 {
+		return nil, fmt.Errorf("social: beta %g outside [0,1]", cfg.Beta)
+	}
+	if cfg.AutoCompactEvery < 0 {
+		return nil, fmt.Errorf("social: negative AutoCompactEvery")
+	}
+	s := &Service{cfg: cfg, names: vocab.NewSet()}
+	if err := s.initEmpty(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Service) initEmpty() error {
+	// Start from empty immutable bases; universes grow via the overlay.
+	gb := newEmptyGraph()
+	st := newEmptyStore()
+	o, err := overlay.New(gb, st)
+	if err != nil {
+		return err
+	}
+	eng, err := overlay.NewEngine(o, core.Config{Proximity: s.cfg.Proximity, Beta: s.cfg.Beta}, 0)
+	if err != nil {
+		return err
+	}
+	s.overlay = o
+	s.engine = eng
+	return nil
+}
+
+// ensureUser interns a user name, growing the universe when new.
+// Callers hold s.mu.
+func (s *Service) ensureUser(name string) (int32, error) {
+	if id, ok := s.names.Users.ID(name); ok {
+		return id, nil
+	}
+	id, err := s.names.Users.Add(name)
+	if err != nil {
+		return 0, err
+	}
+	if got := s.overlay.AddUser(); got != id {
+		return 0, fmt.Errorf("social: user id drift (%d vs %d)", got, id)
+	}
+	return id, nil
+}
+
+func (s *Service) ensureItem(name string) (int32, error) {
+	if id, ok := s.names.Items.ID(name); ok {
+		return id, nil
+	}
+	id, err := s.names.Items.Add(name)
+	if err != nil {
+		return 0, err
+	}
+	if got := s.overlay.AddItem(); got != id {
+		return 0, fmt.Errorf("social: item id drift (%d vs %d)", got, id)
+	}
+	return id, nil
+}
+
+func (s *Service) ensureTag(name string) (int32, error) {
+	if id, ok := s.names.Tags.ID(name); ok {
+		return id, nil
+	}
+	id, err := s.names.Tags.Add(name)
+	if err != nil {
+		return 0, err
+	}
+	if got := s.overlay.AddTag(); got != id {
+		return 0, fmt.Errorf("social: tag id drift (%d vs %d)", got, id)
+	}
+	return id, nil
+}
+
+// noteWrite applies the auto-compaction policy. Callers hold s.mu.
+func (s *Service) noteWrite() error {
+	s.writes++
+	if s.cfg.AutoCompactEvery == 0 || s.writes >= s.cfg.AutoCompactEvery {
+		s.writes = 0
+		return s.engine.Compact()
+	}
+	return nil
+}
+
+// Befriend declares (or strengthens) a friendship between two users,
+// creating them as needed. Weight ∈ (0, 1].
+func (s *Service) Befriend(a, b string, weight float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ua, err := s.ensureUser(a)
+	if err != nil {
+		return err
+	}
+	ub, err := s.ensureUser(b)
+	if err != nil {
+		return err
+	}
+	if err := s.overlay.Befriend(ua, ub, weight); err != nil {
+		return err
+	}
+	return s.noteWrite()
+}
+
+// Tag records that a user annotated an item with a tag, creating any of
+// the three as needed.
+func (s *Service) Tag(user, item, tag string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u, err := s.ensureUser(user)
+	if err != nil {
+		return err
+	}
+	i, err := s.ensureItem(item)
+	if err != nil {
+		return err
+	}
+	tg, err := s.ensureTag(tag)
+	if err != nil {
+		return err
+	}
+	if err := s.overlay.Tag(u, i, tg); err != nil {
+		return err
+	}
+	return s.noteWrite()
+}
+
+// Flush forces pending writes into the queryable snapshot.
+func (s *Service) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.writes = 0
+	return s.engine.Compact()
+}
+
+// Search answers seeker's top-k query over tag names. Unknown tags are
+// an error (a deployment would typically treat them as empty); unknown
+// seekers are an error. Scores are exact (RefineScores execution).
+func (s *Service) Search(seeker string, tags []string, k int) ([]Result, error) {
+	s.mu.Lock()
+	uid, ok := s.names.Users.ID(seeker)
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("social: unknown user %q", seeker)
+	}
+	tagIDs := make([]int32, 0, len(tags))
+	for _, t := range tags {
+		id, ok := s.names.Tags.ID(t)
+		if !ok {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("social: unknown tag %q", t)
+		}
+		tagIDs = append(tagIDs, id)
+	}
+	eng := s.engine
+	s.mu.Unlock()
+
+	// Run the query outside the lock: it reads only the immutable
+	// compacted snapshot.
+	ans, err := eng.SocialMerge(core.Query{Seeker: uid, Tags: tagIDs, K: k},
+		core.Options{RefineScores: true})
+	if err != nil {
+		return nil, err
+	}
+
+	// Translate ids back to names under the lock — the dictionaries are
+	// append-only, so every id in the snapshot already has a name, but
+	// concurrent writers may be appending.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Result, 0, len(ans.Results))
+	for _, r := range ans.Results {
+		name, ok := s.names.Items.Name(r.Item)
+		if !ok {
+			return nil, fmt.Errorf("social: unnamed item id %d", r.Item)
+		}
+		out = append(out, Result{Item: name, Score: r.Score})
+	}
+	return out, nil
+}
+
+// Users returns all known user names in id order.
+func (s *Service) Users() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.names.Users.Names()...)
+}
+
+// Stats summarizes the service state.
+type Stats struct {
+	Users, Items, Tags int
+	PendingWrites      int
+	Compactions        int
+}
+
+// Stats returns current counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pe, pt := s.overlay.Pending()
+	return Stats{
+		Users:         s.names.Users.Len(),
+		Items:         s.names.Items.Len(),
+		Tags:          s.names.Tags.Len(),
+		PendingWrites: pe + pt,
+		Compactions:   s.overlay.Compactions(),
+	}
+}

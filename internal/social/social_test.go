@@ -1,0 +1,211 @@
+package social
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/proximity"
+)
+
+// pizzaWorld builds the README scenario through the public API.
+func pizzaWorld(t testing.TB, autoCompact int) *Service {
+	t.Helper()
+	cfg := DefaultServiceConfig()
+	cfg.Proximity = proximity.Params{Alpha: 1, SelfWeight: 1} // undamped: hand-checkable
+	cfg.AutoCompactEvery = autoCompact
+	svc, err := NewService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := []error{
+		svc.Befriend("alice", "bob", 0.9),
+		svc.Befriend("alice", "carol", 0.7),
+		svc.Befriend("bob", "dave", 0.8),
+		svc.Tag("bob", "luigis", "pizza"),
+		svc.Tag("carol", "luigis", "pizza"),
+		svc.Tag("carol", "luigis", "pizza"),
+		svc.Tag("dave", "marios", "pizza"),
+		svc.Tag("frank", "chain", "pizza"),
+	}
+	for i, err := range steps {
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if err := svc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+func TestSearchPersonalized(t *testing.T) {
+	svc := pizzaWorld(t, 0)
+	res, err := svc.Search("alice", []string{"pizza"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// luigis: 0.9·1 (bob) + 0.7·2 (carol) = 2.3; marios: 0.72·1;
+	// chain: unreachable → absent.
+	if len(res) != 2 {
+		t.Fatalf("results = %v, want 2", res)
+	}
+	if res[0].Item != "luigis" || math.Abs(res[0].Score-2.3) > 1e-12 {
+		t.Fatalf("top = %+v, want luigis 2.3", res[0])
+	}
+	if res[1].Item != "marios" || math.Abs(res[1].Score-0.72) > 1e-12 {
+		t.Fatalf("second = %+v, want marios 0.72", res[1])
+	}
+	// frank's own view: only his item
+	res, err = svc.Search("frank", []string{"pizza"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Item != "chain" {
+		t.Fatalf("frank's results = %v", res)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	svc := pizzaWorld(t, 0)
+	if _, err := svc.Search("nobody", []string{"pizza"}, 3); err == nil {
+		t.Fatal("unknown seeker accepted")
+	}
+	if _, err := svc.Search("alice", []string{"sushi"}, 3); err == nil {
+		t.Fatal("unknown tag accepted")
+	}
+	if _, err := svc.Search("alice", []string{"pizza"}, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestWritesVisibleAfterAutoCompaction(t *testing.T) {
+	svc := pizzaWorld(t, 3)
+	// two writes pending: invisible
+	if err := svc.Befriend("alice", "erin", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Tag("erin", "sliceplace", "pizza"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := svc.Search("alice", []string{"pizza"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Item == "sliceplace" {
+			t.Fatal("pending write visible before compaction")
+		}
+	}
+	// third write triggers auto-compaction
+	if err := svc.Tag("erin", "sliceplace", "pizza"); err != nil {
+		t.Fatal(err)
+	}
+	res, err = svc.Search("alice", []string{"pizza"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range res {
+		if r.Item == "sliceplace" {
+			found = true
+			// erin at weight 0.9, two taggings → 1.8
+			if math.Abs(r.Score-1.8) > 1e-12 {
+				t.Fatalf("sliceplace score = %g, want 1.8", r.Score)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("auto-compacted write invisible: %v", res)
+	}
+}
+
+func TestServiceConfigValidation(t *testing.T) {
+	cfg := DefaultServiceConfig()
+	cfg.Beta = 2
+	if _, err := NewService(cfg); err == nil {
+		t.Fatal("beta 2 accepted")
+	}
+	cfg = DefaultServiceConfig()
+	cfg.AutoCompactEvery = -1
+	if _, err := NewService(cfg); err == nil {
+		t.Fatal("negative compaction accepted")
+	}
+	cfg = DefaultServiceConfig()
+	cfg.Proximity = proximity.Params{Alpha: 7, SelfWeight: 1}
+	if _, err := NewService(cfg); err == nil {
+		t.Fatal("bad proximity accepted")
+	}
+	// zero proximity params default
+	cfg = DefaultServiceConfig()
+	cfg.Proximity = proximity.Params{}
+	if _, err := NewService(cfg); err != nil {
+		t.Fatal("zero proximity params rejected")
+	}
+}
+
+func TestBadNamesRejected(t *testing.T) {
+	svc := pizzaWorld(t, 0)
+	if err := svc.Tag("a\nb", "item", "tag"); err == nil {
+		t.Fatal("newline user accepted")
+	}
+	if err := svc.Tag("user", "", "tag"); err == nil {
+		t.Fatal("empty item accepted")
+	}
+	if err := svc.Befriend("alice", "alice", 0.5); err == nil {
+		t.Fatal("self-friendship accepted")
+	}
+	if err := svc.Befriend("alice", "bob", 0); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+}
+
+func TestStatsAndUsers(t *testing.T) {
+	svc := pizzaWorld(t, 0)
+	st := svc.Stats()
+	if st.Users != 5 { // alice bob carol dave frank
+		t.Fatalf("users = %d, want 5", st.Users)
+	}
+	if st.Items != 3 || st.Tags != 1 {
+		t.Fatalf("items/tags = %d/%d", st.Items, st.Tags)
+	}
+	if st.PendingWrites != 0 {
+		t.Fatalf("pending = %d after flush", st.PendingWrites)
+	}
+	users := svc.Users()
+	if len(users) != 5 || users[0] != "alice" {
+		t.Fatalf("Users() = %v", users)
+	}
+}
+
+func TestConcurrentServiceUse(t *testing.T) {
+	svc := pizzaWorld(t, 5)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				if w%2 == 0 {
+					item := fmt.Sprintf("item-%d-%d", w, i)
+					if err := svc.Tag("bob", item, "pizza"); err != nil {
+						errs <- err
+						return
+					}
+				} else {
+					if _, err := svc.Search("alice", []string{"pizza"}, 3); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,331 @@
+// Package tagstore stores the user–item–tag annotation relation of a
+// collaborative tagging site and exposes it through the two access paths
+// classic top-k processing distinguishes:
+//
+//   - sequential access: per-tag global posting lists sorted by descending
+//     tag frequency, consumed front-to-back by threshold algorithms;
+//   - random access: O(1)-ish point lookups tf(u, i, t) and per-(user,tag)
+//     lists, consumed by the network-aware algorithm as the social
+//     frontier visits each user.
+//
+// The store is immutable after Build; all query-time structures are
+// read-only and safe for concurrent use.
+package tagstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ItemID is a dense item identifier in [0, NumItems).
+type ItemID = int32
+
+// TagID is a dense tag identifier in [0, NumTags).
+type TagID = int32
+
+// Triple is one tagging action: user u annotated item i with tag t,
+// count times (count ≥ 1; repeated annotation is meaningful on sites
+// where an item can be re-bookmarked).
+type Triple struct {
+	User  int32
+	Item  ItemID
+	Tag   TagID
+	Count int32
+}
+
+// Posting is one entry of a global per-tag list: an item and the total
+// frequency with which the tag was applied to it across all users.
+type Posting struct {
+	Item ItemID
+	TF   int32
+}
+
+// UserPosting is one entry of a per-(user,tag) list.
+type UserPosting struct {
+	Item ItemID
+	TF   int32
+}
+
+// Builder accumulates triples before freezing them into a Store.
+// Duplicate (user, item, tag) triples have their counts summed.
+type Builder struct {
+	numUsers int
+	numItems int
+	numTags  int
+	triples  []Triple
+}
+
+// NewBuilder returns a Builder over the given universe sizes.
+func NewBuilder(numUsers, numItems, numTags int) *Builder {
+	return &Builder{numUsers: numUsers, numItems: numItems, numTags: numTags}
+}
+
+// Add records a tagging triple with count 1.
+func (b *Builder) Add(user int32, item ItemID, tag TagID) {
+	b.AddCount(user, item, tag, 1)
+}
+
+// AddCount records a tagging triple with an explicit count.
+func (b *Builder) AddCount(user int32, item ItemID, tag TagID, count int32) {
+	b.triples = append(b.triples, Triple{User: user, Item: item, Tag: tag, Count: count})
+}
+
+// Build validates and freezes the store.
+func (b *Builder) Build() (*Store, error) {
+	if b.numUsers < 0 || b.numItems < 0 || b.numTags < 0 {
+		return nil, errors.New("tagstore: negative universe size")
+	}
+	for _, tr := range b.triples {
+		if tr.User < 0 || int(tr.User) >= b.numUsers {
+			return nil, fmt.Errorf("tagstore: user %d outside [0,%d)", tr.User, b.numUsers)
+		}
+		if tr.Item < 0 || int(tr.Item) >= b.numItems {
+			return nil, fmt.Errorf("tagstore: item %d outside [0,%d)", tr.Item, b.numItems)
+		}
+		if tr.Tag < 0 || int(tr.Tag) >= b.numTags {
+			return nil, fmt.Errorf("tagstore: tag %d outside [0,%d)", tr.Tag, b.numTags)
+		}
+		if tr.Count <= 0 {
+			return nil, fmt.Errorf("tagstore: non-positive count %d", tr.Count)
+		}
+	}
+	// Merge duplicates.
+	merged := make(map[Triple]int32, len(b.triples))
+	for _, tr := range b.triples {
+		key := Triple{User: tr.User, Item: tr.Item, Tag: tr.Tag}
+		merged[key] += tr.Count
+	}
+	triples := make([]Triple, 0, len(merged))
+	for k, c := range merged {
+		k.Count = c
+		triples = append(triples, k)
+	}
+	sort.Slice(triples, func(i, j int) bool {
+		a, b := triples[i], triples[j]
+		if a.User != b.User {
+			return a.User < b.User
+		}
+		if a.Tag != b.Tag {
+			return a.Tag < b.Tag
+		}
+		return a.Item < b.Item
+	})
+
+	s := &Store{
+		numUsers: b.numUsers,
+		numItems: b.numItems,
+		numTags:  b.numTags,
+		triples:  triples,
+	}
+	s.buildIndexes()
+	return s, nil
+}
+
+// Store is the immutable tagging store.
+type Store struct {
+	numUsers, numItems, numTags int
+	triples                     []Triple // canonical sorted triples
+
+	// global per-tag posting lists sorted by (TF desc, Item asc)
+	global [][]Posting
+	// maxTF[t] = largest global TF of any item under tag t (0 if none)
+	maxTF []int32
+
+	// per-(user,tag) posting lists: userTagKeys maps packed key → slice
+	// into userPostings. Built as flat sorted structures for memory
+	// efficiency.
+	userTagOff   map[uint64]int32 // packed(user,tag) → offset into userPostings
+	userTagLen   map[uint64]int32
+	userPostings []UserPosting
+
+	// userTags[u] = sorted distinct tags used by u
+	userTags [][]TagID
+
+	// point lookup (user,item,tag) → count
+	point map[uint64]int32
+	// point lookup (tag,item) → global count
+	globalPoint map[uint64]int32
+
+	totalAnnotations int64
+}
+
+func packTI(tag TagID, item ItemID) uint64 {
+	return uint64(uint32(tag))<<32 | uint64(uint32(item))
+}
+
+func packUT(user int32, tag TagID) uint64 {
+	return uint64(uint32(user))<<32 | uint64(uint32(tag))
+}
+
+func packUIT(user int32, item ItemID, tag TagID) uint64 {
+	// 21 bits each is plenty for the evaluated scales (≤ 2M ids); verify
+	// at build time.
+	return uint64(uint32(user))<<42 | uint64(uint32(item))<<21 | uint64(uint32(tag))
+}
+
+const maxPackedID = 1 << 21
+
+func (s *Store) buildIndexes() {
+	// Global lists: aggregate per (tag, item).
+	type ti struct {
+		t TagID
+		i ItemID
+	}
+	agg := make(map[ti]int32)
+	for _, tr := range s.triples {
+		agg[ti{tr.Tag, tr.Item}] += tr.Count
+		s.totalAnnotations += int64(tr.Count)
+	}
+	s.global = make([][]Posting, s.numTags)
+	s.globalPoint = make(map[uint64]int32, len(agg))
+	for k, c := range agg {
+		s.global[k.t] = append(s.global[k.t], Posting{Item: k.i, TF: c})
+		s.globalPoint[packTI(k.t, k.i)] = c
+	}
+	s.maxTF = make([]int32, s.numTags)
+	for t := range s.global {
+		lst := s.global[t]
+		sort.Slice(lst, func(i, j int) bool {
+			if lst[i].TF != lst[j].TF {
+				return lst[i].TF > lst[j].TF
+			}
+			return lst[i].Item < lst[j].Item
+		})
+		if len(lst) > 0 {
+			s.maxTF[t] = lst[0].TF
+		}
+	}
+
+	// Per-(user,tag) lists and point index. The triples slice is already
+	// sorted by (user, tag, item), so runs are contiguous.
+	s.userTagOff = make(map[uint64]int32)
+	s.userTagLen = make(map[uint64]int32)
+	s.point = make(map[uint64]int32, len(s.triples))
+	s.userTags = make([][]TagID, s.numUsers)
+	usePacked := s.numUsers < maxPackedID && s.numItems < maxPackedID && s.numTags < maxPackedID
+	if !usePacked {
+		// The packed point index would overflow; the evaluated scales
+		// never reach 2M ids, so treat it as a hard limit.
+		panic(fmt.Sprintf("tagstore: universe too large for packed index (%d users, %d items, %d tags)",
+			s.numUsers, s.numItems, s.numTags))
+	}
+	i := 0
+	for i < len(s.triples) {
+		u, t := s.triples[i].User, s.triples[i].Tag
+		start := len(s.userPostings)
+		j := i
+		for j < len(s.triples) && s.triples[j].User == u && s.triples[j].Tag == t {
+			tr := s.triples[j]
+			s.userPostings = append(s.userPostings, UserPosting{Item: tr.Item, TF: tr.Count})
+			s.point[packUIT(tr.User, tr.Item, tr.Tag)] = tr.Count
+			j++
+		}
+		// order per-user list by TF desc for consistent consumption
+		seg := s.userPostings[start:]
+		sort.Slice(seg, func(a, b int) bool {
+			if seg[a].TF != seg[b].TF {
+				return seg[a].TF > seg[b].TF
+			}
+			return seg[a].Item < seg[b].Item
+		})
+		s.userTagOff[packUT(u, t)] = int32(start)
+		s.userTagLen[packUT(u, t)] = int32(j - i)
+		if n := len(s.userTags[u]); n == 0 || s.userTags[u][n-1] != t {
+			s.userTags[u] = append(s.userTags[u], t)
+		}
+		i = j
+	}
+}
+
+// NumUsers reports the user universe size.
+func (s *Store) NumUsers() int { return s.numUsers }
+
+// NumItems reports the item universe size.
+func (s *Store) NumItems() int { return s.numItems }
+
+// NumTags reports the tag universe size.
+func (s *Store) NumTags() int { return s.numTags }
+
+// NumTriples reports the number of distinct (user, item, tag) triples.
+func (s *Store) NumTriples() int { return len(s.triples) }
+
+// TotalAnnotations reports the sum of all counts.
+func (s *Store) TotalAnnotations() int64 { return s.totalAnnotations }
+
+// Triples returns the canonical sorted triples. The slice aliases
+// internal storage and must not be modified.
+func (s *Store) Triples() []Triple { return s.triples }
+
+// GlobalList returns the global posting list of tag t, sorted by
+// descending total frequency. The slice aliases internal storage.
+func (s *Store) GlobalList(t TagID) []Posting { return s.global[t] }
+
+// MaxTF returns the largest global frequency under tag t; it is the
+// per-list score ceiling threshold algorithms use.
+func (s *Store) MaxTF(t TagID) int32 { return s.maxTF[t] }
+
+// UserList returns the posting list of (user u, tag t), sorted by
+// descending frequency, or nil when u never used t.
+func (s *Store) UserList(u int32, t TagID) []UserPosting {
+	off, ok := s.userTagOff[packUT(u, t)]
+	if !ok {
+		return nil
+	}
+	n := s.userTagLen[packUT(u, t)]
+	return s.userPostings[off : off+n]
+}
+
+// UserTags returns the sorted distinct tags user u has used. The slice
+// aliases internal storage.
+func (s *Store) UserTags(u int32) []TagID { return s.userTags[u] }
+
+// TF returns tf(u, i, t): how many times user u applied tag t to item i.
+func (s *Store) TF(u int32, i ItemID, t TagID) int32 {
+	return s.point[packUIT(u, i, t)]
+}
+
+// GlobalTF returns the total frequency of tag t on item i across users.
+// The lookup is O(1).
+func (s *Store) GlobalTF(i ItemID, t TagID) int32 {
+	return s.globalPoint[packTI(t, i)]
+}
+
+// Stats summarizes the corpus; it backs Table 1.
+type Stats struct {
+	Users, Items, Tags  int
+	Triples             int
+	Annotations         int64
+	AvgTriplesPerUser   float64
+	DistinctItemsTagged int
+	DistinctTagsUsed    int
+	MaxGlobalListLen    int
+}
+
+// ComputeStats derives corpus statistics.
+func (s *Store) ComputeStats() Stats {
+	st := Stats{
+		Users:       s.numUsers,
+		Items:       s.numItems,
+		Tags:        s.numTags,
+		Triples:     len(s.triples),
+		Annotations: s.totalAnnotations,
+	}
+	if s.numUsers > 0 {
+		st.AvgTriplesPerUser = float64(len(s.triples)) / float64(s.numUsers)
+	}
+	items := make(map[ItemID]struct{})
+	for _, tr := range s.triples {
+		items[tr.Item] = struct{}{}
+	}
+	st.DistinctItemsTagged = len(items)
+	for t := range s.global {
+		if len(s.global[t]) > 0 {
+			st.DistinctTagsUsed++
+		}
+		if len(s.global[t]) > st.MaxGlobalListLen {
+			st.MaxGlobalListLen = len(s.global[t])
+		}
+	}
+	return st
+}

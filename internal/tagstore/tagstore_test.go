@@ -1,0 +1,305 @@
+package tagstore
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// smallStore: 3 users, 4 items, 3 tags.
+//
+//	u0: (i0,t0)x2, (i1,t0), (i1,t1)
+//	u1: (i0,t0), (i2,t1)x3
+//	u2: (i3,t2)
+func smallStore(t testing.TB) *Store {
+	t.Helper()
+	b := NewBuilder(3, 4, 3)
+	b.AddCount(0, 0, 0, 2)
+	b.Add(0, 1, 0)
+	b.Add(0, 1, 1)
+	b.Add(1, 0, 0)
+	b.AddCount(1, 2, 1, 3)
+	b.Add(2, 3, 2)
+	s, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBuildEmpty(t *testing.T) {
+	s, err := NewBuilder(0, 0, 0).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumTriples() != 0 || s.TotalAnnotations() != 0 {
+		t.Fatalf("empty store: %d triples, %d annotations", s.NumTriples(), s.TotalAnnotations())
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		add  func(*Builder)
+	}{
+		{"user out of range", func(b *Builder) { b.Add(5, 0, 0) }},
+		{"negative user", func(b *Builder) { b.Add(-1, 0, 0) }},
+		{"item out of range", func(b *Builder) { b.Add(0, 9, 0) }},
+		{"tag out of range", func(b *Builder) { b.Add(0, 0, 9) }},
+		{"zero count", func(b *Builder) { b.AddCount(0, 0, 0, 0) }},
+		{"negative count", func(b *Builder) { b.AddCount(0, 0, 0, -2) }},
+	}
+	for _, tc := range cases {
+		b := NewBuilder(2, 2, 2)
+		tc.add(b)
+		if _, err := b.Build(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestDuplicateTriplesSum(t *testing.T) {
+	b := NewBuilder(1, 1, 1)
+	b.Add(0, 0, 0)
+	b.AddCount(0, 0, 0, 4)
+	s, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumTriples() != 1 {
+		t.Fatalf("NumTriples = %d, want 1", s.NumTriples())
+	}
+	if tf := s.TF(0, 0, 0); tf != 5 {
+		t.Fatalf("TF = %d, want 5", tf)
+	}
+	if s.TotalAnnotations() != 5 {
+		t.Fatalf("TotalAnnotations = %d, want 5", s.TotalAnnotations())
+	}
+}
+
+func TestGlobalListSortedByTF(t *testing.T) {
+	s := smallStore(t)
+	// tag 0: item 0 has tf 2+1=3, item 1 has tf 1.
+	got := s.GlobalList(0)
+	want := []Posting{{Item: 0, TF: 3}, {Item: 1, TF: 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("GlobalList(0) = %v, want %v", got, want)
+	}
+	if s.MaxTF(0) != 3 {
+		t.Fatalf("MaxTF(0) = %d, want 3", s.MaxTF(0))
+	}
+	// tag 1: item 2 tf 3, item 1 tf 1
+	got = s.GlobalList(1)
+	want = []Posting{{Item: 2, TF: 3}, {Item: 1, TF: 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("GlobalList(1) = %v, want %v", got, want)
+	}
+}
+
+func TestGlobalListTieBreakByItem(t *testing.T) {
+	b := NewBuilder(1, 3, 1)
+	b.Add(0, 2, 0)
+	b.Add(0, 0, 0)
+	b.Add(0, 1, 0)
+	s, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.GlobalList(0)
+	want := []Posting{{Item: 0, TF: 1}, {Item: 1, TF: 1}, {Item: 2, TF: 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("tie-break order = %v, want %v", got, want)
+	}
+}
+
+func TestUserList(t *testing.T) {
+	s := smallStore(t)
+	got := s.UserList(0, 0)
+	want := []UserPosting{{Item: 0, TF: 2}, {Item: 1, TF: 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("UserList(0,0) = %v, want %v", got, want)
+	}
+	if lst := s.UserList(2, 0); lst != nil {
+		t.Fatalf("UserList(2,0) = %v, want nil", lst)
+	}
+	if lst := s.UserList(1, 2); lst != nil {
+		t.Fatalf("UserList(1,2) = %v, want nil", lst)
+	}
+}
+
+func TestUserTags(t *testing.T) {
+	s := smallStore(t)
+	if got := s.UserTags(0); !reflect.DeepEqual(got, []TagID{0, 1}) {
+		t.Fatalf("UserTags(0) = %v", got)
+	}
+	if got := s.UserTags(2); !reflect.DeepEqual(got, []TagID{2}) {
+		t.Fatalf("UserTags(2) = %v", got)
+	}
+}
+
+func TestPointLookups(t *testing.T) {
+	s := smallStore(t)
+	if tf := s.TF(0, 0, 0); tf != 2 {
+		t.Fatalf("TF(0,0,0) = %d, want 2", tf)
+	}
+	if tf := s.TF(1, 2, 1); tf != 3 {
+		t.Fatalf("TF(1,2,1) = %d, want 3", tf)
+	}
+	if tf := s.TF(2, 0, 0); tf != 0 {
+		t.Fatalf("TF(2,0,0) = %d, want 0", tf)
+	}
+	if tf := s.GlobalTF(0, 0); tf != 3 {
+		t.Fatalf("GlobalTF(0,0) = %d, want 3", tf)
+	}
+	if tf := s.GlobalTF(3, 0); tf != 0 {
+		t.Fatalf("GlobalTF(3,0) = %d, want 0", tf)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	s := smallStore(t)
+	st := s.ComputeStats()
+	if st.Users != 3 || st.Items != 4 || st.Tags != 3 {
+		t.Fatalf("universe wrong: %+v", st)
+	}
+	if st.Triples != 6 || st.Annotations != 9 {
+		t.Fatalf("triples/annotations wrong: %+v", st)
+	}
+	if st.DistinctItemsTagged != 4 || st.DistinctTagsUsed != 3 {
+		t.Fatalf("distinct counts wrong: %+v", st)
+	}
+	if st.MaxGlobalListLen != 2 {
+		t.Fatalf("MaxGlobalListLen = %d, want 2", st.MaxGlobalListLen)
+	}
+}
+
+func TestTriplesCanonicalOrder(t *testing.T) {
+	s := smallStore(t)
+	trs := s.Triples()
+	ok := sort.SliceIsSorted(trs, func(i, j int) bool {
+		a, b := trs[i], trs[j]
+		if a.User != b.User {
+			return a.User < b.User
+		}
+		if a.Tag != b.Tag {
+			return a.Tag < b.Tag
+		}
+		return a.Item < b.Item
+	})
+	if !ok {
+		t.Fatalf("triples not canonically sorted: %v", trs)
+	}
+}
+
+// TestPropertyGlobalEqualsSumOfUserLists: for every tag, the global TF of
+// an item equals the sum of per-user TFs — the two access paths are
+// views of the same relation.
+func TestPropertyGlobalEqualsSumOfUserLists(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nu, ni, nt := 1+rng.Intn(8), 1+rng.Intn(8), 1+rng.Intn(5)
+		b := NewBuilder(nu, ni, nt)
+		for k := 0; k < 40; k++ {
+			b.AddCount(int32(rng.Intn(nu)), ItemID(rng.Intn(ni)), TagID(rng.Intn(nt)), int32(1+rng.Intn(3)))
+		}
+		s, err := b.Build()
+		if err != nil {
+			return false
+		}
+		for tag := TagID(0); int(tag) < nt; tag++ {
+			fromUsers := make(map[ItemID]int32)
+			for u := int32(0); int(u) < nu; u++ {
+				for _, p := range s.UserList(u, tag) {
+					fromUsers[p.Item] += p.TF
+				}
+			}
+			global := make(map[ItemID]int32)
+			for _, p := range s.GlobalList(tag) {
+				global[p.Item] = p.TF
+			}
+			if len(fromUsers) != len(global) {
+				return false
+			}
+			for i, tf := range fromUsers {
+				if global[i] != tf {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyPointMatchesUserList: TF(u,i,t) agrees with the per-user
+// posting lists.
+func TestPropertyPointMatchesUserList(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nu, ni, nt := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(4)
+		b := NewBuilder(nu, ni, nt)
+		for k := 0; k < 30; k++ {
+			b.Add(int32(rng.Intn(nu)), ItemID(rng.Intn(ni)), TagID(rng.Intn(nt)))
+		}
+		s, err := b.Build()
+		if err != nil {
+			return false
+		}
+		for u := int32(0); int(u) < nu; u++ {
+			for _, tag := range s.UserTags(u) {
+				for _, p := range s.UserList(u, tag) {
+					if s.TF(u, p.Item, tag) != p.TF {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyMaxTFIsListHead: MaxTF equals the head of each non-empty
+// global list and 0 otherwise.
+func TestPropertyMaxTFIsListHead(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nu, ni, nt := 1+rng.Intn(5), 1+rng.Intn(8), 1+rng.Intn(6)
+		b := NewBuilder(nu, ni, nt)
+		for k := 0; k < 25; k++ {
+			b.Add(int32(rng.Intn(nu)), ItemID(rng.Intn(ni)), TagID(rng.Intn(nt)))
+		}
+		s, err := b.Build()
+		if err != nil {
+			return false
+		}
+		for tag := TagID(0); int(tag) < nt; tag++ {
+			lst := s.GlobalList(tag)
+			if len(lst) == 0 {
+				if s.MaxTF(tag) != 0 {
+					return false
+				}
+				continue
+			}
+			if s.MaxTF(tag) != lst[0].TF {
+				return false
+			}
+			// list must be sorted by TF desc
+			for i := 1; i < len(lst); i++ {
+				if lst[i].TF > lst[i-1].TF {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,21 @@
+package topk
+
+// Access counts the hardware-independent cost measures every algorithm
+// reports. Sequential accesses walk a posting list front-to-back; random
+// accesses are point lookups; UsersExpanded counts social-frontier
+// settlements (zero for non-social algorithms).
+type Access struct {
+	Sequential    int64
+	Random        int64
+	UsersExpanded int64
+}
+
+// Add accumulates another accountant's counts into a.
+func (a *Access) Add(b Access) {
+	a.Sequential += b.Sequential
+	a.Random += b.Random
+	a.UsersExpanded += b.UsersExpanded
+}
+
+// Total reports the combined list-access count (sequential + random).
+func (a Access) Total() int64 { return a.Sequential + a.Random }

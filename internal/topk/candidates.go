@@ -1,0 +1,66 @@
+package topk
+
+import "sort"
+
+// Candidates is the NRA-style bookkeeping table: for every item observed
+// during list processing it tracks a confirmed lower bound (mass already
+// seen) and the key needed to derive an upper bound (mass that could
+// still arrive). The upper-bound *remainder* is algorithm-specific, so
+// the table stores only the seen mass and lets the caller supply the
+// remainder when asking questions.
+type Candidates struct {
+	seen map[int32]float64
+}
+
+// NewCandidates returns an empty table.
+func NewCandidates() *Candidates {
+	return &Candidates{seen: make(map[int32]float64)}
+}
+
+// Add accumulates confirmed score mass for an item.
+func (c *Candidates) Add(item int32, delta float64) {
+	c.seen[item] += delta
+}
+
+// Lower returns the confirmed lower bound for an item (0 if never seen).
+func (c *Candidates) Lower(item int32) float64 { return c.seen[item] }
+
+// Len reports the number of distinct items observed.
+func (c *Candidates) Len() int { return len(c.seen) }
+
+// Items returns all observed item ids in ascending order.
+func (c *Candidates) Items() []int32 {
+	out := make([]int32, 0, len(c.seen))
+	for i := range c.seen {
+		out = append(out, i)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// BestUnconfirmed returns the maximum, over observed items not already in
+// the confirmed set, of lower(item) + remainder — the tightest upper
+// bound on any candidate still able to improve. confirmed may be nil.
+func (c *Candidates) BestUnconfirmed(remainder float64, confirmed map[int32]bool) (item int32, upper float64, ok bool) {
+	first := true
+	for i, lo := range c.seen {
+		if confirmed != nil && confirmed[i] {
+			continue
+		}
+		up := lo + remainder
+		if first || up > upper || (up == upper && i < item) {
+			item, upper, ok, first = i, up, true, false
+		}
+	}
+	return item, upper, ok
+}
+
+// FillHeap offers every observed item (plus remainder 0, i.e. its lower
+// bound) into the heap. Used when an algorithm terminates and the lower
+// bounds are final scores.
+func (c *Candidates) FillHeap(h *Heap) {
+	// Deterministic iteration: sorted ids.
+	for _, i := range c.Items() {
+		h.Offer(i, c.seen[i])
+	}
+}

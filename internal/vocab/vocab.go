@@ -1,0 +1,198 @@
+// Package vocab maps external string names (user handles, item URLs,
+// tag words) to the dense integer ids the engine works with, and back.
+// It is the thin dictionary layer any real deployment puts between its
+// application data and this library, with a line-oriented persistence
+// format so corpora can ship with readable vocabularies.
+package vocab
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Dict is an append-only string ↔ dense-id dictionary. Ids are assigned
+// in insertion order starting at 0. The zero value is not usable; use
+// New.
+type Dict struct {
+	byName map[string]int32
+	names  []string
+}
+
+// New returns an empty dictionary.
+func New() *Dict {
+	return &Dict{byName: make(map[string]int32)}
+}
+
+// Len reports the number of entries.
+func (d *Dict) Len() int { return len(d.names) }
+
+// Add interns a name, returning its id (existing or new). Empty names
+// and names containing newlines are rejected (they would corrupt the
+// persistence format).
+func (d *Dict) Add(name string) (int32, error) {
+	if name == "" {
+		return 0, errors.New("vocab: empty name")
+	}
+	if strings.ContainsAny(name, "\n\r") {
+		return 0, fmt.Errorf("vocab: name %q contains line breaks", name)
+	}
+	if id, ok := d.byName[name]; ok {
+		return id, nil
+	}
+	id := int32(len(d.names))
+	d.byName[name] = id
+	d.names = append(d.names, name)
+	return id, nil
+}
+
+// MustAdd is Add for static initialization; it panics on invalid names.
+func (d *Dict) MustAdd(name string) int32 {
+	id, err := d.Add(name)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// ID looks up a name.
+func (d *Dict) ID(name string) (int32, bool) {
+	id, ok := d.byName[name]
+	return id, ok
+}
+
+// Name returns the name of an id, or "" and false when out of range.
+func (d *Dict) Name(id int32) (string, bool) {
+	if id < 0 || int(id) >= len(d.names) {
+		return "", false
+	}
+	return d.names[id], true
+}
+
+// Names returns all names in id order. The slice aliases internal
+// storage and must not be modified.
+func (d *Dict) Names() []string { return d.names }
+
+// Clone returns an independent copy of the dictionary. Ids are
+// preserved; later Adds to either copy do not affect the other.
+func (d *Dict) Clone() *Dict {
+	c := &Dict{
+		byName: make(map[string]int32, len(d.byName)),
+		names:  append([]string(nil), d.names...),
+	}
+	for name, id := range d.byName {
+		c.byName[name] = id
+	}
+	return c
+}
+
+// Write persists the dictionary: one name per line, in id order.
+func (d *Dict) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, n := range d.names {
+		if _, err := bw.WriteString(n); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read loads a dictionary written by Write. Duplicate lines are an
+// error (they would silently alias two ids on round-trip).
+func Read(r io.Reader) (*Dict, error) {
+	d := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		name := sc.Text()
+		if name == "" {
+			return nil, fmt.Errorf("vocab: empty name at line %d", line)
+		}
+		if _, ok := d.byName[name]; ok {
+			return nil, fmt.Errorf("vocab: duplicate name %q at line %d", name, line)
+		}
+		if _, err := d.Add(name); err != nil {
+			return nil, fmt.Errorf("vocab: line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// WriteFile persists to a path.
+func (d *Dict) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads from a path.
+func ReadFile(path string) (*Dict, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Set bundles the three dictionaries of a corpus.
+type Set struct {
+	Users *Dict
+	Items *Dict
+	Tags  *Dict
+}
+
+// NewSet returns three empty dictionaries.
+func NewSet() *Set {
+	return &Set{Users: New(), Items: New(), Tags: New()}
+}
+
+// WriteDir persists the set as users.txt, items.txt and tags.txt under
+// dir (created if needed).
+func (s *Set) WriteDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, f := range []struct {
+		name string
+		d    *Dict
+	}{{"users.txt", s.Users}, {"items.txt", s.Items}, {"tags.txt", s.Tags}} {
+		if err := f.d.WriteFile(dir + "/" + f.name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadDir loads a set persisted by WriteDir.
+func ReadDir(dir string) (*Set, error) {
+	s := &Set{}
+	var err error
+	if s.Users, err = ReadFile(dir + "/users.txt"); err != nil {
+		return nil, err
+	}
+	if s.Items, err = ReadFile(dir + "/items.txt"); err != nil {
+		return nil, err
+	}
+	if s.Tags, err = ReadFile(dir + "/tags.txt"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

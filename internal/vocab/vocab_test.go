@@ -1,0 +1,154 @@
+package vocab
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAndLookup(t *testing.T) {
+	d := New()
+	a, err := d.Add("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.Add("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != 0 || b != 1 {
+		t.Fatalf("ids = %d,%d", a, b)
+	}
+	// re-adding returns the same id
+	a2, err := d.Add("alice")
+	if err != nil || a2 != a {
+		t.Fatalf("re-add = %d,%v", a2, err)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if id, ok := d.ID("bob"); !ok || id != 1 {
+		t.Fatalf("ID(bob) = %d,%v", id, ok)
+	}
+	if _, ok := d.ID("carol"); ok {
+		t.Fatal("missing name found")
+	}
+	if n, ok := d.Name(0); !ok || n != "alice" {
+		t.Fatalf("Name(0) = %q,%v", n, ok)
+	}
+	if _, ok := d.Name(5); ok {
+		t.Fatal("out-of-range id found")
+	}
+	if _, ok := d.Name(-1); ok {
+		t.Fatal("negative id found")
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	d := New()
+	if _, err := d.Add(""); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := d.Add("two\nlines"); err == nil {
+		t.Fatal("newline name accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAdd did not panic")
+		}
+	}()
+	d.MustAdd("")
+}
+
+func TestRoundTrip(t *testing.T) {
+	d := New()
+	for _, n := range []string{"alice", "bob", "carol with spaces", "日本語"} {
+		d.MustAdd(n)
+	}
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d.Names(), d2.Names()) {
+		t.Fatalf("round trip changed names: %v vs %v", d.Names(), d2.Names())
+	}
+}
+
+func TestReadRejectsBadInput(t *testing.T) {
+	if _, err := Read(strings.NewReader("alice\nalice\n")); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if _, err := Read(strings.NewReader("alice\n\nbob\n")); err == nil {
+		t.Fatal("empty line accepted")
+	}
+}
+
+func TestFileAndDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := NewSet()
+	s.Users.MustAdd("alice")
+	s.Items.MustAdd("http://example.com")
+	s.Tags.MustAdd("golang")
+	s.Tags.MustAdd("databases")
+	if err := s.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Users.Len() != 1 || s2.Items.Len() != 1 || s2.Tags.Len() != 2 {
+		t.Fatalf("set sizes wrong: %d/%d/%d", s2.Users.Len(), s2.Items.Len(), s2.Tags.Len())
+	}
+	if id, ok := s2.Tags.ID("databases"); !ok || id != 1 {
+		t.Fatalf("tag id = %d,%v", id, ok)
+	}
+	if _, err := ReadDir(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+}
+
+func TestPropertyRoundTripPreservesIDs(t *testing.T) {
+	f := func(raw []string) bool {
+		d := New()
+		want := map[string]int32{}
+		for _, n := range raw {
+			if n == "" || strings.ContainsAny(n, "\n\r") {
+				continue
+			}
+			id, err := d.Add(n)
+			if err != nil {
+				return false
+			}
+			if prev, ok := want[n]; ok && prev != id {
+				return false
+			}
+			want[n] = id
+		}
+		var buf bytes.Buffer
+		if err := d.Write(&buf); err != nil {
+			return false
+		}
+		d2, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		for n, id := range want {
+			got, ok := d2.ID(n)
+			if !ok || got != id {
+				return false
+			}
+		}
+		return d2.Len() == d.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

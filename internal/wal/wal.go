@@ -1,0 +1,408 @@
+// Package wal implements a segmented write-ahead log: the durability
+// substrate under the dynamic-updates layer (internal/durable). Every
+// mutation is appended as a typed, CRC-protected record before it is
+// applied, so a crash loses at most the un-synced suffix and never
+// corrupts what was acknowledged.
+//
+// On-disk layout. The log is a directory of segment files named
+// wal-%016x.seg, where the hex number is the LSN of the segment's first
+// record. Each segment starts with a fixed header and is followed by a
+// sequence of frames:
+//
+//	header: magic "FWAL" | version u8 | firstLSN u64-LE | crc32 u32-LE
+//	frame:  payloadLen uvarint | type u8 | payload | crc32 u32-LE
+//
+// The frame checksum covers the type byte and payload. LSNs are dense:
+// record n of a segment with firstLSN f has LSN f+n.
+//
+// Torn-tail semantics. A crash can leave a partially written frame at
+// the end of the *last* segment. Open and Replay both stop at the first
+// frame of the last segment that is incomplete or fails its checksum;
+// Open additionally truncates the file there so the next append starts
+// from a clean boundary. The same damage in any non-last segment is
+// unrecoverable corruption and is reported as ErrCorrupt — acknowledged
+// history must never silently vanish.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Type tags a record with its application-level meaning. The WAL itself
+// is agnostic; internal/durable defines the concrete types.
+type Type uint8
+
+// Record is one replayed log entry.
+type Record struct {
+	// LSN is the record's log sequence number (dense, starting at 1).
+	LSN uint64
+	// Type is the application-level record type.
+	Type Type
+	// Data is the record payload. During replay the slice is only valid
+	// until the callback returns; copy it to retain it.
+	Data []byte
+}
+
+// SyncPolicy controls when appends are forced to stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: maximum durability, one
+	// fsync per mutation.
+	SyncAlways SyncPolicy = iota
+	// SyncManual leaves fsync to explicit Sync calls (group commit);
+	// a crash may lose the records appended since the last Sync.
+	SyncManual
+)
+
+// Options configures a Log.
+type Options struct {
+	// SegmentBytes is the rotation threshold: once the active segment
+	// reaches this many bytes a new segment is started. Default 4 MiB.
+	SegmentBytes int64
+	// Sync selects the fsync policy. Default SyncAlways.
+	Sync SyncPolicy
+}
+
+func (o *Options) normalize() {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+}
+
+// ErrCorrupt reports damage in the middle of acknowledged history (a
+// bad frame in a non-last segment, or a bad segment header).
+var ErrCorrupt = errors.New("wal: corrupt log")
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+const (
+	headerSize  = 4 + 1 + 8 + 4
+	version     = 1
+	maxPayload  = 1 << 26 // 64 MiB sanity bound on a single record
+	segSuffix   = ".seg"
+	segPrefix   = "wal-"
+	lsnHexWidth = 16
+)
+
+var segMagic = [4]byte{'F', 'W', 'A', 'L'}
+
+// Log is an append-only segmented write-ahead log. It is safe for
+// concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu          sync.Mutex
+	closed      bool
+	segs        []segmentInfo // sorted by firstLSN; last is active
+	active      *os.File
+	bw          *bufio.Writer
+	activeBytes int64
+	nextLSN     uint64
+	dirSynced   bool
+}
+
+type segmentInfo struct {
+	path     string
+	firstLSN uint64
+}
+
+func segmentName(firstLSN uint64) string {
+	return fmt.Sprintf("%s%0*x%s", segPrefix, lsnHexWidth, firstLSN, segSuffix)
+}
+
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	hexPart := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+	if len(hexPart) != lsnHexWidth {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(hexPart, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// listSegments returns the segment files in dir sorted by firstLSN.
+func listSegments(dir string) ([]segmentInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segmentInfo
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if first, ok := parseSegmentName(e.Name()); ok {
+			segs = append(segs, segmentInfo{path: filepath.Join(dir, e.Name()), firstLSN: first})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].firstLSN < segs[j].firstLSN })
+	for i := 1; i < len(segs); i++ {
+		if segs[i].firstLSN <= segs[i-1].firstLSN {
+			return nil, fmt.Errorf("%w: duplicate segment lsn %d", ErrCorrupt, segs[i].firstLSN)
+		}
+	}
+	return segs, nil
+}
+
+// Open opens (creating if necessary) the log in dir, scans existing
+// segments, truncates a torn tail in the last segment, and positions
+// the log for appending.
+func Open(dir string, opts Options) (*Log, error) {
+	opts.normalize()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts, segs: segs, nextLSN: 1}
+
+	// Validate all but the last segment strictly; scan the last one with
+	// torn-tail tolerance to find the append position.
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		end, tailOK, err := scanSegment(seg, func(Record) error { return nil })
+		if err != nil {
+			return nil, err
+		}
+		if !tailOK && !last {
+			return nil, fmt.Errorf("%w: damaged frame in non-last segment %s", ErrCorrupt, seg.path)
+		}
+		l.nextLSN = end
+		if last && !tailOK {
+			off, err := segmentPrefixLen(seg, end)
+			if err != nil {
+				return nil, err
+			}
+			if err := os.Truncate(seg.path, off); err != nil {
+				return nil, fmt.Errorf("wal: truncating torn tail of %s: %w", seg.path, err)
+			}
+		}
+	}
+
+	if len(segs) == 0 {
+		if err := l.startSegment(1); err != nil {
+			return nil, err
+		}
+		return l, nil
+	}
+	// Re-open the last segment for appending.
+	lastSeg := segs[len(segs)-1]
+	f, err := os.OpenFile(lastSeg.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	l.active = f
+	l.bw = bufio.NewWriter(f)
+	l.activeBytes = st.Size()
+	return l, nil
+}
+
+// startSegment creates a fresh segment whose first record will carry
+// firstLSN. Caller holds l.mu (or is the constructor).
+func (l *Log) startSegment(firstLSN uint64) error {
+	path := filepath.Join(l.dir, segmentName(firstLSN))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	var hdr [headerSize]byte
+	copy(hdr[:4], segMagic[:])
+	hdr[4] = version
+	binary.LittleEndian.PutUint64(hdr[5:13], firstLSN)
+	binary.LittleEndian.PutUint32(hdr[13:], crc32.ChecksumIEEE(hdr[:13]))
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	l.active = f
+	l.bw = bufio.NewWriter(f)
+	l.activeBytes = headerSize
+	l.segs = append(l.segs, segmentInfo{path: path, firstLSN: firstLSN})
+	// Make the new directory entry durable once; cheap insurance that a
+	// crash cannot lose a whole synced segment.
+	if !l.dirSynced {
+		if d, err := os.Open(l.dir); err == nil {
+			d.Sync()
+			d.Close()
+		}
+		l.dirSynced = true
+	}
+	return nil
+}
+
+// Append writes one record and returns its LSN. Under SyncAlways the
+// record is durable when Append returns.
+func (l *Log) Append(t Type, data []byte) (uint64, error) {
+	if len(data) > maxPayload {
+		return 0, fmt.Errorf("wal: payload %d bytes exceeds limit %d", len(data), maxPayload)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.activeBytes >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	lsn := l.nextLSN
+
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(data)))
+	crc := crc32.NewIEEE()
+	crc.Write([]byte{byte(t)})
+	crc.Write(data)
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], crc.Sum32())
+
+	if _, err := l.bw.Write(lenBuf[:n]); err != nil {
+		return 0, err
+	}
+	if err := l.bw.WriteByte(byte(t)); err != nil {
+		return 0, err
+	}
+	if _, err := l.bw.Write(data); err != nil {
+		return 0, err
+	}
+	if _, err := l.bw.Write(crcBuf[:]); err != nil {
+		return 0, err
+	}
+	l.activeBytes += int64(n) + 1 + int64(len(data)) + 4
+	l.nextLSN++
+
+	if l.opts.Sync == SyncAlways {
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return lsn, nil
+}
+
+// rotateLocked seals the active segment and starts a new one.
+func (l *Log) rotateLocked() error {
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.active.Close(); err != nil {
+		return err
+	}
+	return l.startSegment(l.nextLSN)
+}
+
+func (l *Log) syncLocked() error {
+	if err := l.bw.Flush(); err != nil {
+		return err
+	}
+	return l.active.Sync()
+}
+
+// Sync flushes buffered appends and forces them to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.syncLocked()
+}
+
+// Close syncs and closes the log. Further operations return ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.bw.Flush(); err != nil {
+		l.active.Close()
+		return err
+	}
+	if err := l.active.Sync(); err != nil {
+		l.active.Close()
+		return err
+	}
+	return l.active.Close()
+}
+
+// NextLSN returns the LSN the next append will receive.
+func (l *Log) NextLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// Segments returns the number of live segment files.
+func (l *Log) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.segs)
+}
+
+// TruncateThrough removes whole segments all of whose records have
+// LSN ≤ lsn. The active segment is never removed. Use after a
+// checkpoint has made the prefix redundant.
+func (l *Log) TruncateThrough(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	keepFrom := 0
+	for i := 0; i < len(l.segs)-1; i++ {
+		// Segment i spans [firstLSN, segs[i+1].firstLSN); removable when
+		// its last record is ≤ lsn.
+		if l.segs[i+1].firstLSN-1 <= lsn {
+			if err := os.Remove(l.segs[i].path); err != nil {
+				return err
+			}
+			keepFrom = i + 1
+		} else {
+			break
+		}
+	}
+	l.segs = append([]segmentInfo(nil), l.segs[keepFrom:]...)
+	return nil
+}
+
+// Rotate seals the active segment and starts a new one regardless of
+// size. Exposed so checkpoints can cut the log at a known boundary:
+// rotate, checkpoint, then TruncateThrough(checkpointLSN-1).
+func (l *Log) Rotate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.rotateLocked()
+}
