@@ -1,0 +1,114 @@
+package repro
+
+// Serving-path benchmarks for the batch-search subsystem: one op is a
+// fixed 64-query workload over a small set of repeating seekers, served
+// (a) cold — seeker cache disabled, every query re-expands the graph,
+// (b) through the mutation-aware seeker cache (internal/qcache), and
+// (c) as one SearchBatch on the worker pool with the cache enabled.
+// Comparing ns/op across the three shows what horizon reuse and
+// batching buy on identical work:
+//
+//	go test -bench 'Serving' -benchmem .
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/proximity"
+	"repro/internal/social"
+	"repro/internal/vocab"
+)
+
+// servingWorkload is the number of queries per benchmark op;
+// servingSeekers the number of distinct seekers they revisit.
+const (
+	servingWorkload = 64
+	servingSeekers  = 8
+)
+
+// servingService restores a generated corpus into a name-addressed
+// service with the given cache size (negative disables caching).
+func servingService(b *testing.B, cacheSize int) (*social.Service, []social.BatchQuery) {
+	b.Helper()
+	ds, err := gen.Generate(gen.DeliciousParams().Scale(benchScale), 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := vocab.NewSet()
+	for u := 0; u < ds.Graph.NumUsers(); u++ {
+		names.Users.MustAdd(fmt.Sprintf("u%d", u))
+	}
+	for i := 0; i < ds.Store.NumItems(); i++ {
+		names.Items.MustAdd(fmt.Sprintf("i%d", i))
+	}
+	for tg := 0; tg < ds.Store.NumTags(); tg++ {
+		names.Tags.MustAdd(fmt.Sprintf("t%d", tg))
+	}
+	cfg := social.DefaultServiceConfig()
+	cfg.Proximity = proximity.Params{Alpha: 0.6, SelfWeight: 1, MinSigma: 0.1}
+	cfg.SeekerCacheSize = cacheSize
+	svc, err := social.Restore(cfg, ds.Graph, ds.Store, names)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	seekers := make([]string, servingSeekers)
+	for i := range seekers {
+		seekers[i] = fmt.Sprintf("u%d", rng.Intn(ds.Graph.NumUsers()))
+	}
+	queries := make([]social.BatchQuery, servingWorkload)
+	for i := range queries {
+		queries[i] = social.BatchQuery{
+			Seeker: seekers[i%servingSeekers],
+			Tags:   []string{fmt.Sprintf("t%d", rng.Intn(ds.Store.NumTags()))},
+			K:      10,
+		}
+	}
+	return svc, queries
+}
+
+func runSequential(b *testing.B, svc *social.Service, queries []social.BatchQuery) {
+	for _, q := range queries {
+		if _, err := svc.Search(q.Seeker, q.Tags, q.K); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServingColdSearch: N sequential searches, cache disabled —
+// the baseline every serving optimisation is measured against.
+func BenchmarkServingColdSearch(b *testing.B) {
+	svc, queries := servingService(b, -1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runSequential(b, svc, queries)
+	}
+}
+
+// BenchmarkServingCachedSearch: the same sequential workload through
+// the seeker cache — repeated seekers reuse their horizon expansion.
+func BenchmarkServingCachedSearch(b *testing.B) {
+	svc, queries := servingService(b, 0) // 0 = default size
+	runSequential(b, svc, queries)       // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runSequential(b, svc, queries)
+	}
+}
+
+// BenchmarkServingBatchSearch: the same workload as one SearchBatch on
+// the bounded worker pool, cache enabled.
+func BenchmarkServingBatchSearch(b *testing.B) {
+	svc, queries := servingService(b, 0)
+	svc.SearchBatch(queries) // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range svc.SearchBatch(queries) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}

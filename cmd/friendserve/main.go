@@ -11,6 +11,8 @@
 // the API can be explored immediately:
 //
 //	curl -s 'localhost:8080/v1/search?seeker=alice&tags=pizza&k=3'
+//	curl -s -d '{"queries":[{"seeker":"alice","tags":["pizza"],"k":3}]}' \
+//	     'localhost:8080/v1/search/batch'
 package main
 
 import (

@@ -1,0 +1,253 @@
+package repro
+
+// Cross-algorithm equivalence properties: on randomized corpora the
+// four exact algorithms — SocialMerge, ContextMerge, SocialTA and
+// ExactSocial — must return the same top-k item set, and the cached
+// serving path (seeker horizons via internal/qcache inside
+// internal/social) must keep agreeing with exact ground truth through
+// interleaved friend/tag mutations.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/proximity"
+	"repro/internal/social"
+	"repro/internal/tagstore"
+	"repro/internal/topk"
+)
+
+// equivCorpus builds a small randomized corpus for a seed.
+func equivCorpus(t testing.TB, seed int64) *gen.Dataset {
+	t.Helper()
+	p := gen.CorpusParams{
+		Name: "equiv",
+		Graph: gen.GraphParams{
+			Kind: gen.BarabasiAlbert, NumUsers: 60, M: 2,
+			MinWeight: 0.3, MaxWeight: 1,
+		},
+		NumItems:       120,
+		NumTags:        20,
+		TriplesPerUser: 12,
+		TagZipfS:       1.1,
+		ItemZipfS:      1.1,
+		Homophily:      0.5,
+	}
+	ds, err := gen.Generate(p, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// sameTopKSet checks an answer against exact ground truth at the set
+// level: every returned item must carry an exact score matching the
+// exact top-k score multiset (ties at the boundary may swap items, so
+// positions and identities beyond the score multiset are not compared).
+func sameTopKSet(t testing.TB, label string, e *core.Engine, q core.Query, got core.Answer) bool {
+	t.Helper()
+	full, err := e.ExactSocial(core.Query{Seeker: q.Seeker, Tags: q.Tags, K: e.Store().NumItems()})
+	if err != nil {
+		t.Logf("%s: full exact: %v", label, err)
+		return false
+	}
+	exactScore := make(map[int32]float64, len(full.Results))
+	for _, r := range full.Results {
+		exactScore[r.Item] = r.Score
+	}
+	wantLen := q.K
+	if len(full.Results) < wantLen {
+		wantLen = len(full.Results)
+	}
+	if len(got.Results) != wantLen {
+		t.Logf("%s: %d results, want %d", label, len(got.Results), wantLen)
+		return false
+	}
+	scores := make([]float64, 0, wantLen)
+	for i, r := range got.Results {
+		es, ok := exactScore[r.Item]
+		if !ok {
+			t.Logf("%s: rank %d item %d not in exact answer", label, i, r.Item)
+			return false
+		}
+		if r.Score > es+1e-9 {
+			t.Logf("%s: rank %d reported %g > exact %g", label, i, r.Score, es)
+			return false
+		}
+		scores = append(scores, es)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+	for i, es := range scores {
+		if diff := es - full.Results[i].Score; diff > 1e-9 || diff < -1e-9 {
+			t.Logf("%s: sorted rank %d exact %g, want %g", label, i, es, full.Results[i].Score)
+			return false
+		}
+	}
+	return true
+}
+
+// TestPropertyAllAlgorithmsAgree: the four exact algorithms and the
+// cached-horizon execution return the same top-k sets on randomized
+// corpora, across proximity/beta settings.
+func TestPropertyAllAlgorithmsAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ds := equivCorpus(t, seed)
+		cfg := core.Config{
+			Proximity: proximity.Params{
+				Alpha:      []float64{1, 0.8, 0.6}[rng.Intn(3)],
+				SelfWeight: 1,
+				MinSigma:   0.01,
+			},
+			Beta: []float64{1, 0.7, 0.3}[rng.Intn(3)],
+		}
+		e, err := core.NewEngine(ds.Graph, ds.Store, cfg)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		e.AttachItemIndex(core.BuildItemIndex(ds.Store))
+		for trial := 0; trial < 3; trial++ {
+			q := core.Query{
+				Seeker: graph.UserID(rng.Intn(ds.Graph.NumUsers())),
+				Tags: []tagstore.TagID{
+					tagstore.TagID(rng.Intn(ds.Store.NumTags())),
+					tagstore.TagID(rng.Intn(ds.Store.NumTags())),
+				},
+				K: 1 + rng.Intn(10),
+			}
+			sm, err := e.SocialMerge(q, core.Options{RefineScores: true})
+			if err != nil || !sm.Exact || !sameTopKSet(t, "SocialMerge", e, q, sm) {
+				t.Logf("seed %d trial %d: SocialMerge (err %v)", seed, trial, err)
+				return false
+			}
+			cm, err := e.ContextMerge(q, core.Options{})
+			if err != nil || !cm.Exact || !sameTopKSet(t, "ContextMerge", e, q, cm) {
+				t.Logf("seed %d trial %d: ContextMerge (err %v)", seed, trial, err)
+				return false
+			}
+			ta, err := e.SocialTA(q, core.Options{})
+			if err != nil || !ta.Exact || !sameTopKSet(t, "SocialTA", e, q, ta) {
+				t.Logf("seed %d trial %d: SocialTA (err %v)", seed, trial, err)
+				return false
+			}
+			// The cached serving path: materialize once, query twice
+			// (second use exercises horizon reuse).
+			h, err := e.MaterializeHorizon(q.Seeker, 0)
+			if err != nil {
+				t.Logf("seed %d trial %d: MaterializeHorizon: %v", seed, trial, err)
+				return false
+			}
+			for rep := 0; rep < 2; rep++ {
+				hm, err := e.SocialMergeWithHorizon(q, h, core.Options{RefineScores: true})
+				if err != nil || !sameTopKSet(t, "SocialMergeWithHorizon", e, q, hm) {
+					t.Logf("seed %d trial %d rep %d: horizon path (err %v)", seed, trial, rep, err)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyCachedServiceMatchesExact: a name-addressed service with
+// the seeker cache enabled stays consistent with ExactSocial ground
+// truth (recomputed from its own snapshot) through a randomized stream
+// of interleaved Befriend/Tag mutations and searches.
+func TestPropertyCachedServiceMatchesExact(t *testing.T) {
+	prox := proximity.Params{Alpha: 0.6, SelfWeight: 1, MinSigma: 0.01}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := social.DefaultServiceConfig()
+		cfg.Proximity = prox
+		cfg.AutoCompactEvery = 1 + rng.Intn(4)
+		cfg.SeekerCacheSize = 4
+		svc, err := social.NewService(cfg)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		user := func() string { return fmt.Sprintf("u%d", rng.Intn(10)) }
+		for step := 0; step < 120; step++ {
+			switch rng.Intn(3) {
+			case 0:
+				a, b := user(), user()
+				if a != b {
+					if err := svc.Befriend(a, b, 0.2+0.8*rng.Float64()); err != nil {
+						t.Logf("seed %d step %d: befriend: %v", seed, step, err)
+						return false
+					}
+				}
+			default:
+				if err := svc.Tag(user(), fmt.Sprintf("i%d", rng.Intn(15)), fmt.Sprintf("t%d", rng.Intn(3))); err != nil {
+					t.Logf("seed %d step %d: tag: %v", seed, step, err)
+					return false
+				}
+			}
+			if step%10 != 9 {
+				continue
+			}
+			// Snapshot the service state and verify a search against an
+			// independently built exact engine over that same state.
+			g, st, names, err := svc.Snapshot()
+			if err != nil {
+				t.Logf("seed %d step %d: snapshot: %v", seed, step, err)
+				return false
+			}
+			eng, err := core.NewEngine(g, st, core.Config{Proximity: prox, Beta: cfg.Beta})
+			if err != nil {
+				t.Logf("seed %d step %d: engine: %v", seed, step, err)
+				return false
+			}
+			seeker := user()
+			uid, ok := names.Users.ID(seeker)
+			if !ok {
+				continue
+			}
+			tag := fmt.Sprintf("t%d", rng.Intn(3))
+			tid, ok := names.Tags.ID(tag)
+			if !ok {
+				continue
+			}
+			k := 1 + rng.Intn(5)
+			got, err := svc.Search(seeker, []string{tag}, k)
+			if err != nil {
+				t.Logf("seed %d step %d: search: %v", seed, step, err)
+				return false
+			}
+			// Convert named results to id-space and reuse the set check.
+			idResults := make([]topk.Result, len(got))
+			for i, r := range got {
+				id, ok := names.Items.ID(r.Item)
+				if !ok {
+					t.Logf("seed %d step %d: unknown item %q", seed, step, r.Item)
+					return false
+				}
+				idResults[i] = topk.Result{Item: id, Score: r.Score}
+			}
+			q := core.Query{Seeker: uid, Tags: []tagstore.TagID{tid}, K: k}
+			if !sameTopKSet(t, "cached service", eng, q, core.Answer{Results: idResults}) {
+				t.Logf("seed %d step %d: cached service diverged (seeker %s tag %s k %d)", seed, step, seeker, tag, k)
+				return false
+			}
+		}
+		st := svc.Stats()
+		if st.SeekerCache.Hits+st.SeekerCache.Misses == 0 {
+			t.Logf("seed %d: cache never exercised", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

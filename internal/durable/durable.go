@@ -334,6 +334,24 @@ func (s *Service) Search(seeker string, tags []string, k int) ([]social.Result, 
 	return svc.Search(seeker, tags, k)
 }
 
+// SearchBatch answers many queries concurrently with per-query error
+// reporting (see social.Service.SearchBatch). Like Search, reads see
+// every acknowledged write: pending mutations are folded in once before
+// the batch runs.
+func (s *Service) SearchBatch(queries []social.BatchQuery) []social.BatchResult {
+	s.mu.Lock()
+	svc := s.svc
+	s.mu.Unlock()
+	if err := svc.Flush(); err != nil {
+		out := make([]social.BatchResult, len(queries))
+		for i := range out {
+			out[i].Err = err
+		}
+		return out
+	}
+	return svc.SearchBatch(queries)
+}
+
 // Flush folds pending writes into the queryable snapshot without
 // taking a checkpoint.
 func (s *Service) Flush() error {

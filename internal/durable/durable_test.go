@@ -437,3 +437,41 @@ func ExampleService() {
 	fmt.Println(res[0].Item)
 	// Output: luigis
 }
+
+// TestSearchBatchSeesAcknowledgedWrites: batch reads honour the durable
+// read contract (pending mutations folded in first), report errors per
+// query, and agree with sequential Search.
+func TestSearchBatchSeesAcknowledgedWrites(t *testing.T) {
+	s, err := Open(t.TempDir(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	seedMutations(t, s)
+	out := s.SearchBatch([]social.BatchQuery{
+		{Seeker: "alice", Tags: []string{"pizza"}, K: 3},
+		{Seeker: "nobody", Tags: []string{"pizza"}, K: 3},
+		{Seeker: "alice", Tags: []string{"sushi"}, K: 2},
+	})
+	if len(out) != 3 {
+		t.Fatalf("got %d results", len(out))
+	}
+	if out[0].Err != nil || out[2].Err != nil {
+		t.Fatalf("good queries failed: %+v", out)
+	}
+	if out[1].Err == nil {
+		t.Fatal("unknown seeker did not fail")
+	}
+	want := searchNames(t, s, "alice", []string{"pizza"}, 3)
+	got := make([]string, len(out[0].Results))
+	for i, r := range out[0].Results {
+		got[i] = r.Item
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("batch %v != sequential %v", got, want)
+	}
+	// The seeker cache behind the batch path surfaces in Stats.
+	if st := s.Stats(); st.SeekerCache.Hits+st.SeekerCache.Misses == 0 {
+		t.Fatalf("no cache traffic recorded: %+v", st.SeekerCache)
+	}
+}

@@ -4,16 +4,17 @@
 // seeker and reused across that seeker's queries. This is the serving
 // layer a deployment would put in front of the core engine, and the
 // second half of the Fig 10 story (materialization pays off when
-// seekers repeat).
+// seekers repeat). The cache itself is internal/qcache, shared with the
+// name-addressed service layer (internal/social).
 package exec
 
 import (
-	"container/list"
 	"fmt"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/qcache"
 )
 
 // Config tunes the executor.
@@ -36,9 +37,10 @@ func DefaultConfig() Config {
 
 // Stats exposes cache effectiveness counters.
 type Stats struct {
-	Hits      int64
-	Misses    int64
-	Evictions int64
+	Hits          int64
+	Misses        int64
+	Invalidations int64
+	Evictions     int64
 }
 
 // Executor runs queries against a core engine with horizon caching.
@@ -46,16 +48,7 @@ type Stats struct {
 type Executor struct {
 	engine *core.Engine
 	cfg    Config
-
-	mu    sync.Mutex
-	lru   *list.List // of *cacheEntry, front = most recent
-	index map[graph.UserID]*list.Element
-	stats Stats
-}
-
-type cacheEntry struct {
-	seeker  graph.UserID
-	horizon *core.SeekerHorizon
+	cache  *qcache.Cache // nil when caching is disabled
 }
 
 // New builds an executor over the engine.
@@ -69,58 +62,44 @@ func New(engine *core.Engine, cfg Config) (*Executor, error) {
 	if cfg.CacheSize < 0 || cfg.MaxHorizonUsers < 0 {
 		return nil, fmt.Errorf("exec: negative cache size or horizon bound")
 	}
-	return &Executor{
-		engine: engine,
-		cfg:    cfg,
-		lru:    list.New(),
-		index:  make(map[graph.UserID]*list.Element),
-	}, nil
+	x := &Executor{engine: engine, cfg: cfg}
+	if cfg.CacheSize > 0 {
+		cache, err := qcache.New(cfg.CacheSize)
+		if err != nil {
+			return nil, err
+		}
+		x.cache = cache
+	}
+	return x, nil
 }
 
 // Stats returns a snapshot of the cache counters.
 func (x *Executor) Stats() Stats {
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	return x.stats
+	if x.cache == nil {
+		return Stats{}
+	}
+	s := x.cache.Counters()
+	return Stats{Hits: s.Hits, Misses: s.Misses, Invalidations: s.Invalidations, Evictions: s.Evictions}
 }
 
 // horizonFor returns a cached horizon or materializes (and caches) one.
 func (x *Executor) horizonFor(seeker graph.UserID) (*core.SeekerHorizon, error) {
-	if x.cfg.CacheSize == 0 {
+	if x.cache == nil {
 		return x.engine.MaterializeHorizon(seeker, x.cfg.MaxHorizonUsers)
 	}
-	x.mu.Lock()
-	if el, ok := x.index[seeker]; ok {
-		x.lru.MoveToFront(el)
-		h := el.Value.(*cacheEntry).horizon
-		x.stats.Hits++
-		x.mu.Unlock()
+	gen := x.cache.Generation()
+	if h, ok := x.cache.Get(seeker, gen); ok {
 		return h, nil
 	}
-	x.stats.Misses++
-	x.mu.Unlock()
-
-	// Materialize outside the lock: expansions are the expensive part
+	// Materialize outside any lock: expansions are the expensive part
 	// and must not serialize each other. A concurrent duplicate for the
-	// same seeker is possible and harmless (last one wins the slot).
+	// same seeker is possible and harmless (last one wins the slot), and
+	// an InvalidateAll racing the expansion voids the insert.
 	h, err := x.engine.MaterializeHorizon(seeker, x.cfg.MaxHorizonUsers)
 	if err != nil {
 		return nil, err
 	}
-	x.mu.Lock()
-	if el, ok := x.index[seeker]; ok {
-		x.lru.MoveToFront(el)
-	} else {
-		el := x.lru.PushFront(&cacheEntry{seeker: seeker, horizon: h})
-		x.index[seeker] = el
-		for x.lru.Len() > x.cfg.CacheSize {
-			oldest := x.lru.Back()
-			x.lru.Remove(oldest)
-			delete(x.index, oldest.Value.(*cacheEntry).seeker)
-			x.stats.Evictions++
-		}
-	}
-	x.mu.Unlock()
+	x.cache.Put(seeker, gen, h)
 	return h, nil
 }
 
@@ -176,22 +155,16 @@ func (x *Executor) QueryBatch(queries []core.Query, opts core.Options) []Result 
 // Invalidate drops a seeker's cached horizon (e.g. after their part of
 // the network changed). Returns whether an entry was removed.
 func (x *Executor) Invalidate(seeker graph.UserID) bool {
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	el, ok := x.index[seeker]
-	if !ok {
+	if x.cache == nil {
 		return false
 	}
-	x.lru.Remove(el)
-	delete(x.index, seeker)
-	return true
+	return x.cache.InvalidateSeeker(seeker)
 }
 
-// InvalidateAll empties the cache (e.g. after compaction of an
-// overlay).
+// InvalidateAll logically empties the cache in O(1) by bumping its
+// generation (e.g. after compaction of an overlay).
 func (x *Executor) InvalidateAll() {
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	x.lru.Init()
-	x.index = make(map[graph.UserID]*list.Element)
+	if x.cache != nil {
+		x.cache.Invalidate()
+	}
 }

@@ -1,15 +1,70 @@
 // Package metrics implements the result-quality measures the evaluation
 // reports when comparing approximate answers against the exact ones:
 // precision@k, recall@k, NDCG@k, Kendall's tau and mean reciprocal rank,
-// plus small aggregation helpers for latency distributions.
+// plus small aggregation helpers for latency distributions and the
+// serving-path cache counters (hits, misses, invalidations, evictions)
+// the query cache and /v1/stats expose.
 package metrics
 
 import (
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/topk"
 )
+
+// CacheCounters accumulates cache-effectiveness events. All methods are
+// safe for concurrent use; the zero value is ready.
+type CacheCounters struct {
+	hits          atomic.Int64
+	misses        atomic.Int64
+	invalidations atomic.Int64
+	evictions     atomic.Int64
+}
+
+// Hit records a cache hit.
+func (c *CacheCounters) Hit() { c.hits.Add(1) }
+
+// Miss records a cache miss.
+func (c *CacheCounters) Miss() { c.misses.Add(1) }
+
+// Invalidation records n entries dropped because the cached state went
+// stale (generation mismatch or explicit invalidation).
+func (c *CacheCounters) Invalidation(n int) { c.invalidations.Add(int64(n)) }
+
+// Eviction records n entries dropped by the capacity policy.
+func (c *CacheCounters) Eviction(n int) { c.evictions.Add(int64(n)) }
+
+// Snapshot returns a consistent-enough copy for reporting. Counters are
+// read individually; a concurrent writer may land between reads, which
+// is acceptable for observability.
+func (c *CacheCounters) Snapshot() CacheSnapshot {
+	return CacheSnapshot{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Invalidations: c.invalidations.Load(),
+		Evictions:     c.evictions.Load(),
+	}
+}
+
+// CacheSnapshot is a point-in-time view of CacheCounters, shaped for
+// JSON stats endpoints.
+type CacheSnapshot struct {
+	Hits          int64
+	Misses        int64
+	Invalidations int64
+	Evictions     int64
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (s CacheSnapshot) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
 
 // PrecisionAtK is the fraction of returned items that belong to the
 // reference top-k set. Both lists should already be truncated to k; the

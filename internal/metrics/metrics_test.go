@@ -3,6 +3,7 @@ package metrics
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -177,5 +178,48 @@ func TestPropertySelfComparisonPerfect(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestCacheCounters(t *testing.T) {
+	var c CacheCounters
+	if s := c.Snapshot(); s != (CacheSnapshot{}) || s.HitRate() != 0 {
+		t.Fatalf("zero counters snapshot = %+v", s)
+	}
+	c.Hit()
+	c.Hit()
+	c.Hit()
+	c.Miss()
+	c.Invalidation(2)
+	c.Eviction(1)
+	s := c.Snapshot()
+	want := CacheSnapshot{Hits: 3, Misses: 1, Invalidations: 2, Evictions: 1}
+	if s != want {
+		t.Fatalf("snapshot = %+v, want %+v", s, want)
+	}
+	if r := s.HitRate(); math.Abs(r-0.75) > 1e-12 {
+		t.Fatalf("hit rate = %g, want 0.75", r)
+	}
+}
+
+func TestCacheCountersConcurrent(t *testing.T) {
+	var c CacheCounters
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Hit()
+				c.Miss()
+				c.Invalidation(1)
+				c.Eviction(1)
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.Hits != 8000 || s.Misses != 8000 || s.Invalidations != 8000 || s.Evictions != 8000 {
+		t.Fatalf("snapshot = %+v", s)
 	}
 }

@@ -68,6 +68,13 @@ func (e *Engine) current() (*core.Engine, error) {
 	return e.engine, nil
 }
 
+// Current returns the immutable core engine for the newest compacted
+// snapshot, for callers that must pin one snapshot across several
+// operations (e.g. materialize a seeker horizon, then query with it).
+func (e *Engine) Current() (*core.Engine, error) {
+	return e.current()
+}
+
 func (e *Engine) noteMutation() error {
 	e.mu.Lock()
 	e.mutations++

@@ -1,0 +1,180 @@
+// Package qcache is the mutation-aware per-seeker query cache of the
+// serving path: it keeps materialized seeker horizons (the
+// proximity-ordered neighbourhood SocialMerge consumes) behind an LRU
+// bound so a seeker's expensive graph expansion is paid once and reused
+// across their queries.
+//
+// Staleness is handled by generation stamping rather than scanning:
+// every entry is stamped with the cache generation current when its
+// horizon was materialized, and any event that changes the friendship
+// graph the horizons were computed from (a compacted Befriend, a
+// snapshot swap) bumps the generation with Invalidate — an O(1)
+// operation that logically drops every cached entry at once. Stale
+// entries are reaped lazily on lookup. Insertion is also stamped:
+// Put refuses a horizon materialized under an older generation, so a
+// slow expansion racing a graph mutation can never install a stale
+// entry.
+//
+// Tag-only mutations do not touch the friendship graph and therefore do
+// not invalidate: callers bump the generation only when friend edges
+// reach the queryable snapshot. Cache effectiveness is observable
+// through metrics.CacheCounters (hits, misses, invalidations,
+// evictions), which internal/social surfaces in its Stats and the HTTP
+// server exposes on /v1/stats.
+package qcache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+// Cache is a generation-stamped LRU of seeker horizons. It is safe for
+// concurrent use.
+type Cache struct {
+	capacity int
+
+	mu       sync.Mutex
+	gen      uint64
+	lru      *list.List // of *entry, front = most recently used
+	index    map[graph.UserID]*list.Element
+	counters metrics.CacheCounters
+}
+
+type entry struct {
+	seeker  graph.UserID
+	gen     uint64
+	horizon *core.SeekerHorizon
+}
+
+// New builds a cache bounded to capacity entries (≥ 1).
+func New(capacity int) (*Cache, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("qcache: capacity %d must be >= 1", capacity)
+	}
+	return &Cache{
+		capacity: capacity,
+		lru:      list.New(),
+		index:    make(map[graph.UserID]*list.Element),
+	}, nil
+}
+
+// Generation returns the current cache generation. Capture it before
+// materializing a horizon and pass it to Put: the pair brackets the
+// materialization so a concurrent graph mutation voids the insert.
+func (c *Cache) Generation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// Invalidate bumps the generation, logically dropping every cached
+// horizon in O(1). Call it whenever the friendship graph backing the
+// horizons changes.
+func (c *Cache) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+}
+
+// Get returns the seeker's cached horizon if present and stamped with
+// exactly the generation gen — the one the caller captured when pinning
+// its engine snapshot, so a hit is guaranteed consistent with that
+// snapshot. An entry older than the cache generation is reaped and
+// counted as an invalidation; any non-hit is reported as a miss.
+func (c *Cache) Get(seeker graph.UserID, gen uint64) (*core.SeekerHorizon, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.index[seeker]
+	if !ok {
+		c.counters.Miss()
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	if e.gen < c.gen {
+		c.removeLocked(el)
+		c.counters.Invalidation(1)
+		c.counters.Miss()
+		return nil, false
+	}
+	if e.gen != gen {
+		c.counters.Miss()
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.counters.Hit()
+	return e.horizon, true
+}
+
+// Put installs a horizon materialized under generation gen, evicting
+// from the LRU tail to stay within capacity. It reports whether the
+// entry was accepted: a horizon whose generation is no longer current
+// was computed from a superseded graph and is dropped.
+func (c *Cache) Put(seeker graph.UserID, gen uint64, h *core.SeekerHorizon) bool {
+	if h == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.gen {
+		return false
+	}
+	if el, ok := c.index[seeker]; ok {
+		// Refresh in place (a concurrent duplicate materialization).
+		el.Value.(*entry).horizon = h
+		el.Value.(*entry).gen = gen
+		c.lru.MoveToFront(el)
+		return true
+	}
+	c.index[seeker] = c.lru.PushFront(&entry{seeker: seeker, gen: gen, horizon: h})
+	for c.lru.Len() > c.capacity {
+		c.removeLocked(c.lru.Back())
+		c.counters.Eviction(1)
+	}
+	return true
+}
+
+// InvalidateSeeker drops one seeker's entry (current or stale),
+// reporting whether one was removed.
+func (c *Cache) InvalidateSeeker(seeker graph.UserID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.index[seeker]
+	if !ok {
+		return false
+	}
+	c.removeLocked(el)
+	c.counters.Invalidation(1)
+	return true
+}
+
+// Purge empties the cache without touching the generation or counting
+// invalidations (e.g. to release memory).
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lru.Init()
+	c.index = make(map[graph.UserID]*list.Element)
+}
+
+// Len returns the number of resident entries, stale ones included.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Counters returns a snapshot of the effectiveness counters.
+func (c *Cache) Counters() metrics.CacheSnapshot {
+	return c.counters.Snapshot()
+}
+
+// removeLocked unlinks an element. Callers hold c.mu.
+func (c *Cache) removeLocked(el *list.Element) {
+	c.lru.Remove(el)
+	delete(c.index, el.Value.(*entry).seeker)
+}

@@ -6,12 +6,24 @@
 //
 // Endpoints (all JSON):
 //
-//	POST /v1/friend  {"a":"alice","b":"bob","weight":0.9}     → 204
-//	POST /v1/tag     {"user":"bob","item":"x","tag":"pizza"}  → 204
-//	GET  /v1/search?seeker=alice&tags=pizza,italian&k=5       → {"results":[...]}
-//	GET  /v1/users                                            → {"users":[...]}
-//	GET  /v1/stats                                            → backend counters
-//	GET  /healthz                                             → 200 "ok"
+//	POST /v1/friend        {"a":"alice","b":"bob","weight":0.9}     → 204
+//	POST /v1/tag           {"user":"bob","item":"x","tag":"pizza"}  → 204
+//	GET  /v1/search?seeker=alice&tags=pizza,italian&k=5             → {"results":[...]}
+//	POST /v1/search/batch  {"queries":[{"seeker":"alice","tags":["pizza"],"k":5},...]}
+//	                                                                → {"results":[{"results":[...]},{"error":"..."},...]}
+//	GET  /v1/users                                                  → {"users":[...]}
+//	GET  /v1/stats                                                  → backend counters
+//	GET  /healthz                                                   → 200 "ok"
+//
+// The batch endpoint executes up to MaxBatchQueries queries on the
+// backend's bounded worker pool and reports errors per query: the i-th
+// entry of "results" answers the i-th query, carrying either its
+// results or its error, so one bad query never voids the rest of the
+// batch. Malformed envelopes (bad JSON, no queries, too many queries,
+// oversized bodies) are rejected with 400 before anything executes.
+// Backends serve searches through a mutation-aware per-seeker horizon
+// cache (see internal/qcache); its hit/miss/invalidation/eviction
+// counters appear under SeekerCache in /v1/stats.
 //
 // Client errors (validation, unknown names, malformed JSON) map to
 // 400; wrong methods to 405; everything else to 500.
@@ -37,11 +49,21 @@ type Backend interface {
 	Befriend(a, b string, weight float64) error
 	Tag(user, item, tag string) error
 	Search(seeker string, tags []string, k int) ([]social.Result, error)
+	// SearchBatch answers many queries concurrently, in input order,
+	// with per-query error reporting; it never fails as a whole.
+	SearchBatch(queries []social.BatchQuery) []social.BatchResult
 	Users() []string
 }
 
 // maxBodyBytes bounds mutation request bodies.
 const maxBodyBytes = 1 << 20
+
+// defaultK is the result count when a query names none.
+const defaultK = 10
+
+// MaxBatchQueries bounds the number of queries accepted by one
+// /v1/search/batch request.
+const MaxBatchQueries = 256
 
 // Server is an http.Handler serving the API.
 type Server struct {
@@ -58,6 +80,7 @@ func New(b Backend) (*Server, error) {
 	s.mux.HandleFunc("/v1/friend", s.handleFriend)
 	s.mux.HandleFunc("/v1/tag", s.handleTag)
 	s.mux.HandleFunc("/v1/search", s.handleSearch)
+	s.mux.HandleFunc("/v1/search/batch", s.handleSearchBatch)
 	s.mux.HandleFunc("/v1/users", s.handleUsers)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -167,19 +190,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, errors.New("missing seeker parameter"))
 		return
 	}
-	var tags []string
-	for _, chunk := range q["tags"] {
-		for _, t := range strings.Split(chunk, ",") {
-			if t = strings.TrimSpace(t); t != "" {
-				tags = append(tags, t)
-			}
-		}
-	}
+	tags := normalizeTags(q["tags"])
 	if len(tags) == 0 {
 		writeErr(w, http.StatusBadRequest, errors.New("missing tags parameter"))
 		return
 	}
-	k := 10
+	k := defaultK
 	if ks := q.Get("k"); ks != "" {
 		var err error
 		if k, err = strconv.Atoi(ks); err != nil || k < 1 {
@@ -196,6 +212,122 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		res = []social.Result{}
 	}
 	writeJSON(w, SearchResponse{Results: res})
+}
+
+// normalizeTags splits comma-separated chunks, trims whitespace, and
+// drops blanks — the tag normalization shared by both search endpoints.
+func normalizeTags(chunks []string) []string {
+	var tags []string
+	for _, chunk := range chunks {
+		for _, t := range strings.Split(chunk, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				tags = append(tags, t)
+			}
+		}
+	}
+	return tags
+}
+
+// batchQuery is one query of a batch request. K is a pointer so an
+// absent k (defaulted) is distinguishable from an explicit invalid 0.
+type batchQuery struct {
+	Seeker string   `json:"seeker"`
+	Tags   []string `json:"tags"`
+	K      *int     `json:"k"`
+}
+
+// batchRequest is the /v1/search/batch request body.
+type batchRequest struct {
+	Queries []batchQuery `json:"queries"`
+}
+
+// BatchEntry answers one batch query: on success Results is the answer
+// (an empty array when nothing matched, never null); on failure Error
+// is set and Results is null.
+type BatchEntry struct {
+	Results []social.Result `json:"results"`
+	Error   string          `json:"error,omitempty"`
+}
+
+// BatchResponse is the /v1/search/batch response body; entry i answers
+// query i.
+type BatchResponse struct {
+	Results []BatchEntry `json:"results"`
+}
+
+func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req batchRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("batch holds no queries"))
+		return
+	}
+	if len(req.Queries) > MaxBatchQueries {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("batch holds %d queries, limit is %d", len(req.Queries), MaxBatchQueries))
+		return
+	}
+	// Normalize like the single-query endpoint: comma-split and trim
+	// tags, drop blanks, default an absent k. Per-query validation
+	// failures become per-query errors, not batch failures.
+	queries := make([]social.BatchQuery, len(req.Queries))
+	errs := make([]error, len(req.Queries))
+	for i, q := range req.Queries {
+		tags := normalizeTags(q.Tags)
+		k := defaultK
+		if q.K != nil {
+			k = *q.K
+		}
+		switch {
+		case q.Seeker == "":
+			errs[i] = fmt.Errorf("query %d: missing seeker", i)
+		case len(tags) == 0:
+			errs[i] = fmt.Errorf("query %d: missing tags", i)
+		case k < 1:
+			errs[i] = fmt.Errorf("query %d: bad k %d", i, k)
+		}
+		queries[i] = social.BatchQuery{Seeker: q.Seeker, Tags: tags, K: k}
+	}
+	// Execute only the well-formed queries, preserving input positions.
+	var runnable []social.BatchQuery
+	var positions []int
+	for i := range queries {
+		if errs[i] == nil {
+			runnable = append(runnable, queries[i])
+			positions = append(positions, i)
+		}
+	}
+	// Skip the backend entirely when nothing survived validation (a
+	// durable backend folds pending writes even for an empty batch).
+	var batch []social.BatchResult
+	if len(runnable) > 0 {
+		batch = s.backend.SearchBatch(runnable)
+	}
+	resp := BatchResponse{Results: make([]BatchEntry, len(queries))}
+	for i, err := range errs {
+		if err != nil {
+			resp.Results[i] = BatchEntry{Error: err.Error()}
+		}
+	}
+	for j, br := range batch {
+		i := positions[j]
+		if br.Err != nil {
+			resp.Results[i] = BatchEntry{Error: br.Err.Error()}
+			continue
+		}
+		res := br.Results
+		if res == nil {
+			res = []social.Result{}
+		}
+		resp.Results[i] = BatchEntry{Results: res}
+	}
+	writeJSON(w, resp)
 }
 
 func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {

@@ -265,3 +265,145 @@ func TestListenAndServeGracefulShutdown(t *testing.T) {
 		t.Fatal("server did not shut down")
 	}
 }
+
+func TestSearchBatchEndpoint(t *testing.T) {
+	s, _ := newTestServer(t)
+	seedHTTP(t, s)
+	body := map[string]interface{}{
+		"queries": []map[string]interface{}{
+			{"seeker": "alice", "tags": []string{"pizza"}, "k": 2},
+			{"seeker": "nobody", "tags": []string{"pizza"}},
+			{"seeker": "alice", "tags": []string{" pizza ", ""}},     // normalized like GET
+			{"seeker": "carol", "tags": []string{"italian"}, "k": 3}, // empty but valid answer
+		},
+	}
+	rec := doJSON(t, s, http.MethodPost, "/v1/search/batch", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d body %s", rec.Code, rec.Body)
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 4 {
+		t.Fatalf("results = %+v", resp.Results)
+	}
+	if len(resp.Results[0].Results) != 2 || resp.Results[0].Results[0].Item != "luigis" {
+		t.Fatalf("query 0: %+v", resp.Results[0])
+	}
+	if resp.Results[1].Error == "" || resp.Results[1].Results != nil {
+		t.Fatalf("query 1 (unknown seeker): %+v", resp.Results[1])
+	}
+	if resp.Results[2].Error != "" || len(resp.Results[2].Results) == 0 {
+		t.Fatalf("query 2 (tag normalization): %+v", resp.Results[2])
+	}
+	if resp.Results[3].Error != "" {
+		t.Fatalf("query 3: %+v", resp.Results[3])
+	}
+	// Batch answer 0 must match the single-query endpoint.
+	rec = doJSON(t, s, http.MethodGet, "/v1/search?seeker=alice&tags=pizza&k=2", nil)
+	var single SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &single); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(single.Results) != fmt.Sprint(resp.Results[0].Results) {
+		t.Fatalf("batch %+v != single %+v", resp.Results[0].Results, single.Results)
+	}
+	// A success entry with no matches encodes as an empty array, never
+	// null (dave is isolated, so his italian search matches nothing).
+	doJSON(t, s, http.MethodPost, "/v1/tag", tagRequest{"dave", "thing", "pizza"})
+	rec = doJSON(t, s, http.MethodPost, "/v1/search/batch", map[string]interface{}{
+		"queries": []map[string]interface{}{{"seeker": "dave", "tags": []string{"italian"}}},
+	})
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"results":[]`) {
+		t.Fatalf("empty batch entry: %d %s", rec.Code, rec.Body)
+	}
+}
+
+func TestSearchBatchCacheCountersOnStats(t *testing.T) {
+	s, _ := newTestServer(t)
+	seedHTTP(t, s)
+	body := map[string]interface{}{
+		"queries": []map[string]interface{}{
+			{"seeker": "alice", "tags": []string{"pizza"}},
+			{"seeker": "alice", "tags": []string{"italian"}},
+			{"seeker": "alice", "tags": []string{"pizza"}, "k": 1},
+		},
+	}
+	if rec := doJSON(t, s, http.MethodPost, "/v1/search/batch", body); rec.Code != http.StatusOK {
+		t.Fatalf("batch: %d %s", rec.Code, rec.Body)
+	}
+	rec := doJSON(t, s, http.MethodGet, "/v1/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats: %d", rec.Code)
+	}
+	var stats struct {
+		SeekerCache struct {
+			Hits, Misses, Invalidations, Evictions int64
+		}
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.SeekerCache.Misses == 0 || stats.SeekerCache.Hits == 0 {
+		t.Fatalf("cache counters not exposed: %s", rec.Body)
+	}
+}
+
+func TestBatchClientErrors(t *testing.T) {
+	s, _ := newTestServer(t)
+	seedHTTP(t, s)
+	tooMany := `{"queries":[` + strings.Repeat(`{"seeker":"alice","tags":["pizza"]},`, MaxBatchQueries) +
+		`{"seeker":"alice","tags":["pizza"]}]}`
+	oversized := `{"queries":[{"seeker":"` + strings.Repeat("x", maxBodyBytes+1) + `","tags":["pizza"]}]}`
+	cases := []struct {
+		name   string
+		method string
+		body   string
+		want   int
+	}{
+		{"wrong method", http.MethodGet, "", http.StatusMethodNotAllowed},
+		{"bad json", http.MethodPost, "{", http.StatusBadRequest},
+		{"unknown field", http.MethodPost, `{"queries":[],"extra":1}`, http.StatusBadRequest},
+		{"trailing garbage", http.MethodPost, `{"queries":[{"seeker":"alice","tags":["pizza"]}]}{}`, http.StatusBadRequest},
+		{"no queries key", http.MethodPost, `{}`, http.StatusBadRequest},
+		{"empty queries", http.MethodPost, `{"queries":[]}`, http.StatusBadRequest},
+		{"too many queries", http.MethodPost, tooMany, http.StatusBadRequest},
+		{"oversized body", http.MethodPost, oversized, http.StatusBadRequest},
+		{"queries wrong type", http.MethodPost, `{"queries":"alice"}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		req := httptest.NewRequest(tc.method, "/v1/search/batch", strings.NewReader(tc.body))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != tc.want {
+			t.Errorf("%s: status %d, want %d (body %.120s)", tc.name, rec.Code, tc.want, rec.Body)
+		}
+	}
+	// Per-query validation failures are NOT batch failures: the envelope
+	// is fine, so the response is 200 with per-entry errors.
+	rec := doJSON(t, s, http.MethodPost, "/v1/search/batch", map[string]interface{}{
+		"queries": []map[string]interface{}{
+			{"seeker": "", "tags": []string{"pizza"}},
+			{"seeker": "alice"},
+			{"seeker": "alice", "tags": []string{"pizza"}, "k": -1},
+			{"seeker": "alice", "tags": []string{"pizza"}, "k": 0}, // explicit 0 rejected like GET
+			{"seeker": "alice", "tags": []string{"pizza"}},
+		},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("mixed batch: status %d body %s", rec.Code, rec.Body)
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if resp.Results[i].Error == "" {
+			t.Errorf("query %d: expected per-query error, got %+v", i, resp.Results[i])
+		}
+	}
+	if resp.Results[4].Error != "" || len(resp.Results[4].Results) == 0 {
+		t.Errorf("query 4: %+v", resp.Results[4])
+	}
+}

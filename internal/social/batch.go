@@ -1,0 +1,53 @@
+package social
+
+import "sync"
+
+// BatchQuery is one named query of a SearchBatch call.
+type BatchQuery struct {
+	Seeker string
+	Tags   []string
+	K      int
+}
+
+// BatchResult is the outcome of one batch query: Results on success, a
+// non-nil Err otherwise. A failed query never fails the batch.
+type BatchResult struct {
+	Results []Result
+	Err     error
+}
+
+// SearchBatch answers many queries concurrently on a pool of
+// cfg.BatchWorkers workers, returning results in input order with
+// per-query error reporting. Batching amortizes the per-request setup a
+// deployment pays on /v1/search — and, combined with the seeker cache,
+// repeated seekers inside one batch (or across batches) reuse a single
+// neighbourhood expansion. Each query sees the snapshot current when
+// its worker picks it up, exactly as if issued via Search.
+func (s *Service) SearchBatch(queries []BatchQuery) []BatchResult {
+	out := make([]BatchResult, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	workers := s.cfg.BatchWorkers
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res, err := s.Search(queries[i].Seeker, queries[i].Tags, queries[i].K)
+				out[i] = BatchResult{Results: res, Err: err}
+			}
+		}()
+	}
+	for i := range queries {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,257 @@
+package social
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/proximity"
+)
+
+func TestSeekerCacheHitsAccumulate(t *testing.T) {
+	svc := pizzaWorld(t, 0)
+	for i := 0; i < 3; i++ {
+		if _, err := svc.Search("alice", []string{"pizza"}, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := svc.Stats()
+	if st.SeekerCache.Misses != 1 || st.SeekerCache.Hits != 2 {
+		t.Fatalf("cache counters = %+v, want 1 miss then 2 hits", st.SeekerCache)
+	}
+	if st.SeekerCacheEntries != 1 {
+		t.Fatalf("entries = %d, want 1", st.SeekerCacheEntries)
+	}
+}
+
+func TestSeekerCacheInvalidatedByBefriend(t *testing.T) {
+	svc := pizzaWorld(t, 0) // compact on every write: mutations visible immediately
+	res, err := svc.Search("alice", []string{"pizza"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Item == "chain" {
+			t.Fatalf("frank's item visible before befriending: %+v", res)
+		}
+	}
+	// A new edge must invalidate alice's cached horizon so the next
+	// search sees frank's world.
+	if err := svc.Befriend("alice", "frank", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	res, err = svc.Search("alice", []string{"pizza"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range res {
+		found = found || r.Item == "chain"
+	}
+	if !found {
+		t.Fatalf("cached search missed post-mutation item: %+v", res)
+	}
+	if st := svc.Stats(); st.SeekerCache.Invalidations == 0 {
+		t.Fatalf("no invalidations recorded: %+v", st.SeekerCache)
+	}
+}
+
+func TestSeekerCacheSurvivesTagOnlyWrites(t *testing.T) {
+	svc := pizzaWorld(t, 0)
+	if _, err := svc.Search("alice", []string{"pizza"}, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Tags touch the store, not the graph: the cached horizon stays
+	// valid AND the new tagging action must still be visible (the tag
+	// data flows from the engine snapshot, not the horizon).
+	if err := svc.Tag("bob", "dominos", "pizza"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := svc.Search("alice", []string{"pizza"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range res {
+		found = found || r.Item == "dominos"
+	}
+	if !found {
+		t.Fatalf("tag write invisible through cached horizon: %+v", res)
+	}
+	st := svc.Stats()
+	if st.SeekerCache.Hits == 0 {
+		t.Fatalf("tag-only write evicted the horizon: %+v", st.SeekerCache)
+	}
+	if st.SeekerCache.Invalidations != 0 {
+		t.Fatalf("tag-only write invalidated the cache: %+v", st.SeekerCache)
+	}
+}
+
+func TestSeekerCacheDisabled(t *testing.T) {
+	cfg := DefaultServiceConfig()
+	cfg.AutoCompactEvery = 0
+	cfg.SeekerCacheSize = -1
+	svc, err := NewService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Befriend("a", "b", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Tag("b", "i", "t"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := svc.Search("a", []string{"t"}, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := svc.Stats(); st.SeekerCache.Hits != 0 || st.SeekerCache.Misses != 0 {
+		t.Fatalf("disabled cache recorded traffic: %+v", st.SeekerCache)
+	}
+}
+
+func TestServingConfigValidation(t *testing.T) {
+	cfg := DefaultServiceConfig()
+	cfg.BatchWorkers = -1
+	if _, err := NewService(cfg); err == nil {
+		t.Fatal("negative BatchWorkers accepted")
+	}
+	// Zero values mean defaults.
+	svc, err := NewService(ServiceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.cfg.SeekerCacheSize != DefaultSeekerCacheSize || svc.cfg.BatchWorkers != DefaultBatchWorkers {
+		t.Fatalf("defaults not applied: %+v", svc.cfg)
+	}
+}
+
+// TestCachedMatchesUncachedUnderMutations drives a cached and an
+// uncached service through an identical randomized stream of
+// interleaved mutations and searches; every answer must agree.
+func TestCachedMatchesUncachedUnderMutations(t *testing.T) {
+	mk := func(cacheSize int) *Service {
+		cfg := DefaultServiceConfig()
+		cfg.Proximity = proximity.Params{Alpha: 0.6, SelfWeight: 1, MinSigma: 0.01}
+		cfg.AutoCompactEvery = 3 // non-trivial compaction cadence
+		cfg.SeekerCacheSize = cacheSize
+		svc, err := NewService(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return svc
+	}
+	cached, uncached := mk(8), mk(-1)
+	rng := rand.New(rand.NewSource(7))
+	user := func() string { return fmt.Sprintf("u%d", rng.Intn(12)) }
+	for step := 0; step < 400; step++ {
+		switch rng.Intn(4) {
+		case 0:
+			a, b := user(), user()
+			if a == b {
+				continue
+			}
+			w := 0.1 + 0.9*rng.Float64()
+			e1, e2 := cached.Befriend(a, b, w), uncached.Befriend(a, b, w)
+			if (e1 == nil) != (e2 == nil) {
+				t.Fatalf("step %d: befriend divergence: %v vs %v", step, e1, e2)
+			}
+		case 1:
+			u, i, tg := user(), fmt.Sprintf("i%d", rng.Intn(20)), fmt.Sprintf("t%d", rng.Intn(4))
+			e1, e2 := cached.Tag(u, i, tg), uncached.Tag(u, i, tg)
+			if (e1 == nil) != (e2 == nil) {
+				t.Fatalf("step %d: tag divergence: %v vs %v", step, e1, e2)
+			}
+		default:
+			seeker := user()
+			tags := []string{fmt.Sprintf("t%d", rng.Intn(4))}
+			k := 1 + rng.Intn(6)
+			r1, e1 := cached.Search(seeker, tags, k)
+			r2, e2 := uncached.Search(seeker, tags, k)
+			if (e1 == nil) != (e2 == nil) {
+				t.Fatalf("step %d: search divergence: %v vs %v", step, e1, e2)
+			}
+			if e1 != nil {
+				continue
+			}
+			if !reflect.DeepEqual(r1, r2) {
+				t.Fatalf("step %d: cached %+v != uncached %+v", step, r1, r2)
+			}
+		}
+	}
+	if st := cached.Stats(); st.SeekerCache.Hits == 0 || st.SeekerCache.Invalidations == 0 {
+		t.Fatalf("stream did not exercise the cache: %+v", st.SeekerCache)
+	}
+}
+
+func TestSearchBatch(t *testing.T) {
+	svc := pizzaWorld(t, 0)
+	queries := []BatchQuery{
+		{Seeker: "alice", Tags: []string{"pizza"}, K: 3},
+		{Seeker: "nobody", Tags: []string{"pizza"}, K: 3},
+		{Seeker: "bob", Tags: []string{"pizza"}, K: 2},
+		{Seeker: "alice", Tags: []string{"quantum"}, K: 1},
+		{Seeker: "alice", Tags: []string{"pizza"}, K: 3},
+	}
+	out := svc.SearchBatch(queries)
+	if len(out) != len(queries) {
+		t.Fatalf("got %d results for %d queries", len(out), len(queries))
+	}
+	if out[1].Err == nil || out[3].Err == nil {
+		t.Fatalf("bad queries did not fail: %+v", out)
+	}
+	if out[0].Err != nil || out[2].Err != nil || out[4].Err != nil {
+		t.Fatalf("good queries failed: %+v", out)
+	}
+	// Batch answers must equal sequential answers, in input order.
+	for _, i := range []int{0, 2, 4} {
+		want, err := svc.Search(queries[i].Seeker, queries[i].Tags, queries[i].K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(out[i].Results, want) {
+			t.Fatalf("query %d: batch %+v != sequential %+v", i, out[i].Results, want)
+		}
+	}
+	if got := svc.SearchBatch(nil); len(got) != 0 {
+		t.Fatalf("nil batch returned %+v", got)
+	}
+}
+
+// TestSearchBatchConcurrentWithMutations hammers SearchBatch against
+// concurrent writers; run with -race.
+func TestSearchBatchConcurrentWithMutations(t *testing.T) {
+	svc := pizzaWorld(t, 2)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			svc.Befriend(fmt.Sprintf("w%d", i%5), "alice", 0.5)
+			svc.Tag(fmt.Sprintf("w%d", i%5), fmt.Sprintf("wi%d", i%7), "pizza")
+		}
+	}()
+	for round := 0; round < 20; round++ {
+		out := svc.SearchBatch([]BatchQuery{
+			{Seeker: "alice", Tags: []string{"pizza"}, K: 5},
+			{Seeker: "bob", Tags: []string{"pizza"}, K: 5},
+			{Seeker: "dave", Tags: []string{"pizza"}, K: 5},
+		})
+		for i, r := range out {
+			if r.Err != nil {
+				t.Errorf("round %d query %d: %v", round, i, r.Err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

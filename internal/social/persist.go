@@ -20,7 +20,7 @@ func (s *Service) Snapshot() (*graph.Graph, *tagstore.Store, *vocab.Set, error) 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.writes = 0
-	if err := s.engine.Compact(); err != nil {
+	if err := s.compactLocked(); err != nil {
 		return nil, nil, nil, err
 	}
 	g, st := s.overlay.Snapshot()
@@ -49,17 +49,13 @@ func Restore(cfg ServiceConfig, g *graph.Graph, st *tagstore.Store, names *vocab
 	if names.Tags.Len() != st.NumTags() {
 		return nil, fmt.Errorf("social: %d tag names for %d store tags", names.Tags.Len(), st.NumTags())
 	}
-	if cfg.Proximity == (ServiceConfig{}.Proximity) {
-		cfg.Proximity = DefaultServiceConfig().Proximity
-	}
-	if err := cfg.Proximity.Validate(); err != nil {
+	cfg, err := normalizeConfig(cfg)
+	if err != nil {
 		return nil, err
 	}
-	if cfg.Beta < 0 || cfg.Beta > 1 {
-		return nil, fmt.Errorf("social: beta %g outside [0,1]", cfg.Beta)
-	}
-	if cfg.AutoCompactEvery < 0 {
-		return nil, fmt.Errorf("social: negative AutoCompactEvery")
+	cache, err := newSeekerCache(cfg)
+	if err != nil {
+		return nil, err
 	}
 	o, err := overlay.New(g, st)
 	if err != nil {
@@ -69,5 +65,5 @@ func Restore(cfg ServiceConfig, g *graph.Graph, st *tagstore.Store, names *vocab
 	if err != nil {
 		return nil, err
 	}
-	return &Service{cfg: cfg, names: names, overlay: o, engine: eng}, nil
+	return &Service{cfg: cfg, cache: cache, names: names, overlay: o, engine: eng}, nil
 }

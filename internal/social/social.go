@@ -17,9 +17,18 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/overlay"
 	"repro/internal/proximity"
+	"repro/internal/qcache"
 	"repro/internal/vocab"
+)
+
+// Default sizes for the serving-path knobs (applied when the config
+// leaves them zero).
+const (
+	DefaultSeekerCacheSize = 256
+	DefaultBatchWorkers    = 4
 )
 
 // ServiceConfig tunes a Service.
@@ -33,6 +42,21 @@ type ServiceConfig struct {
 	// after this many writes (default 64; 0 compacts on every write —
 	// simplest semantics, highest write cost).
 	AutoCompactEvery int
+	// SeekerCacheSize bounds the per-seeker horizon cache (see
+	// internal/qcache): 0 means DefaultSeekerCacheSize, negative
+	// disables caching entirely (every search re-expands the graph).
+	// Caching trades eager full-horizon expansion on a miss for reuse
+	// on hits; workloads dominated by one-shot seekers should disable
+	// it or set MaxHorizonUsers.
+	SeekerCacheSize int
+	// MaxHorizonUsers truncates materialized horizons to this many
+	// users (0 = full horizon, exact answers). A positive bound caps
+	// cache-miss cost and entry size; answers for seekers whose
+	// neighbourhood exceeds the bound may become approximate.
+	MaxHorizonUsers int
+	// BatchWorkers bounds the worker pool SearchBatch runs queries on
+	// (0 means DefaultBatchWorkers).
+	BatchWorkers int
 }
 
 // DefaultServiceConfig returns the practical defaults described above.
@@ -41,6 +65,8 @@ func DefaultServiceConfig() ServiceConfig {
 		Proximity:        proximity.Params{Alpha: 0.6, SelfWeight: 1, MinSigma: 0.05},
 		Beta:             1.0,
 		AutoCompactEvery: 64,
+		SeekerCacheSize:  DefaultSeekerCacheSize,
+		BatchWorkers:     DefaultBatchWorkers,
 	}
 }
 
@@ -52,31 +78,69 @@ type Result struct {
 
 // Service is a mutable, name-addressed social tagging search service.
 // It is safe for concurrent use; reads see the last compacted snapshot.
+// Searches reuse cached seeker horizons (internal/qcache) that are
+// invalidated whenever friendship edges reach the snapshot.
 type Service struct {
-	cfg ServiceConfig
+	cfg   ServiceConfig
+	cache *qcache.Cache // nil when caching is disabled
 
-	mu      sync.Mutex
-	names   *vocab.Set
-	overlay *overlay.Overlay
-	engine  *overlay.Engine
-	writes  int
+	mu           sync.Mutex
+	names        *vocab.Set
+	overlay      *overlay.Overlay
+	engine       *overlay.Engine
+	writes       int
+	friendsDirty bool // friend edges written since the last compaction
 }
 
-// NewService builds an empty service.
-func NewService(cfg ServiceConfig) (*Service, error) {
+// normalizeConfig validates cfg and fills serving-path defaults.
+func normalizeConfig(cfg ServiceConfig) (ServiceConfig, error) {
 	if cfg.Proximity == (proximity.Params{}) {
 		cfg.Proximity = DefaultServiceConfig().Proximity
 	}
 	if err := cfg.Proximity.Validate(); err != nil {
-		return nil, err
+		return cfg, err
 	}
 	if cfg.Beta < 0 || cfg.Beta > 1 {
-		return nil, fmt.Errorf("social: beta %g outside [0,1]", cfg.Beta)
+		return cfg, fmt.Errorf("social: beta %g outside [0,1]", cfg.Beta)
 	}
 	if cfg.AutoCompactEvery < 0 {
-		return nil, fmt.Errorf("social: negative AutoCompactEvery")
+		return cfg, fmt.Errorf("social: negative AutoCompactEvery")
 	}
-	s := &Service{cfg: cfg, names: vocab.NewSet()}
+	if cfg.SeekerCacheSize == 0 {
+		cfg.SeekerCacheSize = DefaultSeekerCacheSize
+	}
+	if cfg.BatchWorkers == 0 {
+		cfg.BatchWorkers = DefaultBatchWorkers
+	}
+	if cfg.BatchWorkers < 0 {
+		return cfg, fmt.Errorf("social: negative BatchWorkers")
+	}
+	if cfg.MaxHorizonUsers < 0 {
+		return cfg, fmt.Errorf("social: negative MaxHorizonUsers")
+	}
+	return cfg, nil
+}
+
+// newSeekerCache builds the horizon cache the config asks for (nil when
+// disabled).
+func newSeekerCache(cfg ServiceConfig) (*qcache.Cache, error) {
+	if cfg.SeekerCacheSize < 0 {
+		return nil, nil
+	}
+	return qcache.New(cfg.SeekerCacheSize)
+}
+
+// NewService builds an empty service.
+func NewService(cfg ServiceConfig) (*Service, error) {
+	cfg, err := normalizeConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cache, err := newSeekerCache(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{cfg: cfg, cache: cache, names: vocab.NewSet()}
 	if err := s.initEmpty(); err != nil {
 		return nil, err
 	}
@@ -149,7 +213,26 @@ func (s *Service) noteWrite() error {
 	s.writes++
 	if s.cfg.AutoCompactEvery == 0 || s.writes >= s.cfg.AutoCompactEvery {
 		s.writes = 0
-		return s.engine.Compact()
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// compactLocked folds pending writes into the queryable snapshot and,
+// when friendship edges were among them, invalidates every cached
+// seeker horizon: the proximities they encode were computed on the
+// superseded friendship graph. Tag-only compactions leave the cache
+// untouched — tags live in the store, not the graph, so horizons stay
+// exact. Callers hold s.mu.
+func (s *Service) compactLocked() error {
+	if err := s.engine.Compact(); err != nil {
+		return err
+	}
+	if s.friendsDirty {
+		s.friendsDirty = false
+		if s.cache != nil {
+			s.cache.Invalidate()
+		}
 	}
 	return nil
 }
@@ -170,6 +253,7 @@ func (s *Service) Befriend(a, b string, weight float64) error {
 	if err := s.overlay.Befriend(ua, ub, weight); err != nil {
 		return err
 	}
+	s.friendsDirty = true
 	return s.noteWrite()
 }
 
@@ -201,12 +285,18 @@ func (s *Service) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.writes = 0
-	return s.engine.Compact()
+	return s.compactLocked()
 }
 
 // Search answers seeker's top-k query over tag names. Unknown tags are
 // an error (a deployment would typically treat them as empty); unknown
-// seekers are an error. Scores are exact (RefineScores execution).
+// seekers are an error. Scores are exact (RefineScores execution)
+// unless MaxHorizonUsers is set: a truncated horizon makes answers for
+// seekers whose neighbourhood exceeds the bound approximate.
+//
+// When the seeker cache is enabled, the expensive half of the query —
+// expanding the seeker's social neighbourhood — is reused across that
+// seeker's searches until a friendship mutation reaches the snapshot.
 func (s *Service) Search(seeker string, tags []string, k int) ([]Result, error) {
 	s.mu.Lock()
 	uid, ok := s.names.Users.ID(seeker)
@@ -223,13 +313,23 @@ func (s *Service) Search(seeker string, tags []string, k int) ([]Result, error) 
 		}
 		tagIDs = append(tagIDs, id)
 	}
-	eng := s.engine
+	// Pin the engine snapshot and cache generation together under the
+	// lock: compaction (which may swap both) also holds it, so the pair
+	// is consistent and the query below is a pure function of it.
+	eng, err := s.engine.Current()
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	var gen uint64
+	if s.cache != nil {
+		gen = s.cache.Generation()
+	}
 	s.mu.Unlock()
 
 	// Run the query outside the lock: it reads only the immutable
-	// compacted snapshot.
-	ans, err := eng.SocialMerge(core.Query{Seeker: uid, Tags: tagIDs, K: k},
-		core.Options{RefineScores: true})
+	// pinned snapshot.
+	ans, err := s.answer(eng, core.Query{Seeker: uid, Tags: tagIDs, K: k}, gen)
 	if err != nil {
 		return nil, err
 	}
@@ -250,6 +350,27 @@ func (s *Service) Search(seeker string, tags []string, k int) ([]Result, error) 
 	return out, nil
 }
 
+// answer executes one id-space query against a pinned engine snapshot,
+// through the seeker cache when enabled. gen is the cache generation
+// captured with the snapshot: a cached horizon is used only when its
+// stamp matches, and a freshly materialized one is offered back to the
+// cache under the same stamp (refused if the graph moved meanwhile).
+func (s *Service) answer(eng *core.Engine, q core.Query, gen uint64) (core.Answer, error) {
+	opts := core.Options{RefineScores: true}
+	if s.cache == nil {
+		return eng.SocialMerge(q, opts)
+	}
+	h, ok := s.cache.Get(q.Seeker, gen)
+	if !ok {
+		var err error
+		if h, err = eng.MaterializeHorizon(q.Seeker, s.cfg.MaxHorizonUsers); err != nil {
+			return core.Answer{}, err
+		}
+		s.cache.Put(q.Seeker, gen, h)
+	}
+	return eng.SocialMergeWithHorizon(q, h, opts)
+}
+
 // Users returns all known user names in id order.
 func (s *Service) Users() []string {
 	s.mu.Lock()
@@ -262,6 +383,11 @@ type Stats struct {
 	Users, Items, Tags int
 	PendingWrites      int
 	Compactions        int
+	// SeekerCache reports the horizon cache's effectiveness counters
+	// (all zero when caching is disabled).
+	SeekerCache metrics.CacheSnapshot
+	// SeekerCacheEntries is the number of resident cache entries.
+	SeekerCacheEntries int
 }
 
 // Stats returns current counters.
@@ -269,11 +395,16 @@ func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	pe, pt := s.overlay.Pending()
-	return Stats{
+	st := Stats{
 		Users:         s.names.Users.Len(),
 		Items:         s.names.Items.Len(),
 		Tags:          s.names.Tags.Len(),
 		PendingWrites: pe + pt,
 		Compactions:   s.overlay.Compactions(),
 	}
+	if s.cache != nil {
+		st.SeekerCache = s.cache.Counters()
+		st.SeekerCacheEntries = s.cache.Len()
+	}
+	return st
 }
