@@ -1,27 +1,38 @@
 // Command friendsearch answers socially personalized top-k queries over
-// a dataset file produced by datagen.
+// a dataset file produced by datagen, through the engine's canonical
+// request/response API (internal/search served by internal/exec).
 //
 // Usage:
 //
 //	friendsearch -data delicious.frnd -seeker 17 -tags 3,9 -k 10
-//	friendsearch -data delicious.frnd -seeker 17 -tags 3,9 -k 10 -algo exact
+//	friendsearch -data delicious.frnd -seeker 17 -tags 3,9 -mode exact
+//	friendsearch -data delicious.frnd -seeker 17 -tags 3,9 -algo SocialTA -explain
 //	friendsearch -data delicious.frnd -seeker 17 -tags 3,9 -theta 0.001
 //
-// Algorithms: merge (default, the paper's SocialMerge), exact
-// (materialized baseline), global (non-personalized TA).
+// Modes: auto (default — the cost-based planner picks the algorithm),
+// exact (refined exact scores), approx (early termination). -algo
+// forces one engine algorithm (SocialMerge, ContextMerge, SocialTA,
+// GlobalTopK) in auto mode. -explain dumps how the query was answered.
+// Ctrl-C cancels a running query mid-expansion.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"strconv"
 	"time"
 
 	"repro/internal/cliutil"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/index"
 	"repro/internal/proximity"
+	"repro/internal/search"
 )
 
 func main() {
@@ -32,20 +43,20 @@ func main() {
 	seeker := flag.Int("seeker", 0, "seeker user id")
 	tagsArg := flag.String("tags", "", "comma-separated query tag ids (required)")
 	k := flag.Int("k", 10, "number of results")
-	algo := flag.String("algo", "merge", "algorithm: merge, exact, global")
+	mode := flag.String("mode", "auto", "execution mode: auto, exact, approx")
+	algo := flag.String("algo", "", "force an algorithm in auto mode (SocialMerge, ContextMerge, SocialTA, GlobalTopK)")
+	explain := flag.Bool("explain", false, "dump how the query was answered")
 	alpha := flag.Float64("alpha", 1.0, "proximity hop damping in (0,1]")
 	beta := flag.Float64("beta", 1.0, "social/global blend in [0,1]")
 	theta := flag.Float64("theta", 0, "approximation: stop expanding below this proximity")
 	maxUsers := flag.Int("max-users", 0, "approximation: expansion budget (0 = unlimited)")
+	minScore := flag.Float64("min-score", 0, "drop results scoring below this")
+	offset := flag.Int("offset", 0, "skip the first N results (paging)")
 	flag.Parse()
 
 	if *data == "" || *tagsArg == "" {
 		flag.Usage()
 		os.Exit(2)
-	}
-	tags, err := cliutil.ParseTags(*tagsArg)
-	if err != nil {
-		log.Fatal(err)
 	}
 
 	g, store, err := index.ReadFile(*data)
@@ -60,27 +71,111 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	engine.AttachItemIndex(core.BuildItemIndex(store))
 
-	q := core.Query{Seeker: int32(*seeker), Tags: tags, K: *k}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// The σ-horizon / expansion-budget approximations predate the
+	// request API and remain core-level knobs: run them directly. They
+	// bypass the request surface, so the request-level flags must not be
+	// silently dropped.
+	if *theta > 0 || *maxUsers > 0 {
+		if *mode != "auto" || *algo != "" || *explain || *minScore != 0 || *offset != 0 {
+			log.Fatal("-theta/-max-users run the legacy core path and cannot be combined with -mode, -algo, -explain, -min-score or -offset")
+		}
+		runApproximate(ctx, engine, *seeker, *tagsArg, *k, *theta, *maxUsers)
+		return
+	}
+
+	m, err := search.ParseMode(*mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	x, err := exec.New(engine, exec.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	req := search.Request{
+		Seeker:   strconv.Itoa(*seeker),
+		Tags:     []string{*tagsArg}, // Normalize splits the commas
+		K:        *k,
+		Mode:     m,
+		AlgHint:  *algo,
+		MinScore: *minScore,
+		Offset:   *offset,
+		Explain:  true, // always collected; printed on -explain
+	}
 	start := time.Now()
-	var ans core.Answer
-	switch *algo {
-	case "merge":
-		ans, err = engine.SocialMerge(q, core.Options{Theta: *theta, MaxUsers: *maxUsers})
-	case "exact":
-		ans, err = engine.ExactSocial(q)
-	case "global":
-		ans, err = engine.GlobalTopK(q)
-	default:
-		log.Fatalf("unknown algorithm %q (want merge, exact or global)", *algo)
+	resp, err := x.Do(ctx, req)
+	elapsed := time.Since(start)
+	if errors.Is(err, context.Canceled) {
+		log.Fatal("query cancelled")
 	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	elapsed := time.Since(start)
 
-	fmt.Printf("algorithm=%s seeker=%d tags=%v k=%d exact=%v\n", *algo, *seeker, tags, *k, ans.Exact)
+	ex := resp.Explain
+	fmt.Printf("mode=%s algorithm=%s seeker=%d tags=%s k=%d exact=%v\n",
+		ex.Mode, ex.Algorithm, *seeker, *tagsArg, *k, ex.Exact)
 	fmt.Printf("latency=%s settled=%d seq=%d rand=%d\n",
-		elapsed, ans.UsersSettled, ans.Access.Sequential, ans.Access.Random)
-	fmt.Print(cliutil.FormatResults(ans.Results))
+		elapsed, ex.UsersSettled, ex.SequentialAccesses, ex.RandomAccesses)
+	if *explain {
+		printExplain(ex)
+	}
+	printResults(resp.Results)
+}
+
+// runApproximate executes the legacy core-level approximate variants.
+func runApproximate(ctx context.Context, engine *core.Engine, seeker int, tagsArg string, k int, theta float64, maxUsers int) {
+	tags, err := cliutil.ParseTags(tagsArg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := core.Query{Seeker: int32(seeker), Tags: tags, K: k}
+	start := time.Now()
+	ans, err := engine.SocialMerge(q, core.Options{Theta: theta, MaxUsers: maxUsers, Ctx: ctx})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mode=approx algorithm=SocialMerge seeker=%d tags=%v k=%d exact=%v\n", seeker, tags, k, ans.Exact)
+	fmt.Printf("latency=%s settled=%d seq=%d rand=%d\n",
+		time.Since(start), ans.UsersSettled, ans.Access.Sequential, ans.Access.Random)
+	results := make([]search.Result, len(ans.Results))
+	for i, r := range ans.Results {
+		results[i] = search.Result{Item: strconv.Itoa(int(r.Item)), Score: r.Score}
+	}
+	printResults(results)
+}
+
+func printExplain(ex *search.Explain) {
+	fmt.Printf("planned=%v", ex.Planned)
+	if len(ex.Estimates) > 0 {
+		fmt.Print(" estimates={")
+		first := true
+		for _, alg := range search.AlgHints {
+			if est, ok := ex.Estimates[alg]; ok {
+				if !first {
+					fmt.Print(" ")
+				}
+				fmt.Printf("%s:%.0f", alg, est)
+				first = false
+			}
+		}
+		fmt.Print("}")
+	}
+	fmt.Println()
+	fmt.Printf("horizon=%d residual=%.4f cache_hit=%v generation=%d score_bound=%.4f beta=%.2f\n",
+		ex.HorizonUsers, ex.HorizonResidual, ex.CacheHit, ex.CacheGeneration, ex.ScoreBound, ex.Beta)
+}
+
+func printResults(rs []search.Result) {
+	if len(rs) == 0 {
+		fmt.Println("(no matching items)")
+		return
+	}
+	for i, r := range rs {
+		fmt.Printf("%2d. item %-8s score %.4f\n", i+1, r.Item, r.Score)
+	}
 }

@@ -13,6 +13,12 @@
 //	curl -s 'localhost:8080/v1/search?seeker=alice&tags=pizza&k=3'
 //	curl -s -d '{"queries":[{"seeker":"alice","tags":["pizza"],"k":3}]}' \
 //	     'localhost:8080/v1/search/batch'
+//	curl -s -d '{"seeker":"alice","tags":["pizza"],"k":3,"mode":"auto","explain":true}' \
+//	     'localhost:8080/v2/search'
+//
+// The v2 endpoints expose the full request surface — per-query beta,
+// execution mode, score filtering, offset paging, explainable answers —
+// and honour client disconnects (a cancelled request stops executing).
 package main
 
 import (

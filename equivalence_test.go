@@ -8,8 +8,12 @@ package repro
 // interleaved friend/tag mutations.
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -17,10 +21,13 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/planner"
 	"repro/internal/proximity"
+	"repro/internal/server"
 	"repro/internal/social"
 	"repro/internal/tagstore"
 	"repro/internal/topk"
+	"repro/internal/vocab"
 )
 
 // equivCorpus builds a small randomized corpus for a seed.
@@ -157,6 +164,138 @@ func TestPropertyAllAlgorithmsAgree(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestV2ModeEquivalence: over a randomized corpus served via HTTP, a
+// /v2 query with mode=exact returns exactly what the ExactSocial oracle
+// computes on the same snapshot, and mode=auto returns what the
+// cost-based planner path computes — same chosen algorithm, same
+// results — so the v2 modes are faithful names for the engine paths
+// they promise.
+func TestV2ModeEquivalence(t *testing.T) {
+	ds := equivCorpus(t, 42)
+	prox := proximity.Params{Alpha: 0.6, SelfWeight: 1, MinSigma: 0.01}
+	cfg := social.DefaultServiceConfig()
+	cfg.Proximity = prox
+
+	// Name the generated id-space corpus and restore it as a service.
+	names := vocab.NewSet()
+	for i := 0; i < ds.Graph.NumUsers(); i++ {
+		names.Users.MustAdd(fmt.Sprintf("u%d", i))
+	}
+	for i := 0; i < ds.Store.NumItems(); i++ {
+		names.Items.MustAdd(fmt.Sprintf("i%d", i))
+	}
+	for i := 0; i < ds.Store.NumTags(); i++ {
+		names.Tags.MustAdd(fmt.Sprintf("t%d", i))
+	}
+	svc, err := social.Restore(cfg, ds.Graph, ds.Store, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewEngine(ds.Graph, ds.Store, core.Config{Proximity: prox, Beta: cfg.Beta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := planner.New(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	post := func(body map[string]interface{}) (results []struct {
+		Item  string  `json:"item"`
+		Score float64 `json:"score"`
+	}, algorithm string) {
+		t.Helper()
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req := httptest.NewRequest(http.MethodPost, "/v2/search", bytes.NewReader(raw))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("/v2/search: %d %s", rec.Code, rec.Body)
+		}
+		var resp struct {
+			Results []struct {
+				Item  string  `json:"item"`
+				Score float64 `json:"score"`
+			} `json:"results"`
+			Explain *struct {
+				Algorithm string `json:"algorithm"`
+			} `json:"explain"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Explain == nil {
+			t.Fatal("explain missing")
+		}
+		return resp.Results, resp.Explain.Algorithm
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 8; trial++ {
+		seeker := rng.Intn(ds.Graph.NumUsers())
+		tag := rng.Intn(ds.Store.NumTags())
+		k := 1 + rng.Intn(8)
+		q := core.Query{Seeker: graph.UserID(seeker), Tags: []tagstore.TagID{tagstore.TagID(tag)}, K: k}
+		body := map[string]interface{}{
+			"seeker": fmt.Sprintf("u%d", seeker), "tags": []string{fmt.Sprintf("t%d", tag)},
+			"k": k, "explain": true,
+		}
+
+		// mode=exact must reproduce the ExactSocial oracle: same items,
+		// same exact scores.
+		body["mode"] = "exact"
+		got, _ := post(body)
+		oracle, err := eng.ExactSocial(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(oracle.Results) {
+			t.Fatalf("trial %d exact: %d results, oracle %d", trial, len(got), len(oracle.Results))
+		}
+		for i, r := range got {
+			want := oracle.Results[i]
+			if r.Item != fmt.Sprintf("i%d", want.Item) || !approxEqual(r.Score, want.Score) {
+				t.Fatalf("trial %d exact rank %d: got %v, oracle item %d score %g",
+					trial, i, r, want.Item, want.Score)
+			}
+		}
+
+		// mode=auto must follow the planner path: the same algorithm the
+		// planner picks, and that algorithm's answer.
+		body["mode"] = "auto"
+		got, alg := post(body)
+		ans, plan, err := pl.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alg != plan.Alg.String() {
+			t.Fatalf("trial %d auto: served by %s, planner picked %s", trial, alg, plan.Alg)
+		}
+		if len(got) != len(ans.Results) {
+			t.Fatalf("trial %d auto: %d results, planner %d", trial, len(got), len(ans.Results))
+		}
+		for i, r := range got {
+			want := ans.Results[i]
+			if r.Item != fmt.Sprintf("i%d", want.Item) || !approxEqual(r.Score, want.Score) {
+				t.Fatalf("trial %d auto rank %d: got %v, planner item %d score %g",
+					trial, i, r, want.Item, want.Score)
+			}
+		}
+	}
+}
+
+func approxEqual(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
 }
 
 // TestPropertyCachedServiceMatchesExact: a name-addressed service with

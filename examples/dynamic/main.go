@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,6 +19,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/overlay"
 	"repro/internal/proximity"
+	"repro/internal/search"
 	"repro/internal/tagstore"
 )
 
@@ -99,7 +101,9 @@ func main() {
 	}
 	_ = before
 
-	// Serving layer: cached horizons must be invalidated on change.
+	// Serving layer: cached horizons must be invalidated on change. The
+	// executor speaks the canonical request/response API at the id level
+	// and reports cache provenance through Explain.
 	g, s := o.Snapshot()
 	eng, err := core.NewEngine(g, s, cfg)
 	if err != nil {
@@ -109,14 +113,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := x.Query(q, core.Options{}); err != nil {
+	req := search.Request{
+		Seeker:  fmt.Sprint(seeker),
+		Tags:    []string{fmt.Sprint(tags[0]), fmt.Sprint(tags[1])},
+		K:       5,
+		Explain: true,
+	}
+	ctx := context.Background()
+	if _, err := x.Do(ctx, req); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := x.Query(q, core.Options{}); err != nil {
+	resp, err := x.Do(ctx, req)
+	if err != nil {
 		log.Fatal(err)
 	}
 	st := x.Stats()
-	fmt.Printf("serving cache: %d hit(s), %d miss(es) for the repeated query\n", st.Hits, st.Misses)
+	fmt.Printf("serving cache: %d hit(s), %d miss(es) for the repeated query (cache_hit=%v, horizon=%d users)\n",
+		st.Hits, st.Misses, resp.Explain.CacheHit, resp.Explain.HorizonUsers)
 	x.Invalidate(seeker)
 	fmt.Println("network changed again → seeker's horizon invalidated; next query re-expands")
 

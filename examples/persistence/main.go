@@ -8,11 +8,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
 	"repro/internal/durable"
+	"repro/internal/search"
 )
 
 func main() {
@@ -58,12 +60,14 @@ func main() {
 	fmt.Printf("recovered:  users=%d items=%d (replayed %d log records)\n\n",
 		st.Users, st.Items, st.RecoveredRecords)
 
-	res, err := svc.Search("alice", []string{"pizza"}, 3)
+	resp, err := svc.Do(context.Background(), search.Request{
+		Seeker: "alice", Tags: []string{"pizza"}, K: 3, Mode: search.ModeExact,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("alice's pizza ranking after recovery:")
-	for i, r := range res {
+	for i, r := range resp.Results {
 		fmt.Printf("  %d. %-8s %.4f\n", i+1, r.Item, r.Score)
 	}
 }

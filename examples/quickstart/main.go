@@ -1,5 +1,8 @@
-// Quickstart: build a small social tagging world by hand, then answer a
-// personalized top-k query with the three algorithms and compare them.
+// Quickstart: build a small social tagging world through the
+// name-addressed service, then answer a personalized top-k query with
+// the canonical request/response API — comparing planned and
+// pure-global executions, and dumping the Explain report that shows how
+// the engine answered.
 //
 // Run with:
 //
@@ -7,92 +10,107 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/graph"
-	"repro/internal/tagstore"
+	"repro/internal/search"
+	"repro/internal/social"
 )
 
 func main() {
 	log.SetFlags(0)
 
+	svc, err := social.NewService(social.DefaultServiceConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// A six-person network: alice's close friends are bob and carol;
 	// dave and erin are friends-of-friends; frank is a stranger.
-	const (
-		alice = iota
-		bob
-		carol
-		dave
-		erin
-		frank
-	)
-	names := []string{"alice", "bob", "carol", "dave", "erin", "frank"}
+	friends := []struct {
+		a, b string
+		w    float64
+	}{
+		{"alice", "bob", 0.9}, {"alice", "carol", 0.7},
+		{"bob", "dave", 0.8}, {"carol", "erin", 0.6},
+	}
+	for _, f := range friends {
+		if err := svc.Befriend(f.a, f.b, f.w); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Items are restaurants; the single tag is "pizza". The stranger
+	// spams the chain nine times.
+	tags := []struct {
+		user, item string
+		times      int
+	}{
+		{"bob", "luigi's", 1}, {"carol", "luigi's", 2},
+		{"dave", "mario's", 1}, {"frank", "chain-pizza", 9},
+	}
+	for _, tg := range tags {
+		for i := 0; i < tg.times; i++ {
+			if err := svc.Tag(tg.user, tg.item, "pizza"); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
 
-	gb := graph.NewBuilder(6)
-	gb.AddEdge(alice, bob, 0.9)
-	gb.AddEdge(alice, carol, 0.7)
-	gb.AddEdge(bob, dave, 0.8)
-	gb.AddEdge(carol, erin, 0.6)
-	g, err := gb.Build()
-	if err != nil {
+	// Fold the pending writes into the queryable snapshot (the default
+	// config batches compactions).
+	if err := svc.Flush(); err != nil {
 		log.Fatal(err)
 	}
 
-	// Items are restaurants; the single tag is "pizza".
-	const (
-		luigis = iota
-		marios
-		chains
-	)
-	items := []string{"luigi's", "mario's", "chain-pizza"}
-	const pizza = 0
-
-	tb := tagstore.NewBuilder(6, 3, 1)
-	tb.Add(bob, luigis, pizza) // close friend loves luigi's
-	tb.AddCount(carol, luigis, pizza, 2)
-	tb.Add(dave, marios, pizza)          // friend-of-friend
-	tb.AddCount(frank, chains, pizza, 9) // stranger spams the chain
-	store, err := tb.Build()
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	engine, err := core.NewEngine(g, store, core.DefaultConfig())
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	q := core.Query{Seeker: alice, Tags: []tagstore.TagID{pizza}, K: 3}
-
+	ctx := context.Background()
 	fmt.Println("alice asks: where should I eat pizza?")
 	fmt.Println()
 
-	merge, err := engine.SocialMerge(q, core.Options{})
+	// Planned execution with an explainable answer.
+	resp, err := svc.Do(ctx, search.Request{
+		Seeker:  "alice",
+		Tags:    []string{"pizza"},
+		K:       3,
+		Explain: true, // Mode defaults to auto: the planner chooses
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("SocialMerge (personalized, certified exact=%v):\n", merge.Exact)
-	printResults(merge, items)
+	fmt.Println("auto mode (the planner chooses):")
+	printResults(resp.Results)
+	printExplain(resp.Explain)
 
-	global, err := engine.GlobalTopK(q)
+	// The same query, β = 0: pure global popularity, what everyone gets.
+	zero := 0.0
+	global, err := svc.Do(ctx, search.Request{
+		Seeker: "alice", Tags: []string{"pizza"}, K: 3, Beta: &zero,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("GlobalTopK (what everyone else gets):")
-	printResults(global, items)
+	fmt.Println("beta=0 (what everyone else gets):")
+	printResults(global.Results)
 
-	fmt.Printf("users consulted by SocialMerge: %d of %d (%s's neighbourhood)\n",
-		merge.UsersSettled, g.NumUsers(), names[alice])
-	fmt.Println()
 	fmt.Println("The stranger's chain restaurant tops the global ranking, but")
 	fmt.Println("alice's answer is driven by her friends: luigi's wins.")
 }
 
-func printResults(ans core.Answer, items []string) {
-	for i, r := range ans.Results {
-		fmt.Printf("  %d. %-12s score %.3f\n", i+1, items[r.Item], r.Score)
+func printResults(rs []search.Result) {
+	for i, r := range rs {
+		fmt.Printf("  %d. %-12s score %.3f\n", i+1, r.Item, r.Score)
+	}
+	fmt.Println()
+}
+
+func printExplain(ex *search.Explain) {
+	fmt.Printf("  explain: algorithm=%s planned=%v exact=%v\n", ex.Algorithm, ex.Planned, ex.Exact)
+	fmt.Printf("           horizon=%d users, cache_hit=%v (generation %d)\n",
+		ex.HorizonUsers, ex.CacheHit, ex.CacheGeneration)
+	fmt.Printf("           certified score bound=%.3f, settled=%d, accesses seq=%d rand=%d\n",
+		ex.ScoreBound, ex.UsersSettled, ex.SequentialAccesses, ex.RandomAccesses)
+	if len(ex.Estimates) > 0 {
+		fmt.Printf("           planner estimates: %v\n", ex.Estimates)
 	}
 	fmt.Println()
 }

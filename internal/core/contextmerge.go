@@ -53,7 +53,12 @@ func (e *Engine) ContextMerge(q Query, opts Options) (Answer, error) {
 	if err != nil {
 		return Answer{}, err
 	}
-	for {
+	for iter := 0; ; iter++ {
+		if iter%64 == 0 {
+			if err := ctxErr(opts.Ctx); err != nil {
+				return Answer{}, err
+			}
+		}
 		entry, ok := it.Next()
 		if !ok {
 			break
@@ -76,7 +81,10 @@ func (e *Engine) ContextMerge(q Query, opts Options) (Answer, error) {
 	}
 
 	// Phase 2: merge.
-	certified := run.merge(opts.RefineScores)
+	certified, err := run.merge(opts)
+	if err != nil {
+		return Answer{}, err
+	}
 
 	h := topk.NewHeap(q.K)
 	for item, c := range run.cands {
@@ -247,17 +255,25 @@ func (r *cmRun) canStop() bool {
 }
 
 // merge drains the cursor queue in σ·tf order, interleaving global-list
-// rounds, until certified or exhausted. Reports certification.
-func (r *cmRun) merge(refine bool) bool {
+// rounds, until certified, exhausted, or cancelled. Reports
+// certification.
+func (r *cmRun) merge(opts Options) (bool, error) {
 	const checkEvery = 64
 	sinceCheck := 0
+	sincePoll := 0
 	for r.cursors.Len() > 0 {
-		if !refine {
+		if sincePoll++; sincePoll >= checkEvery {
+			sincePoll = 0
+			if err := ctxErr(opts.Ctx); err != nil {
+				return false, err
+			}
+		}
+		if !opts.RefineScores {
 			sinceCheck++
 			if sinceCheck >= checkEvery {
 				sinceCheck = 0
 				if r.canStop() {
-					return true
+					return true, nil
 				}
 			}
 		}
@@ -290,11 +306,16 @@ func (r *cmRun) merge(refine bool) bool {
 	// Social mass fully delivered; finish the global walk for the
 	// (1−β) component and the unseen bound.
 	for i := 0; ; i++ {
-		if i%8 == 0 && r.canStop() {
-			return true
+		if i%8 == 0 {
+			if err := ctxErr(opts.Ctx); err != nil {
+				return false, err
+			}
+			if r.canStop() {
+				return true, nil
+			}
 		}
 		if !r.advanceGlobalCursors() {
-			return r.canStop()
+			return r.canStop(), nil
 		}
 	}
 }

@@ -39,6 +39,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -47,6 +48,21 @@ import (
 	"repro/internal/tagstore"
 	"repro/internal/topk"
 )
+
+// ctxErr is the shared cancellation checkpoint: it reports the
+// context's error once it is done, nil otherwise (and always nil for a
+// nil context, so zero-value Options cost one branch).
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
 
 // Engine binds a social graph and a tagging store with scoring
 // parameters. An Engine is immutable and safe for concurrent use.
@@ -165,6 +181,11 @@ func dedupTags(tags []tagstore.TagID) []tagstore.TagID {
 // Options tunes SocialMerge. The zero value requests the exact
 // algorithm.
 type Options struct {
+	// Ctx, when non-nil, is polled at cancellation checkpoints inside
+	// the query loops: a cancelled (or deadline-expired) context aborts
+	// the execution promptly with ctx.Err() instead of burning CPU on an
+	// answer nobody is waiting for. nil disables the checkpoints.
+	Ctx context.Context
 	// Theta stops network expansion once the frontier proximity falls
 	// below this value (σ-horizon). 0 disables.
 	Theta float64

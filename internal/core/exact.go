@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/proximity"
 	"repro/internal/tagstore"
 	"repro/internal/topk"
@@ -11,12 +13,21 @@ import (
 // positive proximity. It is exact by construction and serves as the
 // correctness oracle and the expensive baseline of Figs 4–9.
 func (e *Engine) ExactSocial(q Query) (Answer, error) {
+	return e.ExactSocialCtx(nil, q)
+}
+
+// ExactSocialCtx is ExactSocial with cancellation checkpoints in the
+// network-wide scoring sweep.
+func (e *Engine) ExactSocialCtx(ctx context.Context, q Query) (Answer, error) {
 	if err := e.validateQuery(q); err != nil {
 		return Answer{}, err
 	}
 	tags := dedupTags(q.Tags)
 
 	var acc topk.Access
+	if err := ctxErr(ctx); err != nil {
+		return Answer{}, err
+	}
 	prox, err := proximity.All(e.g, q.Seeker, e.prox)
 	if err != nil {
 		return Answer{}, err
@@ -26,6 +37,11 @@ func (e *Engine) ExactSocial(q Query) (Answer, error) {
 	scores := make(map[tagstore.ItemID]float64)
 	if e.beta > 0 {
 		for u, p := range prox {
+			if u%1024 == 0 {
+				if err := ctxErr(ctx); err != nil {
+					return Answer{}, err
+				}
+			}
 			if p == 0 {
 				continue
 			}

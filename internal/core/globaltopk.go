@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/tagstore"
 	"repro/internal/topk"
 )
@@ -15,6 +17,12 @@ import (
 // of current list frontiers). It is the fast-but-unpersonalized baseline
 // of Figs 4–5 and the quality reference point of Fig 11.
 func (e *Engine) GlobalTopK(q Query) (Answer, error) {
+	return e.GlobalTopKCtx(nil, q)
+}
+
+// GlobalTopKCtx is GlobalTopK with cancellation checkpoints in the
+// sorted-access rounds.
+func (e *Engine) GlobalTopKCtx(ctx context.Context, q Query) (Answer, error) {
 	if err := e.validateQuery(q); err != nil {
 		return Answer{}, err
 	}
@@ -41,7 +49,12 @@ func (e *Engine) GlobalTopK(q Query) (Answer, error) {
 		return sum, active
 	}
 
-	for {
+	for round := 0; ; round++ {
+		if round%64 == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return Answer{}, err
+			}
+		}
 		threshold, active := frontierSum()
 		if !active {
 			break

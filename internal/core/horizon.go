@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
@@ -23,12 +24,24 @@ type SeekerHorizon struct {
 // (0 means no bound: materialize the full horizon, which the proximity
 // params' MinSigma floor keeps finite on connected graphs).
 func (e *Engine) MaterializeHorizon(seeker graph.UserID, maxUsers int) (*SeekerHorizon, error) {
+	return e.MaterializeHorizonCtx(nil, seeker, maxUsers)
+}
+
+// MaterializeHorizonCtx is MaterializeHorizon with cancellation
+// checkpoints: a non-nil ctx that is cancelled mid-expansion aborts the
+// (potentially graph-wide) walk promptly with ctx.Err().
+func (e *Engine) MaterializeHorizonCtx(ctx context.Context, seeker graph.UserID, maxUsers int) (*SeekerHorizon, error) {
 	it, err := proximity.NewIterator(e.g, seeker, e.prox)
 	if err != nil {
 		return nil, err
 	}
 	h := &SeekerHorizon{seeker: seeker}
 	for maxUsers <= 0 || len(h.list) < maxUsers {
+		if len(h.list)%256 == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
+		}
 		entry, ok := it.Next()
 		if !ok {
 			break

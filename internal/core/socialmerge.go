@@ -71,7 +71,10 @@ func (e *Engine) socialMergeFrom(q Query, src userSource, opts Options) (Answer,
 		run.lists[i] = e.store.GlobalList(t)
 	}
 
-	certified := run.mainLoop(src, q.Seeker, opts)
+	certified, err := run.mainLoop(src, q.Seeker, opts)
+	if err != nil {
+		return Answer{}, err
+	}
 
 	h := topk.NewHeap(q.K)
 	for item, c := range run.cands {
@@ -248,14 +251,22 @@ func (r *mergeRun) shouldCheck(sigmaNext float64) bool {
 }
 
 // mainLoop drives the merge until certified termination, an
-// approximation cutoff, or source exhaustion. It reports whether the
-// final state is certified (canStop held at exit).
-func (r *mergeRun) mainLoop(src userSource, seeker graph.UserID, opts Options) bool {
+// approximation cutoff, source exhaustion, or context cancellation. It
+// reports whether the final state is certified (canStop held at exit).
+func (r *mergeRun) mainLoop(src userSource, seeker graph.UserID, opts Options) (bool, error) {
 	r.lastCheckBound = 1
-	for {
+	for iter := 0; ; iter++ {
+		// Poll the context sparsely (first iteration, then every 64): a
+		// select per settled user would tax the hottest serving loop for
+		// no added responsiveness.
+		if iter%64 == 0 {
+			if err := ctxErr(opts.Ctx); err != nil {
+				return false, err
+			}
+		}
 		sigmaNext := src.Bound()
 		if !opts.RefineScores && r.shouldCheck(sigmaNext) && r.canStop(sigmaNext) {
-			return true
+			return true, nil
 		}
 		entry, ok := src.Next()
 		if !ok {
@@ -300,7 +311,7 @@ func (r *mergeRun) mainLoop(src userSource, seeker graph.UserID, opts Options) b
 		// residual term, so treat it as a cutoff rather than scanning
 		// everything for nothing.
 		if r.canStop(residual) {
-			return true
+			return true, nil
 		}
 		r.cutoffFired = true
 	}
@@ -312,11 +323,16 @@ func (r *mergeRun) mainLoop(src userSource, seeker graph.UserID, opts Options) b
 	// bounds (for β < 1) and shrinks the unseen bar. Check termination
 	// periodically; the final check decides certification.
 	for i := 0; ; i++ {
-		if i%8 == 0 && r.canStop(residual) {
-			return true
+		if i%8 == 0 {
+			if err := ctxErr(opts.Ctx); err != nil {
+				return false, err
+			}
+			if r.canStop(residual) {
+				return true, nil
+			}
 		}
 		if !r.advanceCursors() {
-			return r.canStop(residual)
+			return r.canStop(residual), nil
 		}
 	}
 }

@@ -51,6 +51,11 @@ func (e *Engine) SocialTA(q Query, opts Options) (Answer, error) {
 	sigmaMax := 0.0
 	cutoff := false
 	for {
+		if settled%256 == 0 {
+			if err := ctxErr(opts.Ctx); err != nil {
+				return Answer{}, err
+			}
+		}
 		entry, ok := it.Next()
 		if !ok {
 			break
@@ -118,7 +123,12 @@ func (e *Engine) SocialTA(q Query, opts Options) (Answer, error) {
 	}
 
 	certified := false
-	for {
+	for round := 0; ; round++ {
+		if round%64 == 0 {
+			if err := ctxErr(opts.Ctx); err != nil {
+				return Answer{}, err
+			}
+		}
 		// Unseen-item bound at the current frontier.
 		bound := (e.beta*sigmaMax + (1 - e.beta)) * barSum()
 		if h.Full() && h.Threshold() >= bound-certEps {

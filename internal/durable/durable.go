@@ -21,6 +21,7 @@
 package durable
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -30,6 +31,7 @@ import (
 	"sync"
 
 	"repro/internal/index"
+	"repro/internal/search"
 	"repro/internal/social"
 	"repro/internal/vocab"
 	"repro/internal/wal"
@@ -320,10 +322,57 @@ func (s *Service) checkpointLocked() error {
 	return nil
 }
 
-// Search answers seeker's top-k query. Unlike the in-memory service
-// (where readers see the last compacted snapshot), a durable store's
-// reads see every acknowledged write: pending mutations are folded in
-// first. Compaction is a no-op when nothing is pending.
+// Service implements search.Searcher on top of the wrapped in-memory
+// service.
+var _ search.Searcher = (*Service)(nil)
+
+// Do answers one request (see search.Searcher and social.Service.Do).
+// Unlike the in-memory service (where readers see the last compacted
+// snapshot), a durable store's reads see every acknowledged write:
+// pending mutations are folded in first. Compaction is a no-op when
+// nothing is pending.
+func (s *Service) Do(ctx context.Context, req search.Request) (search.Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return search.Response{}, err
+	}
+	s.mu.Lock()
+	svc := s.svc
+	s.mu.Unlock()
+	if err := svc.Flush(); err != nil {
+		return search.Response{}, err
+	}
+	return svc.Do(ctx, req)
+}
+
+// DoBatch answers many requests concurrently with per-request error
+// reporting (see social.Service.DoBatch). Like Do, reads see every
+// acknowledged write: pending mutations are folded in once before the
+// batch runs.
+func (s *Service) DoBatch(ctx context.Context, reqs []search.Request) []search.BatchResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	svc := s.svc
+	s.mu.Unlock()
+	if err := svc.Flush(); err != nil {
+		out := make([]search.BatchResult, len(reqs))
+		for i := range out {
+			out[i].Err = err
+		}
+		return out
+	}
+	return svc.DoBatch(ctx, reqs)
+}
+
+// Search answers seeker's top-k query with exact scores.
+//
+// Deprecated: use Do. Kept so v1 embedders compile unchanged; it
+// shares social.Service.Search's normalization caveats (comma-split
+// and trimmed tag names, k capped at search.MaxK).
 func (s *Service) Search(seeker string, tags []string, k int) ([]social.Result, error) {
 	s.mu.Lock()
 	svc := s.svc
@@ -335,9 +384,9 @@ func (s *Service) Search(seeker string, tags []string, k int) ([]social.Result, 
 }
 
 // SearchBatch answers many queries concurrently with per-query error
-// reporting (see social.Service.SearchBatch). Like Search, reads see
-// every acknowledged write: pending mutations are folded in once before
-// the batch runs.
+// reporting.
+//
+// Deprecated: use DoBatch. Kept so v1 embedders compile unchanged.
 func (s *Service) SearchBatch(queries []social.BatchQuery) []social.BatchResult {
 	s.mu.Lock()
 	svc := s.svc

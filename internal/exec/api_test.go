@@ -1,0 +1,108 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/search"
+	"repro/internal/tagstore"
+)
+
+func apiEngine(t *testing.T) *core.Engine {
+	t.Helper()
+	const users = 30
+	gb := graph.NewBuilder(users)
+	for i := 0; i < users-1; i++ {
+		gb.AddEdge(graph.UserID(i), graph.UserID(i+1), 0.9)
+	}
+	g, err := gb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tagstore.NewBuilder(users, users, 2)
+	for i := 0; i < users; i++ {
+		tb.Add(graph.UserID(i), tagstore.ItemID(i), 0)
+	}
+	store, err := tb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewEngine(g, store, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AttachItemIndex(core.BuildItemIndex(store))
+	return e
+}
+
+func TestExecutorDoIDLevel(t *testing.T) {
+	x, err := New(apiEngine(t), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	resp, err := x.Do(ctx, search.Request{Seeker: "0", Tags: []string{"0"}, K: 3, Explain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) == 0 {
+		t.Fatal("no results")
+	}
+	for _, r := range resp.Results {
+		if _, err := strconv.Atoi(r.Item); err != nil {
+			t.Fatalf("item %q is not a decimal id", r.Item)
+		}
+	}
+	if resp.Explain == nil || resp.Explain.Algorithm == "" || !resp.Explain.Planned {
+		t.Fatalf("explain %+v", resp.Explain)
+	}
+
+	// Repeat: cache provenance must flip to a hit.
+	resp, err = x.Do(ctx, search.Request{Seeker: "0", Tags: []string{"0"}, K: 3, Explain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Explain.CacheHit || resp.Explain.HorizonUsers == 0 {
+		t.Fatalf("second query explain %+v", resp.Explain)
+	}
+
+	// SocialTA is available (item index attached) and forceable.
+	resp, err = x.Do(ctx, search.Request{Seeker: "0", Tags: []string{"0"}, AlgHint: "SocialTA", Explain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Explain.Algorithm != "SocialTA" || resp.Explain.Planned {
+		t.Fatalf("hinted explain %+v", resp.Explain)
+	}
+
+	// Non-numeric ids are rejected.
+	if _, err := x.Do(ctx, search.Request{Seeker: "alice", Tags: []string{"0"}}); err == nil {
+		t.Fatal("non-numeric seeker accepted")
+	}
+	if _, err := x.Do(ctx, search.Request{Seeker: "0", Tags: []string{"pizza"}}); err == nil {
+		t.Fatal("non-numeric tag accepted")
+	}
+}
+
+func TestExecutorDoBatchCancellation(t *testing.T) {
+	x, err := New(apiEngine(t), Config{Workers: 1, CacheSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	reqs := make([]search.Request, 16)
+	for i := range reqs {
+		reqs[i] = search.Request{Seeker: fmt.Sprint(i), Tags: []string{"0"}, K: 2}
+	}
+	for i, br := range x.DoBatch(ctx, reqs) {
+		if !errors.Is(br.Err, context.Canceled) {
+			t.Fatalf("query %d: err = %v, want context.Canceled", i, br.Err)
+		}
+	}
+}

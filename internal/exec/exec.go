@@ -9,12 +9,17 @@
 package exec
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/planner"
 	"repro/internal/qcache"
+	"repro/internal/search"
+	"repro/internal/tagstore"
 )
 
 // Config tunes the executor.
@@ -44,12 +49,16 @@ type Stats struct {
 }
 
 // Executor runs queries against a core engine with horizon caching.
-// It is safe for concurrent use.
+// It is safe for concurrent use. It implements search.Searcher at the
+// id level: Do/DoBatch address users and tags by their decimal ids.
 type Executor struct {
-	engine *core.Engine
-	cfg    Config
-	cache  *qcache.Cache // nil when caching is disabled
+	engine  *core.Engine
+	cfg     Config
+	cache   *qcache.Cache // nil when caching is disabled
+	planner *planner.Planner
 }
+
+var _ search.Searcher = (*Executor)(nil)
 
 // New builds an executor over the engine.
 func New(engine *core.Engine, cfg Config) (*Executor, error) {
@@ -62,7 +71,11 @@ func New(engine *core.Engine, cfg Config) (*Executor, error) {
 	if cfg.CacheSize < 0 || cfg.MaxHorizonUsers < 0 {
 		return nil, fmt.Errorf("exec: negative cache size or horizon bound")
 	}
-	x := &Executor{engine: engine, cfg: cfg}
+	p, err := planner.New(engine)
+	if err != nil {
+		return nil, err
+	}
+	x := &Executor{engine: engine, cfg: cfg, planner: p}
 	if cfg.CacheSize > 0 {
 		cache, err := qcache.New(cfg.CacheSize)
 		if err != nil {
@@ -83,33 +96,36 @@ func (x *Executor) Stats() Stats {
 }
 
 // horizonFor returns a cached horizon or materializes (and caches) one.
-func (x *Executor) horizonFor(seeker graph.UserID) (*core.SeekerHorizon, error) {
+// It reports whether the horizon was a cache hit and the generation it
+// is stamped with.
+func (x *Executor) horizonFor(ctx context.Context, seeker graph.UserID) (h *core.SeekerHorizon, hit bool, gen uint64, err error) {
 	if x.cache == nil {
-		return x.engine.MaterializeHorizon(seeker, x.cfg.MaxHorizonUsers)
+		h, err = x.engine.MaterializeHorizonCtx(ctx, seeker, x.cfg.MaxHorizonUsers)
+		return h, false, 0, err
 	}
-	gen := x.cache.Generation()
+	gen = x.cache.Generation()
 	if h, ok := x.cache.Get(seeker, gen); ok {
-		return h, nil
+		return h, true, gen, nil
 	}
 	// Materialize outside any lock: expansions are the expensive part
 	// and must not serialize each other. A concurrent duplicate for the
 	// same seeker is possible and harmless (last one wins the slot), and
 	// an InvalidateAll racing the expansion voids the insert.
-	h, err := x.engine.MaterializeHorizon(seeker, x.cfg.MaxHorizonUsers)
+	h, err = x.engine.MaterializeHorizonCtx(ctx, seeker, x.cfg.MaxHorizonUsers)
 	if err != nil {
-		return nil, err
+		return nil, false, gen, err
 	}
 	x.cache.Put(seeker, gen, h)
-	return h, nil
+	return h, false, gen, nil
 }
 
 // Query answers one query, reusing the seeker's cached horizon when
-// available.
+// available. Cancellation checkpoints honour opts.Ctx.
 func (x *Executor) Query(q core.Query, opts core.Options) (core.Answer, error) {
 	if opts.UseNeighborhoods || opts.LandmarkPrune {
 		return core.Answer{}, fmt.Errorf("exec: horizon execution excludes UseNeighborhoods/LandmarkPrune")
 	}
-	h, err := x.horizonFor(q.Seeker)
+	h, _, _, err := x.horizonFor(opts.Ctx, q.Seeker)
 	if err != nil {
 		return core.Answer{}, err
 	}
@@ -150,6 +166,171 @@ func (x *Executor) QueryBatch(queries []core.Query, opts core.Options) []Result 
 	close(jobs)
 	wg.Wait()
 	return results
+}
+
+// Do answers one request at the id level: Request.Seeker and
+// Request.Tags are decimal user/tag ids ("17", ["3", "9"]), and result
+// items are decimal item ids. Mode semantics match social.Service.Do —
+// auto plans over the engine's portfolio, exact refines scores, approx
+// terminates early — all through the horizon cache where applicable.
+// Per-query Beta rebuilds an index-free engine view, so SocialTA is
+// unavailable under an override.
+func (x *Executor) Do(ctx context.Context, req search.Request) (search.Response, error) {
+	if err := req.Normalize(); err != nil {
+		return search.Response{}, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return search.Response{}, err
+	}
+	seeker, err := strconv.Atoi(req.Seeker)
+	if err != nil {
+		return search.Response{}, search.WrapInvalid(fmt.Errorf("exec: seeker %q is not a user id: %v", req.Seeker, err))
+	}
+	tags := make([]tagstore.TagID, len(req.Tags))
+	for i, t := range req.Tags {
+		id, err := strconv.Atoi(t)
+		if err != nil {
+			return search.Response{}, search.WrapInvalid(fmt.Errorf("exec: tag %q is not a tag id: %v", t, err))
+		}
+		tags[i] = tagstore.TagID(id)
+	}
+
+	eng, p := x.engine, x.planner
+	if req.Beta != nil && *req.Beta != eng.Beta() {
+		eng, err = core.NewEngine(eng.Graph(), eng.Store(), core.Config{
+			Proximity: eng.ProximityParams(),
+			Beta:      *req.Beta,
+		})
+		if err != nil {
+			return search.Response{}, err
+		}
+		if p, err = planner.New(eng); err != nil {
+			return search.Response{}, err
+		}
+	}
+
+	ex := &search.Explain{Mode: req.Mode.String(), Beta: eng.Beta()}
+	q := core.Query{Seeker: graph.UserID(seeker), Tags: tags, K: req.K + req.Offset}
+	var ans core.Answer
+	switch req.Mode {
+	case search.ModeExact:
+		ex.Algorithm = planner.SocialMerge.String()
+		ans, err = x.horizonMerge(ctx, eng, q, core.Options{RefineScores: true, Ctx: ctx}, ex)
+	case search.ModeApprox:
+		ex.Algorithm = planner.SocialMerge.String()
+		ans, err = x.horizonMerge(ctx, eng, q, core.Options{Ctx: ctx}, ex)
+	default: // ModeAuto
+		var alg planner.Algorithm
+		if req.AlgHint != "" {
+			alg, _ = planner.ParseAlgorithm(req.AlgHint) // Normalize vetted the spelling
+			if !p.Available(alg) {
+				return search.Response{}, search.WrapInvalid(fmt.Errorf("exec: algorithm %s unavailable on this engine (SocialTA needs an item index, GlobalTopK needs beta = 0)", alg))
+			}
+		} else {
+			plan := p.Plan(q)
+			alg = plan.Alg
+			ex.Planned = true
+			ex.Estimates = make(map[string]float64, len(plan.Est))
+			for a, est := range plan.Est {
+				ex.Estimates[a.String()] = est
+			}
+		}
+		ex.Algorithm = alg.String()
+		if alg == planner.SocialMerge {
+			ans, err = x.horizonMerge(ctx, eng, q, core.Options{Ctx: ctx}, ex)
+		} else {
+			ans, err = p.Run(ctx, alg, q)
+		}
+	}
+	if err != nil {
+		return search.Response{}, err
+	}
+	ex.Exact = ans.Exact
+	ex.UsersSettled = ans.UsersSettled
+	ex.SequentialAccesses = ans.Access.Sequential
+	ex.RandomAccesses = ans.Access.Random
+
+	named := make([]search.Result, len(ans.Results))
+	for i, r := range ans.Results {
+		named[i] = search.Result{Item: strconv.Itoa(int(r.Item)), Score: r.Score}
+	}
+	results := req.Window(named)
+	if results == nil {
+		results = []search.Result{}
+	}
+	if n := len(results); n > 0 {
+		ex.ScoreBound = results[n-1].Score
+	}
+	resp := search.Response{Results: results}
+	if req.Explain {
+		resp.Explain = ex
+	}
+	return resp, nil
+}
+
+// horizonMerge runs a SocialMerge-family query through the horizon
+// cache, recording cache provenance in ex.
+func (x *Executor) horizonMerge(ctx context.Context, eng *core.Engine, q core.Query, opts core.Options, ex *search.Explain) (core.Answer, error) {
+	h, hit, gen, err := x.horizonFor(ctx, q.Seeker)
+	if err != nil {
+		return core.Answer{}, err
+	}
+	ex.CacheHit = hit
+	ex.CacheGeneration = gen
+	ex.HorizonUsers = h.Size()
+	ex.HorizonResidual = h.Residual()
+	return eng.SocialMergeWithHorizon(q, h, opts)
+}
+
+// DoBatch answers many requests concurrently on the configured worker
+// pool, in input order with per-request errors. Requests not yet handed
+// to a worker when ctx is cancelled fail with ctx.Err() without
+// executing; in-flight requests abort at the engine's next checkpoint.
+func (x *Executor) DoBatch(ctx context.Context, reqs []search.Request) []search.BatchResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]search.BatchResult, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	workers := x.cfg.Workers
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if err := ctx.Err(); err != nil {
+					out[i] = search.BatchResult{Err: err}
+					continue
+				}
+				resp, err := x.Do(ctx, reqs[i])
+				out[i] = search.BatchResult{Response: resp, Err: err}
+			}
+		}()
+	}
+dispatch:
+	for i := range reqs {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			for j := i; j < len(reqs); j++ {
+				out[j] = search.BatchResult{Err: ctx.Err()}
+			}
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return out
 }
 
 // Invalidate drops a seeker's cached horizon (e.g. after their part of

@@ -17,8 +17,10 @@
 package planner
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/tagstore"
@@ -53,6 +55,29 @@ func (a Algorithm) String() string {
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
+}
+
+// ParseAlgorithm resolves an algorithm by its String spelling
+// (case-insensitive). It reports false for unknown names.
+func ParseAlgorithm(s string) (Algorithm, bool) {
+	for a := SocialMerge; a < numAlgorithms; a++ {
+		if strings.EqualFold(a.String(), strings.TrimSpace(s)) {
+			return a, true
+		}
+	}
+	return SocialMerge, false
+}
+
+// Available reports whether the algorithm can answer queries exactly on
+// this planner's engine (SocialTA needs the item index, GlobalTopK
+// needs β = 0).
+func (p *Planner) Available(alg Algorithm) bool {
+	for _, a := range p.available() {
+		if a == alg {
+			return true
+		}
+	}
+	return false
 }
 
 // Features are the cheap per-query signals predictions are made from.
@@ -213,24 +238,38 @@ func (p *Planner) heuristicCost(alg Algorithm, f Features) float64 {
 // answer with the plan. All planned algorithms are exact, so the
 // answer is the same top-k set whichever is picked.
 func (p *Planner) Execute(q core.Query) (core.Answer, Plan, error) {
+	return p.ExecuteCtx(nil, q)
+}
+
+// ExecuteCtx is Execute with cancellation checkpoints: a cancelled ctx
+// aborts the chosen algorithm mid-run with ctx.Err().
+func (p *Planner) ExecuteCtx(ctx context.Context, q core.Query) (core.Answer, Plan, error) {
 	plan := p.Plan(q)
-	ans, err := p.run(plan.Alg, q)
+	ans, err := p.Run(ctx, plan.Alg, q)
 	return ans, plan, err
 }
 
-func (p *Planner) run(alg Algorithm, q core.Query) (core.Answer, error) {
+// Run executes one specific algorithm of the portfolio, bypassing cost
+// prediction — the entry point for callers that planned already or that
+// honour a caller-supplied algorithm hint.
+func (p *Planner) Run(ctx context.Context, alg Algorithm, q core.Query) (core.Answer, error) {
+	opts := core.Options{Ctx: ctx}
 	switch alg {
 	case SocialMerge:
-		return p.e.SocialMerge(q, core.Options{})
+		return p.e.SocialMerge(q, opts)
 	case ContextMerge:
-		return p.e.ContextMerge(q, core.Options{})
+		return p.e.ContextMerge(q, opts)
 	case SocialTA:
-		return p.e.SocialTA(q, core.Options{})
+		return p.e.SocialTA(q, opts)
 	case GlobalTopK:
-		return p.e.GlobalTopK(q)
+		return p.e.GlobalTopKCtx(ctx, q)
 	default:
 		return core.Answer{}, fmt.Errorf("planner: unknown algorithm %v", alg)
 	}
+}
+
+func (p *Planner) run(alg Algorithm, q core.Query) (core.Answer, error) {
+	return p.Run(nil, alg, q)
 }
 
 func dot(a, b []float64) float64 {

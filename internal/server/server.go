@@ -2,7 +2,7 @@
 // thin deployment layer a downstream application runs in front of the
 // library. It serves both the in-memory service (internal/social) and
 // the crash-safe one (internal/durable) through a small backend
-// interface.
+// interface built around the canonical search.Searcher surface.
 //
 // Endpoints (all JSON):
 //
@@ -11,22 +11,38 @@
 //	GET  /v1/search?seeker=alice&tags=pizza,italian&k=5             → {"results":[...]}
 //	POST /v1/search/batch  {"queries":[{"seeker":"alice","tags":["pizza"],"k":5},...]}
 //	                                                                → {"results":[{"results":[...]},{"error":"..."},...]}
+//	POST /v2/search        {"seeker":"alice","tags":["pizza"],"k":5,
+//	                        "beta":0.7,"mode":"auto","alg_hint":"",
+//	                        "min_score":0,"offset":0,"explain":true}
+//	                                                                → {"results":[{"item":"x","score":1.2}],"explain":{...}}
+//	POST /v2/search/batch  {"queries":[{...v2 query...},...]}       → {"results":[{"results":[...],"explain":{...}},{"error":"..."},...]}
 //	GET  /v1/users                                                  → {"users":[...]}
 //	GET  /v1/stats                                                  → backend counters
 //	GET  /healthz                                                   → 200 "ok"
 //
-// The batch endpoint executes up to MaxBatchQueries queries on the
-// backend's bounded worker pool and reports errors per query: the i-th
-// entry of "results" answers the i-th query, carrying either its
-// results or its error, so one bad query never voids the rest of the
-// batch. Malformed envelopes (bad JSON, no queries, too many queries,
-// oversized bodies) are rejected with 400 before anything executes.
-// Backends serve searches through a mutation-aware per-seeker horizon
-// cache (see internal/qcache); its hit/miss/invalidation/eviction
-// counters appear under SeekerCache in /v1/stats.
+// The v2 surface exposes the full search.Request: per-query β blending,
+// execution mode (auto: cost-based planner; exact: refined scores;
+// approx: early termination), an algorithm hint, score filtering,
+// offset paging, and explainable answers (chosen algorithm, horizon
+// size, seeker-cache hit/generation, certified score bound). The v1
+// endpoints are thin adapters that build a search.Request internally
+// (ModeExact — their historical semantics); their wire format is
+// unchanged.
+//
+// Batch endpoints execute up to MaxBatchQueries queries on the
+// backend's bounded worker pool and report errors per query: the i-th
+// entry of "results" answers the i-th query, so one bad query never
+// voids the rest of the batch. Malformed envelopes (bad JSON, no
+// queries, too many queries, oversized bodies) are rejected with 400
+// before anything executes. Backends serve searches through a
+// mutation-aware per-seeker horizon cache (see internal/qcache); its
+// hit/miss/invalidation/eviction counters appear under SeekerCache in
+// /v1/stats.
 //
 // Client errors (validation, unknown names, malformed JSON) map to
-// 400; wrong methods to 405; everything else to 500.
+// 400; wrong methods to 405; a request whose context is cancelled —
+// the client hung up — aborts with 499 (the nginx convention); all
+// other failures map to 500.
 package server
 
 import (
@@ -34,41 +50,43 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
-	"strings"
 	"time"
 
 	"repro/internal/durable"
+	"repro/internal/search"
 	"repro/internal/social"
 )
 
 // Backend is the mutation/query surface the server needs. Both
-// *social.Service and *durable.Service satisfy it.
+// *social.Service and *durable.Service satisfy it; queries go through
+// the canonical request/response interface (see internal/search).
 type Backend interface {
+	search.Searcher
 	Befriend(a, b string, weight float64) error
 	Tag(user, item, tag string) error
-	Search(seeker string, tags []string, k int) ([]social.Result, error)
-	// SearchBatch answers many queries concurrently, in input order,
-	// with per-query error reporting; it never fails as a whole.
-	SearchBatch(queries []social.BatchQuery) []social.BatchResult
 	Users() []string
 }
 
 // maxBodyBytes bounds mutation request bodies.
 const maxBodyBytes = 1 << 20
 
-// defaultK is the result count when a query names none.
-const defaultK = 10
-
-// MaxBatchQueries bounds the number of queries accepted by one
-// /v1/search/batch request.
+// MaxBatchQueries bounds the number of queries accepted by one batch
+// request (v1 and v2 alike).
 const MaxBatchQueries = 256
+
+// StatusClientClosedRequest is the non-standard status (nginx's 499)
+// reported when the client cancelled the request before a response
+// could be written.
+const StatusClientClosedRequest = 499
 
 // Server is an http.Handler serving the API.
 type Server struct {
 	backend Backend
 	mux     *http.ServeMux
+	logf    func(format string, args ...interface{})
 }
 
 // New builds a server over a backend.
@@ -76,11 +94,13 @@ func New(b Backend) (*Server, error) {
 	if b == nil {
 		return nil, errors.New("server: nil backend")
 	}
-	s := &Server{backend: b, mux: http.NewServeMux()}
+	s := &Server{backend: b, mux: http.NewServeMux(), logf: log.Printf}
 	s.mux.HandleFunc("/v1/friend", s.handleFriend)
 	s.mux.HandleFunc("/v1/tag", s.handleTag)
-	s.mux.HandleFunc("/v1/search", s.handleSearch)
-	s.mux.HandleFunc("/v1/search/batch", s.handleSearchBatch)
+	s.mux.HandleFunc("/v1/search", s.handleSearchV1)
+	s.mux.HandleFunc("/v1/search/batch", s.handleSearchBatchV1)
+	s.mux.HandleFunc("/v2/search", s.handleSearchV2)
+	s.mux.HandleFunc("/v2/search/batch", s.handleSearchBatchV2)
 	s.mux.HandleFunc("/v1/users", s.handleUsers)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -96,16 +116,46 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // writeErr sends a JSON error body with the given status.
-func writeErr(w http.ResponseWriter, status int, err error) {
+func (s *Server) writeErr(w http.ResponseWriter, status int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	if eerr := json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}); eerr != nil {
+		s.logf("server: encoding error response: %v", eerr)
+	}
 }
 
-// writeJSON sends a 200 JSON response.
-func writeJSON(w http.ResponseWriter, v interface{}) {
+// writeJSON sends a 200 JSON response — unless the request context is
+// already cancelled, in which case it aborts with 499 instead of
+// encoding a body nobody will read. The Content-Type header is set
+// before the status line, and encode failures (a client that hung up
+// mid-body, an unencodable value) are logged, never swallowed.
+func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, v interface{}) {
+	if err := r.Context().Err(); err != nil {
+		w.WriteHeader(StatusClientClosedRequest)
+		s.logf("server: %s %s aborted: %v", r.Method, r.URL.Path, err)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(v)
+	w.WriteHeader(http.StatusOK)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.logf("server: encoding %s %s response: %v", r.Method, r.URL.Path, err)
+	}
+}
+
+// searchErrStatus maps a Searcher error to an HTTP status: context
+// cancellation means the client is gone (499); request-content errors —
+// validation failures and lookups of names the client sent, all tagged
+// search.ErrInvalid — are the client's fault (400); anything else is a
+// backend failure (500).
+func searchErrStatus(err error) int {
+	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return StatusClientClosedRequest
+	case errors.Is(err, search.ErrInvalid):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
 }
 
 // decodeBody strictly decodes a JSON request body into v.
@@ -122,10 +172,10 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) error {
 	return nil
 }
 
-func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+func (s *Server) requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
 	if r.Method != method {
 		w.Header().Set("Allow", method)
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		s.writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
 		return false
 	}
 	return true
@@ -138,16 +188,16 @@ type friendRequest struct {
 }
 
 func (s *Server) handleFriend(w http.ResponseWriter, r *http.Request) {
-	if !requireMethod(w, r, http.MethodPost) {
+	if !s.requireMethod(w, r, http.MethodPost) {
 		return
 	}
 	var req friendRequest
 	if err := decodeBody(w, r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	if err := s.backend.Befriend(req.A, req.B, req.Weight); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -160,16 +210,16 @@ type tagRequest struct {
 }
 
 func (s *Server) handleTag(w http.ResponseWriter, r *http.Request) {
-	if !requireMethod(w, r, http.MethodPost) {
+	if !s.requireMethod(w, r, http.MethodPost) {
 		return
 	}
 	var req tagRequest
 	if err := decodeBody(w, r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	if err := s.backend.Tag(req.User, req.Item, req.Tag); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -180,56 +230,54 @@ type SearchResponse struct {
 	Results []social.Result `json:"results"`
 }
 
-func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	if !requireMethod(w, r, http.MethodGet) {
+// handleSearchV1 is the v1 single-query endpoint: a thin adapter that
+// builds a ModeExact search.Request (the v1 semantics) from the query
+// string. Wire format is unchanged from v1's introduction.
+func (s *Server) handleSearchV1(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
 		return
 	}
 	q := r.URL.Query()
 	seeker := q.Get("seeker")
 	if seeker == "" {
-		writeErr(w, http.StatusBadRequest, errors.New("missing seeker parameter"))
+		s.writeErr(w, http.StatusBadRequest, errors.New("missing seeker parameter"))
 		return
 	}
-	tags := normalizeTags(q["tags"])
+	tags := search.NormalizeTags(q["tags"])
 	if len(tags) == 0 {
-		writeErr(w, http.StatusBadRequest, errors.New("missing tags parameter"))
+		s.writeErr(w, http.StatusBadRequest, errors.New("missing tags parameter"))
 		return
 	}
-	k := defaultK
+	k := 0 // Normalize substitutes the default
 	if ks := q.Get("k"); ks != "" {
 		var err error
-		if k, err = strconv.Atoi(ks); err != nil || k < 1 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad k %q", ks))
+		if k, err = strconv.Atoi(ks); err != nil || k < 0 {
+			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad k %q", ks))
 			return
 		}
 	}
-	res, err := s.backend.Search(seeker, tags, k)
+	resp, err := s.backend.Do(r.Context(), search.Request{
+		Seeker: seeker, Tags: tags, K: k, Mode: search.ModeExact,
+	})
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, searchErrStatus(err), err)
 		return
 	}
-	if res == nil {
-		res = []social.Result{}
-	}
-	writeJSON(w, SearchResponse{Results: res})
+	s.writeJSON(w, r, SearchResponse{Results: v1Results(resp.Results)})
 }
 
-// normalizeTags splits comma-separated chunks, trims whitespace, and
-// drops blanks — the tag normalization shared by both search endpoints.
-func normalizeTags(chunks []string) []string {
-	var tags []string
-	for _, chunk := range chunks {
-		for _, t := range strings.Split(chunk, ",") {
-			if t = strings.TrimSpace(t); t != "" {
-				tags = append(tags, t)
-			}
-		}
+// v1Results converts canonical results to the v1 wire type (whose JSON
+// keys are capitalized, as they have been since v1 shipped).
+func v1Results(rs []search.Result) []social.Result {
+	out := make([]social.Result, len(rs))
+	for i, r := range rs {
+		out[i] = social.Result{Item: r.Item, Score: r.Score}
 	}
-	return tags
+	return out
 }
 
-// batchQuery is one query of a batch request. K is a pointer so an
-// absent k (defaulted) is distinguishable from an explicit invalid 0.
+// batchQuery is one query of a v1 batch request. K is a pointer so an
+// absent k (defaulted) is distinguishable from an explicit value.
 type batchQuery struct {
 	Seeker string   `json:"seeker"`
 	Tags   []string `json:"tags"`
@@ -241,9 +289,9 @@ type batchRequest struct {
 	Queries []batchQuery `json:"queries"`
 }
 
-// BatchEntry answers one batch query: on success Results is the answer
-// (an empty array when nothing matched, never null); on failure Error
-// is set and Results is null.
+// BatchEntry answers one v1 batch query: on success Results is the
+// answer (an empty array when nothing matched, never null); on failure
+// Error is set and Results is null.
 type BatchEntry struct {
 	Results []social.Result `json:"results"`
 	Error   string          `json:"error,omitempty"`
@@ -255,32 +303,44 @@ type BatchResponse struct {
 	Results []BatchEntry `json:"results"`
 }
 
-func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
-	if !requireMethod(w, r, http.MethodPost) {
+// decodeBatchEnvelope decodes a batch request body into v and
+// bounds-checks the query count (read via count, since v1 and v2 use
+// different envelope types). It reports whether the envelope was
+// accepted; on rejection the 400 response has already been written.
+func (s *Server) decodeBatchEnvelope(w http.ResponseWriter, r *http.Request, v interface{}, count func() int) bool {
+	if err := decodeBody(w, r, v); err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return false
+	}
+	n := count()
+	if n == 0 {
+		s.writeErr(w, http.StatusBadRequest, errors.New("batch holds no queries"))
+		return false
+	}
+	if n > MaxBatchQueries {
+		s.writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("batch holds %d queries, limit is %d", n, MaxBatchQueries))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleSearchBatchV1(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodPost) {
 		return
 	}
 	var req batchRequest
-	if err := decodeBody(w, r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !s.decodeBatchEnvelope(w, r, &req, func() int { return len(req.Queries) }) {
 		return
 	}
-	if len(req.Queries) == 0 {
-		writeErr(w, http.StatusBadRequest, errors.New("batch holds no queries"))
-		return
-	}
-	if len(req.Queries) > MaxBatchQueries {
-		writeErr(w, http.StatusBadRequest,
-			fmt.Errorf("batch holds %d queries, limit is %d", len(req.Queries), MaxBatchQueries))
-		return
-	}
-	// Normalize like the single-query endpoint: comma-split and trim
-	// tags, drop blanks, default an absent k. Per-query validation
-	// failures become per-query errors, not batch failures.
-	queries := make([]social.BatchQuery, len(req.Queries))
+	// Adapt each query to a ModeExact search.Request, keeping v1's
+	// per-query error messages. Per-query validation failures become
+	// per-query errors, not batch failures.
+	reqs := make([]search.Request, len(req.Queries))
 	errs := make([]error, len(req.Queries))
 	for i, q := range req.Queries {
-		tags := normalizeTags(q.Tags)
-		k := defaultK
+		tags := search.NormalizeTags(q.Tags)
+		k := 0 // Normalize substitutes the default
 		if q.K != nil {
 			k = *q.K
 		}
@@ -289,27 +349,27 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 			errs[i] = fmt.Errorf("query %d: missing seeker", i)
 		case len(tags) == 0:
 			errs[i] = fmt.Errorf("query %d: missing tags", i)
-		case k < 1:
+		case k < 0:
 			errs[i] = fmt.Errorf("query %d: bad k %d", i, k)
 		}
-		queries[i] = social.BatchQuery{Seeker: q.Seeker, Tags: tags, K: k}
+		reqs[i] = search.Request{Seeker: q.Seeker, Tags: tags, K: k, Mode: search.ModeExact}
 	}
 	// Execute only the well-formed queries, preserving input positions.
-	var runnable []social.BatchQuery
+	var runnable []search.Request
 	var positions []int
-	for i := range queries {
+	for i := range reqs {
 		if errs[i] == nil {
-			runnable = append(runnable, queries[i])
+			runnable = append(runnable, reqs[i])
 			positions = append(positions, i)
 		}
 	}
 	// Skip the backend entirely when nothing survived validation (a
 	// durable backend folds pending writes even for an empty batch).
-	var batch []social.BatchResult
+	var batch []search.BatchResult
 	if len(runnable) > 0 {
-		batch = s.backend.SearchBatch(runnable)
+		batch = s.backend.DoBatch(r.Context(), runnable)
 	}
-	resp := BatchResponse{Results: make([]BatchEntry, len(queries))}
+	resp := BatchResponse{Results: make([]BatchEntry, len(reqs))}
 	for i, err := range errs {
 		if err != nil {
 			resp.Results[i] = BatchEntry{Error: err.Error()}
@@ -321,40 +381,157 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 			resp.Results[i] = BatchEntry{Error: br.Err.Error()}
 			continue
 		}
-		res := br.Results
-		if res == nil {
-			res = []social.Result{}
-		}
-		resp.Results[i] = BatchEntry{Results: res}
+		resp.Results[i] = BatchEntry{Results: v1Results(br.Response.Results)}
 	}
-	writeJSON(w, resp)
+	s.writeJSON(w, r, resp)
+}
+
+// v2Query is the wire form of one search.Request.
+type v2Query struct {
+	Seeker   string   `json:"seeker"`
+	Tags     []string `json:"tags"`
+	K        int      `json:"k"`
+	Beta     *float64 `json:"beta"`
+	Mode     string   `json:"mode"`
+	AlgHint  string   `json:"alg_hint"`
+	MinScore float64  `json:"min_score"`
+	Offset   int      `json:"offset"`
+	Explain  bool     `json:"explain"`
+}
+
+// request converts the wire query to a search.Request (mode parse
+// errors surface as ErrInvalid, like every other validation failure).
+func (q v2Query) request() (search.Request, error) {
+	mode, err := search.ParseMode(q.Mode)
+	if err != nil {
+		return search.Request{}, err
+	}
+	return search.Request{
+		Seeker:   q.Seeker,
+		Tags:     q.Tags,
+		K:        q.K,
+		Beta:     q.Beta,
+		Mode:     mode,
+		AlgHint:  q.AlgHint,
+		MinScore: q.MinScore,
+		Offset:   q.Offset,
+		Explain:  q.Explain,
+	}, nil
+}
+
+// V2SearchResponse is the /v2/search response body.
+type V2SearchResponse struct {
+	Results []search.Result `json:"results"`
+	Explain *search.Explain `json:"explain,omitempty"`
+}
+
+func (s *Server) handleSearchV2(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var q v2Query
+	if err := decodeBody(w, r, &q); err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	req, err := q.request()
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.backend.Do(r.Context(), req)
+	if err != nil {
+		s.writeErr(w, searchErrStatus(err), err)
+		return
+	}
+	s.writeJSON(w, r, V2SearchResponse{Results: resp.Results, Explain: resp.Explain})
+}
+
+// v2BatchRequest is the /v2/search/batch request body.
+type v2BatchRequest struct {
+	Queries []v2Query `json:"queries"`
+}
+
+// V2BatchEntry answers one v2 batch query.
+type V2BatchEntry struct {
+	Results []search.Result `json:"results"`
+	Explain *search.Explain `json:"explain,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
+// V2BatchResponse is the /v2/search/batch response body; entry i
+// answers query i.
+type V2BatchResponse struct {
+	Results []V2BatchEntry `json:"results"`
+}
+
+func (s *Server) handleSearchBatchV2(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var body v2BatchRequest
+	if !s.decodeBatchEnvelope(w, r, &body, func() int { return len(body.Queries) }) {
+		return
+	}
+	reqs := make([]search.Request, len(body.Queries))
+	errs := make([]error, len(body.Queries))
+	for i, q := range body.Queries {
+		reqs[i], errs[i] = q.request()
+	}
+	var runnable []search.Request
+	var positions []int
+	for i := range reqs {
+		if errs[i] == nil {
+			runnable = append(runnable, reqs[i])
+			positions = append(positions, i)
+		}
+	}
+	var batch []search.BatchResult
+	if len(runnable) > 0 {
+		batch = s.backend.DoBatch(r.Context(), runnable)
+	}
+	resp := V2BatchResponse{Results: make([]V2BatchEntry, len(reqs))}
+	for i, err := range errs {
+		if err != nil {
+			resp.Results[i] = V2BatchEntry{Error: fmt.Sprintf("query %d: %v", i, err)}
+		}
+	}
+	for j, br := range batch {
+		i := positions[j]
+		if br.Err != nil {
+			resp.Results[i] = V2BatchEntry{Error: br.Err.Error()}
+			continue
+		}
+		resp.Results[i] = V2BatchEntry{Results: br.Response.Results, Explain: br.Response.Explain}
+	}
+	s.writeJSON(w, r, resp)
 }
 
 func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
-	if !requireMethod(w, r, http.MethodGet) {
+	if !s.requireMethod(w, r, http.MethodGet) {
 		return
 	}
 	users := s.backend.Users()
 	if users == nil {
 		users = []string{}
 	}
-	writeJSON(w, map[string][]string{"users": users})
+	s.writeJSON(w, r, map[string][]string{"users": users})
 }
 
 // handleStats reports whatever counters the backend exposes. The two
 // service types return different concrete stats structs, so match on
 // the method signature.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if !requireMethod(w, r, http.MethodGet) {
+	if !s.requireMethod(w, r, http.MethodGet) {
 		return
 	}
 	switch b := s.backend.(type) {
 	case interface{ Stats() social.Stats }:
-		writeJSON(w, b.Stats())
+		s.writeJSON(w, r, b.Stats())
 	case interface{ Stats() durable.Stats }:
-		writeJSON(w, b.Stats())
+		s.writeJSON(w, r, b.Stats())
 	default:
-		writeErr(w, http.StatusNotFound, errors.New("backend exposes no stats"))
+		s.writeErr(w, http.StatusNotFound, errors.New("backend exposes no stats"))
 	}
 }
 

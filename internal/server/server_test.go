@@ -159,7 +159,7 @@ func TestClientErrors(t *testing.T) {
 		{"search missing tags", http.MethodGet, "/v1/search?seeker=alice", "", http.StatusBadRequest},
 		{"search blank tags", http.MethodGet, "/v1/search?seeker=alice&tags=,%20,", "", http.StatusBadRequest},
 		{"search bad k", http.MethodGet, "/v1/search?seeker=alice&tags=pizza&k=zero", "", http.StatusBadRequest},
-		{"search k zero", http.MethodGet, "/v1/search?seeker=alice&tags=pizza&k=0", "", http.StatusBadRequest},
+		{"search negative k", http.MethodGet, "/v1/search?seeker=alice&tags=pizza&k=-1", "", http.StatusBadRequest},
 		{"search unknown seeker", http.MethodGet, "/v1/search?seeker=nobody&tags=pizza", "", http.StatusBadRequest},
 		{"search unknown tag", http.MethodGet, "/v1/search?seeker=alice&tags=quantum", "", http.StatusBadRequest},
 	}
@@ -381,13 +381,16 @@ func TestBatchClientErrors(t *testing.T) {
 		}
 	}
 	// Per-query validation failures are NOT batch failures: the envelope
-	// is fine, so the response is 200 with per-entry errors.
+	// is fine, so the response is 200 with per-entry errors. An explicit
+	// k of 0 is NOT an error: search.Request.Normalize substitutes the
+	// default, the same policy as an absent k (negative k stays a
+	// per-query error everywhere).
 	rec := doJSON(t, s, http.MethodPost, "/v1/search/batch", map[string]interface{}{
 		"queries": []map[string]interface{}{
 			{"seeker": "", "tags": []string{"pizza"}},
 			{"seeker": "alice"},
 			{"seeker": "alice", "tags": []string{"pizza"}, "k": -1},
-			{"seeker": "alice", "tags": []string{"pizza"}, "k": 0}, // explicit 0 rejected like GET
+			{"seeker": "alice", "tags": []string{"pizza"}, "k": 0}, // defaulted, not rejected
 			{"seeker": "alice", "tags": []string{"pizza"}},
 		},
 	})
@@ -398,12 +401,14 @@ func TestBatchClientErrors(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
-	for i := 0; i < 4; i++ {
+	for i := 0; i < 3; i++ {
 		if resp.Results[i].Error == "" {
 			t.Errorf("query %d: expected per-query error, got %+v", i, resp.Results[i])
 		}
 	}
-	if resp.Results[4].Error != "" || len(resp.Results[4].Results) == 0 {
-		t.Errorf("query 4: %+v", resp.Results[4])
+	for i := 3; i < 5; i++ {
+		if resp.Results[i].Error != "" || len(resp.Results[i].Results) == 0 {
+			t.Errorf("query %d: %+v", i, resp.Results[i])
+		}
 	}
 }

@@ -1,0 +1,243 @@
+package social
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/planner"
+	"repro/internal/search"
+)
+
+// Service implements search.Searcher: Do is the canonical query entry
+// point; Search and SearchBatch are thin positional wrappers kept for
+// embedders of the v1 surface.
+var _ search.Searcher = (*Service)(nil)
+
+// Do answers one request. The request is validated and canonicalized by
+// search.Request.Normalize — the single place k defaulting, tag
+// normalization and knob range checks live. Execution depends on
+// req.Mode:
+//
+//   - ModeExact: the refine path — exact scores via the seeker-horizon
+//     cache; with unbounded horizons the answer equals the ExactSocial
+//     oracle's. This is what the v1 Search surface always ran.
+//   - ModeAuto: the cost-based planner picks the cheapest exact
+//     algorithm (or req.AlgHint forces one); a SocialMerge plan runs
+//     through the horizon cache. Scores are certified lower bounds.
+//   - ModeApprox: horizon-cached SocialMerge with early termination —
+//     the cheapest serving path.
+//
+// A non-nil req.Beta re-blends social and global scoring for this query
+// only. Cancellation: ctx is checked before name resolution and at the
+// engine's checkpoints inside horizon expansion and the merge loops.
+func (s *Service) Do(ctx context.Context, req search.Request) (search.Response, error) {
+	if err := req.Normalize(); err != nil {
+		return search.Response{}, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return search.Response{}, err
+	}
+
+	// Resolve names and pin the engine snapshot and cache generation
+	// together under the lock: compaction (which may swap both) also
+	// holds it, so the pair is consistent and the query below is a pure
+	// function of it.
+	s.mu.Lock()
+	uid, ok := s.names.Users.ID(req.Seeker)
+	if !ok {
+		s.mu.Unlock()
+		return search.Response{}, search.WrapInvalid(fmt.Errorf("social: unknown user %q", req.Seeker))
+	}
+	tagIDs := make([]int32, 0, len(req.Tags))
+	for _, t := range req.Tags {
+		id, ok := s.names.Tags.ID(t)
+		if !ok {
+			s.mu.Unlock()
+			return search.Response{}, search.WrapInvalid(fmt.Errorf("social: unknown tag %q", t))
+		}
+		tagIDs = append(tagIDs, id)
+	}
+	eng, err := s.engine.Current()
+	if err != nil {
+		s.mu.Unlock()
+		return search.Response{}, err
+	}
+	var gen uint64
+	if s.cache != nil {
+		gen = s.cache.Generation()
+	}
+	s.mu.Unlock()
+
+	// Per-query β override: rebuild the (cheap, index-free) engine view
+	// over the same immutable snapshot. Horizons depend only on the
+	// proximity parameters, which are unchanged, so the seeker cache
+	// stays valid for the overridden engine.
+	qeng := eng
+	if req.Beta != nil && *req.Beta != eng.Beta() {
+		qeng, err = core.NewEngine(eng.Graph(), eng.Store(), core.Config{
+			Proximity: eng.ProximityParams(),
+			Beta:      *req.Beta,
+		})
+		if err != nil {
+			return search.Response{}, err
+		}
+	}
+
+	ex := &search.Explain{Mode: req.Mode.String(), Beta: qeng.Beta()}
+	q := core.Query{Seeker: uid, Tags: tagIDs, K: req.K + req.Offset}
+	ans, err := s.execute(ctx, qeng, q, req, gen, ex)
+	if err != nil {
+		return search.Response{}, err
+	}
+	ex.Exact = ans.Exact
+	ex.UsersSettled = ans.UsersSettled
+	ex.SequentialAccesses = ans.Access.Sequential
+	ex.RandomAccesses = ans.Access.Random
+
+	// Translate ids back to names under the lock — the dictionaries are
+	// append-only, so every id in the snapshot already has a name, but
+	// concurrent writers may be appending.
+	s.mu.Lock()
+	named := make([]search.Result, 0, len(ans.Results))
+	for _, r := range ans.Results {
+		name, ok := s.names.Items.Name(r.Item)
+		if !ok {
+			s.mu.Unlock()
+			return search.Response{}, fmt.Errorf("social: unnamed item id %d", r.Item)
+		}
+		named = append(named, search.Result{Item: name, Score: r.Score})
+	}
+	s.mu.Unlock()
+
+	results := req.Window(named)
+	if results == nil {
+		results = []search.Result{}
+	}
+	if n := len(results); n > 0 {
+		ex.ScoreBound = results[n-1].Score
+	}
+	resp := search.Response{Results: results}
+	if req.Explain {
+		resp.Explain = ex
+	}
+	return resp, nil
+}
+
+// execute runs the id-space query against the pinned snapshot in the
+// requested mode, filling the execution half of ex as it goes.
+func (s *Service) execute(ctx context.Context, eng *core.Engine, q core.Query, req search.Request, gen uint64, ex *search.Explain) (core.Answer, error) {
+	switch req.Mode {
+	case search.ModeExact:
+		ex.Algorithm = planner.SocialMerge.String()
+		return s.horizonAnswer(ctx, eng, q, gen, core.Options{RefineScores: true, Ctx: ctx}, ex)
+	case search.ModeApprox:
+		ex.Algorithm = planner.SocialMerge.String()
+		return s.horizonAnswer(ctx, eng, q, gen, core.Options{Ctx: ctx}, ex)
+	}
+	// ModeAuto: plan (or obey the hint), then run — SocialMerge plans go
+	// through the horizon cache, everything else runs directly.
+	p, err := planner.New(eng)
+	if err != nil {
+		return core.Answer{}, err
+	}
+	var alg planner.Algorithm
+	if req.AlgHint != "" {
+		alg, _ = planner.ParseAlgorithm(req.AlgHint) // Normalize vetted the spelling
+		if !p.Available(alg) {
+			return core.Answer{}, search.WrapInvalid(fmt.Errorf("social: algorithm %s unavailable on this engine (SocialTA needs an item index, GlobalTopK needs beta = 0)", alg))
+		}
+	} else {
+		plan := p.Plan(q)
+		alg = plan.Alg
+		ex.Planned = true
+		ex.Estimates = make(map[string]float64, len(plan.Est))
+		for a, est := range plan.Est {
+			ex.Estimates[a.String()] = est
+		}
+	}
+	ex.Algorithm = alg.String()
+	if alg == planner.SocialMerge {
+		return s.horizonAnswer(ctx, eng, q, gen, core.Options{Ctx: ctx}, ex)
+	}
+	return p.Run(ctx, alg, q)
+}
+
+// horizonAnswer executes a SocialMerge-family query through the seeker
+// cache when enabled. gen is the cache generation captured with the
+// snapshot: a cached horizon is used only when its stamp matches, and a
+// freshly materialized one is offered back under the same stamp
+// (refused if the graph moved meanwhile).
+func (s *Service) horizonAnswer(ctx context.Context, eng *core.Engine, q core.Query, gen uint64, opts core.Options, ex *search.Explain) (core.Answer, error) {
+	if s.cache == nil {
+		return eng.SocialMerge(q, opts)
+	}
+	h, hit := s.cache.Get(q.Seeker, gen)
+	if !hit {
+		var err error
+		if h, err = eng.MaterializeHorizonCtx(ctx, q.Seeker, s.cfg.MaxHorizonUsers); err != nil {
+			return core.Answer{}, err
+		}
+		s.cache.Put(q.Seeker, gen, h)
+	}
+	ex.CacheHit = hit
+	ex.CacheGeneration = gen
+	ex.HorizonUsers = h.Size()
+	ex.HorizonResidual = h.Residual()
+	return eng.SocialMergeWithHorizon(q, h, opts)
+}
+
+// DoBatch answers many requests concurrently on a pool of
+// cfg.BatchWorkers workers, returning outcomes in input order with
+// per-request error reporting. Cancellation is honoured at three
+// levels: requests not yet handed to a worker fail immediately with
+// ctx.Err(), workers skip queued requests once the context is done, and
+// in-flight executions abort at the engine's next checkpoint.
+func (s *Service) DoBatch(ctx context.Context, reqs []search.Request) []search.BatchResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]search.BatchResult, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	workers := s.cfg.BatchWorkers
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if err := ctx.Err(); err != nil {
+					out[i] = search.BatchResult{Err: err}
+					continue
+				}
+				resp, err := s.Do(ctx, reqs[i])
+				out[i] = search.BatchResult{Response: resp, Err: err}
+			}
+		}()
+	}
+dispatch:
+	for i := range reqs {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			// Everything not yet dispatched fails without executing.
+			for j := i; j < len(reqs); j++ {
+				out[j] = search.BatchResult{Err: ctx.Err()}
+			}
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}

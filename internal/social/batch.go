@@ -23,6 +23,9 @@ type BatchResult struct {
 // repeated seekers inside one batch (or across batches) reuse a single
 // neighbourhood expansion. Each query sees the snapshot current when
 // its worker picks it up, exactly as if issued via Search.
+//
+// Deprecated: use DoBatch, which carries a context (cancellation fails
+// unstarted queries promptly) and the full per-query option set.
 func (s *Service) SearchBatch(queries []BatchQuery) []BatchResult {
 	out := make([]BatchResult, len(queries))
 	if len(queries) == 0 {

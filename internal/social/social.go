@@ -8,11 +8,17 @@
 //	svc, _ := social.NewService(social.DefaultServiceConfig())
 //	svc.Befriend("alice", "bob", 0.9)
 //	svc.Tag("bob", "luigis", "pizza")
-//	res, _ := svc.Search("alice", []string{"pizza"}, 5)
-//	// res[0].Item == "luigis"
+//	res, _ := svc.Do(ctx, search.Request{Seeker: "alice", Tags: []string{"pizza"}, K: 5})
+//	// res.Results[0].Item == "luigis"
+//
+// Do (with its DoBatch sibling) is the canonical request/response query
+// surface — per-query β, execution mode, paging, explainable answers,
+// context cancellation; see internal/search. The positional Search /
+// SearchBatch methods are deprecated wrappers over it.
 package social
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -21,6 +27,7 @@ import (
 	"repro/internal/overlay"
 	"repro/internal/proximity"
 	"repro/internal/qcache"
+	"repro/internal/search"
 	"repro/internal/vocab"
 )
 
@@ -288,87 +295,39 @@ func (s *Service) Flush() error {
 	return s.compactLocked()
 }
 
-// Search answers seeker's top-k query over tag names. Unknown tags are
-// an error (a deployment would typically treat them as empty); unknown
-// seekers are an error. Scores are exact (RefineScores execution)
-// unless MaxHorizonUsers is set: a truncated horizon makes answers for
-// seekers whose neighbourhood exceeds the bound approximate.
+// Search answers seeker's top-k query over tag names with exact scores
+// (the ModeExact refine path). Unknown tags are an error (a deployment
+// would typically treat them as empty); unknown seekers are an error.
+// Answers are exact unless MaxHorizonUsers is set: a truncated horizon
+// makes answers for seekers whose neighbourhood exceeds the bound
+// approximate.
 //
 // When the seeker cache is enabled, the expensive half of the query —
 // expanding the seeker's social neighbourhood — is reused across that
 // seeker's searches until a friendship mutation reaches the snapshot.
+//
+// Deprecated: use Do, which carries a context, per-query options and an
+// explainable answer. Search keeps the v1 positional signature and its
+// strict rejection of k < 1 (where Do defaults k = 0), but now routes
+// through Do's central normalization: tag names are comma-split and
+// whitespace-trimmed, and k is capped at search.MaxK — embedders that
+// stored tag names containing commas or padding, or asked for more
+// than search.MaxK results, see different answers than under v1.
 func (s *Service) Search(seeker string, tags []string, k int) ([]Result, error) {
-	s.mu.Lock()
-	uid, ok := s.names.Users.ID(seeker)
-	if !ok {
-		s.mu.Unlock()
-		return nil, fmt.Errorf("social: unknown user %q", seeker)
+	if k < 1 {
+		return nil, fmt.Errorf("social: k = %d, must be >= 1 (Do defaults k = 0)", k)
 	}
-	tagIDs := make([]int32, 0, len(tags))
-	for _, t := range tags {
-		id, ok := s.names.Tags.ID(t)
-		if !ok {
-			s.mu.Unlock()
-			return nil, fmt.Errorf("social: unknown tag %q", t)
-		}
-		tagIDs = append(tagIDs, id)
-	}
-	// Pin the engine snapshot and cache generation together under the
-	// lock: compaction (which may swap both) also holds it, so the pair
-	// is consistent and the query below is a pure function of it.
-	eng, err := s.engine.Current()
-	if err != nil {
-		s.mu.Unlock()
-		return nil, err
-	}
-	var gen uint64
-	if s.cache != nil {
-		gen = s.cache.Generation()
-	}
-	s.mu.Unlock()
-
-	// Run the query outside the lock: it reads only the immutable
-	// pinned snapshot.
-	ans, err := s.answer(eng, core.Query{Seeker: uid, Tags: tagIDs, K: k}, gen)
+	resp, err := s.Do(context.Background(), search.Request{
+		Seeker: seeker, Tags: tags, K: k, Mode: search.ModeExact,
+	})
 	if err != nil {
 		return nil, err
 	}
-
-	// Translate ids back to names under the lock — the dictionaries are
-	// append-only, so every id in the snapshot already has a name, but
-	// concurrent writers may be appending.
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]Result, 0, len(ans.Results))
-	for _, r := range ans.Results {
-		name, ok := s.names.Items.Name(r.Item)
-		if !ok {
-			return nil, fmt.Errorf("social: unnamed item id %d", r.Item)
-		}
-		out = append(out, Result{Item: name, Score: r.Score})
+	out := make([]Result, 0, len(resp.Results))
+	for _, r := range resp.Results {
+		out = append(out, Result{Item: r.Item, Score: r.Score})
 	}
 	return out, nil
-}
-
-// answer executes one id-space query against a pinned engine snapshot,
-// through the seeker cache when enabled. gen is the cache generation
-// captured with the snapshot: a cached horizon is used only when its
-// stamp matches, and a freshly materialized one is offered back to the
-// cache under the same stamp (refused if the graph moved meanwhile).
-func (s *Service) answer(eng *core.Engine, q core.Query, gen uint64) (core.Answer, error) {
-	opts := core.Options{RefineScores: true}
-	if s.cache == nil {
-		return eng.SocialMerge(q, opts)
-	}
-	h, ok := s.cache.Get(q.Seeker, gen)
-	if !ok {
-		var err error
-		if h, err = eng.MaterializeHorizon(q.Seeker, s.cfg.MaxHorizonUsers); err != nil {
-			return core.Answer{}, err
-		}
-		s.cache.Put(q.Seeker, gen, h)
-	}
-	return eng.SocialMergeWithHorizon(q, h, opts)
 }
 
 // Users returns all known user names in id order.
