@@ -112,3 +112,80 @@ func BenchmarkServingBatchSearch(b *testing.B) {
 		}
 	}
 }
+
+// churnService builds a world of disjoint communities (chains of
+// churnCommunitySize users, each tagging one item with "pizza") for the
+// mutation-churn benchmarks: one op is a friendship mutation confined
+// to community 0 followed by a query from every community's seeker, so
+// the two invalidation policies differ only in how much cached state
+// one mutation destroys.
+const (
+	churnCommunities   = 16
+	churnCommunitySize = 6
+)
+
+func churnService(b *testing.B, edgeScopeLimit int) *social.Service {
+	b.Helper()
+	cfg := social.DefaultServiceConfig()
+	cfg.Proximity = proximity.Params{Alpha: 0.8, SelfWeight: 1, MinSigma: 0.01}
+	cfg.AutoCompactEvery = 0 // every write compacts (and invalidates)
+	cfg.SeekerCacheSize = 512
+	cfg.EdgeScopeLimit = edgeScopeLimit
+	svc, err := social.NewService(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for c := 0; c < churnCommunities; c++ {
+		for u := 0; u < churnCommunitySize-1; u++ {
+			if err := svc.Befriend(churnUser(c, u), churnUser(c, u+1), 0.9); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for u := 0; u < churnCommunitySize; u++ {
+			if err := svc.Tag(churnUser(c, u), fmt.Sprintf("c%di%d", c, u), "pizza"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := svc.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	return svc
+}
+
+func churnUser(c, u int) string { return fmt.Sprintf("c%du%d", c, u) }
+
+func runChurn(b *testing.B, svc *social.Service) {
+	b.Helper()
+	queryAll := func() {
+		for c := 0; c < churnCommunities; c++ {
+			if _, err := svc.Search(churnUser(c, 0), []string{"pizza"}, 5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	queryAll() // warm every community's seeker
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := svc.Befriend(churnUser(0, i%(churnCommunitySize-1)), churnUser(0, i%(churnCommunitySize-1)+1), 0.9); err != nil {
+			b.Fatal(err)
+		}
+		queryAll()
+	}
+	b.StopTimer()
+	b.ReportMetric(svc.Stats().SeekerCache.HitRate(), "hit-rate")
+}
+
+// BenchmarkServingMutationChurnEdgeScoped: mixed mutation workload
+// under edge-scoped invalidation — only the mutated community
+// cold-starts, every other seeker keeps its horizon.
+func BenchmarkServingMutationChurnEdgeScoped(b *testing.B) {
+	runChurn(b, churnService(b, 0))
+}
+
+// BenchmarkServingMutationChurnGlobalGen: the same workload under the
+// pre-sharding global-generation policy (every friend compaction drops
+// the whole fleet) — the baseline edge scoping is measured against.
+func BenchmarkServingMutationChurnGlobalGen(b *testing.B) {
+	runChurn(b, churnService(b, -1))
+}

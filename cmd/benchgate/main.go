@@ -1,0 +1,250 @@
+// Command benchgate is the CI benchmark-regression gate: it parses
+// `go test -bench` output (ideally -count=5 or more), reduces each
+// benchmark's ns/op samples to their median, and compares the tracked
+// benchmarks against a checked-in JSON baseline, failing when any
+// regresses by more than the threshold.
+//
+//	go test -run xxx -bench Serving -benchmem -count 5 . | tee bench.txt
+//	benchgate -baseline BENCH_baseline.json -input bench.txt
+//	benchgate -baseline BENCH_baseline.json -input bench.txt -update   # refresh the baseline
+//
+// The gate compares medians rather than single runs so one scheduler
+// hiccup cannot fail CI, and only fails on the benchmarks named in the
+// baseline (new benchmarks are reported but do not gate until they are
+// baselined with -update).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Baseline is the checked-in BENCH_baseline.json format.
+type Baseline struct {
+	// Note documents provenance (host, date, command) for humans.
+	Note string `json:"note,omitempty"`
+	// Benchmarks maps benchmark name (without the -GOMAXPROCS suffix)
+	// to its accepted median ns/op. These comparisons are absolute and
+	// therefore hardware-sensitive: refresh the baseline from the
+	// runner class that gates on it.
+	Benchmarks map[string]float64 `json:"benchmarks"`
+	// Ratios are hardware-independent invariants: each requires
+	// median(Num)/median(Den) <= Max. Use them to pin relationships
+	// (e.g. "the edge-scoped churn path stays faster than the
+	// global-generation one") that hold on any machine. Ratios are
+	// never touched by -update.
+	Ratios []RatioGate `json:"ratios,omitempty"`
+}
+
+// RatioGate is one cross-benchmark invariant.
+type RatioGate struct {
+	Name string  `json:"name"`
+	Num  string  `json:"num"`
+	Den  string  `json:"den"`
+	Max  float64 `json:"max"`
+}
+
+// benchLine matches one result line of `go test -bench` output, e.g.
+//
+//	BenchmarkServingCachedSearch-8   500   2100000 ns/op   12 B/op ...
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench collects ns/op samples per benchmark name from go test
+// -bench output.
+func parseBench(r io.Reader) (map[string][]float64, error) {
+	samples := make(map[string][]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchgate: bad ns/op in %q: %v", sc.Text(), err)
+		}
+		samples[m[1]] = append(samples[m[1]], v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
+// median reduces samples; it panics on an empty slice (callers filter).
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// verdict is one benchmark's gate outcome.
+type verdict struct {
+	name      string
+	base, got float64 // ns/op
+	deltaPct  float64
+	fail      bool
+	newBench  bool
+}
+
+// gate compares medians against the baseline. Benchmarks present in
+// the baseline but missing from the input fail the gate (a silently
+// deleted benchmark must not pass); input benchmarks without a
+// baseline are informational.
+func gate(base Baseline, samples map[string][]float64, thresholdPct float64) ([]verdict, bool) {
+	var out []verdict
+	failed := false
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := base.Benchmarks[name]
+		xs, ok := samples[name]
+		if !ok || len(xs) == 0 {
+			out = append(out, verdict{name: name, base: want, got: -1, fail: true})
+			failed = true
+			continue
+		}
+		got := median(xs)
+		delta := 100 * (got - want) / want
+		v := verdict{name: name, base: want, got: got, deltaPct: delta, fail: delta > thresholdPct}
+		failed = failed || v.fail
+		out = append(out, v)
+	}
+	var extra []string
+	for name := range samples {
+		if _, ok := base.Benchmarks[name]; !ok {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		out = append(out, verdict{name: name, base: -1, got: median(samples[name]), newBench: true})
+	}
+	return out, failed
+}
+
+// gateRatios evaluates the hardware-independent ratio invariants.
+func gateRatios(base Baseline, samples map[string][]float64) ([]string, bool) {
+	var lines []string
+	failed := false
+	for _, r := range base.Ratios {
+		num, okN := samples[r.Num]
+		den, okD := samples[r.Den]
+		if !okN || !okD || len(num) == 0 || len(den) == 0 {
+			lines = append(lines, fmt.Sprintf("FAIL  ratio %s: missing %s or %s in input", r.Name, r.Num, r.Den))
+			failed = true
+			continue
+		}
+		got := median(num) / median(den)
+		status := "ok   "
+		if got > r.Max {
+			status = "FAIL "
+			failed = true
+		}
+		lines = append(lines, fmt.Sprintf("%s ratio %-38s %.3f (limit %.3f)", status, r.Name, got, r.Max))
+	}
+	return lines, failed
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "checked-in baseline JSON")
+	inputPath := flag.String("input", "-", "go test -bench output (- = stdin)")
+	threshold := flag.Float64("threshold", 15, "max tolerated regression, percent")
+	update := flag.Bool("update", false, "rewrite the baseline from the input instead of gating")
+	note := flag.String("note", "", "provenance note stored with -update")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if *inputPath != "-" {
+		f, err := os.Open(*inputPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	samples, err := parseBench(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(samples) == 0 {
+		fatal(fmt.Errorf("benchgate: no benchmark results in input"))
+	}
+
+	if *update {
+		b := Baseline{Note: *note, Benchmarks: make(map[string]float64, len(samples))}
+		// Preserve the hand-written ratio invariants across refreshes.
+		if raw, err := os.ReadFile(*baselinePath); err == nil {
+			var old Baseline
+			if err := json.Unmarshal(raw, &old); err == nil {
+				b.Ratios = old.Ratios
+			}
+		}
+		for name, xs := range samples {
+			b.Benchmarks[name] = median(xs)
+		}
+		raw, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*baselinePath, append(raw, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchgate: baselined %d benchmarks into %s\n", len(b.Benchmarks), *baselinePath)
+		return
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("benchgate: parsing %s: %w", *baselinePath, err))
+	}
+	verdicts, failed := gate(base, samples, *threshold)
+	ratioLines, ratioFailed := gateRatios(base, samples)
+	failed = failed || ratioFailed
+	for _, line := range ratioLines {
+		fmt.Println(line)
+	}
+	for _, v := range verdicts {
+		switch {
+		case v.newBench:
+			fmt.Printf("NEW   %-45s %12.0f ns/op (not gated; add with -update)\n", v.name, v.got)
+		case v.got < 0:
+			fmt.Printf("GONE  %-45s baseline %12.0f ns/op but absent from input\n", v.name, v.base)
+		default:
+			status := "ok   "
+			if v.fail {
+				status = "FAIL "
+			}
+			fmt.Printf("%s %-45s %12.0f -> %12.0f ns/op (%+.1f%%, limit +%.0f%%)\n",
+				status, v.name, v.base, v.got, v.deltaPct, *threshold)
+		}
+	}
+	if failed {
+		fmt.Println("benchgate: regression gate FAILED")
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: regression gate passed")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

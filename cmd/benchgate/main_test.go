@@ -1,0 +1,117 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkServingCachedSearch-8   	     500	   2100000 ns/op	    1000 B/op	      10 allocs/op
+BenchmarkServingCachedSearch-8   	     500	   2000000 ns/op	    1000 B/op	      10 allocs/op
+BenchmarkServingCachedSearch-8   	     480	   2300000 ns/op	    1000 B/op	      10 allocs/op
+BenchmarkServingBatchSearch-8    	    1000	   1200000 ns/op
+BenchmarkServingMutationChurnEdgeScoped 	      20	    184758 ns/op	         0.8929 hit-rate
+PASS
+ok  	repro	12.3s
+`
+
+func TestParseBench(t *testing.T) {
+	samples, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(samples["BenchmarkServingCachedSearch"]); got != 3 {
+		t.Fatalf("cached samples = %d, want 3", got)
+	}
+	if got := median(samples["BenchmarkServingCachedSearch"]); got != 2100000 {
+		t.Fatalf("cached median = %g, want 2100000", got)
+	}
+	if got := samples["BenchmarkServingMutationChurnEdgeScoped"]; len(got) != 1 || got[0] != 184758 {
+		t.Fatalf("churn samples = %v", got)
+	}
+	if _, ok := samples["PASS"]; ok {
+		t.Fatal("non-benchmark lines parsed")
+	}
+}
+
+func TestGate(t *testing.T) {
+	samples, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Baseline{Benchmarks: map[string]float64{
+		"BenchmarkServingCachedSearch": 2000000, // +5% observed: within a 15% budget
+		"BenchmarkServingBatchSearch":  1150000, // +4.3%
+	}}
+	if verdicts, failed := gate(base, samples, 15); failed {
+		t.Fatalf("within-threshold run failed the gate: %+v", verdicts)
+	}
+
+	base.Benchmarks["BenchmarkServingBatchSearch"] = 1000000 // +20% observed
+	verdicts, failed := gate(base, samples, 15)
+	if !failed {
+		t.Fatal("20% regression passed a 15% gate")
+	}
+	var failedNames []string
+	for _, v := range verdicts {
+		if v.fail {
+			failedNames = append(failedNames, v.name)
+		}
+	}
+	if len(failedNames) != 1 || failedNames[0] != "BenchmarkServingBatchSearch" {
+		t.Fatalf("failed benchmarks = %v", failedNames)
+	}
+
+	// A baselined benchmark missing from the input must fail the gate.
+	base = Baseline{Benchmarks: map[string]float64{"BenchmarkDeleted": 100}}
+	if _, failed := gate(base, samples, 15); !failed {
+		t.Fatal("missing baselined benchmark passed the gate")
+	}
+
+	// Un-baselined benchmarks are informational only.
+	base = Baseline{Benchmarks: map[string]float64{"BenchmarkServingBatchSearch": 1200000}}
+	verdicts, failed = gate(base, samples, 15)
+	if failed {
+		t.Fatalf("informational extras failed the gate: %+v", verdicts)
+	}
+	news := 0
+	for _, v := range verdicts {
+		if v.newBench {
+			news++
+		}
+	}
+	if news != 2 {
+		t.Fatalf("new benchmarks reported = %d, want 2", news)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("odd median = %g", got)
+	}
+	if got := median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Fatalf("even median = %g", got)
+	}
+}
+
+func TestGateRatios(t *testing.T) {
+	samples := map[string][]float64{
+		"BenchmarkA": {200, 210, 190},
+		"BenchmarkB": {400, 390, 410},
+	}
+	base := Baseline{Ratios: []RatioGate{{Name: "a-vs-b", Num: "BenchmarkA", Den: "BenchmarkB", Max: 0.6}}}
+	if lines, failed := gateRatios(base, samples); failed {
+		t.Fatalf("ratio 0.5 failed a 0.6 limit: %v", lines)
+	}
+	base.Ratios[0].Max = 0.4
+	if _, failed := gateRatios(base, samples); !failed {
+		t.Fatal("ratio 0.5 passed a 0.4 limit")
+	}
+	base.Ratios[0].Num = "BenchmarkMissing"
+	if _, failed := gateRatios(base, samples); !failed {
+		t.Fatal("missing ratio operand passed")
+	}
+}

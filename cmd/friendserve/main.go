@@ -4,6 +4,8 @@
 // Usage:
 //
 //	friendserve [-addr :8080] [-dir /var/lib/friendsearch] [-demo]
+//	            [-cache-size 256] [-cache-shards 4] [-cache-ttl 0]
+//	            [-cache-min-horizon 0] [-cache-min-misses 0]
 //
 // With -dir the service is crash-safe: every mutation is written ahead
 // to a log under the directory and the state survives restarts. Without
@@ -17,8 +19,13 @@
 //	     'localhost:8080/v2/search'
 //
 // The v2 endpoints expose the full request surface — per-query beta,
-// execution mode, score filtering, offset paging, explainable answers —
-// and honour client disconnects (a cancelled request stops executing).
+// execution mode, score filtering, offset paging, cache bypass/age
+// bounds, explainable answers — and honour client disconnects (a
+// cancelled request stops executing).
+//
+// The -cache-* flags tune the sharded seeker-horizon cache: total entry
+// budget, shard count, entry TTL, and the admission thresholds (minimum
+// horizon size, minimum miss streak). -cache-size -1 disables caching.
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/durable"
+	"repro/internal/qcache"
 	"repro/internal/server"
 	"repro/internal/social"
 )
@@ -40,9 +48,23 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	dir := flag.String("dir", "", "durable state directory (empty: in-memory)")
 	demo := flag.Bool("demo", false, "preload a small demo corpus")
+	cacheSize := flag.Int("cache-size", 0, "total seeker-cache entries across shards (0 = default, negative disables)")
+	cacheShards := flag.Int("cache-shards", 0, "seeker-cache shard count (0 = default)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "seeker-cache entry TTL (0 = never expire)")
+	cacheMinHorizon := flag.Int("cache-min-horizon", 0, "do not cache horizons smaller than this many users")
+	cacheMinMisses := flag.Int("cache-min-misses", 0, "cache a seeker only after this many misses")
 	flag.Parse()
 
-	backend, cleanup, err := buildBackend(*dir)
+	svcCfg := social.DefaultServiceConfig()
+	svcCfg.SeekerCacheSize = *cacheSize
+	svcCfg.CacheShards = *cacheShards
+	svcCfg.CachePolicy = qcache.Policy{
+		TTL:             *cacheTTL,
+		MinHorizonUsers: *cacheMinHorizon,
+		MinMisses:       *cacheMinMisses,
+	}
+
+	backend, cleanup, err := buildBackend(*dir, svcCfg)
 	if err != nil {
 		log.Fatalf("friendserve: %v", err)
 	}
@@ -69,14 +91,15 @@ func main() {
 	log.Printf("shut down cleanly")
 }
 
-func buildBackend(dir string) (server.Backend, func(), error) {
+func buildBackend(dir string, cfg social.ServiceConfig) (server.Backend, func(), error) {
 	if dir == "" {
-		cfg := social.DefaultServiceConfig()
 		cfg.AutoCompactEvery = 0
 		svc, err := social.NewService(cfg)
 		return svc, func() {}, err
 	}
-	svc, err := durable.Open(dir, durable.DefaultConfig())
+	dcfg := durable.DefaultConfig()
+	dcfg.Service = cfg
+	svc, err := durable.Open(dir, dcfg)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -62,6 +62,22 @@ func (h *SeekerHorizon) Size() int { return len(h.list) }
 // (0 when the full horizon was materialized).
 func (h *SeekerHorizon) Residual() float64 { return h.residual }
 
+// Users returns the ids of the materialized users, proximity-descending
+// (the seeker itself first). The slice is shared with the horizon; do
+// not mutate it. Serving caches use it as the entry's member set for
+// edge-scoped invalidation: because proximity is a hop-damped max path
+// product, a friendship mutation on edge (u, v) can only change this
+// horizon if u or v is among these members — any path from the seeker
+// through the mutated edge reaches u or v first, at a proximity the
+// materialized prefix (or its residual bound) already dominates.
+func (h *SeekerHorizon) Users(buf []graph.UserID) []graph.UserID {
+	users := buf[:0]
+	for _, e := range h.list {
+		users = append(users, e.User)
+	}
+	return users
+}
+
 // MemoryBytes estimates the resident size of the horizon.
 func (h *SeekerHorizon) MemoryBytes() int { return 16 + len(h.list)*24 }
 

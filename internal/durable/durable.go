@@ -97,7 +97,7 @@ type Service struct {
 
 // Open recovers (or initializes) a durable service rooted at dir.
 func Open(dir string, cfg Config) (*Service, error) {
-	if cfg.Service == (social.ServiceConfig{}) {
+	if cfg.Service.IsZero() {
 		cfg.Service = social.DefaultServiceConfig()
 	}
 	if cfg.CheckpointEvery < 0 {

@@ -13,12 +13,14 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/planner"
 	"repro/internal/qcache"
 	"repro/internal/search"
+	"repro/internal/shard"
 	"repro/internal/tagstore"
 )
 
@@ -26,35 +28,49 @@ import (
 type Config struct {
 	// Workers is the number of concurrent query workers (≥ 1).
 	Workers int
-	// CacheSize is the maximum number of cached seeker horizons
-	// (0 disables caching).
+	// CacheSize is the total number of cached seeker horizons across
+	// all cache shards (0 disables caching).
 	CacheSize int
+	// CacheShards partitions the horizon cache into independently
+	// locked shards by consistent hashing over the seeker id
+	// (0 = DefaultCacheShards).
+	CacheShards int
+	// CachePolicy tunes cache admission and expiry (see qcache.Policy).
+	CachePolicy qcache.Policy
 	// MaxHorizonUsers truncates materialized horizons (0 = full
 	// horizon). Truncation makes answers for heavy seekers approximate
 	// but bounds cache entry size.
 	MaxHorizonUsers int
 }
 
+// DefaultCacheShards is the default cache shard count (the fleet-wide
+// default from internal/shard).
+const DefaultCacheShards = shard.DefaultShards
+
 // DefaultConfig returns a sensible serving configuration.
 func DefaultConfig() Config {
 	return Config{Workers: 4, CacheSize: 256, MaxHorizonUsers: 0}
 }
 
-// Stats exposes cache effectiveness counters.
+// Stats exposes cache effectiveness counters, aggregated across cache
+// shards.
 type Stats struct {
-	Hits          int64
-	Misses        int64
-	Invalidations int64
-	Evictions     int64
+	Hits            int64
+	Misses          int64
+	Invalidations   int64
+	Evictions       int64
+	Expirations     int64
+	AdmissionDenied int64
 }
 
-// Executor runs queries against a core engine with horizon caching.
-// It is safe for concurrent use. It implements search.Searcher at the
-// id level: Do/DoBatch address users and tags by their decimal ids.
+// Executor runs queries against a core engine with sharded horizon
+// caching. It is safe for concurrent use. It implements search.Searcher
+// at the id level: Do/DoBatch address users and tags by their decimal
+// ids.
 type Executor struct {
 	engine  *core.Engine
 	cfg     Config
-	cache   *qcache.Cache // nil when caching is disabled
+	caches  *shard.Caches // nil when caching is disabled
 	planner *planner.Planner
 }
 
@@ -68,8 +84,8 @@ func New(engine *core.Engine, cfg Config) (*Executor, error) {
 	if cfg.Workers < 1 {
 		return nil, fmt.Errorf("exec: workers %d must be >= 1", cfg.Workers)
 	}
-	if cfg.CacheSize < 0 || cfg.MaxHorizonUsers < 0 {
-		return nil, fmt.Errorf("exec: negative cache size or horizon bound")
+	if cfg.CacheSize < 0 || cfg.MaxHorizonUsers < 0 || cfg.CacheShards < 0 {
+		return nil, fmt.Errorf("exec: negative cache size, shard count or horizon bound")
 	}
 	p, err := planner.New(engine)
 	if err != nil {
@@ -77,46 +93,71 @@ func New(engine *core.Engine, cfg Config) (*Executor, error) {
 	}
 	x := &Executor{engine: engine, cfg: cfg, planner: p}
 	if cfg.CacheSize > 0 {
-		cache, err := qcache.New(cfg.CacheSize)
+		caches, err := shard.NewCaches(shard.CacheConfig{
+			Shards:   cfg.CacheShards, // 0 = shard.DefaultShards
+			Capacity: cfg.CacheSize,
+			Policy:   cfg.CachePolicy,
+		})
 		if err != nil {
 			return nil, err
 		}
-		x.cache = cache
+		x.caches = caches
 	}
 	return x, nil
 }
 
-// Stats returns a snapshot of the cache counters.
+// Stats returns a snapshot of the cache counters aggregated across
+// shards.
 func (x *Executor) Stats() Stats {
-	if x.cache == nil {
+	if x.caches == nil {
 		return Stats{}
 	}
-	s := x.cache.Counters()
-	return Stats{Hits: s.Hits, Misses: s.Misses, Invalidations: s.Invalidations, Evictions: s.Evictions}
+	s := x.caches.Counters()
+	return Stats{
+		Hits:            s.Hits,
+		Misses:          s.Misses,
+		Invalidations:   s.Invalidations,
+		Evictions:       s.Evictions,
+		Expirations:     s.Expirations,
+		AdmissionDenied: s.AdmissionDenied,
+	}
 }
 
-// horizonFor returns a cached horizon or materializes (and caches) one.
-// It reports whether the horizon was a cache hit and the generation it
-// is stamped with.
-func (x *Executor) horizonFor(ctx context.Context, seeker graph.UserID) (h *core.SeekerHorizon, hit bool, gen uint64, err error) {
-	if x.cache == nil {
-		h, err = x.engine.MaterializeHorizonCtx(ctx, seeker, x.cfg.MaxHorizonUsers)
-		return h, false, 0, err
+// ShardStats returns each cache shard's entry count and counters (nil
+// when caching is disabled).
+func (x *Executor) ShardStats() []shard.Snapshot {
+	if x.caches == nil {
+		return nil
 	}
-	gen = x.cache.Generation()
-	if h, ok := x.cache.Get(seeker, gen); ok {
-		return h, true, gen, nil
+	return x.caches.PerShard()
+}
+
+// horizonFor returns a cached horizon or materializes (and caches)
+// one. It reports whether the horizon was a cache hit, the owning
+// cache shard, and the generation it is stamped with. noCache skips
+// the cache entirely (one-shot materialization); maxAge > 0 tightens
+// the TTL for this lookup.
+func (x *Executor) horizonFor(ctx context.Context, seeker graph.UserID, noCache bool, maxAge time.Duration) (h *core.SeekerHorizon, hit bool, cshard int, gen uint64, err error) {
+	if x.caches == nil || noCache {
+		h, err = x.engine.MaterializeHorizonCtx(ctx, seeker, x.cfg.MaxHorizonUsers)
+		return h, false, 0, 0, err
+	}
+	cshard = x.caches.ShardFor(seeker)
+	cache := x.caches.Shard(cshard)
+	gen = cache.Generation()
+	if h, ok := cache.Lookup(seeker, gen, maxAge); ok {
+		return h, true, cshard, gen, nil
 	}
 	// Materialize outside any lock: expansions are the expensive part
 	// and must not serialize each other. A concurrent duplicate for the
 	// same seeker is possible and harmless (last one wins the slot), and
-	// an InvalidateAll racing the expansion voids the insert.
+	// an invalidation racing the expansion voids the insert.
 	h, err = x.engine.MaterializeHorizonCtx(ctx, seeker, x.cfg.MaxHorizonUsers)
 	if err != nil {
-		return nil, false, gen, err
+		return nil, false, cshard, gen, err
 	}
-	x.cache.Put(seeker, gen, h)
-	return h, false, gen, nil
+	cache.Put(seeker, gen, h)
+	return h, false, cshard, gen, nil
 }
 
 // Query answers one query, reusing the seeker's cached horizon when
@@ -125,7 +166,7 @@ func (x *Executor) Query(q core.Query, opts core.Options) (core.Answer, error) {
 	if opts.UseNeighborhoods || opts.LandmarkPrune {
 		return core.Answer{}, fmt.Errorf("exec: horizon execution excludes UseNeighborhoods/LandmarkPrune")
 	}
-	h, _, _, err := x.horizonFor(opts.Ctx, q.Seeker)
+	h, _, _, _, err := x.horizonFor(opts.Ctx, q.Seeker, false, 0)
 	if err != nil {
 		return core.Answer{}, err
 	}
@@ -218,10 +259,10 @@ func (x *Executor) Do(ctx context.Context, req search.Request) (search.Response,
 	switch req.Mode {
 	case search.ModeExact:
 		ex.Algorithm = planner.SocialMerge.String()
-		ans, err = x.horizonMerge(ctx, eng, q, core.Options{RefineScores: true, Ctx: ctx}, ex)
+		ans, err = x.horizonMerge(ctx, eng, q, req, core.Options{RefineScores: true, Ctx: ctx}, ex)
 	case search.ModeApprox:
 		ex.Algorithm = planner.SocialMerge.String()
-		ans, err = x.horizonMerge(ctx, eng, q, core.Options{Ctx: ctx}, ex)
+		ans, err = x.horizonMerge(ctx, eng, q, req, core.Options{Ctx: ctx}, ex)
 	default: // ModeAuto
 		var alg planner.Algorithm
 		if req.AlgHint != "" {
@@ -240,7 +281,7 @@ func (x *Executor) Do(ctx context.Context, req search.Request) (search.Response,
 		}
 		ex.Algorithm = alg.String()
 		if alg == planner.SocialMerge {
-			ans, err = x.horizonMerge(ctx, eng, q, core.Options{Ctx: ctx}, ex)
+			ans, err = x.horizonMerge(ctx, eng, q, req, core.Options{Ctx: ctx}, ex)
 		} else {
 			ans, err = p.Run(ctx, alg, q)
 		}
@@ -273,13 +314,15 @@ func (x *Executor) Do(ctx context.Context, req search.Request) (search.Response,
 
 // horizonMerge runs a SocialMerge-family query through the horizon
 // cache, recording cache provenance in ex.
-func (x *Executor) horizonMerge(ctx context.Context, eng *core.Engine, q core.Query, opts core.Options, ex *search.Explain) (core.Answer, error) {
-	h, hit, gen, err := x.horizonFor(ctx, q.Seeker)
+func (x *Executor) horizonMerge(ctx context.Context, eng *core.Engine, q core.Query, req search.Request, opts core.Options, ex *search.Explain) (core.Answer, error) {
+	maxAge := time.Duration(req.MaxCacheAgeMS) * time.Millisecond
+	h, hit, cshard, gen, err := x.horizonFor(ctx, q.Seeker, req.NoCache, maxAge)
 	if err != nil {
 		return core.Answer{}, err
 	}
 	ex.CacheHit = hit
 	ex.CacheGeneration = gen
+	ex.CacheShard = cshard
 	ex.HorizonUsers = h.Size()
 	ex.HorizonResidual = h.Residual()
 	return eng.SocialMergeWithHorizon(q, h, opts)
@@ -336,16 +379,28 @@ dispatch:
 // Invalidate drops a seeker's cached horizon (e.g. after their part of
 // the network changed). Returns whether an entry was removed.
 func (x *Executor) Invalidate(seeker graph.UserID) bool {
-	if x.cache == nil {
+	if x.caches == nil {
 		return false
 	}
-	return x.cache.InvalidateSeeker(seeker)
+	return x.caches.For(seeker).InvalidateSeeker(seeker)
 }
 
-// InvalidateAll logically empties the cache in O(1) by bumping its
-// generation (e.g. after compaction of an overlay).
+// InvalidateEdge drops, across all cache shards, exactly the cached
+// horizons a friendship mutation on edge (u, v) could affect — the
+// edge-scoped alternative to InvalidateAll for callers that know which
+// edges changed. Returns the number of entries dropped.
+func (x *Executor) InvalidateEdge(u, v graph.UserID) int {
+	if x.caches == nil {
+		return 0
+	}
+	return x.caches.InvalidateEdges([][2]graph.UserID{{u, v}})
+}
+
+// InvalidateAll logically empties every cache shard in O(shards) by
+// bumping their generations (e.g. after compaction of an overlay whose
+// mutated edges are unknown).
 func (x *Executor) InvalidateAll() {
-	if x.cache != nil {
-		x.cache.Invalidate()
+	if x.caches != nil {
+		x.caches.Invalidate()
 	}
 }

@@ -286,3 +286,39 @@ func TestHorizonAccessors(t *testing.T) {
 		t.Fatal("nil horizon accepted")
 	}
 }
+
+func TestInvalidateEdgeScopedAtExecutor(t *testing.T) {
+	e, ds := testEngine(t)
+	x, err := New(e, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := testQueries(t, ds, 4)
+	for _, q := range qs {
+		if _, err := x.Query(q, core.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	target := qs[0].Seeker
+	// The seeker is always a member of its own horizon, so an edge at
+	// the seeker must drop (at least) its entry.
+	before := x.Stats()
+	if n := x.InvalidateEdge(target, target+1); n == 0 {
+		t.Fatal("edge at a cached seeker dropped nothing")
+	}
+	after := x.Stats()
+	if after.Invalidations <= before.Invalidations {
+		t.Fatalf("invalidations did not advance: %+v -> %+v", before, after)
+	}
+	// The seeker's next query re-materializes (a miss).
+	misses := after.Misses
+	if _, err := x.Query(qs[0], core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := x.Stats().Misses; got != misses+1 {
+		t.Fatalf("misses = %d after invalidated seeker re-queried, want %d", got, misses+1)
+	}
+	if st := x.ShardStats(); len(st) != DefaultCacheShards {
+		t.Fatalf("%d shard snapshots, want %d", len(st), DefaultCacheShards)
+	}
+}

@@ -1,0 +1,286 @@
+package qcache
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/tagstore"
+)
+
+// componentsEngine builds a graph of disjoint line components, each
+// comp users long: users [0, comp) form component 0, [comp, 2*comp)
+// component 1, and so on. Horizons never cross components, which is
+// what edge-scoped invalidation tests need.
+func componentsEngine(t testing.TB, components, comp int) *core.Engine {
+	t.Helper()
+	n := components * comp
+	gb := graph.NewBuilder(n)
+	for c := 0; c < components; c++ {
+		base := c * comp
+		for u := 0; u < comp-1; u++ {
+			gb.AddEdge(graph.UserID(base+u), graph.UserID(base+u+1), 0.5)
+		}
+	}
+	g, err := gb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tagstore.NewBuilder(n, n, 1)
+	for u := 0; u < n; u++ {
+		tb.Add(int32(u), tagstore.ItemID(u), 0)
+	}
+	store, err := tb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewEngine(g, store, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestInvalidateEdgeScopedToMembers(t *testing.T) {
+	e := componentsEngine(t, 2, 4) // components {0..3} and {4..7}
+	c, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := c.Generation()
+	c.Put(0, gen, horizonFor(t, e, 0))
+	c.Put(5, gen, horizonFor(t, e, 5))
+
+	// A mutation inside component 0 must drop seeker 0's horizon (it
+	// contains users 1 and 2) and leave seeker 5's untouched.
+	if n := c.InvalidateEdge(1, 2); n != 1 {
+		t.Fatalf("InvalidateEdge dropped %d entries, want 1", n)
+	}
+	ngen := c.Generation()
+	if ngen != gen+1 {
+		t.Fatalf("generation %d after edge invalidation, want %d", ngen, gen+1)
+	}
+	if _, ok := c.Get(0, ngen); ok {
+		t.Fatal("affected horizon served after edge invalidation")
+	}
+	// The survivor stays a hit under the NEW generation: that is the
+	// whole point of edge scoping.
+	if _, ok := c.Get(5, ngen); !ok {
+		t.Fatal("unaffected horizon dropped by edge invalidation")
+	}
+	s := c.Counters()
+	if s.Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1", s.Invalidations)
+	}
+}
+
+func TestInvalidateEdgeBracketsPut(t *testing.T) {
+	e := componentsEngine(t, 2, 4)
+	c, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := c.Generation()
+	h := horizonFor(t, e, 5) // component 1: unrelated to the edge below
+	// The graph moved (in component 0) while the horizon was being
+	// built. The bracket must still refuse the insert: the cache cannot
+	// prove which snapshot the horizon was computed from.
+	c.InvalidateEdge(0, 1)
+	if c.Put(5, gen, h) {
+		t.Fatal("Put accepted a horizon bracketed by an edge invalidation")
+	}
+	if !c.Put(5, c.Generation(), horizonFor(t, e, 5)) {
+		t.Fatal("current-generation Put refused")
+	}
+}
+
+func TestInvalidateEdgesBatchOneGeneration(t *testing.T) {
+	e := componentsEngine(t, 3, 3) // {0,1,2} {3,4,5} {6,7,8}
+	c, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := c.Generation()
+	c.Put(0, gen, horizonFor(t, e, 0))
+	c.Put(3, gen, horizonFor(t, e, 3))
+	c.Put(6, gen, horizonFor(t, e, 6))
+	if n := c.InvalidateEdges([][2]graph.UserID{{0, 1}, {4, 5}}); n != 2 {
+		t.Fatalf("dropped %d entries, want 2", n)
+	}
+	if got := c.Generation(); got != gen+1 {
+		t.Fatalf("batch invalidation bumped generation to %d, want %d", got, gen+1)
+	}
+	if _, ok := c.Get(6, c.Generation()); !ok {
+		t.Fatal("survivor dropped")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+}
+
+func TestWildcardEntriesDropOnAnyEdge(t *testing.T) {
+	e := componentsEngine(t, 2, 4)
+	c, err := NewWithPolicy(8, Policy{MaxTrackedMembers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := c.Generation()
+	c.Put(0, gen, horizonFor(t, e, 0)) // 4 users > cap 1 → wildcard
+	if got := c.TrackedMembers(); got != 0 {
+		t.Fatalf("wildcard entry tracked %d members", got)
+	}
+	// An edge in the OTHER component still drops the wildcard: without a
+	// member set the cache cannot prove the horizon unaffected.
+	if n := c.InvalidateEdge(5, 6); n != 1 {
+		t.Fatalf("edge dropped %d entries, want 1 (wildcard)", n)
+	}
+	if c.Len() != 0 {
+		t.Fatal("wildcard entry survived edge invalidation")
+	}
+}
+
+func TestMemberIndexFollowsEvictionAndRefresh(t *testing.T) {
+	e := componentsEngine(t, 3, 3)
+	c, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := c.Generation()
+	c.Put(0, gen, horizonFor(t, e, 0))
+	c.Put(3, gen, horizonFor(t, e, 3))
+	c.Put(0, gen, horizonFor(t, e, 0)) // refresh in place
+	c.Put(6, gen, horizonFor(t, e, 6)) // evicts seeker 3 (LRU tail)
+	if _, ok := c.Get(3, gen); ok {
+		t.Fatal("evicted entry still resident")
+	}
+	// The evicted entry's members must be gone from the reverse index:
+	// an edge in its component finds nothing to drop.
+	if n := c.InvalidateEdge(4, 5); n != 0 {
+		t.Fatalf("edge over evicted members dropped %d entries", n)
+	}
+	// 3 members each for seekers 0 and 6.
+	if got := c.TrackedMembers(); got != 6 {
+		t.Fatalf("tracked members = %d, want 6", got)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	e := componentsEngine(t, 1, 8)
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	c, err := NewWithPolicy(4, Policy{TTL: time.Minute, Now: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := c.Generation()
+	c.Put(0, gen, horizonFor(t, e, 0))
+	now = now.Add(59 * time.Second)
+	if _, ok := c.Get(0, gen); !ok {
+		t.Fatal("entry expired before TTL")
+	}
+	now = now.Add(2 * time.Second) // 61s since insert
+	if _, ok := c.Get(0, gen); ok {
+		t.Fatal("entry served past TTL")
+	}
+	if c.Len() != 0 {
+		t.Fatal("expired entry not reaped")
+	}
+	s := c.Counters()
+	if s.Expirations != 1 {
+		t.Fatalf("expirations = %d, want 1", s.Expirations)
+	}
+}
+
+func TestLookupMaxAgeTightensTTL(t *testing.T) {
+	e := componentsEngine(t, 1, 8)
+	now := time.Unix(1000, 0)
+	c, err := NewWithPolicy(4, Policy{TTL: time.Hour, Now: func() time.Time { return now }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := c.Generation()
+	c.Put(0, gen, horizonFor(t, e, 0))
+	now = now.Add(10 * time.Second)
+	if _, ok := c.Lookup(0, gen, time.Minute); !ok {
+		t.Fatal("fresh-enough entry refused")
+	}
+	if _, ok := c.Lookup(0, gen, 5*time.Second); ok {
+		t.Fatal("entry older than the per-query bound served")
+	}
+	// A maxAge looser than the policy TTL must not extend entry life.
+	c2, err := NewWithPolicy(4, Policy{TTL: 5 * time.Second, Now: func() time.Time { return now }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen2 := c2.Generation()
+	c2.Put(0, gen2, horizonFor(t, e, 0))
+	now = now.Add(10 * time.Second)
+	if _, ok := c2.Lookup(0, gen2, time.Hour); ok {
+		t.Fatal("per-query bound extended the policy TTL")
+	}
+}
+
+func TestAdmissionMinHorizonUsers(t *testing.T) {
+	e := componentsEngine(t, 2, 4) // components of 4 users
+	c, err := NewWithPolicy(4, Policy{MinHorizonUsers: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := c.Generation()
+	if c.Put(0, gen, horizonFor(t, e, 0)) {
+		t.Fatal("undersized horizon admitted")
+	}
+	if got := c.Counters().AdmissionDenied; got != 1 {
+		t.Fatalf("admission rejections = %d, want 1", got)
+	}
+	c2, err := NewWithPolicy(4, Policy{MinHorizonUsers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c2.Put(0, c2.Generation(), horizonFor(t, e, 0)) {
+		t.Fatal("qualifying horizon refused")
+	}
+}
+
+func TestAdmissionMinMisses(t *testing.T) {
+	e := componentsEngine(t, 1, 8)
+	c, err := NewWithPolicy(4, Policy{MinMisses: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := c.Generation()
+	c.Get(0, gen) // miss #1
+	if c.Put(0, gen, horizonFor(t, e, 0)) {
+		t.Fatal("seeker admitted after a single miss")
+	}
+	c.Get(0, gen) // miss #2
+	if !c.Put(0, gen, horizonFor(t, e, 0)) {
+		t.Fatal("seeker refused after reaching the miss threshold")
+	}
+	if _, ok := c.Get(0, gen); !ok {
+		t.Fatal("admitted entry not served")
+	}
+	// Admission resets the streak: after invalidation the seeker must
+	// miss MinMisses times again.
+	c.InvalidateEdge(0, 1)
+	ngen := c.Generation()
+	c.Get(0, ngen) // miss #1 of the new streak
+	if c.Put(0, ngen, horizonFor(t, e, 0)) {
+		t.Fatal("streak not reset by admission")
+	}
+}
+
+func TestPolicyValidation(t *testing.T) {
+	bad := []Policy{
+		{TTL: -time.Second},
+		{MinHorizonUsers: -1},
+		{MinMisses: -1},
+		{MaxTrackedMembers: -1},
+	}
+	for i, p := range bad {
+		if _, err := NewWithPolicy(4, p); err == nil {
+			t.Errorf("policy %d accepted: %+v", i, p)
+		}
+	}
+}

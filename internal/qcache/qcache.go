@@ -4,63 +4,157 @@
 // bound so a seeker's expensive graph expansion is paid once and reused
 // across their queries.
 //
-// Staleness is handled by generation stamping rather than scanning:
-// every entry is stamped with the cache generation current when its
-// horizon was materialized, and any event that changes the friendship
-// graph the horizons were computed from (a compacted Befriend, a
-// snapshot swap) bumps the generation with Invalidate — an O(1)
-// operation that logically drops every cached entry at once. Stale
-// entries are reaped lazily on lookup. Insertion is also stamped:
-// Put refuses a horizon materialized under an older generation, so a
-// slow expansion racing a graph mutation can never install a stale
-// entry.
+// # Staleness
+//
+// Two invalidation granularities coexist:
+//
+//   - Invalidate bumps the cache generation, logically dropping every
+//     cached entry in O(1) — the hammer for events that change the
+//     friendship graph wholesale (a snapshot swap, a bulk load).
+//   - InvalidateEdge(u, v) drops only the entries whose horizon could be
+//     affected by a friendship mutation on edge (u, v): those whose
+//     member set contains u or v. Because proximity is a hop-damped
+//     maximum path product, any path from a seeker through the mutated
+//     edge reaches u or v first, so a horizon containing neither is
+//     provably unchanged (see core.SeekerHorizon.Users). Member sets
+//     are tracked in a reverse index, making the drop proportional to
+//     the number of affected entries, not the cache size.
+//
+// Both bump the generation, and insertion is generation-bracketed: the
+// caller captures Generation before materializing and passes it to Put,
+// which refuses a horizon materialized under an older generation — a
+// slow expansion racing any graph mutation can never install a stale
+// entry. Entries that survive an edge-scoped invalidation stay valid
+// under the new generation; only a full Invalidate raises the staleness
+// floor below which resident entries are reaped lazily on lookup.
 //
 // Tag-only mutations do not touch the friendship graph and therefore do
 // not invalidate: callers bump the generation only when friend edges
-// reach the queryable snapshot. Cache effectiveness is observable
-// through metrics.CacheCounters (hits, misses, invalidations,
-// evictions), which internal/social surfaces in its Stats and the HTTP
-// server exposes on /v1/stats.
+// reach the queryable snapshot.
+//
+// # Admission and expiry
+//
+// Policy adds serving-fleet hygiene: TTL expires entries by age (so a
+// quiet seeker's horizon does not pin memory forever), MinHorizonUsers
+// refuses to cache horizons too small to be worth the slot (they are
+// cheap to rematerialize), and MinMisses caches a seeker only after it
+// has missed that many times (one-shot seekers never enter). Cache
+// effectiveness is observable through metrics.CacheCounters (hits,
+// misses, invalidations, evictions, expirations, admission rejections),
+// which internal/social surfaces in its Stats and the HTTP server
+// exposes on /v1/stats.
 package qcache
 
 import (
 	"container/list"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/metrics"
 )
 
-// Cache is a generation-stamped LRU of seeker horizons. It is safe for
-// concurrent use.
+// DefaultMaxTrackedMembers bounds the per-entry member set used for
+// edge-scoped invalidation. A horizon larger than the bound is tracked
+// as a wildcard: any edge mutation invalidates it (correct, just
+// coarser), keeping the reverse index's memory proportional to the
+// cache, not the graph.
+const DefaultMaxTrackedMembers = 1 << 14
+
+// Policy tunes admission and expiry. The zero value admits everything
+// and never expires — the behaviour before policies existed.
+type Policy struct {
+	// TTL expires entries older than this on lookup (0 = never).
+	TTL time.Duration
+	// MinHorizonUsers refuses to cache horizons with fewer materialized
+	// users than this (0 or 1 = admit all sizes).
+	MinHorizonUsers int
+	// MinMisses admits a seeker only after it has missed this many times
+	// since its last cached entry (≤ 1 = admit on first miss).
+	MinMisses int
+	// MaxTrackedMembers caps the per-entry member set for edge-scoped
+	// invalidation; larger horizons are tracked as wildcards that any
+	// edge mutation drops (0 = DefaultMaxTrackedMembers).
+	MaxTrackedMembers int
+	// Now is the clock (nil = time.Now); injectable for tests.
+	Now func() time.Time
+}
+
+// Validate checks policy ranges.
+func (p Policy) Validate() error {
+	if p.TTL < 0 {
+		return fmt.Errorf("qcache: negative TTL %v", p.TTL)
+	}
+	if p.MinHorizonUsers < 0 || p.MinMisses < 0 || p.MaxTrackedMembers < 0 {
+		return fmt.Errorf("qcache: negative admission threshold")
+	}
+	return nil
+}
+
+// Cache is a generation-stamped LRU of seeker horizons with edge-scoped
+// invalidation. It is safe for concurrent use.
 type Cache struct {
 	capacity int
+	policy   Policy
+	now      func() time.Time
 
 	mu       sync.Mutex
 	gen      uint64
+	floor    uint64     // entries stamped below floor are stale (full invalidation)
 	lru      *list.List // of *entry, front = most recently used
 	index    map[graph.UserID]*list.Element
+	byMember map[graph.UserID]map[graph.UserID]struct{} // horizon member → seekers
+	wild     map[graph.UserID]struct{}                  // seekers with untracked member sets
+	misses   map[graph.UserID]int                       // per-seeker miss streaks (MinMisses > 1 only)
 	counters metrics.CacheCounters
 }
 
 type entry struct {
-	seeker  graph.UserID
-	gen     uint64
-	horizon *core.SeekerHorizon
+	seeker   graph.UserID
+	gen      uint64
+	at       time.Time
+	horizon  *core.SeekerHorizon
+	members  []graph.UserID // nil when wildcard
+	wildcard bool
 }
 
-// New builds a cache bounded to capacity entries (≥ 1).
+// New builds a cache bounded to capacity entries (≥ 1) with the zero
+// Policy (admit everything, never expire).
 func New(capacity int) (*Cache, error) {
+	return NewWithPolicy(capacity, Policy{})
+}
+
+// NewWithPolicy builds a cache bounded to capacity entries (≥ 1) under
+// the given admission/expiry policy.
+func NewWithPolicy(capacity int, policy Policy) (*Cache, error) {
 	if capacity < 1 {
 		return nil, fmt.Errorf("qcache: capacity %d must be >= 1", capacity)
 	}
-	return &Cache{
+	if err := policy.Validate(); err != nil {
+		return nil, err
+	}
+	now := policy.Now
+	if now == nil {
+		now = time.Now
+	}
+	if policy.MaxTrackedMembers == 0 {
+		policy.MaxTrackedMembers = DefaultMaxTrackedMembers
+	}
+	c := &Cache{
 		capacity: capacity,
+		policy:   policy,
+		now:      now,
 		lru:      list.New(),
 		index:    make(map[graph.UserID]*list.Element),
-	}, nil
+		byMember: make(map[graph.UserID]map[graph.UserID]struct{}),
+		wild:     make(map[graph.UserID]struct{}),
+	}
+	if policy.MinMisses > 1 {
+		c.misses = make(map[graph.UserID]int)
+	}
+	return c, nil
 }
 
 // Generation returns the current cache generation. Capture it before
@@ -72,37 +166,102 @@ func (c *Cache) Generation() uint64 {
 	return c.gen
 }
 
-// Invalidate bumps the generation, logically dropping every cached
-// horizon in O(1). Call it whenever the friendship graph backing the
-// horizons changes.
+// Invalidate bumps the generation and raises the staleness floor,
+// logically dropping every cached horizon in O(1). Call it when the
+// friendship graph changed in ways edge scoping cannot bound (snapshot
+// swap, bulk load, too many edges to enumerate).
 func (c *Cache) Invalidate() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.gen++
+	c.floor = c.gen
 }
 
-// Get returns the seeker's cached horizon if present and stamped with
-// exactly the generation gen — the one the caller captured when pinning
-// its engine snapshot, so a hit is guaranteed consistent with that
-// snapshot. An entry older than the cache generation is reaped and
-// counted as an invalidation; any non-hit is reported as a miss.
-func (c *Cache) Get(seeker graph.UserID, gen uint64) (*core.SeekerHorizon, bool) {
+// InvalidateEdge drops the cached horizons a friendship mutation on
+// edge (u, v) could affect — those whose member set contains u or v,
+// plus every wildcard entry — and bumps the generation so in-flight
+// materializations from the superseded graph cannot be installed.
+// It returns the number of entries dropped.
+func (c *Cache) InvalidateEdge(u, v graph.UserID) int {
+	return c.InvalidateEdges([][2]graph.UserID{{u, v}})
+}
+
+// InvalidateEdges is InvalidateEdge for a batch of mutated edges under
+// one lock acquisition and one generation bump — what a compaction that
+// folded many Befriends calls.
+func (c *Cache) InvalidateEdges(edges [][2]graph.UserID) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.gen++
+	if c.lru.Len() == 0 {
+		return 0
+	}
+	victims := make(map[graph.UserID]struct{})
+	for _, e := range edges {
+		for seeker := range c.byMember[e[0]] {
+			victims[seeker] = struct{}{}
+		}
+		for seeker := range c.byMember[e[1]] {
+			victims[seeker] = struct{}{}
+		}
+	}
+	// Wildcard entries have no tracked members: any edge may affect them.
+	for seeker := range c.wild {
+		victims[seeker] = struct{}{}
+	}
+	for seeker := range victims {
+		if el, ok := c.index[seeker]; ok {
+			c.removeLocked(el)
+		}
+	}
+	n := len(victims)
+	c.counters.Invalidation(n)
+	return n
+}
+
+// Get returns the seeker's cached horizon if present, unexpired, and
+// valid under generation gen — the one the caller captured when pinning
+// its engine snapshot, so a hit is guaranteed consistent with that
+// snapshot. See Lookup for the age-bounded variant.
+func (c *Cache) Get(seeker graph.UserID, gen uint64) (*core.SeekerHorizon, bool) {
+	return c.Lookup(seeker, gen, 0)
+}
+
+// Lookup is Get with a per-query freshness bound: a maxAge > 0 tighter
+// than the policy TTL treats older entries as expired for this lookup
+// only (they are reaped, since the policy TTL would only keep them
+// dying slower). Entries below the staleness floor are reaped and
+// counted as invalidations; expired ones as expirations; any non-hit is
+// reported as a miss.
+func (c *Cache) Lookup(seeker graph.UserID, gen uint64, maxAge time.Duration) (*core.SeekerHorizon, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.gen {
+		// The caller pinned a superseded snapshot; nothing we hold is
+		// certified consistent with it.
+		c.missLocked(seeker)
+		return nil, false
+	}
 	el, ok := c.index[seeker]
 	if !ok {
-		c.counters.Miss()
+		c.missLocked(seeker)
 		return nil, false
 	}
 	e := el.Value.(*entry)
-	if e.gen < c.gen {
+	if e.gen < c.floor {
 		c.removeLocked(el)
 		c.counters.Invalidation(1)
-		c.counters.Miss()
+		c.missLocked(seeker)
 		return nil, false
 	}
-	if e.gen != gen {
-		c.counters.Miss()
+	ttl := c.policy.TTL
+	if maxAge > 0 && (ttl == 0 || maxAge < ttl) {
+		ttl = maxAge
+	}
+	if ttl > 0 && c.now().Sub(e.at) > ttl {
+		c.removeLocked(el)
+		c.counters.Expiration(1)
+		c.missLocked(seeker)
 		return nil, false
 	}
 	c.lru.MoveToFront(el)
@@ -110,10 +269,29 @@ func (c *Cache) Get(seeker graph.UserID, gen uint64) (*core.SeekerHorizon, bool)
 	return e.horizon, true
 }
 
+// missLocked counts a miss and advances the seeker's admission streak.
+// Callers hold c.mu.
+func (c *Cache) missLocked(seeker graph.UserID) {
+	c.counters.Miss()
+	if c.misses != nil {
+		// Bound the streak table: it only holds seekers missed since
+		// their last admission, but an adversarial key stream could grow
+		// it without bound — reset wholesale past a generous multiple of
+		// the capacity (streaks restart, costing at most MinMisses extra
+		// misses per live seeker).
+		if len(c.misses) > 8*c.capacity+1024 {
+			clear(c.misses)
+		}
+		c.misses[seeker]++
+	}
+}
+
 // Put installs a horizon materialized under generation gen, evicting
 // from the LRU tail to stay within capacity. It reports whether the
 // entry was accepted: a horizon whose generation is no longer current
-// was computed from a superseded graph and is dropped.
+// was computed from a superseded graph and is dropped, and the
+// admission policy may refuse horizons too small or seekers too cold
+// to be worth a slot.
 func (c *Cache) Put(seeker graph.UserID, gen uint64, h *core.SeekerHorizon) bool {
 	if h == nil {
 		return false
@@ -123,19 +301,76 @@ func (c *Cache) Put(seeker graph.UserID, gen uint64, h *core.SeekerHorizon) bool
 	if gen != c.gen {
 		return false
 	}
+	if c.policy.MinHorizonUsers > 1 && h.Size() < c.policy.MinHorizonUsers {
+		c.counters.AdmissionDenied()
+		return false
+	}
+	if c.misses != nil {
+		if c.misses[seeker] < c.policy.MinMisses {
+			c.counters.AdmissionDenied()
+			return false
+		}
+		delete(c.misses, seeker)
+	}
 	if el, ok := c.index[seeker]; ok {
 		// Refresh in place (a concurrent duplicate materialization).
-		el.Value.(*entry).horizon = h
-		el.Value.(*entry).gen = gen
+		c.dropMembersLocked(el.Value.(*entry))
+		e := el.Value.(*entry)
+		e.horizon = h
+		e.gen = gen
+		e.at = c.now()
+		c.trackMembersLocked(e)
 		c.lru.MoveToFront(el)
 		return true
 	}
-	c.index[seeker] = c.lru.PushFront(&entry{seeker: seeker, gen: gen, horizon: h})
+	e := &entry{seeker: seeker, gen: gen, at: c.now(), horizon: h}
+	c.trackMembersLocked(e)
+	c.index[seeker] = c.lru.PushFront(e)
 	for c.lru.Len() > c.capacity {
 		c.removeLocked(c.lru.Back())
 		c.counters.Eviction(1)
 	}
 	return true
+}
+
+// trackMembersLocked registers the entry's horizon members in the
+// reverse index, or marks it wildcard when the horizon exceeds the
+// tracking bound. Callers hold c.mu.
+func (c *Cache) trackMembersLocked(e *entry) {
+	if e.horizon.Size() > c.policy.MaxTrackedMembers {
+		e.wildcard = true
+		e.members = nil
+		c.wild[e.seeker] = struct{}{}
+		return
+	}
+	e.wildcard = false
+	e.members = e.horizon.Users(e.members)
+	for _, u := range e.members {
+		set, ok := c.byMember[u]
+		if !ok {
+			set = make(map[graph.UserID]struct{}, 1)
+			c.byMember[u] = set
+		}
+		set[e.seeker] = struct{}{}
+	}
+}
+
+// dropMembersLocked removes the entry from the reverse index. Callers
+// hold c.mu.
+func (c *Cache) dropMembersLocked(e *entry) {
+	for _, u := range e.members {
+		if set, ok := c.byMember[u]; ok {
+			delete(set, e.seeker)
+			if len(set) == 0 {
+				delete(c.byMember, u)
+			}
+		}
+	}
+	e.members = e.members[:0]
+	if e.wildcard {
+		delete(c.wild, e.seeker)
+		e.wildcard = false
+	}
 }
 
 // InvalidateSeeker drops one seeker's entry (current or stale),
@@ -159,6 +394,11 @@ func (c *Cache) Purge() {
 	defer c.mu.Unlock()
 	c.lru.Init()
 	c.index = make(map[graph.UserID]*list.Element)
+	c.byMember = make(map[graph.UserID]map[graph.UserID]struct{})
+	c.wild = make(map[graph.UserID]struct{})
+	if c.misses != nil {
+		clear(c.misses)
+	}
 }
 
 // Len returns the number of resident entries, stale ones included.
@@ -168,6 +408,15 @@ func (c *Cache) Len() int {
 	return c.lru.Len()
 }
 
+// TrackedMembers returns the number of distinct users in the reverse
+// member index — the memory-side cost of edge scoping, surfaced for
+// observability.
+func (c *Cache) TrackedMembers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.byMember)
+}
+
 // Counters returns a snapshot of the effectiveness counters.
 func (c *Cache) Counters() metrics.CacheSnapshot {
 	return c.counters.Snapshot()
@@ -175,6 +424,8 @@ func (c *Cache) Counters() metrics.CacheSnapshot {
 
 // removeLocked unlinks an element. Callers hold c.mu.
 func (c *Cache) removeLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	c.dropMembersLocked(e)
 	c.lru.Remove(el)
-	delete(c.index, el.Value.(*entry).seeker)
+	delete(c.index, e.seeker)
 }

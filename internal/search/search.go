@@ -136,6 +136,16 @@ type Request struct {
 	// MaxK like K itself — implementations fetch K+Offset results, so
 	// the cap is what bounds per-request work.
 	Offset int
+	// NoCache bypasses the seeker-horizon cache for this query: the
+	// horizon is materialized fresh and never installed. Useful for
+	// one-shot seekers a caller knows will not repeat, and as the
+	// ground-truth path when auditing cache consistency.
+	NoCache bool
+	// MaxCacheAgeMS tightens the serving cache's TTL for this query: a
+	// cached horizon older than this many milliseconds is treated as a
+	// miss (and re-materialized fresh). 0 defers to the server's cache
+	// policy; it cannot loosen that policy. Negative is invalid.
+	MaxCacheAgeMS int64
 	// Explain asks the engine to report how it answered the query.
 	Explain bool
 }
@@ -188,6 +198,9 @@ func (r *Request) Normalize() error {
 	}
 	if r.Offset > MaxK {
 		return invalidf("offset %d above cap %d", r.Offset, MaxK)
+	}
+	if r.MaxCacheAgeMS < 0 {
+		return invalidf("negative max cache age %d ms", r.MaxCacheAgeMS)
 	}
 	return nil
 }
@@ -266,6 +279,9 @@ type Explain struct {
 	// stamped with (both zero when no horizon or no cache was involved).
 	CacheHit        bool   `json:"cache_hit"`
 	CacheGeneration uint64 `json:"cache_generation"`
+	// CacheShard is the index of the cache shard that owns this seeker
+	// (0 on unsharded or cacheless deployments).
+	CacheShard int `json:"cache_shard"`
 	// UsersSettled, SequentialAccesses and RandomAccesses are the
 	// engine's hardware-independent cost counters for this execution.
 	UsersSettled       int   `json:"users_settled"`

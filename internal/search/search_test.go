@@ -148,3 +148,14 @@ func TestWindow(t *testing.T) {
 		t.Fatalf("min-score window = %v, want %v", got, want)
 	}
 }
+
+func TestNormalizeCacheKnobs(t *testing.T) {
+	r := Request{Seeker: "s", Tags: []string{"t"}, MaxCacheAgeMS: -5}
+	if err := r.Normalize(); err == nil || !errors.Is(err, ErrInvalid) {
+		t.Fatalf("negative MaxCacheAgeMS: err = %v, want ErrInvalid", err)
+	}
+	ok := Request{Seeker: "s", Tags: []string{"t"}, NoCache: true, MaxCacheAgeMS: 1500}
+	if err := ok.Normalize(); err != nil {
+		t.Fatalf("valid cache knobs rejected: %v", err)
+	}
+}

@@ -13,7 +13,8 @@
 //	                                                                → {"results":[{"results":[...]},{"error":"..."},...]}
 //	POST /v2/search        {"seeker":"alice","tags":["pizza"],"k":5,
 //	                        "beta":0.7,"mode":"auto","alg_hint":"",
-//	                        "min_score":0,"offset":0,"explain":true}
+//	                        "min_score":0,"offset":0,"no_cache":false,
+//	                        "max_cache_age_ms":0,"explain":true}
 //	                                                                → {"results":[{"item":"x","score":1.2}],"explain":{...}}
 //	POST /v2/search/batch  {"queries":[{...v2 query...},...]}       → {"results":[{"results":[...],"explain":{...}},{"error":"..."},...]}
 //	GET  /v1/users                                                  → {"users":[...]}
@@ -35,9 +36,13 @@
 // voids the rest of the batch. Malformed envelopes (bad JSON, no
 // queries, too many queries, oversized bodies) are rejected with 400
 // before anything executes. Backends serve searches through a
-// mutation-aware per-seeker horizon cache (see internal/qcache); its
-// hit/miss/invalidation/eviction counters appear under SeekerCache in
-// /v1/stats.
+// mutation-aware, sharded per-seeker horizon cache (see internal/qcache
+// and internal/shard) with edge-scoped invalidation: a compacted
+// friendship mutation drops only the cached horizons that could contain
+// its endpoints. Aggregated hit/miss/invalidation/eviction/expiration
+// counters appear under SeekerCache in /v1/stats, with per-shard
+// breakdowns under SeekerCacheShards; the v2 per-query knobs "no_cache"
+// and "max_cache_age_ms" bypass or age-bound the cache for one query.
 //
 // Client errors (validation, unknown names, malformed JSON) map to
 // 400; wrong methods to 405; a request whose context is cancelled —
@@ -388,15 +393,17 @@ func (s *Server) handleSearchBatchV1(w http.ResponseWriter, r *http.Request) {
 
 // v2Query is the wire form of one search.Request.
 type v2Query struct {
-	Seeker   string   `json:"seeker"`
-	Tags     []string `json:"tags"`
-	K        int      `json:"k"`
-	Beta     *float64 `json:"beta"`
-	Mode     string   `json:"mode"`
-	AlgHint  string   `json:"alg_hint"`
-	MinScore float64  `json:"min_score"`
-	Offset   int      `json:"offset"`
-	Explain  bool     `json:"explain"`
+	Seeker        string   `json:"seeker"`
+	Tags          []string `json:"tags"`
+	K             int      `json:"k"`
+	Beta          *float64 `json:"beta"`
+	Mode          string   `json:"mode"`
+	AlgHint       string   `json:"alg_hint"`
+	MinScore      float64  `json:"min_score"`
+	Offset        int      `json:"offset"`
+	NoCache       bool     `json:"no_cache"`
+	MaxCacheAgeMS int64    `json:"max_cache_age_ms"`
+	Explain       bool     `json:"explain"`
 }
 
 // request converts the wire query to a search.Request (mode parse
@@ -407,15 +414,17 @@ func (q v2Query) request() (search.Request, error) {
 		return search.Request{}, err
 	}
 	return search.Request{
-		Seeker:   q.Seeker,
-		Tags:     q.Tags,
-		K:        q.K,
-		Beta:     q.Beta,
-		Mode:     mode,
-		AlgHint:  q.AlgHint,
-		MinScore: q.MinScore,
-		Offset:   q.Offset,
-		Explain:  q.Explain,
+		Seeker:        q.Seeker,
+		Tags:          q.Tags,
+		K:             q.K,
+		Beta:          q.Beta,
+		Mode:          mode,
+		AlgHint:       q.AlgHint,
+		MinScore:      q.MinScore,
+		Offset:        q.Offset,
+		NoCache:       q.NoCache,
+		MaxCacheAgeMS: q.MaxCacheAgeMS,
+		Explain:       q.Explain,
 	}, nil
 }
 

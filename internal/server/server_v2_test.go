@@ -306,3 +306,48 @@ type brokenBackend struct{ stubBackend }
 func (brokenBackend) Do(ctx context.Context, req search.Request) (search.Response, error) {
 	return search.Response{}, errors.New("wal: disk on fire")
 }
+
+// TestV2CacheKnobs covers the per-query cache controls: no_cache
+// bypasses the seeker cache (never a hit, never warms it) and a bad
+// max_cache_age_ms is a client error.
+func TestV2CacheKnobs(t *testing.T) {
+	s, _ := newTestServer(t)
+	seedHTTP(t, s)
+
+	body := map[string]interface{}{
+		"seeker": "alice", "tags": []string{"pizza"}, "k": 3,
+		"no_cache": true, "explain": true,
+	}
+	var resp V2SearchResponse
+	for rep := 0; rep < 2; rep++ {
+		rec := doJSON(t, s, http.MethodPost, "/v2/search", body)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("rep %d: status %d body %s", rep, rec.Code, rec.Body)
+		}
+		resp = V2SearchResponse{}
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Explain == nil || resp.Explain.CacheHit {
+			t.Fatalf("rep %d: no_cache query hit the cache: %+v", rep, resp.Explain)
+		}
+	}
+	if len(resp.Results) == 0 || resp.Results[0].Item != "luigis" {
+		t.Fatalf("results = %+v", resp.Results)
+	}
+
+	// An age-bounded query is accepted and still answers correctly.
+	rec := doJSON(t, s, http.MethodPost, "/v2/search", map[string]interface{}{
+		"seeker": "alice", "tags": []string{"pizza"}, "k": 3, "max_cache_age_ms": 60000,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("max_cache_age_ms request: status %d body %s", rec.Code, rec.Body)
+	}
+
+	rec = doJSON(t, s, http.MethodPost, "/v2/search", map[string]interface{}{
+		"seeker": "alice", "tags": []string{"pizza"}, "k": 3, "max_cache_age_ms": -1,
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("negative max_cache_age_ms: status %d, want 400", rec.Code)
+	}
+}

@@ -1,0 +1,137 @@
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/qcache"
+)
+
+// DefaultShards is the shard count substituted when a CacheConfig
+// leaves Shards zero — the single place the fleet-wide default lives.
+const DefaultShards = 4
+
+// CacheConfig tunes a sharded cache fleet.
+type CacheConfig struct {
+	// Shards is the number of cache shards (0 = DefaultShards). Each
+	// shard is an independently locked qcache.Cache owning the seekers
+	// the ring assigns to it, so lock contention and invalidation blast
+	// radius shrink with the shard count.
+	Shards int
+	// Capacity is the TOTAL entry budget, split evenly across shards
+	// (each shard gets at least 1).
+	Capacity int
+	// Policy is the per-shard admission/TTL policy (see qcache.Policy).
+	Policy qcache.Policy
+	// VirtualNodes configures the ring (0 = DefaultVirtualNodes).
+	VirtualNodes int
+}
+
+// Caches is a fleet of per-shard seeker-horizon caches behind one
+// consistent-hash ring. A seeker's horizon lives in exactly one shard;
+// invalidation fans out, since a friendship edge can affect horizons in
+// any shard. It is safe for concurrent use.
+type Caches struct {
+	ring   *Ring
+	shards []*qcache.Cache
+}
+
+// NewCaches builds the fleet.
+func NewCaches(cfg CacheConfig) (*Caches, error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("shard: %d cache shards, need >= 1", cfg.Shards)
+	}
+	if cfg.Capacity < 1 {
+		return nil, fmt.Errorf("shard: total cache capacity %d, need >= 1", cfg.Capacity)
+	}
+	ring, err := NewRing(cfg.Shards, cfg.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	per := (cfg.Capacity + cfg.Shards - 1) / cfg.Shards
+	shards := make([]*qcache.Cache, cfg.Shards)
+	for i := range shards {
+		c, err := qcache.NewWithPolicy(per, cfg.Policy)
+		if err != nil {
+			return nil, err
+		}
+		shards[i] = c
+	}
+	return &Caches{ring: ring, shards: shards}, nil
+}
+
+// NumShards returns the shard count.
+func (c *Caches) NumShards() int { return len(c.shards) }
+
+// ShardFor returns the index of the shard owning a seeker.
+func (c *Caches) ShardFor(seeker graph.UserID) int {
+	return c.ring.OwnerUser(seeker)
+}
+
+// For returns the cache shard owning a seeker.
+func (c *Caches) For(seeker graph.UserID) *qcache.Cache {
+	return c.shards[c.ring.OwnerUser(seeker)]
+}
+
+// Shard returns shard i directly (stats, tests).
+func (c *Caches) Shard(i int) *qcache.Cache { return c.shards[i] }
+
+// Invalidate logically drops every cached horizon in every shard — the
+// global hammer for graph changes edge scoping cannot bound.
+func (c *Caches) Invalidate() {
+	for _, s := range c.shards {
+		s.Invalidate()
+	}
+}
+
+// InvalidateEdges drops, in every shard, the cached horizons the given
+// friendship mutations could affect (see qcache.InvalidateEdges). The
+// fan-out is unconditional — an edge's endpoints may appear in horizons
+// owned by any shard — but within each shard the drop is scoped to
+// affected entries. Returns the total number of entries dropped.
+func (c *Caches) InvalidateEdges(edges [][2]graph.UserID) int {
+	n := 0
+	for _, s := range c.shards {
+		n += s.InvalidateEdges(edges)
+	}
+	return n
+}
+
+// Len returns the total number of resident entries across shards.
+func (c *Caches) Len() int {
+	n := 0
+	for _, s := range c.shards {
+		n += s.Len()
+	}
+	return n
+}
+
+// Counters returns the fleet-wide aggregate of the per-shard counters.
+func (c *Caches) Counters() metrics.CacheSnapshot {
+	var agg metrics.CacheSnapshot
+	for _, s := range c.shards {
+		agg = agg.Add(s.Counters())
+	}
+	return agg
+}
+
+// Snapshot is one shard's observable state.
+type Snapshot struct {
+	Shard    int
+	Entries  int
+	Counters metrics.CacheSnapshot
+}
+
+// PerShard returns each shard's entry count and counters, in shard
+// order — what /v1/stats reports so a hot or cold shard is visible.
+func (c *Caches) PerShard() []Snapshot {
+	out := make([]Snapshot, len(c.shards))
+	for i, s := range c.shards {
+		out[i] = Snapshot{Shard: i, Entries: s.Len(), Counters: s.Counters()}
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+// Package shard is the sharded serving spine: it partitions seekers
+// across N shards by consistent hashing so each shard owns its
+// seekers' cached horizons (Caches) and, one level up, so whole
+// requests can be routed across N engine replicas (Router).
+//
+// Consistent hashing — a ring of virtual nodes rather than a plain
+// modulus — is deliberate: shard ownership is stable under fleet
+// resizing (growing from N to N+1 shards remaps only ~1/(N+1) of the
+// seekers), which is the property the later multi-process fleet needs
+// to warm new replicas without cold-starting every cache at once.
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// DefaultVirtualNodes is the number of ring points per shard. 64 keeps
+// the load imbalance between shards within a few percent while the
+// ring stays small enough that building and searching it is noise.
+const DefaultVirtualNodes = 64
+
+// Ring maps keys to shard indices by consistent hashing.
+type Ring struct {
+	shards int
+	points []ringPoint // hash-ascending
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// NewRing builds a ring over the given number of shards (≥ 1) with
+// vnodes virtual nodes per shard (0 = DefaultVirtualNodes).
+func NewRing(shards, vnodes int) (*Ring, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("shard: %d shards, need >= 1", shards)
+	}
+	if vnodes < 0 {
+		return nil, fmt.Errorf("shard: negative virtual node count %d", vnodes)
+	}
+	if vnodes == 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	r := &Ring{shards: shards, points: make([]ringPoint, 0, shards*vnodes)}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			// Hash the (shard, vnode) pair as a little label; FNV keeps
+			// the ring deterministic across processes and restarts.
+			h := fnv1a(uint64(s)<<32 | uint64(v))
+			r.points = append(r.points, ringPoint{hash: h, shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r, nil
+}
+
+// Shards returns the number of shards on the ring.
+func (r *Ring) Shards() int { return r.shards }
+
+// Owner returns the shard owning an arbitrary pre-hashed key: the first
+// ring point at or clockwise-after the key's hash.
+func (r *Ring) Owner(key uint64) int {
+	h := fnv1a(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// OwnerUser returns the shard owning a seeker id.
+func (r *Ring) OwnerUser(u graph.UserID) int {
+	return r.Owner(uint64(uint32(u)))
+}
+
+// OwnerString returns the shard owning a string key (a name-level
+// seeker a router sees before id resolution).
+func (r *Ring) OwnerString(s string) int {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// fnv1a hashes the 8 bytes of v, little-endian.
+func fnv1a(v uint64) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < 8; i++ {
+		h ^= v >> (8 * i) & 0xff
+		h *= fnvPrime
+	}
+	return h
+}

@@ -1,0 +1,89 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/search"
+)
+
+// Router partitions the canonical search surface across N replica
+// Searchers by consistent hashing over the request seeker: every query
+// for a given seeker lands on the same replica, so that replica's
+// horizon cache is the only one that ever pays the seeker's expansion.
+// It implements search.Searcher and is the in-process prototype of the
+// multi-process fleet front door.
+type Router struct {
+	ring     *Ring
+	replicas []search.Searcher
+}
+
+var _ search.Searcher = (*Router)(nil)
+
+// NewRouter builds a router over the replicas (≥ 1, none nil).
+func NewRouter(replicas []search.Searcher, vnodes int) (*Router, error) {
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("shard: router needs >= 1 replica")
+	}
+	for i, r := range replicas {
+		if r == nil {
+			return nil, fmt.Errorf("shard: nil replica %d", i)
+		}
+	}
+	ring, err := NewRing(len(replicas), vnodes)
+	if err != nil {
+		return nil, err
+	}
+	return &Router{ring: ring, replicas: replicas}, nil
+}
+
+// Replicas returns the replica count.
+func (r *Router) Replicas() int { return len(r.replicas) }
+
+// ReplicaFor returns the index of the replica owning a seeker name.
+func (r *Router) ReplicaFor(seeker string) int {
+	return r.ring.OwnerString(seeker)
+}
+
+// Do routes the request to the replica owning its seeker.
+func (r *Router) Do(ctx context.Context, req search.Request) (search.Response, error) {
+	return r.replicas[r.ring.OwnerString(req.Seeker)].Do(ctx, req)
+}
+
+// DoBatch splits the batch by owning replica, runs the sub-batches
+// concurrently on the replicas' own worker pools, and reassembles the
+// outcomes in input order. Per-request errors stay per-request; a
+// cancelled ctx is handled by each replica's DoBatch (unstarted
+// requests fail with ctx.Err()).
+func (r *Router) DoBatch(ctx context.Context, reqs []search.Request) []search.BatchResult {
+	out := make([]search.BatchResult, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	if len(r.replicas) == 1 {
+		return r.replicas[0].DoBatch(ctx, reqs)
+	}
+	subs := make([][]search.Request, len(r.replicas))
+	positions := make([][]int, len(r.replicas))
+	for i, req := range reqs {
+		s := r.ring.OwnerString(req.Seeker)
+		subs[s] = append(subs[s], req)
+		positions[s] = append(positions[s], i)
+	}
+	var wg sync.WaitGroup
+	for s := range r.replicas {
+		if len(subs[s]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for j, br := range r.replicas[s].DoBatch(ctx, subs[s]) {
+				out[positions[s][j]] = br
+			}
+		}(s)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,296 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/qcache"
+	"repro/internal/search"
+	"repro/internal/tagstore"
+)
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(0, 0); err == nil {
+		t.Error("0 shards accepted")
+	}
+	if _, err := NewRing(4, -1); err == nil {
+		t.Error("negative vnodes accepted")
+	}
+}
+
+func TestRingDeterministicAndStable(t *testing.T) {
+	r1, err := NewRing(8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := NewRing(8, 0)
+	for u := graph.UserID(0); u < 1000; u++ {
+		if r1.OwnerUser(u) != r2.OwnerUser(u) {
+			t.Fatalf("ring not deterministic for user %d", u)
+		}
+	}
+	if r1.OwnerString("alice") != r2.OwnerString("alice") {
+		t.Fatal("ring not deterministic for strings")
+	}
+}
+
+func TestRingSpreadsLoad(t *testing.T) {
+	const shards, users = 8, 10000
+	r, err := NewRing(shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, shards)
+	for u := graph.UserID(0); u < users; u++ {
+		counts[r.OwnerUser(u)]++
+	}
+	for s, n := range counts {
+		if n == 0 {
+			t.Fatalf("shard %d owns no users", s)
+		}
+		// Virtual nodes should keep every shard within 3x of the mean.
+		if n > 3*users/shards {
+			t.Fatalf("shard %d owns %d of %d users", s, n, users)
+		}
+	}
+}
+
+// TestRingResizeStability: growing the fleet must remap only a modest
+// fraction of keys — the consistent-hashing property a plain modulus
+// lacks.
+func TestRingResizeStability(t *testing.T) {
+	const users = 10000
+	r8, _ := NewRing(8, 0)
+	r9, _ := NewRing(9, 0)
+	moved := 0
+	for u := graph.UserID(0); u < users; u++ {
+		if r8.OwnerUser(u) != r9.OwnerUser(u) {
+			moved++
+		}
+	}
+	// Ideal is 1/9 ≈ 11%; allow generous slack but reject modulus-like
+	// behaviour (a plain mod remaps ~89%).
+	if moved > users/3 {
+		t.Fatalf("resize 8→9 moved %d of %d keys", moved, users)
+	}
+}
+
+func shardTestEngine(t testing.TB, n int) *core.Engine {
+	t.Helper()
+	gb := graph.NewBuilder(n)
+	for u := 0; u < n-1; u++ {
+		gb.AddEdge(graph.UserID(u), graph.UserID(u+1), 0.5)
+	}
+	g, err := gb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tagstore.NewBuilder(n, n, 1)
+	for u := 0; u < n; u++ {
+		tb.Add(int32(u), tagstore.ItemID(u), 0)
+	}
+	store, err := tb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewEngine(g, store, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestCachesRouteAndInvalidate(t *testing.T) {
+	e := shardTestEngine(t, 16)
+	cs, err := NewCaches(CacheConfig{Shards: 4, Capacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Install a horizon per seeker in its owning shard, the way a
+	// service does.
+	for u := graph.UserID(0); u < 16; u++ {
+		c := cs.For(u)
+		h, err := e.MaterializeHorizon(u, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.Put(u, c.Generation(), h) {
+			t.Fatalf("seeker %d refused", u)
+		}
+	}
+	if cs.Len() != 16 {
+		t.Fatalf("fleet holds %d entries, want 16", cs.Len())
+	}
+	// Ownership is exclusive: the same seeker always lands on the same
+	// shard, and other shards never see it.
+	for u := graph.UserID(0); u < 16; u++ {
+		own := cs.ShardFor(u)
+		for s := 0; s < cs.NumShards(); s++ {
+			c := cs.Shard(s)
+			_, ok := c.Get(u, c.Generation())
+			if (s == own) != ok {
+				t.Fatalf("seeker %d: shard %d hit=%v, owner is %d", u, s, ok, own)
+			}
+		}
+	}
+	// An edge drop fans out to every shard but only touches affected
+	// entries. Horizons are 4 users wide on a line, so edge (0,1)
+	// affects only seekers near the line's start.
+	dropped := cs.InvalidateEdges([][2]graph.UserID{{0, 1}})
+	if dropped == 0 || dropped > 6 {
+		t.Fatalf("edge (0,1) dropped %d entries", dropped)
+	}
+	if cs.Len() != 16-dropped {
+		t.Fatalf("fleet holds %d entries after drop of %d", cs.Len(), dropped)
+	}
+	agg := cs.Counters()
+	if agg.Invalidations != int64(dropped) {
+		t.Fatalf("aggregate invalidations %d, want %d", agg.Invalidations, dropped)
+	}
+	per := cs.PerShard()
+	if len(per) != 4 {
+		t.Fatalf("%d per-shard snapshots", len(per))
+	}
+	total := 0
+	for i, s := range per {
+		if s.Shard != i {
+			t.Fatalf("snapshot %d labelled shard %d", i, s.Shard)
+		}
+		total += s.Entries
+	}
+	if total != cs.Len() {
+		t.Fatalf("per-shard entries sum %d, fleet len %d", total, cs.Len())
+	}
+	cs.Invalidate()
+	for u := graph.UserID(0); u < 16; u++ {
+		c := cs.For(u)
+		if _, ok := c.Get(u, c.Generation()); ok {
+			t.Fatalf("seeker %d served after global invalidation", u)
+		}
+	}
+}
+
+func TestCachesValidation(t *testing.T) {
+	if _, err := NewCaches(CacheConfig{Shards: -1, Capacity: 8}); err == nil {
+		t.Error("negative shard count accepted")
+	}
+	if cs, err := NewCaches(CacheConfig{Capacity: 8}); err != nil || cs.NumShards() != DefaultShards {
+		t.Errorf("zero Shards: caches=%v err=%v, want %d shards", cs, err, DefaultShards)
+	}
+	if _, err := NewCaches(CacheConfig{Shards: 2, Capacity: 0}); err == nil {
+		t.Error("0 capacity accepted")
+	}
+	if _, err := NewCaches(CacheConfig{Shards: 2, Capacity: 8, Policy: qcache.Policy{MinMisses: -1}}); err == nil {
+		t.Error("bad policy accepted")
+	}
+	// Tiny total capacity still gives every shard at least one slot.
+	cs, err := NewCaches(CacheConfig{Shards: 4, Capacity: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.NumShards() != 4 {
+		t.Fatalf("NumShards = %d", cs.NumShards())
+	}
+}
+
+// spySearcher records which replica served which seeker.
+type spySearcher struct {
+	id int
+
+	mu      sync.Mutex
+	seekers []string
+}
+
+func (s *spySearcher) Do(ctx context.Context, req search.Request) (search.Response, error) {
+	s.mu.Lock()
+	s.seekers = append(s.seekers, req.Seeker)
+	s.mu.Unlock()
+	if req.Seeker == "explode" {
+		return search.Response{}, fmt.Errorf("replica %d: boom", s.id)
+	}
+	return search.Response{Results: []search.Result{{Item: fmt.Sprintf("r%d:%s", s.id, req.Seeker), Score: 1}}}, nil
+}
+
+func (s *spySearcher) DoBatch(ctx context.Context, reqs []search.Request) []search.BatchResult {
+	out := make([]search.BatchResult, len(reqs))
+	for i, req := range reqs {
+		resp, err := s.Do(ctx, req)
+		out[i] = search.BatchResult{Response: resp, Err: err}
+	}
+	return out
+}
+
+func TestRouterRoutesBySeeker(t *testing.T) {
+	replicas := []*spySearcher{{id: 0}, {id: 1}, {id: 2}}
+	r, err := NewRouter([]search.Searcher{replicas[0], replicas[1], replicas[2]}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// The same seeker must always land on the same replica.
+	for i := 0; i < 3; i++ {
+		if _, err := r.Do(ctx, search.Request{Seeker: "alice", Tags: []string{"x"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	owner := r.ReplicaFor("alice")
+	for i, rep := range replicas {
+		rep.mu.Lock()
+		n := len(rep.seekers)
+		rep.mu.Unlock()
+		if i == owner && n != 3 {
+			t.Fatalf("owner replica %d served %d queries, want 3", i, n)
+		}
+		if i != owner && n != 0 {
+			t.Fatalf("non-owner replica %d served %d queries", i, n)
+		}
+	}
+}
+
+func TestRouterBatchOrderAndErrors(t *testing.T) {
+	reps := []search.Searcher{&spySearcher{id: 0}, &spySearcher{id: 1}, &spySearcher{id: 2}}
+	r, err := NewRouter(reps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reqs []search.Request
+	for i := 0; i < 40; i++ {
+		seeker := fmt.Sprintf("user-%d", i)
+		if i%7 == 3 {
+			seeker = "explode"
+		}
+		reqs = append(reqs, search.Request{Seeker: seeker, Tags: []string{"x"}})
+	}
+	out := r.DoBatch(context.Background(), reqs)
+	if len(out) != len(reqs) {
+		t.Fatalf("%d outcomes for %d requests", len(out), len(reqs))
+	}
+	for i, br := range out {
+		if reqs[i].Seeker == "explode" {
+			if br.Err == nil {
+				t.Fatalf("entry %d: expected error", i)
+			}
+			continue
+		}
+		if br.Err != nil {
+			t.Fatalf("entry %d: %v", i, br.Err)
+		}
+		want := fmt.Sprintf("r%d:%s", r.ReplicaFor(reqs[i].Seeker), reqs[i].Seeker)
+		if got := br.Response.Results[0].Item; got != want {
+			t.Fatalf("entry %d answered by %q, want %q (order scrambled?)", i, got, want)
+		}
+	}
+}
+
+func TestRouterValidation(t *testing.T) {
+	if _, err := NewRouter(nil, 0); err == nil {
+		t.Error("empty replica set accepted")
+	}
+	if _, err := NewRouter([]search.Searcher{nil}, 0); err == nil {
+		t.Error("nil replica accepted")
+	}
+}

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/planner"
+	"repro/internal/qcache"
 	"repro/internal/search"
 )
 
@@ -67,9 +69,16 @@ func (s *Service) Do(ctx context.Context, req search.Request) (search.Response, 
 		s.mu.Unlock()
 		return search.Response{}, err
 	}
+	// Pin the seeker's owning cache shard and its generation together
+	// with the snapshot: compaction (which may swap both) also holds
+	// s.mu, so the triple is consistent.
+	var cache *qcache.Cache
+	var cacheShard int
 	var gen uint64
-	if s.cache != nil {
-		gen = s.cache.Generation()
+	if s.caches != nil && !req.NoCache {
+		cacheShard = s.caches.ShardFor(uid)
+		cache = s.caches.Shard(cacheShard)
+		gen = cache.Generation()
 	}
 	s.mu.Unlock()
 
@@ -88,9 +97,9 @@ func (s *Service) Do(ctx context.Context, req search.Request) (search.Response, 
 		}
 	}
 
-	ex := &search.Explain{Mode: req.Mode.String(), Beta: qeng.Beta()}
+	ex := &search.Explain{Mode: req.Mode.String(), Beta: qeng.Beta(), CacheShard: cacheShard}
 	q := core.Query{Seeker: uid, Tags: tagIDs, K: req.K + req.Offset}
-	ans, err := s.execute(ctx, qeng, q, req, gen, ex)
+	ans, err := s.execute(ctx, qeng, q, req, cache, gen, ex)
 	if err != nil {
 		return search.Response{}, err
 	}
@@ -129,15 +138,18 @@ func (s *Service) Do(ctx context.Context, req search.Request) (search.Response, 
 }
 
 // execute runs the id-space query against the pinned snapshot in the
-// requested mode, filling the execution half of ex as it goes.
-func (s *Service) execute(ctx context.Context, eng *core.Engine, q core.Query, req search.Request, gen uint64, ex *search.Explain) (core.Answer, error) {
+// requested mode, filling the execution half of ex as it goes. cache is
+// the seeker's owning cache shard (nil when caching is disabled or the
+// request opted out).
+func (s *Service) execute(ctx context.Context, eng *core.Engine, q core.Query, req search.Request, cache *qcache.Cache, gen uint64, ex *search.Explain) (core.Answer, error) {
+	maxAge := time.Duration(req.MaxCacheAgeMS) * time.Millisecond
 	switch req.Mode {
 	case search.ModeExact:
 		ex.Algorithm = planner.SocialMerge.String()
-		return s.horizonAnswer(ctx, eng, q, gen, core.Options{RefineScores: true, Ctx: ctx}, ex)
+		return s.horizonAnswer(ctx, eng, q, cache, gen, maxAge, core.Options{RefineScores: true, Ctx: ctx}, ex)
 	case search.ModeApprox:
 		ex.Algorithm = planner.SocialMerge.String()
-		return s.horizonAnswer(ctx, eng, q, gen, core.Options{Ctx: ctx}, ex)
+		return s.horizonAnswer(ctx, eng, q, cache, gen, maxAge, core.Options{Ctx: ctx}, ex)
 	}
 	// ModeAuto: plan (or obey the hint), then run — SocialMerge plans go
 	// through the horizon cache, everything else runs directly.
@@ -162,27 +174,31 @@ func (s *Service) execute(ctx context.Context, eng *core.Engine, q core.Query, r
 	}
 	ex.Algorithm = alg.String()
 	if alg == planner.SocialMerge {
-		return s.horizonAnswer(ctx, eng, q, gen, core.Options{Ctx: ctx}, ex)
+		return s.horizonAnswer(ctx, eng, q, cache, gen, maxAge, core.Options{Ctx: ctx}, ex)
 	}
 	return p.Run(ctx, alg, q)
 }
 
-// horizonAnswer executes a SocialMerge-family query through the seeker
-// cache when enabled. gen is the cache generation captured with the
-// snapshot: a cached horizon is used only when its stamp matches, and a
+// horizonAnswer executes a SocialMerge-family query through the
+// seeker's cache shard when one was pinned. gen is the shard generation
+// captured with the snapshot: a cached horizon is used only when valid
+// under that generation (and younger than maxAge, when positive), and a
 // freshly materialized one is offered back under the same stamp
 // (refused if the graph moved meanwhile).
-func (s *Service) horizonAnswer(ctx context.Context, eng *core.Engine, q core.Query, gen uint64, opts core.Options, ex *search.Explain) (core.Answer, error) {
-	if s.cache == nil {
+func (s *Service) horizonAnswer(ctx context.Context, eng *core.Engine, q core.Query, cache *qcache.Cache, gen uint64, maxAge time.Duration, opts core.Options, ex *search.Explain) (core.Answer, error) {
+	if cache == nil {
+		// No cache (disabled, or the request opted out): run the lazy
+		// incremental expansion — cheaper than materializing a full
+		// horizon nobody will reuse.
 		return eng.SocialMerge(q, opts)
 	}
-	h, hit := s.cache.Get(q.Seeker, gen)
+	h, hit := cache.Lookup(q.Seeker, gen, maxAge)
 	if !hit {
 		var err error
 		if h, err = eng.MaterializeHorizonCtx(ctx, q.Seeker, s.cfg.MaxHorizonUsers); err != nil {
 			return core.Answer{}, err
 		}
-		s.cache.Put(q.Seeker, gen, h)
+		cache.Put(q.Seeker, gen, h)
 	}
 	ex.CacheHit = hit
 	ex.CacheGeneration = gen

@@ -53,7 +53,7 @@ func Restore(cfg ServiceConfig, g *graph.Graph, st *tagstore.Store, names *vocab
 	if err != nil {
 		return nil, err
 	}
-	cache, err := newSeekerCache(cfg)
+	caches, err := newSeekerCaches(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -65,5 +65,5 @@ func Restore(cfg ServiceConfig, g *graph.Graph, st *tagstore.Store, names *vocab
 	if err != nil {
 		return nil, err
 	}
-	return &Service{cfg: cfg, cache: cache, names: names, overlay: o, engine: eng}, nil
+	return &Service{cfg: cfg, caches: caches, names: names, overlay: o, engine: eng}, nil
 }

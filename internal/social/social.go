@@ -20,14 +20,17 @@ package social
 import (
 	"context"
 	"fmt"
+	"reflect"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/overlay"
 	"repro/internal/proximity"
 	"repro/internal/qcache"
 	"repro/internal/search"
+	"repro/internal/shard"
 	"repro/internal/vocab"
 )
 
@@ -36,6 +39,15 @@ import (
 const (
 	DefaultSeekerCacheSize = 256
 	DefaultBatchWorkers    = 4
+	// DefaultCacheShards partitions the seeker cache: each shard is
+	// independently locked and owns its seekers' horizons, so lookup
+	// contention and invalidation work shrink with the shard count
+	// (the fleet-wide default from internal/shard).
+	DefaultCacheShards = shard.DefaultShards
+	// DefaultEdgeScopeLimit caps the number of distinct mutated friend
+	// edges one compaction invalidates by scope; past it the service
+	// falls back to one global invalidation (cheaper than enumerating).
+	DefaultEdgeScopeLimit = 256
 )
 
 // ServiceConfig tunes a Service.
@@ -56,6 +68,22 @@ type ServiceConfig struct {
 	// on hits; workloads dominated by one-shot seekers should disable
 	// it or set MaxHorizonUsers.
 	SeekerCacheSize int
+	// CacheShards partitions the seeker cache into this many
+	// independently locked shards by consistent hashing over the seeker
+	// id (0 = DefaultCacheShards). SeekerCacheSize is the TOTAL budget
+	// across shards.
+	CacheShards int
+	// CachePolicy tunes cache admission and expiry (TTL, minimum
+	// horizon size, miss-streak admission; see qcache.Policy). The zero
+	// value admits everything and never expires.
+	CachePolicy qcache.Policy
+	// EdgeScopeLimit caps how many distinct mutated friend edges one
+	// compaction invalidates by scope (dropping only cached horizons
+	// that contain an endpoint) before falling back to a global
+	// invalidation. 0 = DefaultEdgeScopeLimit; negative disables edge
+	// scoping entirely (every friend compaction invalidates globally —
+	// the pre-sharding behaviour).
+	EdgeScopeLimit int
 	// MaxHorizonUsers truncates materialized horizons to this many
 	// users (0 = full horizon, exact answers). A positive bound caps
 	// cache-miss cost and entry size; answers for seekers whose
@@ -64,6 +92,13 @@ type ServiceConfig struct {
 	// BatchWorkers bounds the worker pool SearchBatch runs queries on
 	// (0 means DefaultBatchWorkers).
 	BatchWorkers int
+}
+
+// IsZero reports whether the config is entirely unset, so embedders
+// (internal/durable) can substitute defaults. ServiceConfig stopped
+// being ==-comparable when the cache policy gained a clock field.
+func (c ServiceConfig) IsZero() bool {
+	return reflect.ValueOf(c).IsZero()
 }
 
 // DefaultServiceConfig returns the practical defaults described above.
@@ -88,8 +123,8 @@ type Result struct {
 // Searches reuse cached seeker horizons (internal/qcache) that are
 // invalidated whenever friendship edges reach the snapshot.
 type Service struct {
-	cfg   ServiceConfig
-	cache *qcache.Cache // nil when caching is disabled
+	cfg    ServiceConfig
+	caches *shard.Caches // nil when caching is disabled
 
 	mu           sync.Mutex
 	names        *vocab.Set
@@ -97,6 +132,14 @@ type Service struct {
 	engine       *overlay.Engine
 	writes       int
 	friendsDirty bool // friend edges written since the last compaction
+	// dirtyEdges accumulates the distinct friend edges written since
+	// the last compaction, for edge-scoped cache invalidation (dirtySet
+	// dedups re-declarations of the same edge); edgeOverflow is set
+	// when more than EdgeScopeLimit distinct edges accumulated and the
+	// next compaction must invalidate globally instead.
+	dirtyEdges   [][2]graph.UserID
+	dirtySet     map[[2]graph.UserID]struct{}
+	edgeOverflow bool
 }
 
 // normalizeConfig validates cfg and fills serving-path defaults.
@@ -116,6 +159,18 @@ func normalizeConfig(cfg ServiceConfig) (ServiceConfig, error) {
 	if cfg.SeekerCacheSize == 0 {
 		cfg.SeekerCacheSize = DefaultSeekerCacheSize
 	}
+	if cfg.CacheShards == 0 {
+		cfg.CacheShards = DefaultCacheShards
+	}
+	if cfg.CacheShards < 0 {
+		return cfg, fmt.Errorf("social: negative CacheShards")
+	}
+	if err := cfg.CachePolicy.Validate(); err != nil {
+		return cfg, err
+	}
+	if cfg.EdgeScopeLimit == 0 {
+		cfg.EdgeScopeLimit = DefaultEdgeScopeLimit
+	}
 	if cfg.BatchWorkers == 0 {
 		cfg.BatchWorkers = DefaultBatchWorkers
 	}
@@ -128,13 +183,17 @@ func normalizeConfig(cfg ServiceConfig) (ServiceConfig, error) {
 	return cfg, nil
 }
 
-// newSeekerCache builds the horizon cache the config asks for (nil when
-// disabled).
-func newSeekerCache(cfg ServiceConfig) (*qcache.Cache, error) {
+// newSeekerCaches builds the sharded horizon cache the config asks for
+// (nil when disabled).
+func newSeekerCaches(cfg ServiceConfig) (*shard.Caches, error) {
 	if cfg.SeekerCacheSize < 0 {
 		return nil, nil
 	}
-	return qcache.New(cfg.SeekerCacheSize)
+	return shard.NewCaches(shard.CacheConfig{
+		Shards:   cfg.CacheShards,
+		Capacity: cfg.SeekerCacheSize,
+		Policy:   cfg.CachePolicy,
+	})
 }
 
 // NewService builds an empty service.
@@ -143,11 +202,11 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
-	cache, err := newSeekerCache(cfg)
+	caches, err := newSeekerCaches(cfg)
 	if err != nil {
 		return nil, err
 	}
-	s := &Service{cfg: cfg, cache: cache, names: vocab.NewSet()}
+	s := &Service{cfg: cfg, caches: caches, names: vocab.NewSet()}
 	if err := s.initEmpty(); err != nil {
 		return nil, err
 	}
@@ -226,22 +285,68 @@ func (s *Service) noteWrite() error {
 }
 
 // compactLocked folds pending writes into the queryable snapshot and,
-// when friendship edges were among them, invalidates every cached
-// seeker horizon: the proximities they encode were computed on the
-// superseded friendship graph. Tag-only compactions leave the cache
-// untouched — tags live in the store, not the graph, so horizons stay
-// exact. Callers hold s.mu.
+// when friendship edges were among them, invalidates the cached seeker
+// horizons those edges could affect: a horizon is dropped only when its
+// member set contains a mutated edge's endpoint (edge-scoped
+// invalidation; see qcache.InvalidateEdges for why that is sufficient
+// under the max-path-product proximity). When more than EdgeScopeLimit
+// edges accumulated — or edge scoping is disabled — the service falls
+// back to one global invalidation. Tag-only compactions leave the
+// cache untouched — tags live in the store, not the graph, so horizons
+// stay exact. Callers hold s.mu.
 func (s *Service) compactLocked() error {
 	if err := s.engine.Compact(); err != nil {
 		return err
 	}
 	if s.friendsDirty {
 		s.friendsDirty = false
-		if s.cache != nil {
-			s.cache.Invalidate()
+		edges := s.dirtyEdges
+		overflow := s.edgeOverflow
+		s.dirtyEdges = nil
+		s.dirtySet = nil
+		s.edgeOverflow = false
+		if s.caches != nil {
+			if overflow || len(edges) == 0 {
+				s.caches.Invalidate()
+			} else {
+				s.caches.InvalidateEdges(edges)
+			}
 		}
 	}
 	return nil
+}
+
+// noteFriendEdge records a mutated friend edge for the next
+// compaction's scoped invalidation. Callers hold s.mu.
+func (s *Service) noteFriendEdge(a, b graph.UserID) {
+	s.friendsDirty = true
+	if s.caches == nil {
+		return // nothing to invalidate
+	}
+	if s.edgeOverflow || s.cfg.EdgeScopeLimit < 0 {
+		s.edgeOverflow = true
+		return
+	}
+	// Dedup: re-declaring an edge (in either direction) must not count
+	// against the distinct-edge cap.
+	key := [2]graph.UserID{a, b}
+	if b < a {
+		key = [2]graph.UserID{b, a}
+	}
+	if _, seen := s.dirtySet[key]; seen {
+		return
+	}
+	if len(s.dirtyEdges) >= s.cfg.EdgeScopeLimit {
+		s.dirtyEdges = nil
+		s.dirtySet = nil
+		s.edgeOverflow = true
+		return
+	}
+	if s.dirtySet == nil {
+		s.dirtySet = make(map[[2]graph.UserID]struct{})
+	}
+	s.dirtySet[key] = struct{}{}
+	s.dirtyEdges = append(s.dirtyEdges, key)
 }
 
 // Befriend declares (or strengthens) a friendship between two users,
@@ -260,7 +365,7 @@ func (s *Service) Befriend(a, b string, weight float64) error {
 	if err := s.overlay.Befriend(ua, ub, weight); err != nil {
 		return err
 	}
-	s.friendsDirty = true
+	s.noteFriendEdge(ua, ub)
 	return s.noteWrite()
 }
 
@@ -342,11 +447,16 @@ type Stats struct {
 	Users, Items, Tags int
 	PendingWrites      int
 	Compactions        int
-	// SeekerCache reports the horizon cache's effectiveness counters
-	// (all zero when caching is disabled).
+	// SeekerCache reports the horizon cache fleet's aggregated
+	// effectiveness counters (all zero when caching is disabled).
 	SeekerCache metrics.CacheSnapshot
-	// SeekerCacheEntries is the number of resident cache entries.
+	// SeekerCacheEntries is the number of resident cache entries across
+	// all shards.
 	SeekerCacheEntries int
+	// SeekerCacheShards reports each cache shard's entry count and
+	// counters (nil when caching is disabled), so hot and cold shards
+	// are observable per shard.
+	SeekerCacheShards []shard.Snapshot
 }
 
 // Stats returns current counters.
@@ -361,9 +471,10 @@ func (s *Service) Stats() Stats {
 		PendingWrites: pe + pt,
 		Compactions:   s.overlay.Compactions(),
 	}
-	if s.cache != nil {
-		st.SeekerCache = s.cache.Counters()
-		st.SeekerCacheEntries = s.cache.Len()
+	if s.caches != nil {
+		st.SeekerCache = s.caches.Counters()
+		st.SeekerCacheEntries = s.caches.Len()
+		st.SeekerCacheShards = s.caches.PerShard()
 	}
 	return st
 }
