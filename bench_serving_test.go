@@ -11,12 +11,17 @@ package repro
 //	go test -bench 'Serving' -benchmem .
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
 	"testing"
 
+	"repro/internal/fleet"
 	"repro/internal/gen"
 	"repro/internal/proximity"
+	"repro/internal/search"
+	"repro/internal/server"
 	"repro/internal/social"
 	"repro/internal/vocab"
 )
@@ -110,6 +115,57 @@ func BenchmarkServingBatchSearch(b *testing.B) {
 				b.Fatal(r.Err)
 			}
 		}
+	}
+}
+
+// BenchmarkServingFleetLoopback: the same 64-query workload as one
+// DoBatch through a 3-replica loopback fleet — front-end pool →
+// httptest replicas speaking the real /v2 wire format — with warm
+// caches. Comparing against BenchmarkServingBatchSearch shows what the
+// network hop (HTTP, JSON, routing) costs on identical work; benchgate
+// pins the remote path's overhead ratio so a serialization or routing
+// regression fails CI even on different hardware.
+func BenchmarkServingFleetLoopback(b *testing.B) {
+	var clients []*fleet.Client
+	var queries []social.BatchQuery
+	for i := 0; i < 3; i++ {
+		// servingService is deterministic (fixed gen + rng seeds), so
+		// three calls build three identical replicas.
+		svc, qs := servingService(b, 0)
+		queries = qs
+		srv, err := server.New(svc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		c, err := fleet.NewClient(ts.URL, fleet.ClientConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		clients = append(clients, c)
+	}
+	pool, err := fleet.NewPool(clients, fleet.PoolConfig{HealthInterval: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pool.Close()
+	reqs := make([]search.Request, len(queries))
+	for i, q := range queries {
+		reqs[i] = search.Request{Seeker: q.Seeker, Tags: q.Tags, K: q.K, Mode: search.ModeExact}
+	}
+	ctx := context.Background()
+	run := func() {
+		for _, r := range pool.DoBatch(ctx, reqs) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+	run() // warm every replica's cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
 	}
 }
 

@@ -1,11 +1,17 @@
 // Command friendserve runs the social tagging search service over
-// HTTP/JSON.
+// HTTP/JSON — as a single process, as one replica of a fleet, or as a
+// fleet front-end.
 //
 // Usage:
 //
 //	friendserve [-addr :8080] [-dir /var/lib/friendsearch] [-demo]
 //	            [-cache-size 256] [-cache-shards 4] [-cache-ttl 0]
 //	            [-cache-min-horizon 0] [-cache-min-misses 0]
+//	            [-drain 500ms]
+//	friendserve -replica [-addr :8081] ...
+//	friendserve -replicas http://a:8081,http://b:8082 [-addr :8080]
+//	            [-hedge 0] [-health-interval 1s] [-fail-after 3]
+//	            [-bcast-window 25ms] [-bcast-max-edges 512]
 //
 // With -dir the service is crash-safe: every mutation is written ahead
 // to a log under the directory and the state survives restarts. Without
@@ -18,10 +24,20 @@
 //	curl -s -d '{"seeker":"alice","tags":["pizza"],"k":3,"mode":"auto","explain":true}' \
 //	     'localhost:8080/v2/search'
 //
-// The v2 endpoints expose the full request surface — per-query beta,
-// execution mode, score filtering, offset paging, cache bypass/age
-// bounds, explainable answers — and honour client disconnects (a
-// cancelled request stops executing).
+// Fleet topology (see docs/fleet.md): N -replica processes each hold
+// the full dataset and serve the whole API plus /v2/invalidate and
+// /healthz//readyz; one -replicas front-end owns the public address,
+// routes each seeker's queries to the replica owning it on a
+// consistent-hash ring (failing over in ring order when health checks
+// eject a replica), forwards mutations to every replica in one order,
+// and batches dirty-edge invalidation broadcasts so replica seeker
+// caches stay edge-scoped-consistent. A -replica process defers
+// compaction to the broadcast heartbeat; run it standalone only for
+// debugging.
+//
+// All modes drain gracefully on SIGTERM/SIGINT: /readyz flips to 503,
+// the process keeps serving for -drain so load balancers notice, then
+// in-flight requests get 10s to finish.
 //
 // The -cache-* flags tune the sharded seeker-horizon cache: total entry
 // budget, shard count, entry TTL, and the admission thresholds (minimum
@@ -35,14 +51,22 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/durable"
+	"repro/internal/fleet"
 	"repro/internal/qcache"
 	"repro/internal/server"
 	"repro/internal/social"
 )
+
+// replicaCompactEvery effectively disables count-triggered
+// auto-compaction in -replica mode: the front-end's invalidation
+// broadcast is the fleet's compaction heartbeat, so replicas fold
+// pending writes when told to and all land on the same snapshots.
+const replicaCompactEvery = 1 << 30
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -53,20 +77,46 @@ func main() {
 	cacheTTL := flag.Duration("cache-ttl", 0, "seeker-cache entry TTL (0 = never expire)")
 	cacheMinHorizon := flag.Int("cache-min-horizon", 0, "do not cache horizons smaller than this many users")
 	cacheMinMisses := flag.Int("cache-min-misses", 0, "cache a seeker only after this many misses")
+	drain := flag.Duration("drain", 500*time.Millisecond, "keep serving this long after /readyz flips to 503 on shutdown")
+	replica := flag.Bool("replica", false, "serve as a fleet replica (compaction deferred to the invalidation broadcast)")
+	replicas := flag.String("replicas", "", "comma-separated replica base URLs: serve as the fleet front-end")
+	hedge := flag.Duration("hedge", 0, "front-end: duplicate a single query not answered within this delay (0 disables)")
+	healthInterval := flag.Duration("health-interval", 0, "front-end: replica /healthz probe period (0 = default)")
+	failAfter := flag.Int("fail-after", 0, "front-end: consecutive failures before ejecting a replica (0 = default)")
+	bcastWindow := flag.Duration("bcast-window", 0, "front-end: invalidation broadcast coalescing window (0 = default)")
+	bcastMaxEdges := flag.Int("bcast-max-edges", 0, "front-end: flush a broadcast batch early at this many dirty edges (0 = default)")
 	flag.Parse()
 
-	svcCfg := social.DefaultServiceConfig()
-	svcCfg.SeekerCacheSize = *cacheSize
-	svcCfg.CacheShards = *cacheShards
-	svcCfg.CachePolicy = qcache.Policy{
-		TTL:             *cacheTTL,
-		MinHorizonUsers: *cacheMinHorizon,
-		MinMisses:       *cacheMinMisses,
+	if *replica && *replicas != "" {
+		log.Fatalf("friendserve: -replica and -replicas are mutually exclusive")
 	}
 
-	backend, cleanup, err := buildBackend(*dir, svcCfg)
-	if err != nil {
-		log.Fatalf("friendserve: %v", err)
+	var backend server.Backend
+	var cleanup func()
+	if *replicas != "" {
+		front, err := buildFrontend(*replicas, *hedge, *healthInterval, *failAfter, *bcastWindow, *bcastMaxEdges)
+		if err != nil {
+			log.Fatalf("friendserve: %v", err)
+		}
+		backend, cleanup = front, front.Close
+		log.Printf("fleet front-end over %s", *replicas)
+	} else {
+		svcCfg := social.DefaultServiceConfig()
+		svcCfg.SeekerCacheSize = *cacheSize
+		svcCfg.CacheShards = *cacheShards
+		svcCfg.CachePolicy = qcache.Policy{
+			TTL:             *cacheTTL,
+			MinHorizonUsers: *cacheMinHorizon,
+			MinMisses:       *cacheMinMisses,
+		}
+		if *replica {
+			svcCfg.AutoCompactEvery = replicaCompactEvery
+		}
+		var err error
+		backend, cleanup, err = buildBackend(*dir, svcCfg, *replica)
+		if err != nil {
+			log.Fatalf("friendserve: %v", err)
+		}
 	}
 	defer cleanup()
 
@@ -81,19 +131,61 @@ func main() {
 	if err != nil {
 		log.Fatalf("friendserve: %v", err)
 	}
+	srv.SetDrainDelay(*drain)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	log.Printf("listening on %s (durable=%v)", *addr, *dir != "")
+	switch {
+	case *replicas != "":
+		log.Printf("listening on %s (fleet front-end)", *addr)
+	case *replica:
+		log.Printf("listening on %s (fleet replica, durable=%v)", *addr, *dir != "")
+	default:
+		log.Printf("listening on %s (durable=%v)", *addr, *dir != "")
+	}
 	if err := srv.ListenAndServe(ctx, *addr, 10*time.Second); err != nil {
 		log.Fatalf("friendserve: %v", err)
 	}
 	log.Printf("shut down cleanly")
 }
 
-func buildBackend(dir string, cfg social.ServiceConfig) (server.Backend, func(), error) {
+func buildFrontend(urls string, hedge, healthInterval time.Duration, failAfter int, bcastWindow time.Duration, bcastMaxEdges int) (*fleet.Frontend, error) {
+	var clients []*fleet.Client
+	for _, u := range strings.Split(urls, ",") {
+		if u = strings.TrimSpace(u); u == "" {
+			continue
+		}
+		c, err := fleet.NewClient(u, fleet.ClientConfig{HedgeDelay: hedge})
+		if err != nil {
+			return nil, err
+		}
+		clients = append(clients, c)
+	}
+	pool, err := fleet.NewPool(clients, fleet.PoolConfig{
+		HealthInterval: healthInterval,
+		FailAfter:      failAfter,
+	})
+	if err != nil {
+		return nil, err
+	}
+	bcast := fleet.NewBroadcaster(clients, fleet.BroadcasterConfig{
+		Window:        bcastWindow,
+		MaxBatchEdges: bcastMaxEdges,
+	})
+	front, err := fleet.NewFrontend(pool, bcast)
+	if err != nil {
+		pool.Close()
+		bcast.Close()
+		return nil, err
+	}
+	return front, nil
+}
+
+func buildBackend(dir string, cfg social.ServiceConfig, replica bool) (server.Backend, func(), error) {
 	if dir == "" {
-		cfg.AutoCompactEvery = 0
+		if !replica {
+			cfg.AutoCompactEvery = 0
+		}
 		svc, err := social.NewService(cfg)
 		return svc, func() {}, err
 	}

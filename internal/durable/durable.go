@@ -410,6 +410,18 @@ func (s *Service) Flush() error {
 	return svc.Flush()
 }
 
+// ApplyInvalidation folds pending writes into the snapshot and applies
+// a fleet invalidation broadcast to the seeker cache (see
+// social.Service.ApplyInvalidation). Purely a cache/visibility
+// operation — nothing is logged, since the mutations themselves arrive
+// through Befriend/Tag.
+func (s *Service) ApplyInvalidation(edges [][2]string, all bool) (int, error) {
+	s.mu.Lock()
+	svc := s.svc
+	s.mu.Unlock()
+	return svc.ApplyInvalidation(edges, all)
+}
+
 // Users lists all known user names.
 func (s *Service) Users() []string {
 	s.mu.Lock()

@@ -1,0 +1,426 @@
+// Package fleet turns the in-process shard.Router prototype into a
+// multi-process serving fleet: N replica processes each run the full
+// engine over the same mutation stream, a front-end routes queries to
+// the replica owning each seeker (consistent hashing, so exactly one
+// replica pays a seeker's horizon expansion), health checking ejects
+// dead replicas and spills their seekers across the survivors in ring
+// order, and a write-path broadcaster batches compacted Befriend
+// dirty-edge sets to every replica's /v2/invalidate endpoint so the
+// per-replica seeker caches stay edge-scoped-consistent without global
+// flushes.
+//
+// The pieces compose left to right:
+//
+//	Client      — search.Searcher over one replica's /v2 HTTP surface
+//	              (pooled connections, per-attempt timeout, optional
+//	              hedged requests for tail latency)
+//	Pool        — replica registry + /healthz prober + failover router
+//	              (itself a search.Searcher)
+//	Broadcaster — coalesces dirty edges and fans /v2/invalidate out
+//	Frontend    — server.Backend gluing Pool + Broadcaster together,
+//	              so cmd/friendserve -replicas serves the same API as a
+//	              single process
+//
+// Soundness of the invalidation broadcast is argued in docs/fleet.md:
+// the front-end serializes mutations, every replica applies the same
+// stream in the same order, and a broadcast both folds pending writes
+// into each replica's snapshot and drops exactly the cached horizons
+// whose member sets contain a dirty edge's endpoint — the same
+// edge-scoped rule the single-process cache uses (docs/sharding.md),
+// applied across processes.
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/search"
+)
+
+// Client defaults, substituted for zero config fields.
+const (
+	DefaultTimeout      = 10 * time.Second
+	DefaultMaxIdleConns = 32
+)
+
+// unavailablef wraps a transport- or server-side failure so
+// errors.Is(err, search.ErrUnavailable) holds and routers treat it as
+// failover-eligible.
+func unavailablef(format string, args ...interface{}) error {
+	return fmt.Errorf("%w: %s", search.ErrUnavailable, fmt.Sprintf(format, args...))
+}
+
+// ClientConfig tunes a replica client.
+type ClientConfig struct {
+	// Timeout bounds one HTTP attempt (0 = DefaultTimeout). The caller's
+	// ctx can cut it shorter, never longer.
+	Timeout time.Duration
+	// HedgeDelay, when positive, issues a duplicate of a single-query
+	// request that has not answered within the delay and takes whichever
+	// attempt finishes first. Search is read-only and idempotent, so the
+	// duplicate is safe; the cost is at most one extra request on the
+	// slow tail. 0 disables hedging.
+	HedgeDelay time.Duration
+	// MaxIdleConns bounds the pooled idle connections kept to the
+	// replica (0 = DefaultMaxIdleConns).
+	MaxIdleConns int
+	// Transport overrides the HTTP transport (tests). Nil builds a
+	// pooled one from MaxIdleConns.
+	Transport http.RoundTripper
+}
+
+// Client speaks the /v1 + /v2 wire format of one replica process and
+// implements search.Searcher over it. Safe for concurrent use.
+type Client struct {
+	base     string
+	hc       *http.Client
+	cfg      ClientConfig
+	counters *metrics.ReplicaCounters
+}
+
+var _ search.Searcher = (*Client)(nil)
+
+// NewClient builds a client for the replica at baseURL
+// (scheme://host:port, no trailing slash required).
+func NewClient(baseURL string, cfg ClientConfig) (*Client, error) {
+	baseURL = strings.TrimRight(strings.TrimSpace(baseURL), "/")
+	if baseURL == "" {
+		return nil, errors.New("fleet: empty replica URL")
+	}
+	if !strings.HasPrefix(baseURL, "http://") && !strings.HasPrefix(baseURL, "https://") {
+		return nil, fmt.Errorf("fleet: replica URL %q lacks an http(s) scheme", baseURL)
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	if cfg.Timeout < 0 || cfg.HedgeDelay < 0 || cfg.MaxIdleConns < 0 {
+		return nil, fmt.Errorf("fleet: negative client config value")
+	}
+	if cfg.MaxIdleConns == 0 {
+		cfg.MaxIdleConns = DefaultMaxIdleConns
+	}
+	rt := cfg.Transport
+	if rt == nil {
+		rt = &http.Transport{
+			MaxIdleConns:        cfg.MaxIdleConns,
+			MaxIdleConnsPerHost: cfg.MaxIdleConns,
+			IdleConnTimeout:     90 * time.Second,
+		}
+	}
+	return &Client{
+		base:     baseURL,
+		hc:       &http.Client{Transport: rt},
+		cfg:      cfg,
+		counters: &metrics.ReplicaCounters{},
+	}, nil
+}
+
+// URL returns the replica base URL.
+func (c *Client) URL() string { return c.base }
+
+// Counters returns the client's routing counters (shared with the Pool
+// that owns the client).
+func (c *Client) Counters() *metrics.ReplicaCounters { return c.counters }
+
+// wireQuery mirrors the server's /v2 query object field for field.
+type wireQuery struct {
+	Seeker        string   `json:"seeker"`
+	Tags          []string `json:"tags"`
+	K             int      `json:"k"`
+	Beta          *float64 `json:"beta,omitempty"`
+	Mode          string   `json:"mode,omitempty"`
+	AlgHint       string   `json:"alg_hint,omitempty"`
+	MinScore      float64  `json:"min_score,omitempty"`
+	Offset        int      `json:"offset,omitempty"`
+	NoCache       bool     `json:"no_cache,omitempty"`
+	MaxCacheAgeMS int64    `json:"max_cache_age_ms,omitempty"`
+	Explain       bool     `json:"explain,omitempty"`
+}
+
+func toWire(req search.Request) wireQuery {
+	return wireQuery{
+		Seeker:        req.Seeker,
+		Tags:          req.Tags,
+		K:             req.K,
+		Beta:          req.Beta,
+		Mode:          req.Mode.String(),
+		AlgHint:       req.AlgHint,
+		MinScore:      req.MinScore,
+		Offset:        req.Offset,
+		NoCache:       req.NoCache,
+		MaxCacheAgeMS: req.MaxCacheAgeMS,
+		Explain:       req.Explain,
+	}
+}
+
+// post sends one JSON request and decodes the response into out. Status
+// and transport handling is the single place wire errors are
+// classified: 2xx decodes, 400 becomes ErrInvalid (the replica rejected
+// the request content — retrying elsewhere cannot help), everything
+// else — connection failures, 5xx, unexpected statuses — becomes
+// ErrUnavailable, the failover-eligible class. A failure owned by the
+// CALLER's context — cancellation or an expired caller deadline —
+// surfaces as that ctx error instead, so a client hanging up or asking
+// for less time than the query needs never feeds replica health state
+// or triggers failover. Only the per-attempt timeout this client adds
+// on top counts against the replica.
+func (c *Client) post(parent context.Context, path string, in, out interface{}) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("fleet: encoding %s request: %w", path, err)
+	}
+	ctx, cancel := context.WithTimeout(parent, c.cfg.Timeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("fleet: building %s request: %w", path, err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		if perr := parent.Err(); perr != nil {
+			return perr
+		}
+		return unavailablef("%s %s: %v", c.base, path, err)
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		if out == nil {
+			io.Copy(io.Discard, resp.Body)
+			return nil
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return unavailablef("%s %s: decoding response: %v", c.base, path, err)
+		}
+		return nil
+	case resp.StatusCode == http.StatusBadRequest:
+		return search.WrapInvalid(fmt.Errorf("%s %s: %s", c.base, path, wireErrMessage(resp.Body)))
+	default:
+		return unavailablef("%s %s: status %d: %s", c.base, path, resp.StatusCode, wireErrMessage(resp.Body))
+	}
+}
+
+// wireErrMessage extracts the {"error": ...} body the server sends with
+// failure statuses, falling back to the raw (truncated) body.
+func wireErrMessage(r io.Reader) string {
+	raw, err := io.ReadAll(io.LimitReader(r, 4096))
+	if err != nil || len(raw) == 0 {
+		return "(no body)"
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(raw))
+}
+
+// wireSearchResponse mirrors the server's /v2/search response.
+type wireSearchResponse struct {
+	Results []search.Result `json:"results"`
+	Explain *search.Explain `json:"explain,omitempty"`
+}
+
+// Do answers one request over POST /v2/search. With hedging configured,
+// a duplicate attempt launches after HedgeDelay and the first answer
+// wins (the loser is cancelled).
+func (c *Client) Do(ctx context.Context, req search.Request) (search.Response, error) {
+	if c.cfg.HedgeDelay <= 0 {
+		return c.searchOnce(ctx, req)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		resp   search.Response
+		err    error
+		hedged bool
+	}
+	ch := make(chan outcome, 2)
+	run := func(hedged bool) {
+		resp, err := c.searchOnce(ctx, req)
+		ch <- outcome{resp: resp, err: err, hedged: hedged}
+	}
+	go run(false)
+	timer := time.NewTimer(c.cfg.HedgeDelay)
+	defer timer.Stop()
+	pending := 1
+	hedged := false
+	var firstErr error
+	for {
+		select {
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				pending++
+				c.counters.HedgeLaunched()
+				go run(true)
+			}
+		case o := <-ch:
+			pending--
+			if o.err == nil {
+				if o.hedged {
+					c.counters.HedgeWon()
+				}
+				return o.resp, nil
+			}
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			if pending == 0 {
+				return search.Response{}, firstErr
+			}
+			// One attempt failed but another is in flight: drain the
+			// timer case by looping — the hedge may still answer.
+		}
+	}
+}
+
+func (c *Client) searchOnce(ctx context.Context, req search.Request) (search.Response, error) {
+	var out wireSearchResponse
+	if err := c.post(ctx, "/v2/search", toWire(req), &out); err != nil {
+		return search.Response{}, err
+	}
+	if out.Results == nil {
+		out.Results = []search.Result{}
+	}
+	return search.Response{Results: out.Results, Explain: out.Explain}, nil
+}
+
+// wireBatch mirrors the server's /v2/search/batch envelope.
+type wireBatch struct {
+	Queries []wireQuery `json:"queries"`
+}
+
+type wireBatchEntry struct {
+	Results []search.Result `json:"results"`
+	Explain *search.Explain `json:"explain,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
+type wireBatchResponse struct {
+	Results []wireBatchEntry `json:"results"`
+}
+
+// DoBatch answers many requests over POST /v2/search/batch. Per-query
+// errors come back per entry; a whole-batch transport failure marks
+// every entry ErrUnavailable so a pool can re-route the batch.
+func (c *Client) DoBatch(ctx context.Context, reqs []search.Request) []search.BatchResult {
+	out := make([]search.BatchResult, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	wire := wireBatch{Queries: make([]wireQuery, len(reqs))}
+	for i, r := range reqs {
+		wire.Queries[i] = toWire(r)
+	}
+	var resp wireBatchResponse
+	if err := c.post(ctx, "/v2/search/batch", wire, &resp); err != nil {
+		for i := range out {
+			out[i] = search.BatchResult{Err: err}
+		}
+		return out
+	}
+	if len(resp.Results) != len(reqs) {
+		err := unavailablef("%s /v2/search/batch: %d answers for %d queries", c.base, len(resp.Results), len(reqs))
+		for i := range out {
+			out[i] = search.BatchResult{Err: err}
+		}
+		return out
+	}
+	for i, e := range resp.Results {
+		if e.Error != "" {
+			out[i] = search.BatchResult{Err: errors.New(e.Error)}
+			continue
+		}
+		results := e.Results
+		if results == nil {
+			results = []search.Result{}
+		}
+		out[i] = search.BatchResult{Response: search.Response{Results: results, Explain: e.Explain}}
+	}
+	return out
+}
+
+// Healthz probes GET /healthz; nil means the replica process is alive.
+func (c *Client) Healthz(ctx context.Context) error {
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return unavailablef("%s /healthz: %v", c.base, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return unavailablef("%s /healthz: status %d", c.base, resp.StatusCode)
+	}
+	return nil
+}
+
+// Befriend forwards one friendship mutation to the replica.
+func (c *Client) Befriend(ctx context.Context, a, b string, weight float64) error {
+	in := map[string]interface{}{"a": a, "b": b, "weight": weight}
+	return c.post(ctx, "/v1/friend", in, nil)
+}
+
+// Tag forwards one tagging mutation to the replica.
+func (c *Client) Tag(ctx context.Context, user, item, tag string) error {
+	in := map[string]interface{}{"user": user, "item": item, "tag": tag}
+	return c.post(ctx, "/v1/tag", in, nil)
+}
+
+// Invalidate sends one invalidation batch to the replica's
+// /v2/invalidate endpoint and returns the number of cached horizons it
+// dropped.
+func (c *Client) Invalidate(ctx context.Context, edges [][2]string, all bool) (int, error) {
+	in := struct {
+		Edges [][2]string `json:"edges"`
+		All   bool        `json:"all"`
+	}{Edges: edges, All: all}
+	var out struct {
+		Dropped int `json:"dropped"`
+	}
+	if err := c.post(ctx, "/v2/invalidate", in, &out); err != nil {
+		return 0, err
+	}
+	return out.Dropped, nil
+}
+
+// Users fetches the replica's known user names.
+func (c *Client) Users(ctx context.Context) ([]string, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/users", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, unavailablef("%s /v1/users: %v", c.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, unavailablef("%s /v1/users: status %d", c.base, resp.StatusCode)
+	}
+	var out struct {
+		Users []string `json:"users"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, unavailablef("%s /v1/users: decoding response: %v", c.base, err)
+	}
+	return out.Users, nil
+}

@@ -1,0 +1,480 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/search"
+	"repro/internal/server"
+	"repro/internal/social"
+)
+
+// newReplica builds one in-process replica: a social service in fleet
+// replica posture (manual compaction) behind the real HTTP server.
+func newReplica(t *testing.T) (*social.Service, *httptest.Server) {
+	t.Helper()
+	cfg := social.DefaultServiceConfig()
+	cfg.AutoCompactEvery = 1 << 30 // broadcast is the compaction heartbeat
+	svc, err := social.NewService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return svc, ts
+}
+
+func newTestClient(t *testing.T, url string, cfg ClientConfig) *Client {
+	t.Helper()
+	c, err := NewClient(url, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestClientValidation(t *testing.T) {
+	if _, err := NewClient("", ClientConfig{}); err == nil {
+		t.Error("empty URL accepted")
+	}
+	if _, err := NewClient("localhost:8080", ClientConfig{}); err == nil {
+		t.Error("schemeless URL accepted")
+	}
+	if _, err := NewClient("http://x", ClientConfig{Timeout: -time.Second}); err == nil {
+		t.Error("negative timeout accepted")
+	}
+}
+
+// TestClientRoundTrip drives a real replica over the wire: mutations
+// forward, /v2/invalidate compacts, searches answer, and explain
+// survives the JSON round trip.
+func TestClientRoundTrip(t *testing.T) {
+	_, ts := newReplica(t)
+	c := newTestClient(t, ts.URL, ClientConfig{})
+	ctx := context.Background()
+
+	if err := c.Befriend(ctx, "alice", "bob", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Tag(ctx, "bob", "luigis", "pizza"); err != nil {
+		t.Fatal(err)
+	}
+	// Before the broadcast heartbeat the writes are pending, not
+	// queryable; the invalidation call is what folds them in.
+	if _, err := c.Invalidate(ctx, [][2]string{{"alice", "bob"}}, false); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Do(ctx, search.Request{Seeker: "alice", Tags: []string{"pizza"}, K: 3, Mode: search.ModeExact, Explain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 || resp.Results[0].Item != "luigis" {
+		t.Fatalf("results = %+v, want luigis", resp.Results)
+	}
+	if resp.Explain == nil || resp.Explain.Mode != "exact" {
+		t.Fatalf("explain = %+v, want mode=exact", resp.Explain)
+	}
+
+	users, err := c.Users(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(users) != 2 {
+		t.Fatalf("users = %v, want alice+bob", users)
+	}
+	if err := c.Healthz(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Batch: one good query, one per-query error.
+	out := c.DoBatch(ctx, []search.Request{
+		{Seeker: "alice", Tags: []string{"pizza"}, K: 3, Mode: search.ModeExact},
+		{Seeker: "nobody", Tags: []string{"pizza"}, K: 3},
+	})
+	if out[0].Err != nil || len(out[0].Response.Results) != 1 {
+		t.Fatalf("batch[0] = %+v", out[0])
+	}
+	if out[1].Err == nil {
+		t.Fatal("batch[1]: unknown seeker did not error")
+	}
+}
+
+// TestClientErrorClassification pins the wire→error mapping that
+// failover depends on: 400 is ErrInvalid (never failover-eligible),
+// 5xx and connection failures are ErrUnavailable.
+func TestClientErrorClassification(t *testing.T) {
+	_, ts := newReplica(t)
+	c := newTestClient(t, ts.URL, ClientConfig{})
+	ctx := context.Background()
+
+	_, err := c.Do(ctx, search.Request{Seeker: "ghost", Tags: []string{"x"}})
+	if !errors.Is(err, search.ErrInvalid) {
+		t.Fatalf("unknown user error = %v, want ErrInvalid", err)
+	}
+	if errors.Is(err, search.ErrUnavailable) {
+		t.Fatalf("unknown user error %v must not be failover-eligible", err)
+	}
+
+	boom := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"internal"}`, http.StatusInternalServerError)
+	}))
+	defer boom.Close()
+	cb := newTestClient(t, boom.URL, ClientConfig{})
+	if _, err := cb.Do(ctx, search.Request{Seeker: "a", Tags: []string{"x"}}); !errors.Is(err, search.ErrUnavailable) {
+		t.Fatalf("500 error = %v, want ErrUnavailable", err)
+	}
+
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // connection refused from here on
+	cd := newTestClient(t, dead.URL, ClientConfig{})
+	if _, err := cd.Do(ctx, search.Request{Seeker: "a", Tags: []string{"x"}}); !errors.Is(err, search.ErrUnavailable) {
+		t.Fatalf("conn-refused error = %v, want ErrUnavailable", err)
+	}
+	if err := cd.Healthz(ctx); !errors.Is(err, search.ErrUnavailable) {
+		t.Fatalf("healthz error = %v, want ErrUnavailable", err)
+	}
+
+	// Client cancellation is the caller's, not the replica's, fault.
+	release := make(chan struct{})
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer slow.Close()
+	defer close(release)
+	cs := newTestClient(t, slow.URL, ClientConfig{})
+	cctx, cancel := context.WithCancel(ctx)
+	go func() { time.Sleep(20 * time.Millisecond); cancel() }()
+	if _, err := cs.Do(cctx, search.Request{Seeker: "a", Tags: []string{"x"}}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled request error = %v, want context.Canceled", err)
+	}
+}
+
+// TestClientHedging holds the first attempt hostage and checks the
+// hedge answers, and that the counters record it.
+func TestClientHedging(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			time.Sleep(400 * time.Millisecond) // only the first attempt is slow
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]interface{}{
+			"results": []map[string]interface{}{{"item": "x", "score": 1.0}},
+		})
+	}))
+	defer ts.Close()
+	c := newTestClient(t, ts.URL, ClientConfig{HedgeDelay: 30 * time.Millisecond})
+	resp, err := c.Do(context.Background(), search.Request{Seeker: "a", Tags: []string{"x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 || resp.Results[0].Item != "x" {
+		t.Fatalf("results = %+v", resp.Results)
+	}
+	snap := c.Counters().Snapshot()
+	if snap.HedgesLaunched != 1 || snap.HedgesWon != 1 {
+		t.Fatalf("hedge counters = %+v, want launched=1 won=1", snap)
+	}
+}
+
+// TestPoolFailover kills the replica owning a seeker and checks the
+// query spills to a live one, health state ejects the dead replica, and
+// the stats say so.
+func TestPoolFailover(t *testing.T) {
+	ctx := context.Background()
+	var svcs []*social.Service
+	var servers []*httptest.Server
+	var clients []*Client
+	for i := 0; i < 3; i++ {
+		svc, ts := newReplica(t)
+		svcs = append(svcs, svc)
+		servers = append(servers, ts)
+		clients = append(clients, newTestClient(t, ts.URL, ClientConfig{}))
+	}
+	pool, err := NewPool(clients, PoolConfig{HealthInterval: -1, FailAfter: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	// Seed every replica identically and make it queryable.
+	for _, svc := range svcs {
+		if err := svc.Befriend("alice", "bob", 0.9); err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.Tag("bob", "luigis", "pizza"); err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := search.Request{Seeker: "alice", Tags: []string{"pizza"}, K: 3, Mode: search.ModeExact}
+	if _, err := pool.Do(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+
+	owner := pool.ReplicaFor("alice")
+	servers[owner].Close()
+	resp, err := pool.Do(ctx, req)
+	if err != nil {
+		t.Fatalf("failover Do: %v", err)
+	}
+	if len(resp.Results) != 1 || resp.Results[0].Item != "luigis" {
+		t.Fatalf("failover results = %+v", resp.Results)
+	}
+	if pool.Live(owner) {
+		t.Fatal("dead owner still live after FailAfter=1 failure")
+	}
+	stats := pool.Stats()
+	if stats[owner].Counters.Ejections != 1 {
+		t.Fatalf("owner stats = %+v, want 1 ejection", stats[owner])
+	}
+	spilled := false
+	for i, rs := range stats {
+		if i != owner && rs.Counters.Failovers > 0 {
+			spilled = true
+		}
+	}
+	if !spilled {
+		t.Fatalf("no survivor recorded a failover: %+v", stats)
+	}
+
+	// Batches spill too, with every entry answered.
+	out := pool.DoBatch(ctx, []search.Request{req, req, req})
+	for i, br := range out {
+		if br.Err != nil {
+			t.Fatalf("batch[%d] after failover: %v", i, br.Err)
+		}
+	}
+
+	// All replicas down: the error is the unavailable class (503 on the
+	// wire), not a silent empty answer.
+	for i, ts := range servers {
+		if i != owner {
+			ts.Close()
+		}
+	}
+	if _, err := pool.Do(ctx, req); !errors.Is(err, search.ErrUnavailable) {
+		t.Fatalf("all-dead Do error = %v, want ErrUnavailable", err)
+	}
+}
+
+// TestPoolProber checks the background /healthz sweep ejects a dead
+// replica and re-admits it when it returns.
+func TestPoolProber(t *testing.T) {
+	var healthy atomic.Bool
+	healthy.Store(true)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !healthy.Load() {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok\n"))
+	}))
+	defer ts.Close()
+	pool, err := NewPool(
+		[]*Client{newTestClient(t, ts.URL, ClientConfig{})},
+		PoolConfig{HealthInterval: 10 * time.Millisecond, FailAfter: 2, ReviveAfter: 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	healthy.Store(false)
+	waitFor(t, time.Second, func() bool { return !pool.Live(0) })
+	healthy.Store(true)
+	waitFor(t, time.Second, func() bool { return pool.Live(0) })
+	snap := pool.Stats()[0].Counters
+	if snap.Ejections < 1 || snap.Readmissions < 1 {
+		t.Fatalf("counters = %+v, want >=1 ejection and readmission", snap)
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}
+
+// TestBroadcasterCoalesces checks a burst of noted edges rides one
+// batched /v2/invalidate per replica, deduplicated.
+func TestBroadcasterCoalesces(t *testing.T) {
+	type call struct {
+		Edges [][2]string `json:"edges"`
+		All   bool        `json:"all"`
+	}
+	var mu sync.Mutex
+	var calls []call
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var c call
+		json.NewDecoder(r.Body).Decode(&c)
+		mu.Lock()
+		calls = append(calls, c)
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"dropped":0}`))
+	}))
+	defer ts.Close()
+
+	b := NewBroadcaster([]*Client{newTestClient(t, ts.URL, ClientConfig{})}, BroadcasterConfig{Window: 20 * time.Millisecond})
+	defer b.Close()
+	for i := 0; i < 10; i++ {
+		b.NoteEdge("alice", "bob") // duplicates
+		b.NoteEdge("bob", "alice") // reversed duplicates
+	}
+	b.NoteEdge("carol", "dave")
+	waitFor(t, time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(calls) > 0
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if len(calls) != 1 {
+		t.Fatalf("%d broadcasts for one burst, want 1 (coalescing)", len(calls))
+	}
+	if len(calls[0].Edges) != 2 {
+		t.Fatalf("broadcast edges = %v, want 2 distinct", calls[0].Edges)
+	}
+	if calls[0].All {
+		t.Fatal("ordinary batch escalated to global")
+	}
+	st := b.Stats()
+	if st.Counters.Batches != 1 || st.Counters.Edges != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestBroadcasterEscalatesAfterMiss checks a replica that failed a
+// broadcast gets a global invalidation on its next successful one.
+func TestBroadcasterEscalatesAfterMiss(t *testing.T) {
+	var fail atomic.Bool
+	type call struct {
+		All bool `json:"all"`
+	}
+	var mu sync.Mutex
+	var calls []call
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if fail.Load() {
+			http.Error(w, `{"error":"down"}`, http.StatusServiceUnavailable)
+			return
+		}
+		var c call
+		json.NewDecoder(r.Body).Decode(&c)
+		mu.Lock()
+		calls = append(calls, c)
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"dropped":0}`))
+	}))
+	defer ts.Close()
+
+	b := NewBroadcaster([]*Client{newTestClient(t, ts.URL, ClientConfig{})}, BroadcasterConfig{Window: 5 * time.Millisecond})
+	defer b.Close()
+
+	fail.Store(true)
+	b.NoteEdge("a", "b")
+	b.Flush(context.Background())
+	if got := b.Stats().Counters.Failures; got != 1 {
+		t.Fatalf("failures = %d, want 1", got)
+	}
+
+	fail.Store(false)
+	b.NoteEdge("c", "d")
+	b.Flush(context.Background())
+	mu.Lock()
+	defer mu.Unlock()
+	if len(calls) != 1 || !calls[0].All {
+		t.Fatalf("post-miss calls = %+v, want one global invalidation", calls)
+	}
+	if b.Stats().Counters.Escalations != 1 {
+		t.Fatalf("escalations = %d, want 1", b.Stats().Counters.Escalations)
+	}
+}
+
+// TestFrontendMutationsAndStats drives the full glue: mutations forward
+// to every replica, the broadcast makes them queryable, and StatsAny
+// reports per-replica and broadcast counters.
+func TestFrontendMutationsAndStats(t *testing.T) {
+	var svcs []*social.Service
+	var clients []*Client
+	for i := 0; i < 3; i++ {
+		svc, ts := newReplica(t)
+		svcs = append(svcs, svc)
+		clients = append(clients, newTestClient(t, ts.URL, ClientConfig{}))
+	}
+	pool, err := NewPool(clients, PoolConfig{HealthInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcast := NewBroadcaster(clients, BroadcasterConfig{Window: 5 * time.Millisecond})
+	front, err := NewFrontend(pool, bcast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer front.Close()
+
+	if err := front.Befriend("alice", "bob", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := front.Tag("bob", "luigis", "pizza"); err != nil {
+		t.Fatal(err)
+	}
+	if err := front.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i, svc := range svcs {
+		st := svc.Stats()
+		if st.Users != 2 || st.PendingWrites != 0 {
+			t.Fatalf("replica %d stats = %+v, want 2 users, 0 pending", i, st)
+		}
+	}
+	resp, err := front.Do(context.Background(), search.Request{Seeker: "alice", Tags: []string{"pizza"}, K: 3, Mode: search.ModeExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 || resp.Results[0].Item != "luigis" {
+		t.Fatalf("results = %+v", resp.Results)
+	}
+	if got := front.Users(); len(got) != 2 {
+		t.Fatalf("users = %v", got)
+	}
+
+	stats, ok := front.StatsAny().(Stats)
+	if !ok {
+		t.Fatalf("StatsAny returned %T", front.StatsAny())
+	}
+	if len(stats.Replicas) != 3 {
+		t.Fatalf("stats replicas = %d", len(stats.Replicas))
+	}
+	if stats.Broadcast.Counters.Batches < 1 {
+		t.Fatalf("broadcast stats = %+v, want >=1 batch", stats.Broadcast)
+	}
+
+	// An invalid mutation is rejected without partial effects.
+	if err := front.Befriend("", "x", 0.5); err == nil {
+		t.Fatal("invalid befriend accepted")
+	}
+}

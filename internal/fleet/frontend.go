@@ -1,0 +1,160 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/search"
+)
+
+// Frontend is the fleet's server.Backend: queries go through the Pool
+// (consistent-hash routing, health-checked failover, optional hedging)
+// and mutations are forwarded — serialized, so every replica applies
+// the identical stream in the identical order, which is what makes
+// replica snapshots and the name→id dictionaries they derive agree —
+// to every replica, with the dirty edges handed to the Broadcaster for
+// batched fleet-wide cache invalidation.
+type Frontend struct {
+	pool  *Pool
+	bcast *Broadcaster
+
+	// writeMu serializes the mutation path. One writer at a time is the
+	// fleet's ordering guarantee; read traffic never takes this lock.
+	writeMu sync.Mutex
+
+	// MutationTimeout bounds one replica's acknowledgement of one
+	// forwarded mutation.
+	MutationTimeout time.Duration
+}
+
+// NewFrontend glues a pool and a broadcaster into a serving backend and
+// registers the pool→broadcaster ejection hook (an ejected replica's
+// next broadcast escalates to a global invalidation).
+func NewFrontend(pool *Pool, bcast *Broadcaster) (*Frontend, error) {
+	if pool == nil || bcast == nil {
+		return nil, errors.New("fleet: frontend needs a pool and a broadcaster")
+	}
+	pool.OnEject(bcast.MarkMissed)
+	return &Frontend{pool: pool, bcast: bcast, MutationTimeout: DefaultTimeout}, nil
+}
+
+var _ search.Searcher = (*Frontend)(nil)
+
+// Do routes one query through the pool.
+func (f *Frontend) Do(ctx context.Context, req search.Request) (search.Response, error) {
+	return f.pool.Do(ctx, req)
+}
+
+// DoBatch routes a batch through the pool.
+func (f *Frontend) DoBatch(ctx context.Context, reqs []search.Request) []search.BatchResult {
+	return f.pool.DoBatch(ctx, reqs)
+}
+
+// forward fans one mutation out to every replica. A replica that
+// rejects the mutation as invalid fails the call — every replica
+// rejects the same input the same way, so nothing was applied anywhere.
+// A replica that is unreachable feeds health state and is skipped: the
+// write must stay available when a replica dies, and the missed
+// mutation is the documented gap the WAL replication log closes. Only
+// when no replica accepted the write does it fail as unavailable.
+func (f *Frontend) forward(send func(ctx context.Context, c *Client) error) error {
+	applied := 0
+	var lastUnavailable error
+	for i := 0; i < f.pool.Replicas(); i++ {
+		c := f.pool.Client(i)
+		// One timeout per replica, not one shared across the fan-out: a
+		// blackholed replica must cost its own deadline, never starve
+		// the later replicas into spurious failures.
+		ctx, cancel := context.WithTimeout(context.Background(), f.MutationTimeout)
+		err := send(ctx, c)
+		cancel()
+		if err == nil {
+			applied++
+			f.pool.states[i].ok()
+			continue
+		}
+		if errors.Is(err, search.ErrInvalid) {
+			return err
+		}
+		lastUnavailable = err
+		f.pool.states[i].fail(err)
+		f.bcast.MarkMissed(i)
+	}
+	if applied == 0 {
+		if lastUnavailable != nil {
+			return lastUnavailable
+		}
+		return unavailablef("no replicas")
+	}
+	return nil
+}
+
+// Befriend forwards the friendship mutation to every replica and notes
+// the dirty edge for the next invalidation broadcast.
+func (f *Frontend) Befriend(a, b string, weight float64) error {
+	f.writeMu.Lock()
+	defer f.writeMu.Unlock()
+	if err := f.forward(func(ctx context.Context, c *Client) error {
+		return c.Befriend(ctx, a, b, weight)
+	}); err != nil {
+		return err
+	}
+	f.bcast.NoteEdge(a, b)
+	return nil
+}
+
+// Tag forwards the tagging mutation to every replica and schedules the
+// compaction heartbeat that makes it queryable fleet-wide.
+func (f *Frontend) Tag(user, item, tag string) error {
+	f.writeMu.Lock()
+	defer f.writeMu.Unlock()
+	if err := f.forward(func(ctx context.Context, c *Client) error {
+		return c.Tag(ctx, user, item, tag)
+	}); err != nil {
+		return err
+	}
+	f.bcast.NoteWrite()
+	return nil
+}
+
+// Users asks the first live replica (replicas agree on the user set, up
+// to in-flight forwards).
+func (f *Frontend) Users() []string {
+	ctx, cancel := context.WithTimeout(context.Background(), f.MutationTimeout)
+	defer cancel()
+	for i := 0; i < f.pool.Replicas(); i++ {
+		if !f.pool.Live(i) {
+			continue
+		}
+		if users, err := f.pool.Client(i).Users(ctx); err == nil {
+			return users
+		}
+	}
+	return nil
+}
+
+// Flush synchronously broadcasts pending invalidations — the fleet
+// equivalent of social.Service.Flush.
+func (f *Frontend) Flush() error {
+	f.bcast.Flush(context.Background())
+	return nil
+}
+
+// Stats is the fleet front door's /v1/stats payload.
+type Stats struct {
+	Replicas  []ReplicaStats
+	Broadcast BroadcastStats
+}
+
+// StatsAny implements server.Statser.
+func (f *Frontend) StatsAny() interface{} {
+	return Stats{Replicas: f.pool.Stats(), Broadcast: f.bcast.Stats()}
+}
+
+// Close stops the pool's prober and drains the broadcaster.
+func (f *Frontend) Close() {
+	f.pool.Close()
+	f.bcast.Close()
+}

@@ -1,0 +1,420 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/search"
+	"repro/internal/shard"
+)
+
+// Pool defaults, substituted for zero config fields.
+const (
+	DefaultHealthInterval = time.Second
+	DefaultHealthTimeout  = 2 * time.Second
+	DefaultFailAfter      = 3
+	DefaultReviveAfter    = 2
+)
+
+// PoolConfig tunes the replica pool.
+type PoolConfig struct {
+	// HealthInterval is the period between /healthz sweeps
+	// (0 = DefaultHealthInterval; negative disables the prober — tests
+	// drive health transitions through query failures alone).
+	HealthInterval time.Duration
+	// HealthTimeout bounds one probe (0 = DefaultHealthTimeout).
+	HealthTimeout time.Duration
+	// FailAfter ejects a replica after this many consecutive failures —
+	// probe failures and query transport failures both count
+	// (0 = DefaultFailAfter).
+	FailAfter int
+	// ReviveAfter re-admits an ejected replica after this many
+	// consecutive successful probes (0 = DefaultReviveAfter).
+	ReviveAfter int
+	// VirtualNodes configures the routing ring (0 = ring default).
+	VirtualNodes int
+}
+
+// replicaState is the health bookkeeping for one replica. The mutex
+// serializes the consecutive-outcome counters; the live flag is read on
+// every query, so it lives behind the same lock but is cached by
+// preference walks that tolerate slight staleness.
+type replicaState struct {
+	mu          sync.Mutex
+	live        bool
+	consecFails int
+	consecOKs   int
+	lastErr     string
+	lastProbe   time.Time
+	onEject     func() // notified once per ejection (broadcaster hook)
+	failAfter   int
+	reviveAfter int
+	counters    *metrics.ReplicaCounters
+}
+
+func (r *replicaState) isLive() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.live
+}
+
+// fail records one failure (probe or query) and reports whether the
+// replica just transitioned to ejected.
+func (r *replicaState) fail(err error) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.consecOKs = 0
+	r.consecFails++
+	if err != nil {
+		r.lastErr = err.Error()
+	}
+	if r.live && r.consecFails >= r.failAfter {
+		r.live = false
+		r.counters.Ejection()
+		if r.onEject != nil {
+			r.onEject()
+		}
+		return true
+	}
+	return false
+}
+
+// ok records one success (probe or query) and reports whether the
+// replica just transitioned back to live.
+func (r *replicaState) ok() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.consecFails = 0
+	r.consecOKs++
+	r.lastErr = ""
+	if !r.live && r.consecOKs >= r.reviveAfter {
+		r.live = true
+		r.counters.Readmission()
+		return true
+	}
+	return false
+}
+
+// Pool is a health-checked registry of replica clients that implements
+// search.Searcher with consistent-hash routing and failover: each
+// seeker's queries go to the replica owning it on the ring; when that
+// replica is ejected (or an attempt fails with ErrUnavailable), the
+// query walks the seeker's ring-successor order until a live replica
+// answers, so a dead replica's seekers spill across the survivors.
+type Pool struct {
+	clients []*Client
+	states  []*replicaState
+	ring    *shard.Ring
+	cfg     PoolConfig
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+var _ search.Searcher = (*Pool)(nil)
+
+// NewPool builds a pool over the clients (≥ 1) and starts the health
+// prober. Close stops it.
+func NewPool(clients []*Client, cfg PoolConfig) (*Pool, error) {
+	if len(clients) == 0 {
+		return nil, errors.New("fleet: pool needs >= 1 replica")
+	}
+	for i, c := range clients {
+		if c == nil {
+			return nil, fmt.Errorf("fleet: nil replica client %d", i)
+		}
+	}
+	if cfg.HealthInterval == 0 {
+		cfg.HealthInterval = DefaultHealthInterval
+	}
+	if cfg.HealthTimeout == 0 {
+		cfg.HealthTimeout = DefaultHealthTimeout
+	}
+	if cfg.FailAfter == 0 {
+		cfg.FailAfter = DefaultFailAfter
+	}
+	if cfg.ReviveAfter == 0 {
+		cfg.ReviveAfter = DefaultReviveAfter
+	}
+	if cfg.FailAfter < 0 || cfg.ReviveAfter < 0 || cfg.HealthTimeout < 0 {
+		return nil, errors.New("fleet: negative pool config value")
+	}
+	ring, err := shard.NewRing(len(clients), cfg.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pool{
+		clients: clients,
+		states:  make([]*replicaState, len(clients)),
+		ring:    ring,
+		cfg:     cfg,
+		stop:    make(chan struct{}),
+	}
+	for i, c := range clients {
+		p.states[i] = &replicaState{
+			live:        true,
+			failAfter:   cfg.FailAfter,
+			reviveAfter: cfg.ReviveAfter,
+			counters:    c.Counters(),
+		}
+	}
+	if cfg.HealthInterval > 0 {
+		p.wg.Add(1)
+		go p.probeLoop()
+	}
+	return p, nil
+}
+
+// OnEject registers a hook called (once per transition, with the
+// replica index) whenever a replica is ejected. The Broadcaster uses it
+// to mark the replica as having missed invalidation traffic.
+func (p *Pool) OnEject(hook func(replica int)) {
+	for i, st := range p.states {
+		i := i
+		st.mu.Lock()
+		st.onEject = func() { hook(i) }
+		st.mu.Unlock()
+	}
+}
+
+// Close stops the health prober. Queries issued after Close still
+// route, but health state freezes.
+func (p *Pool) Close() {
+	p.once.Do(func() { close(p.stop) })
+	p.wg.Wait()
+}
+
+// Replicas returns the replica count.
+func (p *Pool) Replicas() int { return len(p.clients) }
+
+// Client returns replica i's client (stats, broadcaster wiring).
+func (p *Pool) Client(i int) *Client { return p.clients[i] }
+
+// Live reports whether replica i is currently in rotation.
+func (p *Pool) Live(i int) bool { return p.states[i].isLive() }
+
+// probeLoop sweeps /healthz on every replica each interval.
+func (p *Pool) probeLoop() {
+	defer p.wg.Done()
+	ticker := time.NewTicker(p.cfg.HealthInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-ticker.C:
+			p.probeAll()
+		}
+	}
+}
+
+func (p *Pool) probeAll() {
+	var wg sync.WaitGroup
+	for i := range p.clients {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), p.cfg.HealthTimeout)
+			defer cancel()
+			err := p.clients[i].Healthz(ctx)
+			st := p.states[i]
+			st.mu.Lock()
+			st.lastProbe = time.Now()
+			st.mu.Unlock()
+			if err != nil {
+				st.fail(err)
+			} else {
+				st.ok()
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// preference returns the seeker's replica order: the ring owner first,
+// then ring successors. Failover walks it left to right.
+func (p *Pool) preference(seeker string) []int {
+	return p.ring.SuccessorsString(seeker)
+}
+
+// ReplicaFor returns the index of the replica that owns a seeker when
+// every replica is healthy.
+func (p *Pool) ReplicaFor(seeker string) int {
+	return p.ring.OwnerString(seeker)
+}
+
+// Do answers one request with failover: the seeker's preference order
+// is walked, skipping ejected replicas while any replica is live, and
+// every ErrUnavailable attempt both feeds the owner's health state and
+// moves on. Non-transport errors (validation, unknown names) return
+// immediately — no replica will answer those differently.
+func (p *Pool) Do(ctx context.Context, req search.Request) (search.Response, error) {
+	pref := p.preference(req.Seeker)
+	anyLive := p.anyLive()
+	var lastErr error
+	for rank, idx := range pref {
+		if anyLive && !p.states[idx].isLive() {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return search.Response{}, err
+		}
+		c := p.clients[idx]
+		c.Counters().Request()
+		if rank > 0 {
+			c.Counters().Failover()
+		}
+		resp, err := c.Do(ctx, req)
+		if err == nil {
+			p.states[idx].ok()
+			return resp, nil
+		}
+		if !errors.Is(err, search.ErrUnavailable) {
+			return search.Response{}, err
+		}
+		c.Counters().Failure()
+		p.states[idx].fail(err)
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = unavailablef("no live replica for seeker %q", req.Seeker)
+	}
+	return search.Response{}, lastErr
+}
+
+func (p *Pool) anyLive() bool {
+	for _, st := range p.states {
+		if st.isLive() {
+			return true
+		}
+	}
+	return false
+}
+
+// DoBatch partitions the batch by each seeker's first live preference,
+// runs the sub-batches concurrently, and re-routes entries that failed
+// with ErrUnavailable to their next preference — up to one round per
+// replica, so a replica dying mid-batch costs its entries one retry,
+// not the whole batch.
+func (p *Pool) DoBatch(ctx context.Context, reqs []search.Request) []search.BatchResult {
+	out := make([]search.BatchResult, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	// rank[i] is how far down request i's preference list routing has
+	// walked; pending holds the requests still needing an answer.
+	rank := make([]int, len(reqs))
+	pending := make([]int, len(reqs))
+	for i := range reqs {
+		pending[i] = i
+	}
+	for round := 0; round <= len(p.clients) && len(pending) > 0; round++ {
+		// A dead caller context makes every further attempt futile (and,
+		// worse, would count against replica health): fail what is left.
+		if err := ctx.Err(); err != nil {
+			for _, i := range pending {
+				out[i] = search.BatchResult{Err: err}
+			}
+			return out
+		}
+		anyLive := p.anyLive()
+		subs := make(map[int][]int) // replica -> request indices
+		var exhausted []int
+		for _, i := range pending {
+			pref := p.preference(reqs[i].Seeker)
+			// Advance past ejected replicas (while any replica is live)
+			// and past preferences already tried.
+			idx := -1
+			for rank[i] < len(pref) {
+				cand := pref[rank[i]]
+				if !anyLive || p.states[cand].isLive() {
+					idx = cand
+					break
+				}
+				rank[i]++
+			}
+			if idx < 0 {
+				exhausted = append(exhausted, i)
+				continue
+			}
+			subs[idx] = append(subs[idx], i)
+		}
+		for _, i := range exhausted {
+			out[i] = search.BatchResult{Err: unavailablef("no live replica for seeker %q", reqs[i].Seeker)}
+		}
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var retry []int
+		for idx, members := range subs {
+			wg.Add(1)
+			go func(idx int, members []int) {
+				defer wg.Done()
+				c := p.clients[idx]
+				sub := make([]search.Request, len(members))
+				for j, i := range members {
+					sub[j] = reqs[i]
+					c.Counters().Request()
+					if rank[i] > 0 {
+						c.Counters().Failover()
+					}
+				}
+				res := c.DoBatch(ctx, sub)
+				var failed []int
+				for j, br := range res {
+					i := members[j]
+					if br.Err != nil && errors.Is(br.Err, search.ErrUnavailable) {
+						c.Counters().Failure()
+						failed = append(failed, i)
+						out[i] = br // kept if retries run out
+						continue
+					}
+					out[i] = br
+				}
+				if len(failed) > 0 {
+					p.states[idx].fail(out[failed[0]].Err)
+				} else {
+					p.states[idx].ok()
+				}
+				mu.Lock()
+				for _, i := range failed {
+					rank[i]++
+					retry = append(retry, i)
+				}
+				mu.Unlock()
+			}(idx, members)
+		}
+		wg.Wait()
+		pending = retry
+	}
+	return out
+}
+
+// ReplicaStats is one replica's observable pool state.
+type ReplicaStats struct {
+	URL       string
+	Live      bool
+	LastError string `json:",omitempty"`
+	Counters  metrics.ReplicaSnapshot
+}
+
+// Stats returns each replica's health and counters, in registry order.
+func (p *Pool) Stats() []ReplicaStats {
+	out := make([]ReplicaStats, len(p.clients))
+	for i, c := range p.clients {
+		st := p.states[i]
+		st.mu.Lock()
+		out[i] = ReplicaStats{
+			URL:       c.URL(),
+			Live:      st.live,
+			LastError: st.lastErr,
+			Counters:  c.Counters().Snapshot(),
+		}
+		st.mu.Unlock()
+	}
+	return out
+}

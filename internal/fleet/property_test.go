@@ -1,0 +1,193 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/search"
+	"repro/internal/social"
+)
+
+// TestFleetMatchesSingleProcess is the fleet's acceptance property: a
+// 3-replica fleet fed a random mutation stream through the front-end
+// answers mode=exact queries bit-identically to one in-process service
+// fed the same stream — including right after a batched Befriend
+// invalidation broadcast — and killing a replica mid-stream loses no
+// queries: they fail over and still match.
+func TestFleetMatchesSingleProcess(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ctx := context.Background()
+
+	// Reference: one in-process service. Its compaction cadence differs
+	// from the fleet's (that is the point of batching), so answers are
+	// compared at quiesce points where both sides have folded
+	// everything in.
+	ref, err := social.NewService(social.DefaultServiceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fleet: 3 replicas in broadcast-heartbeat posture behind the real
+	// HTTP server, one front-end.
+	const nReplicas = 3
+	var servers []*httptest.Server
+	var clients []*Client
+	for i := 0; i < nReplicas; i++ {
+		_, ts := newReplica(t)
+		servers = append(servers, ts)
+		clients = append(clients, newTestClient(t, ts.URL, ClientConfig{}))
+	}
+	pool, err := NewPool(clients, PoolConfig{HealthInterval: 20 * time.Millisecond, FailAfter: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcast := NewBroadcaster(clients, BroadcasterConfig{Window: 2 * time.Millisecond})
+	front, err := NewFrontend(pool, bcast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer front.Close()
+
+	const nUsers, nItems, nTags = 24, 30, 5
+	user := func(i int) string { return fmt.Sprintf("u%d", i) }
+	befriend := func(a, b string, w float64) {
+		t.Helper()
+		if err := ref.Befriend(a, b, w); err != nil {
+			t.Fatal(err)
+		}
+		if err := front.Befriend(a, b, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tag := func(u, i, tg string) {
+		t.Helper()
+		if err := ref.Tag(u, i, tg); err != nil {
+			t.Fatal(err)
+		}
+		if err := front.Tag(u, i, tg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mutate := func() {
+		if rng.Intn(2) == 0 {
+			a := rng.Intn(nUsers)
+			b := (a + 1 + rng.Intn(nUsers-1)) % nUsers // never a self-edge
+			befriend(user(a), user(b), 0.1+0.9*rng.Float64())
+		} else {
+			tag(user(rng.Intn(nUsers)), fmt.Sprintf("i%d", rng.Intn(nItems)), fmt.Sprintf("t%d", rng.Intn(nTags)))
+		}
+	}
+
+	// quiesce folds everything on both sides: the reference compacts
+	// locally, the fleet broadcasts pending dirty edges (which compacts
+	// every replica).
+	quiesce := func() {
+		t.Helper()
+		if err := ref.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := front.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// compare checks every seeker × tag bit-identically (float64
+	// equality: scores survive the JSON round trip exactly, and both
+	// sides run the same engine over the same compacted state).
+	compare := func(phase string) {
+		t.Helper()
+		for u := 0; u < nUsers; u++ {
+			for tg := 0; tg < nTags; tg++ {
+				req := search.Request{Seeker: user(u), Tags: []string{fmt.Sprintf("t%d", tg)}, K: 8, Mode: search.ModeExact}
+				want, werr := ref.Do(ctx, req)
+				got, gerr := front.Do(ctx, req)
+				if (werr == nil) != (gerr == nil) {
+					t.Fatalf("%s: seeker %s tag t%d: ref err %v, fleet err %v", phase, user(u), tg, werr, gerr)
+				}
+				if werr != nil {
+					continue // both reject (unknown tag/seeker) — parity holds
+				}
+				if len(want.Results) != len(got.Results) {
+					t.Fatalf("%s: seeker %s tag t%d: %d vs %d results", phase, user(u), tg, len(want.Results), len(got.Results))
+				}
+				for i := range want.Results {
+					if want.Results[i] != got.Results[i] {
+						t.Fatalf("%s: seeker %s tag t%d result %d: ref %+v, fleet %+v",
+							phase, user(u), tg, i, want.Results[i], got.Results[i])
+					}
+				}
+			}
+		}
+	}
+
+	// Phase 1: seed corpus, quiesce, compare.
+	for i := 0; i < nUsers; i++ {
+		befriend(user(i), user((i+1)%nUsers), 0.5+0.4*rng.Float64())
+	}
+	for i := 0; i < 60; i++ {
+		mutate()
+	}
+	quiesce()
+	compare("seeded")
+
+	// Phase 2: churn — the broadcast path must keep replica caches
+	// consistent across many batched invalidations. Queries interleave
+	// with writes to keep replica caches populated (and therefore
+	// falsifiable: a missed invalidation would surface as a stale
+	// horizon at the next compare).
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 20; i++ {
+			mutate()
+			if i%4 == 0 {
+				req := search.Request{Seeker: user(rng.Intn(nUsers)), Tags: []string{fmt.Sprintf("t%d", rng.Intn(nTags))}, K: 8, Mode: search.ModeExact}
+				if _, err := front.Do(ctx, req); err != nil && !errors.Is(err, search.ErrInvalid) {
+					t.Fatalf("churn query: %v", err)
+				}
+			}
+		}
+		quiesce()
+		compare(fmt.Sprintf("churn round %d", round))
+	}
+
+	// Phase 3: kill one replica mid-stream. Every query must keep
+	// succeeding (failing over), writes keep applying to the
+	// survivors, and answers still match the reference.
+	dead := pool.ReplicaFor(user(0))
+	servers[dead].Close()
+	for i := 0; i < 30; i++ {
+		mutate()
+		req := search.Request{Seeker: user(rng.Intn(nUsers)), Tags: []string{fmt.Sprintf("t%d", rng.Intn(nTags))}, K: 8, Mode: search.ModeExact}
+		if _, err := front.Do(ctx, req); err != nil && !errors.Is(err, search.ErrInvalid) {
+			t.Fatalf("query %d after replica kill: %v", i, err)
+		}
+	}
+	quiesce()
+	compare("after replica kill")
+
+	// The ejection is observable in stats, and the dead replica's
+	// broadcast misses were recorded.
+	stats := front.StatsAny().(Stats)
+	if stats.Replicas[dead].Live {
+		t.Fatal("killed replica still live in stats")
+	}
+	if stats.Replicas[dead].Counters.Ejections < 1 {
+		t.Fatalf("killed replica stats = %+v, want >=1 ejection", stats.Replicas[dead])
+	}
+	if stats.Broadcast.Counters.Failures < 1 {
+		t.Fatalf("broadcast stats = %+v, want recorded failures for the dead replica", stats.Broadcast)
+	}
+	// A batch fans out across survivors and still answers everything.
+	var reqs []search.Request
+	for u := 0; u < nUsers; u++ {
+		reqs = append(reqs, search.Request{Seeker: user(u), Tags: []string{"t0"}, K: 8, Mode: search.ModeExact})
+	}
+	for i, br := range front.DoBatch(ctx, reqs) {
+		if br.Err != nil && !errors.Is(br.Err, search.ErrInvalid) {
+			t.Fatalf("batch[%d] after replica kill: %v", i, br.Err)
+		}
+	}
+}

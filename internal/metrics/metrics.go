@@ -2,8 +2,10 @@
 // reports when comparing approximate answers against the exact ones:
 // precision@k, recall@k, NDCG@k, Kendall's tau and mean reciprocal rank,
 // plus small aggregation helpers for latency distributions and the
-// serving-path cache counters (hits, misses, invalidations, evictions)
-// the query cache and /v1/stats expose.
+// serving-path counters /v1/stats exposes: cache effectiveness (hits,
+// misses, invalidations, evictions), per-replica fleet routing
+// (requests, failovers, hedges, health transitions) and invalidation
+// broadcast progress.
 package metrics
 
 import (
@@ -90,6 +92,110 @@ func (s CacheSnapshot) HitRate() float64 {
 		return 0
 	}
 	return float64(s.Hits) / float64(total)
+}
+
+// ReplicaCounters accumulates one fleet replica's serving events on the
+// front-end side: routed requests, transport failures, failovers served
+// for other replicas' seekers, hedged attempts, and health transitions.
+// All methods are safe for concurrent use; the zero value is ready.
+type ReplicaCounters struct {
+	requests       atomic.Int64
+	failures       atomic.Int64
+	failovers      atomic.Int64
+	hedgesLaunched atomic.Int64
+	hedgesWon      atomic.Int64
+	ejections      atomic.Int64
+	readmissions   atomic.Int64
+}
+
+// Request records one request routed to the replica.
+func (c *ReplicaCounters) Request() { c.requests.Add(1) }
+
+// Failure records a transport-level failure (the request did not get a
+// usable answer from this replica).
+func (c *ReplicaCounters) Failure() { c.failures.Add(1) }
+
+// Failover records a request this replica served because the seeker's
+// primary owner was unavailable.
+func (c *ReplicaCounters) Failover() { c.failovers.Add(1) }
+
+// HedgeLaunched records a duplicate request issued against the tail.
+func (c *ReplicaCounters) HedgeLaunched() { c.hedgesLaunched.Add(1) }
+
+// HedgeWon records a hedged duplicate that answered first.
+func (c *ReplicaCounters) HedgeWon() { c.hedgesWon.Add(1) }
+
+// Ejection records the health checker removing the replica from rotation.
+func (c *ReplicaCounters) Ejection() { c.ejections.Add(1) }
+
+// Readmission records the health checker restoring the replica.
+func (c *ReplicaCounters) Readmission() { c.readmissions.Add(1) }
+
+// Snapshot returns a point-in-time copy for reporting.
+func (c *ReplicaCounters) Snapshot() ReplicaSnapshot {
+	return ReplicaSnapshot{
+		Requests:       c.requests.Load(),
+		Failures:       c.failures.Load(),
+		Failovers:      c.failovers.Load(),
+		HedgesLaunched: c.hedgesLaunched.Load(),
+		HedgesWon:      c.hedgesWon.Load(),
+		Ejections:      c.ejections.Load(),
+		Readmissions:   c.readmissions.Load(),
+	}
+}
+
+// ReplicaSnapshot is a point-in-time view of ReplicaCounters, shaped
+// for JSON stats endpoints.
+type ReplicaSnapshot struct {
+	Requests       int64
+	Failures       int64
+	Failovers      int64
+	HedgesLaunched int64
+	HedgesWon      int64
+	Ejections      int64
+	Readmissions   int64
+}
+
+// BroadcastCounters accumulates write-path invalidation broadcast
+// events (see internal/fleet.Broadcaster). Safe for concurrent use;
+// the zero value is ready.
+type BroadcastCounters struct {
+	batches     atomic.Int64
+	edges       atomic.Int64
+	failures    atomic.Int64
+	escalations atomic.Int64
+}
+
+// Batch records one coalesced batch fanned out to the fleet carrying n
+// dirty edges.
+func (c *BroadcastCounters) Batch(n int) {
+	c.batches.Add(1)
+	c.edges.Add(int64(n))
+}
+
+// Failure records a replica that did not acknowledge a batch.
+func (c *BroadcastCounters) Failure() { c.failures.Add(1) }
+
+// Escalation records a per-replica batch promoted to a global
+// invalidation because the replica previously missed one.
+func (c *BroadcastCounters) Escalation() { c.escalations.Add(1) }
+
+// Snapshot returns a point-in-time copy for reporting.
+func (c *BroadcastCounters) Snapshot() BroadcastSnapshot {
+	return BroadcastSnapshot{
+		Batches:     c.batches.Load(),
+		Edges:       c.edges.Load(),
+		Failures:    c.failures.Load(),
+		Escalations: c.escalations.Load(),
+	}
+}
+
+// BroadcastSnapshot is a point-in-time view of BroadcastCounters.
+type BroadcastSnapshot struct {
+	Batches     int64
+	Edges       int64
+	Failures    int64
+	Escalations int64
 }
 
 // PrecisionAtK is the fraction of returned items that belong to the

@@ -35,6 +35,15 @@ const (
 // client error: errors.Is(err, search.ErrInvalid).
 var ErrInvalid = errors.New("invalid search request")
 
+// ErrUnavailable tags failures of the serving substrate rather than of
+// the request: a network replica that could not be reached, answered
+// with a server error, or was ejected by health checking. Routers
+// (internal/fleet) treat the class as failover-eligible — the same
+// request may succeed on another replica — and HTTP transports map it
+// to 503. Wrap with fmt.Errorf("%w: ...", search.ErrUnavailable, ...)
+// so errors.Is(err, search.ErrUnavailable) holds.
+var ErrUnavailable = errors.New("search backend unavailable")
+
 func invalidf(format string, args ...interface{}) error {
 	return fmt.Errorf("%w: %s", ErrInvalid, fmt.Sprintf(format, args...))
 }

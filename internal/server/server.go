@@ -17,9 +17,12 @@
 //	                        "max_cache_age_ms":0,"explain":true}
 //	                                                                → {"results":[{"item":"x","score":1.2}],"explain":{...}}
 //	POST /v2/search/batch  {"queries":[{...v2 query...},...]}       → {"results":[{"results":[...],"explain":{...}},{"error":"..."},...]}
+//	POST /v2/invalidate    {"edges":[["alice","bob"],...],"all":false}
+//	                                                                → {"dropped":2}
 //	GET  /v1/users                                                  → {"users":[...]}
 //	GET  /v1/stats                                                  → backend counters
-//	GET  /healthz                                                   → 200 "ok"
+//	GET  /healthz                                                   → 200 "ok" (liveness)
+//	GET  /readyz                                                    → 200 "ok" | 503 "draining"
 //
 // The v2 surface exposes the full search.Request: per-query β blending,
 // execution mode (auto: cost-based planner; exact: refined scores;
@@ -58,6 +61,7 @@ import (
 	"log"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/durable"
@@ -73,6 +77,24 @@ type Backend interface {
 	Befriend(a, b string, weight float64) error
 	Tag(user, item, tag string) error
 	Users() []string
+}
+
+// Invalidator is the optional backend surface behind POST
+// /v2/invalidate: fold pending writes into the queryable snapshot and
+// drop the cached seeker horizons the given friendship edges could
+// affect (all = drop everything). Replica deployments expose it so a
+// fleet front-end's write path can batch invalidation across
+// processes; backends without it answer 404.
+type Invalidator interface {
+	ApplyInvalidation(edges [][2]string, all bool) (int, error)
+}
+
+// Statser is the optional generic stats surface for backends whose
+// concrete stats type the server does not know (the fleet front door).
+// The typed Stats() cases are checked first, so existing backends are
+// unaffected.
+type Statser interface {
+	StatsAny() interface{}
 }
 
 // maxBodyBytes bounds mutation request bodies.
@@ -92,27 +114,58 @@ type Server struct {
 	backend Backend
 	mux     *http.ServeMux
 	logf    func(format string, args ...interface{})
+	// ready gates /readyz: true once the backend is loaded (New), false
+	// while draining for shutdown. Liveness (/healthz) stays 200 either
+	// way — a draining process is alive, just not accepting new work.
+	ready atomic.Bool
+	// drainDelay is how long ListenAndServe keeps serving after flipping
+	// /readyz to 503, so load balancers observe the transition before
+	// in-flight shutdown begins.
+	drainDelay time.Duration
 }
 
-// New builds a server over a backend.
+// New builds a server over a backend. The server starts ready: the
+// backend a caller hands in is already loaded and queryable.
 func New(b Backend) (*Server, error) {
 	if b == nil {
 		return nil, errors.New("server: nil backend")
 	}
 	s := &Server{backend: b, mux: http.NewServeMux(), logf: log.Printf}
+	s.ready.Store(true)
 	s.mux.HandleFunc("/v1/friend", s.handleFriend)
 	s.mux.HandleFunc("/v1/tag", s.handleTag)
 	s.mux.HandleFunc("/v1/search", s.handleSearchV1)
 	s.mux.HandleFunc("/v1/search/batch", s.handleSearchBatchV1)
 	s.mux.HandleFunc("/v2/search", s.handleSearchV2)
 	s.mux.HandleFunc("/v2/search/batch", s.handleSearchBatchV2)
+	s.mux.HandleFunc("/v2/invalidate", s.handleInvalidate)
 	s.mux.HandleFunc("/v1/users", s.handleUsers)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	return s, nil
+}
+
+// SetReady flips readiness: /readyz answers 200 while ready, 503 while
+// not. ListenAndServe flips it false itself when shutting down;
+// embedders can also gate readiness on their own warmup.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// SetDrainDelay sets how long ListenAndServe keeps serving between
+// flipping /readyz to 503 and starting the in-flight shutdown.
+func (s *Server) SetDrainDelay(d time.Duration) { s.drainDelay = d }
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
 }
 
 // ServeHTTP implements http.Handler.
@@ -150,14 +203,18 @@ func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, v interface{}
 // searchErrStatus maps a Searcher error to an HTTP status: context
 // cancellation means the client is gone (499); request-content errors —
 // validation failures and lookups of names the client sent, all tagged
-// search.ErrInvalid — are the client's fault (400); anything else is a
-// backend failure (500).
+// search.ErrInvalid — are the client's fault (400); a serving-substrate
+// failure (search.ErrUnavailable — every fleet replica that could own
+// the request is down) is 503, the retry-later class; anything else is
+// a backend failure (500).
 func searchErrStatus(err error) int {
 	switch {
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		return StatusClientClosedRequest
 	case errors.Is(err, search.ErrInvalid):
 		return http.StatusBadRequest
+	case errors.Is(err, search.ErrUnavailable):
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}
@@ -516,6 +573,43 @@ func (s *Server) handleSearchBatchV2(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, r, resp)
 }
 
+// invalidateRequest is the /v2/invalidate body: a batch of friendship
+// edges (by user name) whose cached horizons must drop, or all=true to
+// drop everything. Pending writes are folded into the snapshot first
+// either way, so a broadcast is also the fleet's compaction heartbeat.
+type invalidateRequest struct {
+	Edges [][2]string `json:"edges"`
+	All   bool        `json:"all"`
+}
+
+// InvalidateResponse is the /v2/invalidate response body.
+type InvalidateResponse struct {
+	// Dropped is the number of cached horizons invalidated.
+	Dropped int `json:"dropped"`
+}
+
+func (s *Server) handleInvalidate(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	inv, ok := s.backend.(Invalidator)
+	if !ok {
+		s.writeErr(w, http.StatusNotFound, errors.New("backend does not support invalidation broadcast"))
+		return
+	}
+	var req invalidateRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	dropped, err := inv.ApplyInvalidation(req.Edges, req.All)
+	if err != nil {
+		s.writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeJSON(w, r, InvalidateResponse{Dropped: dropped})
+}
+
 func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
 	if !s.requireMethod(w, r, http.MethodGet) {
 		return
@@ -539,13 +633,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, r, b.Stats())
 	case interface{ Stats() durable.Stats }:
 		s.writeJSON(w, r, b.Stats())
+	case Statser:
+		s.writeJSON(w, r, b.StatsAny())
 	default:
 		s.writeErr(w, http.StatusNotFound, errors.New("backend exposes no stats"))
 	}
 }
 
 // ListenAndServe runs the server on addr until ctx is cancelled, then
-// shuts down gracefully with the given timeout.
+// drains gracefully: /readyz flips to 503 immediately (so load
+// balancers and fleet health checkers stop sending new work), the
+// server keeps answering for the configured drain delay, and finally
+// http.Server.Shutdown waits — up to shutdownTimeout — for in-flight
+// requests to finish before the listener closes.
 func (s *Server) ListenAndServe(ctx context.Context, addr string, shutdownTimeout time.Duration) error {
 	hs := &http.Server{
 		Addr:              addr,
@@ -558,6 +658,10 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, shutdownTimeou
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+		s.SetReady(false)
+		if s.drainDelay > 0 {
+			time.Sleep(s.drainDelay)
+		}
 		sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
 		defer cancel()
 		return hs.Shutdown(sctx)

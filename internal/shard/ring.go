@@ -85,16 +85,44 @@ func (r *Ring) OwnerUser(u graph.UserID) int {
 // OwnerString returns the shard owning a string key (a name-level
 // seeker a router sees before id resolution).
 func (r *Ring) OwnerString(s string) int {
+	return r.points[r.startString(s)].shard
+}
+
+// SuccessorsString returns every shard index exactly once, ordered by
+// clockwise ring traversal from the key's hash — the owner first, then
+// the shards a fleet router spills to when earlier choices are
+// unhealthy. Walking the ring (instead of owner+1, owner+2, …) keeps
+// the spill deterministic per key while spreading one dead shard's
+// keys across the survivors by ring geometry rather than dumping them
+// all on a single neighbour.
+func (r *Ring) SuccessorsString(s string) []int {
+	out := make([]int, 0, r.shards)
+	seen := make([]bool, r.shards)
+	start := r.startString(s)
+	for i := 0; i < len(r.points) && len(out) < r.shards; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.shard] {
+			seen[p.shard] = true
+			out = append(out, p.shard)
+		}
+	}
+	return out
+}
+
+// startString returns the index of the first ring point at or
+// clockwise-after the string key's hash.
+func (r *Ring) startString(s string) int {
 	h := uint64(fnvOffset)
 	for i := 0; i < len(s); i++ {
 		h ^= uint64(s[i])
 		h *= fnvPrime
 	}
+	h = mix64(h)
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	if i == len(r.points) {
 		i = 0
 	}
-	return r.points[i].shard
+	return i
 }
 
 const (
@@ -102,12 +130,28 @@ const (
 	fnvPrime  = 1099511628211
 )
 
-// fnv1a hashes the 8 bytes of v, little-endian.
+// fnv1a hashes the 8 bytes of v, little-endian, then avalanches the
+// result. The finalizer matters: plain FNV-1a has weak diffusion on
+// the highly structured inputs this ring hashes — sequential user ids
+// and (shard, vnode) labels — leaving the ring's shard sequence nearly
+// periodic, which both skews load and, worse, concentrates a dead
+// shard's failover spill (SuccessorsString) onto a single survivor.
 func fnv1a(v uint64) uint64 {
 	h := uint64(fnvOffset)
 	for i := 0; i < 8; i++ {
 		h ^= v >> (8 * i) & 0xff
 		h *= fnvPrime
 	}
+	return mix64(h)
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, deterministic full-
+// avalanche permutation of the hash space.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
 	return h
 }

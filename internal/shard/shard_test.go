@@ -294,3 +294,140 @@ func TestRouterValidation(t *testing.T) {
 		t.Error("nil replica accepted")
 	}
 }
+
+// errSearcher fails every call with a fixed error.
+type errSearcher struct{ err error }
+
+func (e *errSearcher) Do(ctx context.Context, req search.Request) (search.Response, error) {
+	return search.Response{}, e.err
+}
+
+func (e *errSearcher) DoBatch(ctx context.Context, reqs []search.Request) []search.BatchResult {
+	out := make([]search.BatchResult, len(reqs))
+	for i := range out {
+		out[i] = search.BatchResult{Err: e.err}
+	}
+	return out
+}
+
+// TestRouterDoError pins the single-query error path: a replica's Do
+// failure surfaces to the caller untouched (the in-process router has
+// no failover — that is the fleet pool's job).
+func TestRouterDoError(t *testing.T) {
+	boom := fmt.Errorf("replica exploded")
+	reps := []search.Searcher{&errSearcher{err: boom}, &errSearcher{err: boom}}
+	r, err := NewRouter(reps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Do(context.Background(), search.Request{Seeker: "alice", Tags: []string{"x"}})
+	if err == nil || err.Error() != boom.Error() {
+		t.Fatalf("Do error = %v, want %v", err, boom)
+	}
+}
+
+// TestRouterDoBatchFailedReplica mixes a healthy replica with one whose
+// every request fails: the failed replica's entries error individually,
+// the healthy replica's entries still answer, and order is preserved.
+func TestRouterDoBatchFailedReplica(t *testing.T) {
+	boom := fmt.Errorf("replica down")
+	healthy := &spySearcher{id: 0}
+	reps := []search.Searcher{healthy, &errSearcher{err: boom}}
+	r, err := NewRouter(reps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reqs []search.Request
+	for i := 0; i < 64; i++ {
+		reqs = append(reqs, search.Request{Seeker: fmt.Sprintf("user-%d", i), Tags: []string{"x"}})
+	}
+	out := r.DoBatch(context.Background(), reqs)
+	if len(out) != len(reqs) {
+		t.Fatalf("%d outcomes for %d requests", len(out), len(reqs))
+	}
+	sawHealthy, sawFailed := false, false
+	for i, br := range out {
+		switch r.ReplicaFor(reqs[i].Seeker) {
+		case 0:
+			sawHealthy = true
+			if br.Err != nil {
+				t.Fatalf("entry %d on healthy replica failed: %v", i, br.Err)
+			}
+			if want := fmt.Sprintf("r0:%s", reqs[i].Seeker); br.Response.Results[0].Item != want {
+				t.Fatalf("entry %d = %q, want %q", i, br.Response.Results[0].Item, want)
+			}
+		case 1:
+			sawFailed = true
+			if br.Err == nil || br.Err.Error() != boom.Error() {
+				t.Fatalf("entry %d on failed replica: err = %v, want %v", i, br.Err, boom)
+			}
+		}
+	}
+	if !sawHealthy || !sawFailed {
+		t.Fatalf("workload did not hit both replicas (healthy=%v failed=%v)", sawHealthy, sawFailed)
+	}
+}
+
+// TestRouterReplicaForStable pins routing determinism: two routers
+// built from identical ring parameters agree on every seeker — the
+// property that lets separately-built front-ends (and restarts) route
+// the same seeker to the same replica.
+func TestRouterReplicaForStable(t *testing.T) {
+	build := func() *Router {
+		reps := []search.Searcher{&spySearcher{id: 0}, &spySearcher{id: 1}, &spySearcher{id: 2}}
+		r, err := NewRouter(reps, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := build(), build()
+	for i := 0; i < 500; i++ {
+		seeker := fmt.Sprintf("user-%d", i)
+		if a.ReplicaFor(seeker) != b.ReplicaFor(seeker) {
+			t.Fatalf("seeker %q routed to %d and %d by identical rings", seeker, a.ReplicaFor(seeker), b.ReplicaFor(seeker))
+		}
+	}
+}
+
+// TestRingSuccessors pins the failover preference order: it starts at
+// the owner, visits every shard exactly once, is deterministic, and
+// spreads a dead owner's keys across several survivors (ring geometry,
+// not owner+1).
+func TestRingSuccessors(t *testing.T) {
+	r, err := NewRing(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spill := make(map[int]int)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("user-%d", i)
+		succ := r.SuccessorsString(key)
+		if len(succ) != 5 {
+			t.Fatalf("%q: %d successors, want 5", key, len(succ))
+		}
+		if succ[0] != r.OwnerString(key) {
+			t.Fatalf("%q: first successor %d is not the owner %d", key, succ[0], r.OwnerString(key))
+		}
+		seen := make(map[int]bool)
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("%q: duplicate shard %d in %v", key, s, succ)
+			}
+			seen[s] = true
+		}
+		r2, _ := NewRing(5, 0)
+		succ2 := r2.SuccessorsString(key)
+		for j := range succ {
+			if succ[j] != succ2[j] {
+				t.Fatalf("%q: successor order differs across identical rings (%v vs %v)", key, succ, succ2)
+			}
+		}
+		if succ[0] == 0 { // keys owned by shard 0: where would they spill?
+			spill[succ[1]]++
+		}
+	}
+	if len(spill) < 2 {
+		t.Fatalf("shard 0's keys all spill to one shard (%v); want ring-geometry spread", spill)
+	}
+}

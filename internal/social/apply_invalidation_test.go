@@ -1,0 +1,109 @@
+package social
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/search"
+)
+
+// newReplicaPostureService builds a service whose compaction is driven
+// by ApplyInvalidation alone, like a fleet replica.
+func newReplicaPostureService(t *testing.T, cacheSize int) *Service {
+	t.Helper()
+	cfg := DefaultServiceConfig()
+	cfg.AutoCompactEvery = 1 << 30
+	cfg.SeekerCacheSize = cacheSize
+	svc, err := NewService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+func TestApplyInvalidationFoldsAndScopes(t *testing.T) {
+	svc := newReplicaPostureService(t, 0)
+	ctx := context.Background()
+	seed := func() {
+		t.Helper()
+		if err := svc.Befriend("alice", "bob", 0.9); err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.Tag("bob", "luigis", "pizza"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seed()
+	if st := svc.Stats(); st.PendingWrites == 0 {
+		t.Fatal("replica posture compacted on its own")
+	}
+
+	// The broadcast folds pending writes: the query works afterwards.
+	if _, err := svc.ApplyInvalidation([][2]string{{"alice", "bob"}}, false); err != nil {
+		t.Fatal(err)
+	}
+	if st := svc.Stats(); st.PendingWrites != 0 {
+		t.Fatalf("pending writes after broadcast: %d", st.PendingWrites)
+	}
+	req := search.Request{Seeker: "alice", Tags: []string{"pizza"}, K: 3, Mode: search.ModeExact}
+	if _, err := svc.Do(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm alice's horizon, then: a broadcast of edges whose names are
+	// unknown locally (or disjoint from the horizon) drops nothing; an
+	// edge containing a horizon member drops it.
+	if _, err := svc.Do(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	dropped, err := svc.ApplyInvalidation([][2]string{{"ghost1", "ghost2"}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 0 {
+		t.Fatalf("unknown-name broadcast dropped %d entries", dropped)
+	}
+	dropped, err = svc.ApplyInvalidation([][2]string{{"bob", "ghost1"}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 0 {
+		t.Fatalf("half-unknown edge dropped %d entries (unknown endpoint cannot scope)", dropped)
+	}
+	dropped, err = svc.ApplyInvalidation([][2]string{{"alice", "bob"}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped < 1 {
+		t.Fatalf("edge-scoped broadcast dropped %d, want >=1 (alice's horizon contains bob)", dropped)
+	}
+
+	// Global escalation drops every resident entry.
+	if _, err := svc.Do(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	dropped, err = svc.ApplyInvalidation(nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped < 1 {
+		t.Fatalf("global broadcast dropped %d, want >=1", dropped)
+	}
+}
+
+func TestApplyInvalidationWithoutCache(t *testing.T) {
+	svc := newReplicaPostureService(t, -1) // caching disabled
+	if err := svc.Befriend("alice", "bob", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	dropped, err := svc.ApplyInvalidation([][2]string{{"alice", "bob"}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 0 {
+		t.Fatalf("cacheless service dropped %d", dropped)
+	}
+	if st := svc.Stats(); st.PendingWrites != 0 {
+		t.Fatalf("pending writes after broadcast: %d", st.PendingWrites)
+	}
+}

@@ -400,6 +400,52 @@ func (s *Service) Flush() error {
 	return s.compactLocked()
 }
 
+// ApplyInvalidation is the replica-side half of the fleet's write-path
+// invalidation broadcast (see internal/fleet.Broadcaster and the
+// server's /v2/invalidate endpoint): it folds pending writes into the
+// queryable snapshot — which already performs edge-scoped invalidation
+// for the dirty edges this process tracked itself — and then drops, by
+// name, the cached horizons the broadcast edges could affect. The
+// explicit edge list matters when this process did not observe the
+// mutations (a replica fed by an out-of-band channel, or one that was
+// ejected while the fleet kept writing); names unknown locally are
+// skipped, since no id — and therefore no cached horizon member set —
+// can reference them. With all set the whole cache is logically
+// dropped instead (the escalation path for a replica that missed a
+// broadcast). Returns the number of entries invalidated.
+func (s *Service) ApplyInvalidation(edges [][2]string, all bool) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.writes = 0
+	if err := s.compactLocked(); err != nil {
+		return 0, err
+	}
+	if s.caches == nil {
+		return 0, nil
+	}
+	if all {
+		n := s.caches.Len()
+		s.caches.Invalidate()
+		return n, nil
+	}
+	ids := make([][2]graph.UserID, 0, len(edges))
+	for _, e := range edges {
+		ua, ok := s.names.Users.ID(e[0])
+		if !ok {
+			continue
+		}
+		ub, ok := s.names.Users.ID(e[1])
+		if !ok {
+			continue
+		}
+		ids = append(ids, [2]graph.UserID{ua, ub})
+	}
+	if len(ids) == 0 {
+		return 0, nil
+	}
+	return s.caches.InvalidateEdges(ids), nil
+}
+
 // Search answers seeker's top-k query over tag names with exact scores
 // (the ModeExact refine path). Unknown tags are an error (a deployment
 // would typically treat them as empty); unknown seekers are an error.

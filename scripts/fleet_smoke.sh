@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# Fleet smoke test (run by CI, and runnable locally): launches three
+# friendserve -replica processes and one -replicas front-end, drives
+# mixed search/Befriend traffic through the front-end, kills one
+# replica, and asserts that
+#   (a) answers after the kill are byte-identical to before it
+#       (failover re-routes the dead replica's seekers to survivors
+#       holding the same data),
+#   (b) mixed traffic keeps succeeding while a replica is down, and
+#   (c) /v1/stats on the front-end reports the ejection.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK=$(mktemp -d)
+BIN="$WORK/friendserve"
+go build -o "$BIN" ./cmd/friendserve
+
+FRONT_PORT=18080
+REPLICA_PORTS=(18081 18082 18083)
+PIDS=()
+cleanup() {
+  kill "${PIDS[@]}" >/dev/null 2>&1 || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+for p in "${REPLICA_PORTS[@]}"; do
+  "$BIN" -replica -addr "127.0.0.1:$p" >"$WORK/replica-$p.log" 2>&1 &
+  PIDS+=("$!")
+done
+"$BIN" -replicas "http://127.0.0.1:${REPLICA_PORTS[0]},http://127.0.0.1:${REPLICA_PORTS[1]},http://127.0.0.1:${REPLICA_PORTS[2]}" \
+  -addr "127.0.0.1:$FRONT_PORT" -health-interval 150ms -fail-after 2 -bcast-window 20ms \
+  >"$WORK/frontend.log" 2>&1 &
+PIDS+=("$!")
+
+wait_ready() {
+  for _ in $(seq 1 50); do
+    if curl -fsS --max-time 10 "http://127.0.0.1:$1/readyz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.2
+  done
+  echo "FAIL: port $1 never became ready" >&2
+  exit 1
+}
+for p in "${REPLICA_PORTS[@]}" "$FRONT_PORT"; do wait_ready "$p"; done
+
+BASE="http://127.0.0.1:$FRONT_PORT"
+NUSERS=20
+
+befriend() {
+  curl -fsS --max-time 10 -X POST -d "{\"a\":\"$1\",\"b\":\"$2\",\"weight\":$3}" "$BASE/v1/friend" >/dev/null
+}
+tag() {
+  curl -fsS --max-time 10 -X POST -d "{\"user\":\"$1\",\"item\":\"$2\",\"tag\":\"$3\"}" "$BASE/v1/tag" >/dev/null
+}
+query() {
+  curl -fsS --max-time 10 -X POST -d "{\"seeker\":\"$1\",\"tags\":[\"pizza\"],\"k\":5,\"mode\":\"exact\"}" "$BASE/v2/search"
+}
+
+echo "== seeding corpus through the front-end"
+for i in $(seq 0 $((NUSERS - 1))); do
+  befriend "u$i" "u$(((i + 1) % NUSERS))" 0.8
+  tag "u$i" "item$i" "pizza"
+done
+sleep 0.5 # let the invalidation broadcast fold the writes in fleet-wide
+
+echo "== recording pre-kill answers"
+for i in $(seq 0 $((NUSERS - 1))); do
+  query "u$i" >"$WORK/before-u$i.json"
+done
+
+echo "== crashing replica ${REPLICA_PORTS[1]}"
+# SIGKILL: a plain TERM would trigger the replica's graceful drain and
+# it would keep answering — the point here is a hard crash.
+kill -9 "${PIDS[1]}"
+
+echo "== answers must fail over and stay byte-identical"
+for i in $(seq 0 $((NUSERS - 1))); do
+  query "u$i" >"$WORK/after-u$i.json"
+  if ! cmp -s "$WORK/before-u$i.json" "$WORK/after-u$i.json"; then
+    echo "FAIL: seeker u$i answered differently after the replica kill" >&2
+    diff "$WORK/before-u$i.json" "$WORK/after-u$i.json" >&2 || true
+    exit 1
+  fi
+done
+
+echo "== mixed traffic with a dead replica must keep succeeding"
+for i in $(seq 0 29); do
+  case $((i % 3)) in
+    0) befriend "u$((i % NUSERS))" "u$(((i + 7) % NUSERS))" 0.6 ;;
+    1) tag "u$((i % NUSERS))" "extra$i" "pizza" ;;
+    2) query "u$((i % NUSERS))" >/dev/null ;;
+  esac
+done
+
+echo "== waiting for the health checker to eject the dead replica"
+sleep 1
+STATS=$(curl -fsS --max-time 10 "$BASE/v1/stats")
+echo "$STATS" >"$WORK/stats.json"
+if ! echo "$STATS" | grep -q '"Live":false'; then
+  echo "FAIL: no ejected replica in /v1/stats: $STATS" >&2
+  exit 1
+fi
+if ! echo "$STATS" | grep -Eq '"Ejections":[1-9]'; then
+  echo "FAIL: /v1/stats reports no ejection: $STATS" >&2
+  exit 1
+fi
+if ! echo "$STATS" | grep -Eq '"Failovers":[1-9]'; then
+  echo "FAIL: /v1/stats reports no failovers: $STATS" >&2
+  exit 1
+fi
+if ! echo "$STATS" | grep -Eq '"Batches":[1-9]'; then
+  echo "FAIL: /v1/stats reports no invalidation broadcasts: $STATS" >&2
+  exit 1
+fi
+
+echo "== graceful drain: SIGTERM flips /readyz before shutdown"
+FRONT_PID="${PIDS[3]}"
+kill -TERM "$FRONT_PID"
+DRAINED=no
+for _ in $(seq 1 20); do
+  CODE=$(curl -s --max-time 10 -o /dev/null -w '%{http_code}' "$BASE/readyz" || true)
+  if [ "$CODE" = "503" ]; then DRAINED=yes; break; fi
+  if [ -z "$CODE" ] || [ "$CODE" = "000" ]; then break; fi
+  sleep 0.05
+done
+if [ "$DRAINED" != "yes" ]; then
+  echo "FAIL: front-end never reported draining on SIGTERM" >&2
+  exit 1
+fi
+
+echo "fleet smoke test passed"
