@@ -12,6 +12,8 @@
 //	friendserve -replicas http://a:8081,http://b:8082 [-addr :8080]
 //	            [-hedge 0] [-health-interval 1s] [-fail-after 3]
 //	            [-bcast-window 25ms] [-bcast-max-edges 512]
+//	            [-replog-dir /var/lib/friendsearch/replog]
+//	            [-catchup-timeout 30s] [-mutation-timeout 10s]
 //
 // With -dir the service is crash-safe: every mutation is written ahead
 // to a log under the directory and the state survives restarts. Without
@@ -34,6 +36,15 @@
 // caches stay edge-scoped-consistent. A -replica process defers
 // compaction to the broadcast heartbeat; run it standalone only for
 // debugging.
+//
+// With -replog-dir the front-end keeps a WAL-backed replication log:
+// every mutation is LSN-stamped and durably logged before fan-out, and
+// a replica ejected by health checking is readmitted only after it has
+// streamed and applied every record it missed (catch-up gating,
+// bounded by -catchup-timeout), so a rejoining replica never serves
+// answers derived from a stale graph. Without it, readmission is on
+// probe successes alone and a rejoined replica's graph silently misses
+// the mutations written while it was out.
 //
 // All modes drain gracefully on SIGTERM/SIGINT: /readyz flips to 503,
 // the process keeps serving for -drain so load balancers notice, then
@@ -85,6 +96,9 @@ func main() {
 	failAfter := flag.Int("fail-after", 0, "front-end: consecutive failures before ejecting a replica (0 = default)")
 	bcastWindow := flag.Duration("bcast-window", 0, "front-end: invalidation broadcast coalescing window (0 = default)")
 	bcastMaxEdges := flag.Int("bcast-max-edges", 0, "front-end: flush a broadcast batch early at this many dirty edges (0 = default)")
+	replogDir := flag.String("replog-dir", "", "front-end: replication log directory; enables catch-up-gated replica readmission (empty = disabled)")
+	catchupTimeout := flag.Duration("catchup-timeout", 0, "front-end: bound on one replica's replication log catch-up (0 = default 30s)")
+	mutationTimeout := flag.Duration("mutation-timeout", 0, "front-end: bound on one replica's acknowledgement of one forwarded mutation (0 = default 10s)")
 	flag.Parse()
 
 	if *replica && *replicas != "" {
@@ -94,12 +108,26 @@ func main() {
 	var backend server.Backend
 	var cleanup func()
 	if *replicas != "" {
-		front, err := buildFrontend(*replicas, *hedge, *healthInterval, *failAfter, *bcastWindow, *bcastMaxEdges)
+		front, err := buildFrontend(frontendOpts{
+			urls:            *replicas,
+			hedge:           *hedge,
+			healthInterval:  *healthInterval,
+			failAfter:       *failAfter,
+			bcastWindow:     *bcastWindow,
+			bcastMaxEdges:   *bcastMaxEdges,
+			replogDir:       *replogDir,
+			catchupTimeout:  *catchupTimeout,
+			mutationTimeout: *mutationTimeout,
+		})
 		if err != nil {
 			log.Fatalf("friendserve: %v", err)
 		}
 		backend, cleanup = front, front.Close
-		log.Printf("fleet front-end over %s", *replicas)
+		if *replogDir != "" {
+			log.Printf("fleet front-end over %s (replication log: %s)", *replicas, *replogDir)
+		} else {
+			log.Printf("fleet front-end over %s (no replication log: ejected replicas rejoin stale)", *replicas)
+		}
 	} else {
 		svcCfg := social.DefaultServiceConfig()
 		svcCfg.SeekerCacheSize = *cacheSize
@@ -149,34 +177,64 @@ func main() {
 	log.Printf("shut down cleanly")
 }
 
-func buildFrontend(urls string, hedge, healthInterval time.Duration, failAfter int, bcastWindow time.Duration, bcastMaxEdges int) (*fleet.Frontend, error) {
+type frontendOpts struct {
+	urls            string
+	hedge           time.Duration
+	healthInterval  time.Duration
+	failAfter       int
+	bcastWindow     time.Duration
+	bcastMaxEdges   int
+	replogDir       string
+	catchupTimeout  time.Duration
+	mutationTimeout time.Duration
+}
+
+func buildFrontend(o frontendOpts) (*fleet.Frontend, error) {
 	var clients []*fleet.Client
-	for _, u := range strings.Split(urls, ",") {
+	for _, u := range strings.Split(o.urls, ",") {
 		if u = strings.TrimSpace(u); u == "" {
 			continue
 		}
-		c, err := fleet.NewClient(u, fleet.ClientConfig{HedgeDelay: hedge})
+		c, err := fleet.NewClient(u, fleet.ClientConfig{HedgeDelay: o.hedge})
 		if err != nil {
 			return nil, err
 		}
 		clients = append(clients, c)
 	}
 	pool, err := fleet.NewPool(clients, fleet.PoolConfig{
-		HealthInterval: healthInterval,
-		FailAfter:      failAfter,
+		HealthInterval: o.healthInterval,
+		FailAfter:      o.failAfter,
 	})
 	if err != nil {
 		return nil, err
 	}
 	bcast := fleet.NewBroadcaster(clients, fleet.BroadcasterConfig{
-		Window:        bcastWindow,
-		MaxBatchEdges: bcastMaxEdges,
+		Window:        o.bcastWindow,
+		MaxBatchEdges: o.bcastMaxEdges,
 	})
 	front, err := fleet.NewFrontend(pool, bcast)
 	if err != nil {
 		pool.Close()
 		bcast.Close()
 		return nil, err
+	}
+	if o.mutationTimeout > 0 {
+		front.MutationTimeout = o.mutationTimeout
+	}
+	if o.catchupTimeout > 0 {
+		front.CatchupTimeout = o.catchupTimeout
+	}
+	if o.replogDir != "" {
+		rl, err := fleet.OpenRepLog(o.replogDir)
+		if err != nil {
+			front.Close()
+			return nil, err
+		}
+		if err := front.UseRepLog(rl); err != nil {
+			rl.Close()
+			front.Close()
+			return nil, err
+		}
 	}
 	return front, nil
 }

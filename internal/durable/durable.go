@@ -37,10 +37,13 @@ import (
 	"repro/internal/wal"
 )
 
-// Record types used in the write-ahead log.
+// Record types used in the write-ahead log. Exported because the fleet
+// replication log (internal/fleet) reuses the exact record format: one
+// codec, one framing, whether the log backs a single process's
+// crash-safety or a fleet's replica catch-up.
 const (
-	recBefriend wal.Type = 1
-	recTag      wal.Type = 2
+	RecBefriend wal.Type = 1
+	RecTag      wal.Type = 2
 )
 
 const (
@@ -151,14 +154,14 @@ func (s *Service) replay(barrier uint64) error {
 		}
 		n++
 		switch r.Type {
-		case recBefriend:
-			a, b, w, err := decodeBefriend(r.Data)
+		case RecBefriend:
+			a, b, w, err := DecodeBefriend(r.Data)
 			if err != nil {
 				return fmt.Errorf("durable: lsn %d: %w", r.LSN, err)
 			}
 			return s.svc.Befriend(a, b, w)
-		case recTag:
-			u, i, tg, err := decodeTag(r.Data)
+		case RecTag:
+			u, i, tg, err := DecodeTag(r.Data)
 			if err != nil {
 				return fmt.Errorf("durable: lsn %d: %w", r.LSN, err)
 			}
@@ -195,21 +198,12 @@ func (s *Service) cleanStale(live string) error {
 // Befriend durably records a friendship declaration. See
 // social.Service.Befriend for semantics.
 func (s *Service) Befriend(a, b string, weight float64) error {
-	if err := validateName(a); err != nil {
+	if err := s.validateBefriend(a, b, weight); err != nil {
 		return err
-	}
-	if err := validateName(b); err != nil {
-		return err
-	}
-	if weight <= 0 || weight > 1 {
-		return fmt.Errorf("durable: weight %g outside (0,1]", weight)
-	}
-	if a == b {
-		return fmt.Errorf("durable: self-friendship for %q", a)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.logged(recBefriend, encodeBefriend(a, b, weight), func() error {
+	return s.logged(RecBefriend, EncodeBefriend(a, b, weight), func() error {
 		return s.svc.Befriend(a, b, weight)
 	})
 }
@@ -223,9 +217,93 @@ func (s *Service) Tag(user, item, tag string) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.logged(recTag, encodeTag(user, item, tag), func() error {
+	return s.logged(RecTag, EncodeTag(user, item, tag), func() error {
 		return s.svc.Tag(user, item, tag)
 	})
+}
+
+// BefriendAt is the apply-from-replication-log entry point (see
+// social.Service.BefriendAt): the mutation is deduplicated and
+// order-checked against the wrapped service's replication cursor, and
+// only a record that actually advances the cursor is appended to this
+// service's own write-ahead log — a replayed duplicate must not be
+// logged twice. The replication cursor itself is in-memory: a durable
+// replica that restarts reports AppliedLSN 0 and catches up from the
+// start of the fleet's retained replication log, deduplicating against
+// nothing but applying the same stream in the same order.
+func (s *Service) BefriendAt(lsn uint64, a, b string, weight float64) error {
+	if lsn == 0 {
+		return s.Befriend(a, b, weight)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Cursor discipline BEFORE logging: a duplicate must not be logged
+	// twice, and a gap is a routine protocol answer (the sender streams
+	// the missing records and retries), not a broken service.
+	switch applied := s.svc.AppliedLSN(); {
+	case lsn <= applied:
+		return nil // already processed (and already logged)
+	case lsn != applied+1:
+		return fmt.Errorf("%w: record lsn %d, applied %d", social.ErrReplicationGap, lsn, applied)
+	}
+	// Deterministic rejections advance the cursor WITHOUT logging — the
+	// record is a fleet-wide no-op, and the cursor must move in lockstep
+	// with every other replica that skipped it identically.
+	if err := s.validateBefriend(a, b, weight); err != nil {
+		s.svc.SkipLSN(lsn)
+		return err
+	}
+	return s.logged(RecBefriend, EncodeBefriend(a, b, weight), func() error {
+		return s.svc.BefriendAt(lsn, a, b, weight)
+	})
+}
+
+func (s *Service) validateBefriend(a, b string, weight float64) error {
+	if err := validateName(a); err != nil {
+		return err
+	}
+	if err := validateName(b); err != nil {
+		return err
+	}
+	if weight <= 0 || weight > 1 {
+		return fmt.Errorf("durable: weight %g outside (0,1]", weight)
+	}
+	if a == b {
+		return fmt.Errorf("durable: self-friendship for %q", a)
+	}
+	return nil
+}
+
+// TagAt is BefriendAt's tagging sibling.
+func (s *Service) TagAt(lsn uint64, user, item, tag string) error {
+	if lsn == 0 {
+		return s.Tag(user, item, tag)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch applied := s.svc.AppliedLSN(); {
+	case lsn <= applied:
+		return nil
+	case lsn != applied+1:
+		return fmt.Errorf("%w: record lsn %d, applied %d", social.ErrReplicationGap, lsn, applied)
+	}
+	for _, n := range []string{user, item, tag} {
+		if err := validateName(n); err != nil {
+			s.svc.SkipLSN(lsn)
+			return err
+		}
+	}
+	return s.logged(RecTag, EncodeTag(user, item, tag), func() error {
+		return s.svc.TagAt(lsn, user, item, tag)
+	})
+}
+
+// AppliedLSN returns the replication cursor of the wrapped service.
+func (s *Service) AppliedLSN() uint64 {
+	s.mu.Lock()
+	svc := s.svc
+	s.mu.Unlock()
+	return svc.AppliedLSN()
 }
 
 // logged appends the record, applies the mutation, and runs the

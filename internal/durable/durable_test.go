@@ -278,28 +278,28 @@ func TestValidationRejectsBadInput(t *testing.T) {
 }
 
 func TestRecordCodecRoundTrip(t *testing.T) {
-	a, b, w, err := decodeBefriend(encodeBefriend("alice", "bob", 0.75))
+	a, b, w, err := DecodeBefriend(EncodeBefriend("alice", "bob", 0.75))
 	if err != nil || a != "alice" || b != "bob" || w != 0.75 {
 		t.Fatalf("befriend round trip = %q %q %g %v", a, b, w, err)
 	}
-	u, i, tg, err := decodeTag(encodeTag("user", "an item with spaces", "tag"))
+	u, i, tg, err := DecodeTag(EncodeTag("user", "an item with spaces", "tag"))
 	if err != nil || u != "user" || i != "an item with spaces" || tg != "tag" {
 		t.Fatalf("tag round trip = %q %q %q %v", u, i, tg, err)
 	}
 	// Truncated and trailing-garbage payloads must be rejected.
-	good := encodeTag("u", "i", "t")
+	good := EncodeTag("u", "i", "t")
 	for cut := 0; cut < len(good); cut++ {
-		if _, _, _, err := decodeTag(good[:cut]); err == nil {
-			t.Errorf("decodeTag accepted %d-byte prefix", cut)
+		if _, _, _, err := DecodeTag(good[:cut]); err == nil {
+			t.Errorf("DecodeTag accepted %d-byte prefix", cut)
 		}
 	}
-	if _, _, _, err := decodeTag(append(good, 0)); err == nil {
-		t.Error("decodeTag accepted trailing garbage")
+	if _, _, _, err := DecodeTag(append(good, 0)); err == nil {
+		t.Error("DecodeTag accepted trailing garbage")
 	}
-	bf := encodeBefriend("a", "b", 0.5)
+	bf := EncodeBefriend("a", "b", 0.5)
 	for cut := 0; cut < len(bf); cut++ {
-		if _, _, _, err := decodeBefriend(bf[:cut]); err == nil {
-			t.Errorf("decodeBefriend accepted %d-byte prefix", cut)
+		if _, _, _, err := DecodeBefriend(bf[:cut]); err == nil {
+			t.Errorf("DecodeBefriend accepted %d-byte prefix", cut)
 		}
 	}
 }

@@ -9,7 +9,9 @@ import (
 // Log record payload encodings. Strings are uvarint-length-prefixed;
 // floats are IEEE-754 bits little-endian. Record framing, checksums and
 // ordering are the log layer's job; these payloads only need to be
-// self-describing enough to replay.
+// self-describing enough to replay. The codec is exported because the
+// fleet replication log (internal/fleet) appends and replays the same
+// record types.
 
 func appendString(buf []byte, s string) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(s)))
@@ -28,7 +30,7 @@ func readString(buf []byte) (string, []byte, error) {
 	return string(buf[:n]), buf[n:], nil
 }
 
-func encodeBefriend(a, b string, weight float64) []byte {
+func EncodeBefriend(a, b string, weight float64) []byte {
 	buf := make([]byte, 0, len(a)+len(b)+2+8)
 	buf = appendString(buf, a)
 	buf = appendString(buf, b)
@@ -37,7 +39,7 @@ func encodeBefriend(a, b string, weight float64) []byte {
 	return append(buf, wb[:]...)
 }
 
-func decodeBefriend(buf []byte) (a, b string, weight float64, err error) {
+func DecodeBefriend(buf []byte) (a, b string, weight float64, err error) {
 	a, buf, err = readString(buf)
 	if err != nil {
 		return "", "", 0, err
@@ -56,14 +58,14 @@ func decodeBefriend(buf []byte) (a, b string, weight float64, err error) {
 	return a, b, weight, nil
 }
 
-func encodeTag(user, item, tag string) []byte {
+func EncodeTag(user, item, tag string) []byte {
 	buf := make([]byte, 0, len(user)+len(item)+len(tag)+3)
 	buf = appendString(buf, user)
 	buf = appendString(buf, item)
 	return appendString(buf, tag)
 }
 
-func decodeTag(buf []byte) (user, item, tag string, err error) {
+func DecodeTag(buf []byte) (user, item, tag string, err error) {
 	user, buf, err = readString(buf)
 	if err != nil {
 		return "", "", "", err

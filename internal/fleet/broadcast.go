@@ -39,11 +39,14 @@ type BroadcasterConfig struct {
 // never global-flushes the fleet's caches.
 //
 // A replica that fails to acknowledge a batch is marked missed; its
-// next successful broadcast is escalated to a global invalidation, so
+// next successful broadcast — or, on the eject→live transition, an
+// immediate FlushMissed — is escalated to a global invalidation, so
 // edge-level bookkeeping never has to replay history to stay sound.
-// (Missed *mutations* are a different matter — a replica ejected while
-// the fleet kept writing serves stale data until the WAL-backed
-// replication log lands; see docs/fleet.md.)
+// (Missed *mutations* are the replication log's job: a replica ejected
+// while the fleet kept writing streams the records it missed from the
+// Frontend's wal-backed replog before the pool readmits it, and its
+// rejoin invalidation is scoped to exactly those records' edges; see
+// docs/fleet.md.)
 type Broadcaster struct {
 	clients []*Client
 	cfg     BroadcasterConfig
@@ -58,7 +61,11 @@ type Broadcaster struct {
 	dirty   bool      // a write (possibly tag-only) awaits a broadcast
 	oldest  time.Time // arrival of the oldest unbroadcast note
 	missed  []bool    // per replica: escalate next batch to global
-	kick    chan struct{}
+	// missedSeq counts MarkMissed calls per replica; clears are guarded
+	// on it so a repair can never erase a miss recorded after the repair
+	// started (check-act race on the flag).
+	missedSeq []uint64
+	kick      chan struct{}
 
 	counters metrics.BroadcastCounters
 	stop     chan struct{}
@@ -79,13 +86,14 @@ func NewBroadcaster(clients []*Client, cfg BroadcasterConfig) *Broadcaster {
 		cfg.Timeout = DefaultBroadcastTimeout
 	}
 	b := &Broadcaster{
-		clients: clients,
-		cfg:     cfg,
-		seen:    make(map[[2]string]struct{}),
-		missed:  make([]bool, len(clients)),
-		kick:    make(chan struct{}, 1),
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
+		clients:   clients,
+		cfg:       cfg,
+		seen:      make(map[[2]string]struct{}),
+		missed:    make([]bool, len(clients)),
+		missedSeq: make([]uint64, len(clients)),
+		kick:      make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
 	}
 	go b.loop()
 	return b
@@ -135,8 +143,65 @@ func (b *Broadcaster) MarkMissed(replica int) {
 	b.mu.Lock()
 	if replica >= 0 && replica < len(b.missed) {
 		b.missed[replica] = true
+		b.missedSeq[replica]++
 	}
 	b.mu.Unlock()
+}
+
+// MissedSeq returns the replica's miss sequence number: capture it
+// before starting a repair, and pass it to ClearMissedIf afterwards so
+// only misses the repair actually covered are withdrawn.
+func (b *Broadcaster) MissedSeq(replica int) uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if replica < 0 || replica >= len(b.missedSeq) {
+		return 0
+	}
+	return b.missedSeq[replica]
+}
+
+// ClearMissedIf withdraws a replica's missed flag after an out-of-band
+// repair covered it — the replication log catch-up ends with an
+// invalidation scoped to exactly the records the replica missed, so the
+// escalated global is no longer owed. seq must be the MissedSeq
+// captured before the repair's invalidation: a miss recorded since then
+// is NOT covered and keeps the flag.
+func (b *Broadcaster) ClearMissedIf(replica int, seq uint64) {
+	b.mu.Lock()
+	if replica >= 0 && replica < len(b.missed) && b.missedSeq[replica] == seq {
+		b.missed[replica] = false
+	}
+	b.mu.Unlock()
+}
+
+// FlushMissed immediately sends the escalated global invalidation to a
+// replica that missed broadcast traffic, instead of leaving it to ride
+// the next batch flush — which, in a write-quiet fleet, may never come,
+// letting a readmitted replica serve from a stale cache indefinitely.
+// The pool's readmission hook calls it on the eject→live transition.
+// No-op for replicas not marked missed; a failed send counts a Failure
+// (the Escalation is counted only when one is actually delivered) and
+// leaves the flag set, so the next broadcast still escalates.
+func (b *Broadcaster) FlushMissed(ctx context.Context, replica int) error {
+	b.mu.Lock()
+	owed := replica >= 0 && replica < len(b.missed) && b.missed[replica]
+	var seq uint64
+	if owed {
+		seq = b.missedSeq[replica]
+	}
+	b.mu.Unlock()
+	if !owed {
+		return nil
+	}
+	sctx, cancel := context.WithTimeout(ctx, b.cfg.Timeout)
+	defer cancel()
+	if _, err := b.clients[replica].Invalidate(sctx, nil, true); err != nil {
+		b.counters.Failure()
+		return err
+	}
+	b.counters.Escalation()
+	b.ClearMissedIf(replica, seq)
+	return nil
 }
 
 func (b *Broadcaster) wake() {
@@ -188,6 +253,7 @@ func (b *Broadcaster) flushOnce(ctx context.Context) {
 	b.dirty = false
 	global := make([]bool, len(b.clients))
 	copy(global, b.missed)
+	seqs := append([]uint64(nil), b.missedSeq...)
 	b.mu.Unlock()
 
 	b.counters.Batch(len(edges))
@@ -205,11 +271,15 @@ func (b *Broadcaster) flushOnce(ctx context.Context) {
 			b.mu.Lock()
 			if err != nil {
 				b.missed[i] = true
+				b.missedSeq[i]++
 				b.mu.Unlock()
 				b.counters.Failure()
 				return
 			}
-			if global[i] {
+			// Withdraw the escalation debt only if no NEW miss was
+			// recorded since this batch was taken — a global delivered
+			// now does not cover a batch missed meanwhile.
+			if global[i] && b.missedSeq[i] == seqs[i] {
 				b.missed[i] = false
 			}
 			b.mu.Unlock()

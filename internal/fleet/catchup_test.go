@@ -1,0 +1,638 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/search"
+	"repro/internal/server"
+	"repro/internal/social"
+)
+
+// invalidateCall is one recorded /v2/invalidate body.
+type invalidateCall struct {
+	Edges [][2]string `json:"edges"`
+	All   bool        `json:"all"`
+}
+
+// toggleReplica is a fleet replica whose HTTP surface can be forced
+// down (503 on every request) and back up without losing its state —
+// the SIGSTOP/SIGCONT shape of the readmission bug, which httptest
+// Close cannot model. It also records every invalidation broadcast it
+// receives.
+type toggleReplica struct {
+	svc  *social.Service
+	ts   *httptest.Server
+	down atomic.Bool
+
+	mu            sync.Mutex
+	invalidations []invalidateCall
+}
+
+func newToggleReplica(t *testing.T) *toggleReplica {
+	t.Helper()
+	cfg := social.DefaultServiceConfig()
+	cfg.AutoCompactEvery = 1 << 30 // broadcast is the compaction heartbeat
+	svc, err := social.NewService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &toggleReplica{svc: svc}
+	tr.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if tr.down.Load() {
+			http.Error(w, `{"error":"replica down"}`, http.StatusServiceUnavailable)
+			return
+		}
+		if r.URL.Path == "/v2/invalidate" {
+			raw, _ := io.ReadAll(r.Body)
+			var call invalidateCall
+			json.Unmarshal(raw, &call)
+			tr.mu.Lock()
+			tr.invalidations = append(tr.invalidations, call)
+			tr.mu.Unlock()
+			r.Body = io.NopCloser(bytes.NewReader(raw))
+		}
+		srv.ServeHTTP(w, r)
+	}))
+	t.Cleanup(tr.ts.Close)
+	return tr
+}
+
+// globalInvalidations counts recorded all=true invalidation broadcasts.
+func (tr *toggleReplica) globalInvalidations() int {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	n := 0
+	for _, c := range tr.invalidations {
+		if c.All {
+			n++
+		}
+	}
+	return n
+}
+
+// newCatchupFleet builds an n-replica fleet over toggle replicas with
+// fast health probing (FailAfter/ReviveAfter 1) and, when replogDir is
+// non-empty, a replication log with catch-up-gated readmission.
+func newCatchupFleet(t *testing.T, n int, replogDir string) (*Frontend, *Pool, []*toggleReplica, []*Client) {
+	t.Helper()
+	var reps []*toggleReplica
+	var clients []*Client
+	for i := 0; i < n; i++ {
+		tr := newToggleReplica(t)
+		reps = append(reps, tr)
+		clients = append(clients, newTestClient(t, tr.ts.URL, ClientConfig{}))
+	}
+	pool, err := NewPool(clients, PoolConfig{
+		HealthInterval: 10 * time.Millisecond,
+		FailAfter:      1,
+		ReviveAfter:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcast := NewBroadcaster(clients, BroadcasterConfig{Window: 2 * time.Millisecond})
+	front, err := NewFrontend(pool, bcast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replogDir != "" {
+		rl, err := OpenRepLog(replogDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := front.UseRepLog(rl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(front.Close)
+	return front, pool, reps, clients
+}
+
+// TestReadmissionFiresImmediateInvalidation is the regression test for
+// the write-quiet rejoin bug: a replica that missed broadcast traffic
+// used to get its escalated global invalidation only at the *next*
+// broadcast flush — with zero post-rejoin writes, never. The eject→live
+// transition itself must now fire it.
+func TestReadmissionFiresImmediateInvalidation(t *testing.T) {
+	front, pool, reps, _ := newCatchupFleet(t, 2, "") // PR 4 posture: no replog
+	victim := 0
+	reps[victim].down.Store(true)
+	waitFor(t, 5*time.Second, func() bool { return !pool.Live(victim) })
+	reps[victim].down.Store(false)
+	waitFor(t, 5*time.Second, func() bool { return pool.Live(victim) })
+
+	// Zero writes anywhere: the escalated global must arrive anyway.
+	waitFor(t, 5*time.Second, func() bool { return reps[victim].globalInvalidations() >= 1 })
+	// The counter lands after delivery is acknowledged; wait for it too.
+	waitFor(t, 5*time.Second, func() bool {
+		return front.StatsAny().(Stats).Broadcast.Counters.Escalations >= 1
+	})
+}
+
+// TestCatchUpRacesConcurrentWrites runs a replica ejection + rejoin
+// while a foreground writer keeps mutating through the front-end: the
+// catch-up stream and the direct fan-out race on the same replica, and
+// the LSN ordering rule must keep the result bit-identical to a
+// reference service fed the same stream. Run under -race.
+func TestCatchUpRacesConcurrentWrites(t *testing.T) {
+	front, pool, reps, clients := newCatchupFleet(t, 3, t.TempDir())
+	ref, err := social.NewService(social.DefaultServiceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const nUsers = 16
+	user := func(i int) string { return fmt.Sprintf("u%d", i) }
+
+	// Single writer: identical mutation order on reference and fleet.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var writeErr atomic.Value
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			a, b := user(i%nUsers), user((i+1+i%5)%nUsers)
+			if a == b {
+				continue
+			}
+			w := 0.2 + 0.6*float64(i%7)/7
+			if err := ref.Befriend(a, b, w); err != nil {
+				writeErr.Store(fmt.Errorf("ref befriend: %w", err))
+				return
+			}
+			if err := front.Befriend(a, b, w); err != nil {
+				writeErr.Store(fmt.Errorf("front befriend: %w", err))
+				return
+			}
+			if i%3 == 0 {
+				it, tg := fmt.Sprintf("i%d", i%9), fmt.Sprintf("t%d", i%3)
+				if err := ref.Tag(a, it, tg); err != nil {
+					writeErr.Store(fmt.Errorf("ref tag: %w", err))
+					return
+				}
+				if err := front.Tag(a, it, tg); err != nil {
+					writeErr.Store(fmt.Errorf("front tag: %w", err))
+					return
+				}
+			}
+			time.Sleep(2 * time.Millisecond) // let catch-up outrun the head
+		}
+	}()
+
+	victim := 1
+	time.Sleep(50 * time.Millisecond) // some pre-ejection history
+	reps[victim].down.Store(true)
+	waitFor(t, 5*time.Second, func() bool { return !pool.Live(victim) })
+	time.Sleep(100 * time.Millisecond) // mutations the victim misses
+	reps[victim].down.Store(false)
+	waitFor(t, 10*time.Second, func() bool { return pool.Live(victim) })
+	close(stop)
+	wg.Wait()
+	if err, _ := writeErr.Load().(error); err != nil {
+		t.Fatal(err)
+	}
+
+	// Quiesce both sides, then the readmitted replica must answer every
+	// query bit-identically to the reference.
+	if err := ref.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := front.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	compareReplicaToReference(t, ctx, clients[victim], ref, nUsers, 3)
+
+	stats := front.StatsAny().(Stats)
+	vs := stats.Replicas[victim]
+	if vs.Counters.Catchups < 1 {
+		t.Fatalf("victim stats = %+v, want >=1 completed catch-up", vs.Counters)
+	}
+	if vs.ReplogLag != 0 {
+		t.Fatalf("victim replog lag = %d after quiesce, want 0", vs.ReplogLag)
+	}
+}
+
+// compareReplicaToReference asserts one replica, queried directly over
+// the wire, answers every seeker × tag mode=exact query bit-identically
+// to the in-process reference service.
+func compareReplicaToReference(t *testing.T, ctx context.Context, c *Client, ref *social.Service, nUsers, nTags int) {
+	t.Helper()
+	for u := 0; u < nUsers; u++ {
+		for tg := 0; tg < nTags; tg++ {
+			req := search.Request{
+				Seeker: fmt.Sprintf("u%d", u),
+				Tags:   []string{fmt.Sprintf("t%d", tg)},
+				K:      8,
+				Mode:   search.ModeExact,
+			}
+			want, werr := ref.Do(ctx, req)
+			got, gerr := c.Do(ctx, req)
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("seeker u%d tag t%d: ref err %v, replica err %v", u, tg, werr, gerr)
+			}
+			if werr != nil {
+				continue // both reject — parity holds
+			}
+			if len(want.Results) != len(got.Results) {
+				t.Fatalf("seeker u%d tag t%d: %d vs %d results", u, tg, len(want.Results), len(got.Results))
+			}
+			for i := range want.Results {
+				if want.Results[i] != got.Results[i] {
+					t.Fatalf("seeker u%d tag t%d result %d: ref %+v, replica %+v",
+						u, tg, i, want.Results[i], got.Results[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCatchUpTornReplogFailsCleanly shears the replication log
+// mid-record while a replica is waiting to rejoin: catch-up must fail
+// with a clean error — never hand the replica a torn frame — keep the
+// replica out of the ring, and keep retrying (observable via
+// LastError), leaving the torn record unapplied.
+func TestCatchUpTornReplogFailsCleanly(t *testing.T) {
+	dir := t.TempDir()
+	front, pool, reps, _ := newCatchupFleet(t, 2, dir)
+
+	seedErr := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		seedErr(front.Befriend(fmt.Sprintf("u%d", i), fmt.Sprintf("u%d", i+1), 0.5))
+	}
+	victim := 1
+	reps[victim].down.Store(true)
+	waitFor(t, 5*time.Second, func() bool { return !pool.Live(victim) })
+	for i := 0; i < 8; i++ {
+		seedErr(front.Befriend(fmt.Sprintf("v%d", i), fmt.Sprintf("v%d", i+1), 0.5))
+	}
+	appliedBefore := reps[victim].svc.AppliedLSN()
+	head := front.StatsAny().(Stats).Replog.Head
+
+	// Shear the last segment mid-record (out-of-band disk damage).
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no replog segments: %v", err)
+	}
+	sort.Strings(segs)
+	last := segs[len(segs)-1]
+	st, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last, st.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	reps[victim].down.Store(false)
+	// Catch-up attempts must fail cleanly: the replica stays out with the
+	// error observable, and the torn head record is never applied.
+	waitFor(t, 5*time.Second, func() bool {
+		for _, rs := range front.StatsAny().(Stats).Replicas {
+			if strings.Contains(rs.LastError, "catch-up") {
+				return true
+			}
+		}
+		return false
+	})
+	if pool.Live(victim) {
+		t.Fatal("replica readmitted over a torn replication log")
+	}
+	vs := front.StatsAny().(Stats).Replicas[victim]
+	if vs.Counters.Catchups != 0 {
+		t.Fatalf("victim counters = %+v, want 0 completed catch-ups", vs.Counters)
+	}
+	if got := reps[victim].svc.AppliedLSN(); got >= head {
+		t.Fatalf("replica applied lsn %d, want < head %d (torn frame must not apply)", got, head)
+	}
+	if got := reps[victim].svc.AppliedLSN(); got < appliedBefore {
+		t.Fatalf("replica applied lsn went backwards: %d -> %d", appliedBefore, got)
+	}
+}
+
+// TestReplogEndpoint drives GET /v2/replog over the wire: the
+// front-end pages out exactly the records it logged, and a front-end
+// without a replication log answers 404.
+func TestReplogEndpoint(t *testing.T) {
+	front, _, _, _ := newCatchupFleet(t, 1, t.TempDir())
+	if err := front.Befriend("alice", "bob", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := front.Tag("bob", "luigis", "pizza"); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(front)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v2/replog?from=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v2/replog: status %d", resp.StatusCode)
+	}
+	var page server.ReplogPage
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		t.Fatal(err)
+	}
+	if page.Head != 2 || len(page.Records) != 2 {
+		t.Fatalf("page = head %d, %d records; want head 2, 2 records", page.Head, len(page.Records))
+	}
+	if page.Records[0].LSN != 1 || page.Records[1].LSN != 2 {
+		t.Fatalf("record lsns = %d, %d; want 1, 2", page.Records[0].LSN, page.Records[1].LSN)
+	}
+
+	// Paging from the middle.
+	resp2, err := http.Get(ts.URL + "/v2/replog?from=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var page2 server.ReplogPage
+	if err := json.NewDecoder(resp2.Body).Decode(&page2); err != nil {
+		t.Fatal(err)
+	}
+	if len(page2.Records) != 1 || page2.Records[0].LSN != 2 {
+		t.Fatalf("page from=2 = %+v, want the single record lsn 2", page2)
+	}
+
+	// A front-end without a replog answers 404.
+	bare, _, _, _ := newCatchupFleet(t, 1, "")
+	srv2, err := server.New(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+	resp3, err := http.Get(ts2.URL + "/v2/replog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp3.Body)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /v2/replog without a replog: status %d, want 404", resp3.StatusCode)
+	}
+}
+
+// TestPreLogValidationMirrorsReplicas pins the invariant that the
+// replication log never grows a record the fleet cannot apply: every
+// mutation a replica would deterministically reject — empty names,
+// line breaks (durable replicas), self-edges, out-of-range weights —
+// is refused with ErrInvalid BEFORE the append, leaving the log head
+// untouched.
+func TestPreLogValidationMirrorsReplicas(t *testing.T) {
+	front, _, _, _ := newCatchupFleet(t, 1, t.TempDir())
+	if err := front.Befriend("alice", "bob", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	head := front.StatsAny().(Stats).Replog.Head
+	bad := []func() error{
+		func() error { return front.Befriend("", "x", 0.5) },
+		func() error { return front.Befriend("a\nb", "x", 0.5) },
+		func() error { return front.Befriend("x", "x", 0.5) },
+		func() error { return front.Befriend("x", "y", 0) },
+		func() error { return front.Befriend("x", "y", 1.5) },
+		func() error { return front.Tag("", "i", "t") },
+		func() error { return front.Tag("u", "i\r", "t") },
+	}
+	for i, f := range bad {
+		if err := f(); !errors.Is(err, search.ErrInvalid) {
+			t.Fatalf("bad mutation %d: err = %v, want ErrInvalid", i, err)
+		}
+	}
+	if got := front.StatsAny().(Stats).Replog.Head; got != head {
+		t.Fatalf("replog head moved %d -> %d on rejected mutations", head, got)
+	}
+}
+
+// TestProbeObservesCursorReset pins the barrier-safety rule: health
+// probes overwrite the tracked cursor with the replica's self-reported
+// value, so a restarted replica's reset to zero is observed (and the
+// truncation barrier retreats with it) instead of being masked by
+// monotonic ack tracking.
+func TestProbeObservesCursorReset(t *testing.T) {
+	var st replicaState
+	st.noteApplied(40)
+	st.noteApplied(10) // acks are monotonic
+	if got := st.appliedLSN; got != 40 {
+		t.Fatalf("cursor after acks = %d, want 40", got)
+	}
+	st.setApplied(0) // the replica restarted and says so
+	if got := st.appliedLSN; got != 0 {
+		t.Fatalf("cursor after probe reset = %d, want 0", got)
+	}
+}
+
+// TestLiveReplicaDivergenceEjectsImmediately pins the decisive-eject
+// rule: a live replica that misses ONE stamped mutation (here: a
+// transient 503 on the write, with probes healthy throughout) must not
+// ride out FailAfter serving a stale graph — it is ejected on the
+// spot, caught up, and readmitted fresh.
+func TestLiveReplicaDivergenceEjectsImmediately(t *testing.T) {
+	var reps []*toggleReplica
+	var clients []*Client
+	for i := 0; i < 2; i++ {
+		tr := newToggleReplica(t)
+		reps = append(reps, tr)
+		clients = append(clients, newTestClient(t, tr.ts.URL, ClientConfig{}))
+	}
+	// FailAfter 3: under the old cumulative rule, a single missed write
+	// with healthy probes in between would never eject.
+	pool, err := NewPool(clients, PoolConfig{
+		HealthInterval: 10 * time.Millisecond,
+		FailAfter:      3,
+		ReviveAfter:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcast := NewBroadcaster(clients, BroadcasterConfig{Window: 2 * time.Millisecond})
+	front, err := NewFrontend(pool, bcast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := OpenRepLog(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := front.UseRepLog(rl); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(front.Close)
+
+	if err := front.Befriend("alice", "bob", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	victim := 0
+	// One write while the victim's HTTP surface blips: mutation misses,
+	// probes may interleave successes — the eject must happen anyway.
+	reps[victim].down.Store(true)
+	if err := front.Befriend("carol", "dave", 0.8); err != nil {
+		t.Fatal(err)
+	}
+	reps[victim].down.Store(false)
+	// The miss itself must have ejected the replica (decisively), and
+	// catch-up must bring it back holding the record it missed.
+	waitFor(t, 5*time.Second, func() bool {
+		return pool.Live(victim) && reps[victim].svc.AppliedLSN() == 2
+	})
+	vs := front.StatsAny().(Stats).Replicas[victim]
+	if vs.Counters.Ejections < 1 || vs.Counters.Catchups < 1 {
+		t.Fatalf("victim counters = %+v, want the miss to eject and catch-up to repair", vs.Counters)
+	}
+}
+
+// TestEpochMismatchRefusesReplica pins the fresh-log-over-running-
+// replicas detection: a replica whose cursor is beyond the log head is
+// ejected (its "acks" are dedup no-ops) and catch-up refuses to
+// readmit it.
+func TestEpochMismatchRefusesReplica(t *testing.T) {
+	front, pool, reps, _ := newCatchupFleet(t, 2, t.TempDir())
+	// Replica 0 lives in a future epoch: cursor far beyond this log.
+	victim := 0
+	for lsn := uint64(1); lsn <= 5; lsn++ {
+		if err := reps[victim].svc.BefriendAt(lsn, fmt.Sprintf("e%d", lsn), fmt.Sprintf("f%d", lsn), 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The fresh log's first write gets LSN 1 — the victim dedup-skips it.
+	if err := front.Befriend("alice", "bob", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return !pool.Live(victim) })
+	waitFor(t, 5*time.Second, func() bool {
+		return strings.Contains(front.StatsAny().(Stats).Replicas[victim].LastError, "epoch mismatch")
+	})
+	// Catch-up keeps refusing: the replica must stay out.
+	time.Sleep(100 * time.Millisecond)
+	if pool.Live(victim) {
+		t.Fatal("epoch-mismatched replica readmitted")
+	}
+	// The healthy replica carries the fleet.
+	if !pool.Live(1) {
+		t.Fatal("healthy replica ejected")
+	}
+}
+
+// TestFlushMissedCountsDeliveredEscalationsOnly pins the counter
+// semantics the readmission retry loop depends on: failed FlushMissed
+// attempts count Failures, and exactly one Escalation is recorded when
+// the global invalidation is finally delivered.
+func TestFlushMissedCountsDeliveredEscalationsOnly(t *testing.T) {
+	tr := newToggleReplica(t)
+	c := newTestClient(t, tr.ts.URL, ClientConfig{})
+	b := NewBroadcaster([]*Client{c}, BroadcasterConfig{Window: time.Hour})
+	defer b.Close()
+	b.MarkMissed(0)
+	tr.down.Store(true)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if err := b.FlushMissed(ctx, 0); err == nil {
+			t.Fatal("FlushMissed succeeded against a down replica")
+		}
+	}
+	if got := b.Stats().Counters.Escalations; got != 0 {
+		t.Fatalf("escalations after failed attempts = %d, want 0", got)
+	}
+	tr.down.Store(false)
+	if err := b.FlushMissed(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	st := b.Stats().Counters
+	if st.Escalations != 1 || st.Failures != 3 {
+		t.Fatalf("counters = %+v, want 1 escalation, 3 failures", st)
+	}
+	if tr.globalInvalidations() != 1 {
+		t.Fatalf("replica saw %d globals, want 1", tr.globalInvalidations())
+	}
+	// The debt is settled: another flush is a no-op.
+	if err := b.FlushMissed(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if tr.globalInvalidations() != 1 {
+		t.Fatal("settled FlushMissed sent another invalidation")
+	}
+}
+
+// TestRejoinInvalidationIsEdgeScoped pins the rejoin invalidation's
+// scope: a readmitted replica that caught up on a handful of dirty
+// edges receives one edges-listed (not global) invalidation.
+func TestRejoinInvalidationIsEdgeScoped(t *testing.T) {
+	front, pool, reps, _ := newCatchupFleet(t, 2, t.TempDir())
+	if err := front.Befriend("alice", "bob", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	victim := 0
+	reps[victim].down.Store(true)
+	waitFor(t, 5*time.Second, func() bool { return !pool.Live(victim) })
+	if err := front.Befriend("carol", "dave", 0.8); err != nil {
+		t.Fatal(err)
+	}
+	if err := front.Befriend("carol", "erin", 0.7); err != nil {
+		t.Fatal(err)
+	}
+	reps[victim].down.Store(false)
+	waitFor(t, 5*time.Second, func() bool { return pool.Live(victim) })
+
+	reps[victim].mu.Lock()
+	defer reps[victim].mu.Unlock()
+	var rejoin *invalidateCall
+	for i := range reps[victim].invalidations {
+		c := reps[victim].invalidations[i]
+		if len(c.Edges) > 0 || c.All {
+			rejoin = &c
+		}
+	}
+	if rejoin == nil {
+		t.Fatalf("no rejoin invalidation recorded: %+v", reps[victim].invalidations)
+	}
+	if rejoin.All {
+		t.Fatalf("rejoin invalidation escalated to global for %d dirty edges: %+v",
+			len(rejoin.Edges), rejoin)
+	}
+	want := map[[2]string]bool{{"carol", "dave"}: true, {"carol", "erin"}: true}
+	for _, e := range rejoin.Edges {
+		if !want[e] {
+			t.Fatalf("rejoin invalidation carries unexpected edge %v (want only the caught-up dirty edges)", e)
+		}
+		delete(want, e)
+	}
+	if len(want) != 0 {
+		t.Fatalf("rejoin invalidation missing caught-up edges %v", want)
+	}
+}

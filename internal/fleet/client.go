@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -57,6 +58,14 @@ const (
 func unavailablef(format string, args ...interface{}) error {
 	return fmt.Errorf("%w: %s", search.ErrUnavailable, fmt.Sprintf(format, args...))
 }
+
+// ErrBehind reports a replica that refused an LSN-stamped mutation
+// because it has not yet applied the preceding records (409 on the
+// wire, social.ErrReplicationGap on the replica). The write path treats
+// it as "deferred to catch-up" for a replica already rejoining, and as
+// divergence evidence — fail the replica's health state so catch-up
+// starts — for one that claims to be live.
+var ErrBehind = errors.New("fleet: replica behind the replication log")
 
 // ClientConfig tunes a replica client.
 type ClientConfig struct {
@@ -204,6 +213,8 @@ func (c *Client) post(parent context.Context, path string, in, out interface{}) 
 		return nil
 	case resp.StatusCode == http.StatusBadRequest:
 		return search.WrapInvalid(fmt.Errorf("%s %s: %s", c.base, path, wireErrMessage(resp.Body)))
+	case resp.StatusCode == http.StatusConflict:
+		return fmt.Errorf("%w: %s %s: %s", ErrBehind, c.base, path, wireErrMessage(resp.Body))
 	default:
 		return unavailablef("%s %s: status %d: %s", c.base, path, resp.StatusCode, wireErrMessage(resp.Body))
 	}
@@ -351,36 +362,65 @@ func (c *Client) DoBatch(ctx context.Context, reqs []search.Request) []search.Ba
 	return out
 }
 
-// Healthz probes GET /healthz; nil means the replica process is alive.
-func (c *Client) Healthz(ctx context.Context) error {
+// Healthz probes GET /healthz. A nil error means the replica process is
+// alive; the returned LSN is the replica's self-reported replication
+// cursor (the X-Applied-LSN header, 0 when the replica does not report
+// one) — health probes double as replication lag probes.
+func (c *Client) Healthz(ctx context.Context) (uint64, error) {
 	ctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
 	defer cancel()
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	resp, err := c.hc.Do(hreq)
 	if err != nil {
-		return unavailablef("%s /healthz: %v", c.base, err)
+		return 0, unavailablef("%s /healthz: %v", c.base, err)
 	}
 	defer resp.Body.Close()
 	io.Copy(io.Discard, resp.Body)
 	if resp.StatusCode != http.StatusOK {
-		return unavailablef("%s /healthz: status %d", c.base, resp.StatusCode)
+		return 0, unavailablef("%s /healthz: status %d", c.base, resp.StatusCode)
 	}
-	return nil
+	applied, _ := strconv.ParseUint(resp.Header.Get("X-Applied-LSN"), 10, 64)
+	return applied, nil
 }
 
-// Befriend forwards one friendship mutation to the replica.
-func (c *Client) Befriend(ctx context.Context, a, b string, weight float64) error {
+// Befriend forwards one friendship mutation to the replica. A positive
+// lsn stamps it with its replication log sequence number; the replica
+// applies it with idempotent dedup and strict ordering (out-of-order
+// records fail with ErrBehind) and the returned LSN is the replica's
+// cursor after the record was processed (0 for unstamped mutations).
+func (c *Client) Befriend(ctx context.Context, a, b string, weight float64, lsn uint64) (uint64, error) {
 	in := map[string]interface{}{"a": a, "b": b, "weight": weight}
-	return c.post(ctx, "/v1/friend", in, nil)
+	if lsn == 0 {
+		return 0, c.post(ctx, "/v1/friend", in, nil)
+	}
+	in["lsn"] = lsn
+	var out appliedAck
+	if err := c.post(ctx, "/v1/friend", in, &out); err != nil {
+		return 0, err
+	}
+	return out.AppliedLSN, nil
 }
 
-// Tag forwards one tagging mutation to the replica.
-func (c *Client) Tag(ctx context.Context, user, item, tag string) error {
+// Tag forwards one tagging mutation to the replica; lsn as in Befriend.
+func (c *Client) Tag(ctx context.Context, user, item, tag string, lsn uint64) (uint64, error) {
 	in := map[string]interface{}{"user": user, "item": item, "tag": tag}
-	return c.post(ctx, "/v1/tag", in, nil)
+	if lsn == 0 {
+		return 0, c.post(ctx, "/v1/tag", in, nil)
+	}
+	in["lsn"] = lsn
+	var out appliedAck
+	if err := c.post(ctx, "/v1/tag", in, &out); err != nil {
+		return 0, err
+	}
+	return out.AppliedLSN, nil
+}
+
+// appliedAck mirrors the server's LSN-stamped mutation response.
+type appliedAck struct {
+	AppliedLSN uint64 `json:"applied_lsn"`
 }
 
 // Invalidate sends one invalidation batch to the replica's

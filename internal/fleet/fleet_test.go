@@ -64,10 +64,10 @@ func TestClientRoundTrip(t *testing.T) {
 	c := newTestClient(t, ts.URL, ClientConfig{})
 	ctx := context.Background()
 
-	if err := c.Befriend(ctx, "alice", "bob", 0.9); err != nil {
+	if _, err := c.Befriend(ctx, "alice", "bob", 0.9, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Tag(ctx, "bob", "luigis", "pizza"); err != nil {
+	if _, err := c.Tag(ctx, "bob", "luigis", "pizza", 0); err != nil {
 		t.Fatal(err)
 	}
 	// Before the broadcast heartbeat the writes are pending, not
@@ -93,7 +93,7 @@ func TestClientRoundTrip(t *testing.T) {
 	if len(users) != 2 {
 		t.Fatalf("users = %v, want alice+bob", users)
 	}
-	if err := c.Healthz(ctx); err != nil {
+	if _, err := c.Healthz(ctx); err != nil {
 		t.Fatal(err)
 	}
 
@@ -141,7 +141,7 @@ func TestClientErrorClassification(t *testing.T) {
 	if _, err := cd.Do(ctx, search.Request{Seeker: "a", Tags: []string{"x"}}); !errors.Is(err, search.ErrUnavailable) {
 		t.Fatalf("conn-refused error = %v, want ErrUnavailable", err)
 	}
-	if err := cd.Healthz(ctx); !errors.Is(err, search.ErrUnavailable) {
+	if _, err := cd.Healthz(ctx); !errors.Is(err, search.ErrUnavailable) {
 		t.Fatalf("healthz error = %v, want ErrUnavailable", err)
 	}
 

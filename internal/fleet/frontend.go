@@ -3,11 +3,25 @@ package fleet
 import (
 	"context"
 	"errors"
+	"fmt"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/search"
+	"repro/internal/server"
+	"repro/internal/wal"
 )
+
+// DefaultCatchupTimeout bounds one replica's replication log catch-up
+// attempt (stream + apply + rejoin invalidation).
+const DefaultCatchupTimeout = 30 * time.Second
+
+// replogTruncateEvery is how many replog appends ride between
+// truncation sweeps (each sweep reclaims sealed segments below the
+// fleet's minimum applied LSN).
+const replogTruncateEvery = 1024
 
 // Frontend is the fleet's server.Backend: queries go through the Pool
 // (consistent-hash routing, health-checked failover, optional hedging)
@@ -16,28 +30,121 @@ import (
 // replica snapshots and the name→id dictionaries they derive agree —
 // to every replica, with the dirty edges handed to the Broadcaster for
 // batched fleet-wide cache invalidation.
+//
+// With a replication log attached (UseRepLog), every mutation is
+// LSN-stamped and appended to the log *before* fan-out, replicas
+// acknowledge with their applied LSN, and an ejected replica is
+// readmitted only after catch-up: the pool's rejoin gate streams the
+// records the replica missed from the log, in order, and finishes with
+// one invalidation scoped to exactly the caught-up dirty edges — so a
+// readmitted replica can never serve answers derived from a stale
+// graph. Without a replog the PR 4 posture remains: mutations reach
+// only reachable replicas and an ejected replica's divergence is
+// visible in MissedMutations but not repaired.
 type Frontend struct {
-	pool  *Pool
-	bcast *Broadcaster
+	pool   *Pool
+	bcast  *Broadcaster
+	replog *RepLog // nil: no replication log
 
 	// writeMu serializes the mutation path. One writer at a time is the
 	// fleet's ordering guarantee; read traffic never takes this lock.
 	writeMu sync.Mutex
+	// appends counts replog appends since the last truncation sweep
+	// (guarded by writeMu).
+	appends int
 
 	// MutationTimeout bounds one replica's acknowledgement of one
 	// forwarded mutation.
 	MutationTimeout time.Duration
+	// CatchupTimeout bounds one replica's whole catch-up attempt.
+	CatchupTimeout time.Duration
+
+	// lagMu guards the lag ejector's per-replica memory: the log head and
+	// the replica's cursor as of the previous probe sweep. A cursor that
+	// sits below the OLD head while making NO progress is a silently
+	// restarted or stuck replica; a cursor that is merely behind but
+	// advancing is just slow (an in-flight fan-out, a scheduling hiccup)
+	// and must not flap the ring.
+	lagMu      sync.Mutex
+	prevHead   map[int]uint64
+	prevCursor map[int]uint64
 }
 
 // NewFrontend glues a pool and a broadcaster into a serving backend and
-// registers the pool→broadcaster ejection hook (an ejected replica's
-// next broadcast escalates to a global invalidation).
+// registers the pool→broadcaster hooks: an ejected replica's broadcasts
+// escalate to a global invalidation, and an (ungated) readmission fires
+// that escalation immediately rather than waiting for the next flush.
 func NewFrontend(pool *Pool, bcast *Broadcaster) (*Frontend, error) {
 	if pool == nil || bcast == nil {
 		return nil, errors.New("fleet: frontend needs a pool and a broadcaster")
 	}
+	f := &Frontend{
+		pool:            pool,
+		bcast:           bcast,
+		MutationTimeout: DefaultTimeout,
+		CatchupTimeout:  DefaultCatchupTimeout,
+	}
 	pool.OnEject(bcast.MarkMissed)
-	return &Frontend{pool: pool, bcast: bcast, MutationTimeout: DefaultTimeout}, nil
+	// The eject→live transition must not leave the escalated invalidation
+	// to "the next broadcast" — a write-quiet fleet never flushes one. A
+	// transient send failure is retried while the replica stays live; if
+	// it is ejected again the ejection hook re-owns the debt, and the
+	// missed flag survives every failure, so a later broadcast still
+	// escalates.
+	pool.OnReadmit(func(i int) {
+		for attempt := 0; attempt < readmitFlushAttempts; attempt++ {
+			if !pool.Live(i) {
+				return
+			}
+			if bcast.FlushMissed(context.Background(), i) == nil {
+				return
+			}
+			time.Sleep(readmitFlushRetryDelay)
+		}
+	})
+	return f, nil
+}
+
+// Retry schedule for the readmission-time escalated invalidation.
+const (
+	readmitFlushAttempts   = 40
+	readmitFlushRetryDelay = 250 * time.Millisecond
+)
+
+// UseRepLog attaches the replication log and switches the pool to
+// catch-up-gated readmission. Call before serving traffic. The log may
+// hold history from an earlier front-end run; replicas behind it (all
+// of them, for fresh in-memory replicas) are brought up to head by the
+// same catch-up path that serves readmission.
+func (f *Frontend) UseRepLog(rl *RepLog) error {
+	if rl == nil {
+		return errors.New("fleet: nil replication log")
+	}
+	f.replog = rl
+	f.prevHead = make(map[int]uint64)
+	f.prevCursor = make(map[int]uint64)
+	f.pool.SetRejoinGate(f.catchUp)
+	// Divergence ejection: a live replica whose self-reported cursor sits
+	// two or more records below the head that already existed at the
+	// previous probe sweep — without progressing since that sweep — has
+	// silently lost or stopped applying history (a restart the fan-out
+	// never noticed, a wedged apply loop); eject it so catch-up repairs
+	// it. The thresholds are what make this flap-free: writes are
+	// serialized, so at most ONE record is ever mid-fan-out — a live
+	// replica lagging by exactly one may just be a slow ack, but a lag of
+	// two is impossible without a miss (which the write path would have
+	// ejected for) or a restart. The no-progress condition is
+	// belt-and-braces against delivery paths this analysis missed.
+	f.pool.SetLagEjector(func(i int, cursor uint64) bool {
+		f.lagMu.Lock()
+		defer f.lagMu.Unlock()
+		prevH, seen := f.prevHead[i]
+		prevC := f.prevCursor[i]
+		f.prevHead[i] = f.replog.Head()
+		f.prevCursor[i] = cursor
+		return seen && cursor+1 < prevH && cursor <= prevC
+	})
+	return nil
 }
 
 var _ search.Searcher = (*Frontend)(nil)
@@ -52,35 +159,103 @@ func (f *Frontend) DoBatch(ctx context.Context, reqs []search.Request) []search.
 	return f.pool.DoBatch(ctx, reqs)
 }
 
-// forward fans one mutation out to every replica. A replica that
-// rejects the mutation as invalid fails the call — every replica
-// rejects the same input the same way, so nothing was applied anywhere.
-// A replica that is unreachable feeds health state and is skipped: the
-// write must stay available when a replica dies, and the missed
-// mutation is the documented gap the WAL replication log closes. Only
-// when no replica accepted the write does it fail as unavailable.
-func (f *Frontend) forward(send func(ctx context.Context, c *Client) error) error {
+// forward fans one mutation out. lsn is the replication LSN the record
+// was appended under (0 without a replog).
+//
+// Without a replog (lsn == 0), the PR 4 contract holds: every replica
+// is tried; a replica that rejects the mutation as invalid fails the
+// call (every replica rejects the same input the same way, so nothing
+// was applied anywhere); an unreachable replica feeds health state, is
+// counted in MissedMutations — the stats-visible record of divergence —
+// and is skipped.
+//
+// With a replog, ejected replicas are skipped outright (their missed
+// mutations are in the log and arrive via catch-up, still counted in
+// MissedMutations), replicas mid-catch-up are included — the LSN
+// ordering rule makes that safe: the record either applies cleanly or
+// is refused with ErrBehind and left to the catch-up stream — and a
+// *live* replica answering ErrBehind is divergence evidence that feeds
+// its health state so ejection and catch-up follow.
+func (f *Frontend) forward(lsn uint64, send func(ctx context.Context, c *Client) (uint64, error)) error {
 	applied := 0
-	var lastUnavailable error
+	var lastUnavailable, lastInvalid error
 	for i := 0; i < f.pool.Replicas(); i++ {
+		st := f.pool.states[i]
+		if lsn > 0 && !st.admissible() {
+			st.counters.MissedMutation()
+			continue
+		}
 		c := f.pool.Client(i)
 		// One timeout per replica, not one shared across the fan-out: a
 		// blackholed replica must cost its own deadline, never starve
 		// the later replicas into spurious failures.
 		ctx, cancel := context.WithTimeout(context.Background(), f.MutationTimeout)
-		err := send(ctx, c)
+		ack, err := send(ctx, c)
 		cancel()
 		if err == nil {
+			if lsn > 0 {
+				if ack > f.replog.Head() {
+					// The replica's cursor is beyond anything this log ever
+					// issued: a replication epoch mismatch (e.g. the
+					// front-end was restarted with a fresh -replog-dir over
+					// running replicas). The "success" was a dedup no-op —
+					// every write would silently vanish this way — so eject
+					// the replica and surface the mismatch; catch-up refuses
+					// it too, keeping it out until an operator intervenes.
+					st.counters.MissedMutation()
+					st.eject(fmt.Errorf("fleet: replication epoch mismatch: replica cursor %d beyond log head", ack))
+					f.bcast.MarkMissed(i)
+					continue
+				}
+				f.pool.noteApplied(i, ack)
+			}
 			applied++
-			f.pool.states[i].ok()
+			st.ok()
+			continue
+		}
+		if errors.Is(err, ErrBehind) {
+			// The record is durably in the log; catch-up delivers it. A
+			// replica mid-catch-up answering this is routine; one that
+			// claims to be live has PROVABLY missed history — eject it now
+			// (FailAfter is for ambiguous evidence, not known divergence).
+			if st.isLive() {
+				st.counters.MissedMutation()
+				st.eject(err)
+				f.bcast.MarkMissed(i)
+			}
 			continue
 		}
 		if errors.Is(err, search.ErrInvalid) {
-			return err
+			if lsn == 0 {
+				// Every replica rejects the same input the same way, so
+				// nothing was applied anywhere; fail the call.
+				return err
+			}
+			// With a replog the record is already durably logged (the
+			// front-end pre-validates, so this is belt-and-braces): the
+			// replica processed-and-rejected it deterministically,
+			// advancing its cursor, and the rest of the fleet must do the
+			// same in lockstep — keep fanning out, report the rejection
+			// at the end.
+			lastInvalid = err
+			st.ok()
+			f.pool.noteApplied(i, lsn)
+			continue
 		}
+		st.counters.MissedMutation()
 		lastUnavailable = err
-		f.pool.states[i].fail(err)
+		if lsn > 0 && st.isLive() {
+			// A live replica that failed a stamped mutation has missed it
+			// for certain. Don't wait out FailAfter probes while it serves
+			// a stale graph: eject now, let catch-up repair and readmit.
+			st.eject(err)
+		} else {
+			st.fail(err)
+		}
 		f.bcast.MarkMissed(i)
+	}
+	if lastInvalid != nil {
+		return lastInvalid
 	}
 	if applied == 0 {
 		if lastUnavailable != nil {
@@ -91,13 +266,61 @@ func (f *Frontend) forward(send func(ctx context.Context, c *Client) error) erro
 	return nil
 }
 
+// validateMutationNames is the front-end's pre-log validation: with a
+// replication log, a record is appended before fan-out, so anything a
+// replica would deterministically reject must be caught here first —
+// the log must never grow a record the fleet cannot apply. The rules
+// mirror the STRICTEST replica side: vocab rejects empty names,
+// overlay rejects self-edges and out-of-range weights, and durable
+// replicas reject names containing line breaks (their persistence
+// format is line-based).
+func validateMutationNames(names ...string) error {
+	for _, n := range names {
+		if strings.TrimSpace(n) == "" {
+			return search.WrapInvalid(errors.New("fleet: empty name in mutation"))
+		}
+		if strings.ContainsAny(n, "\n\r") {
+			return search.WrapInvalid(fmt.Errorf("fleet: name %q contains line breaks", n))
+		}
+	}
+	return nil
+}
+
+func validateBefriend(a, b string, weight float64) error {
+	if err := validateMutationNames(a, b); err != nil {
+		return err
+	}
+	if a == b {
+		return search.WrapInvalid(fmt.Errorf("fleet: self-friendship for %q", a))
+	}
+	if !(weight > 0 && weight <= 1) {
+		return search.WrapInvalid(fmt.Errorf("fleet: weight %g outside (0,1]", weight))
+	}
+	return nil
+}
+
 // Befriend forwards the friendship mutation to every replica and notes
-// the dirty edge for the next invalidation broadcast.
+// the dirty edge for the next invalidation broadcast. With a replog the
+// record is validated, durably logged, and only then fanned out.
 func (f *Frontend) Befriend(a, b string, weight float64) error {
 	f.writeMu.Lock()
 	defer f.writeMu.Unlock()
-	if err := f.forward(func(ctx context.Context, c *Client) error {
-		return c.Befriend(ctx, a, b, weight)
+	var lsn uint64
+	if f.replog != nil {
+		if err := validateBefriend(a, b, weight); err != nil {
+			return err
+		}
+		if !f.pool.anyLive() {
+			return unavailablef("no live replica to accept the write")
+		}
+		var err error
+		if lsn, err = f.replog.AppendBefriend(a, b, weight); err != nil {
+			return fmt.Errorf("fleet: replication log append: %w", err)
+		}
+		f.noteAppendLocked()
+	}
+	if err := f.forward(lsn, func(ctx context.Context, c *Client) (uint64, error) {
+		return c.Befriend(ctx, a, b, weight, lsn)
 	}); err != nil {
 		return err
 	}
@@ -110,12 +333,171 @@ func (f *Frontend) Befriend(a, b string, weight float64) error {
 func (f *Frontend) Tag(user, item, tag string) error {
 	f.writeMu.Lock()
 	defer f.writeMu.Unlock()
-	if err := f.forward(func(ctx context.Context, c *Client) error {
-		return c.Tag(ctx, user, item, tag)
+	var lsn uint64
+	if f.replog != nil {
+		if err := validateMutationNames(user, item, tag); err != nil {
+			return err
+		}
+		if !f.pool.anyLive() {
+			return unavailablef("no live replica to accept the write")
+		}
+		var err error
+		if lsn, err = f.replog.AppendTag(user, item, tag); err != nil {
+			return fmt.Errorf("fleet: replication log append: %w", err)
+		}
+		f.noteAppendLocked()
+	}
+	if err := f.forward(lsn, func(ctx context.Context, c *Client) (uint64, error) {
+		return c.Tag(ctx, user, item, tag, lsn)
 	}); err != nil {
 		return err
 	}
 	f.bcast.NoteWrite()
+	return nil
+}
+
+// noteAppendLocked runs the periodic replog maintenance: every
+// replogTruncateEvery appends, raise the truncation barrier to the
+// fleet's minimum applied LSN + 1 and reclaim the sealed prefix below
+// it. Callers hold writeMu.
+func (f *Frontend) noteAppendLocked() {
+	f.appends++
+	if f.appends < replogTruncateEvery {
+		return
+	}
+	f.appends = 0
+	barrier := f.pool.minApplied() + 1
+	f.replog.SetBarrier(barrier)
+	// Reclaim everything the barrier permits; errors are advisory (the
+	// next sweep retries) but must not fail the write.
+	_ = f.replog.TruncateThrough(f.replog.Head())
+}
+
+// catchUp is the pool's rejoin gate: bring replica i from its applied
+// LSN to the replication log head, then send one invalidation scoped to
+// exactly the dirty edges of the caught-up records. Runs concurrently
+// with foreground writes — the loop re-reads the head until the replica
+// has it, and the LSN ordering rule keeps the two delivery paths
+// (catch-up stream, direct fan-out to a catching-up replica) from ever
+// applying a record twice or out of order.
+func (f *Frontend) catchUp(i int) error {
+	if f.replog == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), f.CatchupTimeout)
+	defer cancel()
+	c := f.pool.Client(i)
+
+	// The replica's own cursor is authoritative — a restarted replica is
+	// back at zero no matter what our ack tracking remembers — so the
+	// tracked value is overwritten, not maxed: the truncation barrier
+	// must observe the reset.
+	applied, err := c.Healthz(ctx)
+	if err != nil {
+		return err
+	}
+	if applied > f.replog.Head() {
+		// The replica has applied records this log never issued: a
+		// replication epoch mismatch (fresh -replog-dir over running
+		// replicas). "Catching it up" would silently dedup-skip every
+		// future write; keep it out until an operator resolves the epoch
+		// (restore the original log, or restart the replica clean).
+		return fmt.Errorf("fleet: replication epoch mismatch: replica cursor %d beyond log head %d", applied, f.replog.Head())
+	}
+	f.pool.states[i].setApplied(applied)
+
+	replayed := 0
+	edgeSeen := make(map[[2]string]struct{})
+	var edges [][2]string
+	for {
+		_, err := f.replog.ReadFrom(applied+1, func(rec wal.Record) error {
+			if rec.LSN <= applied {
+				return nil // another delivery path got there first
+			}
+			switch rec.Type {
+			case durable.RecBefriend:
+				a, b, w, derr := durable.DecodeBefriend(rec.Data)
+				if derr != nil {
+					return derr
+				}
+				ack, aerr := c.Befriend(ctx, a, b, w, rec.LSN)
+				if aerr != nil && !errors.Is(aerr, search.ErrInvalid) {
+					return aerr
+				}
+				// A deterministic rejection still advances the replica's
+				// cursor — every replica skips the same record identically.
+				applied = rec.LSN
+				if ack > applied {
+					applied = ack
+				}
+				key := [2]string{a, b}
+				if b < a {
+					key = [2]string{b, a}
+				}
+				if _, ok := edgeSeen[key]; !ok {
+					edgeSeen[key] = struct{}{}
+					edges = append(edges, key)
+				}
+			case durable.RecTag:
+				u, it, tg, derr := durable.DecodeTag(rec.Data)
+				if derr != nil {
+					return derr
+				}
+				ack, aerr := c.Tag(ctx, u, it, tg, rec.LSN)
+				if aerr != nil && !errors.Is(aerr, search.ErrInvalid) {
+					return aerr
+				}
+				applied = rec.LSN
+				if ack > applied {
+					applied = ack
+				}
+			default:
+				return fmt.Errorf("fleet: replog lsn %d: unknown record type %d", rec.LSN, rec.Type)
+			}
+			replayed++
+			f.pool.noteApplied(i, applied)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		// Exit only against the CURRENT head, never the head the pass
+		// captured: a record appended after the pass started may already
+		// have been gap-rejected at fan-out (the replica's cursor was
+		// behind), so only the catch-up stream will ever deliver it. Any
+		// record that can gap-reject was appended before this check reads
+		// the head; conversely, once the replica holds the current head,
+		// every later record reaches it directly (cursor == lsn-1 at
+		// fan-out time — writes are serialized), so no gap can form after
+		// the loop exits.
+		if applied >= f.replog.Head() {
+			break
+		}
+		// The head moved while we streamed (foreground writes); go again
+		// from where the replica now is.
+	}
+
+	// One rejoin invalidation: edge-scoped to exactly the caught-up dirty
+	// edges (escalating to global only past the broadcast batch bound),
+	// and — records or not — the compaction heartbeat that folds the
+	// replayed writes into the replica's queryable snapshot. Only after
+	// it succeeds is the escalated-global debt for missed broadcasts
+	// withdrawn: everything a missed broadcast would have dropped is
+	// covered by the replica's own dirty tracking (for writes it applied
+	// itself) plus this edge set (for writes it missed).
+	all := false
+	if len(edges) > f.bcast.cfg.MaxBatchEdges {
+		all, edges = true, nil
+	}
+	// Capture the miss sequence before the invalidation: a broadcast that
+	// fails for this replica after this point is NOT covered by it, and
+	// the guarded clear below must leave that debt standing.
+	seq := f.bcast.MissedSeq(i)
+	if _, err := c.Invalidate(ctx, edges, all); err != nil {
+		return err
+	}
+	f.bcast.ClearMissedIf(i, seq)
+	c.Counters().Catchup(replayed)
 	return nil
 }
 
@@ -142,19 +524,62 @@ func (f *Frontend) Flush() error {
 	return nil
 }
 
+// ReplogPage implements server.ReplogSource: GET /v2/replog pages
+// through the replication log, so operators (and external tooling) can
+// inspect exactly the stream replicas catch up from.
+func (f *Frontend) ReplogPage(from uint64, max int) (server.ReplogPage, error) {
+	if f.replog == nil {
+		return server.ReplogPage{}, server.ErrNoReplog
+	}
+	return f.replog.Page(from, max)
+}
+
+// ReplogStats is the replication log's observable state.
+type ReplogStats struct {
+	// Head is the LSN of the last appended record.
+	Head uint64
+	// Barrier is the truncation barrier (fleet min applied LSN + 1 as of
+	// the last maintenance sweep).
+	Barrier uint64
+	// Segments is the number of live log segment files.
+	Segments int
+	// MinAppliedLSN is the lowest replica cursor currently tracked.
+	MinAppliedLSN uint64
+}
+
 // Stats is the fleet front door's /v1/stats payload.
 type Stats struct {
 	Replicas  []ReplicaStats
 	Broadcast BroadcastStats
+	Replog    *ReplogStats `json:",omitempty"`
 }
 
 // StatsAny implements server.Statser.
 func (f *Frontend) StatsAny() interface{} {
-	return Stats{Replicas: f.pool.Stats(), Broadcast: f.bcast.Stats()}
+	st := Stats{Replicas: f.pool.Stats(), Broadcast: f.bcast.Stats()}
+	if f.replog != nil {
+		head := f.replog.Head()
+		for i := range st.Replicas {
+			if head > st.Replicas[i].AppliedLSN {
+				st.Replicas[i].ReplogLag = head - st.Replicas[i].AppliedLSN
+			}
+		}
+		st.Replog = &ReplogStats{
+			Head:          head,
+			Barrier:       f.replog.Barrier(),
+			Segments:      f.replog.Segments(),
+			MinAppliedLSN: f.pool.minApplied(),
+		}
+	}
+	return st
 }
 
-// Close stops the pool's prober and drains the broadcaster.
+// Close stops the pool's prober, drains the broadcaster and closes the
+// replication log.
 func (f *Frontend) Close() {
 	f.pool.Close()
 	f.bcast.Close()
+	if f.replog != nil {
+		f.replog.Close()
+	}
 }

@@ -51,6 +51,10 @@ type replicaState struct {
 	lastErr     string
 	lastProbe   time.Time
 	onEject     func() // notified once per ejection (broadcaster hook)
+	onReadmit   func() // notified (in a goroutine) once per ungated eject→live transition
+	gate        func() // when set, readmission runs the rejoin gate instead of flipping live
+	catchingUp  bool   // a rejoin gate run is in flight
+	appliedLSN  uint64 // replica's replication cursor, from acks and probes
 	failAfter   int
 	reviveAfter int
 	counters    *metrics.ReplicaCounters
@@ -60,6 +64,38 @@ func (r *replicaState) isLive() bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.live
+}
+
+// admissible reports whether the replica should receive forwarded
+// mutations: live, or mid-rejoin (a catching-up replica is reachable
+// and the LSN ordering rule makes direct fan-out to it safe — it either
+// applies the record cleanly or defers it to the catch-up stream).
+func (r *replicaState) admissible() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.live || r.catchingUp
+}
+
+// noteApplied advances the tracked replication cursor (monotonic —
+// mutation acks can only move it forward).
+func (r *replicaState) noteApplied(lsn uint64) {
+	r.mu.Lock()
+	if lsn > r.appliedLSN {
+		r.appliedLSN = lsn
+	}
+	r.mu.Unlock()
+}
+
+// setApplied overwrites the tracked cursor with the replica's
+// self-reported value (health probes). NOT monotonic on purpose: a
+// restarted replica reports 0, and the truncation barrier must observe
+// the reset or it would reclaim exactly the records the replica now
+// needs. A transiently stale probe value only lowers the barrier —
+// retaining more log than necessary, never less.
+func (r *replicaState) setApplied(lsn uint64) {
+	r.mu.Lock()
+	r.appliedLSN = lsn
+	r.mu.Unlock()
 }
 
 // fail records one failure (probe or query) and reports whether the
@@ -83,20 +119,81 @@ func (r *replicaState) fail(err error) bool {
 	return false
 }
 
+// eject forces the replica out of rotation immediately, bypassing the
+// FailAfter threshold. The replication write path uses it on KNOWN
+// divergence — a live replica that missed (or gap-rejected) a stamped
+// mutation is not "maybe flaky", it is provably behind, and it must
+// not serve another query until catch-up repairs it. FailAfter remains
+// the threshold for ambiguous evidence (probe failures, query
+// transport errors).
+func (r *replicaState) eject(err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.consecOKs = 0
+	if err != nil {
+		r.lastErr = err.Error()
+	}
+	if r.live {
+		r.live = false
+		r.counters.Ejection()
+		if r.onEject != nil {
+			r.onEject()
+		}
+	}
+}
+
 // ok records one success (probe or query) and reports whether the
-// replica just transitioned back to live.
+// replica just transitioned back to live. With a rejoin gate
+// configured, probe successes alone never readmit: eligibility starts
+// (at most) one gate run, and only its successful completion — the
+// replica has streamed and applied the replication log through the
+// head — flips live (see finishGate).
 func (r *replicaState) ok() bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.consecFails = 0
 	r.consecOKs++
-	r.lastErr = ""
+	// A probe success on a gated, still-ejected replica must not erase
+	// the last catch-up failure: that error is the operator's only clue
+	// why the replica is healthy yet out of the ring.
+	if r.live || r.gate == nil {
+		r.lastErr = ""
+	}
 	if !r.live && r.consecOKs >= r.reviveAfter {
+		if r.gate != nil {
+			if !r.catchingUp {
+				r.catchingUp = true
+				go r.gate()
+			}
+			return false
+		}
 		r.live = true
 		r.counters.Readmission()
+		if r.onReadmit != nil {
+			go r.onReadmit()
+		}
 		return true
 	}
 	return false
+}
+
+// finishGate completes a rejoin gate run: on success the replica goes
+// live (the only way live flips true while a gate is configured); on
+// failure it stays out with the error observable, and the next probe
+// success starts another attempt.
+func (r *replicaState) finishGate(err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.catchingUp = false
+	if err != nil {
+		r.lastErr = "catch-up: " + err.Error()
+		return
+	}
+	r.lastErr = ""
+	if !r.live {
+		r.live = true
+		r.counters.Readmission()
+	}
 }
 
 // Pool is a health-checked registry of replica clients that implements
@@ -110,6 +207,11 @@ type Pool struct {
 	states  []*replicaState
 	ring    *shard.Ring
 	cfg     PoolConfig
+
+	// lagEject, when set, is consulted on every successful probe of a
+	// live replica with its self-reported cursor; true ejects it (see
+	// SetLagEjector).
+	lagEject func(replica int, cursor uint64) bool
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -182,6 +284,67 @@ func (p *Pool) OnEject(hook func(replica int)) {
 	}
 }
 
+// OnReadmit registers a hook called (in a goroutine, once per
+// transition) whenever a replica is readmitted without a rejoin gate.
+// The Frontend uses it to fire the escalated invalidation immediately
+// on the eject→live transition — in a write-quiet fleet the next
+// broadcast flush may never come, and a stale cache must not outlive
+// the readmission.
+func (p *Pool) OnReadmit(hook func(replica int)) {
+	for i, st := range p.states {
+		i := i
+		st.mu.Lock()
+		st.onReadmit = func() { hook(i) }
+		st.mu.Unlock()
+	}
+}
+
+// SetRejoinGate configures catch-up-gated readmission: a
+// probed-healthy ejected replica stays out of the ring until gate
+// (the Frontend's replication log catch-up) returns nil. At most one
+// gate run per replica is in flight; a failed run leaves the replica
+// out, the error in LastError, and the next successful probe retries.
+// Configure before serving traffic.
+func (p *Pool) SetRejoinGate(gate func(replica int) error) {
+	for i, st := range p.states {
+		i, st := i, st
+		st.mu.Lock()
+		st.gate = func() { st.finishGate(gate(i)) }
+		st.mu.Unlock()
+	}
+}
+
+// noteApplied records replica i's replication cursor (from a mutation
+// ack); monotonic.
+func (p *Pool) noteApplied(i int, lsn uint64) {
+	p.states[i].noteApplied(lsn)
+}
+
+// SetLagEjector configures divergence detection on the probe path: fn
+// is called with each live replica's self-reported cursor, and a true
+// return ejects the replica (catch-up then repairs and readmits it).
+// The Frontend uses it to catch a replica that silently restarted or
+// missed history while staying probe-healthy — the cursor lagging a
+// head that already existed a full probe interval ago is divergence no
+// in-flight write can explain. Configure before serving traffic.
+func (p *Pool) SetLagEjector(fn func(replica int, cursor uint64) bool) {
+	p.lagEject = fn
+}
+
+// minApplied returns the minimum replication cursor across replicas —
+// the fleet's truncation barrier input.
+func (p *Pool) minApplied() uint64 {
+	min := ^uint64(0)
+	for _, st := range p.states {
+		st.mu.Lock()
+		if st.appliedLSN < min {
+			min = st.appliedLSN
+		}
+		st.mu.Unlock()
+	}
+	return min
+}
+
 // Close stops the health prober. Queries issued after Close still
 // route, but health state freezes.
 func (p *Pool) Close() {
@@ -221,7 +384,7 @@ func (p *Pool) probeAll() {
 			defer wg.Done()
 			ctx, cancel := context.WithTimeout(context.Background(), p.cfg.HealthTimeout)
 			defer cancel()
-			err := p.clients[i].Healthz(ctx)
+			applied, err := p.clients[i].Healthz(ctx)
 			st := p.states[i]
 			st.mu.Lock()
 			st.lastProbe = time.Now()
@@ -229,7 +392,12 @@ func (p *Pool) probeAll() {
 			if err != nil {
 				st.fail(err)
 			} else {
-				st.ok()
+				st.setApplied(applied)
+				if p.lagEject != nil && st.isLive() && p.lagEject(i, applied) {
+					st.eject(fmt.Errorf("fleet: replica cursor %d lags the replication log", applied))
+				} else {
+					st.ok()
+				}
 			}
 		}(i)
 	}
@@ -399,20 +567,32 @@ type ReplicaStats struct {
 	URL       string
 	Live      bool
 	LastError string `json:",omitempty"`
-	Counters  metrics.ReplicaSnapshot
+	// CatchingUp reports an in-flight rejoin gate run: the replica is
+	// probed-healthy but held out of the ring until it has applied the
+	// replication log through the head.
+	CatchingUp bool
+	// AppliedLSN is the replica's replication cursor as last observed
+	// (mutation acks and health probes); ReplogLag is how many records
+	// it trails the replication log head by (both 0 without a replog).
+	AppliedLSN uint64
+	ReplogLag  uint64
+	Counters   metrics.ReplicaSnapshot
 }
 
 // Stats returns each replica's health and counters, in registry order.
+// ReplogLag is filled by the Frontend, which knows the log head.
 func (p *Pool) Stats() []ReplicaStats {
 	out := make([]ReplicaStats, len(p.clients))
 	for i, c := range p.clients {
 		st := p.states[i]
 		st.mu.Lock()
 		out[i] = ReplicaStats{
-			URL:       c.URL(),
-			Live:      st.live,
-			LastError: st.lastErr,
-			Counters:  c.Counters().Snapshot(),
+			URL:        c.URL(),
+			Live:       st.live,
+			LastError:  st.lastErr,
+			CatchingUp: st.catchingUp,
+			AppliedLSN: st.appliedLSN,
+			Counters:   c.Counters().Snapshot(),
 		}
 		st.mu.Unlock()
 	}

@@ -191,3 +191,119 @@ func TestFleetMatchesSingleProcess(t *testing.T) {
 		}
 	}
 }
+
+// TestFleetReadmissionServesFreshData is the replication log's
+// acceptance property, and the reproduction of the PR 4 correctness
+// hole: eject a replica, keep mutating through the front-end, readmit
+// it, and demand the READMITTED REPLICA ITSELF — queried directly over
+// the wire, not through failover — answers every mode=exact query
+// bit-identically to an in-process reference fed the same stream.
+// Without the WAL-backed catch-up gate, the prober readmits the replica
+// on probe successes alone and this test fails on the first seeker
+// whose proximity the missed mutations changed; with it, readmission
+// waits for the replica to stream and apply the records it missed, so
+// the fleet is bit-identical again the moment the replica is back.
+func TestFleetReadmissionServesFreshData(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	ctx := context.Background()
+
+	ref, err := social.NewService(social.DefaultServiceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	front, pool, reps, clients := newCatchupFleet(t, 3, t.TempDir())
+
+	const nUsers, nItems, nTags = 20, 24, 4
+	user := func(i int) string { return fmt.Sprintf("u%d", i) }
+	mutate := func() {
+		t.Helper()
+		if rng.Intn(2) == 0 {
+			a := rng.Intn(nUsers)
+			b := (a + 1 + rng.Intn(nUsers-1)) % nUsers
+			w := 0.1 + 0.9*rng.Float64()
+			if err := ref.Befriend(user(a), user(b), w); err != nil {
+				t.Fatal(err)
+			}
+			if err := front.Befriend(user(a), user(b), w); err != nil {
+				t.Fatalf("front befriend: %v; stats: %+v", err, front.StatsAny())
+			}
+		} else {
+			u, it, tg := user(rng.Intn(nUsers)), fmt.Sprintf("i%d", rng.Intn(nItems)), fmt.Sprintf("t%d", rng.Intn(nTags))
+			if err := ref.Tag(u, it, tg); err != nil {
+				t.Fatal(err)
+			}
+			if err := front.Tag(u, it, tg); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Seed, quiesce, and warm the victim's seeker cache with queries —
+	// so a missed invalidation would be falsifiable too.
+	for i := 0; i < nUsers; i++ {
+		if err := ref.Befriend(user(i), user((i+1)%nUsers), 0.6); err != nil {
+			t.Fatal(err)
+		}
+		if err := front.Befriend(user(i), user((i+1)%nUsers), 0.6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		mutate()
+	}
+	if err := ref.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := front.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	victim := pool.ReplicaFor(user(0))
+	for u := 0; u < nUsers; u++ {
+		req := search.Request{Seeker: user(u), Tags: []string{"t0"}, K: 8, Mode: search.ModeExact}
+		if _, err := clients[victim].Do(ctx, req); err != nil && !errors.Is(err, search.ErrInvalid) {
+			t.Fatalf("cache warm query u%d: %v", u, err)
+		}
+	}
+
+	// Eject the victim and keep mutating: these are exactly the
+	// mutations the PR 4 fleet silently lost on readmission.
+	reps[victim].down.Store(true)
+	waitFor(t, 5*time.Second, func() bool { return !pool.Live(victim) })
+	for i := 0; i < 40; i++ {
+		mutate()
+	}
+
+	// Readmit. The pool must gate on catch-up: when Live flips true the
+	// replica has already streamed and applied everything it missed.
+	reps[victim].down.Store(false)
+	waitFor(t, 10*time.Second, func() bool { return pool.Live(victim) })
+	if err := ref.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := front.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The headline assertion: the readmitted replica itself is
+	// bit-identical to the reference.
+	compareReplicaToReference(t, ctx, clients[victim], ref, nUsers, nTags)
+
+	// And the rejoin is observable: the divergence was stats-visible
+	// while it lasted, the catch-up that repaired it is counted, and the
+	// replica sits at the replication log head.
+	stats := front.StatsAny().(Stats)
+	vs := stats.Replicas[victim]
+	if vs.Counters.MissedMutations < 1 {
+		t.Fatalf("victim counters = %+v, want >=1 stats-visible missed mutation", vs.Counters)
+	}
+	if vs.Counters.Catchups < 1 || vs.Counters.CatchupRecords < 1 {
+		t.Fatalf("victim counters = %+v, want a completed catch-up with replayed records", vs.Counters)
+	}
+	if vs.Counters.Readmissions < 1 {
+		t.Fatalf("victim counters = %+v, want >=1 readmission", vs.Counters)
+	}
+	if stats.Replog == nil || vs.AppliedLSN != stats.Replog.Head || vs.ReplogLag != 0 {
+		t.Fatalf("victim applied=%d lag=%d, replog=%+v: want applied == head, lag 0",
+			vs.AppliedLSN, vs.ReplogLag, stats.Replog)
+	}
+}

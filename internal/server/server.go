@@ -19,10 +19,19 @@
 //	POST /v2/search/batch  {"queries":[{...v2 query...},...]}       → {"results":[{"results":[...],"explain":{...}},{"error":"..."},...]}
 //	POST /v2/invalidate    {"edges":[["alice","bob"],...],"all":false}
 //	                                                                → {"dropped":2}
+//	GET  /v2/replog?from=7                                          → {"from":7,"head":42,"records":[...]}
 //	GET  /v1/users                                                  → {"users":[...]}
 //	GET  /v1/stats                                                  → backend counters
-//	GET  /healthz                                                   → 200 "ok" (liveness)
+//	GET  /healthz                                                   → 200 "ok" (liveness; X-Applied-LSN
+//	                                                                  header on replication-aware backends)
 //	GET  /readyz                                                    → 200 "ok" | 503 "draining"
+//
+// Replication (fleet replicas): the /v1 mutation bodies accept an
+// optional "lsn" stamping the mutation with its fleet replication log
+// sequence number; stamped mutations are applied with idempotent dedup
+// and strict ordering (an out-of-order record answers 409 and the
+// front-end streams the gap first), and answer the replica's cursor as
+// {"applied_lsn":N}. Unstamped mutations are byte-compatible with v1.
 //
 // The v2 surface exposes the full search.Request: per-query β blending,
 // execution mode (auto: cost-based planner; exact: refined scores;
@@ -97,6 +106,61 @@ type Statser interface {
 	StatsAny() interface{}
 }
 
+// LSNApplier is the optional backend surface for LSN-stamped replicated
+// mutations: a fleet front-end stamps every forwarded Befriend/Tag with
+// its replication log LSN ("lsn" on the /v1 mutation wire), and a
+// replica backend applies it with idempotent dedup (at or below the
+// cursor: no-op) and strict ordering (ahead of cursor+1: refused with
+// social.ErrReplicationGap, 409 on the wire). Both *social.Service and
+// *durable.Service implement it. Backends without it reject stamped
+// mutations with 400.
+type LSNApplier interface {
+	BefriendAt(lsn uint64, a, b string, weight float64) error
+	TagAt(lsn uint64, user, item, tag string) error
+	AppliedLSN() uint64
+}
+
+// lsnReporter is the read-only half of LSNApplier: /healthz attaches
+// the cursor (header X-Applied-LSN) for any backend that can report it,
+// so fleet health probes double as replication lag probes.
+type lsnReporter interface {
+	AppliedLSN() uint64
+}
+
+// ReplogRecord is one replication log record on the /v2/replog wire
+// (Data is base64 in JSON, the durable/wal record payload verbatim).
+type ReplogRecord struct {
+	LSN  uint64 `json:"lsn"`
+	Type uint8  `json:"type"`
+	Data []byte `json:"data"`
+}
+
+// ReplogPage is the GET /v2/replog response body: the records from the
+// requested LSN (capped at MaxReplogPageRecords per page) and the log
+// head at read time. A caller has the full stream once it has paged
+// through lsn == head.
+type ReplogPage struct {
+	From    uint64         `json:"from"`
+	Head    uint64         `json:"head"`
+	Records []ReplogRecord `json:"records"`
+}
+
+// ReplogSource is the optional backend surface behind GET /v2/replog:
+// page through the fleet replication log from a given LSN. The fleet
+// front-end implements it; backends without a replication log answer
+// 404 (an implementation may also return ErrNoReplog when the log is
+// disabled by configuration).
+type ReplogSource interface {
+	ReplogPage(from uint64, max int) (ReplogPage, error)
+}
+
+// ErrNoReplog is returned by ReplogSource implementations whose
+// replication log is disabled; the handler maps it to 404.
+var ErrNoReplog = errors.New("server: no replication log configured")
+
+// MaxReplogPageRecords caps one /v2/replog page.
+const MaxReplogPageRecords = 1024
+
 // maxBodyBytes bounds mutation request bodies.
 const maxBodyBytes = 1 << 20
 
@@ -139,9 +203,15 @@ func New(b Backend) (*Server, error) {
 	s.mux.HandleFunc("/v2/search", s.handleSearchV2)
 	s.mux.HandleFunc("/v2/search/batch", s.handleSearchBatchV2)
 	s.mux.HandleFunc("/v2/invalidate", s.handleInvalidate)
+	s.mux.HandleFunc("/v2/replog", s.handleReplog)
 	s.mux.HandleFunc("/v1/users", s.handleUsers)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness doubles as the replication lag probe: a fleet prober
+		// reads the replica's applied LSN off every health check.
+		if lr, ok := s.backend.(lsnReporter); ok {
+			w.Header().Set("X-Applied-LSN", strconv.FormatUint(lr.AppliedLSN(), 10))
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
@@ -247,6 +317,47 @@ type friendRequest struct {
 	A      string  `json:"a"`
 	B      string  `json:"b"`
 	Weight float64 `json:"weight"`
+	// LSN, when positive, stamps the mutation with its fleet replication
+	// log sequence number: the backend applies it through the LSNApplier
+	// surface (idempotent dedup + strict ordering) and the response
+	// reports the replica's cursor. 0 (or absent) is a plain mutation —
+	// the wire format unchanged since v1.
+	LSN uint64 `json:"lsn"`
+}
+
+// AppliedResponse answers an LSN-stamped mutation: the replica's
+// replication cursor after processing the record.
+type AppliedResponse struct {
+	AppliedLSN uint64 `json:"applied_lsn"`
+}
+
+// applyStamped routes an LSN-stamped mutation through the backend's
+// LSNApplier surface and writes the response: 409 for a replication
+// gap (the sender must stream the missing records first), and on any
+// other failure the CURSOR decides the class — a cursor that advanced
+// to the record's LSN means a deterministic rejection every replica
+// repeats identically (400, the sender counts the record processed),
+// while a cursor left behind means an internal failure (a full disk, a
+// broken log) that retrying may fix (500, never counted processed).
+// Success answers the post-apply cursor.
+func (s *Server) applyStamped(w http.ResponseWriter, r *http.Request, lsn uint64, apply func(la LSNApplier) error) {
+	la, ok := s.backend.(LSNApplier)
+	if !ok {
+		s.writeErr(w, http.StatusBadRequest, errors.New("backend does not track replication LSNs"))
+		return
+	}
+	if err := apply(la); err != nil {
+		switch {
+		case errors.Is(err, social.ErrReplicationGap):
+			s.writeErr(w, http.StatusConflict, err)
+		case la.AppliedLSN() >= lsn:
+			s.writeErr(w, http.StatusBadRequest, err)
+		default:
+			s.writeErr(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	s.writeJSON(w, r, AppliedResponse{AppliedLSN: la.AppliedLSN()})
 }
 
 func (s *Server) handleFriend(w http.ResponseWriter, r *http.Request) {
@@ -258,17 +369,37 @@ func (s *Server) handleFriend(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	if req.LSN > 0 {
+		s.applyStamped(w, r, req.LSN, func(la LSNApplier) error {
+			return la.BefriendAt(req.LSN, req.A, req.B, req.Weight)
+		})
+		return
+	}
 	if err := s.backend.Befriend(req.A, req.B, req.Weight); err != nil {
-		s.writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, mutationErrStatus(err), err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// mutationErrStatus maps an unstamped mutation error to its HTTP
+// status: a serving-substrate failure (search.ErrUnavailable — a fleet
+// front-end with no live replica, or none reachable) is 503, the
+// retry-later class a load balancer must not confuse with a validation
+// rejection; everything else keeps v1's historical 400.
+func mutationErrStatus(err error) int {
+	if errors.Is(err, search.ErrUnavailable) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
 }
 
 type tagRequest struct {
 	User string `json:"user"`
 	Item string `json:"item"`
 	Tag  string `json:"tag"`
+	// LSN: see friendRequest.LSN.
+	LSN uint64 `json:"lsn"`
 }
 
 func (s *Server) handleTag(w http.ResponseWriter, r *http.Request) {
@@ -280,8 +411,14 @@ func (s *Server) handleTag(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	if req.LSN > 0 {
+		s.applyStamped(w, r, req.LSN, func(la LSNApplier) error {
+			return la.TagAt(req.LSN, req.User, req.Item, req.Tag)
+		})
+		return
+	}
 	if err := s.backend.Tag(req.User, req.Item, req.Tag); err != nil {
-		s.writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, mutationErrStatus(err), err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -608,6 +745,43 @@ func (s *Server) handleInvalidate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, r, InvalidateResponse{Dropped: dropped})
+}
+
+// handleReplog pages through the fleet replication log:
+// GET /v2/replog?from=LSN returns the records from that LSN (default 1,
+// at most MaxReplogPageRecords) plus the log head, so a reader streams
+// the log by paging until it has seen lsn == head.
+func (s *Server) handleReplog(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	src, ok := s.backend.(ReplogSource)
+	if !ok {
+		s.writeErr(w, http.StatusNotFound, errors.New("backend has no replication log"))
+		return
+	}
+	from := uint64(1)
+	if fs := r.URL.Query().Get("from"); fs != "" {
+		v, err := strconv.ParseUint(fs, 10, 64)
+		if err != nil || v == 0 {
+			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad from %q", fs))
+			return
+		}
+		from = v
+	}
+	page, err := src.ReplogPage(from, MaxReplogPageRecords)
+	if err != nil {
+		if errors.Is(err, ErrNoReplog) {
+			s.writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		s.writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	if page.Records == nil {
+		page.Records = []ReplogRecord{}
+	}
+	s.writeJSON(w, r, page)
 }
 
 func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {

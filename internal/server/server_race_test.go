@@ -30,14 +30,14 @@ func hammer(t *testing.T, s *Server) {
 				switch i % 4 {
 				case 0:
 					rec := doJSON(t, s, http.MethodPost, "/v1/friend",
-						friendRequest{fmt.Sprintf("w%d", id), "alice", 0.6})
+						friendRequest{A: fmt.Sprintf("w%d", id), B: "alice", Weight: 0.6})
 					if rec.Code != http.StatusNoContent {
 						errs <- fmt.Sprintf("friend: %d %s", rec.Code, rec.Body)
 						return
 					}
 				case 1:
 					rec := doJSON(t, s, http.MethodPost, "/v1/tag",
-						tagRequest{fmt.Sprintf("w%d", id), fmt.Sprintf("item%d-%d", id, i), "pizza"})
+						tagRequest{User: fmt.Sprintf("w%d", id), Item: fmt.Sprintf("item%d-%d", id, i), Tag: "pizza"})
 					if rec.Code != http.StatusNoContent {
 						errs <- fmt.Sprintf("tag: %d %s", rec.Code, rec.Body)
 						return

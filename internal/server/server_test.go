@@ -52,17 +52,17 @@ func doJSON(t *testing.T, h http.Handler, method, path string, body interface{})
 func seedHTTP(t *testing.T, s *Server) {
 	t.Helper()
 	for _, m := range []friendRequest{
-		{"alice", "bob", 0.9},
-		{"bob", "carol", 0.8},
+		{A: "alice", B: "bob", Weight: 0.9},
+		{A: "bob", B: "carol", Weight: 0.8},
 	} {
 		if rec := doJSON(t, s, http.MethodPost, "/v1/friend", m); rec.Code != http.StatusNoContent {
 			t.Fatalf("friend %+v: status %d body %s", m, rec.Code, rec.Body)
 		}
 	}
 	for _, m := range []tagRequest{
-		{"bob", "luigis", "pizza"},
-		{"bob", "luigis", "italian"},
-		{"carol", "marios", "pizza"},
+		{User: "bob", Item: "luigis", Tag: "pizza"},
+		{User: "bob", Item: "luigis", Tag: "italian"},
+		{User: "carol", Item: "marios", Tag: "pizza"},
 	} {
 		if rec := doJSON(t, s, http.MethodPost, "/v1/tag", m); rec.Code != http.StatusNoContent {
 			t.Fatalf("tag %+v: status %d body %s", m, rec.Code, rec.Body)
@@ -203,7 +203,7 @@ func TestEmptySearchReturnsEmptyArrayNotNull(t *testing.T) {
 	seedHTTP(t, s)
 	// dave exists after this tag but has no friends: result may be empty
 	// once none of his ball tagged anything.
-	doJSON(t, s, http.MethodPost, "/v1/tag", tagRequest{"dave", "thing", "pizza"})
+	doJSON(t, s, http.MethodPost, "/v1/tag", tagRequest{User: "dave", Item: "thing", Tag: "pizza"})
 	rec := doJSON(t, s, http.MethodGet, "/v1/search?seeker=dave&tags=italian&k=3", nil)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d", rec.Code)
@@ -225,7 +225,7 @@ func TestConcurrentRequests(t *testing.T) {
 			for i := 0; i < 20; i++ {
 				if i%3 == 0 {
 					rec := doJSON(t, s, http.MethodPost, "/v1/tag",
-						tagRequest{fmt.Sprintf("w%d", id), fmt.Sprintf("item%d-%d", id, i), "pizza"})
+						tagRequest{User: fmt.Sprintf("w%d", id), Item: fmt.Sprintf("item%d-%d", id, i), Tag: "pizza"})
 					if rec.Code != http.StatusNoContent {
 						errs <- fmt.Sprintf("tag: %d %s", rec.Code, rec.Body)
 						return
@@ -311,7 +311,7 @@ func TestSearchBatchEndpoint(t *testing.T) {
 	}
 	// A success entry with no matches encodes as an empty array, never
 	// null (dave is isolated, so his italian search matches nothing).
-	doJSON(t, s, http.MethodPost, "/v1/tag", tagRequest{"dave", "thing", "pizza"})
+	doJSON(t, s, http.MethodPost, "/v1/tag", tagRequest{User: "dave", Item: "thing", Tag: "pizza"})
 	rec = doJSON(t, s, http.MethodPost, "/v1/search/batch", map[string]interface{}{
 		"queries": []map[string]interface{}{{"seeker": "dave", "tags": []string{"italian"}}},
 	})

@@ -19,6 +19,7 @@ package social
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"reflect"
 	"sync"
@@ -132,6 +133,10 @@ type Service struct {
 	engine       *overlay.Engine
 	writes       int
 	friendsDirty bool // friend edges written since the last compaction
+	// appliedLSN is the replication cursor: the highest fleet replication
+	// log LSN this service has processed (see BefriendAt/TagAt). 0 until
+	// the first LSN-stamped mutation arrives; untouched by plain writes.
+	appliedLSN uint64
 	// dirtyEdges accumulates the distinct friend edges written since
 	// the last compaction, for edge-scoped cache invalidation (dirtySet
 	// dedups re-declarations of the same edge); edgeOverflow is set
@@ -354,6 +359,10 @@ func (s *Service) noteFriendEdge(a, b graph.UserID) {
 func (s *Service) Befriend(a, b string, weight float64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.befriendLocked(a, b, weight)
+}
+
+func (s *Service) befriendLocked(a, b string, weight float64) error {
 	ua, err := s.ensureUser(a)
 	if err != nil {
 		return err
@@ -374,6 +383,10 @@ func (s *Service) Befriend(a, b string, weight float64) error {
 func (s *Service) Tag(user, item, tag string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.tagLocked(user, item, tag)
+}
+
+func (s *Service) tagLocked(user, item, tag string) error {
 	u, err := s.ensureUser(user)
 	if err != nil {
 		return err
@@ -390,6 +403,89 @@ func (s *Service) Tag(user, item, tag string) error {
 		return err
 	}
 	return s.noteWrite()
+}
+
+// ErrReplicationGap reports an LSN-stamped mutation that arrived out of
+// order: the record's LSN is more than one ahead of the service's
+// replication cursor, so applying it would silently skip history. The
+// sender must stream the missing records first (the fleet's catch-up
+// path); transports map the class to 409.
+var ErrReplicationGap = errors.New("social: replication gap")
+
+// advanceCursor applies the replication-cursor discipline shared by
+// BefriendAt and TagAt. Callers hold s.mu. It returns (true, nil) when
+// the record was already processed (idempotent dedup), (true, err) when
+// the record cannot be accepted yet (gap), and (false, nil) when the
+// caller should apply it — the cursor has already advanced, so a
+// deterministic validation rejection still counts as processed: every
+// replica rejects the identical record identically, and skipping it in
+// lockstep is what keeps the fleet bit-identical.
+func (s *Service) advanceCursor(lsn uint64) (done bool, err error) {
+	switch {
+	case lsn <= s.appliedLSN:
+		return true, nil
+	case lsn != s.appliedLSN+1:
+		return true, fmt.Errorf("%w: record lsn %d, applied %d", ErrReplicationGap, lsn, s.appliedLSN)
+	}
+	s.appliedLSN = lsn
+	return false, nil
+}
+
+// BefriendAt is the apply-from-replication-log entry point: it applies
+// the friendship mutation stamped with fleet replication log LSN lsn,
+// with idempotent dedup (a record at or below the cursor is a no-op)
+// and strict ordering (a record further ahead than cursor+1 is refused
+// with ErrReplicationGap). lsn 0 means "not replicated" and behaves
+// exactly like Befriend.
+func (s *Service) BefriendAt(lsn uint64, a, b string, weight float64) error {
+	if lsn == 0 {
+		return s.Befriend(a, b, weight)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if done, err := s.advanceCursor(lsn); done {
+		return err
+	}
+	return s.befriendLocked(a, b, weight)
+}
+
+// TagAt is BefriendAt's tagging sibling: apply the tagging mutation
+// stamped with replication log LSN lsn, deduplicated and
+// order-checked against the replication cursor.
+func (s *Service) TagAt(lsn uint64, user, item, tag string) error {
+	if lsn == 0 {
+		return s.Tag(user, item, tag)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if done, err := s.advanceCursor(lsn); done {
+		return err
+	}
+	return s.tagLocked(user, item, tag)
+}
+
+// SkipLSN marks a record as processed without applying anything, under
+// the same cursor discipline as BefriendAt (dedup below the cursor,
+// ErrReplicationGap ahead of it). The durable wrapper uses it when it
+// deterministically rejects a record before logging: every replica
+// skips the identical record identically, so the cursors stay in
+// lockstep without a no-op record in the local log.
+func (s *Service) SkipLSN(lsn uint64) error {
+	if lsn == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.advanceCursor(lsn)
+	return err
+}
+
+// AppliedLSN returns the replication cursor: the highest replication
+// log LSN this service has processed (0 before any).
+func (s *Service) AppliedLSN() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appliedLSN
 }
 
 // Flush forces pending writes into the queryable snapshot.
@@ -493,6 +589,9 @@ type Stats struct {
 	Users, Items, Tags int
 	PendingWrites      int
 	Compactions        int
+	// AppliedLSN is the replication cursor (0 outside fleet-replica
+	// posture): the highest replication log LSN processed.
+	AppliedLSN uint64
 	// SeekerCache reports the horizon cache fleet's aggregated
 	// effectiveness counters (all zero when caching is disabled).
 	SeekerCache metrics.CacheSnapshot
@@ -516,6 +615,7 @@ func (s *Service) Stats() Stats {
 		Tags:          s.names.Tags.Len(),
 		PendingWrites: pe + pt,
 		Compactions:   s.overlay.Compactions(),
+		AppliedLSN:    s.appliedLSN,
 	}
 	if s.caches != nil {
 		st.SeekerCache = s.caches.Counters()

@@ -112,6 +112,7 @@ type Log struct {
 	activeBytes int64
 	nextLSN     uint64
 	dirSynced   bool
+	barrier     uint64 // records with LSN >= barrier survive TruncateThrough (0 = none)
 }
 
 type segmentInfo struct {
@@ -370,13 +371,19 @@ func (l *Log) Segments() int {
 }
 
 // TruncateThrough removes whole segments all of whose records have
-// LSN ≤ lsn. The active segment is never removed. Use after a
-// checkpoint has made the prefix redundant.
+// LSN ≤ lsn. The active segment is never removed, and a barrier set
+// with SetBarrier caps how far truncation reaches: records with
+// LSN ≥ barrier always survive. Use after a checkpoint (or, for a
+// replication log, the fleet's minimum applied LSN) has made the
+// prefix redundant.
 func (l *Log) TruncateThrough(lsn uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return ErrClosed
+	}
+	if l.barrier > 0 && lsn >= l.barrier {
+		lsn = l.barrier - 1
 	}
 	keepFrom := 0
 	for i := 0; i < len(l.segs)-1; i++ {
@@ -405,4 +412,96 @@ func (l *Log) Rotate() error {
 		return ErrClosed
 	}
 	return l.rotateLocked()
+}
+
+// SetBarrier establishes a truncation barrier: records with LSN ≥ lsn
+// survive every later TruncateThrough, whatever its argument. A
+// replication log sets it to the fleet's minimum applied LSN + 1 so a
+// lagging replica's catch-up suffix can never be reclaimed under it.
+// 0 removes the barrier.
+func (l *Log) SetBarrier(lsn uint64) {
+	l.mu.Lock()
+	l.barrier = lsn
+	l.mu.Unlock()
+}
+
+// Barrier returns the current truncation barrier (0 = none).
+func (l *Log) Barrier() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.barrier
+}
+
+// ReadFrom invokes fn, in LSN order, for every record with LSN ≥ from
+// up to the log head captured when the call started, and returns that
+// head. It is safe to run concurrently with appends: buffered writes
+// are flushed first, records past the captured head are not delivered
+// (a frame a concurrent append is still writing is never surfaced),
+// and segments below a truncation barrier cannot vanish mid-read.
+//
+// Unlike Replay's torn-tail tolerance, every record up to the captured
+// head was acknowledged, so damage anywhere in that range — including
+// an externally truncated tail — is reported as ErrCorrupt, never
+// silently skipped: a replication catch-up must fail cleanly rather
+// than hand a replica a torn prefix it would mistake for the full
+// stream.
+func (l *Log) ReadFrom(from uint64, fn func(Record) error) (head uint64, err error) {
+	if from == 0 {
+		from = 1
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if err := l.bw.Flush(); err != nil {
+		l.mu.Unlock()
+		return 0, err
+	}
+	segs := append([]segmentInfo(nil), l.segs...)
+	head = l.nextLSN - 1
+	l.mu.Unlock()
+
+	if from > head {
+		return head, nil
+	}
+	if len(segs) == 0 || from < segs[0].firstLSN {
+		return head, fmt.Errorf("%w: lsn %d precedes the retained log start", ErrCorrupt, from)
+	}
+	delivered := from - 1 // highest LSN handed to fn so far
+	for i, seg := range segs {
+		if i+1 < len(segs) && segs[i+1].firstLSN <= from {
+			continue // whole segment below the requested range
+		}
+		if seg.firstLSN > head {
+			break
+		}
+		_, tailOK, scanErr := scanSegment(seg, func(r Record) error {
+			if r.LSN < from {
+				return nil
+			}
+			if r.LSN > head {
+				return errStop
+			}
+			delivered = r.LSN
+			return fn(r)
+		})
+		if scanErr != nil {
+			if errors.Is(scanErr, errStop) {
+				return head, nil
+			}
+			return head, scanErr
+		}
+		if !tailOK && delivered < head {
+			return head, fmt.Errorf("%w: torn frame at lsn %d before acknowledged head %d in %s",
+				ErrCorrupt, delivered+1, head, seg.path)
+		}
+		if delivered >= head {
+			return head, nil
+		}
+	}
+	if delivered < head {
+		return head, fmt.Errorf("%w: log ends at lsn %d before acknowledged head %d", ErrCorrupt, delivered, head)
+	}
+	return head, nil
 }

@@ -1,13 +1,20 @@
 #!/usr/bin/env bash
 # Fleet smoke test (run by CI, and runnable locally): launches three
-# friendserve -replica processes and one -replicas front-end, drives
-# mixed search/Befriend traffic through the front-end, kills one
-# replica, and asserts that
+# friendserve -replica processes and one -replicas front-end (with a
+# WAL-backed replication log), drives mixed search/Befriend traffic
+# through the front-end, kills one replica, and asserts that
 #   (a) answers after the kill are byte-identical to before it
 #       (failover re-routes the dead replica's seekers to survivors
 #       holding the same data),
 #   (b) mixed traffic keeps succeeding while a replica is down, and
 #   (c) /v1/stats on the front-end reports the ejection.
+# It then SIGSTOPs another replica, pushes mutations it must miss,
+# SIGCONTs it, and asserts
+#   (d) the missed mutations and the catch-up that repaired them are
+#       stats-visible (MissedMutations, Catchups, zero ReplogLag), and
+#   (e) post-rejoin answers — now routed to the readmitted replica —
+#       are byte-identical to the answers the survivors gave while it
+#       was stopped (the stale-after-readmission regression).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,6 +37,7 @@ for p in "${REPLICA_PORTS[@]}"; do
 done
 "$BIN" -replicas "http://127.0.0.1:${REPLICA_PORTS[0]},http://127.0.0.1:${REPLICA_PORTS[1]},http://127.0.0.1:${REPLICA_PORTS[2]}" \
   -addr "127.0.0.1:$FRONT_PORT" -health-interval 150ms -fail-after 2 -bcast-window 20ms \
+  -replog-dir "$WORK/replog" -catchup-timeout 20s -mutation-timeout 1s \
   >"$WORK/frontend.log" 2>&1 &
 PIDS+=("$!")
 
@@ -112,6 +120,91 @@ if ! echo "$STATS" | grep -Eq '"Batches":[1-9]'; then
   echo "FAIL: /v1/stats reports no invalidation broadcasts: $STATS" >&2
   exit 1
 fi
+
+echo "== SIGSTOP replica ${REPLICA_PORTS[2]}: it must miss mutations, then catch up"
+STOPPED_PID="${PIDS[2]}"
+kill -STOP "$STOPPED_PID"
+
+# Mutations the stopped replica cannot see. The first couple block on
+# -mutation-timeout until the health checker ejects it; all must succeed.
+for i in $(seq 0 9); do
+  befriend "u$((i % NUSERS))" "u$(((i + 5) % NUSERS))" 0.7
+  tag "u$((i % NUSERS))" "stopped$i" "pizza"
+done
+
+echo "== waiting for the missed mutations to be stats-visible"
+MISSED=no
+for _ in $(seq 1 40); do
+  STATS=$(curl -fsS --max-time 10 "$BASE/v1/stats")
+  if echo "$STATS" | grep -Eq '"MissedMutations":[1-9]'; then MISSED=yes; break; fi
+  sleep 0.25
+done
+if [ "$MISSED" != "yes" ]; then
+  echo "FAIL: /v1/stats never reported MissedMutations while a replica was stopped" >&2
+  exit 1
+fi
+
+# A stopped replica stalls each broadcast fan-out for its timeout, so
+# the survivors' compaction heartbeat lags: wait until the final write
+# (tag stopped9 by u9) is queryable before snapshotting.
+QUIESCED=no
+for _ in $(seq 1 80); do
+  if query "u9" | grep -q stopped9; then QUIESCED=yes; break; fi
+  sleep 0.25
+done
+if [ "$QUIESCED" != "yes" ]; then
+  echo "FAIL: survivors never folded the writes pushed while a replica was stopped" >&2
+  exit 1
+fi
+sleep 0.3 # both survivors ride the same batch; give the second its ack window
+echo "== recording answers served by the survivors"
+for i in $(seq 0 $((NUSERS - 1))); do
+  query "u$i" >"$WORK/stopped-u$i.json"
+done
+
+echo "== SIGCONT: readmission must be gated on replication log catch-up"
+kill -CONT "$STOPPED_PID"
+CAUGHTUP=no
+for _ in $(seq 1 80); do
+  STATS=$(curl -fsS --max-time 10 "$BASE/v1/stats")
+  if echo "$STATS" | grep -Eq '"Catchups":[1-9]'; then CAUGHTUP=yes; break; fi
+  sleep 0.25
+done
+echo "$STATS" >"$WORK/stats-catchup.json"
+if [ "$CAUGHTUP" != "yes" ]; then
+  echo "FAIL: /v1/stats never reported a completed catch-up after SIGCONT: $STATS" >&2
+  exit 1
+fi
+LIVE_COUNT=$(echo "$STATS" | grep -o '"Live":true' | wc -l)
+if [ "$LIVE_COUNT" -ne 2 ]; then
+  echo "FAIL: want 2 live replicas (killed one stays out), got $LIVE_COUNT: $STATS" >&2
+  exit 1
+fi
+# Pin the post-rejoin assertions to the SIGCONTed replica specifically:
+# it must be live, caught up (zero lag), and credited with the catch-up.
+if ! echo "$STATS" | python3 -c "
+import json, sys
+stats = json.load(sys.stdin)
+r = next(r for r in stats['Replicas'] if r['URL'].endswith(':${REPLICA_PORTS[2]}'))
+assert r['Live'], 'stopped replica not live: %r' % r
+assert r['ReplogLag'] == 0, 'stopped replica still lags: %r' % r
+assert r['Counters']['Catchups'] >= 1, 'stopped replica has no catch-up: %r' % r
+assert r['Counters']['MissedMutations'] >= 1, 'stopped replica missed nothing?: %r' % r
+"; then
+  echo "FAIL: readmitted replica is not caught up in /v1/stats: $STATS" >&2
+  exit 1
+fi
+
+echo "== post-rejoin answers must be byte-identical to the survivors'"
+sleep 0.3 # let routing settle on the readmitted replica
+for i in $(seq 0 $((NUSERS - 1))); do
+  query "u$i" >"$WORK/rejoined-u$i.json"
+  if ! cmp -s "$WORK/stopped-u$i.json" "$WORK/rejoined-u$i.json"; then
+    echo "FAIL: seeker u$i answered differently after the replica rejoined (stale serving)" >&2
+    diff "$WORK/stopped-u$i.json" "$WORK/rejoined-u$i.json" >&2 || true
+    exit 1
+  fi
+done
 
 echo "== graceful drain: SIGTERM flips /readyz before shutdown"
 FRONT_PID="${PIDS[3]}"
