@@ -34,8 +34,10 @@ const (
 )
 
 // servingService restores a generated corpus into a name-addressed
-// service with the given cache size (negative disables caching).
-func servingService(b *testing.B, cacheSize int) (*social.Service, []social.BatchQuery) {
+// service with the given cache size (negative disables caching). It is
+// shared with the zero-allocation and cross-layout property tests in
+// flatpath_test.go, hence testing.TB.
+func servingService(b testing.TB, cacheSize int) (*social.Service, []social.BatchQuery) {
 	b.Helper()
 	ds, err := gen.Generate(gen.DeliciousParams().Scale(benchScale), 42)
 	if err != nil {
@@ -74,9 +76,20 @@ func servingService(b *testing.B, cacheSize int) (*social.Service, []social.Batc
 	return svc, queries
 }
 
-func runSequential(b *testing.B, svc *social.Service, queries []social.BatchQuery) {
-	for _, q := range queries {
-		if _, err := svc.Search(q.Seeker, q.Tags, q.K); err != nil {
+// servingRequests converts the workload to prebuilt v2 requests so the
+// sequential benchmarks measure the serving path, not request
+// construction.
+func servingRequests(queries []social.BatchQuery) []search.Request {
+	reqs := make([]search.Request, len(queries))
+	for i, q := range queries {
+		reqs[i] = search.Request{Seeker: q.Seeker, Tags: q.Tags, K: q.K, Mode: search.ModeExact}
+	}
+	return reqs
+}
+
+func runSequential(b *testing.B, svc *social.Service, reqs []search.Request, resp *search.Response) {
+	for i := range reqs {
+		if err := svc.DoInto(context.Background(), reqs[i], resp); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -86,20 +99,28 @@ func runSequential(b *testing.B, svc *social.Service, queries []social.BatchQuer
 // the baseline every serving optimisation is measured against.
 func BenchmarkServingColdSearch(b *testing.B) {
 	svc, queries := servingService(b, -1)
+	reqs := servingRequests(queries)
+	var resp search.Response
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		runSequential(b, svc, queries)
+		runSequential(b, svc, reqs, &resp)
 	}
 }
 
 // BenchmarkServingCachedSearch: the same sequential workload through
 // the seeker cache — repeated seekers reuse their horizon expansion.
+// With the response buffer reused, the warm path is expected to run
+// allocation-free (gated by benchgate's allocs/op baseline).
 func BenchmarkServingCachedSearch(b *testing.B) {
 	svc, queries := servingService(b, 0) // 0 = default size
-	runSequential(b, svc, queries)       // warm the cache
+	reqs := servingRequests(queries)
+	var resp search.Response
+	runSequential(b, svc, reqs, &resp) // warm the cache
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		runSequential(b, svc, queries)
+		runSequential(b, svc, reqs, &resp)
 	}
 }
 

@@ -41,6 +41,14 @@ type Baseline struct {
 	// global-generation one") that hold on any machine. Ratios are
 	// never touched by -update.
 	Ratios []RatioGate `json:"ratios,omitempty"`
+	// Allocs maps benchmark name to its accepted median allocs/op
+	// (requires -benchmem in the bench command). Unlike ns/op these are
+	// gated strictly — ANY growth fails, with no percentage budget —
+	// because allocation counts are deterministic properties of the
+	// code, not of the hardware. Which benchmarks to gate is
+	// hand-curated (like Ratios); -update refreshes the values of the
+	// existing keys only.
+	Allocs map[string]float64 `json:"allocs,omitempty"`
 }
 
 // RatioGate is one cross-benchmark invariant.
@@ -56,10 +64,14 @@ type RatioGate struct {
 //	BenchmarkServingCachedSearch-8   500   2100000 ns/op   12 B/op ...
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
 
-// parseBench collects ns/op samples per benchmark name from go test
-// -bench output.
-func parseBench(r io.Reader) (map[string][]float64, error) {
+// allocField matches the allocs/op field -benchmem appends.
+var allocField = regexp.MustCompile(`\s([0-9]+) allocs/op`)
+
+// parseBench collects ns/op and (when -benchmem was on) allocs/op
+// samples per benchmark name from go test -bench output.
+func parseBench(r io.Reader) (map[string][]float64, map[string][]float64, error) {
 	samples := make(map[string][]float64)
+	allocs := make(map[string][]float64)
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(sc.Text())
@@ -68,14 +80,21 @@ func parseBench(r io.Reader) (map[string][]float64, error) {
 		}
 		v, err := strconv.ParseFloat(m[2], 64)
 		if err != nil {
-			return nil, fmt.Errorf("benchgate: bad ns/op in %q: %v", sc.Text(), err)
+			return nil, nil, fmt.Errorf("benchgate: bad ns/op in %q: %v", sc.Text(), err)
 		}
 		samples[m[1]] = append(samples[m[1]], v)
+		if a := allocField.FindStringSubmatch(sc.Text()); a != nil {
+			n, err := strconv.ParseFloat(a[1], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("benchgate: bad allocs/op in %q: %v", sc.Text(), err)
+			}
+			allocs[m[1]] = append(allocs[m[1]], n)
+		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return samples, nil
+	return samples, allocs, nil
 }
 
 // median reduces samples; it panics on an empty slice (callers filter).
@@ -160,6 +179,37 @@ func gateRatios(base Baseline, samples map[string][]float64) ([]string, bool) {
 	return lines, failed
 }
 
+// gateAllocs evaluates the strict allocation gates: a baselined
+// benchmark's median allocs/op may shrink but never grow, and a
+// baselined benchmark whose input lacks allocation data (e.g. the
+// bench ran without -benchmem) fails rather than silently passing.
+func gateAllocs(base Baseline, allocs map[string][]float64) ([]string, bool) {
+	var lines []string
+	failed := false
+	names := make([]string, 0, len(base.Allocs))
+	for name := range base.Allocs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := base.Allocs[name]
+		xs, ok := allocs[name]
+		if !ok || len(xs) == 0 {
+			lines = append(lines, fmt.Sprintf("FAIL  allocs %-38s no allocs/op in input (run with -benchmem)", name))
+			failed = true
+			continue
+		}
+		got := median(xs)
+		status := "ok   "
+		if got > want {
+			status = "FAIL "
+			failed = true
+		}
+		lines = append(lines, fmt.Sprintf("%s allocs %-38s %10.0f -> %10.0f allocs/op (any growth fails)", status, name, want, got))
+	}
+	return lines, failed
+}
+
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "checked-in baseline JSON")
 	inputPath := flag.String("input", "-", "go test -bench output (- = stdin)")
@@ -177,7 +227,7 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	samples, err := parseBench(in)
+	samples, allocs, err := parseBench(in)
 	if err != nil {
 		fatal(err)
 	}
@@ -187,11 +237,22 @@ func main() {
 
 	if *update {
 		b := Baseline{Note: *note, Benchmarks: make(map[string]float64, len(samples))}
-		// Preserve the hand-written ratio invariants across refreshes.
+		// Preserve the hand-written ratio invariants across refreshes,
+		// and refresh (but never add or drop) the curated alloc gates.
 		if raw, err := os.ReadFile(*baselinePath); err == nil {
 			var old Baseline
 			if err := json.Unmarshal(raw, &old); err == nil {
 				b.Ratios = old.Ratios
+				if len(old.Allocs) > 0 {
+					b.Allocs = make(map[string]float64, len(old.Allocs))
+					for name, want := range old.Allocs {
+						if xs, ok := allocs[name]; ok && len(xs) > 0 {
+							b.Allocs[name] = median(xs)
+						} else {
+							b.Allocs[name] = want
+						}
+					}
+				}
 			}
 		}
 		for name, xs := range samples {
@@ -218,8 +279,12 @@ func main() {
 	}
 	verdicts, failed := gate(base, samples, *threshold)
 	ratioLines, ratioFailed := gateRatios(base, samples)
-	failed = failed || ratioFailed
+	allocLines, allocFailed := gateAllocs(base, allocs)
+	failed = failed || ratioFailed || allocFailed
 	for _, line := range ratioLines {
+		fmt.Println(line)
+	}
+	for _, line := range allocLines {
 		fmt.Println(line)
 	}
 	for _, v := range verdicts {

@@ -19,7 +19,7 @@ ok  	repro	12.3s
 `
 
 func TestParseBench(t *testing.T) {
-	samples, err := parseBench(strings.NewReader(sampleOutput))
+	samples, allocs, err := parseBench(strings.NewReader(sampleOutput))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,10 +35,17 @@ func TestParseBench(t *testing.T) {
 	if _, ok := samples["PASS"]; ok {
 		t.Fatal("non-benchmark lines parsed")
 	}
+	if got := allocs["BenchmarkServingCachedSearch"]; len(got) != 3 || median(got) != 10 {
+		t.Fatalf("cached alloc samples = %v, want three 10s", got)
+	}
+	// No -benchmem fields on the batch line: no alloc samples.
+	if got, ok := allocs["BenchmarkServingBatchSearch"]; ok {
+		t.Fatalf("batch alloc samples = %v, want none", got)
+	}
 }
 
 func TestGate(t *testing.T) {
-	samples, err := parseBench(strings.NewReader(sampleOutput))
+	samples, _, err := parseBench(strings.NewReader(sampleOutput))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,6 +101,34 @@ func TestMedian(t *testing.T) {
 	}
 	if got := median([]float64{4, 1, 2, 3}); got != 2.5 {
 		t.Fatalf("even median = %g", got)
+	}
+}
+
+func TestGateAllocs(t *testing.T) {
+	_, allocs, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly at baseline: passes.
+	base := Baseline{Allocs: map[string]float64{"BenchmarkServingCachedSearch": 10}}
+	if lines, failed := gateAllocs(base, allocs); failed {
+		t.Fatalf("at-baseline allocs failed the gate: %v", lines)
+	}
+	// Shrinking is fine.
+	base.Allocs["BenchmarkServingCachedSearch"] = 12
+	if lines, failed := gateAllocs(base, allocs); failed {
+		t.Fatalf("shrunk allocs failed the gate: %v", lines)
+	}
+	// Any growth fails — no percentage budget.
+	base.Allocs["BenchmarkServingCachedSearch"] = 9
+	if _, failed := gateAllocs(base, allocs); !failed {
+		t.Fatal("grown allocs passed the strict gate")
+	}
+	// A gated benchmark with no allocs/op data in the input fails
+	// (the bench must run with -benchmem).
+	base = Baseline{Allocs: map[string]float64{"BenchmarkServingBatchSearch": 0}}
+	if _, failed := gateAllocs(base, allocs); !failed {
+		t.Fatal("missing allocs/op data passed the gate")
 	}
 }
 

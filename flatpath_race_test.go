@@ -1,0 +1,8 @@
+//go:build race
+
+package repro
+
+// raceEnabled reports whether the race detector is on. sync.Pool
+// deliberately drops items at random under the race detector, so
+// allocation-count assertions are meaningless there.
+const raceEnabled = true

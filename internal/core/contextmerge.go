@@ -49,10 +49,11 @@ func (e *Engine) ContextMerge(q Query, opts Options) (Answer, error) {
 	}
 
 	// Phase 1: materialize the ball.
-	it, err := proximity.NewIterator(e.g, q.Seeker, e.prox)
+	it, err := proximity.AcquireIterator(e.g, q.Seeker, e.prox)
 	if err != nil {
 		return Answer{}, err
 	}
+	defer it.Release()
 	for iter := 0; ; iter++ {
 		if iter%64 == 0 {
 			if err := ctxErr(opts.Ctx); err != nil {
@@ -98,6 +99,13 @@ func (e *Engine) ContextMerge(q Query, opts Options) (Answer, error) {
 		Access:       run.acc,
 		UsersSettled: run.settled,
 	}, nil
+}
+
+// candidate is the map-backed NRA interval used by the baseline
+// algorithms (the SocialMerge hot path uses topk.Table instead).
+type candidate struct {
+	lower float64 // confirmed score mass (social seen + exact global part)
+	rem   int64   // Σ_t gtf(i,t) − Σ_t seen social tf(i,t)
 }
 
 // cmCursor is one live per-(user,tag) posting list.

@@ -31,10 +31,11 @@ func (e *Engine) MaterializeHorizon(seeker graph.UserID, maxUsers int) (*SeekerH
 // checkpoints: a non-nil ctx that is cancelled mid-expansion aborts the
 // (potentially graph-wide) walk promptly with ctx.Err().
 func (e *Engine) MaterializeHorizonCtx(ctx context.Context, seeker graph.UserID, maxUsers int) (*SeekerHorizon, error) {
-	it, err := proximity.NewIterator(e.g, seeker, e.prox)
+	it, err := proximity.AcquireIterator(e.g, seeker, e.prox)
 	if err != nil {
 		return nil, err
 	}
+	defer it.Release()
 	h := &SeekerHorizon{seeker: seeker}
 	for maxUsers <= 0 || len(h.list) < maxUsers {
 		if len(h.list)%256 == 0 {
@@ -81,11 +82,6 @@ func (h *SeekerHorizon) Users(buf []graph.UserID) []graph.UserID {
 // MemoryBytes estimates the resident size of the horizon.
 func (h *SeekerHorizon) MemoryBytes() int { return 16 + len(h.list)*24 }
 
-// source adapts the horizon to the merge loop's user stream.
-func (h *SeekerHorizon) source() userSource {
-	return &materializedSource{list: h.list, residual: h.residual}
-}
-
 // SocialMergeWithHorizon answers the query using a previously
 // materialized horizon instead of expanding the graph. The horizon must
 // belong to the query's seeker and must have been materialized with the
@@ -93,14 +89,30 @@ func (h *SeekerHorizon) source() userSource {
 // Options.UseNeighborhoods (a truncated horizon can make the answer
 // approximate).
 func (e *Engine) SocialMergeWithHorizon(q Query, h *SeekerHorizon, opts Options) (Answer, error) {
+	var ans Answer
+	if err := e.SocialMergeWithHorizonInto(q, h, opts, &ans); err != nil {
+		return Answer{}, err
+	}
+	return ans, nil
+}
+
+// SocialMergeWithHorizonInto is SocialMergeWithHorizon writing into a
+// caller-owned Answer (see SocialMergeInto): with a recycled Answer the
+// whole cached read path — horizon adapter, candidate table, result
+// assembly — runs without allocating. This is the single validation
+// point for horizon-backed execution.
+func (e *Engine) SocialMergeWithHorizonInto(q Query, h *SeekerHorizon, opts Options, ans *Answer) error {
 	if h == nil {
-		return Answer{}, fmt.Errorf("core: nil horizon")
+		return fmt.Errorf("core: nil horizon")
 	}
 	if h.seeker != q.Seeker {
-		return Answer{}, fmt.Errorf("core: horizon belongs to seeker %d, query is for %d", h.seeker, q.Seeker)
+		return fmt.Errorf("core: horizon belongs to seeker %d, query is for %d", h.seeker, q.Seeker)
 	}
 	if opts.UseNeighborhoods || opts.LandmarkPrune {
-		return Answer{}, fmt.Errorf("core: horizon execution excludes UseNeighborhoods/LandmarkPrune")
+		return fmt.Errorf("core: horizon execution excludes UseNeighborhoods/LandmarkPrune")
 	}
-	return e.socialMergeFrom(q, h.source(), opts)
+	if err := e.validateQuery(q); err != nil {
+		return err
+	}
+	return e.socialMergeRun(q, nil, h, opts, ans)
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"repro/internal/graph"
 	"repro/internal/tagstore"
 	"repro/internal/topk"
@@ -32,78 +34,76 @@ import (
 // Options activate the approximate variants; any triggered cutoff or
 // prune clears Answer.Exact.
 func (e *Engine) SocialMerge(q Query, opts Options) (Answer, error) {
+	var ans Answer
+	if err := e.SocialMergeInto(q, opts, &ans); err != nil {
+		return Answer{}, err
+	}
+	return ans, nil
+}
+
+// SocialMergeInto is SocialMerge writing into a caller-owned Answer:
+// ans.Results is reused (truncated and appended to), so a caller that
+// recycles the Answer across queries runs the whole read path without
+// allocating. This is the single validation point for graph-expansion
+// execution — the internal merge entry assumes a validated query.
+func (e *Engine) SocialMergeInto(q Query, opts Options, ans *Answer) error {
 	if opts.LandmarkPrune && e.landmarks == nil {
-		return Answer{}, errNoLandmarks
+		return errNoLandmarks
 	}
 	if opts.UseNeighborhoods && e.neighbors == nil {
-		return Answer{}, errNoNeighborhoods
+		return errNoNeighborhoods
 	}
 	if err := e.validateQuery(q); err != nil {
-		return Answer{}, err
+		return err
 	}
 	src, err := e.newUserSource(q.Seeker, opts)
 	if err != nil {
-		return Answer{}, err
+		return err
 	}
-	return e.socialMergeFrom(q, src, opts)
+	defer releaseSource(src)
+	return e.socialMergeRun(q, src, nil, opts, ans)
 }
 
-// socialMergeFrom runs the merge loop over an explicit user source (a
-// live graph expansion, a global neighbourhood index entry, or a cached
-// per-seeker horizon). The query must already be validated by callers
-// or is validated here for external entry points.
-func (e *Engine) socialMergeFrom(q Query, src userSource, opts Options) (Answer, error) {
-	if err := e.validateQuery(q); err != nil {
-		return Answer{}, err
-	}
-	tags := dedupTags(q.Tags)
-
-	run := &mergeRun{
-		e:     e,
-		k:     q.K,
-		beta:  e.beta,
-		tags:  tags,
-		cands: make(map[tagstore.ItemID]*candidate),
-		lists: make([][]tagstore.Posting, len(tags)),
-		pos:   make([]int, len(tags)),
-	}
-	for i, t := range tags {
-		run.lists[i] = e.store.GlobalList(t)
+// socialMergeRun runs the merge loop over an explicit user source (a
+// live graph expansion, a global neighbourhood index entry, or — when h
+// is non-nil — a cached per-seeker horizon adapted through the pooled
+// run's inline source, avoiding a per-query adapter allocation). The
+// query must already be validated: each external entry point validates
+// exactly once.
+func (e *Engine) socialMergeRun(q Query, src userSource, h *SeekerHorizon, opts Options, ans *Answer) error {
+	run := e.acquireRun(q, opts)
+	defer e.releaseRun(run)
+	if h != nil {
+		run.msrc = materializedSource{list: h.list, residual: h.residual}
+		src = &run.msrc
 	}
 
 	certified, err := run.mainLoop(src, q.Seeker, opts)
 	if err != nil {
-		return Answer{}, err
+		return err
 	}
 
-	h := topk.NewHeap(q.K)
-	for item, c := range run.cands {
-		if c.lower > 0 {
-			h.Offer(item, c.lower)
-		}
-	}
 	// Certified termination with approximation knobs enabled is still
 	// exact as long as no cutoff or prune actually fired.
-	exact := certified && !run.cutoffFired && !run.prunedAny
-	return Answer{
-		Results:      h.Results(),
-		Exact:        exact,
-		Access:       run.acc,
-		UsersSettled: run.settled,
-	}, nil
+	ans.Results = run.table.AppendTopResults(ans.Results[:0])
+	ans.Exact = certified && !run.cutoffFired && !run.prunedAny
+	ans.Access = run.acc
+	ans.UsersSettled = run.settled
+	return nil
 }
 
-type candidate struct {
-	lower float64 // confirmed score mass (social seen + exact global part)
-	rem   int64   // Σ_t gtf(i,t) − Σ_t seen social tf(i,t)
-}
-
+// mergeRun is the per-query working state of SocialMerge: the candidate
+// table with its incremental top-k, the per-tag cursors, and the access
+// accounting. Runs are recycled through the engine's pool so the warm
+// read path performs no allocation; everything here is either reset or
+// overwritten by acquireRun.
 type mergeRun struct {
-	e     *Engine
-	k     int
-	beta  float64
-	tags  []tagstore.TagID
-	cands map[tagstore.ItemID]*candidate
+	e    *Engine
+	k    int
+	beta float64
+	tags []tagstore.TagID // deduped query tags (reused buffer)
+
+	table topk.Table // candidates + incremental top-k/τ
 
 	lists [][]tagstore.Posting // global lists per query tag
 	pos   []int                // cursor per query tag
@@ -113,18 +113,89 @@ type mergeRun struct {
 	cutoffFired bool
 	prunedAny   bool
 
+	// refineFast marks the β = 1 exact-refine execution: the (1−β)
+	// global component is identically zero, so candidate creation skips
+	// the per-tag global random accesses and the sorted-access rounds —
+	// they only matter if a truncated horizon forces a certification
+	// attempt, at which point repairRems reconstructs the state the slow
+	// path would have had.
+	refineFast bool
+
 	// Amortized certification: the O(|candidates|) canStop test runs
 	// only when the frontier bound has decayed materially since the
 	// last test (or periodically), since the bounds it evaluates are
 	// monotone in that bound.
 	lastCheckBound float64
 	sinceLastCheck int
-	// cachedTau is the threshold from the most recent currentTopK call.
-	// Lower bounds only grow, so it is a valid (conservative) stand-in
+	// cachedTau is the threshold as of the most recent canStop. The
+	// incremental τ only grows, so it is a valid (conservative) stand-in
 	// wherever a stale-but-sound threshold suffices, e.g. the landmark
 	// prune test.
 	cachedTau float64
+
+	// msrc is the inline horizon adapter used by socialMergeRun.
+	msrc materializedSource
 }
+
+// acquireRun checks a recycled run out of the engine pool and resets it
+// for the query. All retained storage (tag buffer, cursor slices, the
+// candidate table's arrays) is reused.
+func (e *Engine) acquireRun(q Query, opts Options) *mergeRun {
+	r, _ := e.runs.Get().(*mergeRun)
+	if r == nil {
+		r = &mergeRun{}
+	}
+	r.e = e
+	r.k = q.K
+	r.beta = e.beta
+	// Dedup tags preserving first-occurrence order. Query tag sets are
+	// tiny, so the quadratic scan beats a map and allocates nothing.
+	r.tags = r.tags[:0]
+	for _, t := range q.Tags {
+		dup := false
+		for _, u := range r.tags {
+			if u == t {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			r.tags = append(r.tags, t)
+		}
+	}
+	if cap(r.lists) < len(r.tags) {
+		r.lists = make([][]tagstore.Posting, len(r.tags))
+		r.pos = make([]int, len(r.tags))
+	}
+	r.lists = r.lists[:len(r.tags)]
+	r.pos = r.pos[:len(r.tags)]
+	for i, t := range r.tags {
+		r.lists[i] = e.store.GlobalList(t)
+		r.pos[i] = 0
+	}
+	r.table.Reset(e.store.NumItems(), q.K)
+	r.acc = topk.Access{}
+	r.settled = 0
+	r.cutoffFired = false
+	r.prunedAny = false
+	r.refineFast = opts.RefineScores && r.beta == 1
+	r.lastCheckBound = 0
+	r.sinceLastCheck = 0
+	r.cachedTau = 0
+	return r
+}
+
+func (e *Engine) releaseRun(r *mergeRun) {
+	for i := range r.lists {
+		r.lists[i] = nil // do not pin posting lists while pooled
+	}
+	r.msrc = materializedSource{}
+	e.runs.Put(r)
+}
+
+// runPool is the engine-scoped mergeRun pool type; a dedicated type
+// keeps the Engine declaration readable.
+type runPool = sync.Pool
 
 // barSum returns Σ_t bar(t): the sum over query tags of the frequency at
 // the current global-list cursor (0 for exhausted lists). Any item never
@@ -157,25 +228,29 @@ func (r *mergeRun) advanceCursors() bool {
 	return moved
 }
 
-// ensureCandidate returns the candidate entry for an item, creating it
-// on first sight: the creation random-accesses the item's global
-// frequency under every query tag, initializing rem and the exact
-// (1−β)-weighted global score part.
-func (r *mergeRun) ensureCandidate(item tagstore.ItemID) *candidate {
-	if c, ok := r.cands[item]; ok {
-		return c
+// ensureCandidate returns the table index for an item, creating the
+// candidate on first sight: the creation random-accesses the item's
+// global frequency under every query tag, initializing rem and the
+// exact (1−β)-weighted global score part. The β = 1 fast path defers
+// that work (see refineFast / repairRems).
+func (r *mergeRun) ensureCandidate(item tagstore.ItemID) int32 {
+	idx, created := r.table.Ensure(item)
+	if !created || r.refineFast {
+		return idx
 	}
-	c := &candidate{}
 	var gsum int64
 	for _, t := range r.tags {
 		g := r.e.store.GlobalTF(item, t)
 		r.acc.Random++
 		gsum += int64(g)
 	}
-	c.rem = gsum
-	c.lower = (1 - r.beta) * float64(gsum)
-	r.cands[item] = c
-	return c
+	c := r.table.At(idx)
+	c.Rem = gsum
+	c.Lower = (1 - r.beta) * float64(gsum)
+	if c.Lower > 0 {
+		r.table.Promote(idx)
+	}
+	return idx
 }
 
 // settleUser consumes the per-tag posting lists of user v at proximity σ.
@@ -188,47 +263,59 @@ func (r *mergeRun) settleUser(v int32, sigma float64) {
 	for _, t := range r.tags {
 		for _, up := range r.e.store.UserList(v, t) {
 			r.acc.Sequential++
-			c := r.ensureCandidate(up.Item)
-			c.lower += r.beta * sigma * float64(up.TF)
-			c.rem -= int64(up.TF)
+			idx := r.ensureCandidate(up.Item)
+			c := r.table.At(idx)
+			c.Lower += r.beta * sigma * float64(up.TF)
+			c.Rem -= int64(up.TF)
+			// σ, β and tf are all positive here, so Lower > 0 and the
+			// candidate is promotable.
+			r.table.Promote(idx)
 		}
 	}
 }
 
-// currentTopK selects the k best candidates by confirmed lower bound and
-// returns the threshold (k-th best lower, 0 when fewer than k positive
-// candidates exist) and the member set.
-func (r *mergeRun) currentTopK() (float64, map[tagstore.ItemID]bool) {
-	h := topk.NewHeap(r.k)
-	for item, c := range r.cands {
-		if c.lower > 0 {
-			h.Offer(item, c.lower)
+// repairRems switches a β = 1 fast-path run back to fully initialized
+// candidates: every tracked candidate gains its deferred Σ_t gtf(i,t)
+// remainder mass (with the same random-access accounting the slow path
+// would have paid at creation). Lower bounds need no repair — the
+// (1−β) global component is zero. After the call, newly discovered
+// candidates initialize fully again.
+func (r *mergeRun) repairRems() {
+	r.refineFast = false
+	all := r.table.All()
+	for i := range all {
+		c := &all[i]
+		var gsum int64
+		for _, t := range r.tags {
+			g := r.e.store.GlobalTF(c.Item, t)
+			r.acc.Random++
+			gsum += int64(g)
 		}
+		c.Rem += gsum
 	}
-	members := make(map[tagstore.ItemID]bool, r.k)
-	for _, res := range h.Results() {
-		members[res.Item] = true
-	}
-	r.cachedTau = h.Threshold()
-	return r.cachedTau, members
 }
 
 const certEps = 1e-12
 
 // canStop reports whether, given the frontier bound σnext, the current
 // top-k set is certified exact: its threshold dominates every other
-// candidate's upper bound and the bound on completely unseen items.
+// candidate's upper bound and the bound on completely unseen items. τ
+// and the member set are maintained incrementally by the table, so the
+// test is one contiguous scan with no rebuild and no allocation.
 func (r *mergeRun) canStop(sigmaNext float64) bool {
-	tau, members := r.currentTopK()
+	tau := r.table.Tau()
+	r.cachedTau = tau
 	unseen := (r.beta*sigmaNext + (1 - r.beta)) * r.barSum()
 	if tau < unseen-certEps {
 		return false
 	}
-	for item, c := range r.cands {
-		if members[item] {
+	all := r.table.All()
+	for i := range all {
+		c := &all[i]
+		if c.InTopK() {
 			continue
 		}
-		upper := c.lower + r.beta*sigmaNext*float64(c.rem)
+		upper := c.Lower + r.beta*sigmaNext*float64(c.Rem)
 		if tau < upper-certEps {
 			return false
 		}
@@ -293,8 +380,12 @@ func (r *mergeRun) mainLoop(src userSource, seeker graph.UserID, opts Options) (
 		r.settleUser(entry.User, entry.Prox)
 		// One round of sorted access per settle: discovers globally hot
 		// candidates early and walks the unseen-item bar down the Zipf
-		// tail, which is what lets the unseen bound release.
-		r.advanceCursors()
+		// tail, which is what lets the unseen bound release. The β = 1
+		// refine path skips this — it terminates by exhaustion, not by
+		// the bound, and a zero-σ certification needs no bar.
+		if !r.refineFast {
+			r.advanceCursors()
+		}
 		if opts.MaxUsers > 0 && r.settled >= opts.MaxUsers {
 			r.cutoffFired = true
 			break
@@ -303,6 +394,27 @@ func (r *mergeRun) mainLoop(src userSource, seeker graph.UserID, opts Options) (
 	// Source exhausted or cutoff: the residual bound still applies to
 	// all unvisited users (0 for a fully drained graph frontier).
 	residual := src.Bound()
+	if r.refineFast {
+		// β = 1 exact refine. With a zero residual (full horizon drained)
+		// the stop test holds vacuously: the unseen bound and every
+		// remainder term carry a σ·β factor of zero. Only a truncated
+		// horizon needs the real test — rebuild exactly the state the
+		// slow path would have had (remainders and the settled-many
+		// sorted-access rounds), then certify against the residual.
+		if residual > 0 && !r.cutoffFired {
+			r.repairRems()
+			for i := 0; i < r.settled; i++ {
+				r.advanceCursors()
+			}
+			if r.canStop(residual) {
+				return true, nil
+			}
+			// Draining the global lists cannot shrink the residual term,
+			// so the answer is inherently approximate.
+			r.cutoffFired = true
+		}
+		return true, nil
+	}
 	if residual > 0 && !r.cutoffFired {
 		// A truncated materialized source ran out with users possibly
 		// remaining beyond its horizon. Attempt one certification with

@@ -43,10 +43,11 @@ func (e *Engine) SocialTA(q Query, opts Options) (Answer, error) {
 	// Materialize σ. The iterator honours the approximation bounds; an
 	// unbounded run is equivalent to proximity.All.
 	prox := make([]float64, e.g.NumUsers())
-	it, err := proximity.NewIterator(e.g, q.Seeker, e.prox)
+	it, err := proximity.AcquireIterator(e.g, q.Seeker, e.prox)
 	if err != nil {
 		return Answer{}, err
 	}
+	defer it.Release()
 	settled := 0
 	sigmaMax := 0.0
 	cutoff := false

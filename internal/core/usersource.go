@@ -31,14 +31,23 @@ func (e *Engine) newUserSource(seeker graph.UserID, opts Options) (userSource, e
 	if opts.UseNeighborhoods {
 		return e.neighbors.source(seeker), nil
 	}
-	it, err := proximity.NewIterator(e.g, seeker, e.prox)
+	it, err := proximity.AcquireIterator(e.g, seeker, e.prox)
 	if err != nil {
 		return nil, err
 	}
 	return (*iteratorSource)(it), nil
 }
 
-// iteratorSource adapts proximity.Iterator to userSource.
+// releaseSource returns a pooled live-expansion source; materialized
+// sources own no recyclable state and pass through.
+func releaseSource(src userSource) {
+	if s, ok := src.(*iteratorSource); ok {
+		(*proximity.Iterator)(s).Release()
+	}
+}
+
+// iteratorSource adapts proximity.Iterator to userSource. The named-type
+// pointer conversion keeps the adapter allocation-free.
 type iteratorSource proximity.Iterator
 
 func (s *iteratorSource) Next() (proximity.Entry, bool) {

@@ -217,6 +217,19 @@ func (x *Executor) QueryBatch(queries []core.Query, opts core.Options) []Result 
 // Per-query Beta rebuilds an index-free engine view, so SocialTA is
 // unavailable under an override.
 func (x *Executor) Do(ctx context.Context, req search.Request) (search.Response, error) {
+	return x.do(ctx, req, nil)
+}
+
+// execBurst carries one batch worker's horizon across a same-seeker run
+// of requests when caching is disabled: the first request materializes,
+// the rest reuse — one graph pass amortized over the burst.
+type execBurst struct {
+	eng    *core.Engine
+	seeker graph.UserID
+	h      *core.SeekerHorizon
+}
+
+func (x *Executor) do(ctx context.Context, req search.Request, bst *execBurst) (search.Response, error) {
 	if err := req.Normalize(); err != nil {
 		return search.Response{}, err
 	}
@@ -253,16 +266,19 @@ func (x *Executor) Do(ctx context.Context, req search.Request) (search.Response,
 		}
 	}
 
+	if req.NoCache {
+		bst = nil // NoCache promises a fresh horizon; no burst reuse
+	}
 	ex := &search.Explain{Mode: req.Mode.String(), Beta: eng.Beta()}
 	q := core.Query{Seeker: graph.UserID(seeker), Tags: tags, K: req.K + req.Offset}
 	var ans core.Answer
 	switch req.Mode {
 	case search.ModeExact:
 		ex.Algorithm = planner.SocialMerge.String()
-		ans, err = x.horizonMerge(ctx, eng, q, req, core.Options{RefineScores: true, Ctx: ctx}, ex)
+		ans, err = x.horizonMerge(ctx, eng, q, req, core.Options{RefineScores: true, Ctx: ctx}, bst, ex)
 	case search.ModeApprox:
 		ex.Algorithm = planner.SocialMerge.String()
-		ans, err = x.horizonMerge(ctx, eng, q, req, core.Options{Ctx: ctx}, ex)
+		ans, err = x.horizonMerge(ctx, eng, q, req, core.Options{Ctx: ctx}, bst, ex)
 	default: // ModeAuto
 		var alg planner.Algorithm
 		if req.AlgHint != "" {
@@ -281,7 +297,7 @@ func (x *Executor) Do(ctx context.Context, req search.Request) (search.Response,
 		}
 		ex.Algorithm = alg.String()
 		if alg == planner.SocialMerge {
-			ans, err = x.horizonMerge(ctx, eng, q, req, core.Options{Ctx: ctx}, ex)
+			ans, err = x.horizonMerge(ctx, eng, q, req, core.Options{Ctx: ctx}, bst, ex)
 		} else {
 			ans, err = p.Run(ctx, alg, q)
 		}
@@ -313,8 +329,22 @@ func (x *Executor) Do(ctx context.Context, req search.Request) (search.Response,
 }
 
 // horizonMerge runs a SocialMerge-family query through the horizon
-// cache, recording cache provenance in ex.
-func (x *Executor) horizonMerge(ctx context.Context, eng *core.Engine, q core.Query, req search.Request, opts core.Options, ex *search.Explain) (core.Answer, error) {
+// cache, recording cache provenance in ex. With caching disabled, a
+// batch worker's burst state stands in for the cache across a
+// same-seeker run of requests.
+func (x *Executor) horizonMerge(ctx context.Context, eng *core.Engine, q core.Query, req search.Request, opts core.Options, bst *execBurst, ex *search.Explain) (core.Answer, error) {
+	if x.caches == nil && bst != nil {
+		if bst.h == nil || bst.eng != eng || bst.seeker != q.Seeker {
+			h, err := x.engine.MaterializeHorizonCtx(ctx, q.Seeker, x.cfg.MaxHorizonUsers)
+			if err != nil {
+				return core.Answer{}, err
+			}
+			bst.eng, bst.seeker, bst.h = eng, q.Seeker, h
+		}
+		ex.HorizonUsers = bst.h.Size()
+		ex.HorizonResidual = bst.h.Residual()
+		return eng.SocialMergeWithHorizon(q, bst.h, opts)
+	}
 	maxAge := time.Duration(req.MaxCacheAgeMS) * time.Millisecond
 	h, hit, cshard, gen, err := x.horizonFor(ctx, q.Seeker, req.NoCache, maxAge)
 	if err != nil {
@@ -340,33 +370,50 @@ func (x *Executor) DoBatch(ctx context.Context, reqs []search.Request) []search.
 	if len(reqs) == 0 {
 		return out
 	}
-	workers := x.cfg.Workers
-	if workers > len(reqs) {
-		workers = len(reqs)
+	// Group request indexes by seeker, preserving first-seen order, so a
+	// same-seeker burst runs back-to-back on one worker: the first query
+	// pays the horizon expansion, the rest reuse it (through the cache
+	// shard, or carried burst state when caching is off).
+	groups := make(map[string][]int, len(reqs))
+	order := make([]string, 0, len(reqs))
+	for i, r := range reqs {
+		if _, ok := groups[r.Seeker]; !ok {
+			order = append(order, r.Seeker)
+		}
+		groups[r.Seeker] = append(groups[r.Seeker], i)
 	}
-	jobs := make(chan int)
+	workers := x.cfg.Workers
+	if workers > len(order) {
+		workers = len(order)
+	}
+	jobs := make(chan []int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range jobs {
-				if err := ctx.Err(); err != nil {
-					out[i] = search.BatchResult{Err: err}
-					continue
+			for idxs := range jobs {
+				var bst execBurst
+				for _, i := range idxs {
+					if err := ctx.Err(); err != nil {
+						out[i] = search.BatchResult{Err: err}
+						continue
+					}
+					resp, err := x.do(ctx, reqs[i], &bst)
+					out[i] = search.BatchResult{Response: resp, Err: err}
 				}
-				resp, err := x.Do(ctx, reqs[i])
-				out[i] = search.BatchResult{Response: resp, Err: err}
 			}
 		}()
 	}
 dispatch:
-	for i := range reqs {
+	for gi, seeker := range order {
 		select {
-		case jobs <- i:
+		case jobs <- groups[seeker]:
 		case <-ctx.Done():
-			for j := i; j < len(reqs); j++ {
-				out[j] = search.BatchResult{Err: ctx.Err()}
+			for _, sk := range order[gi:] {
+				for _, j := range groups[sk] {
+					out[j] = search.BatchResult{Err: ctx.Err()}
+				}
 			}
 			break dispatch
 		}

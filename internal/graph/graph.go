@@ -145,6 +145,63 @@ func (s nbrSorter) Swap(i, j int) {
 	s.wts[a], s.wts[b] = s.wts[b], s.wts[a]
 }
 
+// FromSortedEdges builds a Graph directly from edges that are already
+// canonical: each undirected edge reported exactly once with U < V,
+// strictly sorted by (U, V). This is the flat load path for on-disk
+// formats (internal/index, internal/pagestore) whose writers emit
+// canonical edges — it constructs the CSR arrays in two linear passes
+// with no deduplication map and no re-sort. Per-vertex adjacency comes
+// out sorted by construction: row u receives its smaller neighbours
+// (from edges ending at u, which precede u's own run in the input
+// order) before its larger ones (from u's own run), both ascending.
+// Violations of canonical form are rejected, so a corrupt or hand-built
+// input falls back to the Builder path cleanly.
+func FromSortedEdges(numUsers int, edges []Edge) (*Graph, error) {
+	n := numUsers
+	if n < 0 {
+		return nil, errors.New("graph: negative user count")
+	}
+	for i, e := range edges {
+		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
+		}
+		if e.U >= e.V {
+			return nil, fmt.Errorf("graph: edge (%d,%d) not canonical (want U < V)", e.U, e.V)
+		}
+		if e.Weight <= 0 || e.Weight > 1 {
+			return nil, fmt.Errorf("graph: edge (%d,%d) weight %g outside (0,1]", e.U, e.V, e.Weight)
+		}
+		if i > 0 {
+			p := edges[i-1]
+			if e.U < p.U || (e.U == p.U && e.V <= p.V) {
+				return nil, fmt.Errorf("graph: edges not strictly sorted at (%d,%d)", e.U, e.V)
+			}
+		}
+	}
+	offsets := make([]int32, n+1)
+	for _, e := range edges {
+		offsets[e.U+1]++
+		offsets[e.V+1]++
+	}
+	for i := 0; i < n; i++ {
+		offsets[i+1] += offsets[i]
+	}
+	m2 := int(offsets[n])
+	adj := make([]UserID, m2)
+	wts := make([]float64, m2)
+	cursor := make([]int32, n)
+	copy(cursor, offsets[:n])
+	for _, e := range edges {
+		p := cursor[e.U]
+		adj[p], wts[p] = e.V, e.Weight
+		cursor[e.U]++
+		p = cursor[e.V]
+		adj[p], wts[p] = e.U, e.Weight
+		cursor[e.V]++
+	}
+	return &Graph{numUsers: n, offsets: offsets, adj: adj, weights: wts}, nil
+}
+
 // Graph is an immutable weighted undirected graph in CSR form.
 // The zero value is an empty graph.
 type Graph struct {
@@ -152,6 +209,13 @@ type Graph struct {
 	offsets  []int32 // len numUsers+1
 	adj      []UserID
 	weights  []float64
+}
+
+// CSR exposes the flat adjacency arrays: offsets (len NumUsers+1) into
+// adj/weights. The slices alias internal storage and must not be
+// modified; they are the zero-copy export for paged/on-disk layouts.
+func (g *Graph) CSR() (offsets []int32, adj []UserID, weights []float64) {
+	return g.offsets, g.adj, g.weights
 }
 
 // NumUsers reports the number of vertices.

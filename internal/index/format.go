@@ -151,7 +151,11 @@ func decodePayload(br *bufio.Reader) (*graph.Graph, *tagstore.Store, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	gb := graph.NewBuilder(int(numUsers))
+	// The writer emits canonical edges (each once, U < V, sorted by
+	// (U, V)), so the graph is assembled straight into its flat CSR
+	// arrays — no dedup map, no re-sort. FromSortedEdges validates
+	// canonical form, so a corrupt stream still fails cleanly.
+	edges := make([]graph.Edge, 0, int(numEdges))
 	prevU := int32(0)
 	for i := uint64(0); i < numEdges; i++ {
 		du, err := getUvarint(br)
@@ -168,7 +172,10 @@ func decodePayload(br *bufio.Reader) (*graph.Graph, *tagstore.Store, error) {
 		}
 		u := prevU + int32(du)
 		prevU = u
-		gb.AddEdge(u, int32(v), math.Float64frombits(binary.LittleEndian.Uint64(wb[:])))
+		edges = append(edges, graph.Edge{
+			U: u, V: int32(v),
+			Weight: math.Float64frombits(binary.LittleEndian.Uint64(wb[:])),
+		})
 	}
 
 	su, err := getUvarint(br)
@@ -223,7 +230,7 @@ func decodePayload(br *bufio.Reader) (*graph.Graph, *tagstore.Store, error) {
 		return nil, nil, fmt.Errorf("index: %d trailing bytes after payload", br.Buffered()+1)
 	}
 
-	g, err := gb.Build()
+	g, err := graph.FromSortedEdges(int(numUsers), edges)
 	if err != nil {
 		return nil, nil, fmt.Errorf("index: rebuilding graph: %w", err)
 	}

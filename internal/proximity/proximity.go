@@ -25,6 +25,7 @@ package proximity
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/graph"
 )
@@ -76,36 +77,94 @@ type Entry struct {
 // Iterator incrementally enumerates users by non-increasing proximity.
 // It implements lazy Dijkstra over the max-product semiring: each Next
 // call settles exactly one user and relaxes its out-edges.
+//
+// Per-user state is epoch-stamped rather than cleared: touched[v] ==
+// epoch marks best[v] valid for the current expansion, and a settled
+// user is encoded as best[v] < 0. Re-initializing an iterator for a new
+// seeker therefore costs O(1), which is what makes pooling
+// (AcquireIterator/Release) allocation-free and cheap.
 type Iterator struct {
 	g        *graph.Graph
 	params   Params
-	settled  []bool
-	best     []float64
-	hops     []int32
+	epoch    uint32
+	touched  []uint32  // stamp: best[v] is valid for this expansion
+	best     []float64 // tentative proximity; < 0 once settled
 	pq       frontierHeap
 	expanded int
 }
 
-// NewIterator starts an expansion around seeker. It performs O(1) work
-// besides allocating the per-user state arrays.
-func NewIterator(g *graph.Graph, seeker graph.UserID, params Params) (*Iterator, error) {
+// settledMark is the best[] sentinel for a settled user: every real
+// proximity is positive, so a negative value is unambiguous.
+const settledMark = -1.0
+
+// reset prepares the iterator for a fresh expansion, reusing all
+// retained storage.
+func (it *Iterator) reset(g *graph.Graph, seeker graph.UserID, params Params) error {
 	if err := params.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 	n := g.NumUsers()
 	if seeker < 0 || int(seeker) >= n {
-		return nil, fmt.Errorf("proximity: seeker %d outside [0,%d)", seeker, n)
+		return fmt.Errorf("proximity: seeker %d outside [0,%d)", seeker, n)
 	}
-	it := &Iterator{
-		g:       g,
-		params:  params,
-		settled: make([]bool, n),
-		best:    make([]float64, n),
-		hops:    make([]int32, n),
+	it.g = g
+	it.params = params
+	if len(it.touched) < n {
+		it.touched = make([]uint32, n)
+		it.best = make([]float64, n)
+		it.epoch = 0 // fresh zeroed stamps: any epoch ≥ 1 is valid
 	}
+	it.epoch++
+	if it.epoch == 0 { // uint32 wraparound: stale stamps could collide
+		clear(it.touched)
+		it.epoch = 1
+	}
+	it.pq.items = it.pq.items[:0]
+	it.expanded = 0
+	it.touched[seeker] = it.epoch
 	it.best[seeker] = params.SelfWeight
 	it.pq.push(frontierItem{u: seeker, p: params.SelfWeight, h: 0})
+	return nil
+}
+
+// NewIterator starts an expansion around seeker. It performs O(1) work
+// besides allocating the per-user state arrays; prefer AcquireIterator
+// on hot paths, which recycles those arrays through a pool.
+func NewIterator(g *graph.Graph, seeker graph.UserID, params Params) (*Iterator, error) {
+	it := &Iterator{}
+	if err := it.reset(g, seeker, params); err != nil {
+		return nil, err
+	}
 	return it, nil
+}
+
+// iterPool recycles iterators (and their per-user state arrays, sized
+// to the largest graph seen) across expansions.
+var iterPool = sync.Pool{New: func() interface{} { return new(Iterator) }}
+
+// AcquireIterator is NewIterator backed by a package pool: the per-user
+// state arrays and the frontier heap are recycled, so a warm expansion
+// performs no allocation. Callers must Release the iterator when done
+// (and must not use it afterwards).
+func AcquireIterator(g *graph.Graph, seeker graph.UserID, params Params) (*Iterator, error) {
+	it := iterPool.Get().(*Iterator)
+	if err := it.reset(g, seeker, params); err != nil {
+		iterPool.Put(it)
+		return nil, err
+	}
+	return it, nil
+}
+
+// Release returns the iterator to the pool. The iterator must not be
+// used afterwards; the graph reference is dropped so a pooled iterator
+// never pins a superseded snapshot.
+func (it *Iterator) Release() {
+	it.g = nil
+	iterPool.Put(it)
+}
+
+func (it *Iterator) isSettled(u graph.UserID) bool {
+	return it.touched[u] == it.epoch && it.best[u] < 0
 }
 
 // Next settles and returns the next-closest user. ok is false when the
@@ -114,7 +173,7 @@ func NewIterator(g *graph.Graph, seeker graph.UserID, params Params) (*Iterator,
 func (it *Iterator) Next() (e Entry, ok bool) {
 	for it.pq.len() > 0 {
 		item := it.pq.pop()
-		if it.settled[item.u] {
+		if it.isSettled(item.u) {
 			continue
 		}
 		if item.p < it.params.MinSigma {
@@ -122,19 +181,26 @@ func (it *Iterator) Next() (e Entry, ok bool) {
 			it.pq.items = it.pq.items[:0]
 			return Entry{}, false
 		}
-		it.settled[item.u] = true
-		it.hops[item.u] = item.h
+		it.best[item.u] = settledMark
 		it.expanded++
 		nbrs, wts := it.g.Neighbors(item.u)
 		for i, v := range nbrs {
-			if it.settled[v] {
+			cand := item.p * wts[i] * it.params.Alpha
+			if cand < it.params.MinSigma {
+				// Below the horizon floor: σ is defined 0 there, and path
+				// products only shrink, so the frontier never needs it.
+				// Filtering at push time keeps the heap small.
 				continue
 			}
-			cand := item.p * wts[i] * it.params.Alpha
-			if cand > it.best[v] {
-				it.best[v] = cand
-				it.pq.push(frontierItem{u: v, p: cand, h: item.h + 1})
+			if it.touched[v] == it.epoch {
+				if it.best[v] < 0 || cand <= it.best[v] {
+					continue // settled, or no improvement
+				}
+			} else {
+				it.touched[v] = it.epoch
 			}
+			it.best[v] = cand
+			it.pq.push(frontierItem{u: v, p: cand, h: item.h + 1})
 		}
 		return Entry{User: item.u, Prox: item.p, Hops: int(item.h)}, true
 	}
@@ -147,7 +213,7 @@ func (it *Iterator) Next() (e Entry, ok bool) {
 func (it *Iterator) PeekBound() float64 {
 	for it.pq.len() > 0 {
 		top := it.pq.peek()
-		if it.settled[top.u] {
+		if it.isSettled(top.u) {
 			it.pq.pop() // drop stale entry lazily
 			continue
 		}

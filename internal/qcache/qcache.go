@@ -108,6 +108,8 @@ type Cache struct {
 	byMember map[graph.UserID]map[graph.UserID]struct{} // horizon member → seekers
 	wild     map[graph.UserID]struct{}                  // seekers with untracked member sets
 	misses   map[graph.UserID]int                       // per-seeker miss streaks (MinMisses > 1 only)
+	victims  map[graph.UserID]struct{}                  // scratch for InvalidateEdges, reused across calls
+	free     []*entry                                   // recycled entries, bounded by capacity
 	counters metrics.CacheCounters
 }
 
@@ -150,6 +152,7 @@ func NewWithPolicy(capacity int, policy Policy) (*Cache, error) {
 		index:    make(map[graph.UserID]*list.Element),
 		byMember: make(map[graph.UserID]map[graph.UserID]struct{}),
 		wild:     make(map[graph.UserID]struct{}),
+		victims:  make(map[graph.UserID]struct{}),
 	}
 	if policy.MinMisses > 1 {
 		c.misses = make(map[graph.UserID]int)
@@ -196,7 +199,7 @@ func (c *Cache) InvalidateEdges(edges [][2]graph.UserID) int {
 	if c.lru.Len() == 0 {
 		return 0
 	}
-	victims := make(map[graph.UserID]struct{})
+	victims := c.victims
 	for _, e := range edges {
 		for seeker := range c.byMember[e[0]] {
 			victims[seeker] = struct{}{}
@@ -215,6 +218,7 @@ func (c *Cache) InvalidateEdges(edges [][2]graph.UserID) int {
 		}
 	}
 	n := len(victims)
+	clear(victims)
 	c.counters.Invalidation(n)
 	return n
 }
@@ -323,7 +327,15 @@ func (c *Cache) Put(seeker graph.UserID, gen uint64, h *core.SeekerHorizon) bool
 		c.lru.MoveToFront(el)
 		return true
 	}
-	e := &entry{seeker: seeker, gen: gen, at: c.now(), horizon: h}
+	var e *entry
+	if n := len(c.free); n > 0 {
+		e = c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+	} else {
+		e = &entry{}
+	}
+	e.seeker, e.gen, e.at, e.horizon = seeker, gen, c.now(), h
 	c.trackMembersLocked(e)
 	c.index[seeker] = c.lru.PushFront(e)
 	for c.lru.Len() > c.capacity {
@@ -422,10 +434,17 @@ func (c *Cache) Counters() metrics.CacheSnapshot {
 	return c.counters.Snapshot()
 }
 
-// removeLocked unlinks an element. Callers hold c.mu.
+// removeLocked unlinks an element and recycles its entry shell. Only
+// the shell is reused: the horizon it pointed at may still be held by
+// in-flight readers, so it is unreferenced here but never written to.
+// Callers hold c.mu.
 func (c *Cache) removeLocked(el *list.Element) {
 	e := el.Value.(*entry)
 	c.dropMembersLocked(e)
 	c.lru.Remove(el)
 	delete(c.index, e.seeker)
+	e.horizon = nil
+	if len(c.free) < c.capacity {
+		c.free = append(c.free, e)
+	}
 }

@@ -216,7 +216,20 @@ func (r *Request) Normalize() error {
 
 // NormalizeTags is the tag normalization every entry point shares:
 // comma-joined entries are split, whitespace trimmed, blanks dropped.
+// Already-clean input (no commas, no padding, no blanks — the common
+// case for programmatic callers) is returned unchanged, so the serving
+// hot path pays no allocation here.
 func NormalizeTags(chunks []string) []string {
+	clean := true
+	for _, c := range chunks {
+		if c == "" || strings.ContainsRune(c, ',') || strings.TrimSpace(c) != c {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return chunks
+	}
 	var tags []string
 	for _, chunk := range chunks {
 		for _, t := range strings.Split(chunk, ",") {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/graph"
 	"repro/internal/planner"
 	"repro/internal/qcache"
 	"repro/internal/search"
@@ -16,6 +17,26 @@ import (
 // point; Search and SearchBatch are thin positional wrappers kept for
 // embedders of the v1 surface.
 var _ search.Searcher = (*Service)(nil)
+
+// doScratch is the per-query working storage Do recycles through the
+// service pool: id buffers, the engine answer, the name-translated
+// result buffer and the explain record. With it, a warm cached query
+// touches the allocator only if the caller asked for an Explain copy.
+type doScratch struct {
+	tagIDs []int32
+	ans    core.Answer
+	named  []search.Result
+	ex     search.Explain
+}
+
+// burst carries one worker's horizon across a same-seeker run of batch
+// requests when caching is off: the first request materializes, the
+// rest reuse — one graph pass amortized over the burst.
+type burst struct {
+	eng    *core.Engine
+	seeker graph.UserID
+	h      *core.SeekerHorizon
+}
 
 // Do answers one request. The request is validated and canonicalized by
 // search.Request.Normalize — the single place k defaulting, tag
@@ -35,16 +56,44 @@ var _ search.Searcher = (*Service)(nil)
 // only. Cancellation: ctx is checked before name resolution and at the
 // engine's checkpoints inside horizon expansion and the merge loops.
 func (s *Service) Do(ctx context.Context, req search.Request) (search.Response, error) {
-	if err := req.Normalize(); err != nil {
+	var resp search.Response
+	if err := s.DoInto(ctx, req, &resp); err != nil {
 		return search.Response{}, err
+	}
+	return resp, nil
+}
+
+// DoInto is Do writing into a caller-owned Response: resp.Results is
+// reused (truncated and appended to) and resp.Explain is cleared unless
+// the request asks for one. A caller that recycles the Response across
+// queries runs the whole warm cached read path without allocating —
+// the engine working state, the horizon adapter and the result
+// translation all come from pools or the response itself.
+func (s *Service) DoInto(ctx context.Context, req search.Request, resp *search.Response) error {
+	return s.doInto(ctx, req, resp, nil)
+}
+
+func (s *Service) doInto(ctx context.Context, req search.Request, resp *search.Response, bst *burst) error {
+	if err := req.Normalize(); err != nil {
+		return err
 	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if err := ctx.Err(); err != nil {
-		return search.Response{}, err
+		return err
 	}
 
+	sc, _ := s.scratch.Get().(*doScratch)
+	if sc == nil {
+		sc = &doScratch{}
+	}
+	err := s.doIntoScratch(ctx, req, resp, bst, sc)
+	s.scratch.Put(sc)
+	return err
+}
+
+func (s *Service) doIntoScratch(ctx context.Context, req search.Request, resp *search.Response, bst *burst, sc *doScratch) error {
 	// Resolve names and pin the engine snapshot and cache generation
 	// together under the lock: compaction (which may swap both) also
 	// holds it, so the pair is consistent and the query below is a pure
@@ -53,21 +102,21 @@ func (s *Service) Do(ctx context.Context, req search.Request) (search.Response, 
 	uid, ok := s.names.Users.ID(req.Seeker)
 	if !ok {
 		s.mu.Unlock()
-		return search.Response{}, search.WrapInvalid(fmt.Errorf("social: unknown user %q", req.Seeker))
+		return search.WrapInvalid(fmt.Errorf("social: unknown user %q", req.Seeker))
 	}
-	tagIDs := make([]int32, 0, len(req.Tags))
+	sc.tagIDs = sc.tagIDs[:0]
 	for _, t := range req.Tags {
 		id, ok := s.names.Tags.ID(t)
 		if !ok {
 			s.mu.Unlock()
-			return search.Response{}, search.WrapInvalid(fmt.Errorf("social: unknown tag %q", t))
+			return search.WrapInvalid(fmt.Errorf("social: unknown tag %q", t))
 		}
-		tagIDs = append(tagIDs, id)
+		sc.tagIDs = append(sc.tagIDs, id)
 	}
 	eng, err := s.engine.Current()
 	if err != nil {
 		s.mu.Unlock()
-		return search.Response{}, err
+		return err
 	}
 	// Pin the seeker's owning cache shard and its generation together
 	// with the snapshot: compaction (which may swap both) also holds
@@ -93,75 +142,82 @@ func (s *Service) Do(ctx context.Context, req search.Request) (search.Response, 
 			Beta:      *req.Beta,
 		})
 		if err != nil {
-			return search.Response{}, err
+			return err
 		}
 	}
-
-	ex := &search.Explain{Mode: req.Mode.String(), Beta: qeng.Beta(), CacheShard: cacheShard}
-	q := core.Query{Seeker: uid, Tags: tagIDs, K: req.K + req.Offset}
-	ans, err := s.execute(ctx, qeng, q, req, cache, gen, ex)
-	if err != nil {
-		return search.Response{}, err
+	if req.NoCache {
+		bst = nil // NoCache promises a fresh horizon; no burst reuse
 	}
-	ex.Exact = ans.Exact
-	ex.UsersSettled = ans.UsersSettled
-	ex.SequentialAccesses = ans.Access.Sequential
-	ex.RandomAccesses = ans.Access.Random
+
+	sc.ex = search.Explain{Mode: req.Mode.String(), Beta: qeng.Beta(), CacheShard: cacheShard}
+	q := core.Query{Seeker: uid, Tags: sc.tagIDs, K: req.K + req.Offset}
+	if err := s.execute(ctx, qeng, q, req, cache, gen, bst, &sc.ex, &sc.ans); err != nil {
+		return err
+	}
+	sc.ex.Exact = sc.ans.Exact
+	sc.ex.UsersSettled = sc.ans.UsersSettled
+	sc.ex.SequentialAccesses = sc.ans.Access.Sequential
+	sc.ex.RandomAccesses = sc.ans.Access.Random
 
 	// Translate ids back to names under the lock — the dictionaries are
 	// append-only, so every id in the snapshot already has a name, but
 	// concurrent writers may be appending.
 	s.mu.Lock()
-	named := make([]search.Result, 0, len(ans.Results))
-	for _, r := range ans.Results {
+	sc.named = sc.named[:0]
+	for _, r := range sc.ans.Results {
 		name, ok := s.names.Items.Name(r.Item)
 		if !ok {
 			s.mu.Unlock()
-			return search.Response{}, fmt.Errorf("social: unnamed item id %d", r.Item)
+			return fmt.Errorf("social: unnamed item id %d", r.Item)
 		}
-		named = append(named, search.Result{Item: name, Score: r.Score})
+		sc.named = append(sc.named, search.Result{Item: name, Score: r.Score})
 	}
 	s.mu.Unlock()
 
-	results := req.Window(named)
-	if results == nil {
-		results = []search.Result{}
+	results := req.Window(sc.named)
+	// The windowed view aliases scratch storage; copy into the caller's
+	// (reused) buffer. A zero-length make hits the runtime's zero-size
+	// slot, keeping the non-nil Results invariant allocation-free.
+	if resp.Results == nil {
+		resp.Results = make([]search.Result, 0, len(results))
 	}
+	resp.Results = append(resp.Results[:0], results...)
 	if n := len(results); n > 0 {
-		ex.ScoreBound = results[n-1].Score
+		sc.ex.ScoreBound = results[n-1].Score
 	}
-	resp := search.Response{Results: results}
+	resp.Explain = nil
 	if req.Explain {
-		resp.Explain = ex
+		ex := sc.ex
+		resp.Explain = &ex
 	}
-	return resp, nil
+	return nil
 }
 
 // execute runs the id-space query against the pinned snapshot in the
 // requested mode, filling the execution half of ex as it goes. cache is
 // the seeker's owning cache shard (nil when caching is disabled or the
-// request opted out).
-func (s *Service) execute(ctx context.Context, eng *core.Engine, q core.Query, req search.Request, cache *qcache.Cache, gen uint64, ex *search.Explain) (core.Answer, error) {
+// request opted out); ans is the caller's reused answer.
+func (s *Service) execute(ctx context.Context, eng *core.Engine, q core.Query, req search.Request, cache *qcache.Cache, gen uint64, bst *burst, ex *search.Explain, ans *core.Answer) error {
 	maxAge := time.Duration(req.MaxCacheAgeMS) * time.Millisecond
 	switch req.Mode {
 	case search.ModeExact:
 		ex.Algorithm = planner.SocialMerge.String()
-		return s.horizonAnswer(ctx, eng, q, cache, gen, maxAge, core.Options{RefineScores: true, Ctx: ctx}, ex)
+		return s.horizonAnswer(ctx, eng, q, cache, gen, maxAge, core.Options{RefineScores: true, Ctx: ctx}, bst, ex, ans)
 	case search.ModeApprox:
 		ex.Algorithm = planner.SocialMerge.String()
-		return s.horizonAnswer(ctx, eng, q, cache, gen, maxAge, core.Options{Ctx: ctx}, ex)
+		return s.horizonAnswer(ctx, eng, q, cache, gen, maxAge, core.Options{Ctx: ctx}, bst, ex, ans)
 	}
 	// ModeAuto: plan (or obey the hint), then run — SocialMerge plans go
 	// through the horizon cache, everything else runs directly.
 	p, err := planner.New(eng)
 	if err != nil {
-		return core.Answer{}, err
+		return err
 	}
 	var alg planner.Algorithm
 	if req.AlgHint != "" {
 		alg, _ = planner.ParseAlgorithm(req.AlgHint) // Normalize vetted the spelling
 		if !p.Available(alg) {
-			return core.Answer{}, search.WrapInvalid(fmt.Errorf("social: algorithm %s unavailable on this engine (SocialTA needs an item index, GlobalTopK needs beta = 0)", alg))
+			return search.WrapInvalid(fmt.Errorf("social: algorithm %s unavailable on this engine (SocialTA needs an item index, GlobalTopK needs beta = 0)", alg))
 		}
 	} else {
 		plan := p.Plan(q)
@@ -174,9 +230,14 @@ func (s *Service) execute(ctx context.Context, eng *core.Engine, q core.Query, r
 	}
 	ex.Algorithm = alg.String()
 	if alg == planner.SocialMerge {
-		return s.horizonAnswer(ctx, eng, q, cache, gen, maxAge, core.Options{Ctx: ctx}, ex)
+		return s.horizonAnswer(ctx, eng, q, cache, gen, maxAge, core.Options{Ctx: ctx}, bst, ex, ans)
 	}
-	return p.Run(ctx, alg, q)
+	a, err := p.Run(ctx, alg, q)
+	if err != nil {
+		return err
+	}
+	*ans = a
+	return nil
 }
 
 // horizonAnswer executes a SocialMerge-family query through the
@@ -185,18 +246,35 @@ func (s *Service) execute(ctx context.Context, eng *core.Engine, q core.Query, r
 // under that generation (and younger than maxAge, when positive), and a
 // freshly materialized one is offered back under the same stamp
 // (refused if the graph moved meanwhile).
-func (s *Service) horizonAnswer(ctx context.Context, eng *core.Engine, q core.Query, cache *qcache.Cache, gen uint64, maxAge time.Duration, opts core.Options, ex *search.Explain) (core.Answer, error) {
+func (s *Service) horizonAnswer(ctx context.Context, eng *core.Engine, q core.Query, cache *qcache.Cache, gen uint64, maxAge time.Duration, opts core.Options, bst *burst, ex *search.Explain, ans *core.Answer) error {
 	if cache == nil {
-		// No cache (disabled, or the request opted out): run the lazy
+		// No cache shard pinned. A same-seeker batch burst still gets to
+		// amortize the expansion: the worker carries the horizon of its
+		// previous request and the answers are identical either way (the
+		// materialized stream replays the live expansion's entries and
+		// bounds verbatim).
+		if bst != nil {
+			if bst.h == nil || bst.eng != eng || bst.seeker != q.Seeker {
+				h, err := eng.MaterializeHorizonCtx(ctx, q.Seeker, s.cfg.MaxHorizonUsers)
+				if err != nil {
+					return err
+				}
+				bst.eng, bst.seeker, bst.h = eng, q.Seeker, h
+			}
+			ex.HorizonUsers = bst.h.Size()
+			ex.HorizonResidual = bst.h.Residual()
+			return eng.SocialMergeWithHorizonInto(q, bst.h, opts, ans)
+		}
+		// Single query, caching disabled (or opted out): run the lazy
 		// incremental expansion — cheaper than materializing a full
 		// horizon nobody will reuse.
-		return eng.SocialMerge(q, opts)
+		return eng.SocialMergeInto(q, opts, ans)
 	}
 	h, hit := cache.Lookup(q.Seeker, gen, maxAge)
 	if !hit {
 		var err error
 		if h, err = eng.MaterializeHorizonCtx(ctx, q.Seeker, s.cfg.MaxHorizonUsers); err != nil {
-			return core.Answer{}, err
+			return err
 		}
 		cache.Put(q.Seeker, gen, h)
 	}
@@ -204,15 +282,19 @@ func (s *Service) horizonAnswer(ctx context.Context, eng *core.Engine, q core.Qu
 	ex.CacheGeneration = gen
 	ex.HorizonUsers = h.Size()
 	ex.HorizonResidual = h.Residual()
-	return eng.SocialMergeWithHorizon(q, h, opts)
+	return eng.SocialMergeWithHorizonInto(q, h, opts, ans)
 }
 
 // DoBatch answers many requests concurrently on a pool of
 // cfg.BatchWorkers workers, returning outcomes in input order with
-// per-request error reporting. Cancellation is honoured at three
-// levels: requests not yet handed to a worker fail immediately with
-// ctx.Err(), workers skip queued requests once the context is done, and
-// in-flight executions abort at the engine's next checkpoint.
+// per-request error reporting. Requests are grouped by seeker and each
+// group runs back-to-back on one worker, so a burst of same-seeker
+// queries pays for at most one horizon expansion — through the cache
+// shard when caching is on, or worker-carried burst state when it is
+// off. Cancellation is honoured at three levels: requests not yet
+// handed to a worker fail immediately with ctx.Err(), workers skip
+// queued requests once the context is done, and in-flight executions
+// abort at the engine's next checkpoint.
 func (s *Service) DoBatch(ctx context.Context, reqs []search.Request) []search.BatchResult {
 	if ctx == nil {
 		ctx = context.Background()
@@ -221,34 +303,53 @@ func (s *Service) DoBatch(ctx context.Context, reqs []search.Request) []search.B
 	if len(reqs) == 0 {
 		return out
 	}
-	workers := s.cfg.BatchWorkers
-	if workers > len(reqs) {
-		workers = len(reqs)
+	// Group request indexes by seeker, preserving first-seen order.
+	groups := make(map[string][]int, len(reqs))
+	order := make([]string, 0, len(reqs))
+	for i, r := range reqs {
+		if _, ok := groups[r.Seeker]; !ok {
+			order = append(order, r.Seeker)
+		}
+		groups[r.Seeker] = append(groups[r.Seeker], i)
 	}
-	jobs := make(chan int)
+	workers := s.cfg.BatchWorkers
+	if workers > len(order) {
+		workers = len(order)
+	}
+	jobs := make(chan []int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range jobs {
-				if err := ctx.Err(); err != nil {
-					out[i] = search.BatchResult{Err: err}
-					continue
+			for idxs := range jobs {
+				var bst burst
+				for _, i := range idxs {
+					if err := ctx.Err(); err != nil {
+						out[i] = search.BatchResult{Err: err}
+						continue
+					}
+					var resp search.Response
+					err := s.doInto(ctx, reqs[i], &resp, &bst)
+					if err != nil {
+						out[i] = search.BatchResult{Err: err}
+					} else {
+						out[i] = search.BatchResult{Response: resp}
+					}
 				}
-				resp, err := s.Do(ctx, reqs[i])
-				out[i] = search.BatchResult{Response: resp, Err: err}
 			}
 		}()
 	}
 dispatch:
-	for i := range reqs {
+	for gi, seeker := range order {
 		select {
-		case jobs <- i:
+		case jobs <- groups[seeker]:
 		case <-ctx.Done():
 			// Everything not yet dispatched fails without executing.
-			for j := i; j < len(reqs); j++ {
-				out[j] = search.BatchResult{Err: ctx.Err()}
+			for _, sk := range order[gi:] {
+				for _, j := range groups[sk] {
+					out[j] = search.BatchResult{Err: ctx.Err()}
+				}
 			}
 			break dispatch
 		}

@@ -127,6 +127,10 @@ type Service struct {
 	cfg    ServiceConfig
 	caches *shard.Caches // nil when caching is disabled
 
+	// scratch recycles per-query working storage (see doScratch) so the
+	// warm read path allocates nothing.
+	scratch sync.Pool
+
 	mu           sync.Mutex
 	names        *vocab.Set
 	overlay      *overlay.Overlay

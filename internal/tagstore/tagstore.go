@@ -132,30 +132,30 @@ type Store struct {
 	// maxTF[t] = largest global TF of any item under tag t (0 if none)
 	maxTF []int32
 
-	// per-(user,tag) posting lists: userTagKeys maps packed key → slice
-	// into userPostings. Built as flat sorted structures for memory
-	// efficiency.
-	userTagOff   map[uint64]int32 // packed(user,tag) → offset into userPostings
-	userTagLen   map[uint64]int32
+	// Per-user tag CSR: user u's distinct tags are
+	// utTags[utStart[u]:utStart[u+1]] (sorted ascending), and the tag at
+	// index j owns userPostings[utOff[j] : utOff[j]+utLen[j]]. A flat
+	// binary search over the (small) per-user tag segment replaces the
+	// packed-key hash lookups the random-access path used to pay per
+	// settled user — no hashing, no map runtime, cache-local.
+	utStart      []int32 // len numUsers+1
+	utTags       []TagID // parallel to utOff/utLen
+	utOff        []int32
+	utLen        []int32
 	userPostings []UserPosting
 
-	// userTags[u] = sorted distinct tags used by u
-	userTags [][]TagID
+	// Per-item tag CSR for gtf(i, t): item i's tags are
+	// itTags[itStart[i]:itStart[i+1]] (sorted ascending) with their
+	// global frequencies in itTF. Replaces the packed-key global point
+	// map on the candidate-creation path.
+	itStart []int32 // len numItems+1
+	itTags  []TagID
+	itTF    []int32
 
 	// point lookup (user,item,tag) → count
 	point map[uint64]int32
-	// point lookup (tag,item) → global count
-	globalPoint map[uint64]int32
 
 	totalAnnotations int64
-}
-
-func packTI(tag TagID, item ItemID) uint64 {
-	return uint64(uint32(tag))<<32 | uint64(uint32(item))
-}
-
-func packUT(user int32, tag TagID) uint64 {
-	return uint64(uint32(user))<<32 | uint64(uint32(tag))
 }
 
 func packUIT(user int32, item ItemID, tag TagID) uint64 {
@@ -178,10 +178,8 @@ func (s *Store) buildIndexes() {
 		s.totalAnnotations += int64(tr.Count)
 	}
 	s.global = make([][]Posting, s.numTags)
-	s.globalPoint = make(map[uint64]int32, len(agg))
 	for k, c := range agg {
 		s.global[k.t] = append(s.global[k.t], Posting{Item: k.i, TF: c})
-		s.globalPoint[packTI(k.t, k.i)] = c
 	}
 	s.maxTF = make([]int32, s.numTags)
 	for t := range s.global {
@@ -197,12 +195,42 @@ func (s *Store) buildIndexes() {
 		}
 	}
 
+	// Per-item tag CSR: the same (tag, item) aggregates keyed by item.
+	type it struct {
+		i ItemID
+		t TagID
+		c int32
+	}
+	flat := make([]it, 0, len(agg))
+	for k, c := range agg {
+		flat = append(flat, it{i: k.i, t: k.t, c: c})
+	}
+	sort.Slice(flat, func(a, b int) bool {
+		if flat[a].i != flat[b].i {
+			return flat[a].i < flat[b].i
+		}
+		return flat[a].t < flat[b].t
+	})
+	s.itStart = make([]int32, s.numItems+1)
+	s.itTags = make([]TagID, len(flat))
+	s.itTF = make([]int32, len(flat))
+	cur := 0
+	for j, e := range flat {
+		for cur <= int(e.i) {
+			s.itStart[cur] = int32(j)
+			cur++
+		}
+		s.itTags[j] = e.t
+		s.itTF[j] = e.c
+	}
+	for ; cur <= s.numItems; cur++ {
+		s.itStart[cur] = int32(len(flat))
+	}
+
 	// Per-(user,tag) lists and point index. The triples slice is already
-	// sorted by (user, tag, item), so runs are contiguous.
-	s.userTagOff = make(map[uint64]int32)
-	s.userTagLen = make(map[uint64]int32)
+	// sorted by (user, tag, item), so runs are contiguous and the
+	// per-user CSR segments come out tag-sorted by construction.
 	s.point = make(map[uint64]int32, len(s.triples))
-	s.userTags = make([][]TagID, s.numUsers)
 	usePacked := s.numUsers < maxPackedID && s.numItems < maxPackedID && s.numTags < maxPackedID
 	if !usePacked {
 		// The packed point index would overflow; the evaluated scales
@@ -210,9 +238,15 @@ func (s *Store) buildIndexes() {
 		panic(fmt.Sprintf("tagstore: universe too large for packed index (%d users, %d items, %d tags)",
 			s.numUsers, s.numItems, s.numTags))
 	}
+	s.utStart = make([]int32, s.numUsers+1)
+	userCur := 0
 	i := 0
 	for i < len(s.triples) {
 		u, t := s.triples[i].User, s.triples[i].Tag
+		for userCur <= int(u) {
+			s.utStart[userCur] = int32(len(s.utTags))
+			userCur++
+		}
 		start := len(s.userPostings)
 		j := i
 		for j < len(s.triples) && s.triples[j].User == u && s.triples[j].Tag == t {
@@ -229,12 +263,13 @@ func (s *Store) buildIndexes() {
 			}
 			return seg[a].Item < seg[b].Item
 		})
-		s.userTagOff[packUT(u, t)] = int32(start)
-		s.userTagLen[packUT(u, t)] = int32(j - i)
-		if n := len(s.userTags[u]); n == 0 || s.userTags[u][n-1] != t {
-			s.userTags[u] = append(s.userTags[u], t)
-		}
+		s.utTags = append(s.utTags, t)
+		s.utOff = append(s.utOff, int32(start))
+		s.utLen = append(s.utLen, int32(j-i))
 		i = j
+	}
+	for ; userCur <= s.numUsers; userCur++ {
+		s.utStart[userCur] = int32(len(s.utTags))
 	}
 }
 
@@ -266,29 +301,53 @@ func (s *Store) GlobalList(t TagID) []Posting { return s.global[t] }
 func (s *Store) MaxTF(t TagID) int32 { return s.maxTF[t] }
 
 // UserList returns the posting list of (user u, tag t), sorted by
-// descending frequency, or nil when u never used t.
+// descending frequency, or nil when u never used t. The lookup is a
+// binary search over u's (small, sorted) tag segment in the flat CSR —
+// no hashing, no pointer chasing.
 func (s *Store) UserList(u int32, t TagID) []UserPosting {
-	off, ok := s.userTagOff[packUT(u, t)]
-	if !ok {
-		return nil
+	lo, hi := s.utStart[u], s.utStart[u+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.utTags[mid] < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
 	}
-	n := s.userTagLen[packUT(u, t)]
-	return s.userPostings[off : off+n]
+	if lo < s.utStart[u+1] && s.utTags[lo] == t {
+		off, n := s.utOff[lo], s.utLen[lo]
+		return s.userPostings[off : off+n]
+	}
+	return nil
 }
 
 // UserTags returns the sorted distinct tags user u has used. The slice
 // aliases internal storage.
-func (s *Store) UserTags(u int32) []TagID { return s.userTags[u] }
+func (s *Store) UserTags(u int32) []TagID {
+	return s.utTags[s.utStart[u]:s.utStart[u+1]]
+}
 
 // TF returns tf(u, i, t): how many times user u applied tag t to item i.
 func (s *Store) TF(u int32, i ItemID, t TagID) int32 {
 	return s.point[packUIT(u, i, t)]
 }
 
-// GlobalTF returns the total frequency of tag t on item i across users.
-// The lookup is O(1).
+// GlobalTF returns the total frequency of tag t on item i across users:
+// a binary search over item i's sorted tag segment in the flat CSR.
 func (s *Store) GlobalTF(i ItemID, t TagID) int32 {
-	return s.globalPoint[packTI(t, i)]
+	lo, hi := s.itStart[i], s.itStart[i+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.itTags[mid] < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < s.itStart[i+1] && s.itTags[lo] == t {
+		return s.itTF[lo]
+	}
+	return 0
 }
 
 // Stats summarizes the corpus; it backs Table 1.

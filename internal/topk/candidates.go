@@ -1,6 +1,6 @@
 package topk
 
-import "sort"
+import "slices"
 
 // Candidates is the NRA-style bookkeeping table: for every item observed
 // during list processing it tracks a confirmed lower bound (mass already
@@ -8,8 +8,12 @@ import "sort"
 // still arrive). The upper-bound *remainder* is algorithm-specific, so
 // the table stores only the seen mass and lets the caller supply the
 // remainder when asking questions.
+//
+// Candidates is the general-purpose map-backed table; the query hot
+// path uses the denser, allocation-free Table instead.
 type Candidates struct {
-	seen map[int32]float64
+	seen    map[int32]float64
+	scratch []int32 // reused by FillHeap for deterministic drain order
 }
 
 // NewCandidates returns an empty table.
@@ -34,7 +38,7 @@ func (c *Candidates) Items() []int32 {
 	for i := range c.seen {
 		out = append(out, i)
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	slices.Sort(out)
 	return out
 }
 
@@ -57,10 +61,16 @@ func (c *Candidates) BestUnconfirmed(remainder float64, confirmed map[int32]bool
 
 // FillHeap offers every observed item (plus remainder 0, i.e. its lower
 // bound) into the heap. Used when an algorithm terminates and the lower
-// bounds are final scores.
+// bounds are final scores. Deterministic iteration (sorted ids) goes
+// through a scratch slice reused across drains, so repeated drains do
+// not allocate.
 func (c *Candidates) FillHeap(h *Heap) {
-	// Deterministic iteration: sorted ids.
-	for _, i := range c.Items() {
+	c.scratch = c.scratch[:0]
+	for i := range c.seen {
+		c.scratch = append(c.scratch, i)
+	}
+	slices.Sort(c.scratch)
+	for _, i := range c.scratch {
 		h.Offer(i, c.seen[i])
 	}
 }

@@ -7,7 +7,7 @@ package topk
 
 import (
 	"container/heap"
-	"sort"
+	"slices"
 )
 
 // Result is a scored item in a final answer list.
@@ -76,12 +76,22 @@ func (h *Heap) Results() []Result {
 
 // SortResults orders results by score descending, breaking ties by item
 // id ascending. All algorithms use this order so answers are comparable.
+// slices.SortFunc keeps it allocation-free (sort.Slice boxes through an
+// interface), which matters on the zero-alloc serving path.
 func SortResults(rs []Result) {
-	sort.Slice(rs, func(i, j int) bool {
-		if rs[i].Score != rs[j].Score {
-			return rs[i].Score > rs[j].Score
+	slices.SortFunc(rs, func(a, b Result) int {
+		switch {
+		case a.Score > b.Score:
+			return -1
+		case a.Score < b.Score:
+			return 1
+		case a.Item < b.Item:
+			return -1
+		case a.Item > b.Item:
+			return 1
+		default:
+			return 0
 		}
-		return rs[i].Item < rs[j].Item
 	})
 }
 
