@@ -8,6 +8,8 @@
 //	            [-cache-size 256] [-cache-shards 4] [-cache-ttl 0]
 //	            [-cache-min-horizon 0] [-cache-min-misses 0]
 //	            [-drain 500ms]
+//	            [-admit] [-admit-window 8] [-admit-max-window 256]
+//	            [-admit-queue 128] [-admit-queue-deadline 500ms]
 //	friendserve -replica [-addr :8081] ...
 //	friendserve -replicas http://a:8081,http://b:8082 [-addr :8080]
 //	            [-hedge 0] [-health-interval 1s] [-fail-after 3]
@@ -53,6 +55,15 @@
 // The -cache-* flags tune the sharded seeker-horizon cache: total entry
 // budget, shard count, entry TTL, and the admission thresholds (minimum
 // horizon size, minimum miss streak). -cache-size -1 disables caching.
+//
+// -admit enables adaptive overload control (docs/overload.md): an AIMD
+// concurrency window with a deadline-budgeted FIFO queue in front of
+// every query and unstamped mutation. Requests past the budget are
+// shed with 429 + Retry-After; under queue pressure the server first
+// sheds Explain work, then degrades mode:auto queries to the certified
+// approximate path. LSN-stamped replication applies are never shed.
+// Works in every mode — on a replica it protects that replica's
+// engine; on the front-end it bounds fleet-wide fan-out.
 package main
 
 import (
@@ -66,6 +77,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/durable"
 	"repro/internal/fleet"
 	"repro/internal/qcache"
@@ -99,6 +111,11 @@ func main() {
 	replogDir := flag.String("replog-dir", "", "front-end: replication log directory; enables catch-up-gated replica readmission (empty = disabled)")
 	catchupTimeout := flag.Duration("catchup-timeout", 0, "front-end: bound on one replica's replication log catch-up (0 = default 30s)")
 	mutationTimeout := flag.Duration("mutation-timeout", 0, "front-end: bound on one replica's acknowledgement of one forwarded mutation (0 = default 10s)")
+	admit := flag.Bool("admit", false, "enable adaptive admission control (AIMD window + brownout; see docs/overload.md)")
+	admitWindow := flag.Int("admit-window", 0, "admission: initial concurrency window (0 = default)")
+	admitMaxWindow := flag.Int("admit-max-window", 0, "admission: concurrency window ceiling (0 = default)")
+	admitQueue := flag.Int("admit-queue", 0, "admission: bounded wait-queue length (0 = default)")
+	admitQueueDeadline := flag.Duration("admit-queue-deadline", 0, "admission: max time a request may wait queued (0 = default)")
 	flag.Parse()
 
 	if *replica && *replicas != "" {
@@ -160,6 +177,17 @@ func main() {
 		log.Fatalf("friendserve: %v", err)
 	}
 	srv.SetDrainDelay(*drain)
+	if *admit {
+		ctrl := admission.New(admission.Config{
+			InitialWindow: *admitWindow,
+			MaxWindow:     *admitMaxWindow,
+			QueueLimit:    *admitQueue,
+			QueueDeadline: *admitQueueDeadline,
+		})
+		srv.SetAdmission(ctrl)
+		log.Printf("admission control on (window=%d max=%d queue=%d deadline=%v; 0 = package default)",
+			*admitWindow, *admitMaxWindow, *admitQueue, *admitQueueDeadline)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -72,6 +73,19 @@ type Executor struct {
 	cfg     Config
 	caches  *shard.Caches // nil when caching is disabled
 	planner *planner.Planner
+
+	// degradeHook mirrors social.Service.SetDegradeHook at the id
+	// level: consulted per request after normalization, may downgrade
+	// the execution mode in place; returning true marks the response
+	// Degraded with its certified score bound.
+	degradeHook atomic.Value // func(*search.Request) bool
+}
+
+// SetDegradeHook installs (or, with nil, clears) the brownout hook
+// consulted once per Do/DoBatch request after normalization. Safe for
+// concurrent use with Do.
+func (x *Executor) SetDegradeHook(h func(*search.Request) bool) {
+	x.degradeHook.Store(h)
 }
 
 var _ search.Searcher = (*Executor)(nil)
@@ -239,6 +253,10 @@ func (x *Executor) do(ctx context.Context, req search.Request, bst *execBurst) (
 	if err := ctx.Err(); err != nil {
 		return search.Response{}, err
 	}
+	degraded := false
+	if h, _ := x.degradeHook.Load().(func(*search.Request) bool); h != nil {
+		degraded = h(&req)
+	}
 	seeker, err := strconv.Atoi(req.Seeker)
 	if err != nil {
 		return search.Response{}, search.WrapInvalid(fmt.Errorf("exec: seeker %q is not a user id: %v", req.Seeker, err))
@@ -322,6 +340,11 @@ func (x *Executor) do(ctx context.Context, req search.Request, bst *execBurst) (
 		ex.ScoreBound = results[n-1].Score
 	}
 	resp := search.Response{Results: results}
+	if degraded {
+		ex.Degraded = true
+		resp.Degraded = true
+		resp.ScoreBound = ex.ScoreBound
+	}
 	if req.Explain {
 		resp.Explain = ex
 	}

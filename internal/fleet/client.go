@@ -215,9 +215,28 @@ func (c *Client) post(parent context.Context, path string, in, out interface{}) 
 		return search.WrapInvalid(fmt.Errorf("%s %s: %s", c.base, path, wireErrMessage(resp.Body)))
 	case resp.StatusCode == http.StatusConflict:
 		return fmt.Errorf("%w: %s %s: %s", ErrBehind, c.base, path, wireErrMessage(resp.Body))
+	case resp.StatusCode == http.StatusTooManyRequests:
+		// The replica shed the request: it is healthy but at capacity.
+		// This class is deliberately NOT ErrUnavailable — failing over
+		// would aim the overload at the ring successors — so routers
+		// return it to the caller, who retries the same replica after
+		// the advertised backoff.
+		return search.Overloadedf(parseRetryAfter(resp.Header.Get("Retry-After")),
+			"%s %s: %s", c.base, path, wireErrMessage(resp.Body))
 	default:
 		return unavailablef("%s %s: status %d: %s", c.base, path, resp.StatusCode, wireErrMessage(resp.Body))
 	}
+}
+
+// parseRetryAfter reads a Retry-After header (delta-seconds form; the
+// only form our servers emit) into a duration, 0 when absent or
+// malformed.
+func parseRetryAfter(h string) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(h))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // wireErrMessage extracts the {"error": ...} body the server sends with
@@ -238,8 +257,10 @@ func wireErrMessage(r io.Reader) string {
 
 // wireSearchResponse mirrors the server's /v2/search response.
 type wireSearchResponse struct {
-	Results []search.Result `json:"results"`
-	Explain *search.Explain `json:"explain,omitempty"`
+	Results    []search.Result `json:"results"`
+	Explain    *search.Explain `json:"explain,omitempty"`
+	Degraded   bool            `json:"degraded,omitempty"`
+	ScoreBound float64         `json:"score_bound,omitempty"`
 }
 
 // Do answers one request over POST /v2/search. With hedging configured,
@@ -284,6 +305,13 @@ func (c *Client) Do(ctx context.Context, req search.Request) (search.Response, e
 				}
 				return o.resp, nil
 			}
+			if errors.Is(o.err, search.ErrOverloaded) {
+				// A shed is decisive: the replica is alive and refusing
+				// work, so a duplicate attempt would only add to the
+				// overload. Return it without waiting for (or launching)
+				// a hedge.
+				return search.Response{}, o.err
+			}
 			if firstErr == nil {
 				firstErr = o.err
 			}
@@ -304,7 +332,10 @@ func (c *Client) searchOnce(ctx context.Context, req search.Request) (search.Res
 	if out.Results == nil {
 		out.Results = []search.Result{}
 	}
-	return search.Response{Results: out.Results, Explain: out.Explain}, nil
+	return search.Response{
+		Results: out.Results, Explain: out.Explain,
+		Degraded: out.Degraded, ScoreBound: out.ScoreBound,
+	}, nil
 }
 
 // wireBatch mirrors the server's /v2/search/batch envelope.
@@ -313,9 +344,11 @@ type wireBatch struct {
 }
 
 type wireBatchEntry struct {
-	Results []search.Result `json:"results"`
-	Explain *search.Explain `json:"explain,omitempty"`
-	Error   string          `json:"error,omitempty"`
+	Results    []search.Result `json:"results"`
+	Explain    *search.Explain `json:"explain,omitempty"`
+	Degraded   bool            `json:"degraded,omitempty"`
+	ScoreBound float64         `json:"score_bound,omitempty"`
+	Error      string          `json:"error,omitempty"`
 }
 
 type wireBatchResponse struct {
@@ -357,7 +390,10 @@ func (c *Client) DoBatch(ctx context.Context, reqs []search.Request) []search.Ba
 		if results == nil {
 			results = []search.Result{}
 		}
-		out[i] = search.BatchResult{Response: search.Response{Results: results, Explain: e.Explain}}
+		out[i] = search.BatchResult{Response: search.Response{
+			Results: results, Explain: e.Explain,
+			Degraded: e.Degraded, ScoreBound: e.ScoreBound,
+		}}
 	}
 	return out
 }

@@ -1,0 +1,188 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/search"
+)
+
+// shedServer answers 429 with a Retry-After header while shedding is
+// on, and a minimal valid search response once turned off.
+func shedServer(t *testing.T, retryAfter string) (*httptest.Server, *atomic.Bool, *atomic.Int64) {
+	t.Helper()
+	shedding := &atomic.Bool{}
+	shedding.Store(true)
+	calls := &atomic.Int64{}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if shedding.Load() {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			http.Error(w, `{"error":"search backend overloaded: admission queue full"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"results":[{"item":"x","score":1}]}`))
+	}))
+	t.Cleanup(ts.Close)
+	return ts, shedding, calls
+}
+
+// TestClient429IsOverloadedWithRetryAfter pins the wire→error mapping
+// the overload story depends on: 429 is search.ErrOverloaded — retry
+// the same replica after the advertised backoff — and is NOT the
+// failover class.
+func TestClient429IsOverloadedWithRetryAfter(t *testing.T) {
+	ts, _, _ := shedServer(t, "7")
+	c := newTestClient(t, ts.URL, ClientConfig{})
+
+	_, err := c.Do(context.Background(), search.Request{Seeker: "a", Tags: []string{"x"}})
+	if !errors.Is(err, search.ErrOverloaded) {
+		t.Fatalf("429 error = %v, want ErrOverloaded", err)
+	}
+	if errors.Is(err, search.ErrUnavailable) {
+		t.Fatalf("429 error %v must not be failover-eligible", err)
+	}
+	var oe *search.OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("429 error %v does not carry an OverloadError", err)
+	}
+	if oe.RetryAfter != 7*time.Second {
+		t.Fatalf("RetryAfter = %v, want 7s (parsed from header)", oe.RetryAfter)
+	}
+}
+
+// TestClient429WithoutHeader still classifies as overloaded, with no
+// backoff hint.
+func TestClient429WithoutHeader(t *testing.T) {
+	ts, _, _ := shedServer(t, "")
+	c := newTestClient(t, ts.URL, ClientConfig{})
+	_, err := c.Do(context.Background(), search.Request{Seeker: "a", Tags: []string{"x"}})
+	if !errors.Is(err, search.ErrOverloaded) {
+		t.Fatalf("headerless 429 error = %v, want ErrOverloaded", err)
+	}
+	var oe *search.OverloadError
+	if errors.As(err, &oe) && oe.RetryAfter != 0 {
+		t.Fatalf("RetryAfter = %v, want 0 without a header", oe.RetryAfter)
+	}
+}
+
+// TestHedgeSuppressedOnShed: a shed verdict is decisive — launching a
+// hedge against the sibling would turn one overloaded replica into a
+// fleet-wide hedge storm.
+func TestHedgeSuppressedOnShed(t *testing.T) {
+	ts, _, calls := shedServer(t, "1")
+	c := newTestClient(t, ts.URL, ClientConfig{HedgeDelay: 5 * time.Millisecond})
+	_, err := c.Do(context.Background(), search.Request{Seeker: "a", Tags: []string{"x"}})
+	if !errors.Is(err, search.ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if snap := c.Counters().Snapshot(); snap.HedgesLaunched != 0 {
+		t.Fatalf("HedgesLaunched = %d, want 0 (shed is decisive)", snap.HedgesLaunched)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("replica saw %d calls, want exactly 1", n)
+	}
+}
+
+// TestPoolNoFailoverOnShed: Pool.Do must return the shed verbatim
+// rather than spill the query to a sibling (which is the unavailable
+// class's cure, and under overload would only propagate the overload),
+// and the shed must not poison the replica's health state.
+func TestPoolNoFailoverOnShed(t *testing.T) {
+	ctx := context.Background()
+	tsA, sheddingA, callsA := shedServer(t, "1")
+	tsB, sheddingB, callsB := shedServer(t, "1")
+	pool, err := NewPool(
+		[]*Client{newTestClient(t, tsA.URL, ClientConfig{}), newTestClient(t, tsB.URL, ClientConfig{})},
+		PoolConfig{HealthInterval: -1, FailAfter: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	req := search.Request{Seeker: "alice", Tags: []string{"x"}, K: 3}
+	_, err = pool.Do(ctx, req)
+	if !errors.Is(err, search.ErrOverloaded) {
+		t.Fatalf("pool err = %v, want ErrOverloaded", err)
+	}
+	if n := callsA.Load() + callsB.Load(); n != 1 {
+		t.Fatalf("fleet saw %d calls for one shed query, want 1 (no failover)", n)
+	}
+
+	// The replica recovers; with FailAfter=1 a single unavailable-class
+	// error would have ejected it, so an immediately successful retry
+	// proves sheds never fed the health accounting.
+	sheddingA.Store(false)
+	sheddingB.Store(false)
+	if _, err := pool.Do(ctx, req); err != nil {
+		t.Fatalf("retry after shed failed: %v (was the replica ejected?)", err)
+	}
+}
+
+// TestPoolBatchNoRerouteOnShed: shed batch entries keep their
+// ErrOverloaded verdict instead of being re-routed to a sibling.
+func TestPoolBatchNoRerouteOnShed(t *testing.T) {
+	ctx := context.Background()
+	tsA, _, callsA := shedServer(t, "1")
+	tsB, _, callsB := shedServer(t, "1")
+	pool, err := NewPool(
+		[]*Client{newTestClient(t, tsA.URL, ClientConfig{}), newTestClient(t, tsB.URL, ClientConfig{})},
+		PoolConfig{HealthInterval: -1, FailAfter: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	out := pool.DoBatch(ctx, []search.Request{
+		{Seeker: "alice", Tags: []string{"x"}, K: 3},
+		{Seeker: "bob", Tags: []string{"x"}, K: 3},
+	})
+	for i, r := range out {
+		if !errors.Is(r.Err, search.ErrOverloaded) {
+			t.Fatalf("batch[%d].Err = %v, want ErrOverloaded", i, r.Err)
+		}
+	}
+	// Each seeker's owner saw its entry exactly once: no re-route.
+	if n := callsA.Load() + callsB.Load(); n > 2 {
+		t.Fatalf("fleet saw %d calls for a 2-entry shed batch, want <= 2 (no re-route)", n)
+	}
+}
+
+// TestClientDeadlineShrinksAttempt: a caller deadline shorter than the
+// configured per-attempt timeout must bound the attempt — the request
+// fails with the context's error as soon as the deadline passes, not
+// after the full client timeout.
+func TestClientDeadlineShrinksAttempt(t *testing.T) {
+	release := make(chan struct{})
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer slow.Close()
+	defer close(release) // unblock the handler before Close waits on it
+
+	c := newTestClient(t, slow.URL, ClientConfig{Timeout: 30 * time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Do(ctx, search.Request{Seeker: "a", Tags: []string{"x"}})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("attempt ran %v, caller deadline was 50ms: per-attempt timeout did not shrink", elapsed)
+	}
+}

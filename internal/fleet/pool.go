@@ -420,7 +420,11 @@ func (p *Pool) ReplicaFor(seeker string) int {
 // is walked, skipping ejected replicas while any replica is live, and
 // every ErrUnavailable attempt both feeds the owner's health state and
 // moves on. Non-transport errors (validation, unknown names) return
-// immediately — no replica will answer those differently.
+// immediately — no replica will answer those differently. A shed
+// (search.ErrOverloaded) also returns immediately and does NOT feed
+// health state: the replica is alive and protecting itself, and failing
+// over would dump its load onto the ring successors — the caller backs
+// off and retries the same route instead.
 func (p *Pool) Do(ctx context.Context, req search.Request) (search.Response, error) {
 	pref := p.preference(req.Seeker)
 	anyLive := p.anyLive()
@@ -468,7 +472,8 @@ func (p *Pool) anyLive() bool {
 // runs the sub-batches concurrently, and re-routes entries that failed
 // with ErrUnavailable to their next preference — up to one round per
 // replica, so a replica dying mid-batch costs its entries one retry,
-// not the whole batch.
+// not the whole batch. Entries a replica shed (search.ErrOverloaded)
+// are returned as-is, never re-routed — see Do.
 func (p *Pool) DoBatch(ctx context.Context, reqs []search.Request) []search.BatchResult {
 	out := make([]search.BatchResult, len(reqs))
 	if len(reqs) == 0 {

@@ -342,12 +342,14 @@ type Summary struct {
 	Mean   float64
 	P50    float64
 	P95    float64
+	P99    float64
+	P999   float64
 	Max    float64
 	StdDev float64
 }
 
-// Summarize computes mean/median/p95/max/stddev of the sample. An empty
-// sample yields the zero Summary.
+// Summarize computes mean/median/p95/p99/p999/max/stddev of the sample.
+// An empty sample yields the zero Summary.
 func Summarize(xs []float64) Summary {
 	if len(xs) == 0 {
 		return Summary{}
@@ -368,18 +370,28 @@ func Summarize(xs []float64) Summary {
 	return Summary{
 		Count:  len(s),
 		Mean:   mean,
-		P50:    percentile(s, 50),
-		P95:    percentile(s, 95),
+		P50:    Percentile(s, 0.50),
+		P95:    Percentile(s, 0.95),
+		P99:    Percentile(s, 0.99),
+		P999:   Percentile(s, 0.999),
 		Max:    s[len(s)-1],
 		StdDev: math.Sqrt(varSum / float64(len(s))),
 	}
 }
 
-// percentile expects a sorted sample.
-func percentile(sorted []float64, pct int) float64 {
+// Percentile returns the q-quantile (q in [0,1]) of an ascending-sorted
+// sample using nearest-rank on the lower side — the same convention the
+// old internal percentile helper used, now exported so the load harness
+// shares one definition of "p99" with the stats endpoints.
+func Percentile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
 		return 0
 	}
-	idx := (pct * (len(sorted) - 1)) / 100
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	idx := int(q * float64(len(sorted)-1))
 	return sorted[idx]
 }

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 )
 
 // Result count policy, applied by Normalize.
@@ -43,6 +44,44 @@ var ErrInvalid = errors.New("invalid search request")
 // to 503. Wrap with fmt.Errorf("%w: ...", search.ErrUnavailable, ...)
 // so errors.Is(err, search.ErrUnavailable) holds.
 var ErrUnavailable = errors.New("search backend unavailable")
+
+// ErrOverloaded tags requests a replica refused because its admission
+// controller shed them: the replica is healthy but at capacity, and the
+// same request will likely succeed on the SAME replica after a short
+// backoff. The class is deliberately distinct from ErrUnavailable —
+// routers must NOT fail a shed request over to ring successors (that
+// would re-aim the overload at the next replica), and HTTP transports
+// map it to 429 with a Retry-After hint. Construct with Overloadedf so
+// errors.Is(err, search.ErrOverloaded) holds and the retry hint rides
+// along.
+var ErrOverloaded = errors.New("search backend overloaded")
+
+// OverloadError is the concrete shed error: it carries the replica's
+// suggested retry backoff. Extract with errors.As; errors.Is against
+// ErrOverloaded matches the class.
+type OverloadError struct {
+	// RetryAfter is the replica's backoff suggestion (how long until
+	// admission capacity is expected to free up). Zero means "retry
+	// whenever"; transports round it up to whole seconds for the
+	// Retry-After header.
+	RetryAfter time.Duration
+	msg        string
+}
+
+// Overloadedf builds an OverloadError with the given retry hint.
+func Overloadedf(retryAfter time.Duration, format string, args ...interface{}) error {
+	return &OverloadError{RetryAfter: retryAfter, msg: fmt.Sprintf(format, args...)}
+}
+
+func (e *OverloadError) Error() string {
+	if e.msg == "" {
+		return ErrOverloaded.Error()
+	}
+	return ErrOverloaded.Error() + ": " + e.msg
+}
+
+// Is makes errors.Is(err, ErrOverloaded) true for the whole class.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
 
 func invalidf(format string, args ...interface{}) error {
 	return fmt.Errorf("%w: %s", ErrInvalid, fmt.Sprintf(format, args...))
@@ -309,6 +348,9 @@ type Explain struct {
 	UsersSettled       int   `json:"users_settled"`
 	SequentialAccesses int64 `json:"sequential_accesses"`
 	RandomAccesses     int64 `json:"random_accesses"`
+	// Degraded reports that overload brownout rewrote the request
+	// (mode:auto forced to approx) before this execution.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // Response answers one Request.
@@ -318,6 +360,16 @@ type Response struct {
 	Results []Result `json:"results"`
 	// Explain is present iff the request asked for it.
 	Explain *Explain `json:"explain,omitempty"`
+	// Degraded reports that overload brownout answered this query on a
+	// cheaper path than requested (mode:auto forced to approx). The
+	// answer is still honest: every returned score is exact and
+	// ScoreBound certifies what may be missing.
+	Degraded bool `json:"degraded,omitempty"`
+	// ScoreBound is the certified lower bound on any result the degraded
+	// execution could have missed (the engine's certification threshold
+	// τ). Populated only on degraded responses, so clients get the
+	// honesty certificate even when brownout shed the Explain work.
+	ScoreBound float64 `json:"score_bound,omitempty"`
 }
 
 // BatchResult is the outcome of one request of a DoBatch call: Response

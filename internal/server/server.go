@@ -73,6 +73,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/durable"
 	"repro/internal/search"
 	"repro/internal/social"
@@ -178,6 +179,14 @@ type Server struct {
 	backend Backend
 	mux     *http.ServeMux
 	logf    func(format string, args ...interface{})
+	// admission, when set, fronts every search (read class) and every
+	// unstamped mutation (write class) with the AIMD admission
+	// controller: shed requests answer 429 with Retry-After, and the
+	// brownout ladder degrades admitted queries under pressure.
+	// LSN-stamped replicated mutations bypass admission — the fleet
+	// replication apply path must never be shed, or a loaded replica
+	// would be ejected as divergent instead of merely slow.
+	admission *admission.Controller
 	// ready gates /readyz: true once the backend is loaded (New), false
 	// while draining for shutdown. Liveness (/healthz) stays 200 either
 	// way — a draining process is alive, just not accepting new work.
@@ -219,6 +228,27 @@ func New(b Backend) (*Server, error) {
 	return s, nil
 }
 
+// SetAdmission installs an admission controller in front of the search
+// and unstamped-mutation handlers (nil disables, the default). See the
+// admission field for what is and is not gated.
+func (s *Server) SetAdmission(c *admission.Controller) { s.admission = c }
+
+// admit acquires an admission ticket for one request, or writes the
+// refusal response (429 + Retry-After on shed, 499 when the client's
+// context expired while queued) and reports false. With no controller
+// installed it admits everything with a zero (no-op) ticket.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, class admission.Class) (admission.Ticket, bool) {
+	if s.admission == nil {
+		return admission.Ticket{}, true
+	}
+	tk, err := s.admission.Acquire(r.Context(), class)
+	if err != nil {
+		s.writeErr(w, searchErrStatus(err), err)
+		return admission.Ticket{}, false
+	}
+	return tk, true
+}
+
 // SetReady flips readiness: /readyz answers 200 while ready, 503 while
 // not. ListenAndServe flips it false itself when shutting down;
 // embedders can also gate readiness on their own warmup.
@@ -243,8 +273,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// writeErr sends a JSON error body with the given status.
+// writeErr sends a JSON error body with the given status. Shed
+// responses (429) carry a Retry-After header — whole seconds, rounded
+// up from the admission controller's backoff hint — so well-behaved
+// clients back off the right amount instead of guessing.
 func (s *Server) writeErr(w http.ResponseWriter, status int, err error) {
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(err)))
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	if eerr := json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}); eerr != nil {
@@ -273,21 +309,38 @@ func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, v interface{}
 // searchErrStatus maps a Searcher error to an HTTP status: context
 // cancellation means the client is gone (499); request-content errors —
 // validation failures and lookups of names the client sent, all tagged
-// search.ErrInvalid — are the client's fault (400); a serving-substrate
-// failure (search.ErrUnavailable — every fleet replica that could own
-// the request is down) is 503, the retry-later class; anything else is
-// a backend failure (500).
+// search.ErrInvalid — are the client's fault (400); an admission shed
+// (search.ErrOverloaded — the replica is healthy but at capacity) is
+// 429, the retry-here-after-backoff class; a serving-substrate failure
+// (search.ErrUnavailable — every fleet replica that could own the
+// request is down) is 503, the failover/retry-later class; anything
+// else is a backend failure (500).
 func searchErrStatus(err error) int {
 	switch {
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		return StatusClientClosedRequest
 	case errors.Is(err, search.ErrInvalid):
 		return http.StatusBadRequest
+	case errors.Is(err, search.ErrOverloaded):
+		return http.StatusTooManyRequests
 	case errors.Is(err, search.ErrUnavailable):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+// retryAfterSeconds extracts the backoff hint from a shed error for the
+// Retry-After header (at least 1, since the header counts whole
+// seconds).
+func retryAfterSeconds(err error) int {
+	var oe *search.OverloadError
+	if errors.As(err, &oe) && oe.RetryAfter > 0 {
+		if secs := int((oe.RetryAfter + time.Second - 1) / time.Second); secs > 1 {
+			return secs
+		}
+	}
+	return 1
 }
 
 // decodeBody strictly decodes a JSON request body into v.
@@ -370,12 +423,19 @@ func (s *Server) handleFriend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.LSN > 0 {
+		// Replicated apply path: never shed (see the admission field).
 		s.applyStamped(w, r, req.LSN, func(la LSNApplier) error {
 			return la.BefriendAt(req.LSN, req.A, req.B, req.Weight)
 		})
 		return
 	}
-	if err := s.backend.Befriend(req.A, req.B, req.Weight); err != nil {
+	tk, ok := s.admit(w, r, admission.Write)
+	if !ok {
+		return
+	}
+	err := s.backend.Befriend(req.A, req.B, req.Weight)
+	tk.Release(err)
+	if err != nil {
 		s.writeErr(w, mutationErrStatus(err), err)
 		return
 	}
@@ -383,15 +443,20 @@ func (s *Server) handleFriend(w http.ResponseWriter, r *http.Request) {
 }
 
 // mutationErrStatus maps an unstamped mutation error to its HTTP
-// status: a serving-substrate failure (search.ErrUnavailable — a fleet
-// front-end with no live replica, or none reachable) is 503, the
+// status: an admission shed is 429 (retry the same endpoint after
+// backoff); a serving-substrate failure (search.ErrUnavailable — a
+// fleet front-end with no live replica, or none reachable) is 503, the
 // retry-later class a load balancer must not confuse with a validation
 // rejection; everything else keeps v1's historical 400.
 func mutationErrStatus(err error) int {
-	if errors.Is(err, search.ErrUnavailable) {
+	switch {
+	case errors.Is(err, search.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, search.ErrUnavailable):
 		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
 	}
-	return http.StatusBadRequest
 }
 
 type tagRequest struct {
@@ -412,12 +477,19 @@ func (s *Server) handleTag(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.LSN > 0 {
+		// Replicated apply path: never shed (see the admission field).
 		s.applyStamped(w, r, req.LSN, func(la LSNApplier) error {
 			return la.TagAt(req.LSN, req.User, req.Item, req.Tag)
 		})
 		return
 	}
-	if err := s.backend.Tag(req.User, req.Item, req.Tag); err != nil {
+	tk, ok := s.admit(w, r, admission.Write)
+	if !ok {
+		return
+	}
+	err := s.backend.Tag(req.User, req.Item, req.Tag)
+	tk.Release(err)
+	if err != nil {
 		s.writeErr(w, mutationErrStatus(err), err)
 		return
 	}
@@ -455,9 +527,14 @@ func (s *Server) handleSearchV1(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	tk, ok := s.admit(w, r, admission.Read)
+	if !ok {
+		return
+	}
 	resp, err := s.backend.Do(r.Context(), search.Request{
 		Seeker: seeker, Tags: tags, K: k, Mode: search.ModeExact,
 	})
+	tk.Release(err)
 	if err != nil {
 		s.writeErr(w, searchErrStatus(err), err)
 		return
@@ -566,7 +643,12 @@ func (s *Server) handleSearchBatchV1(w http.ResponseWriter, r *http.Request) {
 	// durable backend folds pending writes even for an empty batch).
 	var batch []search.BatchResult
 	if len(runnable) > 0 {
+		tk, ok := s.admit(w, r, admission.Read)
+		if !ok {
+			return
+		}
 		batch = s.backend.DoBatch(r.Context(), runnable)
+		tk.Release(batchOutcome(batch))
 	}
 	resp := BatchResponse{Results: make([]BatchEntry, len(reqs))}
 	for i, err := range errs {
@@ -626,6 +708,11 @@ func (q v2Query) request() (search.Request, error) {
 type V2SearchResponse struct {
 	Results []search.Result `json:"results"`
 	Explain *search.Explain `json:"explain,omitempty"`
+	// Degraded marks answers the overload brownout served on a cheaper
+	// path than requested; ScoreBound is the certified honesty bound of
+	// such an answer (see search.Response).
+	Degraded   bool    `json:"degraded,omitempty"`
+	ScoreBound float64 `json:"score_bound,omitempty"`
 }
 
 func (s *Server) handleSearchV2(w http.ResponseWriter, r *http.Request) {
@@ -642,12 +729,55 @@ func (s *Server) handleSearchV2(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	tk, ok := s.admit(w, r, admission.Read)
+	if !ok {
+		return
+	}
+	degraded := s.applyBrownout(tk.Level, &req)
 	resp, err := s.backend.Do(r.Context(), req)
+	tk.Release(err)
 	if err != nil {
 		s.writeErr(w, searchErrStatus(err), err)
 		return
 	}
-	s.writeJSON(w, r, V2SearchResponse{Results: resp.Results, Explain: resp.Explain})
+	markDegraded(&resp, degraded)
+	s.writeJSON(w, r, V2SearchResponse{
+		Results: resp.Results, Explain: resp.Explain,
+		Degraded: resp.Degraded, ScoreBound: resp.ScoreBound,
+	})
+}
+
+// applyBrownout applies the admission brownout ladder to a request (a
+// no-op without a controller). It reports whether the execution mode
+// was degraded; the caller must then mark the response with markDegraded
+// so the client sees Degraded plus the certified bound.
+func (s *Server) applyBrownout(lvl admission.Level, req *search.Request) bool {
+	if s.admission == nil {
+		return false
+	}
+	return s.admission.Apply(lvl, req)
+}
+
+// markDegraded stamps a response whose request this server degraded.
+// The certified bound comes from the engine when it reported one (every
+// approx execution does); otherwise the last returned score — an upper
+// bound on the certification threshold — stands in, so a degraded
+// response never goes out without its honesty certificate.
+func markDegraded(resp *search.Response, degraded bool) {
+	if !degraded {
+		return
+	}
+	resp.Degraded = true
+	if resp.ScoreBound == 0 {
+		if resp.Explain != nil {
+			resp.ScoreBound = resp.Explain.ScoreBound
+		} else if n := len(resp.Results); n > 0 {
+			resp.ScoreBound = resp.Results[n-1].Score
+		}
+	}
+	if resp.Explain != nil {
+		resp.Explain.Degraded = true
+	}
 }
 
 // v2BatchRequest is the /v2/search/batch request body.
@@ -657,9 +787,27 @@ type v2BatchRequest struct {
 
 // V2BatchEntry answers one v2 batch query.
 type V2BatchEntry struct {
-	Results []search.Result `json:"results"`
-	Explain *search.Explain `json:"explain,omitempty"`
-	Error   string          `json:"error,omitempty"`
+	Results    []search.Result `json:"results"`
+	Explain    *search.Explain `json:"explain,omitempty"`
+	Degraded   bool            `json:"degraded,omitempty"`
+	ScoreBound float64         `json:"score_bound,omitempty"`
+	Error      string          `json:"error,omitempty"`
+}
+
+// batchOutcome reduces a batch's per-entry errors to one admission
+// outcome: success if anything succeeded, else the first error — so one
+// slow-but-served batch is an ack, not a congestion signal.
+func batchOutcome(batch []search.BatchResult) error {
+	var firstErr error
+	for _, br := range batch {
+		if br.Err == nil {
+			return nil
+		}
+		if firstErr == nil {
+			firstErr = br.Err
+		}
+	}
+	return firstErr
 }
 
 // V2BatchResponse is the /v2/search/batch response body; entry i
@@ -690,8 +838,19 @@ func (s *Server) handleSearchBatchV2(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	var batch []search.BatchResult
+	degraded := make([]bool, len(runnable))
 	if len(runnable) > 0 {
+		tk, ok := s.admit(w, r, admission.Read)
+		if !ok {
+			return
+		}
+		// One ticket covers the whole envelope (the batch is one unit of
+		// admitted work); the brownout decision applies per query.
+		for i := range runnable {
+			degraded[i] = s.applyBrownout(tk.Level, &runnable[i])
+		}
 		batch = s.backend.DoBatch(r.Context(), runnable)
+		tk.Release(batchOutcome(batch))
 	}
 	resp := V2BatchResponse{Results: make([]V2BatchEntry, len(reqs))}
 	for i, err := range errs {
@@ -705,7 +864,11 @@ func (s *Server) handleSearchBatchV2(w http.ResponseWriter, r *http.Request) {
 			resp.Results[i] = V2BatchEntry{Error: br.Err.Error()}
 			continue
 		}
-		resp.Results[i] = V2BatchEntry{Results: br.Response.Results, Explain: br.Response.Explain}
+		markDegraded(&br.Response, degraded[j])
+		resp.Results[i] = V2BatchEntry{
+			Results: br.Response.Results, Explain: br.Response.Explain,
+			Degraded: br.Response.Degraded, ScoreBound: br.Response.ScoreBound,
+		}
 	}
 	s.writeJSON(w, r, resp)
 }
@@ -795,6 +958,15 @@ func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, r, map[string][]string{"users": users})
 }
 
+// StatsEnvelope is the /v1/stats body when an admission controller is
+// installed: the controller's snapshot plus the backend's own counters.
+// Without admission the backend stats remain the top-level body, so
+// existing deployments see an unchanged wire.
+type StatsEnvelope struct {
+	Admission admission.Snapshot `json:"Admission"`
+	Backend   interface{}        `json:"Backend"`
+}
+
 // handleStats reports whatever counters the backend exposes. The two
 // service types return different concrete stats structs, so match on
 // the method signature.
@@ -802,16 +974,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if !s.requireMethod(w, r, http.MethodGet) {
 		return
 	}
+	var payload interface{}
 	switch b := s.backend.(type) {
 	case interface{ Stats() social.Stats }:
-		s.writeJSON(w, r, b.Stats())
+		payload = b.Stats()
 	case interface{ Stats() durable.Stats }:
-		s.writeJSON(w, r, b.Stats())
+		payload = b.Stats()
 	case Statser:
-		s.writeJSON(w, r, b.StatsAny())
+		payload = b.StatsAny()
 	default:
 		s.writeErr(w, http.StatusNotFound, errors.New("backend exposes no stats"))
+		return
 	}
+	if s.admission != nil {
+		payload = StatsEnvelope{Admission: s.admission.Snapshot(), Backend: payload}
+	}
+	s.writeJSON(w, r, payload)
 }
 
 // ListenAndServe runs the server on addr until ctx is cancelled, then

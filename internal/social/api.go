@@ -27,6 +27,7 @@ type doScratch struct {
 	ans    core.Answer
 	named  []search.Result
 	ex     search.Explain
+	req    search.Request // hook staging: &req here must not escape doInto's frame
 }
 
 // burst carries one worker's horizon across a same-seeker run of batch
@@ -88,48 +89,103 @@ func (s *Service) doInto(ctx context.Context, req search.Request, resp *search.R
 	if sc == nil {
 		sc = &doScratch{}
 	}
-	err := s.doIntoScratch(ctx, req, resp, bst, sc)
+
+	// Brownout hook (see SetDegradeHook): consulted after normalization
+	// so the ladder sees the canonical request; it may downgrade the
+	// execution mode in place. The request is staged in the pooled
+	// scratch for the call — handing the hook &req directly would make
+	// every request escape to the heap, hook installed or not, breaking
+	// the zero-allocation warm path.
+	degraded := false
+	if h, _ := s.degradeHook.Load().(func(*search.Request) bool); h != nil {
+		sc.req = req
+		degraded = h(&sc.req)
+		req = sc.req
+		sc.req = search.Request{}
+	}
+	err := s.doIntoScratch(ctx, req, resp, bst, sc, degraded)
 	s.scratch.Put(sc)
 	return err
 }
 
-func (s *Service) doIntoScratch(ctx context.Context, req search.Request, resp *search.Response, bst *burst, sc *doScratch) error {
+func (s *Service) doIntoScratch(ctx context.Context, req search.Request, resp *search.Response, bst *burst, sc *doScratch, degraded bool) error {
 	// Resolve names and pin the engine snapshot and cache generation
-	// together under the lock: compaction (which may swap both) also
-	// holds it, so the pair is consistent and the query below is a pure
-	// function of it.
-	s.mu.Lock()
-	uid, ok := s.names.Users.ID(req.Seeker)
-	if !ok {
-		s.mu.Unlock()
-		return search.WrapInvalid(fmt.Errorf("social: unknown user %q", req.Seeker))
+	// together, preferably from the atomically published view — the
+	// lock-free fast path. The view's frozen dictionaries may trail the
+	// live ones, so any miss (name added since the last clone, or no
+	// view yet) falls back wholesale to the locked path, which sees
+	// every name. Consistency without the lock comes from the view
+	// being immutable: its dictionaries, engine snapshot and cache
+	// generations were captured together, and qcache's exact-generation
+	// matching turns a stale pinned generation into a clean miss rather
+	// than a stale answer.
+	var (
+		uid        int32
+		eng        *core.Engine
+		cache      *qcache.Cache
+		cacheShard int
+		gen        uint64
+		v          *queryView
+		viewOK     bool
+	)
+	if v = s.view.Load(); v != nil {
+		if id, ok := v.users.ID(req.Seeker); ok {
+			sc.tagIDs = sc.tagIDs[:0]
+			resolved := true
+			for _, t := range req.Tags {
+				tid, ok := v.tags.ID(t)
+				if !ok {
+					resolved = false
+					break
+				}
+				sc.tagIDs = append(sc.tagIDs, tid)
+			}
+			if resolved {
+				uid = id
+				eng = v.eng
+				if v.gens != nil && !req.NoCache {
+					cacheShard = s.caches.ShardFor(uid)
+					cache = s.caches.Shard(cacheShard)
+					gen = v.gens[cacheShard]
+				}
+				viewOK = true
+			}
+		}
 	}
-	sc.tagIDs = sc.tagIDs[:0]
-	for _, t := range req.Tags {
-		id, ok := s.names.Tags.ID(t)
+	if !viewOK {
+		// Slow path: resolve against the live dictionaries and pin the
+		// snapshot triple under the lock, exactly as before the view
+		// existed. This is also where genuinely unknown names become
+		// errors.
+		s.mu.Lock()
+		id, ok := s.names.Users.ID(req.Seeker)
 		if !ok {
 			s.mu.Unlock()
-			return search.WrapInvalid(fmt.Errorf("social: unknown tag %q", t))
+			return search.WrapInvalid(fmt.Errorf("social: unknown user %q", req.Seeker))
 		}
-		sc.tagIDs = append(sc.tagIDs, id)
-	}
-	eng, err := s.engine.Current()
-	if err != nil {
+		uid = id
+		sc.tagIDs = sc.tagIDs[:0]
+		for _, t := range req.Tags {
+			tid, ok := s.names.Tags.ID(t)
+			if !ok {
+				s.mu.Unlock()
+				return search.WrapInvalid(fmt.Errorf("social: unknown tag %q", t))
+			}
+			sc.tagIDs = append(sc.tagIDs, tid)
+		}
+		var err error
+		eng, err = s.engine.Current()
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		if s.caches != nil && !req.NoCache {
+			cacheShard = s.caches.ShardFor(uid)
+			cache = s.caches.Shard(cacheShard)
+			gen = cache.Generation()
+		}
 		s.mu.Unlock()
-		return err
 	}
-	// Pin the seeker's owning cache shard and its generation together
-	// with the snapshot: compaction (which may swap both) also holds
-	// s.mu, so the triple is consistent.
-	var cache *qcache.Cache
-	var cacheShard int
-	var gen uint64
-	if s.caches != nil && !req.NoCache {
-		cacheShard = s.caches.ShardFor(uid)
-		cache = s.caches.Shard(cacheShard)
-		gen = cache.Generation()
-	}
-	s.mu.Unlock()
 
 	// Per-query β override: rebuild the (cheap, index-free) engine view
 	// over the same immutable snapshot. Horizons depend only on the
@@ -137,6 +193,7 @@ func (s *Service) doIntoScratch(ctx context.Context, req search.Request, resp *s
 	// stays valid for the overridden engine.
 	qeng := eng
 	if req.Beta != nil && *req.Beta != eng.Beta() {
+		var err error
 		qeng, err = core.NewEngine(eng.Graph(), eng.Store(), core.Config{
 			Proximity: eng.ProximityParams(),
 			Beta:      *req.Beta,
@@ -159,20 +216,33 @@ func (s *Service) doIntoScratch(ctx context.Context, req search.Request, resp *s
 	sc.ex.SequentialAccesses = sc.ans.Access.Sequential
 	sc.ex.RandomAccesses = sc.ans.Access.Random
 
-	// Translate ids back to names under the lock — the dictionaries are
-	// append-only, so every id in the snapshot already has a name, but
-	// concurrent writers may be appending.
-	s.mu.Lock()
+	// Translate ids back to names. The dictionaries are append-only, so
+	// every id in the snapshot already has a name; on the fast path the
+	// frozen items dictionary covers all but ids minted after its clone,
+	// and those few retry against the live dictionary under the lock.
 	sc.named = sc.named[:0]
-	for _, r := range sc.ans.Results {
-		name, ok := s.names.Items.Name(r.Item)
-		if !ok {
-			s.mu.Unlock()
-			return fmt.Errorf("social: unnamed item id %d", r.Item)
+	if viewOK {
+		for _, r := range sc.ans.Results {
+			name, ok := v.items.Name(r.Item)
+			if !ok {
+				if name, ok = s.lockedItemName(r.Item); !ok {
+					return fmt.Errorf("social: unnamed item id %d", r.Item)
+				}
+			}
+			sc.named = append(sc.named, search.Result{Item: name, Score: r.Score})
 		}
-		sc.named = append(sc.named, search.Result{Item: name, Score: r.Score})
+	} else {
+		s.mu.Lock()
+		for _, r := range sc.ans.Results {
+			name, ok := s.names.Items.Name(r.Item)
+			if !ok {
+				s.mu.Unlock()
+				return fmt.Errorf("social: unnamed item id %d", r.Item)
+			}
+			sc.named = append(sc.named, search.Result{Item: name, Score: r.Score})
+		}
+		s.mu.Unlock()
 	}
-	s.mu.Unlock()
 
 	results := req.Window(sc.named)
 	// The windowed view aliases scratch storage; copy into the caller's
@@ -185,12 +255,29 @@ func (s *Service) doIntoScratch(ctx context.Context, req search.Request, resp *s
 	if n := len(results); n > 0 {
 		sc.ex.ScoreBound = results[n-1].Score
 	}
+	// Degraded responses carry the certified bound (the k-th returned
+	// score — see ScoreBound's contract); clear both on reuse otherwise.
+	resp.Degraded, resp.ScoreBound = false, 0
+	if degraded {
+		sc.ex.Degraded = true
+		resp.Degraded = true
+		resp.ScoreBound = sc.ex.ScoreBound
+	}
 	resp.Explain = nil
 	if req.Explain {
 		ex := sc.ex
 		resp.Explain = &ex
 	}
 	return nil
+}
+
+// lockedItemName resolves one item id against the live dictionary —
+// the fast path's fallback for ids minted after the view's frozen
+// clone.
+func (s *Service) lockedItemName(id int32) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.names.Items.Name(id)
 }
 
 // execute runs the id-space query against the pinned snapshot in the

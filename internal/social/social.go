@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"reflect"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -131,6 +132,22 @@ type Service struct {
 	// warm read path allocates nothing.
 	scratch sync.Pool
 
+	// view is the lock-free read-path snapshot: frozen name
+	// dictionaries, the engine snapshot they describe, and the cache
+	// shard generations pinned with it — everything doIntoScratch used
+	// to take s.mu for. It is republished (atomically swapped) by every
+	// compaction; queries that miss a name in the (possibly slightly
+	// stale) frozen dictionaries fall back to the locked path. See
+	// publishLocked.
+	view atomic.Pointer[queryView]
+
+	// degradeHook, when set, is consulted with every normalized request
+	// before execution — the overload brownout's entry point for
+	// embedders driving the service directly (the HTTP server applies
+	// its ladder itself). Returning true marks the response Degraded
+	// with its certified score bound.
+	degradeHook atomic.Value // func(*search.Request) bool
+
 	mu           sync.Mutex
 	names        *vocab.Set
 	overlay      *overlay.Overlay
@@ -236,7 +253,81 @@ func (s *Service) initEmpty() error {
 	}
 	s.overlay = o
 	s.engine = eng
+	s.publishLocked()
 	return nil
+}
+
+// queryView is the immutable snapshot the lock-free read path works
+// against: frozen name dictionaries consistent with (or trailing) eng,
+// the engine snapshot itself, and the cache generation observed per
+// shard when the view was published. The generations are what make
+// pinning safe without s.mu: qcache.Lookup/Put demand an exact
+// generation match, so a view published before an invalidation simply
+// misses (and its Puts are refused) instead of serving a stale horizon.
+type queryView struct {
+	users *vocab.Dict
+	items *vocab.Dict
+	tags  *vocab.Dict
+	eng   *core.Engine
+	gens  []uint64 // per cache shard; nil when caching is disabled
+}
+
+// publishLocked snapshots the current queryable state into an
+// atomically swapped view. Called at the end of every compaction (and
+// of ApplyInvalidation, which bumps cache generations after
+// compacting). Callers hold s.mu — or, in initEmpty, have exclusive
+// access.
+//
+// The frozen dictionaries are reused across publishes until the live
+// dictionary outgrows them by ~12.5% (plus a small absolute slack), so
+// the total cloning cost stays linear in the vocabulary size even when
+// every write compacts. A reader that misses a recently added name in
+// a trailing frozen dictionary falls back to the locked path.
+func (s *Service) publishLocked() {
+	eng, err := s.engine.Current()
+	if err != nil {
+		// No queryable snapshot; readers take the locked path.
+		s.view.Store(nil)
+		return
+	}
+	old := s.view.Load()
+	v := &queryView{eng: eng}
+	if old != nil {
+		v.users = refreshFrozen(old.users, s.names.Users)
+		v.items = refreshFrozen(old.items, s.names.Items)
+		v.tags = refreshFrozen(old.tags, s.names.Tags)
+	} else {
+		v.users = s.names.Users.Clone()
+		v.items = s.names.Items.Clone()
+		v.tags = s.names.Tags.Clone()
+	}
+	if s.caches != nil {
+		n := s.caches.NumShards()
+		v.gens = make([]uint64, n)
+		for i := 0; i < n; i++ {
+			v.gens[i] = s.caches.Shard(i).Generation()
+		}
+	}
+	s.view.Store(v)
+}
+
+// refreshFrozen returns frozen when it still covers enough of live
+// (dictionaries are append-only, so a prefix clone never goes wrong —
+// only stale), and a fresh clone once live has outgrown it.
+func refreshFrozen(frozen, live *vocab.Dict) *vocab.Dict {
+	if frozen != nil && live.Len() <= frozen.Len()+frozen.Len()/8+64 {
+		return frozen
+	}
+	return live.Clone()
+}
+
+// SetDegradeHook installs (or, with nil, clears) the brownout hook
+// consulted once per query after normalization. The hook may rewrite
+// the request in place (the admission controller downgrades ModeAuto
+// to ModeApprox); returning true marks the response Degraded and
+// stamps its certified ScoreBound. Safe for concurrent use with Do.
+func (s *Service) SetDegradeHook(h func(*search.Request) bool) {
+	s.degradeHook.Store(h)
 }
 
 // ensureUser interns a user name, growing the universe when new.
@@ -322,6 +413,7 @@ func (s *Service) compactLocked() error {
 			}
 		}
 	}
+	s.publishLocked()
 	return nil
 }
 
@@ -526,6 +618,7 @@ func (s *Service) ApplyInvalidation(edges [][2]string, all bool) (int, error) {
 	if all {
 		n := s.caches.Len()
 		s.caches.Invalidate()
+		s.publishLocked()
 		return n, nil
 	}
 	ids := make([][2]graph.UserID, 0, len(edges))
@@ -543,7 +636,9 @@ func (s *Service) ApplyInvalidation(edges [][2]string, all bool) (int, error) {
 	if len(ids) == 0 {
 		return 0, nil
 	}
-	return s.caches.InvalidateEdges(ids), nil
+	n := s.caches.InvalidateEdges(ids)
+	s.publishLocked()
+	return n, nil
 }
 
 // Search answers seeker's top-k query over tag names with exact scores

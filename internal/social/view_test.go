@@ -1,0 +1,190 @@
+package social
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/search"
+)
+
+// TestViewConcurrentWritersAndReaders hammers the lock-free read path
+// while writers keep growing the vocabulary, verifying (under -race)
+// that queries never see torn state and that new names become visible
+// once flushed.
+func TestViewConcurrentWritersAndReaders(t *testing.T) {
+	cfg := DefaultServiceConfig()
+	cfg.AutoCompactEvery = 4 // compact (and republish the view) often
+	svc, err := NewService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Befriend("alice", "bob", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Tag("bob", "luigis", "pizza"); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	const writers, readers, iters = 2, 4, 300
+	var wg sync.WaitGroup
+	errc := make(chan error, writers+readers)
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				u := fmt.Sprintf("user-%d-%d", w, i)
+				if err := svc.Befriend("alice", u, 0.5); err != nil {
+					errc <- err
+					return
+				}
+				if err := svc.Tag(u, fmt.Sprintf("item-%d-%d", w, i), "pizza"); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var resp search.Response
+			for i := 0; i < iters; i++ {
+				err := svc.DoInto(context.Background(), search.Request{
+					Seeker: "alice", Tags: []string{"pizza"}, K: 5,
+				}, &resp)
+				if err != nil && !errors.Is(err, search.ErrInvalid) {
+					errc <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	// After a flush every written name answers through the (refreshed)
+	// fast path.
+	if err := svc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := svc.Do(context.Background(), search.Request{
+		Seeker: fmt.Sprintf("user-%d-%d", writers-1, iters-1), Tags: []string{"pizza"}, K: 3,
+	})
+	if err != nil {
+		t.Fatalf("late-added seeker not resolvable: %v", err)
+	}
+	if len(resp.Results) == 0 {
+		t.Fatal("late-added seeker got no results for its own tag")
+	}
+}
+
+// TestViewFallbackSeesUnflushedNames: a name interned but absent from
+// the published view's frozen dictionaries must still be resolved by
+// the locked fallback (it is not "unknown"), while a genuinely unknown
+// name keeps erroring with ErrInvalid.
+func TestViewFallbackSeesUnflushedNames(t *testing.T) {
+	cfg := DefaultServiceConfig()
+	cfg.AutoCompactEvery = 1 << 30 // no auto-compaction: views refresh only on Flush
+	svc, err := NewService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Befriend("alice", "bob", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Tag("bob", "luigis", "pizza"); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// carol is interned after the view was published: the frozen
+	// dictionary misses her, the live one resolves her. The engine
+	// snapshot predates her, so the query errors — but NOT with the
+	// unknown-user ErrInvalid, which is what proves the fallback ran.
+	if err := svc.Befriend("alice", "carol", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	_, err = svc.Do(context.Background(), search.Request{Seeker: "carol", Tags: []string{"pizza"}, K: 3})
+	if err == nil || errors.Is(err, search.ErrInvalid) {
+		t.Fatalf("uncompacted seeker err = %v, want non-ErrInvalid engine error (fallback must resolve the name)", err)
+	}
+
+	// A flushed seeker keeps answering, and an unknown one keeps failing.
+	if _, err := svc.Do(context.Background(), search.Request{Seeker: "alice", Tags: []string{"pizza"}, K: 3}); err != nil {
+		t.Fatalf("flushed seeker: %v", err)
+	}
+	if _, err := svc.Do(context.Background(), search.Request{Seeker: "nobody", K: 3}); !errors.Is(err, search.ErrInvalid) {
+		t.Fatalf("unknown seeker err = %v, want ErrInvalid", err)
+	}
+}
+
+// TestDegradeHook: the hook fires per query, can rewrite the mode, and
+// its verdict is reflected as Degraded plus a certified score bound.
+func TestDegradeHook(t *testing.T) {
+	svc, err := NewService(DefaultServiceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Befriend("alice", "bob", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Tag("bob", "luigis", "pizza"); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	svc.SetDegradeHook(func(req *search.Request) bool {
+		if req.Mode == search.ModeAuto {
+			req.Mode = search.ModeApprox
+			return true
+		}
+		return false
+	})
+	resp, err := svc.Do(context.Background(), search.Request{Seeker: "alice", Tags: []string{"pizza"}, K: 3, Explain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Degraded {
+		t.Fatal("degraded query not marked Degraded")
+	}
+	if resp.ScoreBound == 0 {
+		t.Fatal("degraded response missing certified ScoreBound")
+	}
+	if resp.Explain == nil || !resp.Explain.Degraded {
+		t.Fatalf("explain not marked degraded: %+v", resp.Explain)
+	}
+
+	// Explicit exact mode is not degraded; the response flags reset.
+	resp, err = svc.Do(context.Background(), search.Request{Seeker: "alice", Tags: []string{"pizza"}, K: 3, Mode: search.ModeExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Degraded || resp.ScoreBound != 0 {
+		t.Fatalf("exact-mode response wrongly degraded: %+v", resp)
+	}
+
+	svc.SetDegradeHook(nil)
+	resp, err = svc.Do(context.Background(), search.Request{Seeker: "alice", Tags: []string{"pizza"}, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Degraded {
+		t.Fatal("cleared hook still degrading")
+	}
+}
