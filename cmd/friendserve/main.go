@@ -16,6 +16,8 @@
 //	            [-bcast-window 25ms] [-bcast-max-edges 512]
 //	            [-replog-dir /var/lib/friendsearch/replog]
 //	            [-catchup-timeout 30s] [-mutation-timeout 10s]
+//	friendserve -replicas ... -replog-dir DIR -frontend-id fe1 \
+//	            -peers fe1=http://fe1:8080,fe2=http://fe2:8080,fe3=http://fe3:8080
 //
 // With -dir the service is crash-safe: every mutation is written ahead
 // to a log under the directory and the state survives restarts. Without
@@ -47,6 +49,19 @@
 // answers derived from a stale graph. Without it, readmission is on
 // probe successes alone and a rejoined replica's graph silently misses
 // the mutations written while it was out.
+//
+// With -frontend-id and -peers the front-end itself is highly
+// available (docs/fleet.md, docs/adr/004): 2–3 front-ends replicate
+// the replication log with leader election and quorum-acknowledged
+// appends. -peers lists every quorum member as id=url pairs (this
+// node's -frontend-id must appear among them; the URL set is fixed
+// for the process lifetime); -replog-dir holds this node's copy of
+// the consensus log, and an existing single-front-end replication
+// log in that directory is adopted in place as the committed prefix.
+// The elected leader accepts writes and fans them out only after a
+// majority acknowledges the append; followers serve reads from the
+// same replica ring and answer writes with a 307 redirect naming the
+// leader. All three flags ride on -replicas mode.
 //
 // All modes drain gracefully on SIGTERM/SIGINT: /readyz flips to 503,
 // the process keeps serving for -drain so load balancers notice, then
@@ -81,6 +96,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/fleet"
 	"repro/internal/qcache"
+	"repro/internal/quorum"
 	"repro/internal/server"
 	"repro/internal/social"
 )
@@ -109,6 +125,8 @@ func main() {
 	bcastWindow := flag.Duration("bcast-window", 0, "front-end: invalidation broadcast coalescing window (0 = default)")
 	bcastMaxEdges := flag.Int("bcast-max-edges", 0, "front-end: flush a broadcast batch early at this many dirty edges (0 = default)")
 	replogDir := flag.String("replog-dir", "", "front-end: replication log directory; enables catch-up-gated replica readmission (empty = disabled)")
+	frontendID := flag.String("frontend-id", "", "HA front-end: this node's stable quorum id (must be a key of -peers)")
+	peers := flag.String("peers", "", "HA front-end: comma-separated id=url pairs for every quorum member including this node; enables the quorum-replicated replication log (requires -replicas, -replog-dir and -frontend-id)")
 	catchupTimeout := flag.Duration("catchup-timeout", 0, "front-end: bound on one replica's replication log catch-up (0 = default 30s)")
 	mutationTimeout := flag.Duration("mutation-timeout", 0, "front-end: bound on one replica's acknowledgement of one forwarded mutation (0 = default 10s)")
 	admit := flag.Bool("admit", false, "enable adaptive admission control (AIMD window + brownout; see docs/overload.md)")
@@ -121,11 +139,18 @@ func main() {
 	if *replica && *replicas != "" {
 		log.Fatalf("friendserve: -replica and -replicas are mutually exclusive")
 	}
+	if (*peers != "") != (*frontendID != "") {
+		log.Fatalf("friendserve: -peers and -frontend-id go together")
+	}
+	if *peers != "" && (*replicas == "" || *replogDir == "") {
+		log.Fatalf("friendserve: -peers requires -replicas and -replog-dir")
+	}
 
 	var backend server.Backend
 	var cleanup func()
+	var qnode *quorum.Node
 	if *replicas != "" {
-		front, err := buildFrontend(frontendOpts{
+		front, node, err := buildFrontend(frontendOpts{
 			urls:            *replicas,
 			hedge:           *hedge,
 			healthInterval:  *healthInterval,
@@ -135,14 +160,20 @@ func main() {
 			replogDir:       *replogDir,
 			catchupTimeout:  *catchupTimeout,
 			mutationTimeout: *mutationTimeout,
+			frontendID:      *frontendID,
+			peers:           *peers,
 		})
 		if err != nil {
 			log.Fatalf("friendserve: %v", err)
 		}
-		backend, cleanup = front, front.Close
-		if *replogDir != "" {
+		backend, cleanup, qnode = front, front.Close, node
+		switch {
+		case qnode != nil:
+			log.Printf("HA fleet front-end %s over %s (quorum log: %s, peers: %s)",
+				*frontendID, *replicas, *replogDir, *peers)
+		case *replogDir != "":
 			log.Printf("fleet front-end over %s (replication log: %s)", *replicas, *replogDir)
-		} else {
+		default:
 			log.Printf("fleet front-end over %s (no replication log: ejected replicas rejoin stale)", *replicas)
 		}
 	} else {
@@ -177,6 +208,12 @@ func main() {
 		log.Fatalf("friendserve: %v", err)
 	}
 	srv.SetDrainDelay(*drain)
+	if qnode != nil {
+		// The consensus transport shares the public listener; start the
+		// node's timers only once the handler is about to accept RPCs.
+		srv.MountQuorum(qnode.Handler())
+		qnode.Start()
+	}
 	if *admit {
 		ctrl := admission.New(admission.Config{
 			InitialWindow: *admitWindow,
@@ -215,9 +252,35 @@ type frontendOpts struct {
 	replogDir       string
 	catchupTimeout  time.Duration
 	mutationTimeout time.Duration
+	frontendID      string
+	peers           string
 }
 
-func buildFrontend(o frontendOpts) (*fleet.Frontend, error) {
+// parsePeers reads the -peers "id=url,id=url" form into the quorum
+// member map.
+func parsePeers(s string) (map[string]string, error) {
+	out := make(map[string]string)
+	for _, pair := range strings.Split(s, ",") {
+		if pair = strings.TrimSpace(pair); pair == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(pair, "=")
+		id, url = strings.TrimSpace(id), strings.TrimSpace(url)
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("malformed -peers entry %q (want id=url)", pair)
+		}
+		if _, dup := out[id]; dup {
+			return nil, fmt.Errorf("duplicate -peers id %q", id)
+		}
+		out[id] = url
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-peers named no members")
+	}
+	return out, nil
+}
+
+func buildFrontend(o frontendOpts) (*fleet.Frontend, *quorum.Node, error) {
 	var clients []*fleet.Client
 	for _, u := range strings.Split(o.urls, ",") {
 		if u = strings.TrimSpace(u); u == "" {
@@ -225,7 +288,7 @@ func buildFrontend(o frontendOpts) (*fleet.Frontend, error) {
 		}
 		c, err := fleet.NewClient(u, fleet.ClientConfig{HedgeDelay: o.hedge})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		clients = append(clients, c)
 	}
@@ -234,7 +297,7 @@ func buildFrontend(o frontendOpts) (*fleet.Frontend, error) {
 		FailAfter:      o.failAfter,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	bcast := fleet.NewBroadcaster(clients, fleet.BroadcasterConfig{
 		Window:        o.bcastWindow,
@@ -244,7 +307,7 @@ func buildFrontend(o frontendOpts) (*fleet.Frontend, error) {
 	if err != nil {
 		pool.Close()
 		bcast.Close()
-		return nil, err
+		return nil, nil, err
 	}
 	if o.mutationTimeout > 0 {
 		front.MutationTimeout = o.mutationTimeout
@@ -252,19 +315,45 @@ func buildFrontend(o frontendOpts) (*fleet.Frontend, error) {
 	if o.catchupTimeout > 0 {
 		front.CatchupTimeout = o.catchupTimeout
 	}
+	if o.peers != "" {
+		// HA mode: the replog directory holds this node's copy of the
+		// quorum-replicated log (an existing single-front-end replog is
+		// adopted as the committed prefix).
+		peerMap, err := parsePeers(o.peers)
+		if err != nil {
+			front.Close()
+			return nil, nil, err
+		}
+		node, err := quorum.Open(quorum.Config{
+			ID:    o.frontendID,
+			Peers: peerMap,
+			Dir:   o.replogDir,
+			Logf:  log.Printf,
+		})
+		if err != nil {
+			front.Close()
+			return nil, nil, err
+		}
+		if err := front.UseQuorum(node); err != nil {
+			node.Close()
+			front.Close()
+			return nil, nil, err
+		}
+		return front, node, nil
+	}
 	if o.replogDir != "" {
 		rl, err := fleet.OpenRepLog(o.replogDir)
 		if err != nil {
 			front.Close()
-			return nil, err
+			return nil, nil, err
 		}
 		if err := front.UseRepLog(rl); err != nil {
 			rl.Close()
 			front.Close()
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return front, nil
+	return front, nil, nil
 }
 
 func buildBackend(dir string, cfg social.ServiceConfig, replica bool) (server.Backend, func(), error) {

@@ -1,0 +1,14 @@
+// Package repro is the root of a Go reproduction of conf_icde_NandiPSA13
+// ("With a Little Help from My Friends": socially personalized top-k
+// search over a collaborative tagging network), grown into a replicated,
+// overload-protected serving system.
+//
+// The package itself holds no library code — the engine lives under
+// internal/... and the binaries under cmd/... (see README.md for the
+// architecture map). What is rooted here is the cross-cutting test and
+// benchmark surface: end-to-end integration tests across the storage and
+// query stack, equivalence tests pinning the serving paths to each other,
+// the benchmark suite mirroring the paper's experiment registry, and the
+// doc-drift test keeping flags and stats keys in sync with the
+// documentation.
+package repro

@@ -44,6 +44,13 @@ import (
 const (
 	RecBefriend wal.Type = 1
 	RecTag      wal.Type = 2
+	// RecTerm marks a leadership change in the quorum-replicated fleet
+	// log (internal/quorum): the record's payload names the term and the
+	// elected leader, and every record after it up to the next RecTerm
+	// was appended under that leadership. It never appears in a single
+	// process's crash-safety log; replicas skip it with a cursor
+	// advance (SkipLSN), never an apply.
+	RecTerm wal.Type = 3
 )
 
 const (
@@ -296,6 +303,17 @@ func (s *Service) TagAt(lsn uint64, user, item, tag string) error {
 	return s.logged(RecTag, EncodeTag(user, item, tag), func() error {
 		return s.svc.TagAt(lsn, user, item, tag)
 	})
+}
+
+// SkipLSN marks replication record lsn processed without applying or
+// logging anything (see social.Service.SkipLSN). It is the wire-level
+// cursor advance for records that are fleet-wide no-ops on a replica:
+// deterministic rejections another replica already skipped, and the
+// quorum log's RecTerm leadership records, which carry no mutation.
+func (s *Service) SkipLSN(lsn uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.svc.SkipLSN(lsn)
 }
 
 // AppliedLSN returns the replication cursor of the wrapped service.

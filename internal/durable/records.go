@@ -65,6 +65,30 @@ func EncodeTag(user, item, tag string) []byte {
 	return appendString(buf, tag)
 }
 
+// EncodeTerm encodes a RecTerm leadership-change record: the new term
+// and the id of the leader elected for it.
+func EncodeTerm(term uint64, leader string) []byte {
+	buf := make([]byte, 0, 10+len(leader)+1)
+	buf = binary.AppendUvarint(buf, term)
+	return appendString(buf, leader)
+}
+
+// DecodeTerm decodes a RecTerm record payload.
+func DecodeTerm(buf []byte) (term uint64, leader string, err error) {
+	term, used := binary.Uvarint(buf)
+	if used <= 0 {
+		return 0, "", fmt.Errorf("durable: bad term varint in term record")
+	}
+	leader, buf, err = readString(buf[used:])
+	if err != nil {
+		return 0, "", err
+	}
+	if len(buf) != 0 {
+		return 0, "", fmt.Errorf("durable: term record has %d trailing bytes", len(buf))
+	}
+	return term, leader, nil
+}
+
 func DecodeTag(buf []byte) (user, item, tag string, err error) {
 	user, buf, err = readString(buf)
 	if err != nil {

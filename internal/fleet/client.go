@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/quorum"
 	"repro/internal/search"
 )
 
@@ -125,8 +126,13 @@ func NewClient(baseURL string, cfg ClientConfig) (*Client, error) {
 		}
 	}
 	return &Client{
-		base:     baseURL,
-		hc:       &http.Client{Transport: rt},
+		base: baseURL,
+		// Redirects are protocol, not plumbing: an HA follower answers
+		// writes with 307 + the leader's address, and the caller decides
+		// whether to chase it (HAClient does, with its own retry budget).
+		hc: &http.Client{Transport: rt, CheckRedirect: func(*http.Request, []*http.Request) error {
+			return http.ErrUseLastResponse
+		}},
 		cfg:      cfg,
 		counters: &metrics.ReplicaCounters{},
 	}, nil
@@ -215,6 +221,11 @@ func (c *Client) post(parent context.Context, path string, in, out interface{}) 
 		return search.WrapInvalid(fmt.Errorf("%s %s: %s", c.base, path, wireErrMessage(resp.Body)))
 	case resp.StatusCode == http.StatusConflict:
 		return fmt.Errorf("%w: %s %s: %s", ErrBehind, c.base, path, wireErrMessage(resp.Body))
+	case resp.StatusCode == http.StatusTemporaryRedirect:
+		// An HA follower refusing a write: the Location header names the
+		// leader's copy of this endpoint. Surface it as NotLeaderError so
+		// leader-tracking callers re-aim instead of failing over.
+		return &quorum.NotLeaderError{LeaderURL: strings.TrimSuffix(resp.Header.Get("Location"), path)}
 	case resp.StatusCode == http.StatusTooManyRequests:
 		// The replica shed the request: it is healthy but at capacity.
 		// This class is deliberately NOT ErrUnavailable — failing over
@@ -457,6 +468,19 @@ func (c *Client) Tag(ctx context.Context, user, item, tag string, lsn uint64) (u
 // appliedAck mirrors the server's LSN-stamped mutation response.
 type appliedAck struct {
 	AppliedLSN uint64 `json:"applied_lsn"`
+}
+
+// Skip advances the replica's replication cursor past a record that is
+// a no-op for it (POST /v1/skip): a quorum RecTerm leadership record,
+// or a mutation every replica deterministically rejects. Same dedup
+// and ordering contract as the stamped mutation calls; returns the
+// replica's cursor after the skip.
+func (c *Client) Skip(ctx context.Context, lsn uint64) (uint64, error) {
+	var out appliedAck
+	if err := c.post(ctx, "/v1/skip", map[string]interface{}{"lsn": lsn}, &out); err != nil {
+		return 0, err
+	}
+	return out.AppliedLSN, nil
 }
 
 // Invalidate sends one invalidation batch to the replica's

@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/durable"
+	"repro/internal/quorum"
 	"repro/internal/search"
 	"repro/internal/server"
 	"repro/internal/wal"
@@ -45,6 +47,20 @@ type Frontend struct {
 	pool   *Pool
 	bcast  *Broadcaster
 	replog *RepLog // nil: no replication log
+
+	// qnode, when set (UseQuorum), replaces the single-process replog
+	// with the quorum-replicated consensus log: this front-end is one of
+	// 2–3 HA peers, writes are accepted only while it holds leadership
+	// (followers answer NotLeaderError → 307 on the wire), every record
+	// is majority-acknowledged before fan-out, and replica catch-up
+	// streams the log's committed prefix only.
+	qnode *quorum.Node
+	// leaderReady opens the quorum write path: false from construction
+	// and from every leadership loss, true once the takeover reconcile
+	// has brought the live replicas' cursors to the committed prefix.
+	// Writes before that would mass-gap-reject the fleet (the takeover
+	// term record occupies an LSN replicas have not streamed yet).
+	leaderReady atomic.Bool
 
 	// writeMu serializes the mutation path. One writer at a time is the
 	// fleet's ordering guarantee; read traffic never takes this lock.
@@ -147,6 +163,94 @@ func (f *Frontend) UseRepLog(rl *RepLog) error {
 	return nil
 }
 
+// UseQuorum attaches a quorum node in place of a local replication log:
+// the consensus log (committed prefix) plays the replog's role in
+// catch-up, fan-out ordering and observability, and this front-end
+// accepts writes only while the node holds leadership. Mutually
+// exclusive with UseRepLog; call before the node is Started and before
+// serving traffic.
+func (f *Frontend) UseQuorum(n *quorum.Node) error {
+	if n == nil {
+		return errors.New("fleet: nil quorum node")
+	}
+	if f.replog != nil {
+		return errors.New("fleet: UseRepLog and UseQuorum are mutually exclusive")
+	}
+	f.qnode = n
+	f.prevHead = make(map[int]uint64)
+	f.prevCursor = make(map[int]uint64)
+	f.pool.SetRejoinGate(f.catchUp)
+	// Divergence ejection, leader-only (see UseRepLog for the lag
+	// reasoning): followers never fan out writes, so a replica lagging a
+	// follower's view of the commit is the leader's business, not
+	// grounds for ejection here. The comparison baseline is the commit
+	// LSN — the uncommitted suffix is invisible to replicas by design.
+	f.pool.SetLagEjector(func(i int, cursor uint64) bool {
+		if !n.IsLeader() {
+			return false
+		}
+		f.lagMu.Lock()
+		defer f.lagMu.Unlock()
+		prevH, seen := f.prevHead[i]
+		prevC := f.prevCursor[i]
+		f.prevHead[i] = n.CommitLSN()
+		f.prevCursor[i] = cursor
+		return seen && cursor+1 < prevH && cursor <= prevC
+	})
+	n.OnRoleChange(func(leader bool, term uint64) {
+		if !leader {
+			f.leaderReady.Store(false)
+			return
+		}
+		f.reconcile(term)
+	})
+	return nil
+}
+
+// reconcile runs on leadership takeover: wait for the takeover term
+// record to commit (which commits the whole inherited prefix under it),
+// stream every live replica up to the committed prefix — term records
+// and all, via the same catch-up path ejected replicas use — and only
+// then open the write path. Retries until it succeeds or leadership is
+// lost; meanwhile writes answer 503 ("leadership settling") rather
+// than mass-ejecting replicas on takeover-gap rejections.
+func (f *Frontend) reconcile(term uint64) {
+	stillLeading := func() bool {
+		return f.qnode.IsLeader() && f.qnode.Term() == term
+	}
+	// The write path is closed, so the head is stable: it is exactly the
+	// inherited prefix plus our term record.
+	takeoverHead := f.qnode.Head()
+	for stillLeading() && f.qnode.CommitLSN() < takeoverHead {
+		time.Sleep(10 * time.Millisecond)
+	}
+	for stillLeading() {
+		settled := true
+		for i := 0; i < f.pool.Replicas(); i++ {
+			if !f.pool.Live(i) {
+				continue // the rejoin gate owns ejected replicas
+			}
+			if err := f.catchUp(i); err != nil {
+				settled = false
+			}
+		}
+		if settled {
+			f.leaderReady.Store(true)
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// logHead is the highest LSN the attached log (replog or quorum) has
+// issued; acks beyond it are epoch-mismatch evidence.
+func (f *Frontend) logHead() uint64 {
+	if f.qnode != nil {
+		return f.qnode.Head()
+	}
+	return f.replog.Head()
+}
+
 var _ search.Searcher = (*Frontend)(nil)
 
 // Do routes one query through the pool.
@@ -194,7 +298,7 @@ func (f *Frontend) forward(lsn uint64, send func(ctx context.Context, c *Client)
 		cancel()
 		if err == nil {
 			if lsn > 0 {
-				if ack > f.replog.Head() {
+				if ack > f.logHead() {
 					// The replica's cursor is beyond anything this log ever
 					// issued: a replication epoch mismatch (e.g. the
 					// front-end was restarted with a fresh -replog-dir over
@@ -306,7 +410,16 @@ func (f *Frontend) Befriend(a, b string, weight float64) error {
 	f.writeMu.Lock()
 	defer f.writeMu.Unlock()
 	var lsn uint64
-	if f.replog != nil {
+	switch {
+	case f.qnode != nil:
+		if err := validateBefriend(a, b, weight); err != nil {
+			return err
+		}
+		var err error
+		if lsn, err = f.quorumAppend(durable.RecBefriend, durable.EncodeBefriend(a, b, weight)); err != nil {
+			return err
+		}
+	case f.replog != nil:
 		if err := validateBefriend(a, b, weight); err != nil {
 			return err
 		}
@@ -328,13 +441,50 @@ func (f *Frontend) Befriend(a, b string, weight float64) error {
 	return nil
 }
 
+// quorumAppend is the leader-only half of a quorum-mode mutation: gate
+// on leadership and reconcile state, then append to the consensus log
+// and wait for the majority ack. Only after it returns does the record
+// exist for the fleet — fan-out of an uncommitted record could surface
+// a write a new leader later disowns. Callers hold writeMu.
+func (f *Frontend) quorumAppend(t wal.Type, payload []byte) (uint64, error) {
+	if !f.qnode.IsLeader() {
+		return 0, f.qnode.NotLeader()
+	}
+	if !f.leaderReady.Load() {
+		return 0, unavailablef("leadership settling: replica reconcile in progress")
+	}
+	if !f.pool.anyLive() {
+		return 0, unavailablef("no live replica to accept the write")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), f.MutationTimeout)
+	defer cancel()
+	lsn, err := f.qnode.Append(ctx, t, payload)
+	if err != nil {
+		var nle *quorum.NotLeaderError
+		if errors.As(err, &nle) {
+			return 0, err
+		}
+		return 0, unavailablef("quorum append: %v", err)
+	}
+	return lsn, nil
+}
+
 // Tag forwards the tagging mutation to every replica and schedules the
 // compaction heartbeat that makes it queryable fleet-wide.
 func (f *Frontend) Tag(user, item, tag string) error {
 	f.writeMu.Lock()
 	defer f.writeMu.Unlock()
 	var lsn uint64
-	if f.replog != nil {
+	switch {
+	case f.qnode != nil:
+		if err := validateMutationNames(user, item, tag); err != nil {
+			return err
+		}
+		var err error
+		if lsn, err = f.quorumAppend(durable.RecTag, durable.EncodeTag(user, item, tag)); err != nil {
+			return err
+		}
+	case f.replog != nil:
 		if err := validateMutationNames(user, item, tag); err != nil {
 			return err
 		}
@@ -381,7 +531,7 @@ func (f *Frontend) noteAppendLocked() {
 // (catch-up stream, direct fan-out to a catching-up replica) from ever
 // applying a record twice or out of order.
 func (f *Frontend) catchUp(i int) error {
-	if f.replog == nil {
+	if f.replog == nil && f.qnode == nil {
 		return nil
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), f.CatchupTimeout)
@@ -396,21 +546,45 @@ func (f *Frontend) catchUp(i int) error {
 	if err != nil {
 		return err
 	}
-	if applied > f.replog.Head() {
+	if applied > f.logHead() {
 		// The replica has applied records this log never issued: a
 		// replication epoch mismatch (fresh -replog-dir over running
 		// replicas). "Catching it up" would silently dedup-skip every
 		// future write; keep it out until an operator resolves the epoch
 		// (restore the original log, or restart the replica clean).
-		return fmt.Errorf("fleet: replication epoch mismatch: replica cursor %d beyond log head %d", applied, f.replog.Head())
+		return fmt.Errorf("fleet: replication epoch mismatch: replica cursor %d beyond log head %d", applied, f.logHead())
 	}
 	f.pool.states[i].setApplied(applied)
+
+	if f.qnode != nil && !f.qnode.IsLeader() {
+		// Follower gate: streaming records to replicas is the leader's
+		// job (one writer, one delivery order). This follower only
+		// verifies the replica has reached the committed prefix as this
+		// node knows it before letting it back into the read ring; until
+		// then the gate fails and the next probe sweep retries.
+		if commit := f.qnode.CommitLSN(); applied < commit {
+			return unavailablef("replica cursor %d behind quorum commit %d (the leader streams catch-up)", applied, commit)
+		}
+		return nil
+	}
+
+	// Leader (or single-front-end replog) streaming path. In quorum
+	// mode the stream is bounded by the COMMITTED prefix: an
+	// uncommitted record must never reach a replica, or a conflicting
+	// leader change would leave it serving history the cluster
+	// disowned.
+	readLog := func(from uint64, fn func(wal.Record) error) (uint64, error) {
+		if f.qnode != nil {
+			return f.qnode.ReadCommitted(from, fn)
+		}
+		return f.replog.ReadFrom(from, fn)
+	}
 
 	replayed := 0
 	edgeSeen := make(map[[2]string]struct{})
 	var edges [][2]string
 	for {
-		_, err := f.replog.ReadFrom(applied+1, func(rec wal.Record) error {
+		_, err := readLog(applied+1, func(rec wal.Record) error {
 			if rec.LSN <= applied {
 				return nil // another delivery path got there first
 			}
@@ -451,6 +625,18 @@ func (f *Frontend) catchUp(i int) error {
 				if ack > applied {
 					applied = ack
 				}
+			case durable.RecTerm:
+				// Leadership records carry no mutation: the replica just
+				// advances its cursor past them, keeping LSN arithmetic in
+				// lockstep with the quorum log.
+				ack, aerr := c.Skip(ctx, rec.LSN)
+				if aerr != nil {
+					return aerr
+				}
+				applied = rec.LSN
+				if ack > applied {
+					applied = ack
+				}
 			default:
 				return fmt.Errorf("fleet: replog lsn %d: unknown record type %d", rec.LSN, rec.Type)
 			}
@@ -469,8 +655,13 @@ func (f *Frontend) catchUp(i int) error {
 		// the head; conversely, once the replica holds the current head,
 		// every later record reaches it directly (cursor == lsn-1 at
 		// fan-out time — writes are serialized), so no gap can form after
-		// the loop exits.
-		if applied >= f.replog.Head() {
+		// the loop exits. In quorum mode the moving target is the commit
+		// LSN, for the same reason.
+		target := f.logHead()
+		if f.qnode != nil {
+			target = f.qnode.CommitLSN()
+		}
+		if applied >= target {
 			break
 		}
 		// The head moved while we streamed (foreground writes); go again
@@ -528,6 +719,28 @@ func (f *Frontend) Flush() error {
 // through the replication log, so operators (and external tooling) can
 // inspect exactly the stream replicas catch up from.
 func (f *Frontend) ReplogPage(from uint64, max int) (server.ReplogPage, error) {
+	if f.qnode != nil {
+		// Serve the COMMITTED prefix only: the uncommitted suffix may be
+		// disowned by a leader change, and external auditors comparing
+		// HA peers' logs must see streams that can only agree.
+		page := server.ReplogPage{From: from}
+		head, err := f.qnode.ReadCommitted(from, func(rec wal.Record) error {
+			if len(page.Records) >= max {
+				return errPageFull
+			}
+			page.Records = append(page.Records, server.ReplogRecord{
+				LSN:  rec.LSN,
+				Type: uint8(rec.Type),
+				Data: append([]byte(nil), rec.Data...),
+			})
+			return nil
+		})
+		if err != nil && !errors.Is(err, errPageFull) {
+			return server.ReplogPage{}, err
+		}
+		page.Head = head
+		return page, nil
+	}
 	if f.replog == nil {
 		return server.ReplogPage{}, server.ErrNoReplog
 	}
@@ -551,12 +764,30 @@ type ReplogStats struct {
 type Stats struct {
 	Replicas  []ReplicaStats
 	Broadcast BroadcastStats
-	Replog    *ReplogStats `json:",omitempty"`
+	Replog    *ReplogStats  `json:",omitempty"`
+	Quorum    *quorum.Stats `json:",omitempty"`
 }
 
 // StatsAny implements server.Statser.
 func (f *Frontend) StatsAny() interface{} {
 	st := Stats{Replicas: f.pool.Stats(), Broadcast: f.bcast.Stats()}
+	if f.qnode != nil {
+		qs := f.qnode.Stats()
+		st.Quorum = &qs
+		// Replica lag is measured against the committed prefix — the
+		// only part of the log replicas are ever streamed.
+		for i := range st.Replicas {
+			if qs.CommitLSN > st.Replicas[i].AppliedLSN {
+				st.Replicas[i].ReplogLag = qs.CommitLSN - st.Replicas[i].AppliedLSN
+			}
+		}
+		st.Replog = &ReplogStats{
+			Head:          qs.Head,
+			Segments:      qs.Segments,
+			MinAppliedLSN: f.pool.minApplied(),
+		}
+		return st
+	}
 	if f.replog != nil {
 		head := f.replog.Head()
 		for i := range st.Replicas {
@@ -574,12 +805,31 @@ func (f *Frontend) StatsAny() interface{} {
 	return st
 }
 
+// QuorumRole implements server.RoleReporter for HA front-ends: the
+// node's role, believed leader URL, and term ride on /healthz headers.
+// Without a quorum node the role is empty and the server omits the
+// headers.
+func (f *Frontend) QuorumRole() (role, leaderURL string, term uint64) {
+	if f.qnode == nil {
+		return "", "", 0
+	}
+	_, leaderURL = f.qnode.Leader()
+	role = "follower"
+	if f.qnode.IsLeader() {
+		role = "leader"
+	}
+	return role, leaderURL, f.qnode.Term()
+}
+
 // Close stops the pool's prober, drains the broadcaster and closes the
-// replication log.
+// replication log (or quorum node).
 func (f *Frontend) Close() {
 	f.pool.Close()
 	f.bcast.Close()
 	if f.replog != nil {
 		f.replog.Close()
+	}
+	if f.qnode != nil {
+		f.qnode.Close()
 	}
 }

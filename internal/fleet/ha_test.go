@@ -1,0 +1,367 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/quorum"
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+// haFE is one HA front-end under test: Frontend + quorum.Node mounted
+// behind a handler that can be yanked (everything answers 503, the
+// node stops participating) to model a SIGKILLed process whose port
+// stays allocated.
+type haFE struct {
+	id    string
+	front *Frontend
+	node  *quorum.Node
+	ts    *httptest.Server
+
+	mu   sync.Mutex
+	h    http.Handler
+	dead bool
+}
+
+func (fe *haFE) serve(w http.ResponseWriter, r *http.Request) {
+	fe.mu.Lock()
+	h := fe.h
+	fe.mu.Unlock()
+	if h == nil {
+		http.Error(w, `{"error":"front-end killed"}`, http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// kill takes the front-end out of the fleet: HTTP surface answers 503
+// and the quorum node stops voting, replicating and campaigning.
+func (fe *haFE) kill() {
+	fe.mu.Lock()
+	fe.h = nil
+	fe.dead = true
+	fe.mu.Unlock()
+	fe.front.Close()
+}
+
+// newHAFleet stands up n quorum front-ends over a shared replica set.
+// Listeners exist before the nodes so the peer URL map is complete at
+// quorum.Open time.
+func newHAFleet(t *testing.T, n int, reps []*toggleReplica) []*haFE {
+	t.Helper()
+	fes := make([]*haFE, n)
+	peers := make(map[string]string, n)
+	for i := range fes {
+		fe := &haFE{id: fmt.Sprintf("fe%d", i+1)}
+		fe.ts = httptest.NewServer(http.HandlerFunc(fe.serve))
+		t.Cleanup(fe.ts.Close)
+		peers[fe.id] = fe.ts.URL
+		fes[i] = fe
+	}
+	base := t.TempDir()
+	for _, fe := range fes {
+		fe := fe
+		var clients []*Client
+		for _, tr := range reps {
+			clients = append(clients, newTestClient(t, tr.ts.URL, ClientConfig{}))
+		}
+		pool, err := NewPool(clients, PoolConfig{
+			HealthInterval: 10 * time.Millisecond,
+			FailAfter:      1,
+			ReviveAfter:    1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bcast := NewBroadcaster(clients, BroadcasterConfig{Window: 2 * time.Millisecond})
+		front, err := NewFrontend(pool, bcast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := quorum.Open(quorum.Config{
+			ID:              fe.id,
+			Peers:           peers,
+			Dir:             filepath.Join(base, fe.id),
+			ElectionTimeout: 80 * time.Millisecond,
+			Heartbeat:       20 * time.Millisecond,
+			RPCTimeout:      500 * time.Millisecond,
+			Logf:            t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := front.UseQuorum(node); err != nil {
+			t.Fatal(err)
+		}
+		srv, err := server.New(front)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.MountQuorum(node.Handler())
+		fe.front, fe.node = front, node
+		fe.mu.Lock()
+		fe.h = srv
+		fe.mu.Unlock()
+		node.Start()
+		t.Cleanup(func() {
+			fe.mu.Lock()
+			dead := fe.dead
+			fe.mu.Unlock()
+			if !dead {
+				front.Close()
+			}
+		})
+	}
+	return fes
+}
+
+// waitHALeader waits for the live front-ends to converge on exactly
+// one leader and returns it.
+func waitHALeader(t *testing.T, fes []*haFE) *haFE {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		var leader *haFE
+		agreed := true
+		count := 0
+		for _, fe := range fes {
+			fe.mu.Lock()
+			dead := fe.dead
+			fe.mu.Unlock()
+			if dead {
+				continue
+			}
+			if fe.node.IsLeader() {
+				count++
+				leader = fe
+			}
+		}
+		if count == 1 {
+			id := leader.id
+			for _, fe := range fes {
+				fe.mu.Lock()
+				dead := fe.dead
+				fe.mu.Unlock()
+				if dead || fe == leader {
+					continue
+				}
+				if got, _ := fe.node.Leader(); got != id {
+					agreed = false
+				}
+			}
+			if agreed {
+				return leader
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("no single agreed leader within 10s")
+	return nil
+}
+
+func feURLs(fes []*haFE) []string {
+	urls := make([]string, len(fes))
+	for i, fe := range fes {
+		urls[i] = fe.ts.URL
+	}
+	return urls
+}
+
+// committedLog flattens a node's committed prefix for byte-level
+// comparison across survivors.
+func committedLog(t *testing.T, n *quorum.Node) []string {
+	t.Helper()
+	var out []string
+	if _, err := n.ReadCommitted(1, func(rec wal.Record) error {
+		out = append(out, fmt.Sprintf("%d/%d/%x", rec.LSN, rec.Type, rec.Data))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// waitReplicaConvergence polls until every replica's applied cursor
+// reaches lsn.
+func waitReplicaConvergence(t *testing.T, reps []*toggleReplica, lsn uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		done := true
+		for _, tr := range reps {
+			if tr.svc.AppliedLSN() < lsn {
+				done = false
+			}
+		}
+		if done {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for i, tr := range reps {
+		t.Logf("replica %d cursor = %d, want %d", i, tr.svc.AppliedLSN(), lsn)
+	}
+	t.Fatal("replicas did not converge within 10s")
+}
+
+// TestHAFleetSurvivesLeaderKill is the tentpole end-to-end: a 3-FE/3-
+// replica fleet takes writes through the HA client, loses its leader
+// mid-stream, elects a successor, keeps accepting writes, and ends
+// with every acked mutation applied on every replica and the two
+// survivors holding byte-identical committed quorum logs.
+func TestHAFleetSurvivesLeaderKill(t *testing.T) {
+	var reps []*toggleReplica
+	for i := 0; i < 3; i++ {
+		reps = append(reps, newToggleReplica(t))
+	}
+	fes := newHAFleet(t, 3, reps)
+	leader := waitHALeader(t, fes)
+
+	ha, err := NewHAClient(feURLs(fes), ClientConfig{Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := ha.Befriend(ctx, "alice", "bob", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	const before, after = 12, 12
+	for i := 0; i < before; i++ {
+		if err := ha.Tag(ctx, "bob", fmt.Sprintf("item%02d", i), "good"); err != nil {
+			t.Fatalf("pre-kill tag %d: %v", i, err)
+		}
+	}
+
+	leader.kill()
+	t.Logf("killed leader %s", leader.id)
+
+	// Acked writes must keep landing across the election; the HA client
+	// owns riding out the window.
+	for i := before; i < before+after; i++ {
+		if err := ha.Tag(ctx, "bob", fmt.Sprintf("item%02d", i), "good"); err != nil {
+			t.Fatalf("post-kill tag %d: %v", i, err)
+		}
+	}
+	successor := waitHALeader(t, fes)
+	if successor == leader {
+		t.Fatal("dead leader still leading")
+	}
+
+	// No acked LSN lost: every replica applies through the successor's
+	// commit point, and the survivors' committed logs are identical.
+	commit := successor.node.CommitLSN()
+	waitReplicaConvergence(t, reps, commit)
+	var survivors []*haFE
+	for _, fe := range fes {
+		if fe != leader {
+			survivors = append(survivors, fe)
+		}
+	}
+	// A follower learns the commit index one heartbeat behind the
+	// leader; wait for the indices to meet before comparing prefixes.
+	convergeBy := time.Now().Add(5 * time.Second)
+	for survivors[0].node.CommitLSN() != survivors[1].node.CommitLSN() {
+		if time.Now().After(convergeBy) {
+			t.Fatalf("survivor commit indices never met: %d vs %d",
+				survivors[0].node.CommitLSN(), survivors[1].node.CommitLSN())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	logA := committedLog(t, survivors[0].node)
+	logB := committedLog(t, survivors[1].node)
+	if !reflect.DeepEqual(logA, logB) {
+		t.Fatalf("survivor committed logs diverge:\n%s: %v\n%s: %v",
+			survivors[0].id, logA, survivors[1].id, logB)
+	}
+
+	// Byte-identical serving: every replica holds the same users, and a
+	// search through the HA client sees the post-kill writes.
+	want := reps[0].svc.Users()
+	sort.Strings(want)
+	for i, tr := range reps[1:] {
+		got := tr.svc.Users()
+		sort.Strings(got)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("replica %d users %v != replica 0 users %v", i+1, got, want)
+		}
+	}
+	users, err := ha.Users(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, u := range users {
+		if u == "bob" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("HA Users() = %v, missing bob", users)
+	}
+}
+
+// TestHAClientFollowsRedirect pins the write-routing contract: a write
+// aimed at a follower is answered with the leader's address and the HA
+// client re-aims instead of failing.
+func TestHAClientFollowsRedirect(t *testing.T) {
+	var reps []*toggleReplica
+	for i := 0; i < 2; i++ {
+		reps = append(reps, newToggleReplica(t))
+	}
+	fes := newHAFleet(t, 3, reps)
+	leader := waitHALeader(t, fes)
+
+	leaderIdx, followerIdx := -1, -1
+	for i, fe := range fes {
+		if fe == leader {
+			leaderIdx = i
+		} else if followerIdx == -1 {
+			followerIdx = i
+		}
+	}
+
+	// The raw per-FE client surfaces the redirect as NotLeaderError
+	// naming the leader.
+	follower := newTestClient(t, fes[followerIdx].ts.URL, ClientConfig{Timeout: 2 * time.Second})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := follower.Befriend(context.Background(), "x", "y", 0.5, 0)
+		nle, ok := err.(*quorum.NotLeaderError)
+		if ok && nle.LeaderURL == fes[leaderIdx].ts.URL {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower write error = %v, want NotLeaderError naming %s", err, fes[leaderIdx].ts.URL)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The HA client pinned to the follower chases the redirect and
+	// remembers where it landed.
+	ha, err := NewHAClient(feURLs(fes), ClientConfig{Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha.mu.Lock()
+	ha.write = followerIdx
+	ha.mu.Unlock()
+	if err := ha.Befriend(context.Background(), "carol", "dave", 0.7); err != nil {
+		t.Fatal(err)
+	}
+	ha.mu.Lock()
+	landed := ha.write
+	ha.mu.Unlock()
+	if landed != leaderIdx {
+		t.Fatalf("HA client write index = %d (%s), want leader %d (%s)",
+			landed, fes[landed].id, leaderIdx, fes[leaderIdx].id)
+	}
+}

@@ -8,6 +8,7 @@
 //
 //	POST /v1/friend        {"a":"alice","b":"bob","weight":0.9}     → 204
 //	POST /v1/tag           {"user":"bob","item":"x","tag":"pizza"}  → 204
+//	POST /v1/skip          {"lsn":7}                                → {"applied_lsn":7}
 //	GET  /v1/search?seeker=alice&tags=pizza,italian&k=5             → {"results":[...]}
 //	POST /v1/search/batch  {"queries":[{"seeker":"alice","tags":["pizza"],"k":5},...]}
 //	                                                                → {"results":[{"results":[...]},{"error":"..."},...]}
@@ -75,6 +76,7 @@ import (
 
 	"repro/internal/admission"
 	"repro/internal/durable"
+	"repro/internal/quorum"
 	"repro/internal/search"
 	"repro/internal/social"
 )
@@ -126,6 +128,26 @@ type LSNApplier interface {
 // so fleet health probes double as replication lag probes.
 type lsnReporter interface {
 	AppliedLSN() uint64
+}
+
+// LSNSkipper is the optional backend surface behind POST /v1/skip: mark
+// a replication record processed without applying anything, under the
+// same cursor discipline as LSNApplier. A quorum-mode front-end uses it
+// to stream records that are fleet-wide no-ops on a replica — RecTerm
+// leadership records and deterministically rejected mutations — so
+// replica cursors advance in lockstep with the log. Both service types
+// implement it; backends without it answer 400.
+type LSNSkipper interface {
+	SkipLSN(lsn uint64) error
+	AppliedLSN() uint64
+}
+
+// RoleReporter is the optional backend surface for HA front-ends:
+// /healthz attaches the node's quorum role, believed leader URL, and
+// term (headers X-Quorum-Role / X-Quorum-Leader / X-Quorum-Term) so
+// operators and smoke tests can find the leader without parsing stats.
+type RoleReporter interface {
+	QuorumRole() (role, leaderURL string, term uint64)
 }
 
 // ReplogRecord is one replication log record on the /v2/replog wire
@@ -207,6 +229,7 @@ func New(b Backend) (*Server, error) {
 	s.ready.Store(true)
 	s.mux.HandleFunc("/v1/friend", s.handleFriend)
 	s.mux.HandleFunc("/v1/tag", s.handleTag)
+	s.mux.HandleFunc("/v1/skip", s.handleSkip)
 	s.mux.HandleFunc("/v1/search", s.handleSearchV1)
 	s.mux.HandleFunc("/v1/search/batch", s.handleSearchBatchV1)
 	s.mux.HandleFunc("/v2/search", s.handleSearchV2)
@@ -221,6 +244,15 @@ func New(b Backend) (*Server, error) {
 		if lr, ok := s.backend.(lsnReporter); ok {
 			w.Header().Set("X-Applied-LSN", strconv.FormatUint(lr.AppliedLSN(), 10))
 		}
+		// HA front-ends also report their quorum role, so finding the
+		// leader is one HEAD request, not a stats parse.
+		if rr, ok := s.backend.(RoleReporter); ok {
+			if role, leader, term := rr.QuorumRole(); role != "" {
+				w.Header().Set("X-Quorum-Role", role)
+				w.Header().Set("X-Quorum-Leader", leader)
+				w.Header().Set("X-Quorum-Term", strconv.FormatUint(term, 10))
+			}
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
@@ -232,6 +264,11 @@ func New(b Backend) (*Server, error) {
 // and unstamped-mutation handlers (nil disables, the default). See the
 // admission field for what is and is not gated.
 func (s *Server) SetAdmission(c *admission.Controller) { s.admission = c }
+
+// MountQuorum mounts the consensus transport of an HA front-end's
+// quorum node under /quorum/ (vote, append, status). Call before the
+// server starts listening.
+func (s *Server) MountQuorum(h http.Handler) { s.mux.Handle("/quorum/", h) }
 
 // admit acquires an admission ticket for one request, or writes the
 // refusal response (429 + Retry-After on shed, 499 when the client's
@@ -436,10 +473,29 @@ func (s *Server) handleFriend(w http.ResponseWriter, r *http.Request) {
 	err := s.backend.Befriend(req.A, req.B, req.Weight)
 	tk.Release(err)
 	if err != nil {
-		s.writeErr(w, mutationErrStatus(err), err)
+		s.writeMutationErr(w, r, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// writeMutationErr answers a failed unstamped mutation. A quorum
+// follower's refusal becomes a 307 redirect at the elected leader
+// (same path, method and body preserved by the 307 semantics) when the
+// leader is known, and a 503 mid-election when it is not; everything
+// else goes through mutationErrStatus.
+func (s *Server) writeMutationErr(w http.ResponseWriter, r *http.Request, err error) {
+	var nle *quorum.NotLeaderError
+	if errors.As(err, &nle) {
+		if nle.LeaderURL == "" {
+			s.writeErr(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		w.Header().Set("Location", nle.LeaderURL+r.URL.Path)
+		s.writeErr(w, http.StatusTemporaryRedirect, err)
+		return
+	}
+	s.writeErr(w, mutationErrStatus(err), err)
 }
 
 // mutationErrStatus maps an unstamped mutation error to its HTTP
@@ -490,10 +546,50 @@ func (s *Server) handleTag(w http.ResponseWriter, r *http.Request) {
 	err := s.backend.Tag(req.User, req.Item, req.Tag)
 	tk.Release(err)
 	if err != nil {
-		s.writeErr(w, mutationErrStatus(err), err)
+		s.writeMutationErr(w, r, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// skipRequest is the /v1/skip body: the replication LSN to mark
+// processed without applying anything.
+type skipRequest struct {
+	LSN uint64 `json:"lsn"`
+}
+
+// handleSkip advances a replica's replication cursor past a record
+// that is a no-op for it (a RecTerm leadership record, or a mutation
+// every replica deterministically rejects). Same cursor discipline as
+// the stamped mutation path: dedup at or below the cursor, 409 on a
+// gap. Never shed — it is part of the replication apply path.
+func (s *Server) handleSkip(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	sk, ok := s.backend.(LSNSkipper)
+	if !ok {
+		s.writeErr(w, http.StatusBadRequest, errors.New("backend does not track replication LSNs"))
+		return
+	}
+	var req skipRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.LSN == 0 {
+		s.writeErr(w, http.StatusBadRequest, errors.New("skip needs a positive lsn"))
+		return
+	}
+	if err := sk.SkipLSN(req.LSN); err != nil {
+		if errors.Is(err, social.ErrReplicationGap) {
+			s.writeErr(w, http.StatusConflict, err)
+			return
+		}
+		s.writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeJSON(w, r, AppliedResponse{AppliedLSN: sk.AppliedLSN()})
 }
 
 // SearchResponse is the /v1/search response body.

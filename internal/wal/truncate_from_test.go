@@ -1,0 +1,192 @@
+package wal
+
+import (
+	"fmt"
+	"testing"
+)
+
+// fillLog appends n records ("rec-1".."rec-n") and returns the log.
+func fillLog(t *testing.T, dir string, n int, opts Options) *Log {
+	t.Helper()
+	l, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= n; i++ {
+		if _, err := l.Append(1, []byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return l
+}
+
+func wantRecords(t *testing.T, dir string, first, last uint64) {
+	t.Helper()
+	recs := collect(t, dir)
+	wantN := int(last - first + 1)
+	if last < first {
+		wantN = 0
+	}
+	if len(recs) != wantN {
+		t.Fatalf("replayed %d records, want %d (lsn %d..%d)", len(recs), wantN, first, last)
+	}
+	for i, r := range recs {
+		lsn := first + uint64(i)
+		if r.LSN != lsn || string(r.Data) != fmt.Sprintf("rec-%d", lsn) {
+			t.Fatalf("record %d = {lsn %d, %q}, want {lsn %d, %q}", i, r.LSN, r.Data, lsn, fmt.Sprintf("rec-%d", lsn))
+		}
+	}
+}
+
+func TestTruncateFromMidSegment(t *testing.T) {
+	dir := t.TempDir()
+	l := fillLog(t, dir, 10, Options{})
+	if err := l.TruncateFrom(6); err != nil {
+		t.Fatalf("TruncateFrom: %v", err)
+	}
+	if got := l.NextLSN(); got != 6 {
+		t.Fatalf("NextLSN after truncate = %d, want 6", got)
+	}
+	// The freed LSNs must be reusable and the file replayable.
+	for i := 6; i <= 8; i++ {
+		lsn, err := l.Append(1, []byte(fmt.Sprintf("rec-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != uint64(i) {
+			t.Fatalf("append after truncate: lsn = %d, want %d", lsn, i)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wantRecords(t, dir, 1, 8)
+}
+
+func TestTruncateFromSegmentBoundary(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force rotation: each record ~ its own segment.
+	l := fillLog(t, dir, 9, Options{SegmentBytes: 32})
+	if l.Segments() < 3 {
+		t.Fatalf("want ≥3 segments, got %d", l.Segments())
+	}
+	// Truncate exactly at a later segment's first LSN.
+	if err := l.TruncateFrom(4); err != nil {
+		t.Fatalf("TruncateFrom: %v", err)
+	}
+	if got := l.NextLSN(); got != 4 {
+		t.Fatalf("NextLSN = %d, want 4", got)
+	}
+	if _, err := l.Append(1, []byte("rec-4")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wantRecords(t, dir, 1, 4)
+}
+
+func TestTruncateFromWholeLog(t *testing.T) {
+	dir := t.TempDir()
+	l := fillLog(t, dir, 5, Options{})
+	if err := l.TruncateFrom(1); err != nil {
+		t.Fatalf("TruncateFrom: %v", err)
+	}
+	if got := l.NextLSN(); got != 1 {
+		t.Fatalf("NextLSN = %d, want 1", got)
+	}
+	if _, err := l.Append(1, []byte("rec-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wantRecords(t, dir, 1, 1)
+}
+
+func TestTruncateFromBeyondHeadIsNoop(t *testing.T) {
+	dir := t.TempDir()
+	l := fillLog(t, dir, 3, Options{})
+	for _, lsn := range []uint64{4, 100} {
+		if err := l.TruncateFrom(lsn); err != nil {
+			t.Fatalf("TruncateFrom(%d): %v", lsn, err)
+		}
+	}
+	if got := l.NextLSN(); got != 4 {
+		t.Fatalf("NextLSN = %d, want 4", got)
+	}
+	if err := l.TruncateFrom(0); err == nil {
+		t.Fatal("TruncateFrom(0) should fail")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wantRecords(t, dir, 1, 3)
+}
+
+func TestTruncateFromSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	l := fillLog(t, dir, 10, Options{SegmentBytes: 64})
+	if err := l.TruncateFrom(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatalf("reopen after truncate: %v", err)
+	}
+	if got := l2.NextLSN(); got != 7 {
+		t.Fatalf("NextLSN after reopen = %d, want 7", got)
+	}
+	for i := 7; i <= 12; i++ {
+		if _, err := l2.Append(1, []byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wantRecords(t, dir, 1, 12)
+}
+
+func TestReadThroughBounds(t *testing.T) {
+	dir := t.TempDir()
+	l := fillLog(t, dir, 10, Options{SegmentBytes: 64})
+	defer l.Close()
+
+	cases := []struct {
+		from, through uint64
+		wantFirst     uint64
+		wantN         int
+	}{
+		{1, 10, 1, 10},
+		{3, 7, 3, 5},
+		{5, 5, 5, 1},
+		{8, 100, 8, 3}, // through clamps to head
+		{11, 20, 0, 0}, // beyond head: nothing
+		{6, 2, 0, 0},   // empty range
+	}
+	for _, tc := range cases {
+		var got []uint64
+		head, err := l.ReadThrough(tc.from, tc.through, func(r Record) error {
+			got = append(got, r.LSN)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("ReadThrough(%d,%d): %v", tc.from, tc.through, err)
+		}
+		if head != 10 {
+			t.Fatalf("ReadThrough(%d,%d) head = %d, want 10", tc.from, tc.through, head)
+		}
+		if len(got) != tc.wantN {
+			t.Fatalf("ReadThrough(%d,%d) delivered %d records, want %d", tc.from, tc.through, len(got), tc.wantN)
+		}
+		for i, lsn := range got {
+			if lsn != tc.wantFirst+uint64(i) {
+				t.Fatalf("ReadThrough(%d,%d) record %d has lsn %d, want %d", tc.from, tc.through, i, lsn, tc.wantFirst+uint64(i))
+			}
+		}
+	}
+}

@@ -446,6 +446,17 @@ func (l *Log) Barrier() uint64 {
 // than hand a replica a torn prefix it would mistake for the full
 // stream.
 func (l *Log) ReadFrom(from uint64, fn func(Record) error) (head uint64, err error) {
+	return l.ReadThrough(from, ^uint64(0), fn)
+}
+
+// ReadThrough is ReadFrom bounded above: it delivers the records with
+// from ≤ LSN ≤ min(through, head) and returns the head captured when
+// the call started. A replicated log uses it for committed-prefix
+// reads — streaming exactly the quorum-acknowledged range while later,
+// possibly still-uncommitted, appends stay invisible to the reader.
+// The same ErrCorrupt contract as ReadFrom applies to the requested
+// range.
+func (l *Log) ReadThrough(from, through uint64, fn func(Record) error) (head uint64, err error) {
 	if from == 0 {
 		from = 1
 	}
@@ -462,7 +473,11 @@ func (l *Log) ReadFrom(from uint64, fn func(Record) error) (head uint64, err err
 	head = l.nextLSN - 1
 	l.mu.Unlock()
 
-	if from > head {
+	upper := head
+	if through < upper {
+		upper = through
+	}
+	if from > upper {
 		return head, nil
 	}
 	if len(segs) == 0 || from < segs[0].firstLSN {
@@ -473,14 +488,14 @@ func (l *Log) ReadFrom(from uint64, fn func(Record) error) (head uint64, err err
 		if i+1 < len(segs) && segs[i+1].firstLSN <= from {
 			continue // whole segment below the requested range
 		}
-		if seg.firstLSN > head {
+		if seg.firstLSN > upper {
 			break
 		}
 		_, tailOK, scanErr := scanSegment(seg, func(r Record) error {
 			if r.LSN < from {
 				return nil
 			}
-			if r.LSN > head {
+			if r.LSN > upper {
 				return errStop
 			}
 			delivered = r.LSN
@@ -492,16 +507,92 @@ func (l *Log) ReadFrom(from uint64, fn func(Record) error) (head uint64, err err
 			}
 			return head, scanErr
 		}
-		if !tailOK && delivered < head {
+		if !tailOK && delivered < upper {
 			return head, fmt.Errorf("%w: torn frame at lsn %d before acknowledged head %d in %s",
 				ErrCorrupt, delivered+1, head, seg.path)
 		}
-		if delivered >= head {
+		if delivered >= upper {
 			return head, nil
 		}
 	}
-	if delivered < head {
+	if delivered < upper {
 		return head, fmt.Errorf("%w: log ends at lsn %d before acknowledged head %d", ErrCorrupt, delivered, head)
 	}
 	return head, nil
+}
+
+// TruncateFrom discards every record with LSN ≥ lsn — the suffix
+// truncation a replicated consensus log needs for conflict resolution:
+// a follower whose un-acknowledged tail disagrees with the elected
+// leader's log discards the conflicting suffix before accepting the
+// leader's records. After it returns, the next Append receives exactly
+// lsn. Truncating at or beyond the current head is a no-op.
+//
+// The truncation barrier does not apply: it guards the committed
+// prefix against reclamation from below, while TruncateFrom is a
+// deliberate rewrite of the (by protocol, never-committed) suffix —
+// the caller owns the proof that every discarded record was
+// unacknowledged.
+func (l *Log) TruncateFrom(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if lsn == 0 {
+		return fmt.Errorf("wal: cannot truncate from lsn 0")
+	}
+	if lsn >= l.nextLSN {
+		return nil
+	}
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.active.Close(); err != nil {
+		return err
+	}
+	l.active, l.bw = nil, nil
+	// Drop whole segments past the cut, last to first, so a crash
+	// mid-surgery leaves a contiguous (if still-too-long) log.
+	keep := -1 // index of the segment holding lsn-1, -1 when none survives
+	for i, seg := range l.segs {
+		if seg.firstLSN <= lsn-1 {
+			keep = i
+		}
+	}
+	for i := len(l.segs) - 1; i > keep; i-- {
+		if err := os.Remove(l.segs[i].path); err != nil {
+			return err
+		}
+		l.segs = l.segs[:i]
+	}
+	l.nextLSN = lsn
+	if keep < 0 {
+		// Nothing retained below the cut (or the prefix was already
+		// reclaimed past it): restart the log at lsn.
+		return l.startSegment(lsn)
+	}
+	seg := l.segs[keep]
+	if off, err := segmentPrefixLen(seg, lsn); err != nil {
+		return err
+	} else if err := os.Truncate(seg.path, off); err != nil {
+		return fmt.Errorf("wal: truncating %s: %w", seg.path, err)
+	}
+	f, err := os.OpenFile(seg.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	l.active = f
+	l.bw = bufio.NewWriter(f)
+	l.activeBytes = st.Size()
+	return nil
 }

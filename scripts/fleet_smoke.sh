@@ -15,6 +15,14 @@
 #   (e) post-rejoin answers — now routed to the readmitted replica —
 #       are byte-identical to the answers the survivors gave while it
 #       was stopped (the stale-after-readmission regression).
+# Finally, an HA phase stands up a fresh fleet with THREE quorum
+# front-ends (-frontend-id/-peers), SIGKILLs the leader mid-write-storm
+# and asserts
+#   (f) a follower wins the election and keeps accepting writes,
+#   (g) the surviving front-ends serve byte-identical answers, and
+#   (h) no quorum-acked mutation is lost: every acked write is
+#       queryable and the survivors' committed replication logs are
+#       identical (LSN audit via /v2/replog).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -218,6 +226,171 @@ for _ in $(seq 1 20); do
 done
 if [ "$DRAINED" != "yes" ]; then
   echo "FAIL: front-end never reported draining on SIGTERM" >&2
+  exit 1
+fi
+
+echo "== HA phase: three quorum front-ends over a fresh replica set"
+HA_REPLICA_PORTS=(18091 18092 18093)
+HA_FE_PORTS=(18094 18095 18096)
+HA_FE_IDS=(fe1 fe2 fe3)
+PEERS="fe1=http://127.0.0.1:${HA_FE_PORTS[0]},fe2=http://127.0.0.1:${HA_FE_PORTS[1]},fe3=http://127.0.0.1:${HA_FE_PORTS[2]}"
+HA_REPLICAS="http://127.0.0.1:${HA_REPLICA_PORTS[0]},http://127.0.0.1:${HA_REPLICA_PORTS[1]},http://127.0.0.1:${HA_REPLICA_PORTS[2]}"
+
+for p in "${HA_REPLICA_PORTS[@]}"; do
+  "$BIN" -replica -addr "127.0.0.1:$p" >"$WORK/ha-replica-$p.log" 2>&1 &
+  PIDS+=("$!")
+done
+HA_FE_PIDS=()
+for i in 0 1 2; do
+  "$BIN" -replicas "$HA_REPLICAS" -addr "127.0.0.1:${HA_FE_PORTS[$i]}" \
+    -frontend-id "${HA_FE_IDS[$i]}" -peers "$PEERS" -replog-dir "$WORK/ha-replog-${HA_FE_IDS[$i]}" \
+    -health-interval 150ms -fail-after 2 -bcast-window 20ms -mutation-timeout 1s \
+    >"$WORK/ha-fe-${HA_FE_IDS[$i]}.log" 2>&1 &
+  HA_FE_PIDS+=("$!")
+  PIDS+=("$!")
+done
+for p in "${HA_REPLICA_PORTS[@]}" "${HA_FE_PORTS[@]}"; do wait_ready "$p"; done
+# A squatter on one of our ports would pass wait_ready while the real
+# front-end died on bind; insist each process came up in HA mode.
+for id in "${HA_FE_IDS[@]}"; do
+  if ! grep -q "HA fleet front-end" "$WORK/ha-fe-$id.log"; then
+    echo "FAIL: $id did not come up as an HA front-end (port taken?): $(cat "$WORK/ha-fe-$id.log")" >&2
+    exit 1
+  fi
+done
+
+# ha_leader prints the index (0..2) of the front-end reporting itself
+# leader on /healthz, or returns nonzero.
+ha_leader() {
+  for i in 0 1 2; do
+    local role
+    role=$(curl -fsS --max-time 5 -o /dev/null -D - "http://127.0.0.1:${HA_FE_PORTS[$i]}/healthz" 2>/dev/null |
+      tr -d '\r' | awk -F': ' 'tolower($1)=="x-quorum-role"{print $2}')
+    if [ "$role" = "leader" ]; then echo "$i"; return 0; fi
+  done
+  return 1
+}
+
+wait_ha_leader() {
+  for _ in $(seq 1 60); do
+    if LEADER_IDX=$(ha_leader); then return 0; fi
+    sleep 0.25
+  done
+  echo "FAIL: HA front-ends never elected a leader" >&2
+  exit 1
+}
+wait_ha_leader
+echo "   leader is ${HA_FE_IDS[$LEADER_IDX]} (port ${HA_FE_PORTS[$LEADER_IDX]})"
+
+# ha_write retries one mutation across the front-end set until some
+# node acks it — curl -L chases the follower's 307 to the leader, and
+# the retry loop rides out the election window. Writes that never ack
+# are NOT recorded, so the audit below checks exactly the acked set.
+ha_write() { # $1 = path, $2 = body
+  for _ in $(seq 1 60); do
+    for p in "${HA_FE_PORTS[@]}"; do
+      if curl -fsS -L --max-time 5 -X POST -d "$2" "http://127.0.0.1:$p$1" >/dev/null 2>&1; then
+        return 0
+      fi
+    done
+    sleep 0.25
+  done
+  return 1
+}
+
+echo "== write storm: SIGKILL the leader mid-stream"
+ha_write "/v1/friend" '{"a":"haa","b":"hab","weight":0.9}' || { echo "FAIL: seed befriend never acked" >&2; exit 1; }
+: >"$WORK/ha-acked.txt"
+STORM_N=40
+for i in $(seq 0 $((STORM_N - 1))); do
+  if [ "$i" -eq 10 ]; then
+    echo "   killing leader ${HA_FE_IDS[$LEADER_IDX]}"
+    kill -9 "${HA_FE_PIDS[$LEADER_IDX]}"
+  fi
+  if ha_write "/v1/tag" "{\"user\":\"hab\",\"item\":\"haitem$i\",\"tag\":\"pizza\"}"; then
+    echo "haitem$i" >>"$WORK/ha-acked.txt"
+  fi
+done
+ACKED=$(wc -l <"$WORK/ha-acked.txt")
+if [ "$ACKED" -lt $((STORM_N - 5)) ]; then
+  echo "FAIL: only $ACKED/$STORM_N storm writes acked — the fleet did not keep serving" >&2
+  exit 1
+fi
+
+echo "== a follower must have won the election"
+DEAD_IDX=$LEADER_IDX
+wait_ha_leader
+if [ "$LEADER_IDX" = "$DEAD_IDX" ]; then
+  echo "FAIL: dead front-end still reported as leader" >&2
+  exit 1
+fi
+echo "   successor is ${HA_FE_IDS[$LEADER_IDX]} (port ${HA_FE_PORTS[$LEADER_IDX]})"
+SURVIVORS=()
+for i in 0 1 2; do
+  if [ "$i" != "$DEAD_IDX" ]; then SURVIVORS+=("$i"); fi
+done
+
+echo "== no acked mutation lost: every acked item must be queryable"
+ha_query() { # $1 = fe index, $2 = seeker
+  curl -fsS --max-time 10 -X POST -d "{\"seeker\":\"$2\",\"tags\":[\"pizza\"],\"k\":200,\"mode\":\"exact\"}" \
+    "http://127.0.0.1:${HA_FE_PORTS[$1]}/v2/search"
+}
+AUDITED=no
+for _ in $(seq 1 80); do
+  ha_query "${SURVIVORS[0]}" haa >"$WORK/ha-answer.json" || { sleep 0.25; continue; }
+  if python3 -c "
+import json, sys
+answer = json.load(open('$WORK/ha-answer.json'))
+items = {r['item'] for r in answer['results']}
+acked = [l.strip() for l in open('$WORK/ha-acked.txt') if l.strip()]
+missing = [a for a in acked if a not in items]
+sys.exit(1 if missing else 0)
+"; then AUDITED=yes; break; fi
+  sleep 0.25
+done
+if [ "$AUDITED" != "yes" ]; then
+  echo "FAIL: acked mutations missing from post-failover answers" >&2
+  python3 -c "
+import json
+answer = json.load(open('$WORK/ha-answer.json'))
+items = {r['item'] for r in answer['results']}
+acked = [l.strip() for l in open('$WORK/ha-acked.txt') if l.strip()]
+print('missing:', [a for a in acked if a not in items])
+" >&2
+  exit 1
+fi
+
+echo "== surviving front-ends must serve byte-identical answers"
+ha_query "${SURVIVORS[0]}" haa >"$WORK/ha-surv0.json"
+ha_query "${SURVIVORS[1]}" haa >"$WORK/ha-surv1.json"
+if ! cmp -s "$WORK/ha-surv0.json" "$WORK/ha-surv1.json"; then
+  echo "FAIL: surviving front-ends answered differently" >&2
+  diff "$WORK/ha-surv0.json" "$WORK/ha-surv1.json" >&2 || true
+  exit 1
+fi
+
+echo "== LSN audit: survivors' committed replication logs must be identical"
+LOGS_MATCH=no
+for _ in $(seq 1 40); do
+  curl -fsS --max-time 10 "http://127.0.0.1:${HA_FE_PORTS[${SURVIVORS[0]}]}/v2/replog?from=1" >"$WORK/ha-log0.json"
+  curl -fsS --max-time 10 "http://127.0.0.1:${HA_FE_PORTS[${SURVIVORS[1]}]}/v2/replog?from=1" >"$WORK/ha-log1.json"
+  if cmp -s "$WORK/ha-log0.json" "$WORK/ha-log1.json"; then LOGS_MATCH=yes; break; fi
+  sleep 0.25 # a follower learns the commit index one heartbeat late
+done
+if [ "$LOGS_MATCH" != "yes" ]; then
+  echo "FAIL: survivors' committed replication logs diverge" >&2
+  diff "$WORK/ha-log0.json" "$WORK/ha-log1.json" >&2 || true
+  exit 1
+fi
+# The committed log must cover every acked write (1 befriend + tags +
+# the election term records), or an acked LSN was dropped.
+if ! python3 -c "
+import json
+page = json.load(open('$WORK/ha-log0.json'))
+acked = sum(1 for l in open('$WORK/ha-acked.txt') if l.strip())
+assert page['head'] >= acked + 1, 'committed head %d < %d acked writes' % (page['head'], acked + 1)
+"; then
+  echo "FAIL: committed log shorter than the acked write count" >&2
   exit 1
 fi
 

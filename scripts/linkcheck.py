@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""linkcheck.py — validate relative markdown links and anchors.
+
+Scans README.md, ROADMAP.md, CHANGES.md and docs/**.md for inline
+markdown links. For every relative link it asserts the target file (or
+directory) exists, and for fragment links (#anchor) that the target
+heading exists, using GitHub's anchor-slug rules. External http(s) and
+mailto links are skipped — CI must not depend on the network.
+
+Exit 0 when clean; prints one line per broken link and exits 1 otherwise.
+"""
+
+import os
+import re
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+LINK_RE = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^\s*```")
+
+
+def md_files():
+    files = []
+    for name in ("README.md", "ROADMAP.md", "CHANGES.md", "PAPER.md"):
+        p = os.path.join(ROOT, name)
+        if os.path.exists(p):
+            files.append(p)
+    for dirpath, _dirnames, filenames in os.walk(os.path.join(ROOT, "docs")):
+        for fn in sorted(filenames):
+            if fn.endswith(".md"):
+                files.append(os.path.join(dirpath, fn))
+    return files
+
+
+def github_slug(heading):
+    """GitHub's anchor algorithm: lowercase, drop punctuation, spaces to dashes."""
+    # Inline code and links inside headings keep their text.
+    heading = re.sub(r"`([^`]*)`", r"\1", heading)
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    heading = heading.strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def anchors_of(path, cache={}):
+    if path in cache:
+        return cache[path]
+    slugs = set()
+    counts = {}
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if not m:
+                continue
+            slug = github_slug(m.group(1))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            slugs.add(slug if n == 0 else f"{slug}-{n}")
+    cache[path] = slugs
+    return slugs
+
+
+def check_file(path):
+    errors = []
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in LINK_RE.finditer(line):
+                target = m.group(1)
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                base, _, frag = target.partition("#")
+                if base:
+                    dest = os.path.normpath(os.path.join(os.path.dirname(path), base))
+                else:
+                    dest = path  # same-file anchor
+                rel = os.path.relpath(path, ROOT)
+                if not os.path.exists(dest):
+                    errors.append(f"{rel}:{lineno}: broken link {target!r} (no such file)")
+                    continue
+                if frag:
+                    if os.path.isdir(dest) or not dest.endswith(".md"):
+                        continue  # anchors only checked into markdown
+                    if frag.lower() not in anchors_of(dest):
+                        errors.append(
+                            f"{rel}:{lineno}: broken anchor {target!r} "
+                            f"(no heading slug {frag!r} in {os.path.relpath(dest, ROOT)})"
+                        )
+    return errors
+
+
+def main():
+    files = md_files()
+    errors = []
+    for path in files:
+        errors.extend(check_file(path))
+    for e in errors:
+        print(e)
+    if errors:
+        print(f"linkcheck: {len(errors)} broken link(s) across {len(files)} files", file=sys.stderr)
+        return 1
+    print(f"linkcheck: {len(files)} markdown files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# pkgdoc_check.sh — every package must carry a godoc package comment.
+#
+# A package comment is the one-line contract a reader gets before any
+# code; CI failing here is how the repo keeps that contract as packages
+# are added. Uses `go list` only — no extra tooling.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+missing=0
+while IFS=: read -r path doc; do
+  if [ -z "${doc// /}" ]; then
+    echo "MISSING package comment: $path"
+    missing=1
+  fi
+done < <(go list -f '{{.ImportPath}}:{{.Doc}}' ./...)
+
+if [ "$missing" -ne 0 ]; then
+  echo "FAIL: add a package comment (// Package <name> ...) to each package above." >&2
+  exit 1
+fi
+echo "pkgdoc check passed: every package is documented."
