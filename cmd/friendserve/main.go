@@ -10,6 +10,8 @@
 //	            [-drain 500ms]
 //	            [-admit] [-admit-window 8] [-admit-max-window 256]
 //	            [-admit-queue 128] [-admit-queue-deadline 500ms]
+//	            [-log-format text] [-pprof] [-trace-sample 16]
+//	            [-trace-slow 250ms] [-trace-recorder 256]
 //	friendserve -replica [-addr :8081] ...
 //	friendserve -replicas http://a:8081,http://b:8082 [-addr :8080]
 //	            [-hedge 0] [-health-interval 1s] [-fail-after 3]
@@ -79,6 +81,20 @@
 // approximate path. LSN-stamped replication applies are never shed.
 // Works in every mode — on a replica it protects that replica's
 // engine; on the front-end it bounds fleet-wide fan-out.
+//
+// Observability (docs/observability.md): every process carries an
+// always-on tracing plane. Requests get W3C-traceparent trace/span
+// ids (minted at the front-end, propagated to replicas and quorum
+// peers), 1-in-N head sampling plus tail capture of slow, shed,
+// degraded and failed requests into an in-process flight recorder at
+// GET /debug/traces, a slow-query log at GET /debug/slowlog, and
+// Prometheus text-format metrics at GET /metrics. -trace-sample sets
+// the head-sampling rate (1 = trace everything, negative disables),
+// -trace-slow the slow/tail threshold, -trace-recorder the ring
+// capacity. -log-format json switches the structured request log
+// (one line per sampled or tail-captured request, carrying trace id,
+// node id and quorum role) from logfmt-style text to JSON. -pprof
+// mounts net/http/pprof under /debug/pprof/.
 package main
 
 import (
@@ -95,6 +111,7 @@ import (
 	"repro/internal/admission"
 	"repro/internal/durable"
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/qcache"
 	"repro/internal/quorum"
 	"repro/internal/server"
@@ -134,6 +151,11 @@ func main() {
 	admitMaxWindow := flag.Int("admit-max-window", 0, "admission: concurrency window ceiling (0 = default)")
 	admitQueue := flag.Int("admit-queue", 0, "admission: bounded wait-queue length (0 = default)")
 	admitQueueDeadline := flag.Duration("admit-queue-deadline", 0, "admission: max time a request may wait queued (0 = default)")
+	logFormat := flag.String("log-format", "text", "structured request-log format: text or json")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	traceSample := flag.Int("trace-sample", 0, "trace head-sampling rate: record 1 in N requests (1 = all, 0 = default 16, negative disables)")
+	traceSlow := flag.Duration("trace-slow", 0, "tail-capture and slow-log any request at least this slow (0 = default 250ms, negative disables)")
+	traceRecorder := flag.Int("trace-recorder", 0, "flight-recorder capacity in completed traces (0 = default 256)")
 	flag.Parse()
 
 	if *replica && *replicas != "" {
@@ -145,6 +167,18 @@ func main() {
 	if *peers != "" && (*replicas == "" || *replogDir == "") {
 		log.Fatalf("friendserve: -peers requires -replicas and -replog-dir")
 	}
+	if *logFormat != "text" && *logFormat != "json" {
+		log.Fatalf("friendserve: -log-format must be text or json (got %q)", *logFormat)
+	}
+
+	// One stable node identity names this process in spans, trace
+	// records, log lines and /metrics: the quorum id when the
+	// front-end is HA, otherwise the listen address.
+	nodeID := *frontendID
+	if nodeID == "" {
+		nodeID = *addr
+	}
+	logger := obs.NewLogger(os.Stderr, *logFormat, nodeID)
 
 	var backend server.Backend
 	var cleanup func()
@@ -162,6 +196,7 @@ func main() {
 			mutationTimeout: *mutationTimeout,
 			frontendID:      *frontendID,
 			peers:           *peers,
+			logf:            logger.Printf,
 		})
 		if err != nil {
 			log.Fatalf("friendserve: %v", err)
@@ -208,6 +243,33 @@ func main() {
 		log.Fatalf("friendserve: %v", err)
 	}
 	srv.SetDrainDelay(*drain)
+
+	// The observability plane: tracer + flight recorder, build info on
+	// /healthz and /v1/stats, structured request log, /metrics, and
+	// (opt-in) pprof. The quorum role callback keeps every log line
+	// honest about who was leader when it was written.
+	tracer := obs.NewTracer(obs.Config{
+		Node:             nodeID,
+		SampleEvery:      *traceSample,
+		SlowThreshold:    *traceSlow,
+		RecorderCapacity: *traceRecorder,
+	})
+	srv.SetTracer(tracer)
+	srv.SetBuild(obs.NewBuild(nodeID))
+	srv.SetAccessLogger(logger)
+	srv.SetLogf(logger.Printf)
+	if *pprofOn {
+		srv.EnablePprof()
+	}
+	switch {
+	case qnode != nil:
+		logger.SetRole(func() string { return qnode.Stats().Role })
+	case *replicas != "":
+		logger.SetRole(func() string { return "frontend" })
+	case *replica:
+		logger.SetRole(func() string { return "replica" })
+	}
+
 	if qnode != nil {
 		// The consensus transport shares the public listener; start the
 		// node's timers only once the handler is about to accept RPCs.
@@ -254,6 +316,7 @@ type frontendOpts struct {
 	mutationTimeout time.Duration
 	frontendID      string
 	peers           string
+	logf            func(format string, args ...interface{})
 }
 
 // parsePeers reads the -peers "id=url,id=url" form into the quorum
@@ -324,11 +387,15 @@ func buildFrontend(o frontendOpts) (*fleet.Frontend, *quorum.Node, error) {
 			front.Close()
 			return nil, nil, err
 		}
+		logf := o.logf
+		if logf == nil {
+			logf = log.Printf
+		}
 		node, err := quorum.Open(quorum.Config{
 			ID:    o.frontendID,
 			Peers: peerMap,
 			Dir:   o.replogDir,
-			Logf:  log.Printf,
+			Logf:  logf,
 		})
 		if err != nil {
 			front.Close()

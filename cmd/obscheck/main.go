@@ -1,0 +1,296 @@
+// Command obscheck is the smoke-test probe for the observability
+// plane — the assertions scripts/fleet_smoke.sh makes against a live
+// fleet, kept in Go so CI needs no promtool or jq:
+//
+//	obscheck -mode metrics -url http://fe:8080 \
+//	    -require friendserve_trace_started,friendserve_build_info
+//	obscheck -mode trace -url http://fe:8080 -trace-id <id> \
+//	    -require-spans admission.acquire,quorum.commit -remote-node fe1
+//	obscheck -mode pprof -url http://fe:8080
+//
+// metrics fetches /metrics, validates every line against the
+// Prometheus text exposition grammar (name{labels} value), and
+// requires the named metrics to be present. trace fetches one recorded
+// trace from /debug/traces/{id} (or scans the /debug/traces listing
+// when -trace-id is empty) and requires the named spans, plus — when
+// -remote-node is set — at least one span from a node other than that
+// one, proving the trace stitched across processes. pprof probes
+// /debug/pprof/ and requires an HTTP 200.
+//
+// Exit status 0 on success; 1 with a diagnostic on any failed
+// assertion.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+func main() {
+	mode := flag.String("mode", "", "what to check: metrics, trace, or pprof")
+	url := flag.String("url", "", "base URL of the server under test")
+	require := flag.String("require", "", "metrics mode: comma-separated metric names that must be present")
+	traceID := flag.String("trace-id", "", "trace mode: fetch this trace (empty: scan the listing for one that satisfies the span requirements)")
+	requireSpans := flag.String("require-spans", "", "trace mode: comma-separated span names the trace must contain")
+	remoteNode := flag.String("remote-node", "", "trace mode: require at least one span from a node other than this one (cross-process stitch)")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request HTTP timeout")
+	flag.Parse()
+	if *url == "" {
+		fatalf("-url is required")
+	}
+	client := &http.Client{Timeout: *timeout}
+
+	switch *mode {
+	case "metrics":
+		checkMetrics(client, *url, splitList(*require))
+	case "trace":
+		checkTrace(client, *url, *traceID, splitList(*requireSpans), *remoteNode)
+	case "pprof":
+		checkPprof(client, *url)
+	default:
+		fatalf("-mode must be metrics, trace, or pprof (got %q)", *mode)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "obscheck: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func get(client *http.Client, url string) []byte {
+	resp, err := client.Get(url)
+	if err != nil {
+		fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
+	if err != nil {
+		fatalf("GET %s: reading body: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fatalf("GET %s: status %d: %s", url, resp.StatusCode, firstLine(body))
+	}
+	return body
+}
+
+func firstLine(b []byte) string {
+	s := strings.TrimSpace(string(b))
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	if len(s) > 200 {
+		s = s[:200]
+	}
+	return s
+}
+
+// checkMetrics validates the exposition format and the presence of the
+// required metric names.
+func checkMetrics(client *http.Client, base string, required []string) {
+	body := get(client, base+"/metrics")
+	present := map[string]bool{}
+	lines := strings.Split(strings.TrimSuffix(string(body), "\n"), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		fatalf("/metrics returned an empty exposition")
+	}
+	for i, line := range lines {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, ok := parseSample(line)
+		if !ok {
+			fatalf("/metrics line %d is not a valid sample: %q", i+1, line)
+		}
+		present[name] = true
+	}
+	var missing []string
+	for _, name := range required {
+		if !present[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		fatalf("/metrics is missing required metrics %v (%d metrics present)", missing, len(present))
+	}
+	fmt.Printf("obscheck metrics: %d samples, %d distinct metrics, all %d required present\n",
+		len(lines), len(present), len(required))
+}
+
+// parseSample validates one `name{labels} value` exposition line and
+// returns the metric name.
+func parseSample(line string) (string, bool) {
+	rest := line
+	name := rest
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", false
+		}
+		if !validLabels(rest[i+1 : j]) {
+			return "", false
+		}
+		rest = rest[j+1:]
+	} else if i := strings.IndexByte(rest, ' '); i >= 0 {
+		name = rest[:i]
+		rest = rest[i:]
+	} else {
+		return "", false
+	}
+	if !validMetricName(name) {
+		return "", false
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	if _, err := strconv.ParseFloat(rest, 64); err != nil {
+		return "", false
+	}
+	return name, true
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z'
+		if !(alpha || i > 0 && r >= '0' && r <= '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabels checks `k="v",k="v"` with escaped quotes inside values.
+func validLabels(s string) bool {
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 || eq+1 >= len(s) || s[eq+1] != '"' {
+			return false
+		}
+		i := eq + 2
+		for i < len(s) && (s[i] != '"' || s[i-1] == '\\') {
+			i++
+		}
+		if i >= len(s) {
+			return false
+		}
+		s = s[i+1:]
+		if s == "" {
+			return true
+		}
+		if s[0] != ',' {
+			return false
+		}
+		s = s[1:]
+	}
+	return true
+}
+
+// span mirrors obs.SpanData for decoding (obscheck stays decoupled
+// from internal packages on purpose: it tests the wire format).
+type span struct {
+	Name string `json:"name"`
+	Node string `json:"node"`
+}
+
+type traceRecord struct {
+	ID    string `json:"trace_id"`
+	Spans []span `json:"spans"`
+}
+
+func checkTrace(client *http.Client, base, id string, requiredSpans []string, remoteNode string) {
+	var candidates []traceRecord
+	if id != "" {
+		var rec traceRecord
+		mustJSON(get(client, base+"/debug/traces/"+id), &rec)
+		candidates = []traceRecord{rec}
+	} else {
+		var listing struct {
+			Traces []struct {
+				ID string `json:"trace_id"`
+			} `json:"traces"`
+		}
+		mustJSON(get(client, base+"/debug/traces"), &listing)
+		if len(listing.Traces) == 0 {
+			fatalf("/debug/traces listed no recorded traces")
+		}
+		for _, s := range listing.Traces {
+			var rec traceRecord
+			mustJSON(get(client, base+"/debug/traces/"+s.ID), &rec)
+			candidates = append(candidates, rec)
+		}
+	}
+	var lastMiss string
+	for _, rec := range candidates {
+		if why := traceSatisfies(rec, requiredSpans, remoteNode); why == "" {
+			fmt.Printf("obscheck trace: %s has %d spans covering %v%s\n",
+				rec.ID, len(rec.Spans), requiredSpans, remoteDesc(remoteNode))
+			return
+		} else {
+			lastMiss = why
+		}
+	}
+	fatalf("no recorded trace satisfies the requirements (checked %d; last miss: %s)",
+		len(candidates), lastMiss)
+}
+
+func remoteDesc(remoteNode string) string {
+	if remoteNode == "" {
+		return ""
+	}
+	return " incl. a span from a node other than " + remoteNode
+}
+
+// traceSatisfies returns "" when the trace covers every required span
+// name and (when remoteNode is set) includes a span from another node;
+// otherwise a human-readable reason.
+func traceSatisfies(rec traceRecord, requiredSpans []string, remoteNode string) string {
+	names := map[string]bool{}
+	remote := false
+	for _, sp := range rec.Spans {
+		names[sp.Name] = true
+		if remoteNode != "" && sp.Node != "" && sp.Node != remoteNode {
+			remote = true
+		}
+	}
+	for _, want := range requiredSpans {
+		if !names[want] {
+			return fmt.Sprintf("trace %s lacks span %q", rec.ID, want)
+		}
+	}
+	if remoteNode != "" && !remote {
+		return fmt.Sprintf("trace %s has no span from a node other than %q", rec.ID, remoteNode)
+	}
+	return ""
+}
+
+func mustJSON(body []byte, into interface{}) {
+	if err := json.Unmarshal(body, into); err != nil {
+		fatalf("decoding JSON: %v: %s", err, firstLine(body))
+	}
+}
+
+func checkPprof(client *http.Client, base string) {
+	body := get(client, base+"/debug/pprof/")
+	if !strings.Contains(string(body), "profile") {
+		fatalf("/debug/pprof/ answered 200 but does not look like the pprof index: %s", firstLine(body))
+	}
+	fmt.Println("obscheck pprof: index answers")
+}

@@ -9,6 +9,7 @@ package repro
 
 import (
 	"encoding/json"
+	"io"
 	"io/fs"
 	"net/http"
 	"net/http/httptest"
@@ -21,7 +22,9 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/quorum"
 	"repro/internal/server"
 	"repro/internal/social"
@@ -96,7 +99,7 @@ func sectionKeys(t *testing.T, md, heading string) []string {
 		}
 	}
 	if start < 0 {
-		t.Fatalf("docs/fleet.md has no %q section", heading)
+		t.Fatalf("markdown has no %q section", heading)
 	}
 	var body strings.Builder
 	for _, l := range lines[start:] {
@@ -228,6 +231,12 @@ func newLiveHAFrontend(t *testing.T) string {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The full observability plane, as cmd/friendserve installs it, so
+	// the envelope keys the docs name are all live: build + trace + an
+	// admission controller, with head sampling on every request.
+	srv.SetBuild(obs.NewBuild("fe1"))
+	srv.SetTracer(obs.NewTracer(obs.Config{Node: "fe1", SampleEvery: 1}))
+	srv.SetAdmission(admission.New(admission.Config{}))
 	srv.MountQuorum(node1.Handler())
 	mu.Lock()
 	feH, peerH = srv, node2.Handler()
@@ -261,6 +270,72 @@ func getJSONValue(t *testing.T, url string) interface{} {
 		t.Fatalf("GET %s: %v", url, err)
 	}
 	return v
+}
+
+// TestObservabilityDocsKeyDrift: every key docs/observability.md
+// pins — /v1/stats envelope keys, /debug/traces record keys, and
+// /metrics metric names — must exist in live responses from an HA
+// front-end running the full obs plane. A traced request (sampled
+// traceparent, so the recorder holds a cross-process-shaped trace) is
+// driven first so span-level keys populate.
+func TestObservabilityDocsKeyDrift(t *testing.T) {
+	md, err := os.ReadFile(filepath.Join("docs", "observability.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	statsKeys := sectionKeys(t, string(md), "### Stats keys")
+	traceKeys := sectionKeys(t, string(md), "### Trace record keys")
+	metricNames := sectionKeys(t, string(md), "### Metrics names")
+	if len(statsKeys) < 10 || len(traceKeys) < 10 || len(metricNames) < 10 {
+		t.Fatalf("extracted %d/%d/%d documented keys — extraction broken?",
+			len(statsKeys), len(traceKeys), len(metricNames))
+	}
+
+	base := newLiveHAFrontend(t)
+	// One traced request, joining an external trace so the flight
+	// recorder gets a record with a parented span.
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/users", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("traceparent", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	live := map[string]bool{}
+	collectKeys(getJSONValue(t, base+"/v1/stats"), live)
+	for _, k := range statsKeys {
+		if !live[k] {
+			t.Errorf("documented stats key %q absent from live /v1/stats", k)
+		}
+	}
+
+	traceLive := map[string]bool{}
+	collectKeys(getJSONValue(t, base+"/debug/traces/4bf92f3577b34da6a3ce929d0e0e4736"), traceLive)
+	collectKeys(getJSONValue(t, base+"/debug/slowlog"), traceLive)
+	for _, k := range traceKeys {
+		if !traceLive[k] {
+			t.Errorf("documented trace key %q absent from live /debug/traces", k)
+		}
+	}
+
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range metricNames {
+		if !strings.Contains(string(body), name) {
+			t.Errorf("documented metric %q absent from live /metrics", name)
+		}
+	}
 }
 
 // TestDocsStatsKeyDrift: every key named (backticked) in the

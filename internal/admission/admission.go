@@ -180,12 +180,16 @@ type Controller struct {
 	shedBudget     atomic.Int64
 	shedDeadline   atomic.Int64 // queue-deadline expiry discovered at pop
 	canceledQueued atomic.Int64
-	okOnDeadline   atomic.Int64
-	lateDone       atomic.Int64
-	timeouts       atomic.Int64
-	errored        atomic.Int64
-	explainShed    atomic.Int64
-	degraded       atomic.Int64
+	// canceledInflight counts requests whose client hung up after
+	// admission, while the work was running (the in-flight half of the
+	// 499 class; canceledQueued is the still-queued half).
+	canceledInflight atomic.Int64
+	okOnDeadline     atomic.Int64
+	lateDone         atomic.Int64
+	timeouts         atomic.Int64
+	errored          atomic.Int64
+	explainShed      atomic.Int64
+	degraded         atomic.Int64
 }
 
 // New builds a controller from cfg (zero fields take defaults).
@@ -334,9 +338,13 @@ func (t *Ticket) Release(err error) {
 	case errors.Is(err, context.DeadlineExceeded):
 		c.timeouts.Add(1)
 		congested = true
+	case errors.Is(err, context.Canceled):
+		// The client hung up mid-execution (499 in flight). Neutral for
+		// the AIMD loop — it says nothing about replica load — but
+		// counted in its own class so cancellations are not invisible.
+		c.canceledInflight.Add(1)
 	default:
-		// Cancellation and engine errors are neutral: they say nothing
-		// about replica load.
+		// Engine errors are neutral: they say nothing about replica load.
 		c.errored.Add(1)
 	}
 
@@ -500,17 +508,21 @@ type Snapshot struct {
 	Queued   int
 	Level    int
 
-	Admitted       int64
-	ShedQueueFull  int64
-	ShedBudget     int64
-	ShedDeadline   int64
-	CanceledQueued int64
-	OKOnDeadline   int64
-	LateDone       int64
-	Timeouts       int64
-	Errors         int64
-	ExplainShed    int64
-	Degraded       int64
+	Admitted      int64
+	ShedQueueFull int64
+	ShedBudget    int64
+	ShedDeadline  int64
+	// CanceledQueued / CanceledInFlight split the 499 client-cancel
+	// class: hung up while still queued vs. after admission with the
+	// work already running.
+	CanceledQueued   int64
+	CanceledInFlight int64
+	OKOnDeadline     int64
+	LateDone         int64
+	Timeouts         int64
+	Errors           int64
+	ExplainShed      int64
+	Degraded         int64
 
 	Latency metrics.HistogramSnapshot
 }
@@ -534,6 +546,7 @@ func (c *Controller) Snapshot() Snapshot {
 	s.ShedBudget = c.shedBudget.Load()
 	s.ShedDeadline = c.shedDeadline.Load()
 	s.CanceledQueued = c.canceledQueued.Load()
+	s.CanceledInFlight = c.canceledInflight.Load()
 	s.OKOnDeadline = c.okOnDeadline.Load()
 	s.LateDone = c.lateDone.Load()
 	s.Timeouts = c.timeouts.Load()

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/planner"
 	"repro/internal/qcache"
 	"repro/internal/search"
@@ -253,6 +254,9 @@ func (x *Executor) do(ctx context.Context, req search.Request, bst *execBurst) (
 	if err := ctx.Err(); err != nil {
 		return search.Response{}, err
 	}
+	ctx, sp := obs.StartSpan(ctx, "exec.execute")
+	defer sp.End()
+	sp.SetAttr("seeker", req.Seeker)
 	degraded := false
 	if h, _ := x.degradeHook.Load().(func(*search.Request) bool); h != nil {
 		degraded = h(&req)

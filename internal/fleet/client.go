@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/quorum"
 	"repro/internal/search"
 )
@@ -192,6 +193,13 @@ func (c *Client) post(parent context.Context, path string, in, out interface{}) 
 	if err != nil {
 		return fmt.Errorf("fleet: encoding %s request: %w", path, err)
 	}
+	// One span per RPC attempt (a hedged request shows both attempts);
+	// on a sampled trace the replica stitches its own spans into ours
+	// through the response (see the wire response types' Spans fields).
+	parent, sp := obs.StartSpan(parent, "fleet.rpc")
+	defer sp.End()
+	sp.SetAttr("replica", c.base)
+	sp.SetAttr("path", path)
 	ctx, cancel := context.WithTimeout(parent, c.cfg.Timeout)
 	defer cancel()
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
@@ -199,6 +207,7 @@ func (c *Client) post(parent context.Context, path string, in, out interface{}) 
 		return fmt.Errorf("fleet: building %s request: %w", path, err)
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	obs.Inject(parent, hreq.Header)
 	resp, err := c.hc.Do(hreq)
 	if err != nil {
 		if perr := parent.Err(); perr != nil {
@@ -266,12 +275,15 @@ func wireErrMessage(r io.Reader) string {
 	return strings.TrimSpace(string(raw))
 }
 
-// wireSearchResponse mirrors the server's /v2/search response.
+// wireSearchResponse mirrors the server's /v2/search response. Spans
+// is the replica's span data for a traced request; the client folds it
+// into the live trace and strips it before the response surfaces.
 type wireSearchResponse struct {
 	Results    []search.Result `json:"results"`
 	Explain    *search.Explain `json:"explain,omitempty"`
 	Degraded   bool            `json:"degraded,omitempty"`
 	ScoreBound float64         `json:"score_bound,omitempty"`
+	Spans      []obs.SpanData  `json:"spans,omitempty"`
 }
 
 // Do answers one request over POST /v2/search. With hedging configured,
@@ -340,6 +352,7 @@ func (c *Client) searchOnce(ctx context.Context, req search.Request) (search.Res
 	if err := c.post(ctx, "/v2/search", toWire(req), &out); err != nil {
 		return search.Response{}, err
 	}
+	obs.MergeRemote(ctx, out.Spans)
 	if out.Results == nil {
 		out.Results = []search.Result{}
 	}
@@ -364,6 +377,7 @@ type wireBatchEntry struct {
 
 type wireBatchResponse struct {
 	Results []wireBatchEntry `json:"results"`
+	Spans   []obs.SpanData   `json:"spans,omitempty"`
 }
 
 // DoBatch answers many requests over POST /v2/search/batch. Per-query
@@ -385,6 +399,7 @@ func (c *Client) DoBatch(ctx context.Context, reqs []search.Request) []search.Ba
 		}
 		return out
 	}
+	obs.MergeRemote(ctx, resp.Spans)
 	if len(resp.Results) != len(reqs) {
 		err := unavailablef("%s /v2/search/batch: %d answers for %d queries", c.base, len(resp.Results), len(reqs))
 		for i := range out {
@@ -448,6 +463,7 @@ func (c *Client) Befriend(ctx context.Context, a, b string, weight float64, lsn 
 	if err := c.post(ctx, "/v1/friend", in, &out); err != nil {
 		return 0, err
 	}
+	obs.MergeRemote(ctx, out.Spans)
 	return out.AppliedLSN, nil
 }
 
@@ -462,12 +478,15 @@ func (c *Client) Tag(ctx context.Context, user, item, tag string, lsn uint64) (u
 	if err := c.post(ctx, "/v1/tag", in, &out); err != nil {
 		return 0, err
 	}
+	obs.MergeRemote(ctx, out.Spans)
 	return out.AppliedLSN, nil
 }
 
-// appliedAck mirrors the server's LSN-stamped mutation response.
+// appliedAck mirrors the server's LSN-stamped mutation response
+// (Spans: the replica's span data for a traced replicated apply).
 type appliedAck struct {
-	AppliedLSN uint64 `json:"applied_lsn"`
+	AppliedLSN uint64         `json:"applied_lsn"`
+	Spans      []obs.SpanData `json:"spans,omitempty"`
 }
 
 // Skip advances the replica's replication cursor past a record that is

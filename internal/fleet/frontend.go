@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/durable"
+	"repro/internal/obs"
 	"repro/internal/quorum"
 	"repro/internal/search"
 	"repro/internal/server"
@@ -280,7 +281,10 @@ func (f *Frontend) DoBatch(ctx context.Context, reqs []search.Request) []search.
 // is refused with ErrBehind and left to the catch-up stream — and a
 // *live* replica answering ErrBehind is divergence evidence that feeds
 // its health state so ejection and catch-up follow.
-func (f *Frontend) forward(lsn uint64, send func(ctx context.Context, c *Client) (uint64, error)) error {
+func (f *Frontend) forward(ctx context.Context, lsn uint64, send func(ctx context.Context, c *Client) (uint64, error)) error {
+	ctx, fsp := obs.StartSpan(ctx, "fleet.forward")
+	defer fsp.End()
+	fsp.SetInt("lsn", int64(lsn))
 	applied := 0
 	var lastUnavailable, lastInvalid error
 	for i := 0; i < f.pool.Replicas(); i++ {
@@ -292,8 +296,11 @@ func (f *Frontend) forward(lsn uint64, send func(ctx context.Context, c *Client)
 		c := f.pool.Client(i)
 		// One timeout per replica, not one shared across the fan-out: a
 		// blackholed replica must cost its own deadline, never starve
-		// the later replicas into spurious failures.
-		ctx, cancel := context.WithTimeout(context.Background(), f.MutationTimeout)
+		// the later replicas into spurious failures. The parent ctx
+		// carries only trace values, never cancellation (BefriendCtx
+		// strips it), so a client hang-up cannot abort the fan-out
+		// half-way into divergence.
+		ctx, cancel := context.WithTimeout(ctx, f.MutationTimeout)
 		ack, err := send(ctx, c)
 		cancel()
 		if err == nil {
@@ -407,6 +414,16 @@ func validateBefriend(a, b string, weight float64) error {
 // the dirty edge for the next invalidation broadcast. With a replog the
 // record is validated, durably logged, and only then fanned out.
 func (f *Frontend) Befriend(a, b string, weight float64) error {
+	return f.BefriendCtx(context.Background(), a, b, weight)
+}
+
+// BefriendCtx is Befriend carrying the request context's trace through
+// the append and fan-out path (the server.CtxMutator surface).
+// Cancellation is stripped up front: once the record is durably logged
+// the fan-out must run to completion whether or not the client is
+// still listening, or replicas would diverge on a hang-up.
+func (f *Frontend) BefriendCtx(ctx context.Context, a, b string, weight float64) error {
+	ctx = context.WithoutCancel(ctx)
 	f.writeMu.Lock()
 	defer f.writeMu.Unlock()
 	var lsn uint64
@@ -416,7 +433,7 @@ func (f *Frontend) Befriend(a, b string, weight float64) error {
 			return err
 		}
 		var err error
-		if lsn, err = f.quorumAppend(durable.RecBefriend, durable.EncodeBefriend(a, b, weight)); err != nil {
+		if lsn, err = f.quorumAppend(ctx, durable.RecBefriend, durable.EncodeBefriend(a, b, weight)); err != nil {
 			return err
 		}
 	case f.replog != nil:
@@ -427,12 +444,13 @@ func (f *Frontend) Befriend(a, b string, weight float64) error {
 			return unavailablef("no live replica to accept the write")
 		}
 		var err error
-		if lsn, err = f.replog.AppendBefriend(a, b, weight); err != nil {
-			return fmt.Errorf("fleet: replication log append: %w", err)
+		if lsn, err = f.replogAppend(ctx, func() (uint64, error) {
+			return f.replog.AppendBefriend(a, b, weight)
+		}); err != nil {
+			return err
 		}
-		f.noteAppendLocked()
 	}
-	if err := f.forward(lsn, func(ctx context.Context, c *Client) (uint64, error) {
+	if err := f.forward(ctx, lsn, func(ctx context.Context, c *Client) (uint64, error) {
 		return c.Befriend(ctx, a, b, weight, lsn)
 	}); err != nil {
 		return err
@@ -441,12 +459,26 @@ func (f *Frontend) Befriend(a, b string, weight float64) error {
 	return nil
 }
 
+// replogAppend wraps one replication log append in its trace span and
+// the periodic log maintenance. Callers hold writeMu.
+func (f *Frontend) replogAppend(ctx context.Context, append func() (uint64, error)) (uint64, error) {
+	_, sp := obs.StartSpan(ctx, "replog.append")
+	defer sp.End()
+	lsn, err := append()
+	if err != nil {
+		return 0, fmt.Errorf("fleet: replication log append: %w", err)
+	}
+	sp.SetInt("lsn", int64(lsn))
+	f.noteAppendLocked()
+	return lsn, nil
+}
+
 // quorumAppend is the leader-only half of a quorum-mode mutation: gate
 // on leadership and reconcile state, then append to the consensus log
 // and wait for the majority ack. Only after it returns does the record
 // exist for the fleet — fan-out of an uncommitted record could surface
 // a write a new leader later disowns. Callers hold writeMu.
-func (f *Frontend) quorumAppend(t wal.Type, payload []byte) (uint64, error) {
+func (f *Frontend) quorumAppend(ctx context.Context, t wal.Type, payload []byte) (uint64, error) {
 	if !f.qnode.IsLeader() {
 		return 0, f.qnode.NotLeader()
 	}
@@ -456,7 +488,12 @@ func (f *Frontend) quorumAppend(t wal.Type, payload []byte) (uint64, error) {
 	if !f.pool.anyLive() {
 		return 0, unavailablef("no live replica to accept the write")
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), f.MutationTimeout)
+	// The span covers append → majority replicate → commit; the caller's
+	// ctx carries trace values only (cancellation already stripped), so
+	// the append still runs under its own timeout.
+	ctx, sp := obs.StartSpan(ctx, "quorum.commit")
+	defer sp.End()
+	ctx, cancel := context.WithTimeout(ctx, f.MutationTimeout)
 	defer cancel()
 	lsn, err := f.qnode.Append(ctx, t, payload)
 	if err != nil {
@@ -466,12 +503,21 @@ func (f *Frontend) quorumAppend(t wal.Type, payload []byte) (uint64, error) {
 		}
 		return 0, unavailablef("quorum append: %v", err)
 	}
+	sp.SetInt("lsn", int64(lsn))
+	sp.SetInt("term", int64(f.qnode.Term()))
 	return lsn, nil
 }
 
 // Tag forwards the tagging mutation to every replica and schedules the
 // compaction heartbeat that makes it queryable fleet-wide.
 func (f *Frontend) Tag(user, item, tag string) error {
+	return f.TagCtx(context.Background(), user, item, tag)
+}
+
+// TagCtx is Tag carrying the request context's trace; cancellation is
+// stripped for the same divergence-safety reason as BefriendCtx.
+func (f *Frontend) TagCtx(ctx context.Context, user, item, tag string) error {
+	ctx = context.WithoutCancel(ctx)
 	f.writeMu.Lock()
 	defer f.writeMu.Unlock()
 	var lsn uint64
@@ -481,7 +527,7 @@ func (f *Frontend) Tag(user, item, tag string) error {
 			return err
 		}
 		var err error
-		if lsn, err = f.quorumAppend(durable.RecTag, durable.EncodeTag(user, item, tag)); err != nil {
+		if lsn, err = f.quorumAppend(ctx, durable.RecTag, durable.EncodeTag(user, item, tag)); err != nil {
 			return err
 		}
 	case f.replog != nil:
@@ -492,12 +538,13 @@ func (f *Frontend) Tag(user, item, tag string) error {
 			return unavailablef("no live replica to accept the write")
 		}
 		var err error
-		if lsn, err = f.replog.AppendTag(user, item, tag); err != nil {
-			return fmt.Errorf("fleet: replication log append: %w", err)
+		if lsn, err = f.replogAppend(ctx, func() (uint64, error) {
+			return f.replog.AppendTag(user, item, tag)
+		}); err != nil {
+			return err
 		}
-		f.noteAppendLocked()
 	}
-	if err := f.forward(lsn, func(ctx context.Context, c *Client) (uint64, error) {
+	if err := f.forward(ctx, lsn, func(ctx context.Context, c *Client) (uint64, error) {
 		return c.Tag(ctx, user, item, tag, lsn)
 	}); err != nil {
 		return err

@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/search"
 	"repro/internal/shard"
 )
@@ -210,8 +212,9 @@ type Pool struct {
 
 	// lagEject, when set, is consulted on every successful probe of a
 	// live replica with its self-reported cursor; true ejects it (see
-	// SetLagEjector).
-	lagEject func(replica int, cursor uint64) bool
+	// SetLagEjector). Atomic because the prober is already running when
+	// UseQuorum installs it.
+	lagEject atomic.Pointer[func(replica int, cursor uint64) bool]
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -328,7 +331,7 @@ func (p *Pool) noteApplied(i int, lsn uint64) {
 // head that already existed a full probe interval ago is divergence no
 // in-flight write can explain. Configure before serving traffic.
 func (p *Pool) SetLagEjector(fn func(replica int, cursor uint64) bool) {
-	p.lagEject = fn
+	p.lagEject.Store(&fn)
 }
 
 // minApplied returns the minimum replication cursor across replicas —
@@ -393,7 +396,7 @@ func (p *Pool) probeAll() {
 				st.fail(err)
 			} else {
 				st.setApplied(applied)
-				if p.lagEject != nil && st.isLive() && p.lagEject(i, applied) {
+				if eject := p.lagEject.Load(); eject != nil && st.isLive() && (*eject)(i, applied) {
 					st.eject(fmt.Errorf("fleet: replica cursor %d lags the replication log", applied))
 				} else {
 					st.ok()
@@ -426,6 +429,9 @@ func (p *Pool) ReplicaFor(seeker string) int {
 // over would dump its load onto the ring successors — the caller backs
 // off and retries the same route instead.
 func (p *Pool) Do(ctx context.Context, req search.Request) (search.Response, error) {
+	ctx, sp := obs.StartSpan(ctx, "fleet.route")
+	defer sp.End()
+	sp.SetAttr("seeker", req.Seeker)
 	pref := p.preference(req.Seeker)
 	anyLive := p.anyLive()
 	var lastErr error
@@ -479,6 +485,9 @@ func (p *Pool) DoBatch(ctx context.Context, reqs []search.Request) []search.Batc
 	if len(reqs) == 0 {
 		return out
 	}
+	ctx, sp := obs.StartSpan(ctx, "fleet.route")
+	defer sp.End()
+	sp.SetInt("queries", int64(len(reqs)))
 	// rank[i] is how far down request i's preference list routing has
 	// walked; pending holds the requests still needing an answer.
 	rank := make([]int, len(reqs))

@@ -70,6 +70,56 @@ func TestHistogramWindowRotation(t *testing.T) {
 	}
 }
 
+// TestHistogramWindowTwoEpochBoundary pins the exact edges of epoch
+// aging: an observation must survive through 2×half-window minus a
+// nanosecond and vanish exactly at the two-epoch boundary, in both the
+// stepped-rotation path (snapshots keep the clock moving) and the
+// idle path (no calls between observation and the boundary, which
+// takes rotateLocked's both-epochs-expired branch).
+func TestHistogramWindowTwoEpochBoundary(t *testing.T) {
+	const window = 10 * time.Second
+	const half = window / 2
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+	// Stepped: rotate at exactly one half-window (cur → prev), stay
+	// visible until just before the next boundary, drop exactly on it.
+	now := t0
+	h := NewHistogram(window)
+	h.now = func() time.Time { return now }
+	h.Observe(time.Millisecond)
+	now = t0.Add(half)
+	if s := h.Snapshot(); s.Count != 1 {
+		t.Fatalf("Count at exactly one half-window = %d, want 1 (prev epoch merges)", s.Count)
+	}
+	now = t0.Add(2*half - time.Nanosecond)
+	if s := h.Snapshot(); s.Count != 1 {
+		t.Fatalf("Count just before two half-windows = %d, want 1", s.Count)
+	}
+	now = t0.Add(2 * half)
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatalf("Count at exactly two half-windows = %d, want 0 (observation aged out)", s.Count)
+	}
+
+	// Idle: no intermediate snapshots (a snapshot would itself rotate
+	// the epoch), so the single rotateLocked call at the boundary must
+	// clear both epochs in one step.
+	now = t0
+	h2 := NewHistogram(window)
+	h2.now = func() time.Time { return now }
+	h2.Observe(time.Millisecond)
+	now = t0.Add(2 * half)
+	if s := h2.Snapshot(); s.Count != 0 {
+		t.Fatalf("idle Count at the boundary = %d, want 0 (both epochs expired)", s.Count)
+	}
+	// The idle branch re-anchors the epoch at "now": a fresh observation
+	// must then live a full half-window from that point.
+	h2.Observe(2 * time.Millisecond)
+	now = now.Add(half - time.Nanosecond)
+	if s := h2.Snapshot(); s.Count != 1 {
+		t.Fatalf("Count after re-anchor = %d, want 1 (epoch must restart at the idle boundary)", s.Count)
+	}
+}
+
 func TestHistogramZeroAndNegative(t *testing.T) {
 	h := NewHistogram(0)
 	h.Observe(0)

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"net/http"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"time"
+)
+
+// Build identifies the running binary for /healthz headers, the
+// /v1/stats Build block and the Prometheus _info line — so operators
+// can tell binaries apart during rolling experiments.
+type Build struct {
+	Version   string    `json:"version"`
+	GoVersion string    `json:"go_version"`
+	Node      string    `json:"node,omitempty"`
+	PID       int       `json:"pid"`
+	Started   time.Time `json:"started"`
+}
+
+// NewBuild captures the binary's identity at startup. Version comes
+// from the module build info (VCS revision when stamped, module
+// version otherwise, "devel" as the fallback).
+func NewBuild(node string) *Build {
+	b := &Build{
+		Version:   "devel",
+		GoVersion: runtime.Version(),
+		Node:      node,
+		PID:       os.Getpid(),
+		Started:   time.Now(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		rev, modified := "", false
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				modified = s.Value == "true"
+			}
+		}
+		switch {
+		case rev != "":
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			if modified {
+				rev += "-dirty"
+			}
+			b.Version = rev
+		case bi.Main.Version != "" && bi.Main.Version != "(devel)":
+			b.Version = bi.Main.Version
+		}
+	}
+	return b
+}
+
+// BuildInfo is the serializable runtime snapshot derived from Build;
+// uptime and GOMAXPROCS are sampled at call time.
+type BuildInfo struct {
+	Version       string  `json:"version"`
+	GoVersion     string  `json:"go_version"`
+	Node          string  `json:"node,omitempty"`
+	PID           int     `json:"pid"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+}
+
+// Info samples the current runtime state (nil-safe: returns nil).
+func (b *Build) Info() *BuildInfo {
+	if b == nil {
+		return nil
+	}
+	return &BuildInfo{
+		Version:       b.Version,
+		GoVersion:     b.GoVersion,
+		Node:          b.Node,
+		PID:           b.PID,
+		UptimeSeconds: time.Since(b.Started).Seconds(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+	}
+}
+
+// SetHeaders stamps the build identity onto a response (used by
+// /healthz), nil-safe.
+func (b *Build) SetHeaders(h http.Header) {
+	if b == nil {
+		return
+	}
+	h.Set("X-Build-Version", b.Version)
+	h.Set("X-Go-Version", b.GoVersion)
+	h.Set("X-Uptime-Seconds", strconv.FormatFloat(time.Since(b.Started).Seconds(), 'f', 1, 64))
+	h.Set("X-Gomaxprocs", strconv.Itoa(runtime.GOMAXPROCS(0)))
+}

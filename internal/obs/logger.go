@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Logger is the serving stack's structured logger: one line per event
+// in logfmt-style text or JSON, every line stamped with the node id
+// and (when known) the node's current quorum role. A nil *Logger is
+// safe to use and logs nothing.
+type Logger struct {
+	mu     sync.Mutex
+	w      io.Writer
+	json   bool
+	node   string
+	roleFn func() string
+	buf    []byte
+}
+
+// NewLogger builds a logger writing to w. format is "json" for
+// one-object-per-line JSON, anything else for key=value text. node
+// identifies this process (replica id, front-end id) on every line.
+func NewLogger(w io.Writer, format, node string) *Logger {
+	return &Logger{w: w, json: format == "json", node: node}
+}
+
+// SetRole installs a callback reporting the node's current quorum
+// role ("leader", "follower", ...); called per log line, must be
+// cheap and concurrency-safe.
+func (l *Logger) SetRole(fn func() string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.roleFn = fn
+	l.mu.Unlock()
+}
+
+// Node returns the logger's node id ("" for nil).
+func (l *Logger) Node() string {
+	if l == nil {
+		return ""
+	}
+	return l.node
+}
+
+// Log emits one structured line. kv is alternating key, value pairs;
+// values are rendered with %v (a trailing odd key gets an empty
+// value).
+func (l *Logger) Log(msg string, kv ...interface{}) {
+	if l == nil {
+		return
+	}
+	now := time.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	role := ""
+	if l.roleFn != nil {
+		role = l.roleFn()
+	}
+	b := l.buf[:0]
+	if l.json {
+		b = l.appendJSONLine(b, now, role, msg, kv)
+	} else {
+		b = l.appendTextLine(b, now, role, msg, kv)
+	}
+	b = append(b, '\n')
+	l.buf = b
+	l.w.Write(b)
+}
+
+// Printf adapts the logger to the log.Printf-shaped hooks the server
+// and quorum layers already take; the formatted message lands in the
+// msg field of one structured line.
+func (l *Logger) Printf(format string, args ...interface{}) {
+	if l == nil {
+		return
+	}
+	l.Log(strings.TrimSuffix(fmt.Sprintf(format, args...), "\n"))
+}
+
+func (l *Logger) appendJSONLine(b []byte, now time.Time, role, msg string, kv []interface{}) []byte {
+	b = append(b, `{"ts":`...)
+	b = appendJSONString(b, now.Format(time.RFC3339Nano))
+	b = append(b, `,"node":`...)
+	b = appendJSONString(b, l.node)
+	if role != "" {
+		b = append(b, `,"role":`...)
+		b = appendJSONString(b, role)
+	}
+	b = append(b, `,"msg":`...)
+	b = appendJSONString(b, msg)
+	for i := 0; i < len(kv); i += 2 {
+		b = append(b, ',')
+		b = appendJSONString(b, fmt.Sprint(kv[i]))
+		b = append(b, ':')
+		b = appendJSONValue(b, kvValue(kv, i))
+	}
+	return append(b, '}')
+}
+
+func (l *Logger) appendTextLine(b []byte, now time.Time, role, msg string, kv []interface{}) []byte {
+	b = now.AppendFormat(b, "2006/01/02 15:04:05.000000")
+	b = append(b, " node="...)
+	b = appendTextValue(b, l.node)
+	if role != "" {
+		b = append(b, " role="...)
+		b = appendTextValue(b, role)
+	}
+	b = append(b, " msg="...)
+	b = appendTextValue(b, msg)
+	for i := 0; i < len(kv); i += 2 {
+		b = append(b, ' ')
+		b = append(b, fmt.Sprint(kv[i])...)
+		b = append(b, '=')
+		b = appendTextValue(b, fmt.Sprint(kvValue(kv, i)))
+	}
+	return b
+}
+
+func kvValue(kv []interface{}, i int) interface{} {
+	if i+1 < len(kv) {
+		return kv[i+1]
+	}
+	return ""
+}
+
+func appendJSONString(b []byte, s string) []byte {
+	enc, err := json.Marshal(s)
+	if err != nil {
+		return append(b, `""`...)
+	}
+	return append(b, enc...)
+}
+
+// appendJSONValue keeps numbers and bools as JSON scalars and renders
+// everything else as a string.
+func appendJSONValue(b []byte, v interface{}) []byte {
+	switch x := v.(type) {
+	case int, int8, int16, int32, int64, uint, uint8, uint16, uint32, uint64, bool:
+		return append(b, fmt.Sprint(x)...)
+	case float64:
+		return strconv.AppendFloat(b, x, 'g', -1, 64)
+	case float32:
+		return strconv.AppendFloat(b, float64(x), 'g', -1, 32)
+	default:
+		return appendJSONString(b, fmt.Sprint(v))
+	}
+}
+
+func appendTextValue(b []byte, s string) []byte {
+	if strings.ContainsAny(s, " \t\n\"=") {
+		return strconv.AppendQuote(b, s)
+	}
+	return append(b, s...)
+}

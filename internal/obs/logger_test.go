@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestLoggerJSON(t *testing.T) {
+	var sb strings.Builder
+	l := NewLogger(&sb, "json", "fe1")
+	l.SetRole(func() string { return "leader" })
+	l.Log("request", "trace_id", "abc", "status", 200, "duration_ms", 1.5, "sampled", true)
+
+	line := strings.TrimSuffix(sb.String(), "\n")
+	var m map[string]interface{}
+	if err := json.Unmarshal([]byte(line), &m); err != nil {
+		t.Fatalf("log line is not valid JSON: %v\n%s", err, line)
+	}
+	for k, want := range map[string]interface{}{
+		"node": "fe1", "role": "leader", "msg": "request",
+		"trace_id": "abc", "status": float64(200), "duration_ms": 1.5, "sampled": true,
+	} {
+		if m[k] != want {
+			t.Errorf("field %q = %v (%T), want %v", k, m[k], m[k], want)
+		}
+	}
+	if _, ok := m["ts"]; !ok {
+		t.Error("JSON line missing ts")
+	}
+}
+
+func TestLoggerText(t *testing.T) {
+	var sb strings.Builder
+	l := NewLogger(&sb, "text", "r1")
+	l.Log("request", "trace_id", "abc", "path", "/v1/search?a b")
+	line := sb.String()
+	for _, want := range []string{"node=r1", "msg=request", "trace_id=abc", `path="/v1/search?a b"`} {
+		if !strings.Contains(line, want) {
+			t.Errorf("text line missing %q: %s", want, line)
+		}
+	}
+	if strings.Contains(line, "role=") {
+		t.Errorf("role emitted with no role callback: %s", line)
+	}
+}
+
+func TestLoggerPrintfAndNil(t *testing.T) {
+	var sb strings.Builder
+	l := NewLogger(&sb, "json", "n")
+	l.Printf("quorum: term %d: %s\n", 7, "became leader")
+	var m map[string]interface{}
+	if err := json.Unmarshal([]byte(sb.String()), &m); err != nil {
+		t.Fatalf("Printf line not JSON: %v", err)
+	}
+	if m["msg"] != "quorum: term 7: became leader" {
+		t.Fatalf("msg = %q", m["msg"])
+	}
+
+	var nilL *Logger
+	nilL.Log("ignored")    // must not panic
+	nilL.Printf("x %d", 1) // must not panic
+	nilL.SetRole(nil)
+}
+
+func TestBuildInfo(t *testing.T) {
+	b := NewBuild("fe1")
+	info := b.Info()
+	if info.Version == "" || info.GoVersion == "" || info.Node != "fe1" || info.PID == 0 {
+		t.Fatalf("incomplete build info: %+v", info)
+	}
+	if info.GOMAXPROCS <= 0 {
+		t.Fatalf("GOMAXPROCS = %d", info.GOMAXPROCS)
+	}
+	var nilB *Build
+	if nilB.Info() != nil {
+		t.Fatal("nil build must yield nil info")
+	}
+	nilB.SetHeaders(nil) // must not panic
+}

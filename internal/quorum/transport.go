@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+
+	"repro/internal/obs"
 )
 
 // maxEntriesPerAppend caps one replication push; a lagging peer is
@@ -126,6 +128,9 @@ func postJSON(ctx context.Context, url string, in, out any) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// A traced mutation's quorum append carries its traceparent, so the
+	// followers' flight recorders capture the replicate leg too.
+	obs.Inject(ctx, req.Header)
 	resp, err := transport.Do(req)
 	if err != nil {
 		return err

@@ -22,9 +22,17 @@
 //	                                                                → {"dropped":2}
 //	GET  /v2/replog?from=7                                          → {"from":7,"head":42,"records":[...]}
 //	GET  /v1/users                                                  → {"users":[...]}
-//	GET  /v1/stats                                                  → backend counters
+//	GET  /v1/stats                                                  → backend counters (wrapped in a
+//	                                                                  {"Build","Admission","Trace","Backend"}
+//	                                                                  envelope when the obs plane is installed)
+//	GET  /metrics                                                   → Prometheus text exposition of the
+//	                                                                  same counters
+//	GET  /debug/traces[/{id}]                                       → flight-recorder listing / one trace
+//	GET  /debug/slowlog                                             → slow-query log with Explain payloads
+//	GET  /debug/pprof/                                              → net/http/pprof (only with EnablePprof)
 //	GET  /healthz                                                   → 200 "ok" (liveness; X-Applied-LSN
-//	                                                                  header on replication-aware backends)
+//	                                                                  header on replication-aware backends,
+//	                                                                  X-Build-Version/X-Go-Version identity)
 //	GET  /readyz                                                    → 200 "ok" | 503 "draining"
 //
 // Replication (fleet replicas): the /v1 mutation bodies accept an
@@ -70,12 +78,15 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/admission"
 	"repro/internal/durable"
+	"repro/internal/obs"
 	"repro/internal/quorum"
 	"repro/internal/search"
 	"repro/internal/social"
@@ -107,6 +118,17 @@ type Invalidator interface {
 // unaffected.
 type Statser interface {
 	StatsAny() interface{}
+}
+
+// CtxMutator is the optional context-aware mutation surface. A fleet
+// front-end implements it so the request context — carrying the trace
+// — reaches the quorum append and replica fan-out path; cancellation
+// is stripped there (a client hang-up must never abort a replication
+// fan-out half-way). The handlers prefer it over Befriend/Tag when
+// present.
+type CtxMutator interface {
+	BefriendCtx(ctx context.Context, a, b string, weight float64) error
+	TagCtx(ctx context.Context, user, item, tag string) error
 }
 
 // LSNApplier is the optional backend surface for LSN-stamped replicated
@@ -209,6 +231,19 @@ type Server struct {
 	// replication apply path must never be shed, or a loaded replica
 	// would be ejected as divergent instead of merely slow.
 	admission *admission.Controller
+	// tracer, when set, fronts every serving request with the obs plane:
+	// trace adoption/minting, span collection on sampled requests, tail
+	// capture, the flight recorder and the slow-query log. Nil (the
+	// default) keeps ServeHTTP a straight mux dispatch with zero tracing
+	// overhead.
+	tracer *obs.Tracer
+	// build, when set, identifies the binary on /healthz headers, the
+	// /v1/stats Build block and /metrics.
+	build *obs.Build
+	// accessLog, when set, receives one structured line per sampled or
+	// tail-captured request (never every request — the serving path must
+	// not be throttled by its own logging).
+	accessLog *obs.Logger
 	// ready gates /readyz: true once the backend is loaded (New), false
 	// while draining for shutdown. Liveness (/healthz) stays 200 either
 	// way — a draining process is alive, just not accepting new work.
@@ -238,6 +273,7 @@ func New(b Backend) (*Server, error) {
 	s.mux.HandleFunc("/v2/replog", s.handleReplog)
 	s.mux.HandleFunc("/v1/users", s.handleUsers)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		// Liveness doubles as the replication lag probe: a fleet prober
 		// reads the replica's applied LSN off every health check.
@@ -253,11 +289,54 @@ func New(b Backend) (*Server, error) {
 				w.Header().Set("X-Quorum-Term", strconv.FormatUint(term, 10))
 			}
 		}
+		// Build identity rides liveness too, so operators can tell
+		// binaries apart during rolling experiments with one HEAD request.
+		s.build.SetHeaders(w.Header())
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	return s, nil
+}
+
+// SetTracer installs the obs tracing plane (nil disables, the
+// default) and mounts its debug endpoints: GET /debug/traces,
+// GET /debug/traces/{id} and GET /debug/slowlog. Call before the
+// server starts listening.
+func (s *Server) SetTracer(t *obs.Tracer) {
+	s.tracer = t
+	if t != nil {
+		s.mux.Handle("/debug/traces", t.TracesHandler())
+		s.mux.Handle("/debug/traces/", t.TracesHandler())
+		s.mux.Handle("/debug/slowlog", t.SlowLogHandler())
+	}
+}
+
+// SetBuild installs the binary's build identity: /healthz headers,
+// the /v1/stats Build block, and friendserve_build_info on /metrics.
+func (s *Server) SetBuild(b *obs.Build) { s.build = b }
+
+// SetAccessLogger installs the structured request logger (one line
+// per sampled or tail-captured request; needs a tracer to classify).
+func (s *Server) SetAccessLogger(l *obs.Logger) { s.accessLog = l }
+
+// SetLogf replaces the server's internal error logger (log.Printf by
+// default) — friendserve points it at the structured logger.
+func (s *Server) SetLogf(logf func(format string, args ...interface{})) {
+	if logf != nil {
+		s.logf = logf
+	}
+}
+
+// EnablePprof mounts net/http/pprof under /debug/pprof/ (off by
+// default: profiling endpoints are a diagnosis tool, not part of the
+// serving surface). Call before the server starts listening.
+func (s *Server) EnablePprof() {
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
 // SetAdmission installs an admission controller in front of the search
@@ -278,7 +357,15 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, class admission.C
 	if s.admission == nil {
 		return admission.Ticket{}, true
 	}
-	tk, err := s.admission.Acquire(r.Context(), class)
+	ctx, sp := obs.StartSpan(r.Context(), "admission.acquire")
+	tk, err := s.admission.Acquire(ctx, class)
+	if sp != nil {
+		sp.SetBool("shed", err != nil)
+		if err == nil {
+			sp.SetInt("level", int64(tk.Level))
+		}
+		sp.End()
+	}
 	if err != nil {
 		s.writeErr(w, searchErrStatus(err), err)
 		return admission.Ticket{}, false
@@ -305,9 +392,59 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. With a tracer installed, serving
+// requests run under the obs plane: a sampled traceparent header is
+// adopted (this node becomes a participant in the caller's trace),
+// otherwise a fresh trace id is minted and head sampling decides
+// whether spans are collected. Health probes, metrics scrapes and the
+// debug endpoints themselves are never traced, and quorum RPCs only
+// when they arrive carrying a sampled trace — heartbeats fire far too
+// often to head-sample.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	if s.tracer == nil || untracedPath(r.URL.Path) {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	tp := r.Header.Get(obs.TraceparentHeader)
+	if strings.HasPrefix(r.URL.Path, "/quorum/") && tp == "" {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	ctx, rq := s.tracer.StartRequest(r.Context(), tp, r.Method, r.URL.Path)
+	sw := statusWriter{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(&sw, r.WithContext(ctx))
+	info := rq.Finish(sw.status)
+	if s.accessLog != nil && (info.Sampled || info.Tail) {
+		s.accessLog.Log("request",
+			"trace", info.TraceID, "method", r.Method, "path", r.URL.Path,
+			"status", info.Status, "dur_ms", info.DurationMS,
+			"sampled", info.Sampled, "degraded", info.Degraded)
+	}
+}
+
+// untracedPath lists the endpoints the obs plane itself ignores.
+func untracedPath(p string) bool {
+	return p == "/healthz" || p == "/readyz" || p == "/metrics" ||
+		strings.HasPrefix(p, "/debug/")
+}
+
+// statusWriter captures the response status for trace finishing.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(status int) {
+	sw.status = status
+	sw.ResponseWriter.WriteHeader(status)
+}
+
+// Flush keeps pprof's streaming endpoints working through the wrapper
+// (quorum and serving responses never flush explicitly).
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // writeErr sends a JSON error body with the given status. Shed
@@ -416,9 +553,12 @@ type friendRequest struct {
 }
 
 // AppliedResponse answers an LSN-stamped mutation: the replica's
-// replication cursor after processing the record.
+// replication cursor after processing the record. Spans carries this
+// process's span data when the mutation arrived as part of a sampled
+// distributed trace (see obs.WireSpans); plain mutations never see it.
 type AppliedResponse struct {
-	AppliedLSN uint64 `json:"applied_lsn"`
+	AppliedLSN uint64         `json:"applied_lsn"`
+	Spans      []obs.SpanData `json:"spans,omitempty"`
 }
 
 // applyStamped routes an LSN-stamped mutation through the backend's
@@ -447,7 +587,7 @@ func (s *Server) applyStamped(w http.ResponseWriter, r *http.Request, lsn uint64
 		}
 		return
 	}
-	s.writeJSON(w, r, AppliedResponse{AppliedLSN: la.AppliedLSN()})
+	s.writeJSON(w, r, AppliedResponse{AppliedLSN: la.AppliedLSN(), Spans: obs.WireSpans(r.Context())})
 }
 
 func (s *Server) handleFriend(w http.ResponseWriter, r *http.Request) {
@@ -470,7 +610,12 @@ func (s *Server) handleFriend(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	err := s.backend.Befriend(req.A, req.B, req.Weight)
+	var err error
+	if cm, isCtx := s.backend.(CtxMutator); isCtx {
+		err = cm.BefriendCtx(r.Context(), req.A, req.B, req.Weight)
+	} else {
+		err = s.backend.Befriend(req.A, req.B, req.Weight)
+	}
 	tk.Release(err)
 	if err != nil {
 		s.writeMutationErr(w, r, err)
@@ -543,7 +688,12 @@ func (s *Server) handleTag(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	err := s.backend.Tag(req.User, req.Item, req.Tag)
+	var err error
+	if cm, isCtx := s.backend.(CtxMutator); isCtx {
+		err = cm.TagCtx(r.Context(), req.User, req.Item, req.Tag)
+	} else {
+		err = s.backend.Tag(req.User, req.Item, req.Tag)
+	}
 	tk.Release(err)
 	if err != nil {
 		s.writeMutationErr(w, r, err)
@@ -627,15 +777,57 @@ func (s *Server) handleSearchV1(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	resp, err := s.backend.Do(r.Context(), search.Request{
-		Seeker: seeker, Tags: tags, K: k, Mode: search.ModeExact,
-	})
+	req := search.Request{Seeker: seeker, Tags: tags, K: k, Mode: search.ModeExact}
+	s.forceExplain(r.Context(), &req)
+	start := time.Now()
+	resp, err := s.backend.Do(r.Context(), req)
 	tk.Release(err)
 	if err != nil {
 		s.writeErr(w, searchErrStatus(err), err)
 		return
 	}
+	s.noteSlowQuery(r.Context(), req, &resp, time.Since(start))
 	s.writeJSON(w, r, SearchResponse{Results: v1Results(resp.Results)})
+}
+
+// forceExplain turns on Explain for a sampled traced query the client
+// did not ask to explain, so the trace and the slow-query log capture
+// the engine's decision record. The caller strips the payload from the
+// response when the client did not request it (noteSlowQuery does both
+// jobs), keeping client-visible bytes independent of sampling.
+func (s *Server) forceExplain(ctx context.Context, req *search.Request) {
+	if s.tracer != nil && !req.Explain && obs.CurrentSpan(ctx) != nil {
+		req.Explain = true
+	}
+}
+
+// noteSlowQuery feeds the slow-query log when the query crossed the
+// tracer's slow threshold, annotates the current span with the explain
+// decision record, and strips a force-injected Explain payload off the
+// response.
+func (s *Server) noteSlowQuery(ctx context.Context, req search.Request, resp *search.Response, dur time.Duration) {
+	if s.tracer == nil {
+		return
+	}
+	if ex := resp.Explain; ex != nil {
+		if sp := obs.CurrentSpan(ctx); sp != nil {
+			sp.SetAttr("algorithm", ex.Algorithm)
+			sp.SetInt("horizon_users", int64(ex.HorizonUsers))
+			sp.SetBool("cache_hit", ex.CacheHit)
+		}
+	}
+	if th := s.tracer.SlowThreshold(); th > 0 && dur >= th {
+		s.tracer.RecordSlow(obs.SlowQuery{
+			Time:       time.Now().Add(-dur),
+			TraceID:    obs.RequestFromContext(ctx).TraceID(),
+			Seeker:     req.Seeker,
+			Tags:       req.Tags,
+			K:          req.K,
+			Mode:       req.Mode.String(),
+			DurationMS: float64(dur) / float64(time.Millisecond),
+			Explain:    resp.Explain,
+		})
+	}
 }
 
 // v1Results converts canonical results to the v1 wire type (whose JSON
@@ -800,15 +992,19 @@ func (q v2Query) request() (search.Request, error) {
 	}, nil
 }
 
-// V2SearchResponse is the /v2/search response body.
+// V2SearchResponse is the /v2/search response body. Spans carries
+// this process's span data when the query arrived as part of a sampled
+// distributed trace — a front-end stitching a replica's work into its
+// own trace (see obs.WireSpans); client-initiated queries never see it.
 type V2SearchResponse struct {
 	Results []search.Result `json:"results"`
 	Explain *search.Explain `json:"explain,omitempty"`
 	// Degraded marks answers the overload brownout served on a cheaper
 	// path than requested; ScoreBound is the certified honesty bound of
 	// such an answer (see search.Response).
-	Degraded   bool    `json:"degraded,omitempty"`
-	ScoreBound float64 `json:"score_bound,omitempty"`
+	Degraded   bool           `json:"degraded,omitempty"`
+	ScoreBound float64        `json:"score_bound,omitempty"`
+	Spans      []obs.SpanData `json:"spans,omitempty"`
 }
 
 func (s *Server) handleSearchV2(w http.ResponseWriter, r *http.Request) {
@@ -830,16 +1026,30 @@ func (s *Server) handleSearchV2(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	degraded := s.applyBrownout(tk.Level, &req)
+	if degraded {
+		obs.MarkDegraded(r.Context())
+	}
+	wantExplain := req.Explain
+	s.forceExplain(r.Context(), &req)
+	start := time.Now()
 	resp, err := s.backend.Do(r.Context(), req)
 	tk.Release(err)
 	if err != nil {
 		s.writeErr(w, searchErrStatus(err), err)
 		return
 	}
+	// Capture (and on a force-injected Explain, strip) the decision
+	// record before markDegraded consults resp.Explain for the honesty
+	// bound — client-visible bytes must not depend on sampling.
+	s.noteSlowQuery(r.Context(), req, &resp, time.Since(start))
+	if !wantExplain {
+		resp.Explain = nil
+	}
 	markDegraded(&resp, degraded)
 	s.writeJSON(w, r, V2SearchResponse{
 		Results: resp.Results, Explain: resp.Explain,
 		Degraded: resp.Degraded, ScoreBound: resp.ScoreBound,
+		Spans: obs.WireSpans(r.Context()),
 	})
 }
 
@@ -907,9 +1117,10 @@ func batchOutcome(batch []search.BatchResult) error {
 }
 
 // V2BatchResponse is the /v2/search/batch response body; entry i
-// answers query i.
+// answers query i. Spans: see V2SearchResponse.
 type V2BatchResponse struct {
 	Results []V2BatchEntry `json:"results"`
+	Spans   []obs.SpanData `json:"spans,omitempty"`
 }
 
 func (s *Server) handleSearchBatchV2(w http.ResponseWriter, r *http.Request) {
@@ -944,11 +1155,14 @@ func (s *Server) handleSearchBatchV2(w http.ResponseWriter, r *http.Request) {
 		// admitted work); the brownout decision applies per query.
 		for i := range runnable {
 			degraded[i] = s.applyBrownout(tk.Level, &runnable[i])
+			if degraded[i] {
+				obs.MarkDegraded(r.Context())
+			}
 		}
 		batch = s.backend.DoBatch(r.Context(), runnable)
 		tk.Release(batchOutcome(batch))
 	}
-	resp := V2BatchResponse{Results: make([]V2BatchEntry, len(reqs))}
+	resp := V2BatchResponse{Results: make([]V2BatchEntry, len(reqs)), Spans: obs.WireSpans(r.Context())}
 	for i, err := range errs {
 		if err != nil {
 			resp.Results[i] = V2BatchEntry{Error: fmt.Sprintf("query %d: %v", i, err)}
@@ -1054,38 +1268,84 @@ func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, r, map[string][]string{"users": users})
 }
 
-// StatsEnvelope is the /v1/stats body when an admission controller is
-// installed: the controller's snapshot plus the backend's own counters.
-// Without admission the backend stats remain the top-level body, so
-// existing deployments see an unchanged wire.
+// StatsEnvelope is the /v1/stats body when the server has more than
+// backend counters to report — an admission controller, build info, a
+// tracer: each present block plus the backend's own counters under
+// Backend. With none of them the backend stats remain the top-level
+// body, so existing deployments see an unchanged wire.
 type StatsEnvelope struct {
-	Admission admission.Snapshot `json:"Admission"`
-	Backend   interface{}        `json:"Backend"`
+	Build     *obs.BuildInfo      `json:"Build,omitempty"`
+	Admission *admission.Snapshot `json:"Admission,omitempty"`
+	Trace     *obs.Stats          `json:"Trace,omitempty"`
+	Backend   interface{}         `json:"Backend"`
 }
 
-// handleStats reports whatever counters the backend exposes. The two
-// service types return different concrete stats structs, so match on
-// the method signature.
+// backendStats resolves the backend's counters. The two service types
+// return different concrete stats structs, so match on the method
+// signature.
+func (s *Server) backendStats() (interface{}, bool) {
+	switch b := s.backend.(type) {
+	case interface{ Stats() social.Stats }:
+		return b.Stats(), true
+	case interface{ Stats() durable.Stats }:
+		return b.Stats(), true
+	case Statser:
+		return b.StatsAny(), true
+	default:
+		return nil, false
+	}
+}
+
+// handleStats reports whatever counters the backend exposes, wrapped
+// in a StatsEnvelope when admission, build info or tracing add blocks
+// of their own.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if !s.requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	var payload interface{}
-	switch b := s.backend.(type) {
-	case interface{ Stats() social.Stats }:
-		payload = b.Stats()
-	case interface{ Stats() durable.Stats }:
-		payload = b.Stats()
-	case Statser:
-		payload = b.StatsAny()
-	default:
+	payload, ok := s.backendStats()
+	if !ok {
 		s.writeErr(w, http.StatusNotFound, errors.New("backend exposes no stats"))
 		return
 	}
-	if s.admission != nil {
-		payload = StatsEnvelope{Admission: s.admission.Snapshot(), Backend: payload}
+	if s.admission != nil || s.build != nil || s.tracer != nil {
+		env := StatsEnvelope{Build: s.build.Info(), Backend: payload}
+		if s.admission != nil {
+			snap := s.admission.Snapshot()
+			env.Admission = &snap
+		}
+		if s.tracer != nil {
+			ts := s.tracer.Stats()
+			env.Trace = &ts
+		}
+		payload = env
 	}
 	s.writeJSON(w, r, payload)
+}
+
+// handleMetrics serves the Prometheus text exposition: the same
+// counters as /v1/stats — admission, tracing, and the backend's stats
+// struct — rendered as friendserve_* samples by obs.WriteProm, plus
+// the build _info line. Registered unconditionally: the stats structs
+// exist with or without the obs plane.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	w.Header().Set("Content-Type", obs.PromContentType)
+	if s.build != nil {
+		obs.WriteProm(w, "friendserve_build", s.build.Info())
+	}
+	if s.admission != nil {
+		snap := s.admission.Snapshot()
+		obs.WriteProm(w, "friendserve_admission", &snap)
+	}
+	if s.tracer != nil {
+		obs.WriteProm(w, "friendserve_trace", s.tracer.Stats())
+	}
+	if payload, ok := s.backendStats(); ok {
+		obs.WriteProm(w, "friendserve", payload)
+	}
 }
 
 // ListenAndServe runs the server on addr until ctx is cancelled, then

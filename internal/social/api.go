@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/planner"
 	"repro/internal/qcache"
 	"repro/internal/search"
@@ -103,7 +104,20 @@ func (s *Service) doInto(ctx context.Context, req search.Request, resp *search.R
 		req = sc.req
 		sc.req = search.Request{}
 	}
+	// One span per executed query on a sampled trace; the nil-span fast
+	// path keeps the warm read path allocation-free when untraced.
+	ctx, sp := obs.StartSpan(ctx, "social.execute")
 	err := s.doIntoScratch(ctx, req, resp, bst, sc, degraded)
+	if sp != nil {
+		sp.SetAttr("seeker", req.Seeker)
+		sp.SetAttr("algorithm", sc.ex.Algorithm)
+		sp.SetBool("cache_hit", sc.ex.CacheHit)
+		sp.SetInt("horizon_users", int64(sc.ex.HorizonUsers))
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
+	}
 	s.scratch.Put(sc)
 	return err
 }
@@ -342,7 +356,7 @@ func (s *Service) horizonAnswer(ctx context.Context, eng *core.Engine, q core.Qu
 		// bounds verbatim).
 		if bst != nil {
 			if bst.h == nil || bst.eng != eng || bst.seeker != q.Seeker {
-				h, err := eng.MaterializeHorizonCtx(ctx, q.Seeker, s.cfg.MaxHorizonUsers)
+				h, err := s.materializeSpan(ctx, eng, q.Seeker)
 				if err != nil {
 					return err
 				}
@@ -360,7 +374,7 @@ func (s *Service) horizonAnswer(ctx context.Context, eng *core.Engine, q core.Qu
 	h, hit := cache.Lookup(q.Seeker, gen, maxAge)
 	if !hit {
 		var err error
-		if h, err = eng.MaterializeHorizonCtx(ctx, q.Seeker, s.cfg.MaxHorizonUsers); err != nil {
+		if h, err = s.materializeSpan(ctx, eng, q.Seeker); err != nil {
 			return err
 		}
 		cache.Put(q.Seeker, gen, h)
@@ -370,6 +384,21 @@ func (s *Service) horizonAnswer(ctx context.Context, eng *core.Engine, q core.Qu
 	ex.HorizonUsers = h.Size()
 	ex.HorizonResidual = h.Residual()
 	return eng.SocialMergeWithHorizonInto(q, h, opts, ans)
+}
+
+// materializeSpan is MaterializeHorizonCtx under a horizon.materialize
+// trace span — cache misses are exactly the expansions worth seeing in
+// a trace.
+func (s *Service) materializeSpan(ctx context.Context, eng *core.Engine, seeker graph.UserID) (*core.SeekerHorizon, error) {
+	_, sp := obs.StartSpan(ctx, "horizon.materialize")
+	h, err := eng.MaterializeHorizonCtx(ctx, seeker, s.cfg.MaxHorizonUsers)
+	if sp != nil {
+		if h != nil {
+			sp.SetInt("users", int64(h.Size()))
+		}
+		sp.End()
+	}
+	return h, err
 }
 
 // DoBatch answers many requests concurrently on a pool of

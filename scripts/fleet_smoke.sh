@@ -28,7 +28,9 @@ cd "$(dirname "$0")/.."
 
 WORK=$(mktemp -d)
 BIN="$WORK/friendserve"
+OBSCHECK="$WORK/obscheck"
 go build -o "$BIN" ./cmd/friendserve
+go build -o "$OBSCHECK" ./cmd/obscheck
 
 FRONT_PORT=18080
 REPLICA_PORTS=(18081 18082 18083)
@@ -193,6 +195,7 @@ fi
 if ! echo "$STATS" | python3 -c "
 import json, sys
 stats = json.load(sys.stdin)
+stats = stats.get('Backend', stats)  # /v1/stats wraps backend stats in an envelope
 r = next(r for r in stats['Replicas'] if r['URL'].endswith(':${REPLICA_PORTS[2]}'))
 assert r['Live'], 'stopped replica not live: %r' % r
 assert r['ReplogLag'] == 0, 'stopped replica still lags: %r' % r
@@ -245,6 +248,7 @@ for i in 0 1 2; do
   "$BIN" -replicas "$HA_REPLICAS" -addr "127.0.0.1:${HA_FE_PORTS[$i]}" \
     -frontend-id "${HA_FE_IDS[$i]}" -peers "$PEERS" -replog-dir "$WORK/ha-replog-${HA_FE_IDS[$i]}" \
     -health-interval 150ms -fail-after 2 -bcast-window 20ms -mutation-timeout 1s \
+    -admit -trace-sample 1 -pprof -log-format json \
     >"$WORK/ha-fe-${HA_FE_IDS[$i]}.log" 2>&1 &
   HA_FE_PIDS+=("$!")
   PIDS+=("$!")
@@ -391,6 +395,47 @@ acked = sum(1 for l in open('$WORK/ha-acked.txt') if l.strip())
 assert page['head'] >= acked + 1, 'committed head %d < %d acked writes' % (page['head'], acked + 1)
 "; then
   echo "FAIL: committed log shorter than the acked write count" >&2
+  exit 1
+fi
+
+echo "== observability phase: metrics, cross-process traces, pprof, structured logs"
+# The HA front-ends run -trace-sample 1 -admit -pprof -log-format json.
+OBS_PORT="${HA_FE_PORTS[$LEADER_IDX]}"
+OBS_ID="${HA_FE_IDS[$LEADER_IDX]}"
+OBS_BASE="http://127.0.0.1:$OBS_PORT"
+
+# (i) /metrics must be valid Prometheus text exposition and carry the
+# build, tracing, admission and backend metric families.
+"$OBSCHECK" -mode metrics -url "$OBS_BASE" \
+  -require "friendserve_build_info,friendserve_trace_started,friendserve_trace_sampled_count,friendserve_admission_admitted,friendserve_admission_latency_count,friendserve_replicas_info,friendserve_quorum_commit_lsn"
+
+# (ii) a batched query sent with a sampled traceparent must land in the
+# flight recorder as ONE trace stitching the front-end's routing spans
+# with the replica's execution spans (a span from a node != the
+# front-end's).
+QTRACE="4bf92f3577b34da6a3ce929d0e0e4736"
+curl -fsS --max-time 10 -H "traceparent: 00-$QTRACE-00f067aa0ba902b7-01" \
+  -X POST -d '{"queries":[{"seeker":"haa","tags":["pizza"],"k":5,"mode":"exact"}]}' \
+  "$OBS_BASE/v2/search/batch" >/dev/null
+"$OBSCHECK" -mode trace -url "$OBS_BASE" -trace-id "$QTRACE" \
+  -require-spans "admission.acquire,fleet.route,fleet.rpc,social.execute" -remote-node "$OBS_ID"
+
+# (iii) a mutation's trace must cover front-end admission, the quorum
+# commit, and at least one replica's execution — the end-to-end write
+# path in one request id.
+MTRACE="6c0fd2ab7e135c8b2a4f90d11e25aa04"
+curl -fsS --max-time 10 -H "traceparent: 00-$MTRACE-00f067aa0ba902b7-01" \
+  -X POST -d '{"user":"hab","item":"obsitem","tag":"pizza"}' "$OBS_BASE/v1/tag" >/dev/null
+"$OBSCHECK" -mode trace -url "$OBS_BASE" -trace-id "$MTRACE" \
+  -require-spans "admission.acquire,quorum.commit,fleet.forward,fleet.rpc" -remote-node "$OBS_ID"
+
+# (iv) pprof answers when enabled.
+"$OBSCHECK" -mode pprof -url "$OBS_BASE"
+
+# (v) the structured access log carries trace ids (JSON format here).
+if ! grep -q '"trace":"'"$QTRACE"'"' "$WORK/ha-fe-$OBS_ID.log"; then
+  echo "FAIL: front-end access log has no JSON line for trace $QTRACE" >&2
+  tail -5 "$WORK/ha-fe-$OBS_ID.log" >&2
   exit 1
 fi
 
