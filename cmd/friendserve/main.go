@@ -12,7 +12,8 @@
 //	            [-admit-queue 128] [-admit-queue-deadline 500ms]
 //	            [-log-format text] [-pprof] [-trace-sample 16]
 //	            [-trace-slow 250ms] [-trace-recorder 256]
-//	friendserve -replica [-addr :8081] ...
+//	friendserve -replica [-addr :8081] [-join http://fe:8080]
+//	            [-advertise http://host:8081] ...
 //	friendserve -replicas http://a:8081,http://b:8082 [-addr :8080]
 //	            [-hedge 0] [-health-interval 1s] [-fail-after 3]
 //	            [-bcast-window 25ms] [-bcast-max-edges 512]
@@ -51,6 +52,17 @@
 // answers derived from a stale graph. Without it, readmission is on
 // probe successes alone and a rejoined replica's graph silently misses
 // the mutations written while it was out.
+//
+// With -join a -replica process asks a running front-end to adopt it
+// into the fleet under traffic (docs/fleet.md "Elastic resize"): once
+// this replica is serving, it POSTs its own -advertise URL (default:
+// http://127.0.0.1 plus the -addr port) to the front-end's
+// /v2/fleet/resize, which bootstraps it from a peer snapshot plus the
+// replication log suffix, pre-warms its cache slice, and splices it
+// into the routing ring. Requires the front-end to run with
+// -replog-dir. Retirement is driven from the front-end side:
+//
+//	curl -d '{"retire":[2]}' http://fe:8080/v2/fleet/resize
 //
 // With -frontend-id and -peers the front-end itself is highly
 // available (docs/fleet.md, docs/adr/004): 2–3 front-ends replicate
@@ -101,7 +113,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -135,6 +149,8 @@ func main() {
 	cacheMinMisses := flag.Int("cache-min-misses", 0, "cache a seeker only after this many misses")
 	drain := flag.Duration("drain", 500*time.Millisecond, "keep serving this long after /readyz flips to 503 on shutdown")
 	replica := flag.Bool("replica", false, "serve as a fleet replica (compaction deferred to the invalidation broadcast)")
+	joinURL := flag.String("join", "", "replica: ask this front-end to adopt this process into the fleet once serving (elastic join; front-end needs -replog-dir)")
+	advertise := flag.String("advertise", "", "replica: base URL the front-end reaches this replica at (default: http://127.0.0.1 + the -addr port)")
 	replicas := flag.String("replicas", "", "comma-separated replica base URLs: serve as the fleet front-end")
 	hedge := flag.Duration("hedge", 0, "front-end: duplicate a single query not answered within this delay (0 disables)")
 	healthInterval := flag.Duration("health-interval", 0, "front-end: replica /healthz probe period (0 = default)")
@@ -160,6 +176,9 @@ func main() {
 
 	if *replica && *replicas != "" {
 		log.Fatalf("friendserve: -replica and -replicas are mutually exclusive")
+	}
+	if *joinURL != "" && !*replica {
+		log.Fatalf("friendserve: -join requires -replica")
 	}
 	if (*peers != "") != (*frontendID != "") {
 		log.Fatalf("friendserve: -peers and -frontend-id go together")
@@ -298,10 +317,72 @@ func main() {
 	default:
 		log.Printf("listening on %s (durable=%v)", *addr, *dir != "")
 	}
+	if *joinURL != "" {
+		self := *advertise
+		if self == "" {
+			self = defaultAdvertise(*addr)
+		}
+		go selfJoin(ctx, *joinURL, self)
+	}
 	if err := srv.ListenAndServe(ctx, *addr, 10*time.Second); err != nil {
 		log.Fatalf("friendserve: %v", err)
 	}
 	log.Printf("shut down cleanly")
+}
+
+// defaultAdvertise derives the URL a front-end can reach this process
+// at from the listen address: a bare ":8081" advertises loopback.
+func defaultAdvertise(addr string) string {
+	if strings.HasPrefix(addr, ":") {
+		return "http://127.0.0.1" + addr
+	}
+	return "http://" + addr
+}
+
+// selfJoin asks the front-end to adopt this replica into the fleet,
+// retrying until the local server answers /healthz and the front-end
+// accepts the resize (a joiner often starts before, or alongside, the
+// front-end). Joins are idempotent by URL on the front-end side, so a
+// retry after a half-completed attempt resumes rather than duplicating.
+func selfJoin(ctx context.Context, frontURL, selfURL string) {
+	const attempts = 60
+	body := fmt.Sprintf(`{"join":[%q]}`, selfURL)
+	for i := 0; i < attempts; i++ {
+		if ctx.Err() != nil {
+			return
+		}
+		err := func() error {
+			rctx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+			defer cancel()
+			req, err := http.NewRequestWithContext(rctx, http.MethodPost,
+				strings.TrimRight(frontURL, "/")+"/v2/fleet/resize", strings.NewReader(body))
+			if err != nil {
+				return err
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				return err
+			}
+			defer resp.Body.Close()
+			payload, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("front-end answered %d: %s", resp.StatusCode, strings.TrimSpace(string(payload)))
+			}
+			log.Printf("joined fleet via %s: %s", frontURL, strings.TrimSpace(string(payload)))
+			return nil
+		}()
+		if err == nil {
+			return
+		}
+		log.Printf("fleet join attempt %d/%d via %s: %v", i+1, attempts, frontURL, err)
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(time.Second):
+		}
+	}
+	log.Printf("fleet join via %s gave up after %d attempts", frontURL, attempts)
 }
 
 type frontendOpts struct {
@@ -374,6 +455,11 @@ func buildFrontend(o frontendOpts) (*fleet.Frontend, *quorum.Node, error) {
 	}
 	if o.mutationTimeout > 0 {
 		front.MutationTimeout = o.mutationTimeout
+	}
+	// Elastically joined replicas get the same client config as the
+	// configured fleet.
+	front.NewReplicaClient = func(u string) (*fleet.Client, error) {
+		return fleet.NewClient(u, fleet.ClientConfig{HedgeDelay: o.hedge})
 	}
 	if o.catchupTimeout > 0 {
 		front.CatchupTimeout = o.catchupTimeout

@@ -30,9 +30,11 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/graph"
 	"repro/internal/index"
 	"repro/internal/search"
 	"repro/internal/social"
+	"repro/internal/tagstore"
 	"repro/internal/vocab"
 	"repro/internal/wal"
 )
@@ -51,6 +53,16 @@ const (
 	// process's crash-safety log; replicas skip it with a cursor
 	// advance (SkipLSN), never an apply.
 	RecTerm wal.Type = 3
+	// RecBefriendAt / RecTagAt are the LSN-stamped variants a durable
+	// REPLICA writes to its own crash-safety log when a mutation arrives
+	// through the fleet replication stream: the payload carries the
+	// fleet LSN alongside the mutation, so replay restores both the
+	// state and the replication cursor — a restarted durable replica
+	// resumes the stream from its cursor instead of restreaming the
+	// fleet log from the beginning. They never appear in the fleet log
+	// itself (the framing there stamps LSNs).
+	RecBefriendAt wal.Type = 4
+	RecTagAt      wal.Type = 5
 )
 
 const (
@@ -117,7 +129,7 @@ func Open(dir string, cfg Config) (*Service, error) {
 		return nil, err
 	}
 
-	barrier, snapDir, err := readManifest(dir)
+	barrier, cursor, snapDir, err := readManifest(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -130,6 +142,10 @@ func Open(dir string, cfg Config) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The snapshot's state already covers the fleet stream up to the
+	// cursor the manifest recorded; stamped records replayed below may
+	// advance it further.
+	svc.SetReplicationCursor(cursor)
 
 	// Open the log first (repairs a torn tail), then replay the suffix
 	// the snapshot does not cover.
@@ -173,6 +189,30 @@ func (s *Service) replay(barrier uint64) error {
 				return fmt.Errorf("durable: lsn %d: %w", r.LSN, err)
 			}
 			return s.svc.Tag(u, i, tg)
+		case RecBefriendAt:
+			// Stamped records apply as PLAIN mutations plus an advance-only
+			// cursor restore — not through BefriendAt. The live path skips
+			// deterministic rejections without logging them, so the logged
+			// stamped LSNs may have gaps a strict cursor check would refuse.
+			flsn, a, b, w, err := DecodeBefriendAt(r.Data)
+			if err != nil {
+				return fmt.Errorf("durable: lsn %d: %w", r.LSN, err)
+			}
+			if err := s.svc.Befriend(a, b, w); err != nil {
+				return err
+			}
+			s.svc.SetReplicationCursor(flsn)
+			return nil
+		case RecTagAt:
+			flsn, u, i, tg, err := DecodeTagAt(r.Data)
+			if err != nil {
+				return fmt.Errorf("durable: lsn %d: %w", r.LSN, err)
+			}
+			if err := s.svc.Tag(u, i, tg); err != nil {
+				return err
+			}
+			s.svc.SetReplicationCursor(flsn)
+			return nil
 		default:
 			return fmt.Errorf("durable: lsn %d: unknown record type %d", r.LSN, r.Type)
 		}
@@ -234,10 +274,13 @@ func (s *Service) Tag(user, item, tag string) error {
 // order-checked against the wrapped service's replication cursor, and
 // only a record that actually advances the cursor is appended to this
 // service's own write-ahead log — a replayed duplicate must not be
-// logged twice. The replication cursor itself is in-memory: a durable
-// replica that restarts reports AppliedLSN 0 and catches up from the
-// start of the fleet's retained replication log, deduplicating against
-// nothing but applying the same stream in the same order.
+// logged twice. The record is logged as RecBefriendAt with the fleet
+// LSN embedded, so the cursor itself is durable: a restarted replica
+// recovers it from the manifest and the stamped log suffix and resumes
+// the fleet stream from there instead of restreaming history. (Cursor
+// advances for deterministically rejected records are deliberately not
+// logged; after a restart the fleet re-streams those records and the
+// replica re-skips them identically.)
 func (s *Service) BefriendAt(lsn uint64, a, b string, weight float64) error {
 	if lsn == 0 {
 		return s.Befriend(a, b, weight)
@@ -260,7 +303,7 @@ func (s *Service) BefriendAt(lsn uint64, a, b string, weight float64) error {
 		s.svc.SkipLSN(lsn)
 		return err
 	}
-	return s.logged(RecBefriend, EncodeBefriend(a, b, weight), func() error {
+	return s.logged(RecBefriendAt, EncodeBefriendAt(lsn, a, b, weight), func() error {
 		return s.svc.BefriendAt(lsn, a, b, weight)
 	})
 }
@@ -300,7 +343,7 @@ func (s *Service) TagAt(lsn uint64, user, item, tag string) error {
 			return err
 		}
 	}
-	return s.logged(RecTag, EncodeTag(user, item, tag), func() error {
+	return s.logged(RecTagAt, EncodeTagAt(lsn, user, item, tag), func() error {
 		return s.svc.TagAt(lsn, user, item, tag)
 	})
 }
@@ -364,6 +407,60 @@ func (s *Service) Sync() error {
 	return s.log.Sync()
 }
 
+// CachedSeekers reports the wrapped service's resident cached seekers
+// (see social.Service.CachedSeekers).
+func (s *Service) CachedSeekers() []string {
+	s.mu.Lock()
+	svc := s.svc
+	s.mu.Unlock()
+	return svc.CachedSeekers()
+}
+
+// WarmSeekers pre-warms the wrapped service's seeker cache (see
+// social.Service.WarmSeekers). Warming touches no durable state.
+func (s *Service) WarmSeekers(ctx context.Context, seekers []string) (int, error) {
+	s.mu.Lock()
+	svc := s.svc
+	s.mu.Unlock()
+	return svc.WarmSeekers(ctx, seekers)
+}
+
+// SnapshotWithCursor exports the wrapped service's compacted state
+// pinned at its replication cursor (see social.Service), so a durable
+// replica can serve as the bootstrap source for a joining peer.
+func (s *Service) SnapshotWithCursor() (*graph.Graph, *tagstore.Store, *vocab.Set, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.broken {
+		return nil, nil, nil, 0, ErrBroken
+	}
+	return s.svc.SnapshotWithCursor()
+}
+
+// ImportSnapshot replaces the replica's entire state with a snapshot
+// exported by another replica, pinned at fleet-log LSN lsn (see
+// social.Service.ImportSnapshot). The imported state exists nowhere in
+// this replica's own log, so it is checkpointed to disk immediately —
+// the manifest then carries the new cursor and the old log prefix is
+// truncated. A persistence failure marks the service broken (memory is
+// ahead of disk); reopening recovers the pre-import state and the join
+// restarts from scratch.
+func (s *Service) ImportSnapshot(g *graph.Graph, st *tagstore.Store, names *vocab.Set, lsn uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.broken {
+		return ErrBroken
+	}
+	if err := s.svc.ImportSnapshot(g, st, names, lsn); err != nil {
+		return err
+	}
+	if err := s.checkpointLocked(); err != nil {
+		s.broken = true
+		return fmt.Errorf("%w (cause: persisting imported snapshot: %v)", ErrBroken, err)
+	}
+	return nil
+}
+
 // Checkpoint folds the current state into an atomic on-disk snapshot
 // and truncates the now-redundant log prefix.
 func (s *Service) Checkpoint() error {
@@ -381,6 +478,10 @@ func (s *Service) checkpointLocked() error {
 		return err
 	}
 	barrier := s.log.NextLSN() // first LSN NOT covered by this snapshot
+	// The replication cursor is part of the checkpointed state: the log
+	// prefix holding the stamped records that advanced it is about to be
+	// truncated, so the manifest must carry it across restarts.
+	cursor := s.svc.AppliedLSN()
 
 	tmp := filepath.Join(s.dir, fmt.Sprintf(".tmp-%d", barrier))
 	if err := os.RemoveAll(tmp); err != nil {
@@ -399,7 +500,7 @@ func (s *Service) checkpointLocked() error {
 	if err := os.Rename(tmp, filepath.Join(s.dir, final)); err != nil {
 		return err
 	}
-	if err := writeManifest(s.dir, barrier); err != nil {
+	if err := writeManifest(s.dir, barrier, cursor); err != nil {
 		return err
 	}
 	// The log prefix below the barrier is now redundant. Rotation puts
@@ -573,40 +674,52 @@ func snapshotDirName(barrier uint64) string {
 	return fmt.Sprintf("%s%016x", snapshotPrefix, barrier)
 }
 
-// readManifest returns the live snapshot barrier and directory name, or
-// (1, "", nil) for a fresh directory.
-func readManifest(dir string) (uint64, string, error) {
+// readManifest returns the live snapshot barrier, the replication
+// cursor recorded with it, and the snapshot directory name, or
+// (1, 0, "", nil) for a fresh directory. Both manifest versions load:
+// v1 ("v1\n<barrier>\n", written before cursor persistence existed)
+// reads as cursor 0, v2 adds the cursor line.
+func readManifest(dir string) (uint64, uint64, string, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
 	if errors.Is(err, os.ErrNotExist) {
-		return 1, "", nil
+		return 1, 0, "", nil
 	}
 	if err != nil {
-		return 0, "", err
+		return 0, 0, "", err
 	}
 	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
-	if len(lines) != 2 || lines[0] != "v1" {
-		return 0, "", fmt.Errorf("durable: malformed MANIFEST %q", raw)
+	var cursor uint64
+	switch {
+	case len(lines) == 2 && lines[0] == "v1":
+		// cursor stays 0: the stream is re-deduplicated from the start
+	case len(lines) == 3 && lines[0] == "v2":
+		cursor, err = strconv.ParseUint(lines[2], 10, 64)
+		if err != nil {
+			return 0, 0, "", fmt.Errorf("durable: malformed MANIFEST cursor: %w", err)
+		}
+	default:
+		return 0, 0, "", fmt.Errorf("durable: malformed MANIFEST %q", raw)
 	}
 	barrier, err := strconv.ParseUint(lines[1], 10, 64)
 	if err != nil {
-		return 0, "", fmt.Errorf("durable: malformed MANIFEST barrier: %w", err)
+		return 0, 0, "", fmt.Errorf("durable: malformed MANIFEST barrier: %w", err)
 	}
 	snapDir := snapshotDirName(barrier)
 	if _, err := os.Stat(filepath.Join(dir, snapDir)); err != nil {
-		return 0, "", fmt.Errorf("durable: MANIFEST names missing snapshot %s: %w", snapDir, err)
+		return 0, 0, "", fmt.Errorf("durable: MANIFEST names missing snapshot %s: %w", snapDir, err)
 	}
-	return barrier, snapDir, nil
+	return barrier, cursor, snapDir, nil
 }
 
 // writeManifest atomically points MANIFEST at the snapshot with the
-// given barrier.
-func writeManifest(dir string, barrier uint64) error {
+// given barrier, recording the replication cursor the snapshot covers.
+func writeManifest(dir string, barrier, cursor uint64) error {
 	tmp := filepath.Join(dir, manifestName+".tmp")
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(f, "v1\n%d\n", barrier); err != nil {
+	if _, err := fmt.Fprintf(f, "v2\n%d\n%d\n", barrier, cursor); err != nil {
 		f.Close()
 		return err
 	}

@@ -58,6 +58,52 @@ func DecodeBefriend(buf []byte) (a, b string, weight float64, err error) {
 	return a, b, weight, nil
 }
 
+// EncodeBefriendAt encodes a RecBefriendAt record: a befriend payload
+// prefixed with the fleet replication log LSN it was stamped with. One
+// record carries both so the mutation and its cursor advance are
+// crash-atomic — two separate appends could tear between them and
+// double-apply a non-idempotent mutation on replay.
+func EncodeBefriendAt(lsn uint64, a, b string, weight float64) []byte {
+	buf := make([]byte, 0, 10+len(a)+len(b)+2+8)
+	buf = binary.AppendUvarint(buf, lsn)
+	return append(buf, EncodeBefriend(a, b, weight)...)
+}
+
+// DecodeBefriendAt decodes a RecBefriendAt record payload.
+func DecodeBefriendAt(buf []byte) (lsn uint64, a, b string, weight float64, err error) {
+	lsn, used := binary.Uvarint(buf)
+	if used <= 0 {
+		return 0, "", "", 0, fmt.Errorf("durable: bad lsn varint in stamped befriend record")
+	}
+	if lsn == 0 {
+		return 0, "", "", 0, fmt.Errorf("durable: stamped befriend record with lsn 0")
+	}
+	a, b, weight, err = DecodeBefriend(buf[used:])
+	return lsn, a, b, weight, err
+}
+
+// EncodeTagAt encodes a RecTagAt record: a tag payload prefixed with
+// its fleet replication log LSN (see EncodeBefriendAt for why the LSN
+// rides inside the record).
+func EncodeTagAt(lsn uint64, user, item, tag string) []byte {
+	buf := make([]byte, 0, 10+len(user)+len(item)+len(tag)+3)
+	buf = binary.AppendUvarint(buf, lsn)
+	return append(buf, EncodeTag(user, item, tag)...)
+}
+
+// DecodeTagAt decodes a RecTagAt record payload.
+func DecodeTagAt(buf []byte) (lsn uint64, user, item, tag string, err error) {
+	lsn, used := binary.Uvarint(buf)
+	if used <= 0 {
+		return 0, "", "", "", fmt.Errorf("durable: bad lsn varint in stamped tag record")
+	}
+	if lsn == 0 {
+		return 0, "", "", "", fmt.Errorf("durable: stamped tag record with lsn 0")
+	}
+	user, item, tag, err = DecodeTag(buf[used:])
+	return lsn, user, item, tag, err
+}
+
 func EncodeTag(user, item, tag string) []byte {
 	buf := make([]byte, 0, len(user)+len(item)+len(tag)+3)
 	buf = appendString(buf, user)

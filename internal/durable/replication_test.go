@@ -11,8 +11,9 @@ import (
 // LSN discipline: a redelivered record is deduplicated BEFORE the
 // append, so recovery replays each mutation exactly once; a gap is a
 // clean protocol error (never marks the service broken); and the
-// cursor is in-memory — a reopened service reports 0 and re-applies the
-// stream idempotently from its own log's point of view.
+// cursor is durable — stamped records carry their fleet LSN into the
+// local log, so a reopened service resumes from the last logged
+// stamped LSN instead of restreaming history.
 func TestDurableReplicationDedupDoesNotDoubleLog(t *testing.T) {
 	dir := t.TempDir()
 	svc, err := Open(dir, DefaultConfig())
@@ -46,9 +47,9 @@ func TestDurableReplicationDedupDoesNotDoubleLog(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Recovery: exactly the three accepted records, no duplicates, and a
-	// zero cursor (catch-up re-streams; redeliveries are idempotent at
-	// the data level because recovery replayed the identical stream).
+	// Recovery: exactly the three accepted records, no duplicates, and
+	// the cursor restored from the stamped records — catch-up resumes at
+	// LSN 4 instead of restreaming history.
 	re, err := Open(dir, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -58,8 +59,8 @@ func TestDurableReplicationDedupDoesNotDoubleLog(t *testing.T) {
 	if st.RecoveredRecords != 3 {
 		t.Fatalf("recovered %d records, want 3 (dedup must not double-log)", st.RecoveredRecords)
 	}
-	if got := re.AppliedLSN(); got != 0 {
-		t.Fatalf("reopened cursor = %d, want 0 (in-memory cursor)", got)
+	if got := re.AppliedLSN(); got != 3 {
+		t.Fatalf("reopened cursor = %d, want 3 (persisted via stamped records)", got)
 	}
 	if st.Users != 2 || st.Items != 1 {
 		t.Fatalf("recovered stats = %+v, want 2 users, 1 item", st)
@@ -107,5 +108,17 @@ func TestDurableDeterministicRejectionAdvancesCursor(t *testing.T) {
 	defer re.Close()
 	if got := re.Stats().RecoveredRecords; got != 2 {
 		t.Fatalf("recovered %d records, want 2 (rejected records must not be logged)", got)
+	}
+	// The trailing unlogged skip (lsn 4) is lost on restart — the cursor
+	// resumes at the last stamped record and the re-streamed rejection is
+	// skipped identically again.
+	if got := re.AppliedLSN(); got != 3 {
+		t.Fatalf("reopened cursor = %d, want 3 (last stamped record)", got)
+	}
+	if err := re.TagAt(4, "bo\nb", "x", "y"); err == nil {
+		t.Fatal("re-streamed line-break name accepted")
+	}
+	if got := re.AppliedLSN(); got != 4 {
+		t.Fatalf("cursor after re-skip = %d, want 4", got)
 	}
 }

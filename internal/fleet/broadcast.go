@@ -48,19 +48,23 @@ type BroadcasterConfig struct {
 // rejoin invalidation is scoped to exactly those records' edges; see
 // docs/fleet.md.)
 type Broadcaster struct {
-	clients []*Client
-	cfg     BroadcasterConfig
+	cfg BroadcasterConfig
 
 	// flushMu serializes whole flushes, so a synchronous Flush returns
 	// only after any in-flight fan-out completed too.
 	flushMu sync.Mutex
 
 	mu      sync.Mutex
+	clients []*Client // slot-indexed, append-only (AddClient); aligned with the pool's slots
 	pending [][2]string
 	seen    map[[2]string]struct{}
 	dirty   bool      // a write (possibly tag-only) awaits a broadcast
 	oldest  time.Time // arrival of the oldest unbroadcast note
 	missed  []bool    // per replica: escalate next batch to global
+	// disabled marks retired slots: never fanned out to again, and a
+	// fan-out already in flight when the slot retires may still send —
+	// harmless, the retiree just drops cache state it no longer serves.
+	disabled []bool
 	// missedSeq counts MarkMissed calls per replica; clears are guarded
 	// on it so a repair can never erase a miss recorded after the repair
 	// started (check-act race on the flag).
@@ -91,6 +95,7 @@ func NewBroadcaster(clients []*Client, cfg BroadcasterConfig) *Broadcaster {
 		seen:      make(map[[2]string]struct{}),
 		missed:    make([]bool, len(clients)),
 		missedSeq: make([]uint64, len(clients)),
+		disabled:  make([]bool, len(clients)),
 		kick:      make(chan struct{}, 1),
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
@@ -134,6 +139,32 @@ func (b *Broadcaster) noteLocked() {
 		b.oldest = time.Now()
 		b.wake()
 	}
+}
+
+// AddClient registers a new replica slot for invalidation fan-out and
+// returns its index. The caller (the resize orchestrator) keeps the
+// broadcaster's slots aligned with the pool's: Pool.Admit and AddClient
+// are invoked together, in slot order.
+func (b *Broadcaster) AddClient(c *Client) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.clients = append(b.clients, c)
+	b.missed = append(b.missed, false)
+	b.missedSeq = append(b.missedSeq, 0)
+	b.disabled = append(b.disabled, false)
+	return len(b.clients) - 1
+}
+
+// Disable permanently removes a retired slot from fan-out. Its missed
+// flag is dropped too: an escalation owed to a replica that will never
+// serve again is not owed to anyone.
+func (b *Broadcaster) Disable(replica int) {
+	b.mu.Lock()
+	if replica >= 0 && replica < len(b.disabled) {
+		b.disabled[replica] = true
+		b.missed[replica] = false
+	}
+	b.mu.Unlock()
 }
 
 // MarkMissed flags a replica as having missed broadcast traffic (the
@@ -184,10 +215,12 @@ func (b *Broadcaster) ClearMissedIf(replica int, seq uint64) {
 // leaves the flag set, so the next broadcast still escalates.
 func (b *Broadcaster) FlushMissed(ctx context.Context, replica int) error {
 	b.mu.Lock()
-	owed := replica >= 0 && replica < len(b.missed) && b.missed[replica]
+	owed := replica >= 0 && replica < len(b.missed) && b.missed[replica] && !b.disabled[replica]
 	var seq uint64
+	var c *Client
 	if owed {
 		seq = b.missedSeq[replica]
+		c = b.clients[replica]
 	}
 	b.mu.Unlock()
 	if !owed {
@@ -195,7 +228,7 @@ func (b *Broadcaster) FlushMissed(ctx context.Context, replica int) error {
 	}
 	sctx, cancel := context.WithTimeout(ctx, b.cfg.Timeout)
 	defer cancel()
-	if _, err := b.clients[replica].Invalidate(sctx, nil, true); err != nil {
+	if _, err := c.Invalidate(sctx, nil, true); err != nil {
 		b.counters.Failure()
 		return err
 	}
@@ -251,14 +284,22 @@ func (b *Broadcaster) flushOnce(ctx context.Context) {
 	b.pending = nil
 	b.seen = make(map[[2]string]struct{})
 	b.dirty = false
-	global := make([]bool, len(b.clients))
+	// Snapshot the membership under the lock: AddClient may grow the
+	// slices concurrently, and a slot admitted after the batch was taken
+	// rides the NEXT batch.
+	clients := append([]*Client(nil), b.clients...)
+	skip := append([]bool(nil), b.disabled...)
+	global := make([]bool, len(clients))
 	copy(global, b.missed)
 	seqs := append([]uint64(nil), b.missedSeq...)
 	b.mu.Unlock()
 
 	b.counters.Batch(len(edges))
 	var wg sync.WaitGroup
-	for i, c := range b.clients {
+	for i, c := range clients {
+		if skip[i] {
+			continue
+		}
 		wg.Add(1)
 		go func(i int, c *Client) {
 			defer wg.Done()

@@ -46,6 +46,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/quorum"
 	"repro/internal/search"
+	"repro/internal/server"
 )
 
 // Client defaults, substituted for zero config fields.
@@ -368,11 +369,31 @@ type wireBatch struct {
 }
 
 type wireBatchEntry struct {
-	Results    []search.Result `json:"results"`
-	Explain    *search.Explain `json:"explain,omitempty"`
-	Degraded   bool            `json:"degraded,omitempty"`
-	ScoreBound float64         `json:"score_bound,omitempty"`
-	Error      string          `json:"error,omitempty"`
+	Results      []search.Result `json:"results"`
+	Explain      *search.Explain `json:"explain,omitempty"`
+	Degraded     bool            `json:"degraded,omitempty"`
+	ScoreBound   float64         `json:"score_bound,omitempty"`
+	Error        string          `json:"error,omitempty"`
+	ErrorKind    string          `json:"error_kind,omitempty"`
+	RetryAfterMS int64           `json:"retry_after_ms,omitempty"`
+}
+
+// entryErr reconstructs the typed error a batch entry carried on the
+// wire: the class decides failover (unavailable) vs return-to-caller
+// (invalid, overloaded — a shed entry keeps its Retry-After hint so
+// the front-end's own response can re-emit it). An unclassified error
+// stays opaque: no failover, no special status.
+func (e wireBatchEntry) entryErr() error {
+	switch e.ErrorKind {
+	case server.ErrKindInvalid:
+		return search.WrapInvalid(errors.New(e.Error))
+	case server.ErrKindOverloaded:
+		return search.Overloadedf(time.Duration(e.RetryAfterMS)*time.Millisecond, "%s", e.Error)
+	case server.ErrKindUnavailable:
+		return unavailablef("%s", e.Error)
+	default:
+		return errors.New(e.Error)
+	}
 }
 
 type wireBatchResponse struct {
@@ -409,7 +430,7 @@ func (c *Client) DoBatch(ctx context.Context, reqs []search.Request) []search.Ba
 	}
 	for i, e := range resp.Results {
 		if e.Error != "" {
-			out[i] = search.BatchResult{Err: errors.New(e.Error)}
+			out[i] = search.BatchResult{Err: e.entryErr()}
 			continue
 		}
 		results := e.Results
@@ -517,6 +538,119 @@ func (c *Client) Invalidate(ctx context.Context, edges [][2]string, all bool) (i
 		return 0, err
 	}
 	return out.Dropped, nil
+}
+
+// SnapshotReader opens the replica's bootstrap export (GET
+// /v2/snapshot): the returned reader streams the binary snapshot and
+// the LSN is the replication cursor it is pinned at. The caller owns
+// closing the reader. Unlike the query calls, no per-attempt timeout is
+// layered on — a bootstrap transfer legitimately outlives the RPC
+// budget — so the caller's ctx is the only bound.
+func (c *Client) SnapshotReader(ctx context.Context) (io.ReadCloser, uint64, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v2/snapshot", nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, 0, unavailablef("%s /v2/snapshot: %v", c.base, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, 0, unavailablef("%s /v2/snapshot: status %d: %s", c.base, resp.StatusCode, wireErrMessage(resp.Body))
+	}
+	lsn, err := strconv.ParseUint(resp.Header.Get("X-Snapshot-LSN"), 10, 64)
+	if err != nil {
+		resp.Body.Close()
+		return nil, 0, unavailablef("%s /v2/snapshot: bad X-Snapshot-LSN %q", c.base, resp.Header.Get("X-Snapshot-LSN"))
+	}
+	return resp.Body, lsn, nil
+}
+
+// ImportSnapshot streams a bootstrap snapshot into the replica (POST
+// /v2/snapshot), replacing its entire state; returns the replica's
+// cursor after the import (the stream's pinned LSN). Caller's ctx is
+// the only time bound (see SnapshotReader).
+func (c *Client) ImportSnapshot(ctx context.Context, r io.Reader) (uint64, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v2/snapshot", r)
+	if err != nil {
+		return 0, err
+	}
+	hreq.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return 0, unavailablef("%s /v2/snapshot: %v", c.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, unavailablef("%s /v2/snapshot: status %d: %s", c.base, resp.StatusCode, wireErrMessage(resp.Body))
+	}
+	var out appliedAck
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, unavailablef("%s /v2/snapshot: decoding response: %v", c.base, err)
+	}
+	return out.AppliedLSN, nil
+}
+
+// CachedSeekers lists the replica's resident cached seekers (GET
+// /v2/cache/seekers), hottest first per shard — the enumeration half
+// of the resize pre-warm.
+func (c *Client) CachedSeekers(ctx context.Context) ([]string, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v2/cache/seekers", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, unavailablef("%s /v2/cache/seekers: %v", c.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, unavailablef("%s /v2/cache/seekers: status %d", c.base, resp.StatusCode)
+	}
+	var out struct {
+		Seekers []string `json:"seekers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, unavailablef("%s /v2/cache/seekers: decoding response: %v", c.base, err)
+	}
+	return out.Seekers, nil
+}
+
+// WarmSeekers asks the replica to materialize the given seekers'
+// horizons into its cache (POST /v2/cache/warm) and returns how many
+// were installed. Caller's ctx is the only time bound — warming a large
+// slice legitimately outlives one RPC budget.
+func (c *Client) WarmSeekers(ctx context.Context, seekers []string) (int, error) {
+	in := struct {
+		Seekers []string `json:"seekers"`
+	}{Seekers: seekers}
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v2/cache/warm", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return 0, unavailablef("%s /v2/cache/warm: %v", c.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, unavailablef("%s /v2/cache/warm: status %d: %s", c.base, resp.StatusCode, wireErrMessage(resp.Body))
+	}
+	var out struct {
+		Warmed int `json:"warmed"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, unavailablef("%s /v2/cache/warm: decoding response: %v", c.base, err)
+	}
+	return out.Warmed, nil
 }
 
 // Users fetches the replica's known user names.

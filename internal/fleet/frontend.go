@@ -75,6 +75,10 @@ type Frontend struct {
 	MutationTimeout time.Duration
 	// CatchupTimeout bounds one replica's whole catch-up attempt.
 	CatchupTimeout time.Duration
+	// NewReplicaClient builds the client for a replica adopted by
+	// JoinReplica (nil: NewClient with default config). Set it when the
+	// fleet's clients carry non-default timeouts or hedging.
+	NewReplicaClient func(url string) (*Client, error)
 
 	// lagMu guards the lag ejector's per-replica memory: the log head and
 	// the replica's cursor as of the previous probe sweep. A cursor that
@@ -288,7 +292,10 @@ func (f *Frontend) forward(ctx context.Context, lsn uint64, send func(ctx contex
 	applied := 0
 	var lastUnavailable, lastInvalid error
 	for i := 0; i < f.pool.Replicas(); i++ {
-		st := f.pool.states[i]
+		if f.pool.Retired(i) {
+			continue
+		}
+		st := f.pool.state(i)
 		if lsn > 0 && !st.admissible() {
 			st.counters.MissedMutation()
 			continue
@@ -335,6 +342,21 @@ func (f *Frontend) forward(ctx context.Context, lsn uint64, send func(ctx contex
 				f.bcast.MarkMissed(i)
 			}
 			continue
+		}
+		if lsn == 0 && errors.Is(err, search.ErrOverloaded) {
+			// Shared-fate shed: the replica is healthy but at capacity —
+			// return the 429 (Retry-After hint intact) to the client
+			// instead of ejecting a replica for protecting itself. The
+			// client's backoff-retry re-forwards the mutation; replicas
+			// earlier in the fan-out that already applied it get their
+			// dirty edge noted by the caller (see BefriendCtx), and
+			// unstamped mode's divergence accounting already owns the gap
+			// until then. Stamped mutations never take this branch:
+			// replicas exempt the replication apply path from admission,
+			// so an overload answer there is divergence and falls through
+			// below.
+			st.counters.MissedMutation()
+			return err
 		}
 		if errors.Is(err, search.ErrInvalid) {
 			if lsn == 0 {
@@ -453,6 +475,12 @@ func (f *Frontend) BefriendCtx(ctx context.Context, a, b string, weight float64)
 	if err := f.forward(ctx, lsn, func(ctx context.Context, c *Client) (uint64, error) {
 		return c.Befriend(ctx, a, b, weight, lsn)
 	}); err != nil {
+		if errors.Is(err, search.ErrOverloaded) {
+			// A shed aborted the fan-out partway: replicas before the
+			// shedding one applied the edge, and their caches must not
+			// outlive it just because the client was told to back off.
+			f.bcast.NoteEdge(a, b)
+		}
 		return err
 	}
 	f.bcast.NoteEdge(a, b)
@@ -547,6 +575,11 @@ func (f *Frontend) TagCtx(ctx context.Context, user, item, tag string) error {
 	if err := f.forward(ctx, lsn, func(ctx context.Context, c *Client) (uint64, error) {
 		return c.Tag(ctx, user, item, tag, lsn)
 	}); err != nil {
+		if errors.Is(err, search.ErrOverloaded) {
+			// Partial fan-out before the shed: the applied replicas still
+			// need the compaction heartbeat (see BefriendCtx).
+			f.bcast.NoteWrite()
+		}
 		return err
 	}
 	f.bcast.NoteWrite()
@@ -601,7 +634,7 @@ func (f *Frontend) catchUp(i int) error {
 		// (restore the original log, or restart the replica clean).
 		return fmt.Errorf("fleet: replication epoch mismatch: replica cursor %d beyond log head %d", applied, f.logHead())
 	}
-	f.pool.states[i].setApplied(applied)
+	f.pool.state(i).setApplied(applied)
 
 	if f.qnode != nil && !f.qnode.IsLeader() {
 		// Follower gate: streaming records to replicas is the leader's

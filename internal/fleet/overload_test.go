@@ -2,14 +2,17 @@ package fleet
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/search"
+	"repro/internal/server"
 )
 
 // shedServer answers 429 with a Retry-After header while shedding is
@@ -184,5 +187,86 @@ func TestClientDeadlineShrinksAttempt(t *testing.T) {
 	}
 	if elapsed > 5*time.Second {
 		t.Fatalf("attempt ran %v, caller deadline was 50ms: per-attempt timeout did not shrink", elapsed)
+	}
+}
+
+// TestFrontendPropagatesRetryAfterOnFanout pins the shared-fate shed
+// contract end to end: a replica shedding with 429 + Retry-After makes
+// the FRONT-END answer the client 429 with the same hint — on the
+// query path, on the unstamped mutation fan-out, and per entry in a
+// batch (error_kind "overloaded" + retry_after_ms on the wire) — and
+// never ejects the replica or fails over onto ring successors.
+func TestFrontendPropagatesRetryAfterOnFanout(t *testing.T) {
+	ts, _, _ := shedServer(t, "7")
+	c := newTestClient(t, ts.URL, ClientConfig{})
+	pool, err := NewPool([]*Client{c}, PoolConfig{HealthInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcast := NewBroadcaster([]*Client{c}, BroadcasterConfig{})
+	front, err := NewFrontend(pool, bcast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(front.Close)
+	srv, err := server.New(front)
+	if err != nil {
+		t.Fatal(err)
+	}
+	door := httptest.NewServer(srv)
+	t.Cleanup(door.Close)
+
+	post := func(path, body string) *http.Response {
+		t.Helper()
+		resp, err := door.Client().Post(door.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	// Query path: the replica's shed surfaces as the front door's shed.
+	resp := post("/v2/search", `{"seeker":"a","tags":["x"],"k":1}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("fan-out search status = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Fatalf("search Retry-After = %q, want %q (the replica's hint)", got, "7")
+	}
+
+	// Unstamped mutation fan-out: shared fate, not ejection.
+	resp = post("/v1/friend", `{"a":"alice","b":"bob","weight":0.9}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("fan-out friend status = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Fatalf("friend Retry-After = %q, want %q", got, "7")
+	}
+	if !pool.Live(0) {
+		t.Fatal("replica ejected for shedding — overload is not a health failure")
+	}
+
+	// Batch path: the shed survives per entry, typed, with its hint.
+	resp = post("/v2/search/batch", `{"queries":[{"seeker":"a","tags":["x"],"k":1}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch envelope status = %d, want 200 (per-entry errors)", resp.StatusCode)
+	}
+	var batch struct {
+		Results []struct {
+			Error        string `json:"error"`
+			ErrorKind    string `json:"error_kind"`
+			RetryAfterMS int64  `json:"retry_after_ms"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Results) != 1 {
+		t.Fatalf("batch answers = %d, want 1", len(batch.Results))
+	}
+	e := batch.Results[0]
+	if e.ErrorKind != server.ErrKindOverloaded || e.RetryAfterMS != 7000 {
+		t.Fatalf("batch entry = %+v, want error_kind %q with retry_after_ms 7000", e, server.ErrKindOverloaded)
 	}
 }

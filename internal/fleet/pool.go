@@ -48,6 +48,8 @@ type PoolConfig struct {
 type replicaState struct {
 	mu          sync.Mutex
 	live        bool
+	retired     bool // permanently out: no probes, routing, or fan-out
+	holdGate    bool // admitted but awaiting bootstrap: don't start the gate yet
 	consecFails int
 	consecOKs   int
 	lastErr     string
@@ -65,17 +67,19 @@ type replicaState struct {
 func (r *replicaState) isLive() bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.live
+	return r.live && !r.retired
 }
 
 // admissible reports whether the replica should receive forwarded
 // mutations: live, or mid-rejoin (a catching-up replica is reachable
 // and the LSN ordering rule makes direct fan-out to it safe — it either
 // applies the record cleanly or defers it to the catch-up stream).
+// Admitted-but-not-yet-activated joiners are admissible the same way a
+// catching-up replica is; retired replicas never are.
 func (r *replicaState) admissible() bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.live || r.catchingUp
+	return !r.retired && (r.live || r.catchingUp)
 }
 
 // noteApplied advances the tracked replication cursor (monotonic —
@@ -113,7 +117,7 @@ func (r *replicaState) fail(err error) bool {
 	if r.live && r.consecFails >= r.failAfter {
 		r.live = false
 		r.counters.Ejection()
-		if r.onEject != nil {
+		if r.onEject != nil && !r.retired {
 			r.onEject()
 		}
 		return true
@@ -138,10 +142,31 @@ func (r *replicaState) eject(err error) {
 	if r.live {
 		r.live = false
 		r.counters.Ejection()
-		if r.onEject != nil {
+		if r.onEject != nil && !r.retired {
 			r.onEject()
 		}
 	}
+}
+
+// retire permanently removes the replica from every plane: it stops
+// being probed, routed to, fanned out to, or counted in the truncation
+// barrier. One-way by design — a retired slot's member is gone; a
+// returning process joins as a NEW member.
+func (r *replicaState) retire() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.retired = true
+	r.live = false
+	r.catchingUp = false
+}
+
+// releaseGate ends the post-admission bootstrap hold: the next
+// successful probe streak may start the rejoin gate (catch-up) that
+// flips the replica live.
+func (r *replicaState) releaseGate() {
+	r.mu.Lock()
+	r.holdGate = false
+	r.mu.Unlock()
 }
 
 // ok records one success (probe or query) and reports whether the
@@ -153,6 +178,9 @@ func (r *replicaState) eject(err error) {
 func (r *replicaState) ok() bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.retired {
+		return false
+	}
 	r.consecFails = 0
 	r.consecOKs++
 	// A probe success on a gated, still-ejected replica must not erase
@@ -162,6 +190,12 @@ func (r *replicaState) ok() bool {
 		r.lastErr = ""
 	}
 	if !r.live && r.consecOKs >= r.reviveAfter {
+		if r.holdGate {
+			// Admitted, healthy, but the join orchestration has not yet
+			// bootstrapped it — flipping live (or streaming the whole log)
+			// now would defeat the snapshot transfer.
+			return false
+		}
 		if r.gate != nil {
 			if !r.catchingUp {
 				r.catchingUp = true
@@ -192,10 +226,34 @@ func (r *replicaState) finishGate(err error) {
 		return
 	}
 	r.lastErr = ""
-	if !r.live {
+	if !r.live && !r.retired {
 		r.live = true
 		r.counters.Readmission()
 	}
+}
+
+// topology is the immutable routing + membership view the whole read
+// path works against: the epoch (bumped by every membership or ring
+// change), the consistent-hash ring over the in-ring slot labels, and
+// the slot-indexed member arrays. Every query loads it exactly ONCE —
+// the epoch fence — so a request routed under epoch N can never mix
+// epoch N ring decisions with epoch N+1 member arrays mid-flight.
+// Member arrays are append-only across views (a slot, once assigned,
+// always names the same member), which is what keeps slot indices
+// stable across resizes for the health, broadcast, and replication
+// planes.
+type topology struct {
+	epoch   uint64
+	ring    *shard.Ring
+	clients []*Client
+	states  []*replicaState
+	inRing  []bool // slot participates in read routing
+	retired []bool // slot permanently removed (implies !inRing)
+}
+
+// ringSlots returns the in-ring slot labels, ascending.
+func (t *topology) ringSlots() []int {
+	return t.ring.Slots()
 }
 
 // Pool is a health-checked registry of replica clients that implements
@@ -204,11 +262,24 @@ func (r *replicaState) finishGate(err error) {
 // replica is ejected (or an attempt fails with ErrUnavailable), the
 // query walks the seeker's ring-successor order until a live replica
 // answers, so a dead replica's seekers spill across the survivors.
+//
+// Membership is elastic: Admit registers a new replica outside the
+// ring (it is probed and receives stamped fan-out, pinning the
+// replication log's truncation barrier, but serves no reads), Activate
+// splices its slot into the ring once it is bootstrapped and warm, and
+// Retire removes a slot from every plane. Each change publishes a new
+// immutable topology under the next epoch; in-flight queries keep the
+// view they loaded.
 type Pool struct {
-	clients []*Client
-	states  []*replicaState
-	ring    *shard.Ring
-	cfg     PoolConfig
+	topo atomic.Pointer[topology]
+	cfg  PoolConfig
+
+	// adminMu serializes membership changes (Admit/Activate/Retire) and
+	// hook installation; the read path never takes it.
+	adminMu     sync.Mutex
+	ejectHook   func(replica int)
+	readmitHook func(replica int)
+	rejoinGate  func(replica int) error
 
 	// lagEject, when set, is consulted on every successful probe of a
 	// live replica with its self-reported cursor; true ejects it (see
@@ -253,21 +324,25 @@ func NewPool(clients []*Client, cfg PoolConfig) (*Pool, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Pool{
-		clients: clients,
-		states:  make([]*replicaState, len(clients)),
+	t := &topology{
+		epoch:   1,
 		ring:    ring,
-		cfg:     cfg,
-		stop:    make(chan struct{}),
+		clients: append([]*Client(nil), clients...),
+		states:  make([]*replicaState, len(clients)),
+		inRing:  make([]bool, len(clients)),
+		retired: make([]bool, len(clients)),
 	}
 	for i, c := range clients {
-		p.states[i] = &replicaState{
+		t.states[i] = &replicaState{
 			live:        true,
 			failAfter:   cfg.FailAfter,
 			reviveAfter: cfg.ReviveAfter,
 			counters:    c.Counters(),
 		}
+		t.inRing[i] = true
 	}
+	p := &Pool{cfg: cfg, stop: make(chan struct{})}
+	p.topo.Store(t)
 	if cfg.HealthInterval > 0 {
 		p.wg.Add(1)
 		go p.probeLoop()
@@ -275,15 +350,58 @@ func NewPool(clients []*Client, cfg PoolConfig) (*Pool, error) {
 	return p, nil
 }
 
+// view returns the current topology (never nil).
+func (p *Pool) view() *topology { return p.topo.Load() }
+
+// state returns slot i's health state.
+func (p *Pool) state(i int) *replicaState { return p.view().states[i] }
+
+// Epoch returns the current topology epoch. It advances on every
+// membership or ring change; two equal epochs observed around a
+// routing decision certify the decision used a single consistent view.
+func (p *Pool) Epoch() uint64 { return p.view().epoch }
+
+// InRing reports whether slot i currently participates in read routing.
+func (p *Pool) InRing(i int) bool {
+	t := p.view()
+	return i < len(t.inRing) && t.inRing[i]
+}
+
+// Retired reports whether slot i has been permanently removed.
+func (p *Pool) Retired(i int) bool {
+	t := p.view()
+	return i < len(t.retired) && t.retired[i]
+}
+
+// applyHooksLocked wires the registered hooks into one state. Callers
+// hold adminMu.
+func (p *Pool) applyHooksLocked(slot int, st *replicaState) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if p.ejectHook != nil {
+		hook := p.ejectHook
+		st.onEject = func() { hook(slot) }
+	}
+	if p.readmitHook != nil {
+		hook := p.readmitHook
+		st.onReadmit = func() { hook(slot) }
+	}
+	if p.rejoinGate != nil {
+		gate := p.rejoinGate
+		st.gate = func() { st.finishGate(gate(slot)) }
+	}
+}
+
 // OnEject registers a hook called (once per transition, with the
-// replica index) whenever a replica is ejected. The Broadcaster uses it
-// to mark the replica as having missed invalidation traffic.
+// replica slot) whenever a replica is ejected. The Broadcaster uses it
+// to mark the replica as having missed invalidation traffic. Applies
+// to current members and everyone admitted later.
 func (p *Pool) OnEject(hook func(replica int)) {
-	for i, st := range p.states {
-		i := i
-		st.mu.Lock()
-		st.onEject = func() { hook(i) }
-		st.mu.Unlock()
+	p.adminMu.Lock()
+	defer p.adminMu.Unlock()
+	p.ejectHook = hook
+	for i, st := range p.view().states {
+		p.applyHooksLocked(i, st)
 	}
 }
 
@@ -294,11 +412,11 @@ func (p *Pool) OnEject(hook func(replica int)) {
 // broadcast flush may never come, and a stale cache must not outlive
 // the readmission.
 func (p *Pool) OnReadmit(hook func(replica int)) {
-	for i, st := range p.states {
-		i := i
-		st.mu.Lock()
-		st.onReadmit = func() { hook(i) }
-		st.mu.Unlock()
+	p.adminMu.Lock()
+	defer p.adminMu.Unlock()
+	p.readmitHook = hook
+	for i, st := range p.view().states {
+		p.applyHooksLocked(i, st)
 	}
 }
 
@@ -307,20 +425,180 @@ func (p *Pool) OnReadmit(hook func(replica int)) {
 // (the Frontend's replication log catch-up) returns nil. At most one
 // gate run per replica is in flight; a failed run leaves the replica
 // out, the error in LastError, and the next successful probe retries.
-// Configure before serving traffic.
+// Configure before serving traffic; applies to later admissions too.
 func (p *Pool) SetRejoinGate(gate func(replica int) error) {
-	for i, st := range p.states {
-		i, st := i, st
-		st.mu.Lock()
-		st.gate = func() { st.finishGate(gate(i)) }
-		st.mu.Unlock()
+	p.adminMu.Lock()
+	defer p.adminMu.Unlock()
+	p.rejoinGate = gate
+	for i, st := range p.view().states {
+		p.applyHooksLocked(i, st)
 	}
+}
+
+// Admit registers a new replica as the next slot, OUTSIDE the routing
+// ring: it is probed for health, receives LSN-stamped fan-out (safe
+// under the ordering rule), and its zero cursor pins the replication
+// log's truncation barrier — exactly what a joiner bootstrapping from
+// a snapshot needs — but it serves no reads and its gate is held until
+// ReleaseGate. Returns the new slot index.
+func (p *Pool) Admit(c *Client) (int, error) {
+	if c == nil {
+		return 0, errors.New("fleet: nil replica client")
+	}
+	p.adminMu.Lock()
+	defer p.adminMu.Unlock()
+	old := p.view()
+	slot := len(old.clients)
+	st := &replicaState{
+		live:        false,
+		holdGate:    true,
+		failAfter:   p.cfg.FailAfter,
+		reviveAfter: p.cfg.ReviveAfter,
+		counters:    c.Counters(),
+	}
+	p.applyHooksLocked(slot, st)
+	t := &topology{
+		epoch:   old.epoch + 1,
+		ring:    old.ring,
+		clients: append(append([]*Client(nil), old.clients...), c),
+		states:  append(append([]*replicaState(nil), old.states...), st),
+		inRing:  append(append([]bool(nil), old.inRing...), false),
+		retired: append(append([]bool(nil), old.retired...), false),
+	}
+	p.topo.Store(t)
+	return slot, nil
+}
+
+// ReleaseGate ends slot i's post-admission bootstrap hold (snapshot
+// imported): probe successes may now start the catch-up gate that
+// flips it live.
+func (p *Pool) ReleaseGate(i int) {
+	p.view().states[i].releaseGate()
+}
+
+// Activate splices slot i into the routing ring under a new epoch. The
+// member must be admitted and not retired; typically it is also live
+// (bootstrapped, caught-up and pre-warmed) — activation is what flips
+// read traffic onto it. Consistent hashing guarantees only the keys
+// the new slot now owns change owner.
+func (p *Pool) Activate(i int) error {
+	p.adminMu.Lock()
+	defer p.adminMu.Unlock()
+	old := p.view()
+	if i < 0 || i >= len(old.clients) {
+		return fmt.Errorf("fleet: no replica slot %d", i)
+	}
+	if old.retired[i] {
+		return fmt.Errorf("fleet: slot %d is retired", i)
+	}
+	if old.inRing[i] {
+		return nil
+	}
+	slots := append(old.ring.Slots(), i)
+	ring, err := shard.NewRingOf(slots, p.cfg.VirtualNodes)
+	if err != nil {
+		return err
+	}
+	t := &topology{
+		epoch:   old.epoch + 1,
+		ring:    ring,
+		clients: old.clients,
+		states:  old.states,
+		inRing:  append([]bool(nil), old.inRing...),
+		retired: old.retired,
+	}
+	t.inRing[i] = true
+	p.topo.Store(t)
+	return nil
+}
+
+// Retire removes slot i from every plane under a new epoch: read
+// routing (its keys move to ring successors — and only its keys),
+// mutation fan-out, health probing, and the truncation barrier.
+// One-way; the last in-ring slot cannot be retired.
+func (p *Pool) Retire(i int) error {
+	p.adminMu.Lock()
+	defer p.adminMu.Unlock()
+	old := p.view()
+	if i < 0 || i >= len(old.clients) {
+		return fmt.Errorf("fleet: no replica slot %d", i)
+	}
+	if old.retired[i] {
+		return nil
+	}
+	ring := old.ring
+	if old.inRing[i] {
+		slots := make([]int, 0, len(old.ring.Slots())-1)
+		for _, s := range old.ring.Slots() {
+			if s != i {
+				slots = append(slots, s)
+			}
+		}
+		if len(slots) == 0 {
+			return errors.New("fleet: cannot retire the last in-ring replica")
+		}
+		var err error
+		if ring, err = shard.NewRingOf(slots, p.cfg.VirtualNodes); err != nil {
+			return err
+		}
+	}
+	t := &topology{
+		epoch:   old.epoch + 1,
+		ring:    ring,
+		clients: old.clients,
+		states:  old.states,
+		inRing:  append([]bool(nil), old.inRing...),
+		retired: append([]bool(nil), old.retired...),
+	}
+	t.inRing[i] = false
+	t.retired[i] = true
+	p.topo.Store(t)
+	old.states[i].retire()
+	return nil
+}
+
+// Ring returns the current routing ring (resize planning: the
+// orchestrator diffs the current ring against a candidate via
+// shard.MovedKeys to find the minimal moved slice).
+func (p *Pool) Ring() *shard.Ring { return p.view().ring }
+
+// RingAdding returns the candidate ring that Activate(slot) would
+// install — the current in-ring slots plus slot — without changing
+// anything. The orchestrator diffs it against Ring() to find the
+// minimal seeker slice the joiner must be pre-warmed with.
+func (p *Pool) RingAdding(slot int) (*shard.Ring, error) {
+	t := p.view()
+	if t.ring.HasSlot(slot) {
+		return t.ring, nil
+	}
+	return shard.NewRingOf(append(t.ring.Slots(), slot), p.cfg.VirtualNodes)
+}
+
+// RingRemoving returns the candidate ring that Retire(slot) would
+// install — the current in-ring slots minus slot. The orchestrator
+// diffs it against Ring() to find which successors inherit the
+// retiree's seekers (and should be pre-warmed with them).
+func (p *Pool) RingRemoving(slot int) (*shard.Ring, error) {
+	t := p.view()
+	if !t.ring.HasSlot(slot) {
+		return t.ring, nil
+	}
+	slots := make([]int, 0, len(t.ring.Slots())-1)
+	for _, s := range t.ring.Slots() {
+		if s != slot {
+			slots = append(slots, s)
+		}
+	}
+	if len(slots) == 0 {
+		return nil, errors.New("fleet: cannot remove the last in-ring replica")
+	}
+	return shard.NewRingOf(slots, p.cfg.VirtualNodes)
 }
 
 // noteApplied records replica i's replication cursor (from a mutation
 // ack); monotonic.
 func (p *Pool) noteApplied(i int, lsn uint64) {
-	p.states[i].noteApplied(lsn)
+	p.view().states[i].noteApplied(lsn)
 }
 
 // SetLagEjector configures divergence detection on the probe path: fn
@@ -334,16 +612,25 @@ func (p *Pool) SetLagEjector(fn func(replica int, cursor uint64) bool) {
 	p.lagEject.Store(&fn)
 }
 
-// minApplied returns the minimum replication cursor across replicas —
-// the fleet's truncation barrier input.
+// minApplied returns the minimum replication cursor across non-retired
+// replicas — the fleet's truncation barrier input. A just-admitted
+// joiner counts (its zero cursor pins the barrier through bootstrap);
+// a retired replica never holds the log back.
 func (p *Pool) minApplied() uint64 {
+	t := p.view()
 	min := ^uint64(0)
-	for _, st := range p.states {
+	for i, st := range t.states {
+		if t.retired[i] {
+			continue
+		}
 		st.mu.Lock()
 		if st.appliedLSN < min {
 			min = st.appliedLSN
 		}
 		st.mu.Unlock()
+	}
+	if min == ^uint64(0) {
+		return 0
 	}
 	return min
 }
@@ -355,14 +642,15 @@ func (p *Pool) Close() {
 	p.wg.Wait()
 }
 
-// Replicas returns the replica count.
-func (p *Pool) Replicas() int { return len(p.clients) }
+// Replicas returns the member count (every slot ever admitted,
+// including retired ones — slot indices are stable).
+func (p *Pool) Replicas() int { return len(p.view().clients) }
 
 // Client returns replica i's client (stats, broadcaster wiring).
-func (p *Pool) Client(i int) *Client { return p.clients[i] }
+func (p *Pool) Client(i int) *Client { return p.view().clients[i] }
 
 // Live reports whether replica i is currently in rotation.
-func (p *Pool) Live(i int) bool { return p.states[i].isLive() }
+func (p *Pool) Live(i int) bool { return p.view().states[i].isLive() }
 
 // probeLoop sweeps /healthz on every replica each interval.
 func (p *Pool) probeLoop() {
@@ -380,15 +668,19 @@ func (p *Pool) probeLoop() {
 }
 
 func (p *Pool) probeAll() {
+	t := p.view()
 	var wg sync.WaitGroup
-	for i := range p.clients {
+	for i := range t.clients {
+		if t.retired[i] {
+			continue
+		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			ctx, cancel := context.WithTimeout(context.Background(), p.cfg.HealthTimeout)
 			defer cancel()
-			applied, err := p.clients[i].Healthz(ctx)
-			st := p.states[i]
+			applied, err := t.clients[i].Healthz(ctx)
+			st := t.states[i]
 			st.mu.Lock()
 			st.lastProbe = time.Now()
 			st.mu.Unlock()
@@ -407,16 +699,26 @@ func (p *Pool) probeAll() {
 	wg.Wait()
 }
 
-// preference returns the seeker's replica order: the ring owner first,
-// then ring successors. Failover walks it left to right.
-func (p *Pool) preference(seeker string) []int {
-	return p.ring.SuccessorsString(seeker)
+// anyLive reports whether any non-retired member is live, under the
+// given view.
+func (t *topology) anyLive() bool {
+	for i, st := range t.states {
+		if t.retired[i] {
+			continue
+		}
+		if st.isLive() {
+			return true
+		}
+	}
+	return false
 }
 
-// ReplicaFor returns the index of the replica that owns a seeker when
+func (p *Pool) anyLive() bool { return p.view().anyLive() }
+
+// ReplicaFor returns the slot of the replica that owns a seeker when
 // every replica is healthy.
 func (p *Pool) ReplicaFor(seeker string) int {
-	return p.ring.OwnerString(seeker)
+	return p.view().ring.OwnerString(seeker)
 }
 
 // Do answers one request with failover: the seeker's preference order
@@ -428,35 +730,41 @@ func (p *Pool) ReplicaFor(seeker string) int {
 // health state: the replica is alive and protecting itself, and failing
 // over would dump its load onto the ring successors — the caller backs
 // off and retries the same route instead.
+//
+// The topology is loaded ONCE per request (the epoch fence): a resize
+// publishing a new epoch mid-request never mixes two rings inside one
+// routing decision.
 func (p *Pool) Do(ctx context.Context, req search.Request) (search.Response, error) {
 	ctx, sp := obs.StartSpan(ctx, "fleet.route")
 	defer sp.End()
 	sp.SetAttr("seeker", req.Seeker)
-	pref := p.preference(req.Seeker)
-	anyLive := p.anyLive()
+	t := p.view()
+	sp.SetInt("epoch", int64(t.epoch))
+	pref := t.ring.SuccessorsString(req.Seeker)
+	anyLive := t.anyLive()
 	var lastErr error
 	for rank, idx := range pref {
-		if anyLive && !p.states[idx].isLive() {
+		if anyLive && !t.states[idx].isLive() {
 			continue
 		}
 		if err := ctx.Err(); err != nil {
 			return search.Response{}, err
 		}
-		c := p.clients[idx]
+		c := t.clients[idx]
 		c.Counters().Request()
 		if rank > 0 {
 			c.Counters().Failover()
 		}
 		resp, err := c.Do(ctx, req)
 		if err == nil {
-			p.states[idx].ok()
+			t.states[idx].ok()
 			return resp, nil
 		}
 		if !errors.Is(err, search.ErrUnavailable) {
 			return search.Response{}, err
 		}
 		c.Counters().Failure()
-		p.states[idx].fail(err)
+		t.states[idx].fail(err)
 		lastErr = err
 	}
 	if lastErr == nil {
@@ -465,21 +773,13 @@ func (p *Pool) Do(ctx context.Context, req search.Request) (search.Response, err
 	return search.Response{}, lastErr
 }
 
-func (p *Pool) anyLive() bool {
-	for _, st := range p.states {
-		if st.isLive() {
-			return true
-		}
-	}
-	return false
-}
-
 // DoBatch partitions the batch by each seeker's first live preference,
 // runs the sub-batches concurrently, and re-routes entries that failed
 // with ErrUnavailable to their next preference — up to one round per
 // replica, so a replica dying mid-batch costs its entries one retry,
 // not the whole batch. Entries a replica shed (search.ErrOverloaded)
-// are returned as-is, never re-routed — see Do.
+// are returned as-is, never re-routed — see Do. The whole batch runs
+// under one topology view (the epoch fence).
 func (p *Pool) DoBatch(ctx context.Context, reqs []search.Request) []search.BatchResult {
 	out := make([]search.BatchResult, len(reqs))
 	if len(reqs) == 0 {
@@ -488,6 +788,8 @@ func (p *Pool) DoBatch(ctx context.Context, reqs []search.Request) []search.Batc
 	ctx, sp := obs.StartSpan(ctx, "fleet.route")
 	defer sp.End()
 	sp.SetInt("queries", int64(len(reqs)))
+	t := p.view()
+	sp.SetInt("epoch", int64(t.epoch))
 	// rank[i] is how far down request i's preference list routing has
 	// walked; pending holds the requests still needing an answer.
 	rank := make([]int, len(reqs))
@@ -495,7 +797,7 @@ func (p *Pool) DoBatch(ctx context.Context, reqs []search.Request) []search.Batc
 	for i := range reqs {
 		pending[i] = i
 	}
-	for round := 0; round <= len(p.clients) && len(pending) > 0; round++ {
+	for round := 0; round <= len(t.clients) && len(pending) > 0; round++ {
 		// A dead caller context makes every further attempt futile (and,
 		// worse, would count against replica health): fail what is left.
 		if err := ctx.Err(); err != nil {
@@ -504,17 +806,17 @@ func (p *Pool) DoBatch(ctx context.Context, reqs []search.Request) []search.Batc
 			}
 			return out
 		}
-		anyLive := p.anyLive()
+		anyLive := t.anyLive()
 		subs := make(map[int][]int) // replica -> request indices
 		var exhausted []int
 		for _, i := range pending {
-			pref := p.preference(reqs[i].Seeker)
+			pref := t.ring.SuccessorsString(reqs[i].Seeker)
 			// Advance past ejected replicas (while any replica is live)
 			// and past preferences already tried.
 			idx := -1
 			for rank[i] < len(pref) {
 				cand := pref[rank[i]]
-				if !anyLive || p.states[cand].isLive() {
+				if !anyLive || t.states[cand].isLive() {
 					idx = cand
 					break
 				}
@@ -536,7 +838,7 @@ func (p *Pool) DoBatch(ctx context.Context, reqs []search.Request) []search.Batc
 			wg.Add(1)
 			go func(idx int, members []int) {
 				defer wg.Done()
-				c := p.clients[idx]
+				c := t.clients[idx]
 				sub := make([]search.Request, len(members))
 				for j, i := range members {
 					sub[j] = reqs[i]
@@ -558,9 +860,9 @@ func (p *Pool) DoBatch(ctx context.Context, reqs []search.Request) []search.Batc
 					out[i] = br
 				}
 				if len(failed) > 0 {
-					p.states[idx].fail(out[failed[0]].Err)
+					t.states[idx].fail(out[failed[0]].Err)
 				} else {
-					p.states[idx].ok()
+					t.states[idx].ok()
 				}
 				mu.Lock()
 				for _, i := range failed {
@@ -581,6 +883,11 @@ type ReplicaStats struct {
 	URL       string
 	Live      bool
 	LastError string `json:",omitempty"`
+	// Slot is the member's stable slot index; InRing reports whether it
+	// currently serves reads; Retired marks a permanently removed slot.
+	Slot    int
+	InRing  bool
+	Retired bool `json:",omitempty"`
 	// CatchingUp reports an in-flight rejoin gate run: the replica is
 	// probed-healthy but held out of the ring until it has applied the
 	// replication log through the head.
@@ -593,17 +900,21 @@ type ReplicaStats struct {
 	Counters   metrics.ReplicaSnapshot
 }
 
-// Stats returns each replica's health and counters, in registry order.
+// Stats returns each member's health and counters, in slot order.
 // ReplogLag is filled by the Frontend, which knows the log head.
 func (p *Pool) Stats() []ReplicaStats {
-	out := make([]ReplicaStats, len(p.clients))
-	for i, c := range p.clients {
-		st := p.states[i]
+	t := p.view()
+	out := make([]ReplicaStats, len(t.clients))
+	for i, c := range t.clients {
+		st := t.states[i]
 		st.mu.Lock()
 		out[i] = ReplicaStats{
 			URL:        c.URL(),
-			Live:       st.live,
+			Live:       st.live && !st.retired,
 			LastError:  st.lastErr,
+			Slot:       i,
+			InRing:     t.inRing[i],
+			Retired:    t.retired[i],
 			CatchingUp: st.catchingUp,
 			AppliedLSN: st.appliedLSN,
 			Counters:   c.Counters().Snapshot(),

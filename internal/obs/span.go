@@ -251,13 +251,19 @@ func Inject(ctx context.Context, h http.Header) {
 // MergeRemote folds span data returned by a downstream process (a
 // replica answering a traced request) into the context's trace. Safe
 // to call from hedged or raced attempts: merges into a finished trace
-// are dropped, and the span cap applies.
+// are dropped, and the span cap applies. Callers that outlive the
+// request (detached replication pushes) must capture the *Trace with
+// FromContext while the request is live and use Trace.Merge instead —
+// the context's span is recycled when the trace finishes.
 func MergeRemote(ctx context.Context, spans []SpanData) {
-	if len(spans) == 0 {
-		return
-	}
-	tr := FromContext(ctx)
-	if tr == nil {
+	FromContext(ctx).Merge(spans)
+}
+
+// Merge folds downstream span data into the trace. Nil-safe, and safe
+// to call after the trace finished (the merge is dropped) — unlike a
+// context lookup, a retained *Trace stays valid past the request.
+func (tr *Trace) Merge(spans []SpanData) {
+	if tr == nil || len(spans) == 0 {
 		return
 	}
 	tr.mu.Lock()

@@ -297,6 +297,21 @@ func (c *Cache) missLocked(seeker graph.UserID) {
 // admission policy may refuse horizons too small or seekers too cold
 // to be worth a slot.
 func (c *Cache) Put(seeker graph.UserID, gen uint64, h *core.SeekerHorizon) bool {
+	return c.put(seeker, gen, h, true)
+}
+
+// Warm is Put minus the admission policy: it installs a horizon that
+// earned its slot elsewhere — a resize pre-warm transfers horizons that
+// were already resident on the replica previously owning the seeker, so
+// re-running cold-start admission (miss streaks, size floors) here
+// would refuse exactly the entries the transfer exists to save. The
+// generation check still applies: a horizon from a superseded snapshot
+// is dropped.
+func (c *Cache) Warm(seeker graph.UserID, gen uint64, h *core.SeekerHorizon) bool {
+	return c.put(seeker, gen, h, false)
+}
+
+func (c *Cache) put(seeker graph.UserID, gen uint64, h *core.SeekerHorizon, admit bool) bool {
 	if h == nil {
 		return false
 	}
@@ -305,12 +320,12 @@ func (c *Cache) Put(seeker graph.UserID, gen uint64, h *core.SeekerHorizon) bool
 	if gen != c.gen {
 		return false
 	}
-	if c.policy.MinHorizonUsers > 1 && h.Size() < c.policy.MinHorizonUsers {
+	if admit && c.policy.MinHorizonUsers > 1 && h.Size() < c.policy.MinHorizonUsers {
 		c.counters.AdmissionDenied()
 		return false
 	}
 	if c.misses != nil {
-		if c.misses[seeker] < c.policy.MinMisses {
+		if admit && c.misses[seeker] < c.policy.MinMisses {
 			c.counters.AdmissionDenied()
 			return false
 		}
@@ -343,6 +358,19 @@ func (c *Cache) Put(seeker graph.UserID, gen uint64, h *core.SeekerHorizon) bool
 		c.counters.Eviction(1)
 	}
 	return true
+}
+
+// Seekers returns the seekers with resident horizons, hottest (most
+// recently used) first — the order a pre-warm transfer should replay
+// them in, so a bounded receiver keeps the valuable ones.
+func (c *Cache) Seekers() []graph.UserID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]graph.UserID, 0, c.lru.Len())
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*entry).seeker)
+	}
+	return out
 }
 
 // trackMembersLocked registers the entry's horizon members in the

@@ -27,10 +27,12 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/durable"
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -164,6 +166,14 @@ type Node struct {
 
 	commitCond *sync.Cond // signals commit advance, step-down, close
 
+	// traced maps an in-flight traced Append's LSN to its trace
+	// context while the leader awaits commit, so the detached per-peer
+	// replication pushes can tag that entry on the wire and merge the
+	// followers' spans back into the right trace. Guarded by mu;
+	// entries are removed when Append returns, so the map stays
+	// bounded by the number of concurrently blocked traced appends.
+	traced map[uint64]tracedAppend
+
 	peers map[string]*peer // every member except self
 
 	roleMu    sync.Mutex
@@ -197,6 +207,7 @@ func Open(cfg Config) (*Node, error) {
 		role:      Follower,
 		lastHeard: time.Now(),
 		peers:     make(map[string]*peer),
+		traced:    make(map[uint64]tracedAppend),
 		stop:      make(chan struct{}),
 	}
 	n.commitCond = sync.NewCond(&n.mu)
@@ -329,12 +340,34 @@ func (n *Node) Append(ctx context.Context, t wal.Type, data []byte) (uint64, err
 		n.mu.Unlock()
 		return 0, fmt.Errorf("quorum: local append: %w", err)
 	}
+	// A traced mutation's replication happens on detached per-peer
+	// goroutines; park its trace context keyed by LSN so pushPeer can
+	// carry it on the wire and merge follower spans back. Untraced
+	// appends (the common case) skip the map entirely.
+	if tp := obs.Traceparent(ctx); tp != "" {
+		n.traced[lsn] = tracedAppend{tp: tp, tr: obs.FromContext(ctx)}
+		defer func() {
+			n.mu.Lock()
+			delete(n.traced, lsn)
+			n.mu.Unlock()
+		}()
+	}
 	n.maybeCommitLocked()
 	n.mu.Unlock()
 	for _, p := range n.peers {
 		p.poke()
 	}
 	return lsn, n.waitCommitted(ctx, lsn, term)
+}
+
+// tracedAppend is one blocked traced Append: the wire form of its
+// trace position plus the trace the followers' spans merge back into.
+// The *Trace (not the context) is retained because a slow peer's push
+// can outlive the request — Trace.Merge stays safe after finish, while
+// the context's span is recycled.
+type tracedAppend struct {
+	tp string
+	tr *obs.Trace
 }
 
 // waitCommitted blocks until commit ≥ lsn while we remain leader of
@@ -605,6 +638,25 @@ func (n *Node) pushPeer(p *peer) {
 			}
 		}
 
+		// Tag entries whose Append is still blocked in a traced request,
+		// and remember where each one's follower spans should merge.
+		var mergeInto map[uint64]*obs.Trace
+		if len(entries) > 0 {
+			n.mu.Lock()
+			if len(n.traced) > 0 {
+				for i := range entries {
+					if ta, ok := n.traced[entries[i].LSN]; ok {
+						entries[i].Traceparent = ta.tp
+						if mergeInto == nil {
+							mergeInto = make(map[uint64]*obs.Trace)
+						}
+						mergeInto[entries[i].LSN] = ta.tr
+					}
+				}
+			}
+			n.mu.Unlock()
+		}
+
 		ctx, cancel := context.WithTimeout(context.Background(), n.cfg.RPCTimeout)
 		resp, err := sendAppend(ctx, p.url, appendRequest{
 			Term: term, LeaderID: n.cfg.ID, LeaderURL: n.cfg.Peers[n.cfg.ID],
@@ -619,6 +671,14 @@ func (n *Node) pushPeer(p *peer) {
 			return
 		}
 		if resp.OK {
+			// Stitch the follower's replication spans into each entry's
+			// originating trace. Only LSNs this push tagged are merged:
+			// a response cannot inject spans into unrelated traces.
+			for lsn, spans := range resp.Spans {
+				if tr, ok := mergeInto[lsn]; ok {
+					tr.Merge(spans)
+				}
+			}
 			matched := prev + uint64(len(entries))
 			p.mu.Lock()
 			if matched > p.match {
@@ -759,6 +819,7 @@ func (n *Node) handleAppend(req appendRequest) appendResponse {
 		}
 		return appendResponse{Term: term, Hint: req.PrevLSN - 1}
 	}
+	var spans map[uint64][]obs.SpanData
 	for _, e := range req.Entries {
 		head = n.log.headLSN()
 		if e.LSN <= head {
@@ -774,9 +835,33 @@ func (n *Node) handleAppend(req appendRequest) appendResponse {
 		if e.LSN != n.log.headLSN()+1 {
 			return appendResponse{Term: term, Hint: n.log.headLSN()}
 		}
+		start := time.Now()
 		if _, err := n.log.append(e.Term, wal.Type(e.Type), e.Data); err != nil {
 			n.cfg.Logf("quorum[%s]: follower append: %v", n.cfg.ID, err)
 			return appendResponse{Term: term, Hint: n.log.headLSN()}
+		}
+		// A traced entry gets its durable-append leg reported back to
+		// the leader, parented under the originating mutation's span.
+		// Re-delivered entries (the `continue` above) emit nothing: the
+		// first delivery already reported the real work.
+		if e.Traceparent != "" {
+			if _, parent, sampled, ok := obs.ParseTraceparent(e.Traceparent); ok && sampled {
+				if spans == nil {
+					spans = make(map[uint64][]obs.SpanData)
+				}
+				spans[e.LSN] = append(spans[e.LSN], obs.SpanData{
+					SpanID:     obs.NewSpanID().String(),
+					ParentID:   parent.String(),
+					Name:       "quorum.follower.append",
+					Node:       n.cfg.ID,
+					Start:      start,
+					DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
+					Attrs: []obs.Attr{
+						{Key: "lsn", Value: strconv.FormatUint(e.LSN, 10)},
+						{Key: "term", Value: strconv.FormatUint(e.Term, 10)},
+					},
+				})
+			}
 		}
 	}
 	// Only records we have verified against the leader may commit.
@@ -791,7 +876,7 @@ func (n *Node) handleAppend(req appendRequest) appendResponse {
 		n.commitCond.Broadcast()
 	}
 	n.mu.Unlock()
-	return appendResponse{Term: term, OK: true, Match: matched}
+	return appendResponse{Term: term, OK: true, Match: matched, Spans: spans}
 }
 
 // PeerStats is one row of Stats.Peers.

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/durable"
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -322,5 +323,83 @@ func TestUncommittedSuffixIsTruncated(t *testing.T) {
 		if p == "orphan-1" || p == "orphan-2" {
 			t.Fatal("orphaned uncommitted record survived rejoin")
 		}
+	}
+}
+
+// TestTracedAppendCarriesFollowerSpans pins the satellite contract for
+// distributed tracing across replication: a mutation appended under a
+// sampled trace gets its followers' durable-append legs merged back
+// into the originating trace — even though the replication pushes run
+// on detached per-peer goroutines that never see the request context —
+// so /debug/traces/{id} shows the full quorum picture.
+func TestTracedAppendCarriesFollowerSpans(t *testing.T) {
+	c := newCluster(t, 3)
+	lead := c.node(c.waitLeader())
+
+	tr := obs.NewTracer(obs.Config{Node: "front", SampleEvery: 1})
+	ctx, rq := tr.StartRequest(context.Background(), "", "POST", "/v1/friend")
+	if !rq.Sampled() {
+		t.Fatal("SampleEvery=1 request not sampled")
+	}
+	appendCtx, cancel := context.WithTimeout(ctx, 3*time.Second)
+	defer cancel()
+	if _, err := lead.Append(appendCtx, 1, []byte("edge alice bob")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	// Commit requires a majority, and the leader merges a follower's
+	// spans before it counts that follower's ack toward commit — so by
+	// the time Append returns, at least one follower span is merged.
+	info := rq.Finish(200)
+	if info.TraceID == "" {
+		t.Fatal("finished request has no trace id")
+	}
+
+	rec, ok := tr.TraceByID(info.TraceID)
+	if !ok {
+		t.Fatalf("trace %s not in the flight recorder", info.TraceID)
+	}
+	var followerNodes []string
+	for _, sp := range rec.Spans {
+		if sp.Name != "quorum.follower.append" {
+			continue
+		}
+		followerNodes = append(followerNodes, sp.Node)
+		if sp.ParentID == "" {
+			t.Fatalf("follower span %+v not parented under the mutation's span", sp)
+		}
+		var hasLSN bool
+		for _, a := range sp.Attrs {
+			if a.Key == "lsn" && a.Value != "" && a.Value != "0" {
+				hasLSN = true
+			}
+		}
+		if !hasLSN {
+			t.Fatalf("follower span %+v carries no lsn attr", sp)
+		}
+	}
+	if len(followerNodes) == 0 {
+		t.Fatalf("no follower replication spans in the trace (spans: %+v)", rec.Spans)
+	}
+	for _, node := range followerNodes {
+		if node == "" || c.node(node) == nil {
+			t.Fatalf("follower span from unknown node %q", node)
+		}
+		if nd := c.node(node); nd.IsLeader() {
+			t.Fatalf("replication span attributed to the leader %q", node)
+		}
+	}
+
+	// An untraced append stays off the traced plumbing: nothing is
+	// parked in the pending map once it returns.
+	plainCtx, cancel2 := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel2()
+	if _, err := lead.Append(plainCtx, 1, []byte("edge bob carol")); err != nil {
+		t.Fatalf("untraced Append: %v", err)
+	}
+	lead.mu.Lock()
+	pending := len(lead.traced)
+	lead.mu.Unlock()
+	if pending != 0 {
+		t.Fatalf("traced-append map holds %d entries after appends returned", pending)
 	}
 }

@@ -97,6 +97,13 @@ type logEntry struct {
 	Term uint64 `json:"term"`
 	Type uint8  `json:"type"`
 	Data []byte `json:"data"`
+	// Traceparent carries the originating mutation's trace context.
+	// Replication is detached from the mutation's request (pushPeer
+	// batches entries from its own goroutine), so the usual
+	// header-level obs.Inject never sees the mutation's span — the
+	// trace rides per entry instead, letting followers report their
+	// replication spans back for /debug/traces stitching.
+	Traceparent string `json:"traceparent,omitempty"`
 }
 
 type appendRequest struct {
@@ -114,6 +121,11 @@ type appendResponse struct {
 	OK    bool   `json:"ok"`
 	Match uint64 `json:"match_lsn"`
 	Hint  uint64 `json:"hint_lsn"`
+	// Spans reports the follower's replication spans for entries that
+	// carried a Traceparent, keyed by LSN so the leader can merge each
+	// into the right originating trace (one batch may carry entries
+	// from several concurrent traced mutations).
+	Spans map[uint64][]obs.SpanData `json:"spans,omitempty"`
 }
 
 var transport = &http.Client{}

@@ -21,6 +21,14 @@
 //	POST /v2/invalidate    {"edges":[["alice","bob"],...],"all":false}
 //	                                                                → {"dropped":2}
 //	GET  /v2/replog?from=7                                          → {"from":7,"head":42,"records":[...]}
+//	GET  /v2/snapshot                                               → binary snapshot stream pinned at the
+//	                                                                  replication cursor (X-Snapshot-LSN)
+//	POST /v2/snapshot      binary snapshot stream                   → {"applied_lsn":7} (replaces all state)
+//	GET  /v2/cache/seekers                                          → {"seekers":["alice",...]} (resident horizons)
+//	POST /v2/cache/warm    {"seekers":["alice",...]}                → {"warmed":N} (pre-warm, admission bypassed)
+//	POST /v2/fleet/resize  {"join":["http://host:port"],"retire":[2]}
+//	                                                                → {"epoch":4,"joined":[3],"retired":[2]}
+//	                                                                  (fleet front-ends only: elastic resize)
 //	GET  /v1/users                                                  → {"users":[...]}
 //	GET  /v1/stats                                                  → backend counters (wrapped in a
 //	                                                                  {"Build","Admission","Trace","Backend"}
@@ -76,6 +84,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"net/http/pprof"
@@ -86,10 +95,13 @@ import (
 
 	"repro/internal/admission"
 	"repro/internal/durable"
+	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/quorum"
 	"repro/internal/search"
 	"repro/internal/social"
+	"repro/internal/tagstore"
+	"repro/internal/vocab"
 )
 
 // Backend is the mutation/query surface the server needs. Both
@@ -203,6 +215,75 @@ type ReplogSource interface {
 // replication log is disabled; the handler maps it to 404.
 var ErrNoReplog = errors.New("server: no replication log configured")
 
+// SnapshotSource is the optional backend surface behind GET
+// /v2/snapshot: export the compacted state pinned at the replication
+// cursor, for bootstrapping a joining replica. Both *social.Service and
+// *durable.Service implement it; backends without it answer 404.
+type SnapshotSource interface {
+	SnapshotWithCursor() (*graph.Graph, *tagstore.Store, *vocab.Set, uint64, error)
+}
+
+// SnapshotImporter is the optional backend surface behind POST
+// /v2/snapshot: replace the backend's entire state with a snapshot
+// stream pinned at an LSN. A joining replica imports a peer's snapshot
+// and then replays the fleet log suffix after the pinned LSN.
+type SnapshotImporter interface {
+	ImportSnapshot(g *graph.Graph, st *tagstore.Store, names *vocab.Set, lsn uint64) error
+}
+
+// CacheWarmer is the optional backend surface behind the cache
+// pre-warm plane (GET /v2/cache/seekers + POST /v2/cache/warm): list
+// the seekers with resident cached horizons, and materialize a given
+// slice of seekers into the cache ahead of a traffic flip. Both service
+// types implement it; backends without it answer 404.
+type CacheWarmer interface {
+	CachedSeekers() []string
+	WarmSeekers(ctx context.Context, seekers []string) (int, error)
+}
+
+// MaxWarmSeekers bounds one POST /v2/cache/warm request.
+const MaxWarmSeekers = 65536
+
+// FleetResizer is the optional backend surface behind POST
+// /v2/fleet/resize: elastic membership on a fleet front-end. Joining
+// adopts a running replica by URL (admit → snapshot bootstrap →
+// log catch-up → cache pre-warm → ring activation under a new
+// topology epoch); retiring drains a slot's cached working set to its
+// ring successors and removes it. Replica backends answer 404.
+type FleetResizer interface {
+	JoinReplica(ctx context.Context, url string) (slot int, err error)
+	RetireReplica(ctx context.Context, slot int) error
+	FleetEpoch() uint64
+}
+
+// FleetResizeRequest is the POST /v2/fleet/resize body: replica base
+// URLs to join and member slots to retire. Joins run first (in order),
+// then retires — so one request can grow-then-shrink atomically from
+// the caller's point of view.
+type FleetResizeRequest struct {
+	Join   []string `json:"join,omitempty"`
+	Retire []int    `json:"retire,omitempty"`
+}
+
+// FleetResizeResponse reports the slots joined and retired and the
+// topology epoch after the resize.
+type FleetResizeResponse struct {
+	Epoch   uint64 `json:"epoch"`
+	Joined  []int  `json:"joined"`
+	Retired []int  `json:"retired"`
+}
+
+// MaxResizeOps bounds one resize request's combined join+retire count.
+const MaxResizeOps = 64
+
+// SnapshotLSNHeader carries the pinned replication cursor of a
+// /v2/snapshot export (it also rides inside the stream; the header
+// lets an orchestrator log the pin without parsing the body).
+const SnapshotLSNHeader = "X-Snapshot-LSN"
+
+// maxSnapshotBodyBytes bounds POST /v2/snapshot import bodies.
+const maxSnapshotBodyBytes = 4 << 30
+
 // MaxReplogPageRecords caps one /v2/replog page.
 const MaxReplogPageRecords = 1024
 
@@ -271,6 +352,10 @@ func New(b Backend) (*Server, error) {
 	s.mux.HandleFunc("/v2/search/batch", s.handleSearchBatchV2)
 	s.mux.HandleFunc("/v2/invalidate", s.handleInvalidate)
 	s.mux.HandleFunc("/v2/replog", s.handleReplog)
+	s.mux.HandleFunc("/v2/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("/v2/cache/seekers", s.handleCacheSeekers)
+	s.mux.HandleFunc("/v2/cache/warm", s.handleCacheWarm)
+	s.mux.HandleFunc("/v2/fleet/resize", s.handleFleetResize)
 	s.mux.HandleFunc("/v1/users", s.handleUsers)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -1098,6 +1183,42 @@ type V2BatchEntry struct {
 	Degraded   bool            `json:"degraded,omitempty"`
 	ScoreBound float64         `json:"score_bound,omitempty"`
 	Error      string          `json:"error,omitempty"`
+	// ErrorKind carries the error's class across the wire ("invalid",
+	// "overloaded", "unavailable"; empty for unclassified failures) so a
+	// fleet front-end relaying this entry can reconstruct the typed
+	// error — a replica's shed (429) must stay a shed at the front door,
+	// never be flattened into a generic failure.
+	ErrorKind string `json:"error_kind,omitempty"`
+	// RetryAfterMS is the shed entry's backoff hint in milliseconds
+	// (only with ErrorKind "overloaded") — the per-entry form of the
+	// Retry-After header.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// Wire error classes for V2BatchEntry.ErrorKind.
+const (
+	ErrKindInvalid     = "invalid"
+	ErrKindOverloaded  = "overloaded"
+	ErrKindUnavailable = "unavailable"
+)
+
+// classifyWireErr reduces a per-entry error to its wire class and
+// backoff hint.
+func classifyWireErr(err error) (kind string, retryAfterMS int64) {
+	switch {
+	case errors.Is(err, search.ErrInvalid):
+		return ErrKindInvalid, 0
+	case errors.Is(err, search.ErrOverloaded):
+		var oe *search.OverloadError
+		if errors.As(err, &oe) {
+			retryAfterMS = oe.RetryAfter.Milliseconds()
+		}
+		return ErrKindOverloaded, retryAfterMS
+	case errors.Is(err, search.ErrUnavailable):
+		return ErrKindUnavailable, 0
+	default:
+		return "", 0
+	}
 }
 
 // batchOutcome reduces a batch's per-entry errors to one admission
@@ -1165,13 +1286,14 @@ func (s *Server) handleSearchBatchV2(w http.ResponseWriter, r *http.Request) {
 	resp := V2BatchResponse{Results: make([]V2BatchEntry, len(reqs)), Spans: obs.WireSpans(r.Context())}
 	for i, err := range errs {
 		if err != nil {
-			resp.Results[i] = V2BatchEntry{Error: fmt.Sprintf("query %d: %v", i, err)}
+			resp.Results[i] = V2BatchEntry{Error: fmt.Sprintf("query %d: %v", i, err), ErrorKind: ErrKindInvalid}
 		}
 	}
 	for j, br := range batch {
 		i := positions[j]
 		if br.Err != nil {
-			resp.Results[i] = V2BatchEntry{Error: br.Err.Error()}
+			kind, retryMS := classifyWireErr(br.Err)
+			resp.Results[i] = V2BatchEntry{Error: br.Err.Error(), ErrorKind: kind, RetryAfterMS: retryMS}
 			continue
 		}
 		markDegraded(&br.Response, degraded[j])
@@ -1255,6 +1377,167 @@ func (s *Server) handleReplog(w http.ResponseWriter, r *http.Request) {
 		page.Records = []ReplogRecord{}
 	}
 	s.writeJSON(w, r, page)
+}
+
+// handleSnapshot serves the replica bootstrap plane. GET exports the
+// backend's compacted state as a binary stream pinned at the
+// replication cursor (social.WriteSnapshotStream form, cursor echoed in
+// X-Snapshot-LSN); POST replaces the backend's entire state with such a
+// stream. Mutations racing an export simply land after the pinned
+// cursor and reach the importer through the replication log suffix.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		src, ok := s.backend.(SnapshotSource)
+		if !ok {
+			s.writeErr(w, http.StatusNotFound, errors.New("backend does not export snapshots"))
+			return
+		}
+		g, st, names, lsn, err := src.SnapshotWithCursor()
+		if err != nil {
+			s.writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set(SnapshotLSNHeader, strconv.FormatUint(lsn, 10))
+		if err := social.WriteSnapshotStream(w, g, st, names, lsn); err != nil && s.logf != nil {
+			s.logf("server: streaming snapshot: %v", err)
+		}
+	case http.MethodPost:
+		imp, ok := s.backend.(SnapshotImporter)
+		if !ok {
+			s.writeErr(w, http.StatusNotFound, errors.New("backend does not import snapshots"))
+			return
+		}
+		g, st, names, lsn, err := social.ReadSnapshotStream(io.LimitReader(r.Body, maxSnapshotBodyBytes))
+		if err != nil {
+			s.writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := imp.ImportSnapshot(g, st, names, lsn); err != nil {
+			s.writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		s.writeJSON(w, r, AppliedResponse{AppliedLSN: lsn})
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		s.writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+	}
+}
+
+// handleCacheSeekers lists the seekers with resident cached horizons
+// (hottest first per shard) — the enumeration half of the pre-warm
+// plane a resize orchestrator drives.
+func (s *Server) handleCacheSeekers(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	cw, ok := s.backend.(CacheWarmer)
+	if !ok {
+		s.writeErr(w, http.StatusNotFound, errors.New("backend has no seeker cache plane"))
+		return
+	}
+	seekers := cw.CachedSeekers()
+	if seekers == nil {
+		seekers = []string{}
+	}
+	s.writeJSON(w, r, struct {
+		Seekers []string `json:"seekers"`
+	}{Seekers: seekers})
+}
+
+// handleCacheWarm materializes the given seekers' horizons into the
+// cache, bypassing cold-start admission — the install half of the
+// pre-warm plane. Unknown seekers are skipped, not errors.
+func (s *Server) handleCacheWarm(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	cw, ok := s.backend.(CacheWarmer)
+	if !ok {
+		s.writeErr(w, http.StatusNotFound, errors.New("backend has no seeker cache plane"))
+		return
+	}
+	var req struct {
+		Seekers []string `json:"seekers"`
+	}
+	if err := decodeBody(w, r, &req); err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Seekers) > MaxWarmSeekers {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("%d seekers exceeds limit %d", len(req.Seekers), MaxWarmSeekers))
+		return
+	}
+	warmed, err := cw.WarmSeekers(r.Context(), req.Seekers)
+	if err != nil {
+		s.writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeJSON(w, r, struct {
+		Warmed int `json:"warmed"`
+	}{Warmed: warmed})
+}
+
+// handleFleetResize drives elastic membership on a fleet front-end:
+// joins run first (each is admit → snapshot bootstrap → catch-up →
+// pre-warm → activate), then retires (drain → remove). The first
+// failing operation aborts the rest; the response reports what
+// completed, so a retried request — joins are idempotent by URL,
+// retires by slot — finishes the remainder.
+func (s *Server) handleFleetResize(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	fr, ok := s.backend.(FleetResizer)
+	if !ok {
+		s.writeErr(w, http.StatusNotFound, errors.New("backend is not a resizable fleet front-end"))
+		return
+	}
+	var req FleetResizeRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Join)+len(req.Retire) == 0 {
+		s.writeErr(w, http.StatusBadRequest, errors.New("resize request names no joins or retires"))
+		return
+	}
+	if len(req.Join)+len(req.Retire) > MaxResizeOps {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("%d operations exceeds limit %d", len(req.Join)+len(req.Retire), MaxResizeOps))
+		return
+	}
+	resp := FleetResizeResponse{Joined: []int{}, Retired: []int{}}
+	fail := func(err error) {
+		resp.Epoch = fr.FleetEpoch()
+		status := http.StatusInternalServerError
+		if errors.Is(err, search.ErrUnavailable) {
+			status = http.StatusServiceUnavailable
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		_ = json.NewEncoder(w).Encode(struct {
+			Error string `json:"error"`
+			FleetResizeResponse
+		}{Error: err.Error(), FleetResizeResponse: resp})
+	}
+	for _, url := range req.Join {
+		slot, err := fr.JoinReplica(r.Context(), url)
+		if err != nil {
+			fail(fmt.Errorf("join %s: %w", url, err))
+			return
+		}
+		resp.Joined = append(resp.Joined, slot)
+	}
+	for _, slot := range req.Retire {
+		if err := fr.RetireReplica(r.Context(), slot); err != nil {
+			fail(fmt.Errorf("retire slot %d: %w", slot, err))
+			return
+		}
+		resp.Retired = append(resp.Retired, slot)
+	}
+	resp.Epoch = fr.FleetEpoch()
+	s.writeJSON(w, r, resp)
 }
 
 func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {

@@ -119,6 +119,17 @@ func (c *Caches) Counters() metrics.CacheSnapshot {
 	return agg
 }
 
+// Seekers returns every seeker with a resident horizon, shard by shard
+// (hottest first within each shard; see qcache.Cache.Seekers). The
+// fleet's pre-warm transfer enumerates these on the source replica.
+func (c *Caches) Seekers() []graph.UserID {
+	var out []graph.UserID
+	for _, s := range c.shards {
+		out = append(out, s.Seekers()...)
+	}
+	return out
+}
+
 // Snapshot is one shard's observable state.
 type Snapshot struct {
 	Shard    int

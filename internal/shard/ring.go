@@ -22,10 +22,17 @@ import (
 // ring stays small enough that building and searching it is noise.
 const DefaultVirtualNodes = 64
 
-// Ring maps keys to shard indices by consistent hashing.
+// Ring maps keys to shard slots by consistent hashing. A slot is a
+// stable integer label: the classic NewRing labels them 0..N-1, while
+// NewRingOf accepts an arbitrary slot set so an elastic fleet can
+// retire slot 1 and keep slots {0, 2, 4} without renumbering — a
+// slot's ring points depend only on its own label, so adding or
+// removing a slot moves exactly that slot's points and nothing else.
 type Ring struct {
-	shards int
-	points []ringPoint // hash-ascending
+	shards  int
+	slots   []int       // sorted slot labels
+	maxSlot int         // largest slot label
+	points  []ringPoint // hash-ascending
 }
 
 type ringPoint struct {
@@ -34,10 +41,27 @@ type ringPoint struct {
 }
 
 // NewRing builds a ring over the given number of shards (≥ 1) with
-// vnodes virtual nodes per shard (0 = DefaultVirtualNodes).
+// vnodes virtual nodes per shard (0 = DefaultVirtualNodes). The slots
+// are labelled 0..shards-1.
 func NewRing(shards, vnodes int) (*Ring, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("shard: %d shards, need >= 1", shards)
+	}
+	slots := make([]int, shards)
+	for s := range slots {
+		slots[s] = s
+	}
+	return NewRingOf(slots, vnodes)
+}
+
+// NewRingOf builds a ring over an arbitrary set of slot labels (≥ 1
+// distinct, non-negative) with vnodes virtual nodes per slot
+// (0 = DefaultVirtualNodes). Two rings sharing a slot label place that
+// slot's points identically, which is what makes resizes minimal: keys
+// only ever move to an added slot or away from a removed one.
+func NewRingOf(slots []int, vnodes int) (*Ring, error) {
+	if len(slots) < 1 {
+		return nil, fmt.Errorf("shard: empty slot set, need >= 1")
 	}
 	if vnodes < 0 {
 		return nil, fmt.Errorf("shard: negative virtual node count %d", vnodes)
@@ -45,10 +69,25 @@ func NewRing(shards, vnodes int) (*Ring, error) {
 	if vnodes == 0 {
 		vnodes = DefaultVirtualNodes
 	}
-	r := &Ring{shards: shards, points: make([]ringPoint, 0, shards*vnodes)}
-	for s := 0; s < shards; s++ {
+	sorted := append([]int(nil), slots...)
+	sort.Ints(sorted)
+	for i, s := range sorted {
+		if s < 0 {
+			return nil, fmt.Errorf("shard: negative slot label %d", s)
+		}
+		if i > 0 && s == sorted[i-1] {
+			return nil, fmt.Errorf("shard: duplicate slot label %d", s)
+		}
+	}
+	r := &Ring{
+		shards:  len(sorted),
+		slots:   sorted,
+		maxSlot: sorted[len(sorted)-1],
+		points:  make([]ringPoint, 0, len(sorted)*vnodes),
+	}
+	for _, s := range sorted {
 		for v := 0; v < vnodes; v++ {
-			// Hash the (shard, vnode) pair as a little label; FNV keeps
+			// Hash the (slot, vnode) pair as a little label; FNV keeps
 			// the ring deterministic across processes and restarts.
 			h := fnv1a(uint64(s)<<32 | uint64(v))
 			r.points = append(r.points, ringPoint{hash: h, shard: s})
@@ -63,8 +102,18 @@ func NewRing(shards, vnodes int) (*Ring, error) {
 	return r, nil
 }
 
-// Shards returns the number of shards on the ring.
+// Shards returns the number of slots on the ring.
 func (r *Ring) Shards() int { return r.shards }
+
+// Slots returns the ring's slot labels, ascending. Callers must not
+// mutate the returned slice.
+func (r *Ring) Slots() []int { return r.slots }
+
+// HasSlot reports whether the given slot label is on the ring.
+func (r *Ring) HasSlot(slot int) bool {
+	i := sort.SearchInts(r.slots, slot)
+	return i < len(r.slots) && r.slots[i] == slot
+}
 
 // Owner returns the shard owning an arbitrary pre-hashed key: the first
 // ring point at or clockwise-after the key's hash.
@@ -97,7 +146,7 @@ func (r *Ring) OwnerString(s string) int {
 // all on a single neighbour.
 func (r *Ring) SuccessorsString(s string) []int {
 	out := make([]int, 0, r.shards)
-	seen := make([]bool, r.shards)
+	seen := make([]bool, r.maxSlot+1)
 	start := r.startString(s)
 	for i := 0; i < len(r.points) && len(out) < r.shards; i++ {
 		p := r.points[(start+i)%len(r.points)]
@@ -107,6 +156,26 @@ func (r *Ring) SuccessorsString(s string) []int {
 		}
 	}
 	return out
+}
+
+// MovedKeys computes the ring-slice diff of a resize: which of the
+// given string keys change owner between old and new, grouped by their
+// new owner slot. Because a slot's points depend only on its own
+// label, the moved set is exactly the minimal slice — keys either move
+// to a slot added in new or away from a slot removed from old; a key
+// owned by a slot present on both rings never moves (see the property
+// test). The result is what resize orchestration warms: for a join,
+// the joiner's entry lists the horizons to transfer; for a retirement,
+// each entry lists what a ring successor inherits.
+func MovedKeys(old, new *Ring, keys []string) map[int][]string {
+	moved := make(map[int][]string)
+	for _, k := range keys {
+		was, is := old.OwnerString(k), new.OwnerString(k)
+		if was != is {
+			moved[is] = append(moved[is], k)
+		}
+	}
+	return moved
 }
 
 // startString returns the index of the first ring point at or

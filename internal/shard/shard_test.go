@@ -77,6 +77,163 @@ func TestRingResizeStability(t *testing.T) {
 	if moved > users/3 {
 		t.Fatalf("resize 8→9 moved %d of %d keys", moved, users)
 	}
+
+	// The smoke resizes 3→5→3: at both sizes the failover spread must
+	// stay uniform — every shard owns within 2x of its fair share of
+	// keys, and a dead owner's keys spill across ALL survivors, each
+	// catching within 3x of its fair share of the spill.
+	for _, shards := range []int{3, 5} {
+		r, err := NewRing(shards, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const keys = 6000
+		owned := make([]int, shards)
+		spill := make([]map[int]int, shards)
+		for s := range spill {
+			spill[s] = make(map[int]int)
+		}
+		for i := 0; i < keys; i++ {
+			succ := r.SuccessorsString(fmt.Sprintf("seeker-%d", i))
+			owned[succ[0]]++
+			spill[succ[0]][succ[1]]++
+		}
+		fair := keys / shards
+		for s, n := range owned {
+			if n > 2*fair || n < fair/2 {
+				t.Fatalf("%d shards: shard %d owns %d keys, fair share %d", shards, s, n, fair)
+			}
+		}
+		for s := range spill {
+			if len(spill[s]) != shards-1 {
+				t.Fatalf("%d shards: shard %d spills to only %d of %d survivors (%v)",
+					shards, s, len(spill[s]), shards-1, spill[s])
+			}
+			for to, n := range spill[s] {
+				if fairSpill := owned[s] / (shards - 1); n > 3*fairSpill {
+					t.Fatalf("%d shards: shard %d dumps %d of %d spilled keys on shard %d",
+						shards, s, n, owned[s], to)
+				}
+			}
+		}
+	}
+}
+
+// TestRingOfMinimalMovement is the resize property test: across grow,
+// shrink and mid-slot retirement, a key owned by a slot present on
+// both rings NEVER changes owner — every move is to an added slot or
+// away from a removed one. This is the invariant elastic resharding
+// warms against: the moved slice is exactly what changes hands.
+func TestRingOfMinimalMovement(t *testing.T) {
+	cases := []struct {
+		name     string
+		old, new []int
+	}{
+		{"grow 3→5", []int{0, 1, 2}, []int{0, 1, 2, 3, 4}},
+		{"shrink 5→3", []int{0, 1, 2, 3, 4}, []int{0, 1, 2}},
+		{"retire middle slot", []int{0, 1, 2, 3, 4}, []int{0, 2, 3, 4}},
+		{"rejoin after retirement", []int{0, 2, 3, 4}, []int{0, 1, 2, 3, 4}},
+	}
+	const keys = 20000
+	for _, tc := range cases {
+		oldRing, err := NewRingOf(tc.old, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newRing, err := NewRingOf(tc.new, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for i := 0; i < keys; i++ {
+			key := fmt.Sprintf("seeker-%d", i)
+			was, is := oldRing.OwnerString(key), newRing.OwnerString(key)
+			if was == is {
+				continue
+			}
+			moved++
+			if newRing.HasSlot(was) && oldRing.HasSlot(is) {
+				t.Fatalf("%s: %q moved %d→%d though both slots exist on both rings",
+					tc.name, key, was, is)
+			}
+		}
+		// Same invariant at the id level (the cache-shard routing path).
+		for u := graph.UserID(0); u < keys; u++ {
+			was, is := oldRing.OwnerUser(u), newRing.OwnerUser(u)
+			if was != is && newRing.HasSlot(was) && oldRing.HasSlot(is) {
+				t.Fatalf("%s: user %d moved %d→%d though both slots exist on both rings",
+					tc.name, u, was, is)
+			}
+		}
+		if moved == 0 {
+			t.Fatalf("%s: no key moved — resize diff cannot be empty", tc.name)
+		}
+		// And MovedKeys must report exactly the moved set, keyed by the
+		// new owner.
+		all := make([]string, keys)
+		for i := range all {
+			all[i] = fmt.Sprintf("seeker-%d", i)
+		}
+		diff := MovedKeys(oldRing, newRing, all)
+		total := 0
+		for slot, ks := range diff {
+			total += len(ks)
+			for _, k := range ks {
+				if newRing.OwnerString(k) != slot {
+					t.Fatalf("%s: MovedKeys filed %q under %d, owner is %d",
+						tc.name, k, slot, newRing.OwnerString(k))
+				}
+				if oldRing.OwnerString(k) == slot {
+					t.Fatalf("%s: MovedKeys reports unmoved key %q", tc.name, k)
+				}
+			}
+		}
+		if total != moved {
+			t.Fatalf("%s: MovedKeys reports %d moves, direct count %d", tc.name, total, moved)
+		}
+	}
+}
+
+func TestRingOfValidation(t *testing.T) {
+	if _, err := NewRingOf(nil, 0); err == nil {
+		t.Error("empty slot set accepted")
+	}
+	if _, err := NewRingOf([]int{0, 1, 1}, 0); err == nil {
+		t.Error("duplicate slot accepted")
+	}
+	if _, err := NewRingOf([]int{-1, 0}, 0); err == nil {
+		t.Error("negative slot accepted")
+	}
+	r, err := NewRingOf([]int{0, 2, 5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Shards() != 3 {
+		t.Fatalf("Shards() = %d, want 3", r.Shards())
+	}
+	for _, s := range []int{0, 2, 5} {
+		if !r.HasSlot(s) {
+			t.Fatalf("HasSlot(%d) = false", s)
+		}
+	}
+	for _, s := range []int{1, 3, 4, 6} {
+		if r.HasSlot(s) {
+			t.Fatalf("HasSlot(%d) = true", s)
+		}
+	}
+	succ := r.SuccessorsString("alice")
+	if len(succ) != 3 {
+		t.Fatalf("successors over sparse slots: %v", succ)
+	}
+	// Equal-labelled rings agree regardless of construction path.
+	classic, _ := NewRing(3, 0)
+	viaSlots, _ := NewRingOf([]int{0, 1, 2}, 0)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if classic.OwnerString(key) != viaSlots.OwnerString(key) {
+			t.Fatalf("NewRing and NewRingOf disagree on %q", key)
+		}
+	}
 }
 
 func shardTestEngine(t testing.TB, n int) *core.Engine {

@@ -584,6 +584,24 @@ func (s *Service) AppliedLSN() uint64 {
 	return s.appliedLSN
 }
 
+// SetReplicationCursor restores the replication cursor to lsn without
+// applying anything, advance-only: a value at or below the current
+// cursor is a no-op. Recovery paths use it — a durable replica
+// replaying its own WAL applies stamped records as plain mutations and
+// then restores the cursor from the record's embedded LSN, and a
+// snapshot import stamps the restored state with the LSN it was
+// exported at — so a restarted or bootstrapped replica resumes the
+// fleet stream from its cursor instead of restreaming history. It must
+// never be used on the live apply path, where advanceCursor enforces
+// the gap discipline.
+func (s *Service) SetReplicationCursor(lsn uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if lsn > s.appliedLSN {
+		s.appliedLSN = lsn
+	}
+}
+
 // Flush forces pending writes into the queryable snapshot.
 func (s *Service) Flush() error {
 	s.mu.Lock()

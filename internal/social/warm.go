@@ -1,0 +1,88 @@
+package social
+
+import (
+	"context"
+)
+
+// Cache warming: the fleet's elastic-resize pre-warm plane. Before a
+// topology change flips traffic onto a replica, the orchestrator asks
+// the current owners which seekers have resident horizons
+// (CachedSeekers) and tells the new owner to materialize exactly those
+// (WarmSeekers) — so the first real query after the flip hits a warm
+// cache instead of paying the horizon expansion that was already paid
+// elsewhere.
+
+// CachedSeekers returns the names of every seeker with a resident
+// cached horizon, hottest first within each cache shard. Nil when
+// caching is disabled.
+func (s *Service) CachedSeekers() []string {
+	if s.caches == nil {
+		return nil
+	}
+	ids := s.caches.Seekers()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(ids))
+	for _, id := range ids {
+		if n, ok := s.names.Users.Name(id); ok {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// WarmSeekers materializes and caches the horizons of the named
+// seekers, bypassing cold-start admission (qcache.Cache.Warm): the
+// entries earned residency on the replica that previously owned them.
+// Unknown names are skipped — the joiner may trail the source by a few
+// records; those seekers simply warm on first query. Returns how many
+// horizons were installed; stops early (with the count so far) when ctx
+// is cancelled.
+func (s *Service) WarmSeekers(ctx context.Context, seekers []string) (int, error) {
+	if s.caches == nil || len(seekers) == 0 {
+		return 0, nil
+	}
+	// Pin the engine snapshot AND the per-shard generations under one
+	// lock hold (the same pairing publishLocked gives the read path):
+	// generations only move under s.mu, so a horizon materialized from
+	// this engine is consistent with these generations, and any later
+	// invalidation bumps the generation and makes Warm refuse it.
+	s.mu.Lock()
+	eng, err := s.engine.Current()
+	if err != nil {
+		s.mu.Unlock()
+		return 0, err
+	}
+	gens := make([]uint64, s.caches.NumShards())
+	for i := range gens {
+		gens[i] = s.caches.Shard(i).Generation()
+	}
+	ids := make([]int32, 0, len(seekers))
+	for _, name := range seekers {
+		if id, ok := s.names.Users.ID(name); ok {
+			ids = append(ids, id)
+		}
+	}
+	s.mu.Unlock()
+
+	warmed := 0
+	for _, id := range ids {
+		if err := ctx.Err(); err != nil {
+			return warmed, err
+		}
+		shard := s.caches.ShardFor(id)
+		cache := s.caches.Shard(shard)
+		gen := gens[shard]
+		if _, hit := cache.Get(id, gen); hit {
+			continue
+		}
+		h, err := s.materializeSpan(ctx, eng, id)
+		if err != nil {
+			return warmed, err
+		}
+		if cache.Warm(id, gen, h) {
+			warmed++
+		}
+	}
+	return warmed, nil
+}

@@ -15,14 +15,24 @@
 #   (e) post-rejoin answers — now routed to the readmitted replica —
 #       are byte-identical to the answers the survivors gave while it
 #       was stopped (the stale-after-readmission regression).
+# A resize phase then stands up a fresh 3-replica fleet and grows it
+# to 5 via -join self-registration, shrinking back to 3 over
+# POST /v2/fleet/resize, asserting
+#   (f) answers stay byte-identical before, DURING and after each
+#       splice (the joiner is gated on snapshot + catch-up),
+#   (g) the joiners were pre-warmed with their inherited ring slice
+#       (bounded cache-miss dip on the post-grow query sweep), and
+#   (h) the fleet accepts mutations at both sizes.
 # Finally, an HA phase stands up a fresh fleet with THREE quorum
 # front-ends (-frontend-id/-peers), SIGKILLs the leader mid-write-storm
 # and asserts
-#   (f) a follower wins the election and keeps accepting writes,
-#   (g) the surviving front-ends serve byte-identical answers, and
-#   (h) no quorum-acked mutation is lost: every acked write is
+#   (i) a follower wins the election and keeps accepting writes,
+#   (j) the surviving front-ends serve byte-identical answers,
+#   (k) no quorum-acked mutation is lost: every acked write is
 #       queryable and the survivors' committed replication logs are
-#       identical (LSN audit via /v2/replog).
+#       identical (LSN audit via /v2/replog), and
+#   (l) a traced mutation's flight record covers the whole write path,
+#       including a follower's replicated-append span.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -232,6 +242,175 @@ if [ "$DRAINED" != "yes" ]; then
   exit 1
 fi
 
+echo "== resize phase: grow 3 -> 5 -> 3 under traffic (elastic join/retire)"
+RS_FRONT_PORT=18100
+RS_REPLICA_PORTS=(18101 18102 18103)
+RS_JOINER_PORTS=(18104 18105)
+RS_BASE="http://127.0.0.1:$RS_FRONT_PORT"
+
+for p in "${RS_REPLICA_PORTS[@]}"; do
+  "$BIN" -replica -addr "127.0.0.1:$p" >"$WORK/rs-replica-$p.log" 2>&1 &
+  PIDS+=("$!")
+done
+"$BIN" -replicas "http://127.0.0.1:${RS_REPLICA_PORTS[0]},http://127.0.0.1:${RS_REPLICA_PORTS[1]},http://127.0.0.1:${RS_REPLICA_PORTS[2]}" \
+  -addr "127.0.0.1:$RS_FRONT_PORT" -health-interval 150ms -fail-after 2 -bcast-window 20ms \
+  -replog-dir "$WORK/rs-replog" -catchup-timeout 20s -mutation-timeout 2s \
+  >"$WORK/rs-frontend.log" 2>&1 &
+PIDS+=("$!")
+for p in "${RS_REPLICA_PORTS[@]}" "$RS_FRONT_PORT"; do wait_ready "$p"; done
+
+rs_befriend() {
+  curl -fsS --max-time 10 -X POST -d "{\"a\":\"$1\",\"b\":\"$2\",\"weight\":$3}" "$RS_BASE/v1/friend" >/dev/null
+}
+rs_tag() {
+  curl -fsS --max-time 10 -X POST -d "{\"user\":\"$1\",\"item\":\"$2\",\"tag\":\"$3\"}" "$RS_BASE/v1/tag" >/dev/null
+}
+rs_query() {
+  curl -fsS --max-time 10 -X POST -d "{\"seeker\":\"$1\",\"tags\":[\"pizza\"],\"k\":5,\"mode\":\"exact\"}" "$RS_BASE/v2/search"
+}
+# rs_in_ring_counts prints "<in_ring> <retired>" from the front's stats.
+rs_in_ring_counts() {
+  curl -fsS --max-time 10 "$RS_BASE/v1/stats" | python3 -c "
+import json, sys
+stats = json.load(sys.stdin)
+stats = stats.get('Backend', stats)
+rows = stats['Replicas']
+print(sum(1 for r in rows if r['InRing']), sum(1 for r in rows if r.get('Retired')))
+"
+}
+
+echo "== seeding the resize fleet"
+for i in $(seq 0 $((NUSERS - 1))); do
+  rs_befriend "u$i" "u$(((i + 1) % NUSERS))" 0.8
+  rs_tag "u$i" "item$i" "pizza"
+done
+sleep 0.5
+echo "== recording pre-grow answers (also makes horizons cache-resident)"
+for i in $(seq 0 $((NUSERS - 1))); do
+  rs_query "u$i" >"$WORK/rs-pregrow-u$i.json"
+done
+
+echo "== joiners self-register with -join while queries keep flowing"
+for p in "${RS_JOINER_PORTS[@]}"; do
+  "$BIN" -replica -addr "127.0.0.1:$p" -join "$RS_BASE" -advertise "http://127.0.0.1:$p" \
+    >"$WORK/rs-joiner-$p.log" 2>&1 &
+  PIDS+=("$!")
+done
+# Byte-identical answers THROUGHOUT the grow: every query racing the
+# two joins must match the pre-grow snapshot (no mutations in flight).
+GROWN=no
+for round in $(seq 1 120); do
+  i=$((round % NUSERS))
+  rs_query "u$i" >"$WORK/rs-during-u$i.json"
+  if ! cmp -s "$WORK/rs-pregrow-u$i.json" "$WORK/rs-during-u$i.json"; then
+    echo "FAIL: seeker u$i answered differently while the fleet was growing" >&2
+    diff "$WORK/rs-pregrow-u$i.json" "$WORK/rs-during-u$i.json" >&2 || true
+    exit 1
+  fi
+  read -r IN_RING RETIRED <<<"$(rs_in_ring_counts)"
+  if [ "$IN_RING" = "5" ]; then GROWN=yes; break; fi
+  sleep 0.25
+done
+if [ "$GROWN" != "yes" ]; then
+  echo "FAIL: fleet never grew to 5 in-ring replicas" >&2
+  curl -fsS "$RS_BASE/v1/stats" >&2 || true
+  for p in "${RS_JOINER_PORTS[@]}"; do tail -3 "$WORK/rs-joiner-$p.log" >&2; done
+  exit 1
+fi
+for p in "${RS_JOINER_PORTS[@]}"; do
+  if ! grep -q "joined fleet via" "$WORK/rs-joiner-$p.log"; then
+    echo "FAIL: joiner $p never logged a completed join" >&2
+    tail -5 "$WORK/rs-joiner-$p.log" >&2
+    exit 1
+  fi
+done
+
+echo "== post-grow answers must be byte-identical to pre-grow"
+for i in $(seq 0 $((NUSERS - 1))); do
+  rs_query "u$i" >"$WORK/rs-postgrow-u$i.json"
+  if ! cmp -s "$WORK/rs-pregrow-u$i.json" "$WORK/rs-postgrow-u$i.json"; then
+    echo "FAIL: seeker u$i answered differently after the grow" >&2
+    diff "$WORK/rs-pregrow-u$i.json" "$WORK/rs-postgrow-u$i.json" >&2
+    exit 1
+  fi
+done
+
+echo "== the cache hit-rate dip must be bounded: joiners were pre-warmed"
+# Every seeker was cache-resident somewhere before the grow, so every
+# seeker the grown ring hands a joiner was pushed to it pre-splice: the
+# post-grow query sweep should hit, not rebuild. Allow a small dip.
+if ! python3 -c "
+import json, urllib.request
+hits = misses = 0
+for p in (${RS_JOINER_PORTS[0]}, ${RS_JOINER_PORTS[1]}):
+    stats = json.load(urllib.request.urlopen('http://127.0.0.1:%d/v1/stats' % p, timeout=10))
+    cache = stats.get('Backend', stats)['SeekerCache']
+    hits += cache['Hits']; misses += cache['Misses']
+assert hits >= 1, 'joiners served no cached query at all (hits=%d)' % hits
+assert misses <= $((NUSERS / 4)), 'cache dip too deep: %d misses vs %d hits' % (misses, hits)
+print('   joiner cache: %d hits, %d misses' % (hits, misses))
+"; then
+  echo "FAIL: joiners were not pre-warmed with their ring slice" >&2
+  exit 1
+fi
+
+echo "== the 5-replica fleet must accept mutations"
+for i in $(seq 0 9); do
+  rs_tag "u$((i % NUSERS))" "grown$i" "pizza"
+done
+GROWNQ=no
+for _ in $(seq 1 80); do
+  if rs_query "u9" | grep -q grown9; then GROWNQ=yes; break; fi
+  sleep 0.25
+done
+if [ "$GROWNQ" != "yes" ]; then
+  echo "FAIL: writes at size 5 never became queryable" >&2
+  exit 1
+fi
+sleep 0.3 # all five ride the same broadcast batch; give stragglers their ack window
+echo "== recording pre-shrink answers"
+for i in $(seq 0 $((NUSERS - 1))); do
+  rs_query "u$i" >"$WORK/rs-preshrink-u$i.json"
+done
+
+echo "== shrink back to 3: retire the joined slots over /v2/fleet/resize"
+RETIRE_OUT=$(curl -fsS --max-time 30 -X POST -d '{"retire":[3,4]}' "$RS_BASE/v2/fleet/resize")
+echo "   $RETIRE_OUT"
+if ! echo "$RETIRE_OUT" | python3 -c "
+import json, sys
+out = json.load(sys.stdin)
+assert sorted(out['retired']) == [3, 4], out
+"; then
+  echo "FAIL: resize endpoint did not retire slots 3 and 4: $RETIRE_OUT" >&2
+  exit 1
+fi
+read -r IN_RING RETIRED <<<"$(rs_in_ring_counts)"
+if [ "$IN_RING" != "3" ] || [ "$RETIRED" != "2" ]; then
+  echo "FAIL: post-shrink topology is $IN_RING in-ring / $RETIRED retired, want 3/2" >&2
+  exit 1
+fi
+
+echo "== post-shrink answers must be byte-identical to pre-shrink"
+for i in $(seq 0 $((NUSERS - 1))); do
+  rs_query "u$i" >"$WORK/rs-postshrink-u$i.json"
+  if ! cmp -s "$WORK/rs-preshrink-u$i.json" "$WORK/rs-postshrink-u$i.json"; then
+    echo "FAIL: seeker u$i answered differently after the shrink" >&2
+    diff "$WORK/rs-preshrink-u$i.json" "$WORK/rs-postshrink-u$i.json" >&2
+    exit 1
+  fi
+done
+echo "== the shrunk fleet must still accept mutations"
+rs_tag "u0" "shrunk0" "pizza"
+SHRUNKQ=no
+for _ in $(seq 1 80); do
+  if rs_query "u19" | grep -q shrunk0; then SHRUNKQ=yes; break; fi
+  sleep 0.25
+done
+if [ "$SHRUNKQ" != "yes" ]; then
+  echo "FAIL: writes after the shrink never became queryable" >&2
+  exit 1
+fi
+
 echo "== HA phase: three quorum front-ends over a fresh replica set"
 HA_REPLICA_PORTS=(18091 18092 18093)
 HA_FE_PORTS=(18094 18095 18096)
@@ -421,13 +600,15 @@ curl -fsS --max-time 10 -H "traceparent: 00-$QTRACE-00f067aa0ba902b7-01" \
   -require-spans "admission.acquire,fleet.route,fleet.rpc,social.execute" -remote-node "$OBS_ID"
 
 # (iii) a mutation's trace must cover front-end admission, the quorum
-# commit, and at least one replica's execution — the end-to-end write
-# path in one request id.
+# commit — including at least one FOLLOWER's durable-append leg, which
+# rides the detached replication push via per-entry traceparents — and
+# at least one replica's execution: the end-to-end write path in one
+# request id.
 MTRACE="6c0fd2ab7e135c8b2a4f90d11e25aa04"
 curl -fsS --max-time 10 -H "traceparent: 00-$MTRACE-00f067aa0ba902b7-01" \
   -X POST -d '{"user":"hab","item":"obsitem","tag":"pizza"}' "$OBS_BASE/v1/tag" >/dev/null
 "$OBSCHECK" -mode trace -url "$OBS_BASE" -trace-id "$MTRACE" \
-  -require-spans "admission.acquire,quorum.commit,fleet.forward,fleet.rpc" -remote-node "$OBS_ID"
+  -require-spans "admission.acquire,quorum.commit,quorum.follower.append,fleet.forward,fleet.rpc" -remote-node "$OBS_ID"
 
 # (iv) pprof answers when enabled.
 "$OBSCHECK" -mode pprof -url "$OBS_BASE"
